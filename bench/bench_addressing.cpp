@@ -1,0 +1,104 @@
+// Addressing-overhead study (paper §3.4 summary and the §5 claim that "our
+// implementation of the layouts is sufficiently efficient to control the
+// addressing overheads even of L_H").
+//
+// Three measurements:
+//   * S-function evaluation cost per curve (ns per call, random coords);
+//   * S-inverse cost (used by the conversion streams);
+//   * whole-gemm ablation: the paper's streaming / Gray-half-step fast
+//     addition paths versus forcing the generic mapping-array path for all
+//     quadrant additions (force_generic_additions).
+
+#include <array>
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rla;
+using namespace rla::bench;
+
+void Addressing_SFunction(benchmark::State& state) {
+  const Curve curve = kAllCurves[state.range(0)];
+  const int d = 10;  // 1024x1024 tile grid
+  // Pre-generate pseudo-random coordinates so the RNG is out of the loop.
+  Xoshiro256 rng(1);
+  std::array<std::uint32_t, 1024> is{}, js{};
+  for (std::size_t i = 0; i < is.size(); ++i) {
+    is[i] = static_cast<std::uint32_t>(rng.next_below(1u << d));
+    js[i] = static_cast<std::uint32_t>(rng.next_below(1u << d));
+  }
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < is.size(); ++i) {
+      sink += s_index(curve, is[i], js[i], d);
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(is.size()));
+}
+
+void Addressing_SInverse(benchmark::State& state) {
+  const Curve curve = kAllCurves[state.range(0)];
+  const int d = 10;
+  Xoshiro256 rng(2);
+  std::array<std::uint64_t, 1024> ss{};
+  for (auto& s : ss) s = rng.next_below(std::uint64_t{1} << (2 * d));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (const std::uint64_t s : ss) {
+      const TileCoord tc = s_inverse(curve, s, d);
+      sink += tc.i + tc.j;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ss.size()));
+}
+
+void Addressing_AdditionPathAblation(benchmark::State& state) {
+  // Strassen (addition-heavy) on the multi-orientation curves, fast paths
+  // vs forced-generic mapping arrays.
+  const Curve curve = state.range(0) == 0 ? Curve::GrayMorton : Curve::Hilbert;
+  const bool generic = state.range(1) != 0;
+  const auto n = static_cast<std::uint32_t>(pick_size(1024, 320));
+  Problem p(n);
+  GemmConfig cfg;
+  cfg.layout = curve;
+  cfg.algorithm = Algorithm::Strassen;
+  cfg.force_generic_additions = generic;
+  for (auto _ : state) {
+    run_gemm(p, cfg);
+  }
+  set_flops_counters(state, n);
+}
+
+void register_benchmarks() {
+  for (long c = 0; c < static_cast<long>(std::size(kAllCurves)); ++c) {
+    const std::string cn = sanitize(curve_name(kAllCurves[c]));
+    benchmark::RegisterBenchmark(("Addressing_SFunction/" + cn).c_str(),
+                                 Addressing_SFunction)
+        ->Arg(c);
+    benchmark::RegisterBenchmark(("Addressing_SInverse/" + cn).c_str(),
+                                 Addressing_SInverse)
+        ->Arg(c);
+  }
+  for (long curve = 0; curve < 2; ++curve) {
+    for (long generic = 0; generic < 2; ++generic) {
+      const std::string name =
+          std::string("Addressing_AdditionPathAblation/") +
+          (curve == 0 ? "GrayMorton" : "Hilbert") + "_" +
+          (generic != 0 ? "generic" : "fast");
+      benchmark::RegisterBenchmark(name.c_str(), Addressing_AdditionPathAblation)
+          ->Args({curve, generic})
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.05);
+    }
+  }
+}
+
+const int dummy = (register_benchmarks(), 0);
+
+}  // namespace

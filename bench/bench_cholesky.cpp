@@ -1,0 +1,151 @@
+// Extension benchmark: recursive Cholesky over the recursive layouts
+// (Gustavson-style recursion-as-variable-blocking, paper ref. [16]).
+//
+// Rows: factorization time per layout and size, plus the unblocked
+// reference as the baseline tier and the conversion share. The interesting
+// shape: the recursive tiled factorization beats the unblocked one by a
+// growing factor as n leaves cache, and all recursive layouts are
+// mutually close (the paper's Fig. 6 observation carrying over to a
+// factorization).
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+
+namespace {
+
+using namespace rla;
+using namespace rla::bench;
+
+/// A = M·Mᵀ + n·I: symmetric positive definite by construction.
+Matrix make_spd(std::uint32_t n) {
+  Matrix m(n, n);
+  m.fill_random(0x5bd);
+  Matrix a(n, n);
+  a.zero();
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t l = 0; l < n; ++l) {
+      const double mlj = m(j, l);
+      for (std::uint32_t i = 0; i < n; ++i) a(i, j) += m(i, l) * mlj;
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) a(i, i) += n;
+  return a;
+}
+
+const Matrix& spd_cache(std::uint32_t n) {
+  static std::map<std::uint32_t, Matrix> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) it = cache.emplace(n, make_spd(n)).first;
+  return it->second;
+}
+
+void Cholesky_Recursive(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Curve layout = kRecursiveCurves[state.range(1)];
+  const Matrix& a = spd_cache(n);
+  Matrix l(n, n);
+  CholeskyConfig cfg;
+  cfg.layout = layout;
+  CholeskyProfile profile;
+  for (auto _ : state) {
+    state.PauseTiming();
+    l = a;
+    state.ResumeTiming();
+    cholesky(n, l.data(), l.ld(), cfg, &profile);
+  }
+  const double flops = static_cast<double>(n) * n * n / 3.0;
+  state.counters["gflops"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["conv_share_pct"] =
+      100.0 * (profile.convert_in + profile.convert_out) /
+      (profile.total > 0 ? profile.total : 1.0);
+}
+
+void Cholesky_Unblocked(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Matrix& a = spd_cache(n);
+  Matrix l(n, n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    l = a;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(reference_cholesky(n, l.data(), l.ld()));
+  }
+  const double flops = static_cast<double>(n) * n * n / 3.0;
+  state.counters["gflops"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+void Lu_Recursive(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Curve layout = kRecursiveCurves[state.range(1)];
+  const Matrix& a = spd_cache(n);  // SPD is safely unpivoted-LU-factorable
+  Matrix packed(n, n);
+  LuConfig cfg;
+  cfg.layout = layout;
+  for (auto _ : state) {
+    state.PauseTiming();
+    packed = a;
+    state.ResumeTiming();
+    lu_nopivot(n, packed.data(), packed.ld(), cfg);
+  }
+  const double flops = 2.0 * static_cast<double>(n) * n * n / 3.0;
+  state.counters["gflops"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+void Lu_Unblocked(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Matrix& a = spd_cache(n);
+  Matrix packed(n, n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    packed = a;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(reference_lu_nopivot(n, packed.data(), packed.ld()));
+  }
+  const double flops = 2.0 * static_cast<double>(n) * n * n / 3.0;
+  state.counters["gflops"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+void register_benchmarks() {
+  const std::uint32_t sizes[] = {
+      static_cast<std::uint32_t>(pick_size(512, 256)),
+      static_cast<std::uint32_t>(pick_size(1024, 512))};
+  for (const std::uint32_t n : sizes) {
+    benchmark::RegisterBenchmark("Cholesky_Unblocked", Cholesky_Unblocked)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark("Lu_Unblocked", Lu_Unblocked)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+    for (long curve = 0; curve < 5; ++curve) {
+      const std::string chol_name = std::string("Cholesky_Recursive/") +
+                                    sanitize(curve_name(kRecursiveCurves[curve]));
+      benchmark::RegisterBenchmark(chol_name.c_str(), Cholesky_Recursive)
+          ->Args({n, curve})
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.05);
+      const std::string lu_name = std::string("Lu_Recursive/") +
+                                  sanitize(curve_name(kRecursiveCurves[curve]));
+      benchmark::RegisterBenchmark(lu_name.c_str(), Lu_Recursive)
+          ->Args({n, curve})
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.05);
+    }
+  }
+}
+
+const int dummy = (register_benchmarks(), 0);
+
+}  // namespace

@@ -1,0 +1,76 @@
+#pragma once
+
+// Shared helpers for the benchmark harnesses.
+//
+// Problem sizes default to roughly 2.5x-linear scaled-down versions of the
+// paper's (which targeted a 1997-era 4-CPU SMP); set RLA_PAPER_SCALE=1 in
+// the environment to run the original sizes. Thread counts default to {1};
+// set RLA_BENCH_THREADS=4 to sweep {1,2,4} as in the paper (only meaningful
+// on a multi-core host).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rla.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace rla::bench {
+
+/// Strip punctuation for benchmark-name fragments.
+inline std::string sanitize(std::string_view text) {
+  std::string out;
+  for (char ch : text) {
+    if (ch != '-' && ch != ' ') out.push_back(ch);
+  }
+  return out;
+}
+
+/// Threads to sweep: {1} by default, {1, 2, 4} when RLA_BENCH_THREADS is
+/// set (value = max threads).
+inline std::vector<unsigned> thread_sweep() {
+  const auto max_threads =
+      static_cast<unsigned>(env_int("RLA_BENCH_THREADS", 1));
+  std::vector<unsigned> sweep{1};
+  for (unsigned p = 2; p <= max_threads; p *= 2) sweep.push_back(p);
+  return sweep;
+}
+
+/// Problem inputs reused across iterations of one benchmark.
+struct Problem {
+  Matrix a, b, c;
+  explicit Problem(std::uint32_t n) : a(n, n), b(n, n), c(n, n) {
+    a.fill_random(0xA);
+    b.fill_random(0xB);
+    c.zero();
+  }
+};
+
+/// One C = A·B under cfg; returns wall seconds.
+inline double run_gemm(Problem& p, const GemmConfig& cfg,
+                       GemmProfile* profile = nullptr) {
+  Timer timer;
+  gemm(p.c.rows(), p.c.cols(), p.a.cols(), 1.0, p.a.data(), p.a.ld(), Op::None,
+       p.b.data(), p.b.ld(), Op::None, 0.0, p.c.data(), p.c.ld(), cfg, profile);
+  return timer.seconds();
+}
+
+/// Flat (single-call) multiply with the register-blocked kernel: the
+/// stand-in for the vendor dgemm baseline of the paper's §5.
+inline double run_flat_dgemm(Problem& p, KernelKind kernel = KernelKind::Blocked4x4) {
+  Timer timer;
+  p.c.zero();
+  leaf_mm(kernel, p.c.rows(), p.c.cols(), p.a.cols(), 1.0, p.a.data(), p.a.ld(),
+          p.b.data(), p.b.ld(), p.c.data(), p.c.ld());
+  return timer.seconds();
+}
+
+inline void set_flops_counters(benchmark::State& state, std::uint32_t n) {
+  const double flops = 2.0 * n * n * n;
+  state.counters["gflops"] = benchmark::Counter(
+      flops, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+}  // namespace rla::bench

@@ -1,0 +1,109 @@
+// Format-conversion cost accounting (the paper's intro question 3 / §4).
+//
+// The dgemm interface presents column-major arrays; the recursive layouts
+// require a remap in and out. The paper's position — disputing Frens &
+// Wise's assumption of free quad-tree inputs — is that an honest account
+// must charge for this. Benchmarks: raw remap bandwidth per curve (with and
+// without fused transposition), and the remap's share of a whole gemm call
+// (from GemmProfile), which shrinks as n grows since conversion is O(n²)
+// against O(n^{2.8..3}) compute.
+
+#include <array>
+
+#include "bench_common.hpp"
+#include "layout/convert.hpp"
+
+namespace {
+
+using namespace rla;
+using namespace rla::bench;
+
+constexpr Curve kCurves[] = {Curve::UMorton, Curve::XMorton, Curve::ZMorton,
+                             Curve::GrayMorton, Curve::Hilbert};
+
+void Conversion_Remap(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Curve curve = kCurves[state.range(1)];
+  const bool transpose = state.range(2) != 0;
+
+  Matrix src(n, n);
+  src.fill_random(1);
+  const auto depth = common_depth(std::array<std::uint64_t, 1>{n}, TileRange{});
+  const TileGeometry g = make_geometry(n, n, depth.value_or(4), curve);
+  TiledMatrix dst(g);
+  for (auto _ : state) {
+    canonical_to_tiled(src.data(), src.ld(), transpose, 1.0, g, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  const double bytes = 2.0 * static_cast<double>(n) * n * sizeof(double);
+  state.counters["GBps"] = benchmark::Counter(
+      bytes, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1024);
+}
+
+void Conversion_RemapBack(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Curve curve = kCurves[state.range(1)];
+  Matrix dst(n, n);
+  const auto depth = common_depth(std::array<std::uint64_t, 1>{n}, TileRange{});
+  const TileGeometry g = make_geometry(n, n, depth.value_or(4), curve);
+  TiledMatrix src(g);
+  src.zero();
+  for (auto _ : state) {
+    tiled_to_canonical(src.data(), g, dst.data(), dst.ld());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  const double bytes = 2.0 * static_cast<double>(n) * n * sizeof(double);
+  state.counters["GBps"] = benchmark::Counter(
+      bytes, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1024);
+}
+
+void Conversion_ShareOfGemm(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Curve curve = kCurves[state.range(1)];
+  Problem p(n);
+  GemmConfig cfg;
+  cfg.layout = curve;
+  GemmProfile profile;
+  for (auto _ : state) {
+    run_gemm(p, cfg, &profile);
+  }
+  const double conversion = profile.convert_in + profile.convert_out;
+  state.counters["conv_share_pct"] =
+      100.0 * conversion / (profile.total > 0 ? profile.total : 1.0);
+  set_flops_counters(state, n);
+}
+
+void register_benchmarks() {
+  const auto n = static_cast<std::uint32_t>(pick_size(1024, 384));
+  for (long c = 0; c < 5; ++c) {
+    const std::string cn = sanitize(curve_name(kCurves[c]));
+    benchmark::RegisterBenchmark(("Conversion_Remap/" + cn).c_str(),
+                                 Conversion_Remap)
+        ->Args({n, c, 0})
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Conversion_RemapTransposed/" + cn).c_str(),
+                                 Conversion_Remap)
+        ->Args({n, c, 1})
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Conversion_RemapBack/" + cn).c_str(),
+                                 Conversion_RemapBack)
+        ->Args({n, c})
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Share-of-gemm at two sizes shows the O(n²)/O(n³) scaling.
+  for (const std::uint32_t sz :
+       {static_cast<std::uint32_t>(pick_size(500, 192)),
+        static_cast<std::uint32_t>(pick_size(1500, 448))}) {
+    benchmark::RegisterBenchmark("Conversion_ShareOfGemm/ZMorton",
+                                 Conversion_ShareOfGemm)
+        ->Args({sz, 2})
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+  }
+}
+
+const int dummy = (register_benchmarks(), 0);
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Parallelism study (paper §5 text): Cilk's critical-path tracking showed
+// "sufficient parallelism in the standard algorithm to keep about 40
+// processors busy" at n = 1000 and "around 23" for the fast algorithms.
+//
+// Work/span is a property of the task DAG, not the machine, so the analytic
+// model reproduces this claim exactly on any host (see core/work_span.hpp).
+// Reported counters: work (flops), span (flops), parallelism = work/span.
+// A second set of benchmarks exercises the actual work-stealing pool and
+// reports its scheduler statistics (tasks, steals) — on a 1-core container
+// speedup cannot manifest, but the scheduling behaviour is observable.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rla;
+using namespace rla::bench;
+
+constexpr Algorithm kAlgs[] = {Algorithm::Standard, Algorithm::Strassen,
+                               Algorithm::Winograd};
+
+void Parallelism_WorkSpan(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Algorithm alg = kAlgs[state.range(1)];
+  const bool in_place = state.range(2) != 0;
+  GemmConfig cfg;
+  cfg.algorithm = alg;
+  cfg.standard_variant =
+      in_place ? StandardVariant::InPlace : StandardVariant::Temporaries;
+  WorkSpan ws{};
+  for (auto _ : state) {
+    ws = analyze_gemm(n, n, n, cfg);
+    benchmark::DoNotOptimize(ws);
+  }
+  state.counters["work_gflop"] = ws.work * 1e-9;
+  state.counters["span_mflop"] = ws.span * 1e-6;
+  state.counters["parallelism"] = ws.parallelism();
+}
+
+void Parallelism_PoolExecution(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  WorkerPool pool(threads <= 1 ? 0 : threads);
+  Problem p(n);
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  cfg.pool = &pool;
+  for (auto _ : state) {
+    run_gemm(p, cfg);
+  }
+  set_flops_counters(state, n);
+  state.counters["tasks"] = static_cast<double>(pool.tasks_executed());
+  state.counters["steals"] = static_cast<double>(pool.steals());
+}
+
+void register_benchmarks() {
+  // The paper's n = 1000 analysis is cheap (it's a closed-form recursion),
+  // so always run it at paper size alongside the scaled size.
+  for (const std::uint32_t n :
+       {static_cast<std::uint32_t>(pick_size(1000, 320)), 1000u}) {
+    for (long alg = 0; alg < 3; ++alg) {
+      const std::string name = std::string("Parallelism_WorkSpan/") +
+                               std::string(algorithm_name(kAlgs[alg])) + "_n" +
+                               std::to_string(n);
+      benchmark::RegisterBenchmark(name.c_str(), Parallelism_WorkSpan)
+          ->Args({n, alg, 0});
+    }
+  }
+  benchmark::RegisterBenchmark("Parallelism_WorkSpan/standard_inplace_n1000",
+                               Parallelism_WorkSpan)
+      ->Args({1000, 0, 1});
+  const auto n = static_cast<std::uint32_t>(pick_size(1000, 256));
+  for (const unsigned threads : thread_sweep()) {
+    benchmark::RegisterBenchmark(
+        ("Parallelism_PoolExecution/p" + std::to_string(threads)).c_str(),
+        Parallelism_PoolExecution)
+        ->Args({n, static_cast<long>(threads)})
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+  }
+}
+
+const int dummy = (register_benchmarks(), 0);
+
+}  // namespace

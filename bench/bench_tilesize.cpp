@@ -1,0 +1,79 @@
+// Figure 4 reproduction: effect of the depth of the recursive layout
+// (equivalently, the tile size at which recursion stops) on performance.
+//
+// Paper: standard algorithm, L_Z layout, one processor, n = 1024 with
+// t ∈ {1,2,...,512} and n = 1536 with t ∈ {3,6,...,768}. The curve is a
+// U-shaped bowl: t = 1 (Frens–Wise element-level recursion) is several times
+// slower than the sweet spot near t = 16, and a single giant tile is the
+// plain kernel. Defaults here are n = 512 / 768 (RLA_PAPER_SCALE=1 restores
+// the paper sizes); the bowl shape is scale-independent.
+//
+// Reported counters: tile (edge), depth d, gflops, and slowdown vs the flat
+// register-blocked kernel ("native dgemm" stand-in; the paper reports 1.88
+// at the best tile for n = 1024).
+
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rla;
+using namespace rla::bench;
+
+double flat_baseline_seconds(std::uint32_t n) {
+  static std::map<std::uint32_t, double> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  Problem p(n);
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) best = std::min(best, run_flat_dgemm(p));
+  cache[n] = best;
+  return best;
+}
+
+void Fig4_TileSize(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto tile = static_cast<std::uint32_t>(state.range(1));
+  const int depth = bits::floor_log2(n / tile);
+
+  Problem p(n);
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  cfg.algorithm = Algorithm::Standard;
+  cfg.forced_depth = depth;
+  // In-place variant: the Temporaries form allocates per recursion node,
+  // which at t = 1 (element-level recursion, the Frens–Wise configuration
+  // this figure argues against) would measure the allocator instead of the
+  // layout.
+  cfg.standard_variant = StandardVariant::InPlace;
+  double best = 1e300;
+  for (auto _ : state) {
+    best = std::min(best, run_gemm(p, cfg));
+  }
+  set_flops_counters(state, n);
+  state.counters["tile"] = tile;
+  state.counters["depth"] = depth;
+  state.counters["slowdown_vs_dgemm"] = best / flat_baseline_seconds(n);
+}
+
+void register_benchmarks() {
+  const auto n1 = static_cast<std::uint32_t>(pick_size(1024, 512));
+  for (std::uint32_t t = 1; t <= n1 / 2; t *= 2) {
+    benchmark::RegisterBenchmark("Fig4_TileSize", Fig4_TileSize)
+        ->Args({n1, t})
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+  }
+  const auto n2 = static_cast<std::uint32_t>(pick_size(1536, 768));
+  for (std::uint32_t t = 3; t <= n2 / 2; t *= 2) {
+    benchmark::RegisterBenchmark("Fig4_TileSize", Fig4_TileSize)
+        ->Args({n2, t})
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+  }
+}
+
+const int dummy = (register_benchmarks(), 0);
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Layout explorer: prints the Fig. 2 curve diagrams — the tile numbering of
+// each layout function on a 2^d × 2^d grid — plus per-curve structure facts
+// (orientation count, quadrant order, neighbour dilation).
+//
+//   ./example_layout_explorer [--d=3] [--curve=hilbert]   (default: all)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/rla.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+void print_grid(rla::Curve curve, int d) {
+  const std::uint32_t n = 1u << d;
+  std::printf("%s (%d orientation%s)\n",
+              std::string(rla::curve_name(curve)).c_str(),
+              rla::orientation_count(curve),
+              rla::orientation_count(curve) == 1 ? "" : "s");
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      std::printf("%4llu",
+                  static_cast<unsigned long long>(rla::s_index(curve, i, j, d)));
+    }
+    std::printf("\n");
+  }
+
+  // Mean curve jump: grid distance between consecutive curve positions
+  // (1.0 = perfectly adjacent; the paper's "abrupt jumps get less
+  // pronounced as the number of orientations increases").
+  double jump = 0.0;
+  rla::TileCoord prev = rla::s_inverse(curve, 0, d);
+  for (std::uint64_t s = 1; s < std::uint64_t{n} * n; ++s) {
+    const rla::TileCoord cur = rla::s_inverse(curve, s, d);
+    jump += std::abs(static_cast<int>(cur.i) - static_cast<int>(prev.i)) +
+            std::abs(static_cast<int>(cur.j) - static_cast<int>(prev.j));
+    prev = cur;
+  }
+  std::printf("mean curve jump: %.3f\n", jump / (double(n) * n - 1));
+
+  if (rla::is_recursive(curve)) {
+    const rla::CurveOps& ops = rla::CurveOps::get(curve);
+    std::printf("quadrant order (orientation 0): NW->%d NE->%d SW->%d SE->%d\n",
+                ops.chunk(0, rla::kNW), ops.chunk(0, rla::kNE),
+                ops.chunk(0, rla::kSW), ops.chunk(0, rla::kSE));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rla::CliArgs args(argc, argv);
+  const int d = static_cast<int>(args.get_int("d", 3));
+  if (d < 1 || d > 5) {
+    std::fprintf(stderr, "--d must be in [1, 5] for a readable grid\n");
+    return 1;
+  }
+  if (args.has("curve")) {
+    rla::Curve curve;
+    if (!rla::parse_curve(args.get("curve"), curve)) {
+      std::fprintf(stderr, "unknown curve '%s'\n", args.get("curve").c_str());
+      return 1;
+    }
+    print_grid(curve, d);
+    return 0;
+  }
+  for (const rla::Curve curve : rla::kAllCurves) print_grid(curve, d);
+  return 0;
+}

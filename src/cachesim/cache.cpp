@@ -1,0 +1,130 @@
+#include "cachesim/cache.hpp"
+
+#include <stdexcept>
+
+#include "layout/bits.hpp"
+
+namespace rla::sim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (!bits::is_pow2(config.line_bytes) || config.associativity == 0 ||
+      config.size_bytes % (static_cast<std::uint64_t>(config.line_bytes) *
+                           config.associativity) !=
+          0) {
+    throw std::invalid_argument("Cache: inconsistent geometry");
+  }
+  if (!bits::is_pow2(config_.num_sets())) {
+    throw std::invalid_argument("Cache: set count must be a power of two");
+  }
+  ways_.resize(config_.num_sets() * config_.associativity);
+  shadow_.capacity_lines = config_.num_lines();
+}
+
+bool Cache::Shadow::access(std::uint64_t line) {
+  auto it = where.find(line);
+  if (it != where.end()) {
+    lru.splice(lru.begin(), lru, it->second);
+    return true;
+  }
+  lru.push_front(line);
+  where[line] = lru.begin();
+  if (lru.size() > capacity_lines) {
+    where.erase(lru.back());
+    lru.pop_back();
+  }
+  return false;
+}
+
+bool Cache::access(std::uint64_t addr, bool write) {
+  const std::uint64_t line = line_of(addr);
+  const std::uint64_t set = line & (config_.num_sets() - 1);
+  const std::uint64_t tag = line >> bits::floor_log2(config_.num_sets());
+  Way* base = &ways_[set * config_.associativity];
+  ++tick_;
+
+  bool shadow_hit = false;
+  bool first_touch = false;
+  if (config_.classify_misses) {
+    first_touch = ever_seen_.insert(line).second;
+    shadow_hit = shadow_.access(line);
+  }
+
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = tick_;
+      way.dirty = way.dirty || write;
+      ++stats_.hits;
+      return true;
+    }
+  }
+
+  ++stats_.misses;
+  if (config_.classify_misses) {
+    if (first_touch) {
+      ++stats_.compulsory_misses;
+    } else if (shadow_hit) {
+      ++stats_.conflict_misses;  // full associativity would have hit
+    } else {
+      ++stats_.capacity_misses;
+    }
+  }
+
+  // Victim: invalid way if any, else LRU.
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (way.last_use < victim->last_use) victim = &way;
+  }
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.writebacks;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = tick_;
+  victim->dirty = write;
+  return false;
+}
+
+bool Cache::invalidate(std::uint64_t addr) {
+  const std::uint64_t line = line_of(addr);
+  const std::uint64_t set = line & (config_.num_sets() - 1);
+  const std::uint64_t tag = line >> bits::floor_log2(config_.num_sets());
+  Way* base = &ways_[set * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.valid = false;
+      way.dirty = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = line_of(addr);
+  const std::uint64_t set = line & (config_.num_sets() - 1);
+  const std::uint64_t tag = line >> bits::floor_log2(config_.num_sets());
+  const Way* base = &ways_[set * config_.associativity];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::reset() {
+  for (Way& way : ways_) way = Way{};
+  tick_ = 0;
+  stats_ = CacheStats{};
+  shadow_.lru.clear();
+  shadow_.where.clear();
+  ever_seen_.clear();
+}
+
+}  // namespace rla::sim

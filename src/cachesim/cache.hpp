@@ -1,0 +1,97 @@
+#pragma once
+
+// Trace-driven set-associative cache model with LRU replacement and
+// 3C miss classification (Hill & Smith, paper ref. [19]).
+//
+// The paper attributes the canonical layout's performance swings to
+// self-interference (conflict) misses and false sharing on a real SMP; this
+// simulator is the substitution substrate that lets us reproduce those
+// mechanisms on hardware we don't have (see DESIGN.md).  Conflict misses are
+// identified the standard way: a miss that a fully-associative LRU cache of
+// equal capacity would have hit.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rla::sim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;   ///< must be a power of two
+  std::uint32_t associativity = 4; ///< ways per set
+  bool classify_misses = false;    ///< keep a fully-associative shadow (3C)
+
+  std::uint64_t num_lines() const noexcept { return size_bytes / line_bytes; }
+  std::uint64_t num_sets() const noexcept { return num_lines() / associativity; }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  // 3C classification (only when classify_misses):
+  std::uint64_t compulsory_misses = 0;
+  std::uint64_t capacity_misses = 0;
+  std::uint64_t conflict_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  std::uint64_t accesses() const noexcept { return hits + misses; }
+  double miss_rate() const noexcept {
+    const std::uint64_t a = accesses();
+    return a == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(a);
+  }
+};
+
+/// One level of cache. Addresses are byte addresses.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Access one byte address; returns true on hit. `write` marks the line
+  /// dirty (write-allocate, write-back).
+  bool access(std::uint64_t addr, bool write);
+
+  /// Invalidate the line containing addr if present (coherence hook);
+  /// returns true if a line was dropped.
+  bool invalidate(std::uint64_t addr);
+
+  /// Is the line containing addr resident?
+  bool contains(std::uint64_t addr) const;
+
+  void reset();
+
+  const CacheConfig& config() const noexcept { return config_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t line_of(std::uint64_t addr) const noexcept {
+    return addr / config_.line_bytes;
+  }
+
+  /// Fully-associative LRU shadow for 3C classification.
+  struct Shadow {
+    std::uint64_t capacity_lines = 0;
+    std::list<std::uint64_t> lru;  // front = most recent
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where;
+    bool access(std::uint64_t line);  // returns hit
+  };
+
+  CacheConfig config_;
+  std::vector<Way> ways_;  // num_sets * associativity
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+  Shadow shadow_;
+  std::unordered_set<std::uint64_t> ever_seen_;  // for compulsory classification
+};
+
+}  // namespace rla::sim

@@ -1,0 +1,73 @@
+#include "cachesim/coherence.hpp"
+
+namespace rla::sim {
+
+SmpCaches::SmpCaches(const SmpConfig& config) : config_(config) {
+  l1_.reserve(config.cores);
+  for (std::uint32_t c = 0; c < config.cores; ++c) l1_.emplace_back(config.l1);
+  touched_.resize(config.cores);
+  lost_.resize(config.cores);
+}
+
+void SmpCaches::access(const CoreRef& ref) {
+  const std::uint64_t line = line_of(ref.addr);
+  const std::uint64_t word_in_line =
+      (ref.addr % config_.l1.line_bytes) / config_.word_bytes;
+  const std::uint64_t word_bit = std::uint64_t{1} << word_in_line;
+
+  Cache& cache = l1_[ref.core];
+  const bool had_line = cache.contains(ref.addr);
+  const bool hit = cache.access(ref.addr, ref.write);
+  if (!hit) {
+    if (lost_[ref.core].erase(line) != 0) ++stats_.coherence_misses;
+    // Fresh copy: start a new touch mask.
+    touched_[ref.core][line] = 0;
+  }
+  (void)had_line;
+  touched_[ref.core][line] |= word_bit;
+
+  if (ref.write) {
+    // Invalidate all other copies (MSI write-invalidate).
+    for (std::uint32_t other = 0; other < config_.cores; ++other) {
+      if (other == ref.core) continue;
+      if (l1_[other].invalidate(ref.addr)) {
+        ++stats_.invalidations;
+        auto it = touched_[other].find(line);
+        const std::uint64_t mask = it == touched_[other].end() ? 0 : it->second;
+        if ((mask & word_bit) != 0) {
+          ++stats_.true_sharing_invalidations;
+        } else {
+          ++stats_.false_sharing_invalidations;
+        }
+        if (it != touched_[other].end()) touched_[other].erase(it);
+        lost_[other].insert(line);
+      }
+    }
+  }
+}
+
+void SmpCaches::reset() {
+  for (Cache& cache : l1_) cache.reset();
+  for (auto& t : touched_) t.clear();
+  for (auto& l : lost_) l.clear();
+  stats_ = CoherenceStats{};
+}
+
+std::uint64_t SmpCaches::total_misses() const {
+  std::uint64_t total = 0;
+  for (const Cache& cache : l1_) total += cache.stats().misses;
+  return total;
+}
+
+std::uint64_t SmpCaches::total_accesses() const {
+  std::uint64_t total = 0;
+  for (const Cache& cache : l1_) total += cache.stats().accesses();
+  return total;
+}
+
+double SmpCaches::miss_rate() const {
+  const std::uint64_t a = total_accesses();
+  return a == 0 ? 0.0 : static_cast<double>(total_misses()) / static_cast<double>(a);
+}
+
+}  // namespace rla::sim

@@ -1,0 +1,28 @@
+#include "cachesim/hierarchy.hpp"
+
+namespace rla::sim {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
+    : config_(config), l1_(config.l1), l2_(config.l2), tlb_(config.tlb) {}
+
+void MemoryHierarchy::access(std::uint64_t addr, bool write) {
+  if (!tlb_.access(addr)) cycles_ += config_.tlb_miss_cycles;
+  if (l1_.access(addr, write)) {
+    cycles_ += config_.l1_hit_cycles;
+    return;
+  }
+  if (l2_.access(addr, write)) {
+    cycles_ += config_.l2_hit_cycles;
+    return;
+  }
+  cycles_ += config_.memory_cycles;
+}
+
+void MemoryHierarchy::reset() {
+  l1_.reset();
+  l2_.reset();
+  tlb_.reset();
+  cycles_ = 0;
+}
+
+}  // namespace rla::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+// Single-core memory hierarchy: TLB + L1 + L2, trace-driven.
+
+#include <cstdint>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/tlb.hpp"
+
+namespace rla::sim {
+
+struct HierarchyConfig {
+  CacheConfig l1{32 * 1024, 64, 2, true};   ///< small, low associativity: the
+                                            ///< conflict-prone level
+  CacheConfig l2{512 * 1024, 64, 8, false};
+  TlbConfig tlb{};
+  /// Simple latency model (cycles) for the aggregate cost metric.
+  std::uint32_t l1_hit_cycles = 1;
+  std::uint32_t l2_hit_cycles = 10;
+  std::uint32_t memory_cycles = 80;
+  std::uint32_t tlb_miss_cycles = 30;
+};
+
+/// One memory access: byte address + read/write.
+struct MemRef {
+  std::uint64_t addr;
+  bool write;
+};
+
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const HierarchyConfig& config);
+
+  /// Run one access through TLB, L1 and (on L1 miss) L2.
+  void access(std::uint64_t addr, bool write);
+
+  void access(const MemRef& ref) { access(ref.addr, ref.write); }
+
+  void reset();
+
+  const Cache& l1() const noexcept { return l1_; }
+  const Cache& l2() const noexcept { return l2_; }
+  const Tlb& tlb() const noexcept { return tlb_; }
+
+  /// Modeled cycles consumed so far.
+  std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Modeled average cycles per access.
+  double cpa() const noexcept {
+    const std::uint64_t a = l1_.stats().accesses();
+    return a == 0 ? 0.0 : static_cast<double>(cycles_) / static_cast<double>(a);
+  }
+
+ private:
+  HierarchyConfig config_;
+  Cache l1_;
+  Cache l2_;
+  Tlb tlb_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace rla::sim

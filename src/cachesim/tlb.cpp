@@ -1,0 +1,39 @@
+#include "cachesim/tlb.hpp"
+
+#include <stdexcept>
+
+#include "layout/bits.hpp"
+
+namespace rla::sim {
+
+Tlb::Tlb(const TlbConfig& config) : config_(config) {
+  if (config.entries == 0 || !bits::is_pow2(config.page_bytes)) {
+    throw std::invalid_argument("Tlb: inconsistent geometry");
+  }
+}
+
+bool Tlb::access(std::uint64_t addr) {
+  const std::uint64_t page = addr / config_.page_bytes;
+  auto it = where_.find(page);
+  if (it != where_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  lru_.push_front(page);
+  where_[page] = lru_.begin();
+  if (lru_.size() > config_.entries) {
+    where_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return false;
+}
+
+void Tlb::reset() {
+  stats_ = TlbStats{};
+  lru_.clear();
+  where_.clear();
+}
+
+}  // namespace rla::sim

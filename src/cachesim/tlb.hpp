@@ -1,0 +1,49 @@
+#pragma once
+
+// Fully-associative LRU TLB model.
+//
+// The paper lists reduced TLB effectiveness among the canonical layout's
+// dilation costs for large matrices; this model quantifies it.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace rla::sim {
+
+struct TlbConfig {
+  std::uint32_t entries = 64;
+  std::uint32_t page_bytes = 4096;  ///< must be a power of two
+};
+
+struct TlbStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  std::uint64_t accesses() const noexcept { return hits + misses; }
+  double miss_rate() const noexcept {
+    const std::uint64_t a = accesses();
+    return a == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(a);
+  }
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config);
+
+  /// Translate one byte address; returns true on TLB hit.
+  bool access(std::uint64_t addr);
+
+  void reset();
+
+  const TlbConfig& config() const noexcept { return config_; }
+  const TlbStats& stats() const noexcept { return stats_; }
+
+ private:
+  TlbConfig config_;
+  TlbStats stats_;
+  std::list<std::uint64_t> lru_;  // front = most recent page
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where_;
+};
+
+}  // namespace rla::sim

@@ -1,0 +1,58 @@
+#include "core/blas.hpp"
+
+#include <mutex>
+
+#include "core/gemm.hpp"
+
+namespace rla {
+
+namespace {
+std::mutex config_mutex;
+GemmConfig global_config;  // NOLINT: intentional process-wide default
+}  // namespace
+
+void set_default_gemm_config(const GemmConfig& cfg) {
+  std::lock_guard<std::mutex> lock(config_mutex);
+  global_config = cfg;
+}
+
+GemmConfig default_gemm_config() {
+  std::lock_guard<std::mutex> lock(config_mutex);
+  return global_config;
+}
+
+}  // namespace rla
+
+extern "C" int rla_dgemm(char transa, char transb, int m, int n, int k,
+                         double alpha, const double* a, int lda, const double* b,
+                         int ldb, double beta, double* c, int ldc) {
+  auto parse_op = [](char flag, rla::Op& op) {
+    switch (flag) {
+      case 'N':
+      case 'n':
+        op = rla::Op::None;
+        return true;
+      case 'T':
+      case 't':
+      case 'C':
+      case 'c':
+        op = rla::Op::Transpose;
+        return true;
+      default:
+        return false;
+    }
+  };
+  rla::Op op_a, op_b;
+  if (!parse_op(transa, op_a) || !parse_op(transb, op_b)) return 1;
+  if (m < 0 || n < 0 || k < 0 || lda < 1 || ldb < 1 || ldc < 1) return 2;
+  try {
+    rla::gemm(static_cast<std::uint32_t>(m), static_cast<std::uint32_t>(n),
+              static_cast<std::uint32_t>(k), alpha, a,
+              static_cast<std::size_t>(lda), op_a, b,
+              static_cast<std::size_t>(ldb), op_b, beta, c,
+              static_cast<std::size_t>(ldc), rla::default_gemm_config());
+  } catch (const std::exception&) {
+    return 3;
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+#pragma once
+
+// BLAS-compatible C entry point (paper §2.1: "all our implementations follow
+// the same calling conventions as the dgemm subroutine in the Level 3 BLAS
+// library").
+//
+// rla_dgemm is a drop-in signature for the classic C-style dgemm wrapper:
+// Fortran column-major arrays, character transpose flags. The layout /
+// algorithm used by calls through this entry are process-wide configuration
+// (set_default_gemm_config), since the BLAS interface has no parameter for
+// them.
+
+#include "core/config.hpp"
+
+namespace rla {
+
+/// Set the configuration used by rla_dgemm. Thread-safe (mutex-guarded
+/// copy); affects subsequent calls.
+void set_default_gemm_config(const GemmConfig& cfg);
+
+/// Current rla_dgemm configuration.
+GemmConfig default_gemm_config();
+
+}  // namespace rla
+
+extern "C" {
+
+/// C ← alpha·op(A)·op(B) + beta·C. `transa`/`transb` accept 'N'/'n' (no
+/// transpose) or 'T'/'t'/'C'/'c' (transpose; conjugation is a no-op for
+/// real data). Returns 0 on success, nonzero on invalid arguments (instead
+/// of calling xerbla).
+int rla_dgemm(char transa, char transb, int m, int n, int k, double alpha,
+              const double* a, int lda, const double* b, int ldb, double beta,
+              double* c, int ldc);
+
+}  // extern "C"

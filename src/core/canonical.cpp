@@ -1,0 +1,373 @@
+#include "core/canonical.hpp"
+
+#include <array>
+#include <cassert>
+
+#include "core/kernels.hpp"
+
+namespace rla {
+
+namespace {
+
+ConstMatrixView sub(ConstMatrixView v, std::uint32_t r0, std::uint32_t c0,
+                    std::uint32_t rows, std::uint32_t cols) {
+  return {v.data + static_cast<std::size_t>(c0) * v.ld + r0, v.ld, rows, cols};
+}
+
+MatrixView sub(MatrixView v, std::uint32_t r0, std::uint32_t c0, std::uint32_t rows,
+               std::uint32_t cols) {
+  return {v.data + static_cast<std::size_t>(c0) * v.ld + r0, v.ld, rows, cols};
+}
+
+void leaf(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
+          ConstMatrixView b) {
+  leaf_mm(ctx.kernel, c.rows, c.cols, a.cols, 1.0, a.data, a.ld, b.data, b.ld,
+          c.data, c.ld);
+}
+
+// Column-major multi-operand accumulators over views (the canonical-path
+// counterparts of the tiled block_accN routines).
+void sacc2(MatrixView d, double s1, ConstMatrixView p1, double s2,
+           ConstMatrixView p2) {
+  for (std::uint32_t j = 0; j < d.cols; ++j) {
+    vacc2(&d(0, j), s1, &p1(0, j), s2, &p2(0, j), d.rows);
+  }
+}
+
+void sacc3(MatrixView d, double s1, ConstMatrixView p1, double s2,
+           ConstMatrixView p2, double s3, ConstMatrixView p3) {
+  for (std::uint32_t j = 0; j < d.cols; ++j) {
+    vacc3(&d(0, j), s1, &p1(0, j), s2, &p2(0, j), s3, &p3(0, j), d.rows);
+  }
+}
+
+void sacc4(MatrixView d, double s1, ConstMatrixView p1, double s2,
+           ConstMatrixView p2, double s3, ConstMatrixView p3, double s4,
+           ConstMatrixView p4) {
+  for (std::uint32_t j = 0; j < d.cols; ++j) {
+    vacc4(&d(0, j), s1, &p1(0, j), s2, &p2(0, j), s3, &p3(0, j), s4, &p4(0, j),
+          d.rows);
+  }
+}
+
+void sset_add(MatrixView d, ConstMatrixView a, double sb, ConstMatrixView b) {
+  strided_set_add(d.data, d.ld, a.data, a.ld, sb, b.data, b.ld, d.rows, d.cols);
+}
+
+void sacc(MatrixView d, double s, ConstMatrixView src) {
+  strided_acc(d.data, d.ld, s, src.data, src.ld, d.rows, d.cols);
+}
+
+template <typename F>
+void fork(TaskGroup& group, bool parallel, F&& f) {
+  if (parallel) {
+    group.spawn(std::forward<F>(f));
+  } else {
+    f();
+  }
+}
+
+std::uint64_t flops(std::uint64_t m, std::uint64_t n, std::uint64_t k) {
+  return 2 * m * n * k;
+}
+
+struct Quads {
+  std::uint32_t h;
+};
+
+}  // namespace
+
+void canon_standard(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
+                    ConstMatrixView b) {
+  const std::uint32_t m = c.rows, n = c.cols, k = a.cols;
+  if (m <= ctx.leaf && n <= ctx.leaf && k <= ctx.leaf) {
+    leaf(ctx, c, a, b);
+    return;
+  }
+  // Ceiling-half boundaries for each dimension that needs splitting.
+  auto bounds = [&](std::uint32_t x) {
+    std::array<std::uint32_t, 3> edges{0, x, x};
+    std::size_t pieces = 1;
+    if (x > ctx.leaf) {
+      edges[1] = (x + 1) / 2;
+      pieces = 2;
+    }
+    return std::pair(edges, pieces);
+  };
+  const auto [me, mp] = bounds(m);
+  const auto [ne, np] = bounds(n);
+  const auto [ke, kp] = bounds(k);
+  const bool par =
+      !ctx.pool->serial() && flops(m, n, k) >= ctx.spawn_flops;
+
+  TaskGroup group(*ctx.pool);
+  for (std::size_t mi = 0; mi < mp; ++mi) {
+    for (std::size_t nj = 0; nj < np; ++nj) {
+      const std::uint32_t r0 = me[mi], rows = me[mi + 1] - me[mi];
+      const std::uint32_t c0 = ne[nj], cols = ne[nj + 1] - ne[nj];
+      MatrixView cc = sub(c, r0, c0, rows, cols);
+      fork(group, par, [=, &ctx, &ke = ke, kp = kp] {
+        if (kp == 1) {
+          canon_standard(ctx, cc, sub(a, r0, 0, rows, k), sub(b, 0, c0, k, cols));
+          return;
+        }
+        const std::uint32_t k1 = ke[1];
+        ConstMatrixView a1 = sub(a, r0, 0, rows, k1);
+        ConstMatrixView a2 = sub(a, r0, k1, rows, k - k1);
+        ConstMatrixView b1 = sub(b, 0, c0, k1, cols);
+        ConstMatrixView b2 = sub(b, k1, c0, k - k1, cols);
+        if (ctx.standard_variant == StandardVariant::Temporaries && par) {
+          // Paper Fig. 1(a) parallel form: both k-halves at once, the second
+          // into a temporary folded in by a post-addition.
+          Matrix tmp(rows, cols);
+          TaskGroup inner(*ctx.pool);
+          inner.spawn([=, &ctx] { canon_standard(ctx, cc, a1, b1); });
+          inner.spawn([&tmp, a2, b2, &ctx] {
+            tmp.zero();
+            canon_standard(ctx, tmp.view(), a2, b2);
+          });
+          inner.wait();
+          sacc(cc, 1.0, tmp.view());
+        } else {
+          canon_standard(ctx, cc, a1, b1);
+          canon_standard(ctx, cc, a2, b2);
+        }
+      });
+    }
+  }
+  group.wait();
+}
+
+namespace {
+
+/// Shared implementation of the two fast canonical recursions.
+template <typename Recurse>
+void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
+                     ConstMatrixView b, bool winograd, Recurse&& recurse) {
+  const std::uint32_t s = c.rows;
+  assert(c.cols == s && a.cols == s && b.rows == s);
+  if (s <= ctx.leaf || (s & 1) != 0) {
+    leaf(ctx, c, a, b);
+    return;
+  }
+  const std::uint32_t h = s / 2;
+  const bool par = !ctx.pool->serial() && flops(s, s, s) >= ctx.spawn_flops;
+
+  ConstMatrixView a11 = sub(a, 0, 0, h, h), a12 = sub(a, 0, h, h, h);
+  ConstMatrixView a21 = sub(a, h, 0, h, h), a22 = sub(a, h, h, h, h);
+  ConstMatrixView b11 = sub(b, 0, 0, h, h), b12 = sub(b, 0, h, h, h);
+  ConstMatrixView b21 = sub(b, h, 0, h, h), b22 = sub(b, h, h, h, h);
+  MatrixView c11 = sub(c, 0, 0, h, h), c12 = sub(c, 0, h, h, h);
+  MatrixView c21 = sub(c, h, 0, h, h), c22 = sub(c, h, h, h, h);
+
+  // Temporaries are compact (ld == h): each level of the fast recursions
+  // halves the leading dimension (paper §5.1).
+  const int n_s = winograd ? 4 : 5;
+  const int n_t = winograd ? 4 : 5;
+  std::array<Matrix, 5> S, T;
+  std::array<Matrix, 7> P;
+  for (int i = 0; i < n_s; ++i) S[static_cast<std::size_t>(i)] = Matrix(h, h);
+  for (int i = 0; i < n_t; ++i) T[static_cast<std::size_t>(i)] = Matrix(h, h);
+  for (auto& p : P) p = Matrix(h, h);
+  auto sv = [&](int i) { return S[static_cast<std::size_t>(i - 1)].view(); };
+  auto tv = [&](int i) { return T[static_cast<std::size_t>(i - 1)].view(); };
+  auto pv = [&](int i) { return P[static_cast<std::size_t>(i - 1)].view(); };
+
+  {
+    TaskGroup group(*ctx.pool);
+    if (!winograd) {
+      fork(group, par, [&] { sset_add(sv(1), a11, +1.0, a22); });
+      fork(group, par, [&] { sset_add(sv(2), a21, +1.0, a22); });
+      // S3 = A11 + A12 (see the sign note in recursion.cpp).
+      fork(group, par, [&] { sset_add(sv(3), a11, +1.0, a12); });
+      fork(group, par, [&] { sset_add(sv(4), a21, -1.0, a11); });
+      fork(group, par, [&] { sset_add(sv(5), a12, -1.0, a22); });
+      fork(group, par, [&] { sset_add(tv(1), b11, +1.0, b22); });
+      fork(group, par, [&] { sset_add(tv(2), b12, -1.0, b22); });
+      fork(group, par, [&] { sset_add(tv(3), b21, -1.0, b11); });
+      fork(group, par, [&] { sset_add(tv(4), b11, +1.0, b12); });
+      fork(group, par, [&] { sset_add(tv(5), b21, +1.0, b22); });
+    } else {
+      fork(group, par, [&] {
+        sset_add(sv(1), a21, +1.0, a22);
+        sset_add(sv(2), sv(1), -1.0, a11);
+        sset_add(sv(4), a12, -1.0, sv(2));
+      });
+      fork(group, par, [&] { sset_add(sv(3), a11, -1.0, a21); });
+      fork(group, par, [&] {
+        sset_add(tv(1), b12, -1.0, b11);
+        sset_add(tv(2), b22, -1.0, tv(1));
+        sset_add(tv(4), b21, -1.0, tv(2));
+      });
+      fork(group, par, [&] { sset_add(tv(3), b22, -1.0, b12); });
+    }
+    group.wait();
+  }
+  {
+    TaskGroup group(*ctx.pool);
+    auto product = [&](MatrixView dst, ConstMatrixView x, ConstMatrixView y) {
+      return [=, &ctx, &recurse] {
+        strided_scale(dst.data, dst.ld, 0.0, dst.rows, dst.cols);
+        recurse(ctx, dst, x, y);
+      };
+    };
+    if (!winograd) {
+      fork(group, par, product(pv(1), sv(1), tv(1)));
+      fork(group, par, product(pv(2), sv(2), b11));
+      fork(group, par, product(pv(3), a11, tv(2)));
+      fork(group, par, product(pv(4), a22, tv(3)));
+      fork(group, par, product(pv(5), sv(3), b22));
+      fork(group, par, product(pv(6), sv(4), tv(4)));
+      fork(group, par, product(pv(7), sv(5), tv(5)));
+    } else {
+      fork(group, par, product(pv(1), a11, b11));
+      fork(group, par, product(pv(2), a12, b21));
+      fork(group, par, product(pv(3), sv(1), tv(1)));
+      fork(group, par, product(pv(4), sv(2), tv(2)));
+      fork(group, par, product(pv(5), sv(3), tv(3)));
+      fork(group, par, product(pv(6), sv(4), b22));
+      fork(group, par, product(pv(7), a22, tv(4)));
+    }
+    group.wait();
+  }
+  TaskGroup group(*ctx.pool);
+  if (!winograd) {
+    fork(group, par, [&] { sacc4(c11, +1.0, pv(1), +1.0, pv(4), -1.0, pv(5), +1.0, pv(7)); });
+    fork(group, par, [&] { sacc2(c21, +1.0, pv(2), +1.0, pv(4)); });
+    fork(group, par, [&] { sacc2(c12, +1.0, pv(3), +1.0, pv(5)); });
+    fork(group, par, [&] { sacc4(c22, +1.0, pv(1), +1.0, pv(3), -1.0, pv(2), +1.0, pv(6)); });
+  } else {
+    fork(group, par, [&] { sacc2(c11, +1.0, pv(1), +1.0, pv(2)); });
+    fork(group, par, [&] {
+      sacc(pv(4), 1.0, pv(1));  // U2 = P1 + P4
+      sacc(pv(5), 1.0, pv(4));  // U3 = U2 + P5
+      TaskGroup inner(*ctx.pool);
+      fork(inner, par, [&] { sacc2(c21, +1.0, pv(5), +1.0, pv(7)); });
+      fork(inner, par, [&] { sacc2(c22, +1.0, pv(5), +1.0, pv(3)); });
+      fork(inner, par, [&] { sacc3(c12, +1.0, pv(4), +1.0, pv(3), +1.0, pv(6)); });
+      inner.wait();
+    });
+  }
+  group.wait();
+}
+
+/// Paper §5.1's sequential space-conserving variant on canonical views:
+/// one S, one T, one P buffer; see the tiled counterpart in recursion.cpp.
+void canon_fast_lowmem(const CanonContext& ctx, bool winograd, MatrixView c,
+                       ConstMatrixView a, ConstMatrixView b) {
+  const std::uint32_t size = c.rows;
+  if (size <= ctx.leaf || (size & 1) != 0) {
+    leaf(ctx, c, a, b);
+    return;
+  }
+  const std::uint32_t h = size / 2;
+  ConstMatrixView a11 = sub(a, 0, 0, h, h), a12 = sub(a, 0, h, h, h);
+  ConstMatrixView a21 = sub(a, h, 0, h, h), a22 = sub(a, h, h, h, h);
+  ConstMatrixView b11 = sub(b, 0, 0, h, h), b12 = sub(b, 0, h, h, h);
+  ConstMatrixView b21 = sub(b, h, 0, h, h), b22 = sub(b, h, h, h, h);
+  MatrixView c11 = sub(c, 0, 0, h, h), c12 = sub(c, 0, h, h, h);
+  MatrixView c21 = sub(c, h, 0, h, h), c22 = sub(c, h, h, h, h);
+
+  Matrix s_buf(h, h), t_buf(h, h), p_buf(h, h);
+  MatrixView s = s_buf.view(), t = t_buf.view(), p = p_buf.view();
+  auto product = [&](ConstMatrixView x, ConstMatrixView y) {
+    p_buf.zero();
+    canon_fast_lowmem(ctx, winograd, p, x, y);
+  };
+
+  if (!winograd) {
+    sset_add(s, a11, +1.0, a22);
+    sset_add(t, b11, +1.0, b22);
+    product(s, t);  // P1 -> C11, C22
+    sacc(c11, +1.0, p);
+    sacc(c22, +1.0, p);
+    sset_add(s, a21, +1.0, a22);
+    product(s, b11);  // P2 -> C21, -C22
+    sacc(c21, +1.0, p);
+    sacc(c22, -1.0, p);
+    sset_add(t, b12, -1.0, b22);
+    product(a11, t);  // P3 -> C12, C22
+    sacc(c12, +1.0, p);
+    sacc(c22, +1.0, p);
+    sset_add(t, b21, -1.0, b11);
+    product(a22, t);  // P4 -> C11, C21
+    sacc(c11, +1.0, p);
+    sacc(c21, +1.0, p);
+    sset_add(s, a11, +1.0, a12);
+    product(s, b22);  // P5 -> -C11, C12
+    sacc(c11, -1.0, p);
+    sacc(c12, +1.0, p);
+    sset_add(s, a21, -1.0, a11);
+    sset_add(t, b11, +1.0, b12);
+    product(s, t);  // P6 -> C22
+    sacc(c22, +1.0, p);
+    sset_add(s, a12, -1.0, a22);
+    sset_add(t, b21, +1.0, b22);
+    product(s, t);  // P7 -> C11
+    sacc(c11, +1.0, p);
+    return;
+  }
+
+  // Winograd with expanded U-chains (see recursion.cpp).
+  product(a11, b11);  // P1 -> all four
+  sacc(c11, +1.0, p);
+  sacc(c21, +1.0, p);
+  sacc(c22, +1.0, p);
+  sacc(c12, +1.0, p);
+  product(a12, b21);  // P2 -> C11
+  sacc(c11, +1.0, p);
+  sset_add(s, a21, +1.0, a22);
+  sset_add(t, b12, -1.0, b11);
+  product(s, t);  // P3 -> C22, C12
+  sacc(c22, +1.0, p);
+  sacc(c12, +1.0, p);
+  sset_add(s, a21, +1.0, a22);
+  sacc(s, -1.0, a11);
+  sset_add(t, b22, -1.0, b12);
+  sacc(t, +1.0, b11);
+  product(s, t);  // P4 -> C21, C22, C12
+  sacc(c21, +1.0, p);
+  sacc(c22, +1.0, p);
+  sacc(c12, +1.0, p);
+  sset_add(s, a11, -1.0, a21);
+  sset_add(t, b22, -1.0, b12);
+  product(s, t);  // P5 -> C21, C22
+  sacc(c21, +1.0, p);
+  sacc(c22, +1.0, p);
+  sset_add(s, a12, -1.0, a21);
+  sacc(s, -1.0, a22);
+  sacc(s, +1.0, a11);
+  product(s, b22);  // P6 -> C12
+  sacc(c12, +1.0, p);
+  sset_add(t, b21, -1.0, b22);
+  sacc(t, +1.0, b12);
+  sacc(t, -1.0, b11);
+  product(a22, t);  // P7 -> C21
+  sacc(c21, +1.0, p);
+}
+
+}  // namespace
+
+void canon_strassen(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
+                    ConstMatrixView b) {
+  if (ctx.fast_variant == FastVariant::SerialLowMem) {
+    canon_fast_lowmem(ctx, /*winograd=*/false, c, a, b);
+    return;
+  }
+  canon_fast_node(ctx, c, a, b, /*winograd=*/false,
+                  [](const CanonContext& cx, MatrixView cc, ConstMatrixView aa,
+                     ConstMatrixView bb) { canon_strassen(cx, cc, aa, bb); });
+}
+
+void canon_winograd(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
+                    ConstMatrixView b) {
+  if (ctx.fast_variant == FastVariant::SerialLowMem) {
+    canon_fast_lowmem(ctx, /*winograd=*/true, c, a, b);
+    return;
+  }
+  canon_fast_node(ctx, c, a, b, /*winograd=*/true,
+                  [](const CanonContext& cx, MatrixView cc, ConstMatrixView aa,
+                     ConstMatrixView bb) { canon_winograd(cx, cc, aa, bb); });
+}
+
+}  // namespace rla

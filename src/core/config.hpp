@@ -1,0 +1,104 @@
+#pragma once
+
+// User-facing configuration of the gemm driver.
+
+#include <cstdint>
+#include <string_view>
+
+#include "layout/curve.hpp"
+#include "layout/tiled_layout.hpp"
+
+namespace rla {
+
+class WorkerPool;
+
+/// Which multiplication recursion to run (paper §2, Fig. 1).
+enum class Algorithm : std::uint8_t {
+  Standard,  ///< 8 recursive multiplies, O(n^3)
+  Strassen,  ///< 7 multiplies + 18 adds, O(n^lg 7)
+  Winograd,  ///< 7 multiplies + 15 adds (minimum possible)
+};
+
+/// How the standard algorithm arranges its 8 products.
+enum class StandardVariant : std::uint8_t {
+  /// Paper Fig. 1(a): all 8 products spawned at once, the second four into
+  /// quadrant-sized temporaries, followed by 4 post-additions.
+  Temporaries,
+  /// Two phases of 4 accumulating products; no temporaries, half the
+  /// one-level parallelism (ablation of the paper's choice).
+  InPlace,
+};
+
+/// How the fast algorithms organize their seven products.
+enum class FastVariant : std::uint8_t {
+  /// Paper §2: all pre-additions, then all seven products spawned in
+  /// parallel, then the post-additions — maximum parallelism, temporaries
+  /// for every S/T/P.
+  Parallel,
+  /// Paper §5.1's space-conserving sequential variant: recursive calls are
+  /// interspersed with the pre- and post-additions, reusing one S, one T
+  /// and one P buffer. No parallelism, far less memory; the paper observes
+  /// it "behaves more like the standard algorithm" with respect to layouts.
+  SerialLowMem,
+};
+
+/// Leaf-level multiply kernel tiers (stand-ins for the paper's Fig. 7
+/// compiler/BLAS tiers; see DESIGN.md).
+enum class KernelKind : std::uint8_t {
+  Naive,          ///< textbook jik dot-product loop
+  TiledUnrolled,  ///< the paper's C kernel: tiled loops, k unrolled 4-way
+  Blocked4x4,     ///< register-blocked 4x4 micro-kernel ("native BLAS" tier)
+};
+
+std::string_view algorithm_name(Algorithm a) noexcept;
+std::string_view kernel_name(KernelKind k) noexcept;
+bool parse_algorithm(std::string_view text, Algorithm& out) noexcept;
+
+/// Transposition selector for gemm operands (BLAS op(X)).
+enum class Op : std::uint8_t { None, Transpose };
+
+struct GemmConfig {
+  /// Array layout. Curve::ColMajor runs the canonical baseline (standard
+  /// algorithm in place on the user's arrays; fast algorithms on padded
+  /// column-major copies). The recursive curves use tiled storage per Eq. 3.
+  Curve layout = Curve::ZMorton;
+
+  Algorithm algorithm = Algorithm::Standard;
+  StandardVariant standard_variant = StandardVariant::Temporaries;
+  FastVariant fast_variant = FastVariant::Parallel;
+
+  /// Tile-size range [T_min, T_max] (paper §4).
+  TileRange tiles{};
+
+  /// Force the recursion depth d (tile grid 2^d); -1 = choose automatically.
+  /// Used by the Fig. 4 tile-size experiment. Only honoured when feasible
+  /// tile shapes result (tile edges >= 1).
+  int forced_depth = -1;
+
+  /// Strassen/Winograd switch to the standard recursion for blocks of
+  /// 2^level tiles or fewer. 0 = run the fast recurrence all the way down to
+  /// single tiles (the paper's configuration).
+  int fast_cutoff_level = 0;
+
+  /// Worker threads. 0 or 1 = serial execution. Ignored if `pool` is set.
+  unsigned threads = 0;
+
+  /// Optional externally managed pool (avoids per-call thread start-up).
+  WorkerPool* pool = nullptr;
+
+  KernelKind kernel = KernelKind::TiledUnrolled;
+
+  /// Use the generic (mapping-array) path for *all* quadrant additions
+  /// instead of the streaming / Gray-half-step fast paths; ablation knob for
+  /// bench_addressing.
+  bool force_generic_additions = false;
+
+  /// Frens–Wise zero-block flags (paper §4's alternative to blind padding
+  /// arithmetic): scan A and B after conversion and skip products whose
+  /// operand block is entirely zero. Standard algorithm on recursive
+  /// layouts only; pays an O(n²) scan plus a per-node test, wins on
+  /// block-sparse or heavily padded operands.
+  bool skip_zero_tiles = false;
+};
+
+}  // namespace rla

@@ -1,0 +1,327 @@
+#include "core/gemm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "core/canonical.hpp"
+#include "core/kernels.hpp"
+#include "core/recursion.hpp"
+#include "core/zero_tree.hpp"
+#include "layout/bits.hpp"
+#include "layout/convert.hpp"
+#include "parallel/worker_pool.hpp"
+#include "util/timer.hpp"
+
+namespace rla {
+
+namespace {
+
+/// Mutable accumulation wrapper so split pieces can report concurrently.
+struct ProfileSink {
+  GemmProfile* out = nullptr;
+  std::mutex mutex;
+
+  void add(double conv_in, double compute, double conv_out, int depth,
+           std::uint32_t tm, std::uint32_t tk, std::uint32_t tn) {
+    if (out == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    out->convert_in += conv_in;
+    out->compute += compute;
+    out->convert_out += conv_out;
+    out->depth = depth;
+    out->tile_m = tm;
+    out->tile_k = tk;
+    out->tile_n = tn;
+  }
+
+  void count_split() {
+    if (out == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    ++out->splits;
+  }
+};
+
+struct Operand {
+  const double* data;
+  std::size_t ld;
+  bool transpose;
+
+  /// Pointer to logical element (i, j) of op(X).
+  const double* at(std::uint32_t i, std::uint32_t j) const {
+    return transpose ? data + static_cast<std::size_t>(i) * ld + j
+                     : data + static_cast<std::size_t>(j) * ld + i;
+  }
+};
+
+/// One squat gemm piece on the recursive layout, at the given shared depth.
+void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                     double alpha, Operand a, Operand b, double beta, double* c,
+                     std::size_t ldc, int depth, const GemmConfig& cfg,
+                     WorkerPool& pool, ProfileSink& sink) {
+  const TileGeometry ga = make_geometry(m, k, depth, cfg.layout);
+  const TileGeometry gb = make_geometry(k, n, depth, cfg.layout);
+  const TileGeometry gc = make_geometry(m, n, depth, cfg.layout);
+
+  TiledMatrix ta(ga), tb(gb), tc(gc);
+
+  const std::uint64_t tiles = ga.tile_count();
+  const std::uint64_t grain =
+      std::max<std::uint64_t>(1, tiles / (8 * (pool.thread_count() + 1)));
+
+  Timer timer;
+  // Parallel remap (paper §4: "amenable to parallel execution"); α is folded
+  // into A's remap and β into C's.
+  pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
+    canonical_to_tiled(a.data, a.ld, a.transpose, alpha, ga, ta.data(), s0, s1);
+  });
+  pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
+    canonical_to_tiled(b.data, b.ld, b.transpose, 1.0, gb, tb.data(), s0, s1);
+  });
+  if (beta == 0.0) {
+    tc.zero();
+  } else {
+    pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
+      canonical_to_tiled(c, ldc, false, beta, gc, tc.data(), s0, s1);
+    });
+  }
+  const double conv_in = timer.seconds();
+
+  timer.reset();
+  MulContext ctx;
+  ctx.kernel = cfg.kernel;
+  ctx.standard_variant = cfg.standard_variant;
+  ctx.fast_variant = cfg.fast_variant;
+  ctx.fast_cutoff_level = cfg.fast_cutoff_level;
+  ctx.force_generic_additions = cfg.force_generic_additions;
+  ctx.pool = &pool;
+  ZeroTree zero_a, zero_b;
+  if (cfg.skip_zero_tiles && cfg.algorithm == Algorithm::Standard) {
+    zero_a = ZeroTree::build(ta, &pool);
+    zero_b = ZeroTree::build(tb, &pool);
+    ctx.zero_a = &zero_a;
+    ctx.zero_b = &zero_b;
+  }
+  mul_dispatch(ctx, cfg.algorithm, tc.root(), ta.root(), tb.root());
+  const double compute = timer.seconds();
+
+  timer.reset();
+  pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
+    tiled_to_canonical(tc.data(), gc, c, ldc, s0, s1);
+  });
+  sink.add(conv_in, compute, timer.seconds(), depth, ga.tile_rows, ga.tile_cols,
+           gb.tile_cols);
+}
+
+std::optional<int> choose_depth(std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                                const GemmConfig& cfg) {
+  if (cfg.forced_depth >= 0) {
+    // Explicit depth (Fig. 4 experiment). Honoured whenever it yields tiles
+    // of at least one element per side.
+    const std::uint32_t side = std::uint32_t{1} << cfg.forced_depth;
+    if (side <= std::max({m, n, k})) return cfg.forced_depth;
+    return std::nullopt;
+  }
+  const std::array<std::uint64_t, 3> dims{m, k, n};
+  return common_depth(dims, cfg.tiles);
+}
+
+/// Cut an extent near its midpoint, rounded to a multiple of t_max so the
+/// resulting pieces tile cleanly.
+std::uint32_t split_point(std::uint32_t x, const TileRange& tiles) {
+  const std::uint32_t unit = tiles.t_max;
+  std::uint32_t cut = (x / 2 / unit) * unit;
+  if (cut == 0) cut = std::min(unit, x - 1);
+  return cut;
+}
+
+void run_or_split(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
+                  Operand a, Operand b, double beta, double* c, std::size_t ldc,
+                  const GemmConfig& cfg, WorkerPool& pool, ProfileSink& sink) {
+  if (cfg.forced_depth >= 0) {
+    const auto depth = choose_depth(m, n, k, cfg);
+    if (!depth) throw std::invalid_argument("forced_depth infeasible for shape");
+    run_tiled_piece(m, n, k, alpha, a, b, beta, c, ldc, *depth, cfg, pool, sink);
+    return;
+  }
+  if (const auto depth = choose_depth(m, n, k, cfg)) {
+    run_tiled_piece(m, n, k, alpha, a, b, beta, c, ldc, *depth, cfg, pool, sink);
+    return;
+  }
+  // Wide or lean shape (paper Fig. 3): split the largest extent and
+  // reconstruct the product from squat pieces.
+  sink.count_split();
+  if (m >= n && m >= k) {
+    const std::uint32_t cut = split_point(m, cfg.tiles);
+    TaskGroup group(pool);
+    group.spawn([=, &cfg, &pool, &sink] {
+      run_or_split(cut, n, k, alpha, a, b, beta, c, ldc, cfg, pool, sink);
+    });
+    Operand a2{a.at(cut, 0), a.ld, a.transpose};
+    group.run([=, &cfg, &pool, &sink] {
+      run_or_split(m - cut, n, k, alpha, a2, b, beta, c + cut, ldc, cfg, pool, sink);
+    });
+    group.wait();
+  } else if (n >= k) {
+    const std::uint32_t cut = split_point(n, cfg.tiles);
+    TaskGroup group(pool);
+    group.spawn([=, &cfg, &pool, &sink] {
+      run_or_split(m, cut, k, alpha, a, b, beta, c, ldc, cfg, pool, sink);
+    });
+    Operand b2{b.at(0, cut), b.ld, b.transpose};
+    group.run([=, &cfg, &pool, &sink] {
+      run_or_split(m, n - cut, k, alpha, a, b2, beta,
+                   c + static_cast<std::size_t>(cut) * ldc, ldc, cfg, pool, sink);
+    });
+    group.wait();
+  } else {
+    // Inner-dimension split: the two pieces accumulate into the same C, so
+    // they run sequentially (the second with β = 1).
+    const std::uint32_t cut = split_point(k, cfg.tiles);
+    run_or_split(m, n, cut, alpha, a, b, beta, c, ldc, cfg, pool, sink);
+    Operand a2{a.at(0, cut), a.ld, a.transpose};
+    Operand b2{b.at(cut, 0), b.ld, b.transpose};
+    run_or_split(m, n, k - cut, alpha, a2, b2, 1.0, c, ldc, cfg, pool, sink);
+  }
+}
+
+/// Canonical-layout baseline. The standard algorithm runs in place on the
+/// caller's arrays (materializing op/α copies only when needed); the fast
+/// algorithms run on padded square copies.
+void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
+                   Operand a, Operand b, double beta, double* c, std::size_t ldc,
+                   const GemmConfig& cfg, WorkerPool& pool, ProfileSink& sink) {
+  CanonContext ctx;
+  ctx.kernel = cfg.kernel;
+  ctx.standard_variant = cfg.standard_variant;
+  ctx.fast_variant = cfg.fast_variant;
+  ctx.leaf = cfg.tiles.t_max;
+  ctx.pool = &pool;
+
+  Timer timer;
+  if (cfg.algorithm == Algorithm::Standard) {
+    // Materialize op(A)/op(B) and fold α only when required.
+    std::optional<Matrix> a_copy, b_copy;
+    ConstMatrixView av{a.data, a.ld, m, k};
+    if (a.transpose || alpha != 1.0) {
+      a_copy.emplace(m, k);
+      if (a.transpose) {
+        strided_transpose(a_copy->data(), a_copy->ld(), a.data, a.ld, m, k);
+      } else {
+        strided_copy(a_copy->data(), a_copy->ld(), a.data, a.ld, m, k);
+      }
+      if (alpha != 1.0) strided_scale(a_copy->data(), a_copy->ld(), alpha, m, k);
+      av = a_copy->view();
+    }
+    std::optional<Matrix> b_t;
+    ConstMatrixView bv{b.data, b.ld, k, n};
+    if (b.transpose) {
+      b_t.emplace(k, n);
+      strided_transpose(b_t->data(), b_t->ld(), b.data, b.ld, k, n);
+      bv = b_t->view();
+    }
+    const double conv = timer.seconds();
+    timer.reset();
+    if (beta != 1.0) strided_scale(c, ldc, beta, m, n);
+    canon_standard(ctx, MatrixView{c, ldc, m, n}, av, bv);
+    sink.add(conv, timer.seconds(), 0.0, 0, 0, 0, 0);
+    return;
+  }
+
+  // Fast algorithms: pad to a square whose side halves down to the leaf.
+  const std::uint32_t big = std::max({m, n, k, cfg.tiles.t_max});
+  const int levels = static_cast<int>(
+      bits::ceil_log2(bits::ceil_div(big, cfg.tiles.t_max)));
+  const std::uint32_t side = static_cast<std::uint32_t>(
+      bits::ceil_div(big, std::uint64_t{1} << levels) << levels);
+
+  Matrix pa(side, side), pb(side, side), pc(side, side);
+  pa.zero();
+  pb.zero();
+  pc.zero();
+  if (a.transpose) {
+    strided_transpose(pa.data(), pa.ld(), a.data, a.ld, m, k);
+  } else {
+    strided_copy(pa.data(), pa.ld(), a.data, a.ld, m, k);
+  }
+  if (alpha != 1.0) strided_scale(pa.data(), pa.ld(), alpha, m, k);
+  if (b.transpose) {
+    strided_transpose(pb.data(), pb.ld(), b.data, b.ld, k, n);
+  } else {
+    strided_copy(pb.data(), pb.ld(), b.data, b.ld, k, n);
+  }
+  const double conv_in = timer.seconds();
+
+  timer.reset();
+  if (cfg.algorithm == Algorithm::Strassen) {
+    canon_strassen(ctx, pc.view(), pa.view(), pb.view());
+  } else {
+    canon_winograd(ctx, pc.view(), pa.view(), pb.view());
+  }
+  const double compute = timer.seconds();
+
+  timer.reset();
+  if (beta != 1.0) strided_scale(c, ldc, beta, m, n);
+  strided_acc(c, ldc, 1.0, pc.data(), pc.ld(), m, n);
+  sink.add(conv_in, compute, timer.seconds(), levels, side, side, side);
+}
+
+}  // namespace
+
+void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
+          const double* a, std::size_t lda, Op op_a, const double* b,
+          std::size_t ldb, Op op_b, double beta, double* c, std::size_t ldc,
+          const GemmConfig& cfg, GemmProfile* profile) {
+  if (c == nullptr || ldc < m) throw std::invalid_argument("gemm: bad C/ldc");
+  if (m == 0 || n == 0) return;
+  if (profile != nullptr) *profile = GemmProfile{};
+
+  Timer total;
+  if (alpha == 0.0 || k == 0) {
+    if (beta != 1.0) strided_scale(c, ldc, beta, m, n);
+    if (profile != nullptr) profile->total = total.seconds();
+    return;
+  }
+  if (a == nullptr || b == nullptr) throw std::invalid_argument("gemm: null A/B");
+  if ((op_a == Op::None && lda < m) || (op_a == Op::Transpose && lda < k)) {
+    throw std::invalid_argument("gemm: bad lda");
+  }
+  if ((op_b == Op::None && ldb < k) || (op_b == Op::Transpose && ldb < n)) {
+    throw std::invalid_argument("gemm: bad ldb");
+  }
+  if (cfg.layout == Curve::RowMajor) {
+    throw std::invalid_argument("gemm: RowMajor is not a supported gemm layout");
+  }
+
+  std::optional<WorkerPool> owned;
+  WorkerPool* pool = cfg.pool;
+  if (pool == nullptr) {
+    owned.emplace(cfg.threads <= 1 ? 0u : cfg.threads);
+    pool = &*owned;
+  }
+
+  ProfileSink sink;
+  sink.out = profile;
+  const Operand oa{a, lda, op_a == Op::Transpose};
+  const Operand ob{b, ldb, op_b == Op::Transpose};
+
+  if (cfg.layout == Curve::ColMajor) {
+    run_canonical(m, n, k, alpha, oa, ob, beta, c, ldc, cfg, *pool, sink);
+  } else {
+    run_or_split(m, n, k, alpha, oa, ob, beta, c, ldc, cfg, *pool, sink);
+  }
+  if (profile != nullptr) profile->total = total.seconds();
+}
+
+void multiply(Matrix& c, const Matrix& a, const Matrix& b, const GemmConfig& cfg,
+              GemmProfile* profile) {
+  if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw std::invalid_argument("multiply: shape mismatch");
+  }
+  gemm(c.rows(), c.cols(), a.cols(), 1.0, a.data(), a.ld(), Op::None, b.data(),
+       b.ld(), Op::None, 0.0, c.data(), c.ld(), cfg, profile);
+}
+
+}  // namespace rla

@@ -1,0 +1,51 @@
+#pragma once
+
+// The public dgemm-compatible entry point (paper §2.1, §4).
+//
+//   C ← α·op(A)·op(B) + β·C
+//
+// Matrices are column-major with leading dimensions, exactly as Level 3
+// BLAS. Internally the driver (for recursive layouts) selects a shared
+// recursion depth and tile shape, allocates tiled storage, remaps the
+// operands in parallel (fusing transposition and the α/β scaling into the
+// remap), runs the selected recursive algorithm, and remaps C back — "an
+// honest accounting of costs" for the format conversion, which
+// bench_conversion measures.
+//
+// Wide/lean shapes with no feasible shared depth are split into squat
+// submatrix products (paper Fig. 3) that are themselves spawned in parallel
+// (row/column splits) or accumulated (inner-dimension splits).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/matrix.hpp"
+
+namespace rla {
+
+/// Cost breakdown of one gemm call (all wall-clock seconds).
+/// The per-phase fields are aggregated across any submatrix splits.
+struct GemmProfile {
+  double convert_in = 0.0;   ///< canonical -> recursive remap (A, B, C)
+  double compute = 0.0;      ///< recursive multiplication proper
+  double convert_out = 0.0;  ///< recursive -> canonical remap of C
+  double total = 0.0;
+  int depth = -1;            ///< chosen recursion depth d (last split piece)
+  std::uint32_t tile_m = 0, tile_k = 0, tile_n = 0;  ///< chosen tile edges
+  int splits = 0;            ///< number of squat pieces (0 = no splitting)
+};
+
+/// C (m×n, ldc) ← alpha · op(A) · op(B) + beta · C.
+/// op(A) is m×k (A is m×k when op_a == Op::None, k×m otherwise);
+/// op(B) is k×n. Throws std::invalid_argument on inconsistent arguments.
+void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
+          const double* a, std::size_t lda, Op op_a, const double* b,
+          std::size_t ldb, Op op_b, double beta, double* c, std::size_t ldc,
+          const GemmConfig& cfg = {}, GemmProfile* profile = nullptr);
+
+/// Convenience: C = A·B on owning matrices (alpha = 1, beta = 0).
+void multiply(Matrix& c, const Matrix& a, const Matrix& b,
+              const GemmConfig& cfg = {}, GemmProfile* profile = nullptr);
+
+}  // namespace rla

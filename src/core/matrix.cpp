@@ -1,0 +1,49 @@
+#include "core/matrix.hpp"
+
+#include <cmath>
+
+namespace rla {
+
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) noexcept {
+  double worst = 0.0;
+  for (std::uint32_t j = 0; j < a.cols; ++j) {
+    for (std::uint32_t i = 0; i < a.rows; ++i) {
+      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+double max_abs(ConstMatrixView a) noexcept {
+  double worst = 0.0;
+  for (std::uint32_t j = 0; j < a.cols; ++j) {
+    for (std::uint32_t i = 0; i < a.rows; ++i) {
+      worst = std::max(worst, std::abs(a(i, j)));
+    }
+  }
+  return worst;
+}
+
+void reference_gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
+                    const double* a, std::size_t lda, bool trans_a, const double* b,
+                    std::size_t ldb, bool trans_b, double beta, double* c,
+                    std::size_t ldc) noexcept {
+  auto at = [&](std::uint32_t i, std::uint32_t l) {
+    return trans_a ? a[static_cast<std::size_t>(i) * lda + l]
+                   : a[static_cast<std::size_t>(l) * lda + i];
+  };
+  auto bt = [&](std::uint32_t l, std::uint32_t j) {
+    return trans_b ? b[static_cast<std::size_t>(l) * ldb + j]
+                   : b[static_cast<std::size_t>(j) * ldb + l];
+  };
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::uint32_t l = 0; l < k; ++l) acc += at(i, l) * bt(l, j);
+      double& out = c[static_cast<std::size_t>(j) * ldc + i];
+      out = alpha * acc + (beta == 0.0 ? 0.0 : beta * out);
+    }
+  }
+}
+
+}  // namespace rla

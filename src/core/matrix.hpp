@@ -1,0 +1,104 @@
+#pragma once
+
+// Column-major dense matrices: an owning container plus lightweight views.
+//
+// These model the canonical (BLAS-style) storage the gemm interface presents
+// and the baseline layout L_C of the paper. Views carry a leading dimension
+// so submatrices (quadrants of the canonical recursion) are zero-copy.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace rla {
+
+/// Read-only view of a column-major matrix block.
+struct ConstMatrixView {
+  const double* data = nullptr;
+  std::size_t ld = 0;  ///< leading dimension (>= rows)
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+
+  const double& operator()(std::uint32_t i, std::uint32_t j) const noexcept {
+    return data[static_cast<std::size_t>(j) * ld + i];
+  }
+};
+
+/// Mutable view of a column-major matrix block.
+struct MatrixView {
+  double* data = nullptr;
+  std::size_t ld = 0;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+
+  double& operator()(std::uint32_t i, std::uint32_t j) const noexcept {
+    return data[static_cast<std::size_t>(j) * ld + i];
+  }
+
+  operator ConstMatrixView() const noexcept { return {data, ld, rows, cols}; }
+};
+
+/// Owning column-major matrix (leading dimension == rows).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::uint32_t rows, std::uint32_t cols)
+      : rows_(rows), cols_(cols),
+        buffer_(static_cast<std::size_t>(rows) * cols, kPageBytes) {}
+
+  std::uint32_t rows() const noexcept { return rows_; }
+  std::uint32_t cols() const noexcept { return cols_; }
+  std::size_t ld() const noexcept { return rows_; }
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+  double* data() noexcept { return buffer_.data(); }
+  const double* data() const noexcept { return buffer_.data(); }
+
+  double& operator()(std::uint32_t i, std::uint32_t j) noexcept {
+    return buffer_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  const double& operator()(std::uint32_t i, std::uint32_t j) const noexcept {
+    return buffer_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  MatrixView view() noexcept { return {data(), ld(), rows_, cols_}; }
+  ConstMatrixView view() const noexcept { return {data(), ld(), rows_, cols_}; }
+
+  void zero() noexcept { buffer_.zero(); }
+
+  /// Fill with deterministic pseudo-random values in [-1, 1).
+  void fill_random(std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    for (double& v : buffer_) v = rng.next_double(-1.0, 1.0);
+  }
+
+  /// Fill element (i, j) with f(i, j).
+  template <typename F>
+  void fill(F&& f) {
+    for (std::uint32_t j = 0; j < cols_; ++j) {
+      for (std::uint32_t i = 0; i < rows_; ++i) (*this)(i, j) = f(i, j);
+    }
+  }
+
+ private:
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  AlignedBuffer<double> buffer_;
+};
+
+/// Largest absolute elementwise difference between two equally sized views.
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) noexcept;
+
+/// Largest absolute element of the view.
+double max_abs(ConstMatrixView a) noexcept;
+
+/// Reference dgemm: C = alpha * op(A) * op(B) + beta * C, straightforward
+/// triple loop. The correctness oracle for every other path.
+void reference_gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
+                    const double* a, std::size_t lda, bool trans_a, const double* b,
+                    std::size_t ldb, bool trans_b, double beta, double* c,
+                    std::size_t ldc) noexcept;
+
+}  // namespace rla

@@ -1,0 +1,447 @@
+#include "core/recursion.hpp"
+
+#include "core/kernels.hpp"
+#include "core/zero_tree.hpp"
+
+namespace rla {
+
+namespace {
+
+/// Fresh temporary with the same tile shape and curve as `like`, sized to
+/// one block of like.level levels. Root orientation is 0 by construction.
+TiledMatrix make_temp(const TiledBlock& like) {
+  TileGeometry g;
+  g.tile_rows = like.geom->tile_rows;
+  g.tile_cols = like.geom->tile_cols;
+  g.depth = like.level;
+  g.curve = like.geom->curve;
+  g.rows = g.padded_rows();
+  g.cols = g.padded_cols();
+  return TiledMatrix(g);
+}
+
+void leaf(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
+          const TiledBlock& b) {
+  leaf_mm_tile(ctx.kernel, c.geom->tile_rows, c.geom->tile_cols, a.geom->tile_cols,
+               a.tile(), b.tile(), c.tile());
+}
+
+bool spawn_here(const MulContext& ctx, int level) {
+  return !ctx.pool->serial() && level >= ctx.spawn_min_level;
+}
+
+/// Run f via the group when parallel, inline otherwise.
+template <typename F>
+void fork(TaskGroup& group, bool parallel, F&& f) {
+  if (parallel) {
+    group.spawn(std::forward<F>(f));
+  } else {
+    f();
+  }
+}
+
+}  // namespace
+
+void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
+                  const TiledBlock& b) {
+  // Frens–Wise flags: an all-zero operand annihilates the product.
+  if ((ctx.zero_a != nullptr && ctx.zero_a->zero(a.level, a.s_base)) ||
+      (ctx.zero_b != nullptr && ctx.zero_b->zero(b.level, b.s_base))) {
+    return;
+  }
+  if (c.level == 0) {
+    leaf(ctx, c, a, b);
+    return;
+  }
+  const bool par = spawn_here(ctx, c.level);
+  const bool fg = ctx.force_generic_additions;
+
+  const TiledBlock c11 = c.quadrant(kNW), c12 = c.quadrant(kNE);
+  const TiledBlock c21 = c.quadrant(kSW), c22 = c.quadrant(kSE);
+  const TiledBlock a11 = a.quadrant(kNW), a12 = a.quadrant(kNE);
+  const TiledBlock a21 = a.quadrant(kSW), a22 = a.quadrant(kSE);
+  const TiledBlock b11 = b.quadrant(kNW), b12 = b.quadrant(kNE);
+  const TiledBlock b21 = b.quadrant(kSW), b22 = b.quadrant(kSE);
+
+  if (ctx.standard_variant == StandardVariant::InPlace) {
+    // Two phases of four accumulating products; C quadrants are disjoint
+    // within each phase, so no temporaries are needed.
+    {
+      TaskGroup group(*ctx.pool);
+      fork(group, par, [&] { mul_standard(ctx, c11, a11, b11); });
+      fork(group, par, [&] { mul_standard(ctx, c12, a11, b12); });
+      fork(group, par, [&] { mul_standard(ctx, c21, a21, b11); });
+      fork(group, par, [&] { mul_standard(ctx, c22, a21, b12); });
+      group.wait();
+    }
+    TaskGroup group(*ctx.pool);
+    fork(group, par, [&] { mul_standard(ctx, c11, a12, b21); });
+    fork(group, par, [&] { mul_standard(ctx, c12, a12, b22); });
+    fork(group, par, [&] { mul_standard(ctx, c21, a22, b21); });
+    fork(group, par, [&] { mul_standard(ctx, c22, a22, b22); });
+    group.wait();
+    return;
+  }
+
+  // Paper Fig. 1(a): all eight products concurrently. The first four target
+  // the C quadrants directly; the other four go to quadrant-sized
+  // temporaries folded in by the post-additions.
+  TiledMatrix t11 = make_temp(c11), t12 = make_temp(c12);
+  TiledMatrix t21 = make_temp(c21), t22 = make_temp(c22);
+  {
+    TaskGroup group(*ctx.pool);
+    fork(group, par, [&] { mul_standard(ctx, c11, a11, b11); });
+    fork(group, par, [&] { mul_standard(ctx, c12, a11, b12); });
+    fork(group, par, [&] { mul_standard(ctx, c21, a21, b11); });
+    fork(group, par, [&] { mul_standard(ctx, c22, a21, b12); });
+    fork(group, par, [&] {
+      t11.zero();
+      mul_standard(ctx, t11.root(), a12, b21);
+    });
+    fork(group, par, [&] {
+      t12.zero();
+      mul_standard(ctx, t12.root(), a12, b22);
+    });
+    fork(group, par, [&] {
+      t21.zero();
+      mul_standard(ctx, t21.root(), a22, b21);
+    });
+    fork(group, par, [&] {
+      t22.zero();
+      mul_standard(ctx, t22.root(), a22, b22);
+    });
+    group.wait();
+  }
+  TaskGroup group(*ctx.pool);
+  fork(group, par, [&] { block_acc(c11, 1.0, t11.root(), fg); });
+  fork(group, par, [&] { block_acc(c12, 1.0, t12.root(), fg); });
+  fork(group, par, [&] { block_acc(c21, 1.0, t21.root(), fg); });
+  fork(group, par, [&] { block_acc(c22, 1.0, t22.root(), fg); });
+  group.wait();
+}
+
+namespace {
+
+/// Paper §5.1's space-conserving sequential variant: one S, one T and one P
+/// buffer per node, products interspersed with their pre-/post-additions.
+/// Winograd's U-chains are expanded into per-product C contributions (the
+/// common-subexpression savings cannot survive with a single P buffer).
+void mul_fast_lowmem(const MulContext& ctx, bool winograd, const TiledBlock& c,
+                     const TiledBlock& a, const TiledBlock& b) {
+  if (c.level <= ctx.fast_cutoff_level) {
+    mul_standard(ctx, c, a, b);
+    return;
+  }
+  const bool fg = ctx.force_generic_additions;
+  const TiledBlock c11 = c.quadrant(kNW), c12 = c.quadrant(kNE);
+  const TiledBlock c21 = c.quadrant(kSW), c22 = c.quadrant(kSE);
+  const TiledBlock a11 = a.quadrant(kNW), a12 = a.quadrant(kNE);
+  const TiledBlock a21 = a.quadrant(kSW), a22 = a.quadrant(kSE);
+  const TiledBlock b11 = b.quadrant(kNW), b12 = b.quadrant(kNE);
+  const TiledBlock b21 = b.quadrant(kSW), b22 = b.quadrant(kSE);
+
+  TiledMatrix s_buf = make_temp(a11), t_buf = make_temp(b11);
+  TiledMatrix p_buf = make_temp(c11);
+  const TiledBlock s = s_buf.root(), t = t_buf.root(), p = p_buf.root();
+
+  auto product = [&](const TiledBlock& x, const TiledBlock& y) {
+    block_zero(p);
+    mul_fast_lowmem(ctx, winograd, p, x, y);
+  };
+
+  if (!winograd) {
+    // P1 = (A11+A22)(B11+B22) -> C11, C22
+    block_set_add(s, a11, +1.0, a22, fg);
+    block_set_add(t, b11, +1.0, b22, fg);
+    product(s, t);
+    block_acc(c11, +1.0, p, fg);
+    block_acc(c22, +1.0, p, fg);
+    // P2 = (A21+A22) B11 -> C21, -C22
+    block_set_add(s, a21, +1.0, a22, fg);
+    product(s, b11);
+    block_acc(c21, +1.0, p, fg);
+    block_acc(c22, -1.0, p, fg);
+    // P3 = A11 (B12-B22) -> C12, C22
+    block_set_add(t, b12, -1.0, b22, fg);
+    product(a11, t);
+    block_acc(c12, +1.0, p, fg);
+    block_acc(c22, +1.0, p, fg);
+    // P4 = A22 (B21-B11) -> C11, C21
+    block_set_add(t, b21, -1.0, b11, fg);
+    product(a22, t);
+    block_acc(c11, +1.0, p, fg);
+    block_acc(c21, +1.0, p, fg);
+    // P5 = (A11+A12) B22 -> -C11, C12
+    block_set_add(s, a11, +1.0, a12, fg);
+    product(s, b22);
+    block_acc(c11, -1.0, p, fg);
+    block_acc(c12, +1.0, p, fg);
+    // P6 = (A21-A11)(B11+B12) -> C22
+    block_set_add(s, a21, -1.0, a11, fg);
+    block_set_add(t, b11, +1.0, b12, fg);
+    product(s, t);
+    block_acc(c22, +1.0, p, fg);
+    // P7 = (A12-A22)(B21+B22) -> C11
+    block_set_add(s, a12, -1.0, a22, fg);
+    block_set_add(t, b21, +1.0, b22, fg);
+    product(s, t);
+    block_acc(c11, +1.0, p, fg);
+    return;
+  }
+
+  // Winograd with expanded U-chains:
+  //   C11 = P1+P2, C21 = P1+P4+P5+P7, C22 = P1+P3+P4+P5, C12 = P1+P3+P4+P6.
+  // P1 = A11 B11
+  product(a11, b11);
+  block_acc(c11, +1.0, p, fg);
+  block_acc(c21, +1.0, p, fg);
+  block_acc(c22, +1.0, p, fg);
+  block_acc(c12, +1.0, p, fg);
+  // P2 = A12 B21
+  product(a12, b21);
+  block_acc(c11, +1.0, p, fg);
+  // P3 = (A21+A22)(B12-B11)
+  block_set_add(s, a21, +1.0, a22, fg);
+  block_set_add(t, b12, -1.0, b11, fg);
+  product(s, t);
+  block_acc(c22, +1.0, p, fg);
+  block_acc(c12, +1.0, p, fg);
+  // P4 = (A21+A22-A11)(B22-B12+B11)
+  block_set_add(s, a21, +1.0, a22, fg);
+  block_acc(s, -1.0, a11, fg);
+  block_set_add(t, b22, -1.0, b12, fg);
+  block_acc(t, +1.0, b11, fg);
+  product(s, t);
+  block_acc(c21, +1.0, p, fg);
+  block_acc(c22, +1.0, p, fg);
+  block_acc(c12, +1.0, p, fg);
+  // P5 = (A11-A21)(B22-B12)
+  block_set_add(s, a11, -1.0, a21, fg);
+  block_set_add(t, b22, -1.0, b12, fg);
+  product(s, t);
+  block_acc(c21, +1.0, p, fg);
+  block_acc(c22, +1.0, p, fg);
+  // P6 = (A12-A21-A22+A11) B22
+  block_set_add(s, a12, -1.0, a21, fg);
+  block_acc(s, -1.0, a22, fg);
+  block_acc(s, +1.0, a11, fg);
+  product(s, b22);
+  block_acc(c12, +1.0, p, fg);
+  // P7 = A22 (B21-B22+B12-B11)
+  block_set_add(t, b21, -1.0, b22, fg);
+  block_acc(t, +1.0, b12, fg);
+  block_acc(t, -1.0, b11, fg);
+  product(a22, t);
+  block_acc(c21, +1.0, p, fg);
+}
+
+}  // namespace
+
+void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
+                  const TiledBlock& b) {
+  if (ctx.fast_variant == FastVariant::SerialLowMem) {
+    mul_fast_lowmem(ctx, /*winograd=*/false, c, a, b);
+    return;
+  }
+  if (c.level <= ctx.fast_cutoff_level) {
+    mul_standard(ctx, c, a, b);
+    return;
+  }
+  const bool par = spawn_here(ctx, c.level);
+  const bool fg = ctx.force_generic_additions;
+
+  const TiledBlock c11 = c.quadrant(kNW), c12 = c.quadrant(kNE);
+  const TiledBlock c21 = c.quadrant(kSW), c22 = c.quadrant(kSE);
+  const TiledBlock a11 = a.quadrant(kNW), a12 = a.quadrant(kNE);
+  const TiledBlock a21 = a.quadrant(kSW), a22 = a.quadrant(kSE);
+  const TiledBlock b11 = b.quadrant(kNW), b12 = b.quadrant(kNE);
+  const TiledBlock b21 = b.quadrant(kSW), b22 = b.quadrant(kSE);
+
+  TiledMatrix s1 = make_temp(a11), s2 = make_temp(a11), s3 = make_temp(a11);
+  TiledMatrix s4 = make_temp(a11), s5 = make_temp(a11);
+  TiledMatrix t1 = make_temp(b11), t2 = make_temp(b11), t3 = make_temp(b11);
+  TiledMatrix t4 = make_temp(b11), t5 = make_temp(b11);
+  TiledMatrix p1 = make_temp(c11), p2 = make_temp(c11), p3 = make_temp(c11);
+  TiledMatrix p4 = make_temp(c11), p5 = make_temp(c11), p6 = make_temp(c11);
+  TiledMatrix p7 = make_temp(c11);
+
+  {
+    // Pre-additions (Fig. 1(b)): ten independent quadrant adds.
+    TaskGroup group(*ctx.pool);
+    fork(group, par, [&] { block_set_add(s1.root(), a11, +1.0, a22, fg); });
+    fork(group, par, [&] { block_set_add(s2.root(), a21, +1.0, a22, fg); });
+    // Note: S3 = A11 + A12 (Strassen's M5 pre-sum). The SPAA'99 scan prints
+    // "S3 = A11 - A12", which is inconsistent with its own post-additions
+    // C12 = P3 + P5 and C11 = ... - P5 ...; the + sign is the classical one.
+    fork(group, par, [&] { block_set_add(s3.root(), a11, +1.0, a12, fg); });
+    fork(group, par, [&] { block_set_add(s4.root(), a21, -1.0, a11, fg); });
+    fork(group, par, [&] { block_set_add(s5.root(), a12, -1.0, a22, fg); });
+    fork(group, par, [&] { block_set_add(t1.root(), b11, +1.0, b22, fg); });
+    fork(group, par, [&] { block_set_add(t2.root(), b12, -1.0, b22, fg); });
+    fork(group, par, [&] { block_set_add(t3.root(), b21, -1.0, b11, fg); });
+    fork(group, par, [&] { block_set_add(t4.root(), b11, +1.0, b12, fg); });
+    fork(group, par, [&] { block_set_add(t5.root(), b21, +1.0, b22, fg); });
+    group.wait();
+  }
+  {
+    // Seven recursive products, all spawned at once (paper §2).
+    TaskGroup group(*ctx.pool);
+    fork(group, par, [&] {
+      p1.zero();
+      mul_strassen(ctx, p1.root(), s1.root(), t1.root());
+    });
+    fork(group, par, [&] {
+      p2.zero();
+      mul_strassen(ctx, p2.root(), s2.root(), b11);
+    });
+    fork(group, par, [&] {
+      p3.zero();
+      mul_strassen(ctx, p3.root(), a11, t2.root());
+    });
+    fork(group, par, [&] {
+      p4.zero();
+      mul_strassen(ctx, p4.root(), a22, t3.root());
+    });
+    fork(group, par, [&] {
+      p5.zero();
+      mul_strassen(ctx, p5.root(), s3.root(), b22);
+    });
+    fork(group, par, [&] {
+      p6.zero();
+      mul_strassen(ctx, p6.root(), s4.root(), t4.root());
+    });
+    fork(group, par, [&] {
+      p7.zero();
+      mul_strassen(ctx, p7.root(), s5.root(), t5.root());
+    });
+    group.wait();
+  }
+  // Post-additions.
+  TaskGroup group(*ctx.pool);
+  fork(group, par, [&] {
+    block_acc4(c11, +1.0, p1.root(), +1.0, p4.root(), -1.0, p5.root(), +1.0,
+               p7.root(), fg);
+  });
+  fork(group, par, [&] { block_acc2(c21, +1.0, p2.root(), +1.0, p4.root(), fg); });
+  fork(group, par, [&] { block_acc2(c12, +1.0, p3.root(), +1.0, p5.root(), fg); });
+  fork(group, par, [&] {
+    block_acc4(c22, +1.0, p1.root(), +1.0, p3.root(), -1.0, p2.root(), +1.0,
+               p6.root(), fg);
+  });
+  group.wait();
+}
+
+void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
+                  const TiledBlock& b) {
+  if (ctx.fast_variant == FastVariant::SerialLowMem) {
+    mul_fast_lowmem(ctx, /*winograd=*/true, c, a, b);
+    return;
+  }
+  if (c.level <= ctx.fast_cutoff_level) {
+    mul_standard(ctx, c, a, b);
+    return;
+  }
+  const bool par = spawn_here(ctx, c.level);
+  const bool fg = ctx.force_generic_additions;
+
+  const TiledBlock c11 = c.quadrant(kNW), c12 = c.quadrant(kNE);
+  const TiledBlock c21 = c.quadrant(kSW), c22 = c.quadrant(kSE);
+  const TiledBlock a11 = a.quadrant(kNW), a12 = a.quadrant(kNE);
+  const TiledBlock a21 = a.quadrant(kSW), a22 = a.quadrant(kSE);
+  const TiledBlock b11 = b.quadrant(kNW), b12 = b.quadrant(kNE);
+  const TiledBlock b21 = b.quadrant(kSW), b22 = b.quadrant(kSE);
+
+  TiledMatrix s1 = make_temp(a11), s2 = make_temp(a11), s3 = make_temp(a11);
+  TiledMatrix s4 = make_temp(a11);
+  TiledMatrix t1 = make_temp(b11), t2 = make_temp(b11), t3 = make_temp(b11);
+  TiledMatrix t4 = make_temp(b11);
+  TiledMatrix p1 = make_temp(c11), p2 = make_temp(c11), p3 = make_temp(c11);
+  TiledMatrix p4 = make_temp(c11), p5 = make_temp(c11), p6 = make_temp(c11);
+  TiledMatrix p7 = make_temp(c11);
+
+  {
+    // Pre-additions (Fig. 1(c)). S2/S4 and T2/T4 chain on earlier sums —
+    // this sharing is Winograd's signature — so each side runs its chain in
+    // one task, with the independent S3/T3 adds in their own tasks.
+    TaskGroup group(*ctx.pool);
+    fork(group, par, [&] {
+      block_set_add(s1.root(), a21, +1.0, a22, fg);
+      block_set_add(s2.root(), s1.root(), -1.0, a11, fg);
+      block_set_add(s4.root(), a12, -1.0, s2.root(), fg);
+    });
+    fork(group, par, [&] { block_set_add(s3.root(), a11, -1.0, a21, fg); });
+    fork(group, par, [&] {
+      block_set_add(t1.root(), b12, -1.0, b11, fg);
+      block_set_add(t2.root(), b22, -1.0, t1.root(), fg);
+      block_set_add(t4.root(), b21, -1.0, t2.root(), fg);
+    });
+    fork(group, par, [&] { block_set_add(t3.root(), b22, -1.0, b12, fg); });
+    group.wait();
+  }
+  {
+    TaskGroup group(*ctx.pool);
+    fork(group, par, [&] {
+      p1.zero();
+      mul_winograd(ctx, p1.root(), a11, b11);
+    });
+    fork(group, par, [&] {
+      p2.zero();
+      mul_winograd(ctx, p2.root(), a12, b21);
+    });
+    fork(group, par, [&] {
+      p3.zero();
+      mul_winograd(ctx, p3.root(), s1.root(), t1.root());
+    });
+    fork(group, par, [&] {
+      p4.zero();
+      mul_winograd(ctx, p4.root(), s2.root(), t2.root());
+    });
+    fork(group, par, [&] {
+      p5.zero();
+      mul_winograd(ctx, p5.root(), s3.root(), t3.root());
+    });
+    fork(group, par, [&] {
+      p6.zero();
+      mul_winograd(ctx, p6.root(), s4.root(), b22);
+    });
+    fork(group, par, [&] {
+      p7.zero();
+      mul_winograd(ctx, p7.root(), a22, t4.root());
+    });
+    group.wait();
+  }
+  // Post-additions with Winograd's common-subexpression reuse: the U-chain
+  // accumulates in place into the P buffers (all orientation 0, so the
+  // aliased elementwise updates are safe).
+  TaskGroup group(*ctx.pool);
+  fork(group, par, [&] { block_acc2(c11, +1.0, p1.root(), +1.0, p2.root(), fg); });
+  fork(group, par, [&] {
+    block_acc(p4.root(), 1.0, p1.root(), fg);   // U2 = P1 + P4
+    block_acc(p5.root(), 1.0, p4.root(), fg);   // U3 = U2 + P5
+    TaskGroup inner(*ctx.pool);
+    fork(inner, par, [&] { block_acc2(c21, +1.0, p5.root(), +1.0, p7.root(), fg); });
+    fork(inner, par, [&] { block_acc2(c22, +1.0, p5.root(), +1.0, p3.root(), fg); });
+    fork(inner, par, [&] {
+      block_acc3(c12, +1.0, p4.root(), +1.0, p3.root(), +1.0, p6.root(), fg);
+    });
+    inner.wait();
+  });
+  group.wait();
+}
+
+void mul_dispatch(const MulContext& ctx, Algorithm alg, const TiledBlock& c,
+                  const TiledBlock& a, const TiledBlock& b) {
+  switch (alg) {
+    case Algorithm::Standard:
+      mul_standard(ctx, c, a, b);
+      break;
+    case Algorithm::Strassen:
+      mul_strassen(ctx, c, a, b);
+      break;
+    case Algorithm::Winograd:
+      mul_winograd(ctx, c, a, b);
+      break;
+  }
+}
+
+}  // namespace rla

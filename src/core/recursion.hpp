@@ -1,0 +1,56 @@
+#pragma once
+
+// The three recursive multiplication algorithms over tiled blocks
+// (paper §2, Fig. 1), with the parallel spawn structure of §2 ("the seven or
+// eight calls are spawned in parallel") expressed as TaskGroup forks.
+//
+// All routines compute C += A·B on blocks of equal level; A's tiles are
+// t_m × t_k, B's t_k × t_n, C's t_m × t_n. Temporaries are fresh TiledMatrix
+// allocations of quadrant size — for the fast algorithms this is the paper's
+// §5.1 observation that every recursion level halves the leading dimension.
+
+#include "core/add.hpp"
+#include "core/config.hpp"
+#include "core/tiled_matrix.hpp"
+#include "parallel/worker_pool.hpp"
+
+namespace rla {
+
+class ZeroTree;
+
+/// Shared state of one multiplication: immutable configuration + the pool.
+struct MulContext {
+  KernelKind kernel = KernelKind::TiledUnrolled;
+  StandardVariant standard_variant = StandardVariant::Temporaries;
+  FastVariant fast_variant = FastVariant::Parallel;
+  int fast_cutoff_level = 0;     ///< Strassen/Winograd fall back to standard at/below
+  bool force_generic_additions = false;
+  /// Recursive calls are spawned as tasks at this block level and above;
+  /// below it the recursion runs serially inside the owning task.
+  int spawn_min_level = 2;
+  WorkerPool* pool = nullptr;    ///< never null; a 0-thread pool is serial
+  /// Optional Frens–Wise zero-block flags for the original A/B operands
+  /// (standard algorithm only): all-zero blocks act as multiplicative
+  /// annihilators and their products are skipped. Must describe exactly the
+  /// matrices whose blocks the recursion receives.
+  const ZeroTree* zero_a = nullptr;
+  const ZeroTree* zero_b = nullptr;
+};
+
+/// C += A·B, standard 8-multiply recursion (Fig. 1(a)).
+void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
+                  const TiledBlock& b);
+
+/// C += A·B, Strassen's 7-multiply recurrence (Fig. 1(b)).
+void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
+                  const TiledBlock& b);
+
+/// C += A·B, Winograd's variant (Fig. 1(c)).
+void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
+                  const TiledBlock& b);
+
+/// Dispatch on ctx/algorithm.
+void mul_dispatch(const MulContext& ctx, Algorithm alg, const TiledBlock& c,
+                  const TiledBlock& a, const TiledBlock& b);
+
+}  // namespace rla

@@ -1,0 +1,35 @@
+#pragma once
+
+// Umbrella header: the full public API of the rla library.
+//
+//   #include "core/rla.hpp"
+//
+//   rla::Matrix a(512, 512), b(512, 512), c(512, 512);
+//   a.fill_random(1); b.fill_random(2);
+//   rla::GemmConfig cfg;
+//   cfg.layout = rla::Curve::ZMorton;
+//   cfg.algorithm = rla::Algorithm::Strassen;
+//   cfg.threads = 4;
+//   rla::multiply(c, a, b, cfg);
+
+#include "core/add.hpp"
+#include "core/blas.hpp"
+#include "core/canonical.hpp"
+#include "core/config.hpp"
+#include "core/gemm.hpp"
+#include "core/kernels.hpp"
+#include "core/matrix.hpp"
+#include "core/recursion.hpp"
+#include "core/tiled_matrix.hpp"
+#include "core/transpose.hpp"
+#include "core/work_span.hpp"
+#include "core/zero_tree.hpp"
+#include "layout/bits.hpp"
+#include "layout/convert.hpp"
+#include "layout/curve.hpp"
+#include "layout/mapping.hpp"
+#include "layout/quadrant.hpp"
+#include "layout/tiled_layout.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "parallel/worker_pool.hpp"

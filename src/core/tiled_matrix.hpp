@@ -1,0 +1,103 @@
+#pragma once
+
+// Tiled recursive-layout storage and the block views the recursion walks.
+//
+// A TiledMatrix owns a buffer laid out per paper Eq. (3). A TiledBlock is a
+// view of an aligned 2^level × 2^level block of tiles; because every curve
+// here is quadrant-recursive, the block occupies a contiguous range of tiles
+// starting at curve position `s_base`, and carries the orientation of its
+// sub-curve. Quadrant navigation is O(1) table lookups — this is the paper's
+// "address computations embedded implicitly in the control structure".
+
+#include <cassert>
+#include <cstdint>
+
+#include "layout/quadrant.hpp"
+#include "layout/tiled_layout.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace rla {
+
+class TiledMatrix;
+
+/// View of an aligned block of 2^level × 2^level tiles of a TiledMatrix.
+struct TiledBlock {
+  double* data = nullptr;           ///< base of the whole tiled buffer
+  const TileGeometry* geom = nullptr;
+  const CurveOps* ops = nullptr;    ///< quadrant FSM of geom->curve
+  std::uint32_t ti0 = 0;            ///< top-left tile coordinate (row)
+  std::uint32_t tj0 = 0;            ///< top-left tile coordinate (column)
+  int level = 0;                    ///< block spans 2^level tiles per side
+  std::uint64_t s_base = 0;         ///< curve position of the block's first tile
+  int orient = 0;                   ///< orientation of the block's sub-curve
+
+  std::uint32_t tiles_per_side() const noexcept { return std::uint32_t{1} << level; }
+  std::uint64_t tile_count() const noexcept { return std::uint64_t{1} << (2 * level); }
+
+  /// First element of the block's contiguous storage.
+  double* begin() const noexcept { return data + s_base * geom->tile_elems(); }
+
+  /// Elements in the block (contiguous from begin()).
+  std::uint64_t elems() const noexcept { return tile_count() * geom->tile_elems(); }
+
+  /// Quadrant view (q is the Quadrant enum: kNW, kNE, kSW, kSE).
+  TiledBlock quadrant(int q) const noexcept {
+    assert(level > 0);
+    TiledBlock child = *this;
+    const std::uint32_t h = std::uint32_t{1} << (level - 1);
+    child.ti0 = ti0 + (static_cast<std::uint32_t>(q) >> 1) * h;
+    child.tj0 = tj0 + (static_cast<std::uint32_t>(q) & 1) * h;
+    child.level = level - 1;
+    child.s_base =
+        s_base + (static_cast<std::uint64_t>(ops->chunk(orient, q)) << (2 * (level - 1)));
+    child.orient = ops->child_orientation(orient, q);
+    return child;
+  }
+
+  /// Storage of the single tile (level-0 block only).
+  double* tile() const noexcept {
+    assert(level == 0);
+    return data + s_base * geom->tile_elems();
+  }
+};
+
+/// Owning tiled-layout matrix (paper Eq. 3): 2^d × 2^d tiles of
+/// tile_rows × tile_cols elements, tiles ordered along geom.curve, each tile
+/// column-major.
+class TiledMatrix {
+ public:
+  TiledMatrix() = default;
+
+  explicit TiledMatrix(const TileGeometry& geom)
+      : geom_(geom),
+        ops_(&CurveOps::get(geom.curve)),
+        buffer_(geom.total_elems(), kPageBytes) {}
+
+  const TileGeometry& geom() const noexcept { return geom_; }
+  double* data() noexcept { return buffer_.data(); }
+  const double* data() const noexcept { return buffer_.data(); }
+  std::uint64_t size() const noexcept { return buffer_.size(); }
+
+  void zero() noexcept { buffer_.zero(); }
+
+  /// Root view covering the whole tile grid (orientation 0 by convention).
+  TiledBlock root() noexcept {
+    return {data(), &geom_, ops_, 0, 0, geom_.depth, 0, 0};
+  }
+
+  /// Logical element access through the layout function (test/debug aid; the
+  /// hot paths never address element-by-element).
+  double& at(std::uint32_t i, std::uint32_t j) noexcept {
+    return buffer_[geom_.address(i, j)];
+  }
+  const double& at(std::uint32_t i, std::uint32_t j) const noexcept {
+    return buffer_[geom_.address(i, j)];
+  }
+
+ private:
+  TileGeometry geom_{};
+  const CurveOps* ops_ = nullptr;
+  AlignedBuffer<double> buffer_;
+};
+
+}  // namespace rla

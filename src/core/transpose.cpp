@@ -1,0 +1,49 @@
+#include "core/transpose.hpp"
+
+#include <stdexcept>
+
+#include "core/kernels.hpp"
+#include "parallel/worker_pool.hpp"
+
+namespace rla {
+
+TileGeometry transposed_geometry(const TileGeometry& g) noexcept {
+  TileGeometry t = g;
+  t.rows = g.cols;
+  t.cols = g.rows;
+  t.tile_rows = g.tile_cols;
+  t.tile_cols = g.tile_rows;
+  return t;
+}
+
+void transpose_tiled(const TiledMatrix& src, TiledMatrix& dst, WorkerPool* pool) {
+  const TileGeometry& gs = src.geom();
+  const TileGeometry& gd = dst.geom();
+  if (gd.curve != gs.curve || gd.depth != gs.depth || gd.rows != gs.cols ||
+      gd.cols != gs.rows || gd.tile_rows != gs.tile_cols ||
+      gd.tile_cols != gs.tile_rows) {
+    throw std::invalid_argument("transpose_tiled: dst geometry is not srcᵀ");
+  }
+  const std::uint64_t tiles = gs.tile_count();
+  const std::uint64_t tsz = gs.tile_elems();
+  auto body = [&](std::uint64_t s0, std::uint64_t s1) {
+    for (std::uint64_t s = s0; s < s1; ++s) {
+      // Destination-order walk: writes stream, reads hop along the swapped
+      // coordinate.
+      const TileCoord tc = s_inverse(gd.curve, s, gd.depth);
+      const std::uint64_t src_s = s_index(gs.curve, tc.j, tc.i, gs.depth);
+      strided_transpose(dst.data() + s * tsz, gd.tile_rows,
+                        src.data() + src_s * tsz, gs.tile_rows, gd.tile_rows,
+                        gd.tile_cols);
+    }
+  };
+  if (pool != nullptr && !pool->serial()) {
+    const std::uint64_t grain =
+        std::max<std::uint64_t>(1, tiles / (8 * (pool->thread_count() + 1)));
+    pool->parallel_for(0, tiles, grain, body);
+  } else {
+    body(0, tiles);
+  }
+}
+
+}  // namespace rla

@@ -1,0 +1,28 @@
+#pragma once
+
+// Transposition directly in the recursive layout.
+//
+// For a quadrant-recursive curve, the transpose of the tile at curve
+// position S(t_i, t_j) lives at S(t_j, t_i) — a tile-coordinate swap plus a
+// per-tile transpose — so no round trip through canonical storage is
+// needed. (For Z-Morton this is literally swapping the interleave arguments,
+// the paper's §3 closing remark about computing reflections "by
+// interchanging the i and j arguments".)
+
+#include "core/tiled_matrix.hpp"
+
+namespace rla {
+
+class WorkerPool;
+
+/// dst ← srcᵀ. dst's geometry must be the transpose of src's: same curve
+/// and depth, rows/cols and tile_rows/tile_cols swapped. Throws
+/// std::invalid_argument otherwise. If `pool` is non-null the tile loop is
+/// parallelized.
+void transpose_tiled(const TiledMatrix& src, TiledMatrix& dst,
+                     WorkerPool* pool = nullptr);
+
+/// Convenience: build the transpose-shaped geometry of `g`.
+TileGeometry transposed_geometry(const TileGeometry& g) noexcept;
+
+}  // namespace rla

@@ -1,0 +1,113 @@
+#include "core/work_span.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "layout/tiled_layout.hpp"
+
+namespace rla {
+
+namespace {
+
+struct Model {
+  WorkSpanParams p;
+  // Elements of one level-l block per operand shape.
+  double ea(int l) const {
+    return static_cast<double>(std::uint64_t{1} << (2 * l)) * p.tile_m * p.tile_k;
+  }
+  double eb(int l) const {
+    return static_cast<double>(std::uint64_t{1} << (2 * l)) * p.tile_k * p.tile_n;
+  }
+  double ec(int l) const {
+    return static_cast<double>(std::uint64_t{1} << (2 * l)) * p.tile_m * p.tile_n;
+  }
+  double leaf_flops() const {
+    return 2.0 * p.tile_m * p.tile_k * p.tile_n;
+  }
+
+  WorkSpan standard(int l) const {
+    if (l == 0) return {leaf_flops(), leaf_flops()};
+    const WorkSpan child = standard(l - 1);
+    const double e = ec(l - 1);
+    if (p.standard_variant == StandardVariant::InPlace) {
+      // Two barriers of four parallel products each.
+      return {8.0 * child.work, 2.0 * child.span};
+    }
+    // Eight parallel products (four preceded by a temp zero), then four
+    // parallel post-additions.
+    WorkSpan r;
+    r.work = 8.0 * child.work + 4.0 * e /*zeros*/ + 4.0 * e /*post adds*/;
+    r.span = (e + child.span) + e;
+    return r;
+  }
+
+  WorkSpan fast(int l, bool winograd) const {
+    if (l <= p.fast_cutoff_level) return standard(l);
+    const WorkSpan child = fast(l - 1, winograd);
+    const double a = ea(l - 1), b = eb(l - 1), c = ec(l - 1);
+    if (p.fast_variant == FastVariant::SerialLowMem) {
+      // Entirely sequential: span equals work. Expanded post-additions
+      // (18 for Strassen: 7 zeros + 11 C accumulations; Winograd expanded
+      // costs more adds than its parallel form — that is the trade).
+      const double pre = winograd ? (6.0 * a + 6.0 * b) : (5.0 * a + 5.0 * b);
+      const double post = winograd ? 14.0 * c : 11.0 * c;
+      WorkSpan r;
+      r.work = 7.0 * child.work + pre + 7.0 * c /*zeros*/ + post;
+      r.span = r.work;
+      return r;
+    }
+    WorkSpan r;
+    if (!winograd) {
+      // Strassen: 10 parallel pre-adds; 7 parallel (zero + product); post
+      // adds 4+2+2+4 element-passes, in parallel.
+      r.work = 7.0 * child.work + 5.0 * a + 5.0 * b + 7.0 * c + 12.0 * c;
+      r.span = std::max(a, b) + (c + child.span) + 4.0 * c;
+    } else {
+      // Winograd: two 3-add chains (+1 independent) per side; 7 parallel
+      // products; U-chain post-adds (see recursion.cpp).
+      r.work = 7.0 * child.work + 4.0 * a + 4.0 * b + 7.0 * c + 11.0 * c;
+      r.span = 3.0 * std::max(a, b) + (c + child.span) + 5.0 * c;
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+WorkSpan analyze_work_span(const WorkSpanParams& params) {
+  Model m{params};
+  switch (params.algorithm) {
+    case Algorithm::Standard:
+      return m.standard(params.depth);
+    case Algorithm::Strassen:
+      return m.fast(params.depth, false);
+    case Algorithm::Winograd:
+      return m.fast(params.depth, true);
+  }
+  return {};
+}
+
+WorkSpan analyze_gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                      const GemmConfig& cfg) {
+  const std::array<std::uint64_t, 3> dims{m, k, n};
+  const auto depth = cfg.forced_depth >= 0
+                         ? std::optional<int>(cfg.forced_depth)
+                         : common_depth(dims, cfg.tiles);
+  if (!depth) {
+    throw std::invalid_argument("analyze_gemm: shape requires splitting");
+  }
+  WorkSpanParams p;
+  p.algorithm = cfg.algorithm;
+  p.standard_variant = cfg.standard_variant;
+  p.fast_variant = cfg.fast_variant;
+  p.depth = *depth;
+  p.fast_cutoff_level = cfg.fast_cutoff_level;
+  const std::uint32_t side = std::uint32_t{1} << *depth;
+  p.tile_m = (m + side - 1) / side;
+  p.tile_k = (k + side - 1) / side;
+  p.tile_n = (n + side - 1) / side;
+  return analyze_work_span(p);
+}
+
+}  // namespace rla

@@ -1,0 +1,56 @@
+#include "core/zero_tree.hpp"
+
+#include "parallel/worker_pool.hpp"
+
+namespace rla {
+
+ZeroTree ZeroTree::build(const TiledMatrix& m, WorkerPool* pool) {
+  ZeroTree tree;
+  const TileGeometry& g = m.geom();
+  const std::uint64_t tiles = g.tile_count();
+  const std::uint64_t tsz = g.tile_elems();
+  tree.levels_.resize(static_cast<std::size_t>(g.depth) + 1);
+  auto& leaf = tree.levels_[0];
+  leaf.assign(tiles, 0);
+
+  auto scan = [&](std::uint64_t s0, std::uint64_t s1) {
+    for (std::uint64_t s = s0; s < s1; ++s) {
+      const double* tile = m.data() + s * tsz;
+      bool all_zero = true;
+      for (std::uint64_t e = 0; e < tsz; ++e) {
+        if (tile[e] != 0.0) {
+          all_zero = false;
+          break;
+        }
+      }
+      leaf[s] = all_zero ? 1 : 0;
+    }
+  };
+  if (pool != nullptr && !pool->serial()) {
+    const std::uint64_t grain =
+        std::max<std::uint64_t>(1, tiles / (8 * (pool->thread_count() + 1)));
+    pool->parallel_for(0, tiles, grain, scan);
+  } else {
+    scan(0, tiles);
+  }
+
+  for (int l = 1; l <= g.depth; ++l) {
+    const auto& below = tree.levels_[static_cast<std::size_t>(l) - 1];
+    auto& here = tree.levels_[static_cast<std::size_t>(l)];
+    here.assign(below.size() / 4, 0);
+    for (std::size_t k = 0; k < here.size(); ++k) {
+      here[k] = static_cast<std::uint8_t>(below[4 * k] & below[4 * k + 1] &
+                                          below[4 * k + 2] & below[4 * k + 3]);
+    }
+  }
+  return tree;
+}
+
+double ZeroTree::zero_tile_fraction() const noexcept {
+  if (levels_.empty() || levels_[0].empty()) return 0.0;
+  std::uint64_t zeros = 0;
+  for (const std::uint8_t f : levels_[0]) zeros += f;
+  return static_cast<double>(zeros) / static_cast<double>(levels_[0].size());
+}
+
+}  // namespace rla

@@ -1,0 +1,53 @@
+#pragma once
+
+// Zero-block flags over the tile quadtree — the Frens–Wise alternative that
+// paper §4 contrasts with its explicit-padding scheme.
+//
+// Frens & Wise "keep a flag at internal nodes of their quad-tree
+// representation to indicate empty or nearly full subtrees, which directs
+// the algebra around zeroes (as additive identities and multiplicative
+// annihilators)". The paper instead pads explicitly and computes on the
+// zeros blindly. Implementing both lets bench_ablation quantify the trade:
+// the flags win on block-sparse or heavily padded operands and cost a
+// per-node test otherwise.
+//
+// The "quad-tree internal nodes" need no pointers here: an aligned level-l
+// block's flag lives at index s_base >> 2l of the level-l flag array,
+// because aligned blocks are contiguous curve ranges.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tiled_matrix.hpp"
+
+namespace rla {
+
+class WorkerPool;
+
+/// Per-level all-zero flags for every aligned block of a tiled matrix.
+class ZeroTree {
+ public:
+  ZeroTree() = default;
+
+  /// Scan the matrix and build flags bottom-up (parallel over tiles when a
+  /// pool is supplied).
+  static ZeroTree build(const TiledMatrix& m, WorkerPool* pool = nullptr);
+
+  bool empty() const noexcept { return levels_.empty(); }
+
+  /// Is the level-`level` block starting at curve position `s_base`
+  /// entirely zero?
+  bool zero(int level, std::uint64_t s_base) const noexcept {
+    return levels_[static_cast<std::size_t>(level)]
+                  [s_base >> (2 * level)] != 0;
+  }
+
+  /// Fraction of leaf tiles that are all-zero.
+  double zero_tile_fraction() const noexcept;
+
+ private:
+  // levels_[l][k]: 1 when the k-th aligned level-l block is all zero.
+  std::vector<std::vector<std::uint8_t>> levels_;
+};
+
+}  // namespace rla

@@ -1,0 +1,96 @@
+#pragma once
+
+// Bit-manipulation primitives for the space-filling-curve layout functions
+// (paper §3): bitwise interleaving (the ⋈ operator), Gray-code encode/decode,
+// and small integer-log helpers.
+//
+// All S functions in the paper reduce to a handful of these operations, and
+// keeping them branch-free is what makes "addressing overheads ... in
+// control" (paper §5) possible.
+
+#include <cstdint>
+
+namespace rla::bits {
+
+/// Spread the low 32 bits of x so bit k moves to bit 2k (even positions).
+constexpr std::uint64_t spread(std::uint64_t x) noexcept {
+  x &= 0xFFFFFFFFULL;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+/// Inverse of spread: gather even-position bits of x into the low 32 bits.
+constexpr std::uint64_t gather(std::uint64_t x) noexcept {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return x;
+}
+
+/// Bitwise interleave u ⋈ v = u_{d-1} v_{d-1} ... u_0 v_0 (paper §3 notation):
+/// bits of `u` land in the odd (more significant) positions of each pair.
+constexpr std::uint64_t interleave(std::uint32_t u, std::uint32_t v) noexcept {
+  return (spread(u) << 1) | spread(v);
+}
+
+/// Inverse of interleave: recover (u, v) from w = u ⋈ v.
+struct Deinterleaved {
+  std::uint32_t u;
+  std::uint32_t v;
+};
+
+constexpr Deinterleaved deinterleave(std::uint64_t w) noexcept {
+  return {static_cast<std::uint32_t>(gather(w >> 1)),
+          static_cast<std::uint32_t>(gather(w))};
+}
+
+/// Reflected binary Gray code G(x) (paper's 𝒢).
+constexpr std::uint64_t gray(std::uint64_t x) noexcept { return x ^ (x >> 1); }
+
+/// Inverse Gray code 𝒢⁻¹: prefix-XOR from the most significant bit down.
+constexpr std::uint64_t gray_inverse(std::uint64_t g) noexcept {
+  g ^= g >> 32;
+  g ^= g >> 16;
+  g ^= g >> 8;
+  g ^= g >> 4;
+  g ^= g >> 2;
+  g ^= g >> 1;
+  return g;
+}
+
+/// True when x is a power of two (x = 2^k, k >= 0).
+constexpr bool is_pow2(std::uint64_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) noexcept {
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr int ceil_log2(std::uint64_t x) noexcept {
+  return is_pow2(x) ? floor_log2(x) : floor_log2(x) + 1;
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+/// ceil(a / b) for b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace rla::bits

@@ -1,0 +1,93 @@
+#include "layout/convert.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rla {
+
+namespace {
+
+/// Extent of tile (ti, tj) that overlaps the logical matrix; 0 for tiles
+/// entirely in the padding.
+struct TileClip {
+  std::uint32_t i0, j0;    // logical top-left of the tile
+  std::uint32_t live_r;    // rows of the tile inside the logical matrix
+  std::uint32_t live_c;    // columns of the tile inside the logical matrix
+};
+
+TileClip clip_tile(const TileGeometry& g, std::uint32_t ti, std::uint32_t tj) {
+  TileClip c;
+  c.i0 = ti * g.tile_rows;
+  c.j0 = tj * g.tile_cols;
+  c.live_r = c.i0 >= g.rows
+                 ? 0
+                 : std::min<std::uint32_t>(g.tile_rows, g.rows - c.i0);
+  c.live_c = c.j0 >= g.cols
+                 ? 0
+                 : std::min<std::uint32_t>(g.tile_cols, g.cols - c.j0);
+  return c;
+}
+
+}  // namespace
+
+void canonical_to_tiled(const double* src, std::size_t ld, bool transpose,
+                        double alpha, const TileGeometry& g, double* dst,
+                        std::uint64_t s_begin, std::uint64_t s_end) {
+  const std::uint64_t tsz = g.tile_elems();
+  for (std::uint64_t s = s_begin; s < s_end; ++s) {
+    const TileCoord tc = s_inverse(g.curve, s, g.depth);
+    const TileClip clip = clip_tile(g, tc.i, tc.j);
+    double* tile = dst + s * tsz;
+    if (clip.live_r == 0 || clip.live_c == 0) {
+      std::memset(tile, 0, tsz * sizeof(double));
+      continue;
+    }
+    for (std::uint32_t fj = 0; fj < g.tile_cols; ++fj) {
+      double* out = tile + std::uint64_t{fj} * g.tile_rows;
+      if (fj >= clip.live_c) {
+        std::memset(out, 0, g.tile_rows * sizeof(double));
+        continue;
+      }
+      const std::uint32_t j = clip.j0 + fj;
+      if (!transpose) {
+        const double* in = src + std::uint64_t{j} * ld + clip.i0;
+        for (std::uint32_t fi = 0; fi < clip.live_r; ++fi) out[fi] = alpha * in[fi];
+      } else {
+        // Logical (i, j) = physical (j, i): column j of the logical matrix is
+        // row j of src, a strided walk.
+        const double* in = src + std::uint64_t{clip.i0} * ld + j;
+        for (std::uint32_t fi = 0; fi < clip.live_r; ++fi) {
+          out[fi] = alpha * in[std::uint64_t{fi} * ld];
+        }
+      }
+      if (clip.live_r < g.tile_rows) {
+        std::memset(out + clip.live_r, 0,
+                    (g.tile_rows - clip.live_r) * sizeof(double));
+      }
+    }
+  }
+}
+
+void tiled_to_canonical(const double* src, const TileGeometry& g, double* dst,
+                        std::size_t ld, std::uint64_t s_begin, std::uint64_t s_end) {
+  const std::uint64_t tsz = g.tile_elems();
+  for (std::uint64_t s = s_begin; s < s_end; ++s) {
+    const TileCoord tc = s_inverse(g.curve, s, g.depth);
+    const TileClip clip = clip_tile(g, tc.i, tc.j);
+    if (clip.live_r == 0 || clip.live_c == 0) continue;
+    const double* tile = src + s * tsz;
+    for (std::uint32_t fj = 0; fj < clip.live_c; ++fj) {
+      const double* in = tile + std::uint64_t{fj} * g.tile_rows;
+      double* out = dst + std::uint64_t{clip.j0 + fj} * ld + clip.i0;
+      std::memcpy(out, in, clip.live_r * sizeof(double));
+    }
+  }
+}
+
+void zero_tiles(const TileGeometry& g, double* dst, std::uint64_t s_begin,
+                std::uint64_t s_end) {
+  const std::uint64_t tsz = g.tile_elems();
+  std::memset(dst + s_begin * tsz, 0, (s_end - s_begin) * tsz * sizeof(double));
+}
+
+}  // namespace rla

@@ -1,0 +1,54 @@
+#pragma once
+
+// Conversion between canonical (column-major, leading-dimension) storage and
+// the recursive tiled layout (paper §4, "Conversion and transposition
+// issues").
+//
+// The dgemm-compatible driver presents matrices in column-major order; we
+// internally allocate tiled storage and remap.  Transposition and scalar
+// scaling are fused into the remap, so a single core multiply routine
+// suffices for all op(A)/op(B) combinations.  The remap is expressed over a
+// range of curve positions so callers can spawn sub-ranges in parallel; the
+// destination is written in streaming order (tile s, then s+1, ...) because
+// destination tiles are contiguous along the curve.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "layout/tiled_layout.hpp"
+
+namespace rla {
+
+/// Remap op(src) into tiled storage for tiles with curve positions in
+/// [s_begin, s_end).
+///
+/// `src` is column-major with leading dimension `ld`. When `transpose` is
+/// false it must be (at least) g.rows × g.cols; when true, g.cols × g.rows,
+/// and the logical matrix is its transpose. Every copied element is scaled
+/// by `alpha`; padding rows/columns of partial tiles are zero-filled.
+void canonical_to_tiled(const double* src, std::size_t ld, bool transpose,
+                        double alpha, const TileGeometry& g, double* dst,
+                        std::uint64_t s_begin, std::uint64_t s_end);
+
+/// Full-matrix convenience overload (all tiles, no transpose unless asked).
+inline void canonical_to_tiled(const double* src, std::size_t ld, bool transpose,
+                               double alpha, const TileGeometry& g, double* dst) {
+  canonical_to_tiled(src, ld, transpose, alpha, g, dst, 0, g.tile_count());
+}
+
+/// Remap the logical (unpadded) region of tiled storage back to column-major
+/// `dst` with leading dimension `ld`, for tiles with curve positions in
+/// [s_begin, s_end). Padding elements are not copied.
+void tiled_to_canonical(const double* src, const TileGeometry& g, double* dst,
+                        std::size_t ld, std::uint64_t s_begin, std::uint64_t s_end);
+
+inline void tiled_to_canonical(const double* src, const TileGeometry& g,
+                               double* dst, std::size_t ld) {
+  tiled_to_canonical(src, g, dst, ld, 0, g.tile_count());
+}
+
+/// Zero-fill the tiles with curve positions in [s_begin, s_end).
+void zero_tiles(const TileGeometry& g, double* dst, std::uint64_t s_begin,
+                std::uint64_t s_end);
+
+}  // namespace rla

@@ -1,0 +1,113 @@
+#include "layout/curve.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "layout/gray.hpp"
+#include "layout/hilbert.hpp"
+#include "layout/morton.hpp"
+
+namespace rla {
+
+std::string_view curve_name(Curve c) noexcept {
+  switch (c) {
+    case Curve::ColMajor:
+      return "ColMajor";
+    case Curve::RowMajor:
+      return "RowMajor";
+    case Curve::UMorton:
+      return "U-Morton";
+    case Curve::XMorton:
+      return "X-Morton";
+    case Curve::ZMorton:
+      return "Z-Morton";
+    case Curve::GrayMorton:
+      return "Gray-Morton";
+    case Curve::Hilbert:
+      return "Hilbert";
+  }
+  return "?";
+}
+
+bool parse_curve(std::string_view text, Curve& out) noexcept {
+  std::string key;
+  key.reserve(text.size());
+  for (char ch : text) {
+    if (ch == '-' || ch == '_' || ch == ' ') continue;
+    key.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+  }
+  if (key == "colmajor" || key == "col" || key == "c" || key == "canonical") {
+    out = Curve::ColMajor;
+  } else if (key == "rowmajor" || key == "row" || key == "r") {
+    out = Curve::RowMajor;
+  } else if (key == "umorton" || key == "u") {
+    out = Curve::UMorton;
+  } else if (key == "xmorton" || key == "x") {
+    out = Curve::XMorton;
+  } else if (key == "zmorton" || key == "z" || key == "morton" || key == "lebesgue") {
+    out = Curve::ZMorton;
+  } else if (key == "graymorton" || key == "gray" || key == "g") {
+    out = Curve::GrayMorton;
+  } else if (key == "hilbert" || key == "h") {
+    out = Curve::Hilbert;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t s_index(Curve c, std::uint32_t i, std::uint32_t j, int d) noexcept {
+  switch (c) {
+    case Curve::ColMajor:
+      return (static_cast<std::uint64_t>(j) << d) | i;
+    case Curve::RowMajor:
+      return (static_cast<std::uint64_t>(i) << d) | j;
+    case Curve::UMorton:
+      return curve_detail::u_index(i, j);
+    case Curve::XMorton:
+      return curve_detail::x_index(i, j);
+    case Curve::ZMorton:
+      return curve_detail::z_index(i, j);
+    case Curve::GrayMorton:
+      return curve_detail::gray_index(i, j);
+    case Curve::Hilbert:
+      return curve_detail::hilbert_index(i, j, d);
+  }
+  return 0;
+}
+
+TileCoord s_inverse(Curve c, std::uint64_t s, int d) noexcept {
+  const std::uint64_t mask = (std::uint64_t{1} << d) - 1;
+  switch (c) {
+    case Curve::ColMajor:
+      return {static_cast<std::uint32_t>(s & mask),
+              static_cast<std::uint32_t>(s >> d)};
+    case Curve::RowMajor:
+      return {static_cast<std::uint32_t>(s >> d),
+              static_cast<std::uint32_t>(s & mask)};
+    case Curve::UMorton:
+      return curve_detail::u_inverse(s);
+    case Curve::XMorton:
+      return curve_detail::x_inverse(s);
+    case Curve::ZMorton:
+      return curve_detail::z_inverse(s);
+    case Curve::GrayMorton:
+      return curve_detail::gray_inverse_index(s);
+    case Curve::Hilbert:
+      return curve_detail::hilbert_inverse(s, d);
+  }
+  return {0, 0};
+}
+
+TileCoord s_inverse_transformed(Curve c, CurveTransform t, std::uint64_t s,
+                                int d) noexcept {
+  const TileCoord tc = s_inverse(c, s, d);
+  // The transforms are involutions except the two rotations, which are each
+  // other's inverses.
+  CurveTransform inverse = t;
+  if (t == CurveTransform::Rotate90) inverse = CurveTransform::Rotate270;
+  if (t == CurveTransform::Rotate270) inverse = CurveTransform::Rotate90;
+  return apply_transform(inverse, tc.i, tc.j, d);
+}
+
+}  // namespace rla

@@ -1,0 +1,127 @@
+#pragma once
+
+// The family of tile-ordering functions S (paper §3).
+//
+// S(i, j) gives the position along the space-filling curve of the tile at
+// tile-coordinates (i, j) on a 2^d × 2^d grid.  The five recursive layouts of
+// the paper (U-Morton, X-Morton, Z-Morton, Gray-Morton, Hilbert) are joined
+// by the two canonical orders so that blocked-canonical layouts fit the same
+// machinery.
+
+#include <cstdint>
+#include <string_view>
+
+namespace rla {
+
+/// Tile-ordering curves. The paper's six layout functions are Canonical
+/// column-major plus the five recursive ones; RowMajor is included for
+/// completeness (paper Fig. 2(a)-(b)).
+enum class Curve : std::uint8_t {
+  ColMajor,    ///< canonical L_C in T-space (blocked column-major)
+  RowMajor,    ///< canonical L_R in T-space (blocked row-major)
+  UMorton,     ///< L_U : S = B(j) ⋈ (B(i) XOR B(j)), one orientation
+  XMorton,     ///< L_X : S = (B(i) XOR B(j)) ⋈ B(j), one orientation
+  ZMorton,     ///< L_Z (Lebesgue) : S = B(i) ⋈ B(j), one orientation
+  GrayMorton,  ///< L_G : S = G⁻¹(G(i) ⋈ G(j)), two orientations
+  Hilbert,     ///< L_H : Bially FSM evaluation, four orientations
+};
+
+inline constexpr Curve kAllCurves[] = {
+    Curve::ColMajor, Curve::RowMajor,   Curve::UMorton, Curve::XMorton,
+    Curve::ZMorton,  Curve::GrayMorton, Curve::Hilbert,
+};
+
+/// The five recursive curves of the paper (excludes the canonical orders).
+inline constexpr Curve kRecursiveCurves[] = {
+    Curve::UMorton, Curve::XMorton, Curve::ZMorton, Curve::GrayMorton,
+    Curve::Hilbert,
+};
+
+/// Short printable name ("Z-Morton", "Hilbert", ...).
+std::string_view curve_name(Curve c) noexcept;
+
+/// Parse a curve name (case-insensitive, accepts "z", "zmorton",
+/// "z-morton", ...). Returns true on success.
+bool parse_curve(std::string_view text, Curve& out) noexcept;
+
+/// Whether the curve is quadrant-recursive (true for all but the canonical
+/// orders). Canonical tile orders are not self-similar: an aligned quadrant
+/// is not contiguous along the curve.
+constexpr bool is_recursive(Curve c) noexcept {
+  return c != Curve::ColMajor && c != Curve::RowMajor;
+}
+
+/// Number of distinct orientations the curve's self-similar recursion uses
+/// (paper §3: 1 for U/X/Z-Morton, 2 for Gray-Morton, 4 for Hilbert).
+/// Canonical orders report 1.
+constexpr int orientation_count(Curve c) noexcept {
+  switch (c) {
+    case Curve::GrayMorton:
+      return 2;
+    case Curve::Hilbert:
+      return 4;
+    default:
+      return 1;
+  }
+}
+
+/// Pair of tile coordinates (row, column).
+struct TileCoord {
+  std::uint32_t i;
+  std::uint32_t j;
+};
+
+/// S(i, j; d): curve position of tile (i, j) on a 2^d × 2^d grid.
+/// Requires i, j < 2^d and d <= 31. O(1) bit ops for all curves except
+/// Hilbert, which is O(d).
+std::uint64_t s_index(Curve c, std::uint32_t i, std::uint32_t j, int d) noexcept;
+
+/// S⁻¹(s; d): tile coordinates of curve position s on a 2^d × 2^d grid.
+/// Requires s < 4^d.
+TileCoord s_inverse(Curve c, std::uint64_t s, int d) noexcept;
+
+/// Rigid transformations of the index square — the dihedral group D4.
+/// Paper §3: "Rotations and reflections of the layout functions are
+/// possible, and are most cleanly computed by interchanging the i and j
+/// arguments and/or subtracting them from 2^d − 1." Encoded as a bitmask:
+/// bit 0 = reflect i, bit 1 = reflect j (both applied first), bit 2 = swap
+/// i and j (applied last).
+enum class CurveTransform : std::uint8_t {
+  Identity = 0,
+  FlipI = 1,
+  FlipJ = 2,
+  Rotate180 = 3,      ///< FlipI | FlipJ
+  Transpose = 4,      ///< swap only (reflection across the main diagonal)
+  Rotate90 = 5,       ///< FlipI then swap
+  Rotate270 = 6,      ///< FlipJ then swap
+  AntiTranspose = 7,  ///< Rotate180 then swap
+};
+
+/// Apply the transform to (i, j) on a 2^d × 2^d grid.
+constexpr TileCoord apply_transform(CurveTransform t, std::uint32_t i,
+                                    std::uint32_t j, int d) noexcept {
+  const std::uint32_t mask = (std::uint32_t{1} << d) - 1;
+  const auto bits = static_cast<std::uint8_t>(t);
+  if (bits & 1) i = mask - i;
+  if (bits & 2) j = mask - j;
+  if (bits & 4) {
+    const std::uint32_t tmp = i;
+    i = j;
+    j = tmp;
+  }
+  return {i, j};
+}
+
+/// S of the transformed layout: the curve pattern rotated/reflected per `t`.
+inline std::uint64_t s_index_transformed(Curve c, CurveTransform t,
+                                         std::uint32_t i, std::uint32_t j,
+                                         int d) noexcept {
+  const TileCoord tc = apply_transform(t, i, j, d);
+  return s_index(c, tc.i, tc.j, d);
+}
+
+/// Inverse of s_index_transformed.
+TileCoord s_inverse_transformed(Curve c, CurveTransform t, std::uint64_t s,
+                                int d) noexcept;
+
+}  // namespace rla

@@ -1,0 +1,31 @@
+#pragma once
+
+// The Gray-Morton layout L_G (paper §3.2, attributed to Leiserson):
+//
+//   S(i,j) = 𝒢⁻¹( 𝒢(i) ⋈ 𝒢(j) )
+//
+// A two-orientation curve built from a C-shaped segment and its 180°-rotated
+// counterpart.  Its key property (paper §3.4): the tile orders of the two
+// orientations differ by a rotation of exactly half the tile count, which is
+// what enables the two-half-step trick for quadrant additions (paper §4).
+
+#include <cstdint>
+
+#include "layout/bits.hpp"
+#include "layout/curve.hpp"
+
+namespace rla::curve_detail {
+
+inline std::uint64_t gray_index(std::uint32_t i, std::uint32_t j) noexcept {
+  const auto gi = static_cast<std::uint32_t>(bits::gray(i));
+  const auto gj = static_cast<std::uint32_t>(bits::gray(j));
+  return bits::gray_inverse(bits::interleave(gi, gj));
+}
+
+inline TileCoord gray_inverse_index(std::uint64_t s) noexcept {
+  const auto [gi, gj] = bits::deinterleave(bits::gray(s));
+  return {static_cast<std::uint32_t>(bits::gray_inverse(gi)),
+          static_cast<std::uint32_t>(bits::gray_inverse(gj))};
+}
+
+}  // namespace rla::curve_detail

@@ -1,0 +1,63 @@
+#pragma once
+
+// The Hilbert layout L_H (paper §3.3).
+//
+// Four-orientation curve; the S function is evaluated in the style of
+// Bially's finite-state machine: two bits of (i, j) are consumed per step,
+// two bits of S are produced, and the machine state (the current rotation /
+// reflection of the base C-shape) is carried between steps.  Here the state
+// is carried implicitly by rotating the remaining coordinate bits, which is
+// the standard loop formulation of the same FSM.
+
+#include <cstdint>
+
+#include "layout/curve.hpp"
+
+namespace rla::curve_detail {
+
+/// Rotate/reflect the low `h`-block of a coordinate pair for one Hilbert
+/// recursion step. `n` is the size of the (sub)grid being fixed up.
+inline void hilbert_rot(std::uint32_t n, std::uint32_t& i, std::uint32_t& j,
+                        std::uint32_t ri, std::uint32_t rj) noexcept {
+  if (rj == 0) {
+    if (ri == 1) {
+      i = n - 1 - i;
+      j = n - 1 - j;
+    }
+    const std::uint32_t t = i;
+    i = j;
+    j = t;
+  }
+}
+
+/// S(i, j) on a 2^d × 2^d grid.
+inline std::uint64_t hilbert_index(std::uint32_t i, std::uint32_t j, int d) noexcept {
+  const std::uint32_t n = std::uint32_t{1} << d;
+  std::uint64_t s = 0;
+  for (std::uint32_t h = n >> 1; h > 0; h >>= 1) {
+    const std::uint32_t ri = (i & h) ? 1 : 0;
+    const std::uint32_t rj = (j & h) ? 1 : 0;
+    s += static_cast<std::uint64_t>(h) * h * ((3 * ri) ^ rj);
+    hilbert_rot(n, i, j, ri, rj);
+  }
+  return s;
+}
+
+/// S⁻¹(s) on a 2^d × 2^d grid.
+inline TileCoord hilbert_inverse(std::uint64_t s, int d) noexcept {
+  const std::uint32_t n = std::uint32_t{1} << d;
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  std::uint64_t t = s;
+  for (std::uint32_t h = 1; h < n; h <<= 1) {
+    const auto ri = static_cast<std::uint32_t>(1 & (t / 2));
+    const auto rj = static_cast<std::uint32_t>(1 & (t ^ ri));
+    hilbert_rot(h, i, j, ri, rj);
+    i += h * ri;
+    j += h * rj;
+    t /= 4;
+  }
+  return {i, j};
+}
+
+}  // namespace rla::curve_detail

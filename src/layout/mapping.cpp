@@ -1,0 +1,29 @@
+#include "layout/mapping.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "layout/quadrant.hpp"
+
+namespace rla {
+
+const std::vector<std::uint32_t>& cached_order_map(Curve c, int r_from, int r_to,
+                                                   int level) {
+  using Key = std::tuple<Curve, int, int, int>;
+  static std::mutex mutex;
+  // unique_ptr so map rehashing never moves the vectors callers hold.
+  static std::map<Key, std::unique_ptr<std::vector<std::uint32_t>>> cache;
+  const Key key{c, r_from, r_to, level};
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto map = std::make_unique<std::vector<std::uint32_t>>(
+        CurveOps::get(c).order_map(r_from, r_to, level));
+    it = cache.emplace(key, std::move(map)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace rla

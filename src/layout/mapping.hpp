@@ -1,0 +1,25 @@
+#pragma once
+
+// Cached global tile-mapping arrays (paper §4).
+//
+// For Hilbert (and in principle any multi-orientation curve), corresponding
+// tiles of two quadrants with different orientations sit at different
+// relative positions, and there is "no simple pattern" — so the paper keeps
+// global mapping arrays indexed by orientation pair.  We cache one array per
+// (curve, orientation pair, block level).
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/curve.hpp"
+
+namespace rla {
+
+/// Permutation p with p[s_from] = s_to: the tile at local curve position
+/// s_from in a block of orientation r_from sits at local position s_to in an
+/// equally-sized block of orientation r_to. Cached; the reference stays
+/// valid for the program lifetime. Thread-safe.
+const std::vector<std::uint32_t>& cached_order_map(Curve c, int r_from, int r_to,
+                                                   int level);
+
+}  // namespace rla

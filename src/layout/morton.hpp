@@ -1,0 +1,46 @@
+#pragma once
+
+// The three single-orientation recursive layouts (paper §3.1):
+//
+//   L_U :  S(i,j) = B⁻¹( B(j) ⋈ (B(i) XOR B(j)) )
+//   L_X :  S(i,j) = B⁻¹( (B(i) XOR B(j)) ⋈ B(j) )
+//   L_Z :  S(i,j) = B⁻¹( B(i) ⋈ B(j) )           (Lebesgue / Z-Morton)
+//
+// Each is a fixed quadrant-ordering pattern repeated at every scale, so the
+// S functions are pure bit shuffles, independent of the grid depth d.
+
+#include <cstdint>
+
+#include "layout/bits.hpp"
+#include "layout/curve.hpp"
+
+namespace rla::curve_detail {
+
+inline std::uint64_t z_index(std::uint32_t i, std::uint32_t j) noexcept {
+  return bits::interleave(i, j);
+}
+
+inline TileCoord z_inverse(std::uint64_t s) noexcept {
+  const auto [u, v] = bits::deinterleave(s);
+  return {u, v};
+}
+
+inline std::uint64_t u_index(std::uint32_t i, std::uint32_t j) noexcept {
+  return bits::interleave(j, i ^ j);
+}
+
+inline TileCoord u_inverse(std::uint64_t s) noexcept {
+  const auto [u, v] = bits::deinterleave(s);
+  return {u ^ v, u};  // j = u, i = v XOR j
+}
+
+inline std::uint64_t x_index(std::uint32_t i, std::uint32_t j) noexcept {
+  return bits::interleave(i ^ j, j);
+}
+
+inline TileCoord x_inverse(std::uint64_t s) noexcept {
+  const auto [u, v] = bits::deinterleave(s);
+  return {u ^ v, v};  // j = v, i = u XOR j
+}
+
+}  // namespace rla::curve_detail

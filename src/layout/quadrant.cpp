@@ -1,0 +1,167 @@
+#include "layout/quadrant.hpp"
+
+#include <cassert>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace rla {
+
+namespace {
+
+// Depth of the reference grid the tables are extracted from. Levels 2..kRefD
+// are available for signature computation; every orientation of every curve
+// here appears (and gets expanded) well within this depth.
+constexpr int kRefD = 6;
+
+// A block of the reference grid: top-left tile coordinates, level
+// (side = 2^level tiles), and the start of its curve range.
+struct Node {
+  std::uint32_t ti0;
+  std::uint32_t tj0;
+  int level;
+  std::uint64_t base;
+};
+
+// Orientation signature of a block: the local curve order of its 4x4 grid of
+// grand-child sub-blocks. Two blocks of a self-similar curve with equal
+// signatures have identical internal orderings at every depth, because the
+// level-2 pattern pins down the rotation/reflection/reversal uniquely for
+// the curves considered here (verified by the closure check in the builder).
+using Signature = std::array<std::uint8_t, 16>;
+
+Signature signature_of(Curve c, const Node& n) {
+  assert(n.level >= 2);
+  Signature sig{};
+  const std::uint32_t q = std::uint32_t{1} << (n.level - 2);
+  const int shift = 2 * (n.level - 2);
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    for (std::uint32_t v = 0; v < 4; ++v) {
+      const std::uint64_t s = s_index(c, n.ti0 + u * q, n.tj0 + v * q, kRefD);
+      sig[4 * u + v] = static_cast<std::uint8_t>((s - n.base) >> shift);
+    }
+  }
+  return sig;
+}
+
+}  // namespace
+
+CurveOps::CurveOps(Curve c) : curve_(c) {
+  if (!is_recursive(c)) {
+    throw std::invalid_argument("CurveOps requires a recursive curve");
+  }
+
+  std::map<Signature, int> ids;          // signature -> orientation id
+  std::vector<Node> representative;      // orientation id -> a block with it
+  std::vector<bool> expanded;
+
+  const Node root{0, 0, kRefD, 0};
+  ids.emplace(signature_of(c, root), 0);
+  representative.push_back(root);
+  expanded.push_back(false);
+
+  // Expand orientations until closure. Each expansion fills one row of the
+  // chunk / child-orientation tables from a representative block.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < static_cast<int>(representative.size()); ++r) {
+      if (expanded[r]) continue;
+      // Copy: the representative vector may reallocate when children of this
+      // node introduce new orientations below.
+      const Node n = representative[r];
+      if (n.level < 3) continue;  // children would be too small to classify
+      expanded[r] = true;
+      progress = true;
+      const std::uint32_t h = std::uint32_t{1} << (n.level - 1);
+      const int shift = 2 * (n.level - 1);
+      for (int q = 0; q < 4; ++q) {
+        const std::uint32_t qi = static_cast<std::uint32_t>(q) >> 1;
+        const std::uint32_t qj = static_cast<std::uint32_t>(q) & 1;
+        Node child;
+        child.ti0 = n.ti0 + qi * h;
+        child.tj0 = n.tj0 + qj * h;
+        child.level = n.level - 1;
+        const std::uint64_t corner = s_index(c, child.ti0, child.tj0, kRefD);
+        const int chunk = static_cast<int>((corner - n.base) >> shift);
+        child.base = n.base + (static_cast<std::uint64_t>(chunk) << shift);
+        const Signature sig = signature_of(c, child);
+        auto [it, inserted] = ids.emplace(sig, static_cast<int>(representative.size()));
+        if (inserted) {
+          representative.push_back(child);
+          expanded.push_back(false);
+          if (representative.size() > 4) {
+            throw std::logic_error("curve has more than 4 orientations");
+          }
+        } else if (child.level >= 3 && !expanded[it->second]) {
+          // Prefer a deeper representative so it can itself be expanded.
+          representative[it->second] = child;
+        }
+        chunk_[r][q] = chunk;
+        child_[r][q] = it->second;
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < representative.size(); ++r) {
+    if (!expanded[r]) {
+      throw std::logic_error("orientation discovered but never expanded");
+    }
+  }
+  orientations_ = static_cast<int>(representative.size());
+}
+
+const CurveOps& CurveOps::get(Curve c) {
+  static std::mutex mutex;
+  static std::map<Curve, CurveOps> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(c);
+  if (it == cache.end()) it = cache.emplace(c, CurveOps(c)).first;
+  return it->second;
+}
+
+std::vector<std::uint32_t> CurveOps::local_order(int r, int level) const {
+  const std::uint64_t n = std::uint64_t{1} << (2 * level);
+  std::vector<std::uint32_t> order(n);
+  // Iterative expansion of the FSM: state per node, refined level by level.
+  struct Frame {
+    std::uint32_t u, v;
+    int level;
+    int orient;
+    std::uint64_t s;
+  };
+  std::vector<Frame> stack{{0, 0, level, r, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.level == 0) {
+      order[f.s] = (f.u << level) | f.v;
+      continue;
+    }
+    const std::uint32_t h = std::uint32_t{1} << (f.level - 1);
+    const std::uint64_t quarter = std::uint64_t{1} << (2 * (f.level - 1));
+    for (int q = 0; q < 4; ++q) {
+      Frame child;
+      child.u = f.u + (static_cast<std::uint32_t>(q) >> 1) * h;
+      child.v = f.v + (static_cast<std::uint32_t>(q) & 1) * h;
+      child.level = f.level - 1;
+      child.orient = child_[f.orient][q];
+      child.s = f.s + static_cast<std::uint64_t>(chunk_[f.orient][q]) * quarter;
+      stack.push_back(child);
+    }
+  }
+  return order;
+}
+
+std::vector<std::uint32_t> CurveOps::order_map(int r_from, int r_to, int level) const {
+  const std::vector<std::uint32_t> from = local_order(r_from, level);
+  const std::vector<std::uint32_t> to = local_order(r_to, level);
+  // Invert `to`: coordinate -> position.
+  std::vector<std::uint32_t> to_pos(to.size());
+  for (std::uint32_t s = 0; s < to.size(); ++s) to_pos[to[s]] = s;
+  std::vector<std::uint32_t> map(from.size());
+  for (std::uint32_t s = 0; s < from.size(); ++s) map[s] = to_pos[from[s]];
+  return map;
+}
+
+}  // namespace rla

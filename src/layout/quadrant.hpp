@@ -1,0 +1,70 @@
+#pragma once
+
+// Orientation algebra for the recursive curves (paper §3.4, §4).
+//
+// Every recursive layout here is quadrant-recursive: an aligned 2^l × 2^l
+// block of tiles occupies a contiguous range of curve positions, and its four
+// quadrants occupy the four quarters of that range in some order.  Which
+// quarter each quadrant gets, and which *orientation* (rotation/reflection of
+// the base pattern) each quadrant's sub-curve uses, depends only on the
+// curve and the block's own orientation — a finite-state machine.
+//
+// Rather than hand-derive the transition tables per curve (error-prone for
+// Gray-Morton and Hilbert), we *extract* them from the direct S function by
+// classifying sub-block orderings on a reference grid, then verify closure.
+// This guarantees the recursion's embedded O(1) address computation is
+// consistent with the standalone S formulas, and it mechanically confirms the
+// paper's orientation counts (1 for U/X/Z-Morton, 2 for Gray-Morton, 4 for
+// Hilbert).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "layout/curve.hpp"
+
+namespace rla {
+
+/// Quadrant index: 2*qi + qj where qi selects the bottom half and qj the
+/// right half. So 0 = NW (top-left), 1 = NE, 2 = SW, 3 = SE.
+enum Quadrant : int { kNW = 0, kNE = 1, kSW = 2, kSE = 3 };
+
+/// Transition tables of a recursive curve's quadrant FSM.
+class CurveOps {
+ public:
+  /// Tables for `c`; built once per curve and cached. `c` must be recursive
+  /// (is_recursive(c)), since canonical tile orders are not quadrant-local.
+  static const CurveOps& get(Curve c);
+
+  Curve curve() const noexcept { return curve_; }
+
+  /// Number of orientations actually reachable from the root (orientation 0).
+  int orientations() const noexcept { return orientations_; }
+
+  /// Which quarter (0..3) of the parent's curve range the quadrant `q`
+  /// (Quadrant enum) occupies when the parent has orientation `r`.
+  int chunk(int r, int q) const noexcept { return chunk_[r][q]; }
+
+  /// Orientation of quadrant q's sub-curve when the parent has orientation r.
+  int child_orientation(int r, int q) const noexcept { return child_[r][q]; }
+
+  /// Local curve ordering of an l-level block with orientation r:
+  /// result[s] = 2^l * u + v for the tile at local coordinates (u, v) with
+  /// local curve position s. (Row-major packed coordinates for compactness.)
+  std::vector<std::uint32_t> local_order(int r, int level) const;
+
+  /// Tile permutation between two orientations of the same block size:
+  /// result[s_from] = s_to such that both refer to the same local tile
+  /// coordinate. Used for the Hilbert mapping-array additions (paper §4).
+  std::vector<std::uint32_t> order_map(int r_from, int r_to, int level) const;
+
+ private:
+  explicit CurveOps(Curve c);
+
+  Curve curve_;
+  int orientations_ = 0;
+  std::array<std::array<int, 4>, 4> chunk_{};
+  std::array<std::array<int, 4>, 4> child_{};
+};
+
+}  // namespace rla

@@ -1,0 +1,74 @@
+#include "layout/tiled_layout.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "layout/bits.hpp"
+
+namespace rla {
+
+Aspect classify_aspect(std::uint64_t m, std::uint64_t n, const TileRange& range) noexcept {
+  const double ratio = static_cast<double>(m) / static_cast<double>(n);
+  const double alpha = range.alpha();
+  if (ratio > alpha) return Aspect::Wide;   // paper: α < m/n is "wide"
+  if (ratio < 1.0 / alpha) return Aspect::Lean;
+  return Aspect::Squat;
+}
+
+bool depth_feasible(std::uint64_t x, int d, const TileRange& range) noexcept {
+  if (x == 0) return false;
+  const std::uint64_t t = bits::ceil_div(x, std::uint64_t{1} << d);
+  if (t > range.t_max) return false;
+  return d == 0 || t >= range.t_min;
+}
+
+std::uint32_t feasible_depths(std::uint64_t x, const TileRange& range) noexcept {
+  std::uint32_t mask = 0;
+  for (int d = 0; d < 31; ++d) {
+    if (depth_feasible(x, d, range)) mask |= (1u << d);
+    // Once the tile edge has shrunk below t_min it only shrinks further.
+    if ((x >> d) < range.t_min && d > 0) break;
+  }
+  return mask;
+}
+
+std::optional<int> common_depth(std::span<const std::uint64_t> dims,
+                                const TileRange& range) noexcept {
+  std::uint32_t mask = ~0u;
+  for (const std::uint64_t x : dims) mask &= feasible_depths(x, range);
+  if (mask == 0) return std::nullopt;
+
+  // Among feasible depths pick the one whose largest tile edge is closest
+  // to t_pref (Fig. 4: performance is a shallow bowl around the preferred
+  // tile size, so any feasible choice is close; this biases to the bottom).
+  int best = -1;
+  double best_score = 0.0;
+  for (int d = 0; d < 31; ++d) {
+    if ((mask & (1u << d)) == 0) continue;
+    double worst = 0.0;
+    for (const std::uint64_t x : dims) {
+      const auto t = static_cast<double>(bits::ceil_div(x, std::uint64_t{1} << d));
+      worst = std::max(worst, std::abs(std::log2(t / range.t_pref)));
+    }
+    if (best < 0 || worst < best_score) {
+      best = d;
+      best_score = worst;
+    }
+  }
+  return best;
+}
+
+TileGeometry make_geometry(std::uint32_t rows, std::uint32_t cols, int depth,
+                           Curve curve) noexcept {
+  TileGeometry g;
+  g.rows = rows;
+  g.cols = cols;
+  g.depth = depth;
+  g.curve = curve;
+  const std::uint32_t side = std::uint32_t{1} << depth;
+  g.tile_rows = static_cast<std::uint32_t>(bits::ceil_div(rows, side));
+  g.tile_cols = static_cast<std::uint32_t>(bits::ceil_div(cols, side));
+  return g;
+}
+
+}  // namespace rla

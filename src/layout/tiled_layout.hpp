@@ -1,0 +1,102 @@
+#pragma once
+
+// The recursive-with-tiles layout function of paper Eq. (3):
+//
+//   L(i, j; m, n, t_R, t_C) = t_R·t_C · S(t_i, t_j)  +  L_C(f_i, f_j; t_R, t_C)
+//
+// The matrix is padded to a 2^d × 2^d grid of t_R × t_C tiles; tiles are
+// ordered along a space-filling curve S and each tile is stored column-major
+// ("canonical order inside the tile", following Lam/Rothberg/Wolf — the
+// recursion must *not* reach individual elements, paper §3).
+//
+// Also implements the paper's §4 tile-size selection from an
+// architecture-dependent range [T_min, T_max], and the wide/squat/lean
+// classification used to split extreme aspect ratios (paper Fig. 3).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "layout/curve.hpp"
+
+namespace rla {
+
+/// Acceptable tile-size range (paper §4: "neither too small ... nor overflow
+/// the cache"). Defaults suit a 32 KB L1 with 8-byte elements: a 32×32 tile
+/// is 8 KB, so the three leaf tiles of a multiply fit comfortably.
+struct TileRange {
+  std::uint32_t t_min = 16;
+  std::uint32_t t_max = 32;
+  /// Preferred tile edge when several depths are feasible (paper Fig. 4
+  /// finds the sweet spot near 16).
+  std::uint32_t t_pref = 16;
+
+  /// Aspect-ratio bound α = T_max / T_min: matrices with m/n outside
+  /// [1/α, α] are wide or lean and must be split (paper §4 footnote 2).
+  double alpha() const noexcept {
+    return static_cast<double>(t_max) / static_cast<double>(t_min);
+  }
+};
+
+/// Shape classification from paper §4.
+enum class Aspect { Lean, Squat, Wide };
+
+/// Classify an m × n matrix against the range's α.
+Aspect classify_aspect(std::uint64_t m, std::uint64_t n, const TileRange& range) noexcept;
+
+/// Complete description of one matrix's recursive layout.
+struct TileGeometry {
+  std::uint32_t rows = 0;       ///< logical row count m
+  std::uint32_t cols = 0;       ///< logical column count n
+  std::uint32_t tile_rows = 1;  ///< t_R
+  std::uint32_t tile_cols = 1;  ///< t_C
+  int depth = 0;                ///< d: the tile grid is 2^d × 2^d
+  Curve curve = Curve::ZMorton;
+
+  std::uint32_t tiles_per_side() const noexcept { return std::uint32_t{1} << depth; }
+  std::uint64_t tile_count() const noexcept { return std::uint64_t{1} << (2 * depth); }
+  std::uint64_t tile_elems() const noexcept {
+    return std::uint64_t{tile_rows} * tile_cols;
+  }
+  std::uint32_t padded_rows() const noexcept { return tile_rows << depth; }
+  std::uint32_t padded_cols() const noexcept { return tile_cols << depth; }
+  std::uint64_t total_elems() const noexcept {
+    return std::uint64_t{padded_rows()} * padded_cols();
+  }
+
+  /// Element offset of the start of tile (t_i, t_j).
+  std::uint64_t tile_offset(std::uint32_t ti, std::uint32_t tj) const noexcept {
+    return s_index(curve, ti, tj, depth) * tile_elems();
+  }
+
+  /// Full layout function L(i, j) of Eq. (3). i < padded_rows(),
+  /// j < padded_cols().
+  std::uint64_t address(std::uint32_t i, std::uint32_t j) const noexcept {
+    const std::uint32_t ti = i / tile_rows, fi = i % tile_rows;
+    const std::uint32_t tj = j / tile_cols, fj = j % tile_cols;
+    return tile_offset(ti, tj) + std::uint64_t{fj} * tile_rows + fi;
+  }
+};
+
+/// Is depth d feasible for a dimension of extent x under `range`?
+/// Feasible means the tile edge ceil(x / 2^d) fits in [t_min, t_max]; d = 0
+/// additionally accepts any x <= t_max (small matrices are a single
+/// undersized tile rather than being padded up to t_min).
+bool depth_feasible(std::uint64_t x, int d, const TileRange& range) noexcept;
+
+/// Bitmask of feasible depths (bit d set = depth d feasible) for extent x.
+std::uint32_t feasible_depths(std::uint64_t x, const TileRange& range) noexcept;
+
+/// Choose a common depth for a set of dimensions (the gemm driver passes
+/// {m, k, n} so A, B and C share one recursion depth). Among feasible depths
+/// prefers tile edges closest to t_pref. Empty optional = the shape is wide
+/// or lean and must be split (paper Fig. 3).
+std::optional<int> common_depth(std::span<const std::uint64_t> dims,
+                                const TileRange& range) noexcept;
+
+/// Build the geometry of a rows × cols matrix at the given shared depth.
+TileGeometry make_geometry(std::uint32_t rows, std::uint32_t cols, int depth,
+                           Curve curve) noexcept;
+
+}  // namespace rla

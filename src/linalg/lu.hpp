@@ -1,0 +1,56 @@
+#pragma once
+
+// Recursive LU factorization (no pivoting) over the recursive layouts —
+// the second classic recursion-as-variable-blocking factorization from
+// Gustavson (paper ref. [16]).
+//
+//   A = L·U, L unit lower triangular, U upper triangular, packed in place:
+//
+//   [A11 A12]   [L11   0 ] [U11 U12]
+//   [A21 A22] = [L21  L22] [ 0  U22]
+//
+//   lu(A11);  A12 ← L11⁻¹·A12 (left TRSM, unit lower);
+//   A21 ← A21·U11⁻¹ (right TRSM, upper);  A22 ← A22 − A21·A12 (gemm);
+//   lu(A22)
+//
+// Without pivoting the factorization requires nonzero leading principal
+// minors; it is unconditionally stable for (strictly) diagonally dominant
+// and for symmetric positive definite matrices. The driver throws
+// std::domain_error on a zero pivot.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/cholesky.hpp"  // CholeskyConfig-style config + MulContext
+
+namespace rla {
+
+using LuConfig = CholeskyConfig;  ///< same knobs: layout, tiles, pool, kernel
+using LuProfile = CholeskyProfile;
+
+/// Factor the n×n column-major matrix `a` (leading dimension lda) in place
+/// into L·U (unit-diagonal L below, U on and above the diagonal). No
+/// pivoting — see the header comment for the applicability conditions.
+void lu_nopivot(std::uint32_t n, double* a, std::size_t lda,
+                const LuConfig& cfg = {}, LuProfile* profile = nullptr);
+
+// ---- building blocks, exposed for tests ----
+
+/// X ← L⁻¹·X where L is the *unit* lower triangle of an equal-level square
+/// block (the stored diagonal is ignored and treated as 1).
+void trsm_left_unit_lower(const MulContext& ctx, const TiledBlock& x,
+                          const TiledBlock& l);
+
+/// X ← X·U⁻¹ where U is the upper triangle of an equal-level square block
+/// (non-unit diagonal).
+void trsm_right_upper(const MulContext& ctx, const TiledBlock& x,
+                      const TiledBlock& u);
+
+/// In-place recursive LU (no pivoting) of a square tiled block.
+void lu_block(const MulContext& ctx, const TiledBlock& a);
+
+/// Reference unblocked LU without pivoting (test oracle). Returns false on
+/// a zero pivot.
+bool reference_lu_nopivot(std::uint32_t n, double* a, std::size_t lda) noexcept;
+
+}  // namespace rla

@@ -1,0 +1,125 @@
+#pragma once
+
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005; memory ordering per
+// Lê, Pop, Cohen & Zappa Nardelli, PPoPP 2013).
+//
+// The owner pushes and pops at the bottom without contention; thieves steal
+// from the top with a CAS.  This is the core data structure of the
+// work-stealing scheduler that stands in for the paper's Cilk runtime.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rla {
+
+/// Lock-free single-owner deque of pointers. T must be a pointer type.
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_pointer_v<T>, "ChaseLevDeque stores pointers");
+
+ public:
+  explicit ChaseLevDeque(std::int64_t initial_capacity = 64)
+      : array_(new RingArray(initial_capacity)) {
+    retired_.emplace_back(array_.load(std::memory_order_relaxed));
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() = default;
+
+  /// Owner only: push at the bottom.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    RingArray* a = array_.load(std::memory_order_relaxed);
+    if (b - t > a->capacity - 1) {
+      a = grow(a, t, b);
+    }
+    a->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop from the bottom. Returns nullptr when empty.
+  T pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    RingArray* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    T item = nullptr;
+    if (t <= b) {
+      item = a->get(b);
+      if (t == b) {
+        // Last element: race against thieves.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // lost the race
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: steal from the top. Returns nullptr when empty or when the
+  /// steal lost a race (callers just try elsewhere).
+  T steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    T item = nullptr;
+    if (t < b) {
+      RingArray* a = array_.load(std::memory_order_consume);
+      item = a->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return nullptr;
+      }
+    }
+    return item;
+  }
+
+  /// Approximate size (racy; for heuristics and tests on quiescent deques).
+  std::int64_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  struct RingArray {
+    explicit RingArray(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+    T get(std::int64_t index) const {
+      return slots[index & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t index, T item) {
+      slots[index & mask].store(item, std::memory_order_relaxed);
+    }
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  RingArray* grow(RingArray* a, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<RingArray>(a->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, a->get(i));
+    RingArray* raw = bigger.get();
+    retired_.push_back(std::move(bigger));  // old arrays die with the deque
+    array_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<RingArray*> array_;
+  std::vector<std::unique_ptr<RingArray>> retired_;  // owner-only mutation
+};
+
+}  // namespace rla

@@ -1,0 +1,166 @@
+#include "parallel/worker_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rla {
+
+namespace {
+// Which worker (of which pool) the current thread is. A thread belongs to at
+// most one pool for its lifetime, so a single pair suffices.
+thread_local const WorkerPool* tl_pool = nullptr;
+thread_local int tl_worker_index = -1;
+}  // namespace
+
+WorkerPool::WorkerPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (unsigned w = 0; w < threads; ++w) {
+    workers_[w]->thread = std::thread([this, w] { worker_main(static_cast<int>(w)); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  stop_.store(true, std::memory_order_release);
+  sleep_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  // Drain anything never executed (only possible if a TaskGroup was leaked).
+  for (TaskNode* node : injection_queue_) delete node;
+  for (auto& worker : workers_) {
+    while (TaskNode* node = worker->deque.pop()) delete node;
+  }
+}
+
+int WorkerPool::current_worker_index() noexcept { return tl_worker_index; }
+
+void WorkerPool::enqueue(TaskNode* node) {
+  const int self = (tl_pool == this) ? tl_worker_index : -1;
+  if (self >= 0) {
+    workers_[static_cast<std::size_t>(self)]->deque.push(node);
+  } else {
+    std::lock_guard<std::mutex> lock(injection_mutex_);
+    injection_queue_.push_back(node);
+  }
+  if (sleepers_.load(std::memory_order_relaxed) > 0) sleep_cv_.notify_one();
+}
+
+WorkerPool::TaskNode* WorkerPool::try_acquire(int self) {
+  if (self >= 0) {
+    if (TaskNode* node = workers_[static_cast<std::size_t>(self)]->deque.pop()) {
+      return node;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(injection_mutex_);
+    if (!injection_queue_.empty()) {
+      TaskNode* node = injection_queue_.front();
+      injection_queue_.pop_front();
+      return node;
+    }
+  }
+  // Steal: start at a pseudo-random victim, sweep once around.
+  const std::size_t n = workers_.size();
+  if (n == 0) return nullptr;
+  thread_local std::minstd_rand rng(std::random_device{}());
+  const std::size_t start = rng() % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (start + k) % n;
+    if (static_cast<int>(victim) == self) continue;
+    if (TaskNode* node = workers_[victim]->deque.steal()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+void WorkerPool::run_node(TaskNode* node) {
+  TaskGroup* group = node->group;
+  try {
+    node->fn();
+  } catch (...) {
+    if (group != nullptr) group->record_exception(std::current_exception());
+  }
+  delete node;
+  if (group != nullptr) group->finish();
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WorkerPool::worker_main(int index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  int idle_spins = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (TaskNode* node = try_acquire(index)) {
+      idle_spins = 0;
+      run_node(node);
+      continue;
+    }
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_relaxed);
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    idle_spins = 0;
+  }
+}
+
+void WorkerPool::parallel_for(
+    std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  grain = std::max<std::uint64_t>(grain, 1);
+  if (serial() || end - begin <= grain) {
+    if (begin < end) body(begin, end);
+    return;
+  }
+  TaskGroup group(*this);
+  for (std::uint64_t b = begin; b < end; b += grain) {
+    const std::uint64_t e = std::min(end, b + grain);
+    group.spawn([&body, b, e] { body(b, e); });
+  }
+  group.wait();
+}
+
+void TaskGroup::wait() {
+  if (pool_.serial()) {
+    if (exception_) {
+      std::exception_ptr e = exception_;
+      exception_ = nullptr;
+      std::rethrow_exception(e);
+    }
+    return;
+  }
+  const int self = (tl_pool == &pool_) ? tl_worker_index : -1;
+  int idle_spins = 0;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (WorkerPool::TaskNode* node = pool_.try_acquire(self)) {
+      idle_spins = 0;
+      pool_.run_node(node);
+    } else if (++idle_spins < 256) {
+      std::this_thread::yield();
+    } else {
+      // All remaining children are running on other workers; nap briefly.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      idle_spins = 0;
+    }
+  }
+  if (exception_) {
+    std::exception_ptr e = exception_;
+    exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void TaskGroup::record_exception(std::exception_ptr e) noexcept {
+  std::lock_guard<std::mutex> lock(exception_mutex_);
+  if (!exception_) exception_ = e;
+}
+
+}  // namespace rla

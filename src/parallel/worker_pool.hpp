@@ -1,0 +1,153 @@
+#pragma once
+
+// Work-stealing thread pool with fork-join task groups.
+//
+// This is the substrate standing in for the Cilk runtime the paper used: the
+// matrix-multiplication recursion spawns its 7 or 8 sub-multiplications as
+// tasks, and a TaskGroup::wait() *helps* (runs other ready tasks) instead of
+// blocking, which is what makes nested fork-join parallelism efficient.
+//
+// A WorkerPool with zero threads degrades to a serial executor: spawn runs
+// the task inline and wait is a no-op. All algorithms are written against
+// this one interface.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "parallel/chase_lev_deque.hpp"
+
+namespace rla {
+
+class TaskGroup;
+
+/// Fork-join work-stealing pool.
+class WorkerPool {
+ public:
+  /// `threads` worker threads are created; 0 gives a serial pool where spawn
+  /// executes inline (useful as a baseline and for deterministic tests).
+  explicit WorkerPool(unsigned threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  bool serial() const noexcept { return workers_.empty(); }
+
+  /// Parallel loop over [begin, end): body(b, e) is invoked on disjoint
+  /// sub-ranges of at most `grain` iterations. Blocks until all complete.
+  void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                    const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+  /// Tasks executed since construction (for tests and scheduler stats).
+  std::uint64_t tasks_executed() const noexcept {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Total successful steals (scheduler stat; load-balance diagnostics).
+  std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class TaskGroup;
+
+  struct TaskNode {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  struct Worker {
+    ChaseLevDeque<TaskNode*> deque;
+    std::thread thread;
+  };
+
+  void enqueue(TaskNode* node);
+  TaskNode* try_acquire(int self);  // own deque -> injection queue -> steal
+  void run_node(TaskNode* node);
+  void worker_main(int index);
+  static int current_worker_index() noexcept;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex injection_mutex_;
+  std::deque<TaskNode*> injection_queue_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+/// One fork-join scope: spawn children, then wait for all of them.
+/// wait() runs other ready tasks while waiting, so nested groups (the
+/// recursive multiply) never block a worker thread.
+class TaskGroup {
+ public:
+  explicit TaskGroup(WorkerPool& pool) : pool_(pool) {}
+
+  /// Destruction waits for stragglers but swallows their exceptions (call
+  /// wait() explicitly to observe them).
+  ~TaskGroup() {
+    try {
+      wait();
+    } catch (...) {
+    }
+  }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Spawn fn as a task. On a serial pool, runs fn inline immediately.
+  template <typename F>
+  void spawn(F&& fn) {
+    if (pool_.serial()) {
+      fn();
+      return;
+    }
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    auto* node = new WorkerPool::TaskNode{std::forward<F>(fn), this};
+    pool_.enqueue(node);
+  }
+
+  /// Run fn inline, but account exceptions to this group like a spawned
+  /// task's (convenience for "spawn k-1, run the k-th yourself" patterns).
+  template <typename F>
+  void run(F&& fn) {
+    try {
+      fn();
+    } catch (...) {
+      record_exception(std::current_exception());
+    }
+  }
+
+  /// Wait until every spawned task has finished. Rethrows the first
+  /// exception any task (or run()) raised.
+  void wait();
+
+ private:
+  friend class WorkerPool;
+
+  void finish() noexcept { pending_.fetch_sub(1, std::memory_order_acq_rel); }
+  void record_exception(std::exception_ptr e) noexcept;
+
+  WorkerPool& pool_;
+  std::atomic<std::int64_t> pending_{0};
+  std::mutex exception_mutex_;
+  std::exception_ptr exception_;
+};
+
+}  // namespace rla

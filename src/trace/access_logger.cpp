@@ -1,0 +1,108 @@
+#include "trace/access_logger.hpp"
+
+#include <stdexcept>
+
+namespace rla::trace {
+
+std::vector<sim::MemRef> standard_canonical_trace(std::uint32_t n, std::uint32_t leaf,
+                                                  TraceBases bases) {
+  std::vector<sim::MemRef> out;
+  walk_standard_canonical(n, leaf, bases, [&](std::uint64_t addr, bool write) {
+    out.push_back({addr, write});
+  });
+  return out;
+}
+
+std::vector<sim::MemRef> standard_tiled_trace(std::uint32_t n, std::uint32_t tile,
+                                              Curve curve, TraceBases bases) {
+  if (tile == 0 || n % tile != 0 || !bits::is_pow2(n / tile)) {
+    throw std::invalid_argument("standard_tiled_trace: n must equal tile * 2^d");
+  }
+  std::vector<sim::MemRef> out;
+  walk_standard_tiled(n, tile, curve, bases, [&](std::uint64_t addr, bool write) {
+    out.push_back({addr, write});
+  });
+  return out;
+}
+
+std::vector<sim::CoreRef> quadrant_parallel_trace(std::uint32_t n, std::uint32_t tile,
+                                                  Curve curve, TraceBases bases) {
+  // Core q owns C quadrant q (ceiling-half splits): generate each core's
+  // stream over its quadrant of the iteration space, then round-robin
+  // interleave to model concurrent execution.
+  std::vector<std::vector<sim::MemRef>> streams(4);
+  const std::uint32_t h = (n + 1) / 2;
+  for (std::uint32_t q = 0; q < 4; ++q) {
+    const std::uint32_t i0 = (q >> 1) * h;
+    const std::uint32_t j0 = (q & 1) * h;
+    const std::uint32_t rows = (q >> 1) == 0 ? h : n - h;
+    const std::uint32_t cols = (q & 1) == 0 ? h : n - h;
+    auto sink = [&](std::uint64_t addr, bool write) {
+      streams[q].push_back({addr, write});
+    };
+    // Element address function for the chosen layout.
+    auto run_quadrant = [&](auto&& addr_of) {
+      auto ea = addr_of(bases.a);
+      auto eb = addr_of(bases.b);
+      auto ec = addr_of(bases.c);
+      // Two accumulating k-halves, as the two-phase recursion executes.
+      const std::uint32_t k1 = h;
+      for (std::uint32_t lq = 0; lq < 2; ++lq) {
+        const std::uint32_t l0 = lq == 0 ? 0 : k1;
+        const std::uint32_t kk = lq == 0 ? k1 : n - k1;
+        if (kk == 0) continue;
+        detail::walk_standard(
+            0, 0, 0, rows, cols, kk, tile,
+            [&, i0, l0](std::uint32_t i, std::uint32_t l) {
+              return ea(i0 + i, l0 + l);
+            },
+            [&, j0, l0](std::uint32_t l, std::uint32_t j) {
+              return eb(l0 + l, j0 + j);
+            },
+            [&, i0, j0](std::uint32_t i, std::uint32_t j) {
+              return ec(i0 + i, j0 + j);
+            },
+            sink);
+      }
+    };
+    if (curve == Curve::ColMajor || curve == Curve::RowMajor) {
+      run_quadrant([n](std::uint64_t base) {
+        return [base, n](std::uint32_t i, std::uint32_t j) {
+          return base + (static_cast<std::uint64_t>(j) * n + i) * sizeof(double);
+        };
+      });
+    } else {
+      if (tile == 0 || n % tile != 0 || !bits::is_pow2(n / tile)) {
+        throw std::invalid_argument(
+            "quadrant_parallel_trace: recursive layout needs n = tile * 2^d");
+      }
+      const int depth = bits::floor_log2(n / tile);
+      const TileGeometry g = make_geometry(n, n, depth, curve);
+      run_quadrant([g](std::uint64_t base) {
+        return [base, g](std::uint32_t i, std::uint32_t j) {
+          return base + g.address(i, j) * sizeof(double);
+        };
+      });
+    }
+  }
+
+  std::vector<sim::CoreRef> merged;
+  std::size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  merged.reserve(total);
+  std::size_t cursor = 0;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::uint32_t q = 0; q < 4; ++q) {
+      if (cursor < streams[q].size()) {
+        merged.push_back({streams[q][cursor].addr, q, streams[q][cursor].write});
+        any = true;
+      }
+    }
+    ++cursor;
+  }
+  return merged;
+}
+
+}  // namespace rla::trace

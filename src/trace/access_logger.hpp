@@ -1,0 +1,143 @@
+#pragma once
+
+// Address-trace generators for the matmul algorithms.
+//
+// These walk the same recursive structure as the real algorithms but emit
+// element-granularity memory references instead of doing floating-point
+// work. The traces feed the cache simulator to reproduce the memory-system
+// mechanisms behind the paper's Fig. 5/6 results: conflict-miss variability
+// of the canonical layout versus the smoothness of the recursive layouts,
+// and false sharing between the cores computing adjacent C quadrants.
+//
+// Matrix base addresses are spaced far apart (distinct high bits) as they
+// would be for separately allocated arrays.
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/coherence.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "core/config.hpp"
+#include "layout/bits.hpp"
+#include "layout/tiled_layout.hpp"
+
+namespace rla::trace {
+
+/// Distinct non-overlapping base addresses for A, B, C.
+struct TraceBases {
+  std::uint64_t a = std::uint64_t{1} << 30;
+  std::uint64_t b = std::uint64_t{2} << 30;
+  std::uint64_t c = std::uint64_t{3} << 30;
+};
+
+/// Emit the element reference stream of the standard recursive algorithm on
+/// canonical column-major storage (n × n, leading dimension exactly n),
+/// recursing to `leaf`-sized blocks and running the jik leaf loop.
+/// Each reference is delivered to `out(addr, write)`.
+template <typename Sink>
+void walk_standard_canonical(std::uint32_t n, std::uint32_t leaf, TraceBases bases,
+                             Sink&& out);
+
+/// Same recursion over the tiled recursive layout with the given curve and
+/// tile edge (n must make a clean grid: n = t · 2^d).
+template <typename Sink>
+void walk_standard_tiled(std::uint32_t n, std::uint32_t tile, Curve curve,
+                         TraceBases bases, Sink&& out);
+
+/// Materialized single-core trace of either layout.
+std::vector<sim::MemRef> standard_canonical_trace(std::uint32_t n, std::uint32_t leaf,
+                                                  TraceBases bases = {});
+std::vector<sim::MemRef> standard_tiled_trace(std::uint32_t n, std::uint32_t tile,
+                                              Curve curve, TraceBases bases = {});
+
+/// Four-core trace modeling the paper's parallel execution: core q computes
+/// C quadrant q (the top-level spawn), and the per-core streams are
+/// round-robin interleaved to model concurrency. Layout per `curve`
+/// (ColMajor = canonical).
+std::vector<sim::CoreRef> quadrant_parallel_trace(std::uint32_t n, std::uint32_t tile,
+                                                  Curve curve, TraceBases bases = {});
+
+// ---- template implementations ----
+
+namespace detail {
+
+/// jik leaf loop over one m×n×k block given element-address functions.
+template <typename AddrA, typename AddrB, typename AddrC, typename Sink>
+void leaf_refs(std::uint32_t m, std::uint32_t n, std::uint32_t k, AddrA&& ea,
+               AddrB&& eb, AddrC&& ec, Sink&& out) {
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = 0; i < m; ++i) {
+      for (std::uint32_t l = 0; l < k; ++l) {
+        out(ea(i, l), false);
+        out(eb(l, j), false);
+      }
+      out(ec(i, j), false);
+      out(ec(i, j), true);
+    }
+  }
+}
+
+template <typename AddrA, typename AddrB, typename AddrC, typename Sink>
+void walk_standard(std::uint32_t i0, std::uint32_t j0, std::uint32_t l0,
+                   std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                   std::uint32_t leaf, AddrA&& ea, AddrB&& eb, AddrC&& ec,
+                   Sink&& out) {
+  if (m <= leaf && n <= leaf && k <= leaf) {
+    leaf_refs(
+        m, n, k,
+        [&](std::uint32_t i, std::uint32_t l) { return ea(i0 + i, l0 + l); },
+        [&](std::uint32_t l, std::uint32_t j) { return eb(l0 + l, j0 + j); },
+        [&](std::uint32_t i, std::uint32_t j) { return ec(i0 + i, j0 + j); }, out);
+    return;
+  }
+  // Ceiling-half splits of every oversized dimension, walked depth-first in
+  // the serial execution order of the two-phase recursion.
+  const std::uint32_t m1 = m > leaf ? (m + 1) / 2 : m;
+  const std::uint32_t n1 = n > leaf ? (n + 1) / 2 : n;
+  const std::uint32_t k1 = k > leaf ? (k + 1) / 2 : k;
+  for (std::uint32_t lq = 0; lq < (k > leaf ? 2u : 1u); ++lq) {
+    const std::uint32_t lo = lq == 0 ? 0 : k1;
+    const std::uint32_t kk = lq == 0 ? k1 : k - k1;
+    for (std::uint32_t iq = 0; iq < (m > leaf ? 2u : 1u); ++iq) {
+      const std::uint32_t io = iq == 0 ? 0 : m1;
+      const std::uint32_t mm = iq == 0 ? m1 : m - m1;
+      for (std::uint32_t jq = 0; jq < (n > leaf ? 2u : 1u); ++jq) {
+        const std::uint32_t jo = jq == 0 ? 0 : n1;
+        const std::uint32_t nn = jq == 0 ? n1 : n - n1;
+        walk_standard(i0 + io, j0 + jo, l0 + lo, mm, nn, kk, leaf, ea, eb, ec,
+                      out);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+template <typename Sink>
+void walk_standard_canonical(std::uint32_t n, std::uint32_t leaf, TraceBases bases,
+                             Sink&& out) {
+  auto col_major = [n](std::uint64_t base) {
+    return [base, n](std::uint32_t i, std::uint32_t j) {
+      return base + (static_cast<std::uint64_t>(j) * n + i) * sizeof(double);
+    };
+  };
+  detail::walk_standard(0, 0, 0, n, n, n, leaf, col_major(bases.a),
+                        col_major(bases.b), col_major(bases.c), out);
+}
+
+template <typename Sink>
+void walk_standard_tiled(std::uint32_t n, std::uint32_t tile, Curve curve,
+                         TraceBases bases, Sink&& out) {
+  const std::uint32_t side = n / tile;
+  const int depth = bits::floor_log2(side);
+  const TileGeometry g = make_geometry(n, n, depth, curve);
+  auto tiled = [g](std::uint64_t base) {
+    return [base, g](std::uint32_t i, std::uint32_t j) {
+      return base + g.address(i, j) * sizeof(double);
+    };
+  };
+  detail::walk_standard(0, 0, 0, n, n, n, tile, tiled(bases.a), tiled(bases.b),
+                        tiled(bases.c), out);
+}
+
+}  // namespace rla::trace

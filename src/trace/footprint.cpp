@@ -1,0 +1,254 @@
+#include "trace/footprint.hpp"
+
+#include <stdexcept>
+
+#include "layout/bits.hpp"
+
+namespace rla::trace {
+
+namespace {
+
+/// Element of the dependence semiring: which A / B origins fed this value.
+struct Cell {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  Cell operator+(const Cell& other) const { return {a | other.a, b | other.b}; }
+  Cell operator-(const Cell& other) const { return {a | other.a, b | other.b}; }
+  Cell operator*(const Cell& other) const { return {a | other.a, b | other.b}; }
+  Cell& operator+=(const Cell& other) {
+    a |= other.a;
+    b |= other.b;
+    return *this;
+  }
+};
+
+/// Square matrix of Cells with quadrant views.
+struct SetMat {
+  std::vector<Cell>* store;
+  std::uint32_t ld;
+  std::uint32_t off_i, off_j, size;
+
+  Cell& at(std::uint32_t i, std::uint32_t j) const {
+    return (*store)[static_cast<std::size_t>(off_i + i) * ld + (off_j + j)];
+  }
+  SetMat quad(std::uint32_t qi, std::uint32_t qj) const {
+    return {store, ld, off_i + qi * size / 2, off_j + qj * size / 2, size / 2};
+  }
+};
+
+struct Owner {
+  std::vector<Cell> cells;
+  SetMat mat;
+  explicit Owner(std::uint32_t n) : cells(static_cast<std::size_t>(n) * n) {
+    mat = {&cells, n, 0, 0, n};
+  }
+};
+
+void set_add(const SetMat& d, const SetMat& x, const SetMat& y) {
+  for (std::uint32_t i = 0; i < d.size; ++i) {
+    for (std::uint32_t j = 0; j < d.size; ++j) d.at(i, j) = x.at(i, j) + y.at(i, j);
+  }
+}
+
+void acc(const SetMat& d, const SetMat& x) {
+  for (std::uint32_t i = 0; i < d.size; ++i) {
+    for (std::uint32_t j = 0; j < d.size; ++j) d.at(i, j) += x.at(i, j);
+  }
+}
+
+void mul_std(const SetMat& c, const SetMat& a, const SetMat& b);
+void mul_strassen(const SetMat& c, const SetMat& a, const SetMat& b);
+void mul_winograd(const SetMat& c, const SetMat& a, const SetMat& b);
+
+void mul_std(const SetMat& c, const SetMat& a, const SetMat& b) {
+  if (c.size == 1) {
+    c.at(0, 0) += a.at(0, 0) * b.at(0, 0);
+    return;
+  }
+  for (std::uint32_t qi = 0; qi < 2; ++qi) {
+    for (std::uint32_t qj = 0; qj < 2; ++qj) {
+      for (std::uint32_t ql = 0; ql < 2; ++ql) {
+        mul_std(c.quad(qi, qj), a.quad(qi, ql), b.quad(ql, qj));
+      }
+    }
+  }
+}
+
+template <typename Recurse>
+void mul_fast(const SetMat& c, const SetMat& a, const SetMat& b, bool winograd,
+              Recurse&& recurse) {
+  if (c.size == 1) {
+    c.at(0, 0) += a.at(0, 0) * b.at(0, 0);
+    return;
+  }
+  const std::uint32_t h = c.size / 2;
+  (void)h;
+  const SetMat a11 = a.quad(0, 0), a12 = a.quad(0, 1), a21 = a.quad(1, 0),
+               a22 = a.quad(1, 1);
+  const SetMat b11 = b.quad(0, 0), b12 = b.quad(0, 1), b21 = b.quad(1, 0),
+               b22 = b.quad(1, 1);
+  const SetMat c11 = c.quad(0, 0), c12 = c.quad(0, 1), c21 = c.quad(1, 0),
+               c22 = c.quad(1, 1);
+
+  const std::uint32_t hs = c.size / 2;
+  std::vector<Owner> s, t, p;
+  // Reserve first: each Owner's view points at its own cell store, so the
+  // vectors must never reallocate.
+  s.reserve(5);
+  t.reserve(5);
+  p.reserve(7);
+  for (int i = 0; i < 5; ++i) s.emplace_back(hs);
+  for (int i = 0; i < 5; ++i) t.emplace_back(hs);
+  for (int i = 0; i < 7; ++i) p.emplace_back(hs);
+  auto S = [&](int i) { return s[static_cast<std::size_t>(i - 1)].mat; };
+  auto T = [&](int i) { return t[static_cast<std::size_t>(i - 1)].mat; };
+  auto P = [&](int i) { return p[static_cast<std::size_t>(i - 1)].mat; };
+
+  if (!winograd) {
+    set_add(S(1), a11, a22);
+    set_add(S(2), a21, a22);
+    set_add(S(3), a11, a12);
+    set_add(S(4), a21, a11);
+    set_add(S(5), a12, a22);
+    set_add(T(1), b11, b22);
+    set_add(T(2), b12, b22);
+    set_add(T(3), b21, b11);
+    set_add(T(4), b11, b12);
+    set_add(T(5), b21, b22);
+    recurse(P(1), S(1), T(1));
+    recurse(P(2), S(2), b11);
+    recurse(P(3), a11, T(2));
+    recurse(P(4), a22, T(3));
+    recurse(P(5), S(3), b22);
+    recurse(P(6), S(4), T(4));
+    recurse(P(7), S(5), T(5));
+    acc(c11, P(1));
+    acc(c11, P(4));
+    acc(c11, P(5));
+    acc(c11, P(7));
+    acc(c21, P(2));
+    acc(c21, P(4));
+    acc(c12, P(3));
+    acc(c12, P(5));
+    acc(c22, P(1));
+    acc(c22, P(3));
+    acc(c22, P(2));
+    acc(c22, P(6));
+  } else {
+    set_add(S(1), a21, a22);
+    set_add(S(2), S(1), a11);
+    set_add(S(3), a11, a21);
+    set_add(S(4), a12, S(2));
+    set_add(T(1), b12, b11);
+    set_add(T(2), b22, T(1));
+    set_add(T(3), b22, b12);
+    set_add(T(4), b21, T(2));
+    recurse(P(1), a11, b11);
+    recurse(P(2), a12, b21);
+    recurse(P(3), S(1), T(1));
+    recurse(P(4), S(2), T(2));
+    recurse(P(5), S(3), T(3));
+    recurse(P(6), S(4), b22);
+    recurse(P(7), a22, T(4));
+    acc(c11, P(1));
+    acc(c11, P(2));
+    acc(P(4), P(1));  // U2
+    acc(P(5), P(4));  // U3
+    acc(c21, P(5));
+    acc(c21, P(7));
+    acc(c22, P(5));
+    acc(c22, P(3));
+    acc(c12, P(4));
+    acc(c12, P(3));
+    acc(c12, P(6));
+  }
+}
+
+void mul_strassen(const SetMat& c, const SetMat& a, const SetMat& b) {
+  mul_fast(c, a, b, false,
+           [](const SetMat& cc, const SetMat& aa, const SetMat& bb) {
+             mul_strassen(cc, aa, bb);
+           });
+}
+
+void mul_winograd(const SetMat& c, const SetMat& a, const SetMat& b) {
+  mul_fast(c, a, b, true,
+           [](const SetMat& cc, const SetMat& aa, const SetMat& bb) {
+             mul_winograd(cc, aa, bb);
+           });
+}
+
+}  // namespace
+
+std::uint64_t FootprintResult::total_a_reads() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t m : a_reads) total += static_cast<std::uint64_t>(__builtin_popcountll(m));
+  return total;
+}
+
+std::uint64_t FootprintResult::total_b_reads() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t m : b_reads) total += static_cast<std::uint64_t>(__builtin_popcountll(m));
+  return total;
+}
+
+FootprintResult footprint(Algorithm alg, std::uint32_t n) {
+  if (n == 0 || n > 8 || !bits::is_pow2(n)) {
+    throw std::invalid_argument("footprint: n must be 1, 2, 4 or 8");
+  }
+  Owner a(n), b(n), c(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      a.mat.at(i, j) = {std::uint64_t{1} << (i * n + j), 0};
+      b.mat.at(i, j) = {0, std::uint64_t{1} << (i * n + j)};
+    }
+  }
+  switch (alg) {
+    case Algorithm::Standard:
+      mul_std(c.mat, a.mat, b.mat);
+      break;
+    case Algorithm::Strassen:
+      mul_strassen(c.mat, a.mat, b.mat);
+      break;
+    case Algorithm::Winograd:
+      mul_winograd(c.mat, a.mat, b.mat);
+      break;
+  }
+  FootprintResult result;
+  result.n = n;
+  result.a_reads.resize(static_cast<std::size_t>(n) * n);
+  result.b_reads.resize(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      result.a_reads[i * n + j] = c.mat.at(i, j).a;
+      result.b_reads[i * n + j] = c.mat.at(i, j).b;
+    }
+  }
+  return result;
+}
+
+std::string render_footprint(const FootprintResult& fp, bool operand_a) {
+  const std::uint32_t n = fp.n;
+  const auto& masks = operand_a ? fp.a_reads : fp.b_reads;
+  std::string out;
+  for (std::uint32_t box_r = 0; box_r < n; ++box_r) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t box_c = 0; box_c < n; ++box_c) {
+        const std::uint64_t mask = masks[box_r * n + box_c];
+        for (std::uint32_t j = 0; j < n; ++j) {
+          out.push_back((mask >> (i * n + j)) & 1 ? '*' : '.');
+        }
+        out.push_back(box_c + 1 == n ? ' ' : '|');
+      }
+      out.push_back('\n');
+    }
+    if (box_r + 1 < n) {
+      out.append(static_cast<std::size_t>(n) * (n + 1), '-');
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace rla::trace

@@ -1,0 +1,43 @@
+#pragma once
+
+// Algorithmic locality-of-reference footprints (paper Fig. 1).
+//
+// For each element of C = A·B, compute exactly which elements of A and of B
+// are read — transitively through the pre-addition temporaries — under each
+// of the three algorithms run to the element level.  The computation runs
+// the recursions over a set-union semiring (add = union, multiply = union),
+// which is precisely the dependence abstraction behind the paper's dot
+// diagrams.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace rla::trace {
+
+/// Read footprints for an n×n multiply (n a power of two, n <= 8 so one
+/// 64-bit mask covers a matrix).
+struct FootprintResult {
+  std::uint32_t n = 0;
+  /// Per C element (row-major r*n+c): bit (i*n+j) set when A(i,j) is read.
+  std::vector<std::uint64_t> a_reads;
+  /// Per C element: bit (i*n+j) set when B(i,j) is read.
+  std::vector<std::uint64_t> b_reads;
+
+  /// Total number of (C element, source element) read pairs for A or B —
+  /// the paper's "increased number of memory accesses" of the fast
+  /// algorithms shows up as larger totals.
+  std::uint64_t total_a_reads() const noexcept;
+  std::uint64_t total_b_reads() const noexcept;
+};
+
+/// Compute the footprint of `alg` at size n (2, 4 or 8).
+FootprintResult footprint(Algorithm alg, std::uint32_t n);
+
+/// Render one operand's footprint as the Fig. 1 dot diagram: an n×n grid of
+/// boxes (one per C element), each an n×n grid of '.'/'*' points.
+std::string render_footprint(const FootprintResult& fp, bool operand_a);
+
+}  // namespace rla::trace

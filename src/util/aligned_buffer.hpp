@@ -1,0 +1,101 @@
+#pragma once
+
+// Cache-line / page aligned owning buffer for numeric data.
+//
+// Dense-linear-algebra kernels care about alignment twice over: vector loads
+// want 32/64-byte alignment, and the cache simulator wants deterministic
+// line/page placement so simulated conflict misses are reproducible run to
+// run.  std::vector gives neither, so we provide a minimal RAII buffer.
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace rla {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+inline constexpr std::size_t kPageBytes = 4096;
+
+/// Owning, aligned, non-resizable array of trivially copyable T.
+/// Alignment defaults to one cache line; pass kPageBytes for page alignment.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t count, std::size_t alignment = kCacheLineBytes)
+      : size_(count), alignment_(alignment) {
+    if (count == 0) return;
+    // aligned_alloc requires size to be a multiple of alignment.
+    const std::size_t bytes = round_up(count * sizeof(T), alignment);
+    data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_, other.alignment_) {
+    if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      AlignedBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(alignment_, other.alignment_);
+  }
+
+  /// Set every element to zero (bytewise; valid for arithmetic T).
+  void zero() noexcept {
+    if (size_ != 0) std::memset(data_, 0, size_ * sizeof(T));
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  static std::size_t round_up(std::size_t v, std::size_t a) noexcept {
+    return (v + a - 1) / a * a;
+  }
+
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t alignment_ = kCacheLineBytes;
+};
+
+}  // namespace rla

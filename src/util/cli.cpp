@@ -1,0 +1,59 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace rla {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    // Only `--name=value` and boolean `--name` forms: a space-separated
+    // `--name value` form cannot be distinguished from a boolean flag
+    // followed by a positional argument.
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      flags_[arg] = "";  // boolean form
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return flags_.count(name) != 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  return false;
+}
+
+}  // namespace rla

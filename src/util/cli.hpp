@@ -1,0 +1,44 @@
+#pragma once
+
+// Minimal command-line flag parsing for the examples and custom harnesses.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` forms.
+// Unknown flags are collected so callers can forward them (e.g. to
+// google-benchmark) or reject them.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rla {
+
+/// Parsed command line: flag map plus positional arguments.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// String value of a flag, or `fallback` if absent.
+  std::string get(const std::string& name, const std::string& fallback = "") const;
+
+  /// Integer value of a flag, or `fallback` if absent/unparsable.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Double value of a flag, or `fallback` if absent/unparsable.
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Boolean flag: present without value or with value in {1,true,yes,on}.
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rla

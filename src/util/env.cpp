@@ -1,0 +1,26 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace rla {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string(v);
+}
+
+bool paper_scale() { return env_int("RLA_PAPER_SCALE", 0) != 0; }
+
+std::int64_t pick_size(std::int64_t paper_n, std::int64_t scaled_n) {
+  return paper_scale() ? paper_n : scaled_n;
+}
+
+}  // namespace rla

@@ -1,0 +1,26 @@
+#pragma once
+
+// Environment-variable knobs shared by the benchmark harnesses.
+
+#include <cstdint>
+#include <string>
+
+namespace rla {
+
+/// Read an integer environment variable, returning `fallback` when unset or
+/// unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Read a string environment variable, returning `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback = "");
+
+/// True when RLA_PAPER_SCALE is set to a truthy value: benchmarks then run
+/// the paper's original problem sizes (n up to 1536) instead of the scaled
+/// defaults that finish in minutes on a small machine.
+bool paper_scale();
+
+/// Scale a paper problem size down unless paper_scale() is on.
+/// `paper_n` is the size the paper used; `scaled_n` the default here.
+std::int64_t pick_size(std::int64_t paper_n, std::int64_t scaled_n);
+
+}  // namespace rla

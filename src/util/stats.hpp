@@ -1,0 +1,29 @@
+#pragma once
+
+// Small summary-statistics helpers for benchmark reporting.
+
+#include <cstddef>
+#include <vector>
+
+namespace rla {
+
+/// Summary of a sample of measurements.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+};
+
+/// Compute summary statistics of `values`. Empty input yields a zero Summary.
+Summary summarize(std::vector<double> values);
+
+/// Median of `values` (copies; empty input yields 0).
+double median(std::vector<double> values);
+
+/// Geometric mean of strictly positive values (0 if empty or any non-positive).
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace rla

@@ -1,0 +1,40 @@
+#pragma once
+
+// Plain-text table printing for paper-style benchmark reports.
+//
+// The bench harnesses print one table per paper figure/table; this keeps the
+// formatting consistent (fixed-width columns, right-aligned numerics) without
+// dragging in a formatting library.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rla {
+
+/// Column-aligned text table. Add a header row, then data rows; `print`
+/// computes column widths and emits a markdown-ish table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `precision` digits after the point.
+  static std::string num(double value, int precision = 3);
+
+  /// Convenience: format an integer.
+  static std::string num(long long value);
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rla

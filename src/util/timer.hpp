@@ -1,0 +1,33 @@
+#pragma once
+
+// Wall-clock timing helpers used by the benchmark harnesses.
+
+#include <chrono>
+#include <cstdint>
+
+namespace rla {
+
+/// Monotonic stopwatch measuring wall-clock seconds.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last reset().
+  std::int64_t nanoseconds() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace rla

@@ -1,0 +1,121 @@
+// Unit tests for the bit-manipulation primitives behind the S functions.
+
+#include <gtest/gtest.h>
+
+#include "layout/bits.hpp"
+#include "util/rng.hpp"
+
+namespace rla::bits {
+namespace {
+
+TEST(Bits, SpreadSmallValues) {
+  EXPECT_EQ(spread(0), 0u);
+  EXPECT_EQ(spread(1), 1u);
+  EXPECT_EQ(spread(0b10), 0b100u);
+  EXPECT_EQ(spread(0b11), 0b101u);
+  EXPECT_EQ(spread(0b101), 0b10001u);
+  EXPECT_EQ(spread(0xFFFFFFFFu), 0x5555555555555555ULL);
+}
+
+TEST(Bits, GatherInvertsSpread) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto x = static_cast<std::uint32_t>(rng.next_u64());
+    EXPECT_EQ(gather(spread(x)), x);
+  }
+}
+
+TEST(Bits, GatherIgnoresOddBits) {
+  EXPECT_EQ(gather(0b10), 0u);          // odd position dropped
+  EXPECT_EQ(gather(0b111), 0b11u);      // bits 0 and 2
+  EXPECT_EQ(gather(0xAAAAAAAAAAAAAAAAULL), 0u);
+}
+
+TEST(Bits, InterleaveMatchesDefinition) {
+  // u ⋈ v places u's bit k at position 2k+1 and v's at 2k (paper §3).
+  EXPECT_EQ(interleave(0, 0), 0u);
+  EXPECT_EQ(interleave(1, 0), 0b10u);
+  EXPECT_EQ(interleave(0, 1), 0b01u);
+  EXPECT_EQ(interleave(1, 1), 0b11u);
+  EXPECT_EQ(interleave(0b11, 0b00), 0b1010u);
+  EXPECT_EQ(interleave(0b10, 0b01), 0b1001u);
+}
+
+TEST(Bits, DeinterleaveInvertsInterleave) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto u = static_cast<std::uint32_t>(rng.next_u64());
+    const auto v = static_cast<std::uint32_t>(rng.next_u64());
+    const auto [ru, rv] = deinterleave(interleave(u, v));
+    EXPECT_EQ(ru, u);
+    EXPECT_EQ(rv, v);
+  }
+}
+
+TEST(Bits, GrayCodeFirstEight) {
+  const std::uint64_t expected[] = {0, 1, 3, 2, 6, 7, 5, 4};
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(gray(i), expected[i]);
+}
+
+TEST(Bits, GrayConsecutiveDifferInOneBit) {
+  for (std::uint64_t i = 0; i + 1 < 4096; ++i) {
+    EXPECT_EQ(__builtin_popcountll(gray(i) ^ gray(i + 1)), 1) << "i=" << i;
+  }
+}
+
+TEST(Bits, GrayInverseRoundTrip) {
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::uint64_t x = rng.next_u64();
+    EXPECT_EQ(gray_inverse(gray(x)), x);
+    EXPECT_EQ(gray(gray_inverse(x)), x);
+  }
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(Bits, FloorCeilLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(floor_log2(1025), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(ceil_div(5, 5), 1u);
+  EXPECT_EQ(ceil_div(6, 5), 2u);
+  EXPECT_EQ(ceil_div(1000, 32), 32u);
+}
+
+TEST(Bits, ConstexprUsable) {
+  static_assert(interleave(0b11, 0b01) == 0b1011);
+  static_assert(gray(5) == 7);
+  static_assert(gray_inverse(7) == 5);
+  static_assert(next_pow2(17) == 32);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rla::bits

@@ -1,0 +1,96 @@
+// Tests of the BLAS-compatible C entry point.
+
+#include <gtest/gtest.h>
+
+#include "core/blas.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+TEST(Blas, BasicMultiply) {
+  Matrix a = rla::testing::random_matrix(32, 24, 1);
+  Matrix b = rla::testing::random_matrix(24, 40, 2);
+  Matrix c = rla::testing::random_matrix(32, 40, 3);
+  Matrix c_ref = c;
+  const int rc = rla_dgemm('N', 'N', 32, 40, 24, 1.5, a.data(),
+                           static_cast<int>(a.ld()), b.data(),
+                           static_cast<int>(b.ld()), -1.0, c.data(),
+                           static_cast<int>(c.ld()));
+  EXPECT_EQ(rc, 0);
+  reference_gemm(32, 40, 24, 1.5, a.data(), a.ld(), false, b.data(), b.ld(),
+                 false, -1.0, c_ref.data(), c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11);
+}
+
+TEST(Blas, TransposeFlags) {
+  Matrix a = rla::testing::random_matrix(24, 32, 4);  // op(A)=A^T is 32x24
+  Matrix b = rla::testing::random_matrix(40, 24, 5);  // op(B)=B^T is 24x40
+  for (const char ta : {'T', 't', 'C', 'c'}) {
+    Matrix c(32, 40);
+    c.zero();
+    const int rc = rla_dgemm(ta, 'T', 32, 40, 24, 1.0, a.data(),
+                             static_cast<int>(a.ld()), b.data(),
+                             static_cast<int>(b.ld()), 0.0, c.data(),
+                             static_cast<int>(c.ld()));
+    ASSERT_EQ(rc, 0);
+    Matrix c_ref(32, 40);
+    c_ref.zero();
+    reference_gemm(32, 40, 24, 1.0, a.data(), a.ld(), true, b.data(), b.ld(),
+                   true, 0.0, c_ref.data(), c_ref.ld());
+    ASSERT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11);
+  }
+}
+
+TEST(Blas, ErrorCodes) {
+  Matrix a(4, 4), b(4, 4), c(4, 4);
+  EXPECT_EQ(rla_dgemm('Q', 'N', 4, 4, 4, 1.0, a.data(), 4, b.data(), 4, 0.0,
+                      c.data(), 4),
+            1);
+  EXPECT_EQ(rla_dgemm('N', 'N', -1, 4, 4, 1.0, a.data(), 4, b.data(), 4, 0.0,
+                      c.data(), 4),
+            2);
+  EXPECT_EQ(rla_dgemm('N', 'N', 4, 4, 4, 1.0, a.data(), 2 /*lda<m*/, b.data(), 4,
+                      0.0, c.data(), 4),
+            3);
+}
+
+TEST(Blas, DefaultConfigIsConfigurable) {
+  const GemmConfig original = default_gemm_config();
+  GemmConfig cfg;
+  cfg.layout = Curve::Hilbert;
+  cfg.algorithm = Algorithm::Winograd;
+  set_default_gemm_config(cfg);
+  EXPECT_EQ(default_gemm_config().layout, Curve::Hilbert);
+  EXPECT_EQ(default_gemm_config().algorithm, Algorithm::Winograd);
+
+  Matrix a = rla::testing::random_matrix(48, 48, 6);
+  Matrix b = rla::testing::random_matrix(48, 48, 7);
+  Matrix c(48, 48);
+  c.zero();
+  EXPECT_EQ(rla_dgemm('N', 'N', 48, 48, 48, 1.0, a.data(), 48, b.data(), 48, 0.0,
+                      c.data(), 48),
+            0);
+  Matrix c_ref(48, 48);
+  c_ref.zero();
+  reference_gemm(48, 48, 48, 1.0, a.data(), 48, false, b.data(), 48, false, 0.0,
+                 c_ref.data(), c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-10);
+  set_default_gemm_config(original);
+}
+
+TEST(Blas, DegenerateDimensionsSucceed) {
+  Matrix c(4, 4);
+  c.fill([](auto, auto) { return 2.0; });
+  // m=0/n=0: nothing to do; k=0: pure beta scaling.
+  EXPECT_EQ(rla_dgemm('N', 'N', 0, 4, 4, 1.0, nullptr, 1, nullptr, 1, 0.0,
+                      c.data(), 4),
+            0);
+  EXPECT_EQ(rla_dgemm('N', 'N', 4, 4, 0, 1.0, nullptr, 1, nullptr, 1, 0.5,
+                      c.data(), 4),
+            0);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace rla

@@ -1,0 +1,133 @@
+// Tests of the set-associative cache model and its 3C miss classification.
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+
+namespace rla::sim {
+namespace {
+
+TEST(Cache, GeometryValidation) {
+  EXPECT_THROW(Cache({100, 64, 4, false}), std::invalid_argument);  // not divisible
+  EXPECT_THROW(Cache({1024, 60, 2, false}), std::invalid_argument); // line not pow2
+  EXPECT_THROW(Cache({1024, 64, 0, false}), std::invalid_argument); // zero ways
+  EXPECT_NO_THROW(Cache({1024, 64, 4, false}));
+}
+
+TEST(Cache, HitsWithinOneLine) {
+  Cache cache({1024, 64, 2, false});
+  EXPECT_FALSE(cache.access(0, false));   // cold miss
+  EXPECT_TRUE(cache.access(8, false));    // same line
+  EXPECT_TRUE(cache.access(63, true));
+  EXPECT_FALSE(cache.access(64, false));  // next line
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  // 1 KB direct-mapped, 64 B lines -> 16 sets. Addresses 0 and 1024 collide.
+  Cache cache({1024, 64, 1, false});
+  EXPECT_FALSE(cache.access(0, false));
+  EXPECT_FALSE(cache.access(1024, false));
+  EXPECT_FALSE(cache.access(0, false));  // evicted by 1024
+  EXPECT_FALSE(cache.access(1024, false));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().evictions, 3u);  // every miss after the first evicts
+}
+
+TEST(Cache, TwoWayToleratesTheSameConflict) {
+  Cache cache({2048, 64, 2, false});  // same 16 sets, now two ways
+  EXPECT_FALSE(cache.access(0, false));
+  EXPECT_FALSE(cache.access(2048, false));
+  EXPECT_TRUE(cache.access(0, false));
+  EXPECT_TRUE(cache.access(2048, false));
+}
+
+TEST(Cache, LruEvictionOrder) {
+  Cache cache({2048, 64, 2, false});  // 16 sets, 2 ways
+  // Three lines mapping to set 0: lines 0, 16, 32 (line = addr/64).
+  cache.access(0, false);
+  cache.access(16 * 64, false);
+  cache.access(0, false);            // refresh line 0
+  cache.access(32 * 64, false);      // evicts LRU = line 16
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(16 * 64));
+  EXPECT_TRUE(cache.contains(32 * 64));
+}
+
+TEST(Cache, WritebackCounting) {
+  Cache cache({1024, 64, 1, false});
+  cache.access(0, true);              // dirty
+  cache.access(1024, false);          // evicts dirty line -> writeback
+  cache.access(2048, false);          // evicts clean line -> no writeback
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(Cache, Invalidate) {
+  Cache cache({1024, 64, 2, false});
+  cache.access(128, true);
+  EXPECT_TRUE(cache.contains(128));
+  EXPECT_TRUE(cache.invalidate(130));  // same line
+  EXPECT_FALSE(cache.contains(128));
+  EXPECT_FALSE(cache.invalidate(128));  // already gone
+}
+
+TEST(Cache, ThreeCClassificationCompulsory) {
+  Cache cache({1024, 64, 2, true});
+  for (std::uint64_t line = 0; line < 8; ++line) cache.access(line * 64, false);
+  EXPECT_EQ(cache.stats().compulsory_misses, 8u);
+  EXPECT_EQ(cache.stats().conflict_misses, 0u);
+  EXPECT_EQ(cache.stats().capacity_misses, 0u);
+}
+
+TEST(Cache, ThreeCClassificationConflict) {
+  // Direct-mapped with classification: ping-pong between two lines in one
+  // set while the cache is mostly empty => pure conflict misses.
+  Cache cache({1024, 64, 1, true});
+  cache.access(0, false);
+  cache.access(1024, false);
+  for (int round = 0; round < 10; ++round) {
+    cache.access(0, false);
+    cache.access(1024, false);
+  }
+  EXPECT_EQ(cache.stats().compulsory_misses, 2u);
+  EXPECT_EQ(cache.stats().conflict_misses, 20u);
+  EXPECT_EQ(cache.stats().capacity_misses, 0u);
+}
+
+TEST(Cache, ThreeCClassificationCapacity) {
+  // Stream over twice the cache capacity repeatedly: after the cold pass,
+  // misses are capacity misses (fully-associative would miss too).
+  Cache cache({1024, 64, 16, true});  // fully associative, 16 lines
+  const std::uint64_t lines = 32;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t l = 0; l < lines; ++l) cache.access(l * 64, false);
+  }
+  EXPECT_EQ(cache.stats().compulsory_misses, lines);
+  EXPECT_EQ(cache.stats().conflict_misses, 0u);
+  EXPECT_EQ(cache.stats().capacity_misses, 2 * lines);
+}
+
+TEST(Cache, ResetClearsEverything) {
+  Cache cache({1024, 64, 2, true});
+  cache.access(0, true);
+  cache.access(64, false);
+  cache.reset();
+  EXPECT_EQ(cache.stats().accesses(), 0u);
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_FALSE(cache.access(0, false));
+  EXPECT_EQ(cache.stats().compulsory_misses, 1u);  // cold again after reset
+}
+
+TEST(Cache, MissRate) {
+  Cache cache({1024, 64, 2, false});
+  cache.access(0, false);
+  cache.access(8, false);
+  cache.access(16, false);
+  cache.access(24, false);
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.25);
+}
+
+}  // namespace
+}  // namespace rla::sim

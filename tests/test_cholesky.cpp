@@ -1,0 +1,251 @@
+// Tests of the recursive tiled Cholesky factorization and its building
+// blocks (A·Bᵀ multiply, right-lower-transposed TRSM, SYRK update).
+
+#include <gtest/gtest.h>
+
+#include "core/gemm.hpp"
+#include "layout/convert.hpp"
+#include "linalg/cholesky.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+using rla::testing::random_matrix;
+
+/// Deterministic SPD matrix: A = M·Mᵀ + n·I.
+Matrix make_spd(std::uint32_t n, std::uint64_t seed) {
+  Matrix m = random_matrix(n, n, seed);
+  Matrix a(n, n);
+  a.zero();
+  reference_gemm(n, n, n, 1.0, m.data(), m.ld(), false, m.data(), m.ld(), true,
+                 0.0, a.data(), a.ld());
+  for (std::uint32_t i = 0; i < n; ++i) a(i, i) += n;
+  return a;
+}
+
+/// Max |A - L·Lᵀ| over the full matrix.
+double reconstruction_error(const Matrix& a, const Matrix& l) {
+  Matrix rebuilt(a.rows(), a.cols());
+  rebuilt.zero();
+  reference_gemm(a.rows(), a.cols(), a.cols(), 1.0, l.data(), l.ld(), false,
+                 l.data(), l.ld(), true, 0.0, rebuilt.data(), rebuilt.ld());
+  return max_abs_diff(a.view(), rebuilt.view());
+}
+
+TEST(ReferenceCholesky, FactorsKnownMatrix) {
+  // A = [[4, 2],[2, 5]] -> L = [[2, 0],[1, 2]].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 5;
+  ASSERT_TRUE(reference_cholesky(2, a.data(), a.ld()));
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);
+}
+
+TEST(ReferenceCholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_FALSE(reference_cholesky(2, a.data(), a.ld()));
+}
+
+class CholeskyTest : public ::testing::TestWithParam<Curve> {};
+
+TEST_P(CholeskyTest, ReconstructsSpdMatrix) {
+  const Curve curve = GetParam();
+  for (const std::uint32_t n : {16u, 33u, 64u, 100u, 130u}) {
+    Matrix a = make_spd(n, 7 + n);
+    Matrix l = a;
+    CholeskyConfig cfg;
+    cfg.layout = curve;
+    cholesky(n, l.data(), l.ld(), cfg);
+    EXPECT_LT(reconstruction_error(a, l), 1e-8 * n)
+        << curve_name(curve) << " n=" << n;
+    // Strict upper triangle must be zeroed.
+    for (std::uint32_t j = 1; j < n; ++j) {
+      for (std::uint32_t i = 0; i < j; ++i) ASSERT_EQ(l(i, j), 0.0);
+    }
+  }
+}
+
+TEST_P(CholeskyTest, MatchesReferenceFactor) {
+  // The Cholesky factor is unique (positive diagonal), so the recursive and
+  // unblocked factors must agree to rounding.
+  const Curve curve = GetParam();
+  const std::uint32_t n = 96;
+  Matrix a = make_spd(n, 3);
+  Matrix l_rec = a;
+  CholeskyConfig cfg;
+  cfg.layout = curve;
+  cholesky(n, l_rec.data(), l_rec.ld(), cfg);
+  Matrix l_ref = a;
+  ASSERT_TRUE(reference_cholesky(n, l_ref.data(), l_ref.ld()));
+  EXPECT_LT(max_abs_diff(l_rec.view(), l_ref.view()), 1e-8);
+}
+
+TEST_P(CholeskyTest, ParallelMatchesSerial) {
+  const Curve curve = GetParam();
+  const std::uint32_t n = 128;
+  Matrix a = make_spd(n, 9);
+  Matrix serial = a, parallel = a;
+  CholeskyConfig cfg;
+  cfg.layout = curve;
+  cholesky(n, serial.data(), serial.ld(), cfg);
+  cfg.threads = 4;
+  cholesky(n, parallel.data(), parallel.ld(), cfg);
+  EXPECT_EQ(max_abs_diff(serial.view(), parallel.view()), 0.0) << curve_name(curve);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRecursive, CholeskyTest,
+                         ::testing::ValuesIn(kRecursiveCurves),
+                         [](const ::testing::TestParamInfo<Curve>& info) {
+                           return rla::testing::sanitize(curve_name(info.param));
+                         });
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  const std::uint32_t n = 32;
+  Matrix a = make_spd(n, 4);
+  a(5, 5) = -100.0;  // break positive definiteness
+  CholeskyConfig cfg;
+  EXPECT_THROW(cholesky(n, a.data(), a.ld(), cfg), std::domain_error);
+}
+
+TEST(Cholesky, ArgumentValidation) {
+  Matrix a(4, 4);
+  CholeskyConfig cfg;
+  EXPECT_THROW(cholesky(4, nullptr, 4, cfg), std::invalid_argument);
+  EXPECT_THROW(cholesky(4, a.data(), 2, cfg), std::invalid_argument);
+  cfg.layout = Curve::ColMajor;
+  EXPECT_THROW(cholesky(4, a.data(), 4, cfg), std::invalid_argument);
+}
+
+TEST(Cholesky, ProfilePopulated) {
+  const std::uint32_t n = 64;
+  Matrix a = make_spd(n, 5);
+  CholeskyConfig cfg;
+  CholeskyProfile profile;
+  cholesky(n, a.data(), a.ld(), cfg, &profile);
+  EXPECT_GT(profile.total, 0.0);
+  EXPECT_GT(profile.compute, 0.0);
+  EXPECT_GE(profile.depth, 0);
+  EXPECT_GE(profile.tile, 1u);
+}
+
+TEST(Cholesky, LeadingDimensionRespected) {
+  const std::uint32_t n = 48;
+  Matrix big = random_matrix(64, 64, 6);
+  Matrix snapshot = big;
+  Matrix a = make_spd(n, 8);
+  // Copy the SPD matrix into a window of the bigger array.
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = 0; i < n; ++i) big(i, j) = a(i, j);
+  }
+  CholeskyConfig cfg;
+  cholesky(n, big.data(), big.ld(), cfg);
+  // Outside the n×n window nothing may change.
+  for (std::uint32_t j = 0; j < 64; ++j) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      if (i < n && j < n) continue;
+      ASSERT_EQ(big(i, j), snapshot(i, j)) << i << "," << j;
+    }
+  }
+  Matrix l(n, n);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = 0; i < n; ++i) l(i, j) = big(i, j);
+  }
+  EXPECT_LT(reconstruction_error(a, l), 1e-8 * n);
+}
+
+// ---- building blocks ----
+
+TEST(CholeskyBlocks, MulNtMatchesReference) {
+  const std::uint32_t n = 64;
+  Matrix a = random_matrix(n, n, 11);
+  Matrix b = random_matrix(n, n, 12);
+  const TileGeometry g = make_geometry(n, n, 3, Curve::Hilbert);
+  TiledMatrix ta(g), tb(g), tc(g);
+  canonical_to_tiled(a.data(), a.ld(), false, 1.0, g, ta.data());
+  canonical_to_tiled(b.data(), b.ld(), false, 1.0, g, tb.data());
+  tc.zero();
+  WorkerPool pool(0);
+  MulContext ctx;
+  ctx.pool = &pool;
+  mul_nt(ctx, -2.0, tc.root(), ta.root(), tb.root());
+  Matrix c(n, n);
+  tiled_to_canonical(tc.data(), g, c.data(), c.ld());
+  Matrix c_ref(n, n);
+  c_ref.zero();
+  reference_gemm(n, n, n, -2.0, a.data(), a.ld(), false, b.data(), b.ld(), true,
+                 0.0, c_ref.data(), c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11);
+}
+
+TEST(CholeskyBlocks, TrsmSolvesAgainstFactor) {
+  // Build a well-conditioned lower-triangular L, random X; after
+  // X' = trsm(X, L), X'·Lᵀ must equal the original X.
+  const std::uint32_t n = 64;
+  Matrix l(n, n);
+  l.zero();
+  Xoshiro256 rng(13);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    l(j, j) = 1.0 + rng.next_double();
+    for (std::uint32_t i = j + 1; i < n; ++i) {
+      l(i, j) = 0.25 * rng.next_double(-1.0, 1.0);
+    }
+  }
+  Matrix x = random_matrix(n, n, 14);
+
+  const TileGeometry g = make_geometry(n, n, 3, Curve::GrayMorton);
+  TiledMatrix tl(g), tx(g);
+  canonical_to_tiled(l.data(), l.ld(), false, 1.0, g, tl.data());
+  canonical_to_tiled(x.data(), x.ld(), false, 1.0, g, tx.data());
+  WorkerPool pool(0);
+  MulContext ctx;
+  ctx.pool = &pool;
+  trsm_right_lower_transposed(ctx, tx.root(), tl.root());
+
+  Matrix solved(n, n);
+  tiled_to_canonical(tx.data(), g, solved.data(), solved.ld());
+  Matrix back(n, n);
+  back.zero();
+  reference_gemm(n, n, n, 1.0, solved.data(), solved.ld(), false, l.data(),
+                 l.ld(), true, 0.0, back.data(), back.ld());
+  EXPECT_LT(max_abs_diff(back.view(), x.view()), 1e-10);
+}
+
+TEST(CholeskyBlocks, SyrkUpdatesLowerQuadrants) {
+  const std::uint32_t n = 32;
+  Matrix a = random_matrix(n, n, 15);
+  Matrix c = random_matrix(n, n, 16);
+  const TileGeometry g = make_geometry(n, n, 2, Curve::ZMorton);
+  TiledMatrix ta(g), tc(g);
+  canonical_to_tiled(a.data(), a.ld(), false, 1.0, g, ta.data());
+  canonical_to_tiled(c.data(), c.ld(), false, 1.0, g, tc.data());
+  WorkerPool pool(0);
+  MulContext ctx;
+  ctx.pool = &pool;
+  syrk_lower_update(ctx, tc.root(), ta.root());
+  Matrix out(n, n);
+  tiled_to_canonical(tc.data(), g, out.data(), out.ld());
+
+  Matrix full(n, n);
+  full = c;
+  reference_gemm(n, n, n, -1.0, a.data(), a.ld(), false, a.data(), a.ld(), true,
+                 1.0, full.data(), full.ld());
+  // Lower triangle (including diagonal) must match the full update.
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = j; i < n; ++i) {
+      ASSERT_NEAR(out(i, j), full(i, j), 1e-11) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rla

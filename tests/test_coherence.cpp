@@ -1,0 +1,120 @@
+// Tests of the SMP coherence model and its false-sharing classification.
+
+#include <gtest/gtest.h>
+
+#include "cachesim/coherence.hpp"
+
+namespace rla::sim {
+namespace {
+
+SmpConfig two_cores() {
+  SmpConfig cfg;
+  cfg.cores = 2;
+  cfg.l1 = {1024, 64, 2, false};
+  cfg.word_bytes = 8;
+  return cfg;
+}
+
+TEST(Coherence, WriteInvalidatesOtherCopies) {
+  SmpCaches smp(two_cores());
+  smp.access({0, 0, false});  // core 0 reads line 0
+  smp.access({0, 1, false});  // core 1 reads line 0
+  EXPECT_TRUE(smp.l1(0).contains(0));
+  EXPECT_TRUE(smp.l1(1).contains(0));
+  smp.access({0, 0, true});   // core 0 writes
+  EXPECT_FALSE(smp.l1(1).contains(0));
+  EXPECT_EQ(smp.stats().invalidations, 1u);
+}
+
+TEST(Coherence, TrueSharingClassification) {
+  SmpCaches smp(two_cores());
+  smp.access({0, 1, false});  // core 1 reads word 0 of line 0
+  smp.access({0, 0, true});   // core 0 writes the SAME word
+  EXPECT_EQ(smp.stats().true_sharing_invalidations, 1u);
+  EXPECT_EQ(smp.stats().false_sharing_invalidations, 0u);
+}
+
+TEST(Coherence, FalseSharingClassification) {
+  SmpCaches smp(two_cores());
+  smp.access({0, 1, false});   // core 1 reads word 0 of line 0
+  smp.access({32, 0, true});   // core 0 writes word 4 of the same line
+  EXPECT_EQ(smp.stats().false_sharing_invalidations, 1u);
+  EXPECT_EQ(smp.stats().true_sharing_invalidations, 0u);
+}
+
+TEST(Coherence, PingPongFalseSharing) {
+  // The paper's scenario: two processors write different words of a shared
+  // memory block — quadrant boundary straddling a cache line.
+  SmpCaches smp(two_cores());
+  for (int round = 0; round < 10; ++round) {
+    smp.access({0, 0, true});   // core 0 writes word 0
+    smp.access({32, 1, true});  // core 1 writes word 4, same line
+  }
+  EXPECT_GE(smp.stats().false_sharing_invalidations, 18u);
+  EXPECT_EQ(smp.stats().true_sharing_invalidations, 0u);
+  EXPECT_GE(smp.stats().coherence_misses, 18u);
+}
+
+TEST(Coherence, DisjointLinesNeverInvalidate) {
+  SmpCaches smp(two_cores());
+  for (int round = 0; round < 10; ++round) {
+    smp.access({0, 0, true});
+    smp.access({64, 1, true});  // different line
+  }
+  EXPECT_EQ(smp.stats().invalidations, 0u);
+  EXPECT_EQ(smp.stats().coherence_misses, 0u);
+}
+
+TEST(Coherence, CoherenceMissDistinctFromColdMiss) {
+  SmpCaches smp(two_cores());
+  smp.access({0, 0, false});  // cold miss, not coherence
+  smp.access({0, 1, true});   // cold miss for core 1, invalidates core 0
+  smp.access({0, 0, false});  // coherence miss (lost the line)
+  EXPECT_EQ(smp.stats().coherence_misses, 1u);
+}
+
+TEST(Coherence, TouchMaskResetsOnRefetch) {
+  SmpCaches smp(two_cores());
+  smp.access({0, 1, false});   // core 1 touches word 0
+  smp.access({8, 0, true});    // core 0 writes word 1 -> false sharing
+  EXPECT_EQ(smp.stats().false_sharing_invalidations, 1u);
+  smp.access({8, 1, false});   // core 1 refetches, touches only word 1
+  smp.access({0, 0, true});    // write to word 0 -> false again (mask reset)
+  EXPECT_EQ(smp.stats().false_sharing_invalidations, 2u);
+  smp.access({8, 1, false});   // core 1 refetches word 1
+  smp.access({8, 0, true});    // write word 1 -> TRUE sharing
+  EXPECT_EQ(smp.stats().true_sharing_invalidations, 1u);
+}
+
+TEST(Coherence, AggregateCounters) {
+  SmpCaches smp(two_cores());
+  smp.access({0, 0, false});
+  smp.access({0, 0, false});
+  smp.access({64, 1, false});
+  EXPECT_EQ(smp.total_accesses(), 3u);
+  EXPECT_EQ(smp.total_misses(), 2u);
+  EXPECT_NEAR(smp.miss_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Coherence, Reset) {
+  SmpCaches smp(two_cores());
+  smp.access({0, 0, true});
+  smp.access({0, 1, true});
+  smp.reset();
+  EXPECT_EQ(smp.stats().invalidations, 0u);
+  EXPECT_EQ(smp.total_accesses(), 0u);
+  EXPECT_FALSE(smp.l1(0).contains(0));
+}
+
+TEST(Coherence, FourCoreBroadcastInvalidation) {
+  SmpConfig cfg;
+  cfg.cores = 4;
+  cfg.l1 = {1024, 64, 2, false};
+  SmpCaches smp(cfg);
+  for (std::uint32_t c = 0; c < 4; ++c) smp.access({0, c, false});
+  smp.access({16, 3, true});  // invalidates the other three copies
+  EXPECT_EQ(smp.stats().invalidations, 3u);
+}
+
+}  // namespace
+}  // namespace rla::sim

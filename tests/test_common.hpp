@@ -1,0 +1,62 @@
+#pragma once
+
+// Shared helpers for the rla test suite.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/rla.hpp"
+
+namespace rla::testing {
+
+/// Random m×k matrix with a deterministic seed.
+inline Matrix random_matrix(std::uint32_t rows, std::uint32_t cols,
+                            std::uint64_t seed) {
+  Matrix m(rows, cols);
+  m.fill_random(seed);
+  return m;
+}
+
+/// Tolerance for comparing a recursive-algorithm product against the
+/// reference: Strassen-type recurrences lose a few bits per level.
+inline double gemm_tolerance(std::uint32_t m, std::uint32_t n, std::uint32_t k) {
+  (void)m;
+  (void)n;
+  return 1e-9 * static_cast<double>(k == 0 ? 1 : k);
+}
+
+/// Run cfg's gemm and the reference on identical random inputs; return the
+/// max elementwise deviation.
+inline double gemm_vs_reference(std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                                double alpha, Op op_a, Op op_b, double beta,
+                                const GemmConfig& cfg, std::uint64_t seed = 42) {
+  const std::uint32_t a_rows = op_a == Op::None ? m : k;
+  const std::uint32_t a_cols = op_a == Op::None ? k : m;
+  const std::uint32_t b_rows = op_b == Op::None ? k : n;
+  const std::uint32_t b_cols = op_b == Op::None ? n : k;
+  Matrix a = random_matrix(a_rows, a_cols, seed);
+  Matrix b = random_matrix(b_rows, b_cols, seed + 1);
+  Matrix c = random_matrix(m, n, seed + 2);
+  Matrix c_ref = c;
+
+  gemm(m, n, k, alpha, a.data(), a.ld(), op_a, b.data(), b.ld(), op_b, beta,
+       c.data(), c.ld(), cfg);
+  reference_gemm(m, n, k, alpha, a.data(), a.ld(), op_a == Op::Transpose, b.data(),
+                 b.ld(), op_b == Op::Transpose, beta, c_ref.data(), c_ref.ld());
+  return max_abs_diff(c.view(), c_ref.view());
+}
+
+/// Printable parameter name fragment.
+inline std::string sanitize(std::string_view text) {
+  std::string out;
+  for (char ch : text) {
+    if ((ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+        (ch >= '0' && ch <= '9')) {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace rla::testing

@@ -1,0 +1,151 @@
+// Tests of canonical <-> recursive layout conversion (paper §4), including
+// fused transposition and scaling, padding zero-fill, and parallel-range
+// equivalence.
+
+#include <gtest/gtest.h>
+
+#include "core/matrix.hpp"
+#include "core/tiled_matrix.hpp"
+#include "layout/convert.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+using rla::testing::random_matrix;
+
+class ConvertTest : public ::testing::TestWithParam<Curve> {};
+
+TEST_P(ConvertTest, RoundTripExactSizes) {
+  const Curve c = GetParam();
+  const TileGeometry g = make_geometry(32, 32, 2, c);  // 8x8 tiles, no padding
+  Matrix src = random_matrix(32, 32, 1);
+  TiledMatrix tiled(g);
+  canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, tiled.data());
+  Matrix back(32, 32);
+  tiled_to_canonical(tiled.data(), g, back.data(), back.ld());
+  EXPECT_EQ(max_abs_diff(src.view(), back.view()), 0.0) << curve_name(c);
+}
+
+TEST_P(ConvertTest, RoundTripWithPadding) {
+  const Curve c = GetParam();
+  const TileGeometry g = make_geometry(23, 37, 2, c);
+  Matrix src = random_matrix(23, 37, 2);
+  TiledMatrix tiled(g);
+  canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, tiled.data());
+  Matrix back(23, 37);
+  back.fill([](auto, auto) { return -99.0; });
+  tiled_to_canonical(tiled.data(), g, back.data(), back.ld());
+  EXPECT_EQ(max_abs_diff(src.view(), back.view()), 0.0) << curve_name(c);
+}
+
+TEST_P(ConvertTest, ElementwisePlacementMatchesLayoutFunction) {
+  const Curve c = GetParam();
+  const TileGeometry g = make_geometry(20, 28, 2, c);
+  Matrix src(20, 28);
+  src.fill([](std::uint32_t i, std::uint32_t j) { return 1000.0 * i + j; });
+  TiledMatrix tiled(g);
+  canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, tiled.data());
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    for (std::uint32_t j = 0; j < 28; ++j) {
+      ASSERT_EQ(tiled.at(i, j), src(i, j)) << curve_name(c);
+    }
+  }
+}
+
+TEST_P(ConvertTest, PaddingIsZeroFilled) {
+  const Curve c = GetParam();
+  const TileGeometry g = make_geometry(19, 21, 2, c);
+  TiledMatrix tiled(g);
+  // Poison the buffer first so stale values would be caught.
+  for (std::uint64_t e = 0; e < tiled.size(); ++e) tiled.data()[e] = -7.0;
+  Matrix src = random_matrix(19, 21, 3);
+  canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, tiled.data());
+  for (std::uint32_t i = 0; i < g.padded_rows(); ++i) {
+    for (std::uint32_t j = 0; j < g.padded_cols(); ++j) {
+      if (i >= 19 || j >= 21) {
+        ASSERT_EQ(tiled.at(i, j), 0.0) << curve_name(c) << " " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST_P(ConvertTest, TransposeFusion) {
+  const Curve c = GetParam();
+  const TileGeometry g = make_geometry(24, 18, 2, c);  // logical 24x18
+  Matrix src = random_matrix(18, 24, 4);               // physical 18x24
+  TiledMatrix tiled(g);
+  canonical_to_tiled(src.data(), src.ld(), true, 1.0, g, tiled.data());
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    for (std::uint32_t j = 0; j < 18; ++j) {
+      ASSERT_EQ(tiled.at(i, j), src(j, i)) << curve_name(c);
+    }
+  }
+}
+
+TEST_P(ConvertTest, AlphaScalingFusion) {
+  const Curve c = GetParam();
+  const TileGeometry g = make_geometry(16, 16, 1, c);
+  Matrix src = random_matrix(16, 16, 5);
+  TiledMatrix tiled(g);
+  canonical_to_tiled(src.data(), src.ld(), false, -2.5, g, tiled.data());
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    for (std::uint32_t j = 0; j < 16; ++j) {
+      ASSERT_DOUBLE_EQ(tiled.at(i, j), -2.5 * src(i, j));
+    }
+  }
+}
+
+TEST_P(ConvertTest, RangeConversionEqualsFull) {
+  // Converting in disjoint curve-position ranges (how the parallel driver
+  // splits the remap) must produce the same bytes as one full pass.
+  const Curve c = GetParam();
+  const TileGeometry g = make_geometry(30, 26, 3, c);
+  Matrix src = random_matrix(30, 26, 6);
+  TiledMatrix full(g), ranged(g);
+  canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, full.data());
+  const std::uint64_t n = g.tile_count();
+  for (std::uint64_t s = 0; s < n; s += 7) {
+    canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, ranged.data(), s,
+                       std::min(n, s + 7));
+  }
+  for (std::uint64_t e = 0; e < full.size(); ++e) {
+    ASSERT_EQ(full.data()[e], ranged.data()[e]);
+  }
+}
+
+TEST_P(ConvertTest, LeadingDimensionRespected) {
+  const Curve c = GetParam();
+  // Source is a 12x12 window inside a 40-row canonical array.
+  Matrix big = random_matrix(40, 20, 7);
+  const TileGeometry g = make_geometry(12, 12, 1, c);
+  TiledMatrix tiled(g);
+  canonical_to_tiled(big.data() + 3, big.ld(), false, 1.0, g, tiled.data());
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    for (std::uint32_t j = 0; j < 12; ++j) {
+      ASSERT_EQ(tiled.at(i, j), big(3 + i, j));
+    }
+  }
+}
+
+TEST_P(ConvertTest, ZeroTiles) {
+  const Curve c = GetParam();
+  const TileGeometry g = make_geometry(16, 16, 2, c);
+  TiledMatrix tiled(g);
+  for (std::uint64_t e = 0; e < tiled.size(); ++e) tiled.data()[e] = 5.0;
+  zero_tiles(g, tiled.data(), 4, 12);
+  const std::uint64_t tsz = g.tile_elems();
+  for (std::uint64_t e = 0; e < tiled.size(); ++e) {
+    const std::uint64_t tile = e / tsz;
+    ASSERT_EQ(tiled.data()[e], (tile >= 4 && tile < 12) ? 0.0 : 5.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRecursive, ConvertTest,
+                         ::testing::ValuesIn(kRecursiveCurves),
+                         [](const ::testing::TestParamInfo<Curve>& info) {
+                           return rla::testing::sanitize(curve_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace rla

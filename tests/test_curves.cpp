@@ -1,0 +1,205 @@
+// Tests of the S functions (paper §3): known orderings, bijectivity,
+// self-similarity, quadrant contiguity, and the per-curve structural
+// properties the paper states.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "layout/curve.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+std::vector<std::uint64_t> grid(Curve c, int d) {
+  const std::uint32_t n = 1u << d;
+  std::vector<std::uint64_t> g(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) g[i * n + j] = s_index(c, i, j, d);
+  }
+  return g;
+}
+
+TEST(Curves, ZMortonKnownGrid4x4) {
+  const std::vector<std::uint64_t> expected = {
+      0, 1, 4, 5, 2, 3, 6, 7, 8, 9, 12, 13, 10, 11, 14, 15};
+  EXPECT_EQ(grid(Curve::ZMorton, 2), expected);
+}
+
+TEST(Curves, UMortonKnownGrid4x4) {
+  const std::vector<std::uint64_t> expected = {
+      0, 3, 12, 15, 1, 2, 13, 14, 4, 7, 8, 11, 5, 6, 9, 10};
+  EXPECT_EQ(grid(Curve::UMorton, 2), expected);
+}
+
+TEST(Curves, XMortonKnownGrid4x4) {
+  const std::vector<std::uint64_t> expected = {
+      0, 3, 12, 15, 2, 1, 14, 13, 8, 11, 4, 7, 10, 9, 6, 5};
+  EXPECT_EQ(grid(Curve::XMorton, 2), expected);
+}
+
+TEST(Curves, GrayMortonKnownGrid4x4) {
+  const std::vector<std::uint64_t> expected = {
+      0, 1, 6, 7, 3, 2, 5, 4, 12, 13, 10, 11, 15, 14, 9, 8};
+  EXPECT_EQ(grid(Curve::GrayMorton, 2), expected);
+}
+
+TEST(Curves, CanonicalGrids) {
+  const std::uint32_t n = 4;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      EXPECT_EQ(s_index(Curve::ColMajor, i, j, 2), j * n + i);
+      EXPECT_EQ(s_index(Curve::RowMajor, i, j, 2), i * n + j);
+    }
+  }
+}
+
+TEST(Curves, OriginIsZeroForAllCurves) {
+  // Paper convention: S(0,0) = 0 for every layout.
+  for (Curve c : kAllCurves) {
+    for (int d = 1; d <= 6; ++d) {
+      EXPECT_EQ(s_index(c, 0, 0, d), 0u) << curve_name(c) << " d=" << d;
+    }
+  }
+}
+
+TEST(Curves, HilbertAdjacency) {
+  // Consecutive Hilbert positions are 4-neighbours (the defining property;
+  // none of the Morton variants has it).
+  for (int d = 1; d <= 6; ++d) {
+    const std::uint64_t n = std::uint64_t{1} << (2 * d);
+    TileCoord prev = s_inverse(Curve::Hilbert, 0, d);
+    for (std::uint64_t s = 1; s < n; ++s) {
+      const TileCoord cur = s_inverse(Curve::Hilbert, s, d);
+      const int di = std::abs(static_cast<int>(cur.i) - static_cast<int>(prev.i));
+      const int dj = std::abs(static_cast<int>(cur.j) - static_cast<int>(prev.j));
+      ASSERT_EQ(di + dj, 1) << "d=" << d << " s=" << s;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Curves, ZMortonLacksAdjacency) {
+  // Sanity check that the adjacency property above is not vacuous.
+  const TileCoord a = s_inverse(Curve::ZMorton, 1, 2);
+  const TileCoord b = s_inverse(Curve::ZMorton, 2, 2);
+  const int dist = std::abs(static_cast<int>(a.i) - static_cast<int>(b.i)) +
+                   std::abs(static_cast<int>(a.j) - static_cast<int>(b.j));
+  EXPECT_GT(dist, 1);
+}
+
+class CurveDepthTest : public ::testing::TestWithParam<std::tuple<Curve, int>> {};
+
+TEST_P(CurveDepthTest, Bijection) {
+  const auto [c, d] = GetParam();
+  const std::uint32_t side = 1u << d;
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t i = 0; i < side; ++i) {
+    for (std::uint32_t j = 0; j < side; ++j) {
+      const std::uint64_t s = s_index(c, i, j, d);
+      ASSERT_LT(s, std::uint64_t{1} << (2 * d));
+      ASSERT_TRUE(seen.insert(s).second) << "duplicate S at " << i << "," << j;
+    }
+  }
+}
+
+TEST_P(CurveDepthTest, InverseRoundTrip) {
+  const auto [c, d] = GetParam();
+  const std::uint64_t n = std::uint64_t{1} << (2 * d);
+  for (std::uint64_t s = 0; s < n; ++s) {
+    const TileCoord tc = s_inverse(c, s, d);
+    ASSERT_EQ(s_index(c, tc.i, tc.j, d), s) << curve_name(c) << " s=" << s;
+  }
+}
+
+TEST_P(CurveDepthTest, QuadrantContiguity) {
+  // Aligned quadrants occupy contiguous quarters of the curve range for
+  // every recursive layout (the basis of streaming additions, paper §4).
+  const auto [c, d] = GetParam();
+  if (!is_recursive(c) || d < 1) return;
+  const std::uint32_t h = 1u << (d - 1);
+  for (std::uint32_t qi = 0; qi < 2; ++qi) {
+    for (std::uint32_t qj = 0; qj < 2; ++qj) {
+      std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+      for (std::uint32_t i = 0; i < h; ++i) {
+        for (std::uint32_t j = 0; j < h; ++j) {
+          const std::uint64_t s = s_index(c, qi * h + i, qj * h + j, d);
+          lo = std::min(lo, s);
+          hi = std::max(hi, s);
+        }
+      }
+      EXPECT_EQ(hi - lo + 1, std::uint64_t{h} * h);
+      EXPECT_EQ(lo % (std::uint64_t{h} * h), 0u);
+    }
+  }
+}
+
+TEST_P(CurveDepthTest, SelfSimilarNorthwestForMortonFamily) {
+  // The d-independent bit formulas nest: the NW quadrant of a depth-d grid
+  // is ordered exactly like the full depth-(d-1) grid for U/X/Z/Gray.
+  const auto [c, d] = GetParam();
+  if (d < 2 || c == Curve::Hilbert || !is_recursive(c)) return;
+  const std::uint32_t h = 1u << (d - 1);
+  for (std::uint32_t i = 0; i < h; ++i) {
+    for (std::uint32_t j = 0; j < h; ++j) {
+      EXPECT_EQ(s_index(c, i, j, d), s_index(c, i, j, d - 1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCurves, CurveDepthTest,
+    ::testing::Combine(::testing::ValuesIn(kAllCurves),
+                       ::testing::Values(1, 2, 3, 4, 5)),
+    [](const ::testing::TestParamInfo<CurveDepthTest::ParamType>& info) {
+      return rla::testing::sanitize(curve_name(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Curves, BitLocalityOfSingleOrientationLayouts) {
+  // Paper §3.4: for U/X/Z, bits 2u+1 and 2u of S depend only on bit u of i
+  // and j — so flipping low bits of (i, j) never changes high bits of S.
+  for (Curve c : {Curve::UMorton, Curve::XMorton, Curve::ZMorton}) {
+    const int d = 5;
+    for (std::uint32_t i = 0; i < 32; ++i) {
+      for (std::uint32_t j = 0; j < 32; ++j) {
+        const std::uint64_t hi = s_index(c, i, j, d) >> 4;
+        const std::uint64_t hi_masked = s_index(c, i & ~3u, j & ~3u, d) >> 4;
+        ASSERT_EQ(hi, hi_masked) << curve_name(c);
+      }
+    }
+  }
+}
+
+TEST(Curves, ParseNames) {
+  Curve c;
+  EXPECT_TRUE(parse_curve("z-morton", c));
+  EXPECT_EQ(c, Curve::ZMorton);
+  EXPECT_TRUE(parse_curve("Hilbert", c));
+  EXPECT_EQ(c, Curve::Hilbert);
+  EXPECT_TRUE(parse_curve("GRAY", c));
+  EXPECT_EQ(c, Curve::GrayMorton);
+  EXPECT_TRUE(parse_curve("u", c));
+  EXPECT_EQ(c, Curve::UMorton);
+  EXPECT_TRUE(parse_curve("x_morton", c));
+  EXPECT_EQ(c, Curve::XMorton);
+  EXPECT_TRUE(parse_curve("canonical", c));
+  EXPECT_EQ(c, Curve::ColMajor);
+  EXPECT_TRUE(parse_curve("rowmajor", c));
+  EXPECT_EQ(c, Curve::RowMajor);
+  EXPECT_FALSE(parse_curve("peano", c));
+}
+
+TEST(Curves, NamesRoundTrip) {
+  for (Curve c : kAllCurves) {
+    Curve parsed;
+    ASSERT_TRUE(parse_curve(curve_name(c), parsed)) << curve_name(c);
+    EXPECT_EQ(parsed, c);
+  }
+}
+
+}  // namespace
+}  // namespace rla

@@ -1,0 +1,114 @@
+// Tests of the Chase–Lev work-stealing deque.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "parallel/chase_lev_deque.hpp"
+
+namespace rla {
+namespace {
+
+TEST(Deque, OwnerPushPopIsLifo) {
+  int values[4] = {1, 2, 3, 4};
+  ChaseLevDeque<int*> dq;
+  for (int& v : values) dq.push(&v);
+  EXPECT_EQ(dq.pop(), &values[3]);
+  EXPECT_EQ(dq.pop(), &values[2]);
+  EXPECT_EQ(dq.pop(), &values[1]);
+  EXPECT_EQ(dq.pop(), &values[0]);
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(Deque, StealIsFifo) {
+  int values[4] = {1, 2, 3, 4};
+  ChaseLevDeque<int*> dq;
+  for (int& v : values) dq.push(&v);
+  EXPECT_EQ(dq.steal(), &values[0]);
+  EXPECT_EQ(dq.steal(), &values[1]);
+  EXPECT_EQ(dq.pop(), &values[3]);
+  EXPECT_EQ(dq.steal(), &values[2]);
+  EXPECT_EQ(dq.steal(), nullptr);
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(Deque, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int*> dq(4);
+  std::vector<int> values(1000);
+  for (int& v : values) dq.push(&v);
+  EXPECT_EQ(dq.size_estimate(), 1000);
+  for (int i = 999; i >= 0; --i) EXPECT_EQ(dq.pop(), &values[static_cast<std::size_t>(i)]);
+}
+
+TEST(Deque, EmptyBehaviour) {
+  ChaseLevDeque<int*> dq;
+  EXPECT_EQ(dq.pop(), nullptr);
+  EXPECT_EQ(dq.steal(), nullptr);
+  EXPECT_EQ(dq.size_estimate(), 0);
+  int v = 1;
+  dq.push(&v);
+  EXPECT_EQ(dq.pop(), &v);
+  EXPECT_EQ(dq.pop(), nullptr);  // empty again after drain
+}
+
+TEST(Deque, ConcurrentStealersConserveItems) {
+  // One owner pushes and pops; several thieves steal. Every item must be
+  // received exactly once across all parties.
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  std::vector<int> values(kItems);
+  std::iota(values.begin(), values.end(), 0);
+
+  ChaseLevDeque<int*> dq;
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> stolen_sum{0};
+  std::atomic<std::int64_t> stolen_count{0};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::int64_t local_sum = 0, local_count = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (int* item = dq.steal()) {
+          local_sum += *item;
+          ++local_count;
+        }
+      }
+      while (int* item = dq.steal()) {
+        local_sum += *item;
+        ++local_count;
+      }
+      stolen_sum.fetch_add(local_sum);
+      stolen_count.fetch_add(local_count);
+    });
+  }
+
+  std::int64_t own_sum = 0, own_count = 0;
+  for (int i = 0; i < kItems; ++i) {
+    dq.push(&values[static_cast<std::size_t>(i)]);
+    if (i % 3 == 0) {
+      if (int* item = dq.pop()) {
+        own_sum += *item;
+        ++own_count;
+      }
+    }
+  }
+  while (int* item = dq.pop()) {
+    own_sum += *item;
+    ++own_count;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(own_count + stolen_count.load(), kItems);
+  const std::int64_t expected_sum =
+      static_cast<std::int64_t>(kItems) * (kItems - 1) / 2;
+  EXPECT_EQ(own_sum + stolen_sum.load(), expected_sum);
+}
+
+}  // namespace
+}  // namespace rla

@@ -1,0 +1,120 @@
+// Tests of the Fig. 1 locality-footprint reproduction.
+
+#include <gtest/gtest.h>
+
+#include "trace/footprint.hpp"
+
+namespace rla::trace {
+namespace {
+
+int popcount(std::uint64_t x) { return __builtin_popcountll(x); }
+
+TEST(Footprint, StandardReadsExactlyRowAndColumn) {
+  // Fig. 1(a): the standard algorithm computes C(i,j) from row i of A and
+  // column j of B, nothing else.
+  const std::uint32_t n = 8;
+  const FootprintResult fp = footprint(Algorithm::Standard, n);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      std::uint64_t row_mask = 0, col_mask = 0;
+      for (std::uint32_t t = 0; t < n; ++t) {
+        row_mask |= std::uint64_t{1} << (r * n + t);
+        col_mask |= std::uint64_t{1} << (t * n + c);
+      }
+      ASSERT_EQ(fp.a_reads[r * n + c], row_mask) << r << "," << c;
+      ASSERT_EQ(fp.b_reads[r * n + c], col_mask) << r << "," << c;
+    }
+  }
+  EXPECT_EQ(fp.total_a_reads(), std::uint64_t{n} * n * n);
+  EXPECT_EQ(fp.total_b_reads(), std::uint64_t{n} * n * n);
+}
+
+TEST(Footprint, FastAlgorithmsReadSupersets) {
+  // The fast algorithms still depend on row i of A and column j of B (they
+  // compute the same function) plus extra elements through the temporaries.
+  const std::uint32_t n = 8;
+  const FootprintResult std_fp = footprint(Algorithm::Standard, n);
+  for (Algorithm alg : {Algorithm::Strassen, Algorithm::Winograd}) {
+    const FootprintResult fp = footprint(alg, n);
+    for (std::uint32_t e = 0; e < n * n; ++e) {
+      ASSERT_EQ(fp.a_reads[e] & std_fp.a_reads[e], std_fp.a_reads[e]);
+      ASSERT_EQ(fp.b_reads[e] & std_fp.b_reads[e], std_fp.b_reads[e]);
+    }
+    // "...increased number of memory accesses" (paper §2).
+    EXPECT_GT(fp.total_a_reads(), std_fp.total_a_reads());
+    EXPECT_GT(fp.total_b_reads(), std_fp.total_b_reads());
+  }
+}
+
+TEST(Footprint, StrassenDiagonalIsWorst) {
+  // Paper §2: the bad locality is "particularly evident along the main
+  // diagonal for Strassen's algorithm".
+  const std::uint32_t n = 8;
+  const FootprintResult fp = footprint(Algorithm::Strassen, n);
+  double diag_avg = 0.0, off_avg = 0.0;
+  int diag_count = 0, off_count = 0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const int reads = popcount(fp.a_reads[r * n + c]);
+      if (r == c) {
+        diag_avg += reads;
+        ++diag_count;
+      } else {
+        off_avg += reads;
+        ++off_count;
+      }
+    }
+  }
+  diag_avg /= diag_count;
+  off_avg /= off_count;
+  EXPECT_GT(diag_avg, off_avg);
+}
+
+TEST(Footprint, WinogradAntiDiagonalCornersAreWorst) {
+  // Paper §2: "...and for elements (0,7) and (7,0) for Winograd's".
+  const std::uint32_t n = 8;
+  const FootprintResult fp = footprint(Algorithm::Winograd, n);
+  const int corner_07 = popcount(fp.a_reads[0 * n + 7]) + popcount(fp.b_reads[0 * n + 7]);
+  const int corner_70 = popcount(fp.a_reads[7 * n + 0]) + popcount(fp.b_reads[7 * n + 0]);
+  int max_other = 0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if ((r == 0 && c == 7) || (r == 7 && c == 0)) continue;
+      max_other = std::max(
+          max_other, popcount(fp.a_reads[r * n + c]) + popcount(fp.b_reads[r * n + c]));
+    }
+  }
+  EXPECT_GE(corner_07, max_other);
+  EXPECT_GE(corner_70, max_other);
+}
+
+TEST(Footprint, SmallSizesDegenerate) {
+  const FootprintResult fp1 = footprint(Algorithm::Strassen, 1);
+  EXPECT_EQ(fp1.a_reads[0], 1u);
+  EXPECT_EQ(fp1.b_reads[0], 1u);
+  const FootprintResult fp2 = footprint(Algorithm::Winograd, 2);
+  EXPECT_EQ(fp2.n, 2u);
+  // Every C element depends on at least its row/column (2 elements each).
+  for (std::uint32_t e = 0; e < 4; ++e) {
+    EXPECT_GE(popcount(fp2.a_reads[e]), 2);
+    EXPECT_GE(popcount(fp2.b_reads[e]), 2);
+  }
+}
+
+TEST(Footprint, RejectsInvalidSizes) {
+  EXPECT_THROW(footprint(Algorithm::Standard, 0), std::invalid_argument);
+  EXPECT_THROW(footprint(Algorithm::Standard, 3), std::invalid_argument);
+  EXPECT_THROW(footprint(Algorithm::Standard, 16), std::invalid_argument);
+}
+
+TEST(Footprint, RenderShapeAndContent) {
+  const FootprintResult fp = footprint(Algorithm::Standard, 4);
+  const std::string art = render_footprint(fp, true);
+  // 4 box-rows of 4 lines each + 3 separators = 19 lines.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 19);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rla::trace

@@ -1,0 +1,68 @@
+// Tests of the composed TLB + L1 + L2 hierarchy.
+
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hpp"
+
+namespace rla::sim {
+namespace {
+
+HierarchyConfig small_config() {
+  HierarchyConfig cfg;
+  cfg.l1 = {1024, 64, 2, false};
+  cfg.l2 = {8192, 64, 4, false};
+  cfg.tlb = {8, 4096};
+  return cfg;
+}
+
+TEST(Hierarchy, L1MissGoesToL2) {
+  MemoryHierarchy mem(small_config());
+  mem.access(0, false);  // L1 miss, L2 miss
+  mem.access(0, false);  // L1 hit
+  EXPECT_EQ(mem.l1().stats().misses, 1u);
+  EXPECT_EQ(mem.l1().stats().hits, 1u);
+  EXPECT_EQ(mem.l2().stats().accesses(), 1u);  // only the L1 miss reached L2
+}
+
+TEST(Hierarchy, L2CatchesL1ConflictVictims) {
+  MemoryHierarchy mem(small_config());
+  // Three lines conflicting in L1 set 0 (L1 has 8 sets): lines 0, 8, 16.
+  for (int round = 0; round < 4; ++round) {
+    mem.access(0, false);
+    mem.access(8 * 64, false);
+    mem.access(16 * 64, false);
+  }
+  // L1 thrashes, but L2 (32 sets more capacity) absorbs the repeats.
+  EXPECT_GT(mem.l1().stats().misses, 6u);
+  EXPECT_EQ(mem.l2().stats().misses, 3u);  // only compulsory
+  EXPECT_GT(mem.l2().stats().hits, 0u);
+}
+
+TEST(Hierarchy, CycleModelOrdering) {
+  const HierarchyConfig cfg = small_config();
+  MemoryHierarchy mem(cfg);
+  mem.access(0, false);  // TLB miss + memory fill
+  const std::uint64_t first = mem.cycles();
+  EXPECT_EQ(first, cfg.tlb_miss_cycles + cfg.memory_cycles);
+  mem.access(8, false);  // all hits
+  EXPECT_EQ(mem.cycles(), first + cfg.l1_hit_cycles);
+}
+
+TEST(Hierarchy, CyclesPerAccess) {
+  MemoryHierarchy mem(small_config());
+  for (int i = 0; i < 16; ++i) mem.access(static_cast<std::uint64_t>(i) * 8, false);
+  EXPECT_GT(mem.cpa(), 0.0);
+}
+
+TEST(Hierarchy, Reset) {
+  MemoryHierarchy mem(small_config());
+  mem.access(0, true);
+  mem.reset();
+  EXPECT_EQ(mem.cycles(), 0u);
+  EXPECT_EQ(mem.l1().stats().accesses(), 0u);
+  EXPECT_EQ(mem.l2().stats().accesses(), 0u);
+  EXPECT_EQ(mem.tlb().stats().accesses(), 0u);
+}
+
+}  // namespace
+}  // namespace rla::sim

@@ -1,0 +1,126 @@
+// End-to-end property sweep: random gemm configurations across the full
+// public surface, checked against the reference oracle. This is the
+// everything-connected test: layouts × algorithms × transposes × scalars ×
+// shapes × threading, chosen pseudo-randomly but deterministically.
+
+#include <gtest/gtest.h>
+
+#include "core/gemm.hpp"
+#include "test_common.hpp"
+#include "util/rng.hpp"
+
+namespace rla {
+namespace {
+
+constexpr Curve kLayouts[] = {Curve::ColMajor,   Curve::UMorton, Curve::XMorton,
+                              Curve::ZMorton,    Curve::GrayMorton,
+                              Curve::Hilbert};
+constexpr Algorithm kAlgs[] = {Algorithm::Standard, Algorithm::Strassen,
+                               Algorithm::Winograd};
+
+struct RandomCase {
+  std::uint32_t m, n, k;
+  double alpha, beta;
+  Op op_a, op_b;
+  Curve layout;
+  Algorithm alg;
+  unsigned threads;
+  std::uint64_t seed;
+};
+
+RandomCase draw(Xoshiro256& rng) {
+  RandomCase c;
+  c.m = 1 + static_cast<std::uint32_t>(rng.next_below(130));
+  c.n = 1 + static_cast<std::uint32_t>(rng.next_below(130));
+  c.k = 1 + static_cast<std::uint32_t>(rng.next_below(130));
+  const double alphas[] = {1.0, -1.0, 0.5, 2.0, 0.0};
+  const double betas[] = {0.0, 1.0, -0.5, 3.0};
+  c.alpha = alphas[rng.next_below(5)];
+  c.beta = betas[rng.next_below(4)];
+  c.op_a = rng.next_below(2) != 0u ? Op::Transpose : Op::None;
+  c.op_b = rng.next_below(2) != 0u ? Op::Transpose : Op::None;
+  c.layout = kLayouts[rng.next_below(6)];
+  c.alg = kAlgs[rng.next_below(3)];
+  c.threads = static_cast<unsigned>(rng.next_below(3)) * 2;  // 0, 2 or 4
+  c.seed = rng.next_u64();
+  return c;
+}
+
+TEST(Integration, RandomConfigurationSweep) {
+  Xoshiro256 rng(20260704);
+  for (int trial = 0; trial < 60; ++trial) {
+    const RandomCase c = draw(rng);
+    GemmConfig cfg;
+    cfg.layout = c.layout;
+    cfg.algorithm = c.alg;
+    cfg.threads = c.threads;
+    const double err = rla::testing::gemm_vs_reference(
+        c.m, c.n, c.k, c.alpha, c.op_a, c.op_b, c.beta, cfg, c.seed);
+    ASSERT_LT(err, 1e-9) << "trial " << trial << ": " << c.m << "x" << c.n << "x"
+                         << c.k << " alpha=" << c.alpha << " beta=" << c.beta
+                         << " opA=" << static_cast<int>(c.op_a)
+                         << " opB=" << static_cast<int>(c.op_b) << " "
+                         << curve_name(c.layout) << "/" << algorithm_name(c.alg)
+                         << " threads=" << c.threads;
+  }
+}
+
+TEST(Integration, ExtremeAspectRatioSweep) {
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::uint32_t big = 200 + static_cast<std::uint32_t>(rng.next_below(300));
+    const std::uint32_t small = 1 + static_cast<std::uint32_t>(rng.next_below(24));
+    GemmConfig cfg;
+    cfg.layout = kLayouts[1 + rng.next_below(5)];  // recursive layouts only
+    cfg.algorithm = kAlgs[rng.next_below(3)];
+    const int shape = static_cast<int>(rng.next_below(3));
+    const std::uint32_t m = shape == 0 ? big : small;
+    const std::uint32_t n = shape == 1 ? big : small;
+    const std::uint32_t k = shape == 2 ? big : small;
+    const double err = rla::testing::gemm_vs_reference(m, n, k, 1.0, Op::None,
+                                                       Op::None, 1.0, cfg,
+                                                       rng.next_u64());
+    ASSERT_LT(err, 1e-9) << m << "x" << n << "x" << k << " "
+                         << curve_name(cfg.layout) << "/"
+                         << algorithm_name(cfg.algorithm);
+  }
+}
+
+TEST(Integration, RepeatedCallsSamePoolAreStable) {
+  WorkerPool pool(4);
+  GemmConfig cfg;
+  cfg.layout = Curve::Hilbert;
+  cfg.algorithm = Algorithm::Winograd;
+  cfg.pool = &pool;
+  Matrix a = rla::testing::random_matrix(96, 96, 1);
+  Matrix b = rla::testing::random_matrix(96, 96, 2);
+  Matrix first(96, 96);
+  multiply(first, a, b, cfg);
+  for (int round = 0; round < 4; ++round) {
+    Matrix c(96, 96);
+    multiply(c, a, b, cfg);
+    ASSERT_EQ(max_abs_diff(first.view(), c.view()), 0.0) << round;
+  }
+}
+
+TEST(Integration, MixedLayoutsAgreeWithEachOther) {
+  // All layouts compute the same function; cross-check them pairwise at a
+  // padded, awkward size.
+  const std::uint32_t m = 83, n = 97, k = 71;
+  Matrix a = rla::testing::random_matrix(m, k, 5);
+  Matrix b = rla::testing::random_matrix(k, n, 6);
+  Matrix baseline(m, n);
+  GemmConfig cfg;
+  cfg.layout = Curve::ColMajor;
+  multiply(baseline, a, b, cfg);
+  for (Curve layout : {Curve::UMorton, Curve::XMorton, Curve::ZMorton,
+                       Curve::GrayMorton, Curve::Hilbert}) {
+    Matrix c(m, n);
+    cfg.layout = layout;
+    multiply(c, a, b, cfg);
+    ASSERT_LT(max_abs_diff(baseline.view(), c.view()), 1e-10) << curve_name(layout);
+  }
+}
+
+}  // namespace
+}  // namespace rla

@@ -1,0 +1,90 @@
+// Tests of the orientation mapping arrays (paper §4), including the
+// Gray-Morton half-rotation symmetry (paper §3.4) that justifies the
+// two-half-step addition trick.
+
+#include <gtest/gtest.h>
+
+#include "layout/mapping.hpp"
+#include "layout/quadrant.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+TEST(Mapping, GrayHalfRotationSymmetry) {
+  // Paper §3.4: the two Gray-Morton orientations order their tiles
+  // identically up to a rotation by half the tile count — "two quadrants of
+  // opposite orientation differ only in the order in which their top and
+  // bottom halves are glued together".
+  const CurveOps& ops = CurveOps::get(Curve::GrayMorton);
+  ASSERT_EQ(ops.orientations(), 2);
+  for (int level = 1; level <= 6; ++level) {
+    const std::uint64_t n = std::uint64_t{1} << (2 * level);
+    const auto map01 = ops.order_map(0, 1, level);
+    const auto map10 = ops.order_map(1, 0, level);
+    for (std::uint64_t s = 0; s < n; ++s) {
+      ASSERT_EQ(map01[s], (s + n / 2) % n) << "level=" << level << " s=" << s;
+      ASSERT_EQ(map10[s], (s + n / 2) % n) << "level=" << level << " s=" << s;
+    }
+  }
+}
+
+TEST(Mapping, HilbertMapsHaveNoHalfRotationShortcut) {
+  // The paper keeps full mapping arrays for Hilbert because "there is no
+  // simple pattern"; check that at least one orientation pair is not a
+  // rotation of any amount.
+  const CurveOps& ops = CurveOps::get(Curve::Hilbert);
+  bool some_pair_is_not_a_rotation = false;
+  const int level = 3;
+  const std::uint64_t n = std::uint64_t{1} << (2 * level);
+  for (int r1 = 0; r1 < 4 && !some_pair_is_not_a_rotation; ++r1) {
+    for (int r2 = 0; r2 < 4 && !some_pair_is_not_a_rotation; ++r2) {
+      if (r1 == r2) continue;
+      const auto map = ops.order_map(r1, r2, level);
+      const std::uint64_t shift = map[0];
+      bool is_rotation = true;
+      for (std::uint64_t s = 0; s < n; ++s) {
+        if (map[s] != (s + shift) % n) {
+          is_rotation = false;
+          break;
+        }
+      }
+      if (!is_rotation) some_pair_is_not_a_rotation = true;
+    }
+  }
+  EXPECT_TRUE(some_pair_is_not_a_rotation);
+}
+
+TEST(Mapping, CachedMapMatchesFreshMap) {
+  for (Curve c : {Curve::GrayMorton, Curve::Hilbert}) {
+    const CurveOps& ops = CurveOps::get(c);
+    for (int r1 = 0; r1 < ops.orientations(); ++r1) {
+      for (int r2 = 0; r2 < ops.orientations(); ++r2) {
+        const auto& cached = cached_order_map(c, r1, r2, 3);
+        EXPECT_EQ(cached, ops.order_map(r1, r2, 3));
+      }
+    }
+  }
+}
+
+TEST(Mapping, CachedMapIsStableAcrossCalls) {
+  const auto& first = cached_order_map(Curve::Hilbert, 0, 1, 4);
+  const auto* first_data = first.data();
+  const auto& second = cached_order_map(Curve::Hilbert, 0, 1, 4);
+  EXPECT_EQ(first_data, second.data());  // same cached vector
+}
+
+TEST(Mapping, MapsComposeCorrectly) {
+  // map(r1->r3) == map(r2->r3) ∘ map(r1->r2).
+  const CurveOps& ops = CurveOps::get(Curve::Hilbert);
+  const int level = 3;
+  const auto m01 = ops.order_map(0, 1, level);
+  const auto m12 = ops.order_map(1, 2, level);
+  const auto m02 = ops.order_map(0, 2, level);
+  for (std::uint64_t s = 0; s < m01.size(); ++s) {
+    ASSERT_EQ(m02[s], m12[m01[s]]);
+  }
+}
+
+}  // namespace
+}  // namespace rla

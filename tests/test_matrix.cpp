@@ -1,0 +1,129 @@
+// Tests of the column-major Matrix container, views, and the reference gemm
+// oracle itself (hand-computed cases, BLAS semantics).
+
+#include <gtest/gtest.h>
+
+#include "core/matrix.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+TEST(Matrix, StorageIsColumnMajor) {
+  Matrix m(3, 2);
+  m.fill([](std::uint32_t i, std::uint32_t j) { return 10.0 * i + j; });
+  // Column 0 then column 1, contiguous.
+  EXPECT_EQ(m.data()[0], 0.0);   // (0,0)
+  EXPECT_EQ(m.data()[1], 10.0);  // (1,0)
+  EXPECT_EQ(m.data()[2], 20.0);  // (2,0)
+  EXPECT_EQ(m.data()[3], 1.0);   // (0,1)
+  EXPECT_EQ(m.ld(), 3u);
+}
+
+TEST(Matrix, ViewSubscripting) {
+  Matrix m(4, 4);
+  m.fill([](std::uint32_t i, std::uint32_t j) { return 10.0 * i + j; });
+  ConstMatrixView v = m.view();
+  EXPECT_EQ(v(2, 3), 23.0);
+  MatrixView w = m.view();
+  w(2, 3) = -1.0;
+  EXPECT_EQ(m(2, 3), -1.0);
+}
+
+TEST(Matrix, FillRandomIsDeterministic) {
+  Matrix a(16, 16), b(16, 16);
+  a.fill_random(123);
+  b.fill_random(123);
+  EXPECT_EQ(max_abs_diff(a.view(), b.view()), 0.0);
+  b.fill_random(124);
+  EXPECT_GT(max_abs_diff(a.view(), b.view()), 0.0);
+}
+
+TEST(Matrix, MaxAbsDiffAndMaxAbs) {
+  Matrix a(2, 2), b(2, 2);
+  a.fill([](auto i, auto j) { return static_cast<double>(i + j); });
+  b = a;
+  b(1, 1) += 0.5;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.view(), b.view()), 0.5);
+  EXPECT_DOUBLE_EQ(max_abs(b.view()), 2.5);
+}
+
+TEST(ReferenceGemm, HandComputed2x2) {
+  // A = [1 2; 3 4], B = [5 6; 7 8] (row-wise notation), C = A*B.
+  Matrix a(2, 2), b(2, 2), c(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  c.zero();
+  reference_gemm(2, 2, 2, 1.0, a.data(), 2, false, b.data(), 2, false, 0.0,
+                 c.data(), 2);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(ReferenceGemm, AlphaBetaSemantics) {
+  Matrix a(2, 2), b(2, 2), c(2, 2);
+  a.fill([](auto, auto) { return 1.0; });
+  b.fill([](auto, auto) { return 1.0; });
+  c.fill([](auto, auto) { return 10.0; });
+  // C = 2*A*B + 3*C: each element = 2*2 + 30 = 34.
+  reference_gemm(2, 2, 2, 2.0, a.data(), 2, false, b.data(), 2, false, 3.0,
+                 c.data(), 2);
+  EXPECT_DOUBLE_EQ(c(0, 0), 34.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 34.0);
+}
+
+TEST(ReferenceGemm, BetaZeroOverwritesNaN) {
+  // BLAS beta == 0 must ignore (not multiply) existing C, even NaN.
+  Matrix a(1, 1), b(1, 1), c(1, 1);
+  a(0, 0) = 2.0;
+  b(0, 0) = 3.0;
+  c(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  reference_gemm(1, 1, 1, 1.0, a.data(), 1, false, b.data(), 1, false, 0.0,
+                 c.data(), 1);
+  EXPECT_DOUBLE_EQ(c(0, 0), 6.0);
+}
+
+TEST(ReferenceGemm, TransposeSemantics) {
+  Matrix a(3, 2);  // op(A) = A^T is 2x3
+  a.fill([](auto i, auto j) { return static_cast<double>(i * 10 + j); });
+  Matrix b(3, 4);
+  b.fill([](auto i, auto j) { return static_cast<double>(i + j); });
+  Matrix c(2, 4);
+  c.zero();
+  reference_gemm(2, 4, 3, 1.0, a.data(), a.ld(), true, b.data(), b.ld(), false,
+                 0.0, c.data(), c.ld());
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      double expect = 0;
+      for (std::uint32_t l = 0; l < 3; ++l) expect += a(l, i) * b(l, j);
+      ASSERT_DOUBLE_EQ(c(i, j), expect);
+    }
+  }
+}
+
+TEST(ReferenceGemm, BothTransposed) {
+  Matrix a(3, 2), b(4, 3), c(2, 4);
+  a.fill_random(1);
+  b.fill_random(2);
+  c.zero();
+  reference_gemm(2, 4, 3, 1.0, a.data(), a.ld(), true, b.data(), b.ld(), true,
+                 0.0, c.data(), c.ld());
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      double expect = 0;
+      for (std::uint32_t l = 0; l < 3; ++l) expect += a(l, i) * b(j, l);
+      ASSERT_NEAR(c(i, j), expect, 1e-15);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rla

@@ -1,0 +1,203 @@
+// Cross-cutting edge cases: custom tile ranges, operand aliasing, numerical
+// error growth of the fast algorithms, LRU stack inclusion, multi-curve
+// parallel traces, and container edge behaviour.
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "test_common.hpp"
+#include "trace/access_logger.hpp"
+
+namespace rla {
+namespace {
+
+using rla::testing::gemm_vs_reference;
+using rla::testing::random_matrix;
+
+TEST(TileRanges, CustomRangesStayCorrect) {
+  for (const TileRange range : {TileRange{8, 16, 8}, TileRange{4, 8, 4},
+                                TileRange{24, 48, 32}, TileRange{16, 64, 32}}) {
+    GemmConfig cfg;
+    cfg.layout = Curve::Hilbert;
+    cfg.tiles = range;
+    EXPECT_LT(gemm_vs_reference(120, 90, 100, 1.0, Op::None, Op::None, 1.0, cfg),
+              1e-10)
+        << range.t_min << ".." << range.t_max;
+  }
+}
+
+TEST(TileRanges, WideAlphaRangeAvoidsSplitting) {
+  // alpha = t_max/t_min = 8: even a 6:1 aspect ratio finds a common depth.
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  cfg.tiles = TileRange{4, 32, 16};
+  GemmProfile profile;
+  Matrix a = random_matrix(240, 40, 1);
+  Matrix b = random_matrix(40, 40, 2);
+  Matrix c(240, 40);
+  c.zero();
+  gemm(240, 40, 40, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(), Op::None,
+       0.0, c.data(), c.ld(), cfg, &profile);
+  EXPECT_EQ(profile.splits, 0);
+  Matrix c_ref(240, 40);
+  c_ref.zero();
+  reference_gemm(240, 40, 40, 1.0, a.data(), a.ld(), false, b.data(), b.ld(),
+                 false, 0.0, c_ref.data(), c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11);
+}
+
+TEST(Aliasing, SquaringAMatrixSharesOperands) {
+  // C = A·A with the same pointer for both operands is legal (operands are
+  // read-only); check for every algorithm.
+  const std::uint32_t n = 64;
+  Matrix a = random_matrix(n, n, 3);
+  for (const Algorithm alg :
+       {Algorithm::Standard, Algorithm::Strassen, Algorithm::Winograd}) {
+    GemmConfig cfg;
+    cfg.layout = Curve::GrayMorton;
+    cfg.algorithm = alg;
+    Matrix c(n, n);
+    c.zero();
+    gemm(n, n, n, 1.0, a.data(), a.ld(), Op::None, a.data(), a.ld(), Op::None,
+         0.0, c.data(), c.ld(), cfg);
+    Matrix c_ref(n, n);
+    c_ref.zero();
+    reference_gemm(n, n, n, 1.0, a.data(), a.ld(), false, a.data(), a.ld(),
+                   false, 0.0, c_ref.data(), c_ref.ld());
+    ASSERT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11)
+        << algorithm_name(alg);
+  }
+}
+
+TEST(Aliasing, AAndATransposed) {
+  // C = A·Aᵀ via the gemm interface (Gram matrix).
+  const std::uint32_t n = 48;
+  Matrix a = random_matrix(n, n, 4);
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  Matrix c(n, n);
+  c.zero();
+  gemm(n, n, n, 1.0, a.data(), a.ld(), Op::None, a.data(), a.ld(), Op::Transpose,
+       0.0, c.data(), c.ld(), cfg);
+  // Result must be symmetric to rounding.
+  double asym = 0.0;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      asym = std::max(asym, std::abs(c(i, j) - c(j, i)));
+    }
+  }
+  EXPECT_LT(asym, 1e-12);
+}
+
+TEST(Numerics, FastAlgorithmErrorGrowthIsModest) {
+  // Strassen/Winograd lose a few bits per recursion level; confirm the
+  // error stays within a small multiple of the standard algorithm's.
+  const std::uint32_t n = 256;
+  Matrix a = random_matrix(n, n, 5);
+  Matrix b = random_matrix(n, n, 6);
+  Matrix c_ref(n, n);
+  c_ref.zero();
+  reference_gemm(n, n, n, 1.0, a.data(), a.ld(), false, b.data(), b.ld(), false,
+                 0.0, c_ref.data(), c_ref.ld());
+  auto error_of = [&](Algorithm alg) {
+    GemmConfig cfg;
+    cfg.layout = Curve::ZMorton;
+    cfg.algorithm = alg;
+    Matrix c(n, n);
+    multiply(c, a, b, cfg);
+    return max_abs_diff(c.view(), c_ref.view());
+  };
+  const double std_err = error_of(Algorithm::Standard);
+  const double str_err = error_of(Algorithm::Strassen);
+  const double win_err = error_of(Algorithm::Winograd);
+  EXPECT_LT(std_err, 1e-12);
+  EXPECT_LT(str_err, 1e-10);  // a few hundred ulps of slack
+  EXPECT_LT(win_err, 1e-10);
+  EXPECT_GE(str_err, std_err);  // fast algorithms genuinely lose accuracy
+}
+
+TEST(CacheProperty, LruStackInclusion) {
+  // Classic inclusion property: for fully-associative LRU, a larger cache's
+  // hit set contains the smaller's — replay one trace through three sizes
+  // and check hits are monotone.
+  const auto trace = trace::standard_canonical_trace(24, 8);
+  std::uint64_t previous_hits = 0;
+  for (const std::uint64_t lines : {8ull, 16ull, 32ull, 64ull}) {
+    sim::Cache cache({lines * 64, 64, static_cast<std::uint32_t>(lines), false});
+    for (const auto& ref : trace) cache.access(ref.addr, ref.write);
+    EXPECT_GE(cache.stats().hits, previous_hits) << lines;
+    previous_hits = cache.stats().hits;
+  }
+}
+
+TEST(CacheProperty, MissesNeverBelowCompulsory) {
+  const auto trace = trace::standard_canonical_trace(16, 8);
+  std::set<std::uint64_t> lines_touched;
+  for (const auto& ref : trace) lines_touched.insert(ref.addr / 64);
+  sim::Cache huge({1u << 20, 64, 16, false});
+  for (const auto& ref : trace) huge.access(ref.addr, ref.write);
+  EXPECT_EQ(huge.stats().misses, lines_touched.size());
+}
+
+TEST(Trace, QuadrantParallelAllRecursiveCurves) {
+  for (Curve c : kRecursiveCurves) {
+    const auto refs = trace::quadrant_parallel_trace(32, 8, c);
+    ASSERT_FALSE(refs.empty()) << curve_name(c);
+    // Every element of C written exactly by one core.
+    std::map<std::uint64_t, std::uint32_t> writer;
+    for (const auto& r : refs) {
+      if (!r.write) continue;
+      auto [it, inserted] = writer.emplace(r.addr, r.core);
+      ASSERT_EQ(it->second, r.core) << curve_name(c);
+    }
+    EXPECT_EQ(writer.size(), 32u * 32u) << curve_name(c);
+  }
+}
+
+TEST(Trace, OddSizeQuadrantParallelCanonical) {
+  // Ceil-half quadrants: odd n exercises unequal quadrant extents.
+  const auto refs = trace::quadrant_parallel_trace(30, 8, Curve::ColMajor);
+  std::map<std::uint64_t, int> writes;
+  for (const auto& r : refs) {
+    if (r.write) ++writes[r.addr];
+  }
+  EXPECT_EQ(writes.size(), 30u * 30u);
+}
+
+TEST(Containers, AlignedBufferSelfAssignment) {
+  AlignedBuffer<int> buf(8);
+  for (std::size_t i = 0; i < 8; ++i) buf[i] = static_cast<int>(i * i);
+  buf = *&buf;  // self copy-assignment must be a no-op
+  EXPECT_EQ(buf[7], 49);
+}
+
+TEST(WorkSpanEdge, DepthZeroAcrossAlgorithms) {
+  for (const Algorithm alg :
+       {Algorithm::Standard, Algorithm::Strassen, Algorithm::Winograd}) {
+    WorkSpanParams p;
+    p.algorithm = alg;
+    p.depth = 0;
+    p.tile_m = p.tile_k = p.tile_n = 8;
+    const WorkSpan ws = analyze_work_span(p);
+    EXPECT_DOUBLE_EQ(ws.work, 2.0 * 8 * 8 * 8) << algorithm_name(alg);
+    EXPECT_DOUBLE_EQ(ws.parallelism(), 1.0);
+  }
+}
+
+TEST(GemmEdge, OneByOneEverything) {
+  for (Curve layout : {Curve::ColMajor, Curve::ZMorton, Curve::Hilbert}) {
+    for (const Algorithm alg :
+         {Algorithm::Standard, Algorithm::Strassen, Algorithm::Winograd}) {
+      GemmConfig cfg;
+      cfg.layout = layout;
+      cfg.algorithm = alg;
+      double a = 3.0, b = -4.0, c = 10.0;
+      gemm(1, 1, 1, 2.0, &a, 1, Op::None, &b, 1, Op::None, 0.5, &c, 1, cfg);
+      ASSERT_DOUBLE_EQ(c, 2.0 * 3.0 * -4.0 + 0.5 * 10.0)
+          << curve_name(layout) << "/" << algorithm_name(alg);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rla

@@ -1,0 +1,147 @@
+// Tests of the work-stealing pool and fork-join task groups.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "parallel/worker_pool.hpp"
+
+namespace rla {
+namespace {
+
+TEST(Pool, SerialPoolRunsInline) {
+  WorkerPool pool(0);
+  EXPECT_TRUE(pool.serial());
+  int order = 0;
+  TaskGroup group(pool);
+  int first = -1, second = -1;
+  group.spawn([&] { first = order++; });
+  group.spawn([&] { second = order++; });
+  group.wait();
+  EXPECT_EQ(first, 0);   // inline => executed at spawn time, in order
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Pool, ParallelSum) {
+  WorkerPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  TaskGroup group(pool);
+  for (int i = 1; i <= 1000; ++i) {
+    group.spawn([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(sum.load(), 500500);
+  EXPECT_GE(pool.tasks_executed(), 1000u);
+}
+
+TEST(Pool, ParallelForCoversRangeExactlyOnce) {
+  WorkerPool pool(2);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(0, hits.size(), 64, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(Pool, ParallelForEmptyAndTinyRanges) {
+  WorkerPool pool(2);
+  int calls = 0;
+  std::mutex m;
+  pool.parallel_for(5, 5, 16, [&](std::uint64_t, std::uint64_t) {
+    std::lock_guard<std::mutex> lock(m);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(5, 6, 16, [&](std::uint64_t b, std::uint64_t e) {
+    std::lock_guard<std::mutex> lock(m);
+    EXPECT_EQ(b, 5u);
+    EXPECT_EQ(e, 6u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+std::int64_t parallel_fib(WorkerPool& pool, int n) {
+  if (n < 2) return n;
+  if (n < 12) return parallel_fib(pool, n - 1) + parallel_fib(pool, n - 2);
+  std::int64_t a = 0, b = 0;
+  TaskGroup group(pool);
+  group.spawn([&] { a = parallel_fib(pool, n - 1); });
+  group.run([&] { b = parallel_fib(pool, n - 2); });
+  group.wait();
+  return a + b;
+}
+
+TEST(Pool, NestedForkJoinFibonacci) {
+  // The canonical Cilk example: nested spawns with helping waits.
+  WorkerPool pool(4);
+  EXPECT_EQ(parallel_fib(pool, 24), 46368);
+}
+
+TEST(Pool, NestedFibonacciSerial) {
+  WorkerPool pool(0);
+  EXPECT_EQ(parallel_fib(pool, 20), 6765);
+}
+
+TEST(Pool, ExceptionPropagatesFromSpawnedTask) {
+  WorkerPool pool(2);
+  TaskGroup group(pool);
+  group.spawn([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 50; ++i) group.spawn([] {});
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(Pool, ExceptionPropagatesSerial) {
+  WorkerPool pool(0);
+  TaskGroup group(pool);
+  EXPECT_NO_THROW(group.spawn([] {}));
+  group.run([] { throw std::logic_error("inline"); });
+  EXPECT_THROW(group.wait(), std::logic_error);
+}
+
+TEST(Pool, GroupReusableAfterWait) {
+  WorkerPool pool(2);
+  std::atomic<int> count{0};
+  TaskGroup group(pool);
+  group.spawn([&] { ++count; });
+  group.wait();
+  group.spawn([&] { ++count; });
+  group.spawn([&] { ++count; });
+  group.wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(Pool, ManySmallGroupsStress) {
+  WorkerPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    TaskGroup group(pool);
+    for (int i = 0; i < 20; ++i) {
+      group.spawn([&total] { total.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+  }
+  EXPECT_EQ(total.load(), 4000);
+}
+
+TEST(Pool, StealsHappenUnderImbalance) {
+  // One external submitter, several workers: work must be distributed, so
+  // with enough tasks at least one steal (or injection pickup) occurs and
+  // all tasks complete.
+  WorkerPool pool(4);
+  std::atomic<int> done{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 500; ++i) {
+    group.spawn([&done] {
+      volatile int spin = 0;
+      for (int s = 0; s < 200; ++s) spin = spin + s;
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 500);
+}
+
+}  // namespace
+}  // namespace rla

@@ -1,0 +1,176 @@
+// Property-based tests of the layout functions: randomized invariants and
+// quantitative locality comparisons between canonical and recursive layouts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "layout/curve.hpp"
+#include "layout/tiled_layout.hpp"
+#include "test_common.hpp"
+#include "util/rng.hpp"
+
+namespace rla {
+namespace {
+
+class CurveProperty : public ::testing::TestWithParam<Curve> {};
+
+TEST_P(CurveProperty, RandomRoundTripsAtRandomDepths) {
+  const Curve c = GetParam();
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int d = 1 + static_cast<int>(rng.next_below(10));
+    const auto i = static_cast<std::uint32_t>(rng.next_below(1u << d));
+    const auto j = static_cast<std::uint32_t>(rng.next_below(1u << d));
+    const std::uint64_t s = s_index(c, i, j, d);
+    ASSERT_LT(s, std::uint64_t{1} << (2 * d));
+    const TileCoord back = s_inverse(c, s, d);
+    ASSERT_EQ(back.i, i);
+    ASSERT_EQ(back.j, j);
+  }
+}
+
+TEST_P(CurveProperty, PigeonholeNeighbourAdjacency) {
+  // Paper §3.4: at most two of the four cardinal neighbours of (i,j) can be
+  // adjacent in S — recursive layouts dilate too, just at multiple scales.
+  const Curve c = GetParam();
+  if (!is_recursive(c)) return;
+  const int d = 5;
+  const std::uint32_t n = 1u << d;
+  for (std::uint32_t i = 1; i + 1 < n; ++i) {
+    for (std::uint32_t j = 1; j + 1 < n; ++j) {
+      const std::uint64_t s = s_index(c, i, j, d);
+      int adjacent = 0;
+      const std::uint64_t neighbours[] = {
+          s_index(c, i - 1, j, d), s_index(c, i + 1, j, d),
+          s_index(c, i, j - 1, d), s_index(c, i, j + 1, d)};
+      for (std::uint64_t ns : neighbours) {
+        const std::uint64_t diff = ns > s ? ns - s : s - ns;
+        if (diff == 1) ++adjacent;
+      }
+      ASSERT_LE(adjacent, 2);
+    }
+  }
+}
+
+TEST_P(CurveProperty, AllBlockAlignmentsAreContiguous) {
+  // Not just quadrants: every aligned 2^l-block is contiguous along the
+  // curve (this is what makes recursion-embedded addressing possible at
+  // every level).
+  const Curve c = GetParam();
+  if (!is_recursive(c)) return;
+  const int d = 5;
+  for (int l = 1; l < d; ++l) {
+    const std::uint32_t bs = 1u << l;
+    const std::uint32_t blocks = 1u << (d - l);
+    Xoshiro256 rng(1234);
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto bi = static_cast<std::uint32_t>(rng.next_below(blocks));
+      const auto bj = static_cast<std::uint32_t>(rng.next_below(blocks));
+      std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+      for (std::uint32_t u = 0; u < bs; ++u) {
+        for (std::uint32_t v = 0; v < bs; ++v) {
+          const std::uint64_t s = s_index(c, bi * bs + u, bj * bs + v, d);
+          lo = std::min(lo, s);
+          hi = std::max(hi, s);
+        }
+      }
+      ASSERT_EQ(hi - lo + 1, std::uint64_t{bs} * bs);
+      ASSERT_EQ(lo % (std::uint64_t{bs} * bs), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCurves, CurveProperty, ::testing::ValuesIn(kAllCurves),
+                         [](const ::testing::TestParamInfo<Curve>& info) {
+                           return rla::testing::sanitize(curve_name(info.param));
+                         });
+
+double neighbour_within_fraction(Curve curve, std::uint32_t n, std::uint32_t tile,
+                                 std::uint64_t radius) {
+  // Fraction of cardinal-neighbour pairs whose addresses are within
+  // `radius` elements — the useful-locality metric behind Fig. 2: recursive
+  // layouts dilate too, but only at tile-crossing scales, so most
+  // neighbours stay close.
+  const std::uint32_t side = n / tile;
+  const int depth = static_cast<int>(std::log2(side));
+  const TileGeometry g = make_geometry(n, n, depth, curve);
+  std::uint64_t close = 0, count = 0;
+  for (std::uint32_t i = 0; i + 1 < n; i += 3) {
+    for (std::uint32_t j = 0; j + 1 < n; j += 3) {
+      const std::uint64_t a = g.address(i, j);
+      for (const std::uint64_t b : {g.address(i + 1, j), g.address(i, j + 1)}) {
+        const std::uint64_t d = b > a ? b - a : a - b;
+        close += (d <= radius) ? 1 : 0;
+        ++count;
+      }
+    }
+  }
+  return static_cast<double>(close) / static_cast<double>(count);
+}
+
+TEST(LayoutLocality, RecursiveLayoutsKeepNeighboursWithinAPage) {
+  // Quantitative version of Fig. 2's motivation. For n = 1024 column-major,
+  // every column-axis neighbour is 1024 elements (8 KB) away — outside a
+  // 4 KB page — so only half of all neighbour pairs are page-local. Tiled
+  // recursive layouts keep the large majority page-local.
+  const std::uint32_t n = 1024, tile = 16;
+  const std::uint64_t page_elems = 512;  // 4 KB / 8 B
+  const double canonical = 0.5;
+  for (Curve c : kRecursiveCurves) {
+    const double frac = neighbour_within_fraction(c, n, tile, page_elems);
+    EXPECT_GT(frac, canonical + 0.25) << curve_name(c);
+  }
+}
+
+TEST(LayoutLocality, HilbertBeatsZMortonOnCurveJumps) {
+  // Successive curve positions: Hilbert never jumps (adjacency), Z-Morton
+  // jumps at every power-of-two boundary. Measure mean grid distance
+  // between consecutive curve positions.
+  const int d = 6;
+  const std::uint64_t count = std::uint64_t{1} << (2 * d);
+  auto mean_jump = [&](Curve c) {
+    double total = 0.0;
+    TileCoord prev = s_inverse(c, 0, d);
+    for (std::uint64_t s = 1; s < count; ++s) {
+      const TileCoord cur = s_inverse(c, s, d);
+      total += std::abs(static_cast<double>(cur.i) - prev.i) +
+               std::abs(static_cast<double>(cur.j) - prev.j);
+      prev = cur;
+    }
+    return total / static_cast<double>(count - 1);
+  };
+  const double hilbert = mean_jump(Curve::Hilbert);
+  const double z = mean_jump(Curve::ZMorton);
+  const double gray = mean_jump(Curve::GrayMorton);
+  EXPECT_DOUBLE_EQ(hilbert, 1.0);
+  EXPECT_GT(z, hilbert);
+  EXPECT_GT(gray, hilbert);
+  EXPECT_LT(gray, z);  // two orientations smooth some of the jumps
+}
+
+TEST(LayoutProperty, TiledAddressRoundTripRandomGeometries) {
+  Xoshiro256 rng(321);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Curve c = kRecursiveCurves[rng.next_below(5)];
+    const int depth = 1 + static_cast<int>(rng.next_below(4));
+    const auto rows = static_cast<std::uint32_t>(8 + rng.next_below(200));
+    const auto cols = static_cast<std::uint32_t>(8 + rng.next_below(200));
+    const TileGeometry g = make_geometry(rows, cols, depth, c);
+    // Random sample of logical coordinates; addresses must be unique and in
+    // range (full bijectivity is covered by the smaller exhaustive test).
+    std::set<std::uint64_t> seen;
+    for (int probe = 0; probe < 100; ++probe) {
+      const auto i = static_cast<std::uint32_t>(rng.next_below(g.padded_rows()));
+      const auto j = static_cast<std::uint32_t>(rng.next_below(g.padded_cols()));
+      const std::uint64_t a = g.address(i, j);
+      ASSERT_LT(a, g.total_elems());
+      const auto key = (static_cast<std::uint64_t>(i) << 32) | j;
+      if (seen.insert(key).second) continue;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rla

@@ -1,0 +1,170 @@
+// Tests of the quadrant FSM tables (CurveOps): orientation counts match the
+// paper (§3: one orientation for U/X/Z-Morton, two for Gray-Morton, four for
+// Hilbert), and the tables reproduce the direct S functions exactly.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "layout/quadrant.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+TEST(Quadrant, OrientationCountsMatchPaper) {
+  EXPECT_EQ(CurveOps::get(Curve::UMorton).orientations(), 1);
+  EXPECT_EQ(CurveOps::get(Curve::XMorton).orientations(), 1);
+  EXPECT_EQ(CurveOps::get(Curve::ZMorton).orientations(), 1);
+  EXPECT_EQ(CurveOps::get(Curve::GrayMorton).orientations(), 2);
+  EXPECT_EQ(CurveOps::get(Curve::Hilbert).orientations(), 4);
+}
+
+TEST(Quadrant, OrientationCountMatchesHelper) {
+  for (Curve c : kRecursiveCurves) {
+    EXPECT_EQ(CurveOps::get(c).orientations(), orientation_count(c))
+        << curve_name(c);
+  }
+}
+
+TEST(Quadrant, CanonicalCurvesRejected) {
+  EXPECT_THROW(CurveOps::get(Curve::ColMajor), std::invalid_argument);
+  EXPECT_THROW(CurveOps::get(Curve::RowMajor), std::invalid_argument);
+}
+
+TEST(Quadrant, ChunkRowsArePermutations) {
+  for (Curve c : kRecursiveCurves) {
+    const CurveOps& ops = CurveOps::get(c);
+    for (int r = 0; r < ops.orientations(); ++r) {
+      int seen = 0;
+      for (int q = 0; q < 4; ++q) {
+        const int chunk = ops.chunk(r, q);
+        ASSERT_GE(chunk, 0);
+        ASSERT_LT(chunk, 4);
+        seen |= 1 << chunk;
+      }
+      EXPECT_EQ(seen, 0b1111) << curve_name(c) << " r=" << r;
+    }
+  }
+}
+
+TEST(Quadrant, KnownChunkTablesOrientationZero) {
+  // Derived by hand from the S definitions (see test_curves known grids).
+  const CurveOps& z = CurveOps::get(Curve::ZMorton);
+  EXPECT_EQ(z.chunk(0, kNW), 0);
+  EXPECT_EQ(z.chunk(0, kNE), 1);
+  EXPECT_EQ(z.chunk(0, kSW), 2);
+  EXPECT_EQ(z.chunk(0, kSE), 3);
+
+  const CurveOps& u = CurveOps::get(Curve::UMorton);
+  EXPECT_EQ(u.chunk(0, kNW), 0);
+  EXPECT_EQ(u.chunk(0, kSW), 1);
+  EXPECT_EQ(u.chunk(0, kSE), 2);
+  EXPECT_EQ(u.chunk(0, kNE), 3);
+
+  const CurveOps& x = CurveOps::get(Curve::XMorton);
+  EXPECT_EQ(x.chunk(0, kNW), 0);
+  EXPECT_EQ(x.chunk(0, kSE), 1);
+  EXPECT_EQ(x.chunk(0, kSW), 2);
+  EXPECT_EQ(x.chunk(0, kNE), 3);
+
+  const CurveOps& g = CurveOps::get(Curve::GrayMorton);
+  EXPECT_EQ(g.chunk(0, kNW), 0);
+  EXPECT_EQ(g.chunk(0, kNE), 1);
+  EXPECT_EQ(g.chunk(0, kSE), 2);
+  EXPECT_EQ(g.chunk(0, kSW), 3);
+}
+
+TEST(Quadrant, GrayChildOrientationIsColumnParity) {
+  // The derivation in DESIGN: a Gray-Morton quadrant's orientation class is
+  // its column half, independent of the parent's orientation.
+  const CurveOps& g = CurveOps::get(Curve::GrayMorton);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(g.child_orientation(r, kNW), g.child_orientation(r, kSW));
+    EXPECT_EQ(g.child_orientation(r, kNE), g.child_orientation(r, kSE));
+    EXPECT_NE(g.child_orientation(r, kNW), g.child_orientation(r, kNE));
+  }
+}
+
+class LocalOrderTest : public ::testing::TestWithParam<Curve> {};
+
+TEST_P(LocalOrderTest, RootLocalOrderMatchesDirectS) {
+  const Curve c = GetParam();
+  const CurveOps& ops = CurveOps::get(c);
+  for (int level = 1; level <= 5; ++level) {
+    const auto order = ops.local_order(0, level);
+    const std::uint32_t side = 1u << level;
+    ASSERT_EQ(order.size(), std::uint64_t{side} * side);
+    for (std::uint64_t s = 0; s < order.size(); ++s) {
+      const TileCoord tc = s_inverse(c, s, level);
+      ASSERT_EQ(order[s], (tc.i << level) | tc.j)
+          << curve_name(c) << " level=" << level << " s=" << s;
+    }
+  }
+}
+
+TEST_P(LocalOrderTest, TablesReproduceDirectSViaRecursion) {
+  // Walk the quadrant FSM from the root and verify that the accumulated
+  // chunk offsets equal S for every tile — i.e. the embedded addressing of
+  // the control structure is exact.
+  const Curve c = GetParam();
+  const CurveOps& ops = CurveOps::get(c);
+  const int depth = 5;
+  std::function<void(std::uint32_t, std::uint32_t, int, std::uint64_t, int)> walk =
+      [&](std::uint32_t ti0, std::uint32_t tj0, int level, std::uint64_t base,
+          int orient) {
+        if (level == 0) {
+          ASSERT_EQ(base, s_index(c, ti0, tj0, depth))
+              << curve_name(c) << " tile " << ti0 << "," << tj0;
+          return;
+        }
+        const std::uint32_t h = 1u << (level - 1);
+        for (int q = 0; q < 4; ++q) {
+          const std::uint32_t qi = static_cast<std::uint32_t>(q) >> 1;
+          const std::uint32_t qj = static_cast<std::uint32_t>(q) & 1;
+          walk(ti0 + qi * h, tj0 + qj * h, level - 1,
+               base + (static_cast<std::uint64_t>(ops.chunk(orient, q))
+                       << (2 * (level - 1))),
+               ops.child_orientation(orient, q));
+        }
+      };
+  walk(0, 0, depth, 0, 0);
+}
+
+TEST_P(LocalOrderTest, OrderMapIsConsistentPermutation) {
+  const Curve c = GetParam();
+  const CurveOps& ops = CurveOps::get(c);
+  for (int r1 = 0; r1 < ops.orientations(); ++r1) {
+    for (int r2 = 0; r2 < ops.orientations(); ++r2) {
+      const auto map = ops.order_map(r1, r2, 3);
+      const auto from = ops.local_order(r1, 3);
+      const auto to = ops.local_order(r2, 3);
+      std::vector<bool> hit(map.size(), false);
+      for (std::uint64_t s = 0; s < map.size(); ++s) {
+        ASSERT_LT(map[s], map.size());
+        ASSERT_FALSE(hit[map[s]]);
+        hit[map[s]] = true;
+        // Same coordinate on both sides.
+        ASSERT_EQ(from[s], to[map[s]]);
+      }
+    }
+  }
+}
+
+TEST_P(LocalOrderTest, OrderMapIdentityForSameOrientation) {
+  const Curve c = GetParam();
+  const CurveOps& ops = CurveOps::get(c);
+  for (int r = 0; r < ops.orientations(); ++r) {
+    const auto map = ops.order_map(r, r, 4);
+    for (std::uint64_t s = 0; s < map.size(); ++s) ASSERT_EQ(map[s], s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRecursive, LocalOrderTest,
+                         ::testing::ValuesIn(kRecursiveCurves),
+                         [](const ::testing::TestParamInfo<Curve>& info) {
+                           return rla::testing::sanitize(curve_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace rla

@@ -1,0 +1,144 @@
+// Tests of TileGeometry (paper Eq. 3), tile-size selection from
+// [T_min, T_max], the wide/squat/lean classification, and padding behaviour
+// (paper §4).
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "layout/tiled_layout.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+TEST(TiledLayout, AddressMatchesEquationThree) {
+  // L(i,j) = t_R·t_C·S(t_i,t_j) + L_C(f_i,f_j;t_R,t_C), spot-checked against
+  // a direct evaluation for several curves.
+  for (Curve c : kRecursiveCurves) {
+    const TileGeometry g = make_geometry(48, 48, 2, c);  // 4x4 grid of 12x12
+    ASSERT_EQ(g.tile_rows, 12u);
+    ASSERT_EQ(g.tile_cols, 12u);
+    for (std::uint32_t i = 0; i < g.padded_rows(); i += 7) {
+      for (std::uint32_t j = 0; j < g.padded_cols(); j += 5) {
+        const std::uint32_t ti = i / 12, fi = i % 12;
+        const std::uint32_t tj = j / 12, fj = j % 12;
+        const std::uint64_t expected =
+            144 * s_index(c, ti, tj, 2) + 12 * fj + fi;
+        ASSERT_EQ(g.address(i, j), expected) << curve_name(c);
+      }
+    }
+  }
+}
+
+TEST(TiledLayout, AddressIsABijectionOntoPaddedRange) {
+  const TileGeometry g = make_geometry(20, 24, 2, Curve::Hilbert);
+  std::vector<bool> hit(g.total_elems(), false);
+  for (std::uint32_t i = 0; i < g.padded_rows(); ++i) {
+    for (std::uint32_t j = 0; j < g.padded_cols(); ++j) {
+      const std::uint64_t a = g.address(i, j);
+      ASSERT_LT(a, g.total_elems());
+      ASSERT_FALSE(hit[a]);
+      hit[a] = true;
+    }
+  }
+}
+
+TEST(TiledLayout, PaddingGeometry) {
+  // 1000 at depth 5 (32 tiles/side): tile edge ceil(1000/32) = 32, padded
+  // to 1024 — the explicit-zero padding scheme of §4.
+  const TileGeometry g = make_geometry(1000, 1000, 5, Curve::ZMorton);
+  EXPECT_EQ(g.tile_rows, 32u);
+  EXPECT_EQ(g.padded_rows(), 1024u);
+  EXPECT_EQ(g.total_elems(), 1024u * 1024u);
+}
+
+TEST(TiledLayout, DepthFeasible) {
+  const TileRange range{16, 32, 16};
+  // 1024: depth 5 gives 32 (feasible), depth 6 gives 16 (feasible),
+  // depth 7 gives 8 (< T_min, infeasible), depth 4 gives 64 (> T_max).
+  EXPECT_FALSE(depth_feasible(1024, 4, range));
+  EXPECT_TRUE(depth_feasible(1024, 5, range));
+  EXPECT_TRUE(depth_feasible(1024, 6, range));
+  EXPECT_FALSE(depth_feasible(1024, 7, range));
+  // Small matrices are a single tile at depth 0 even below T_min.
+  EXPECT_TRUE(depth_feasible(5, 0, range));
+  EXPECT_FALSE(depth_feasible(5, 1, range));
+  EXPECT_FALSE(depth_feasible(0, 0, range));
+}
+
+TEST(TiledLayout, FeasibleDepthMaskContiguity) {
+  const TileRange range{16, 32, 16};
+  for (std::uint64_t x : {17ull, 100ull, 512ull, 1000ull, 1536ull, 4096ull}) {
+    const std::uint32_t mask = feasible_depths(x, range);
+    ASSERT_NE(mask, 0u) << x;
+    // The feasible set is a contiguous band of depths.
+    const std::uint32_t low = mask & (~mask + 1);
+    EXPECT_EQ((mask / low) & ((mask / low) + 1), 0u) << "non-contiguous for " << x;
+  }
+}
+
+TEST(TiledLayout, CommonDepthSquare) {
+  const TileRange range{16, 32, 16};
+  const std::array<std::uint64_t, 3> dims{1024, 1024, 1024};
+  const auto d = common_depth(dims, range);
+  ASSERT_TRUE(d.has_value());
+  // t_pref = 16 => depth 6 (tile edge exactly 16).
+  EXPECT_EQ(*d, 6);
+}
+
+TEST(TiledLayout, CommonDepthPaperCounterexample) {
+  // Paper §4: m=1024, n=256, T_min=17, T_max=32 has no feasible shared
+  // depth — the motivating example for wide/lean splitting.
+  const TileRange range{17, 32, 24};
+  const std::array<std::uint64_t, 2> dims{1024, 256};
+  EXPECT_FALSE(common_depth(dims, range).has_value());
+}
+
+TEST(TiledLayout, CommonDepthModestRectangles) {
+  const TileRange range{16, 32, 16};
+  const std::array<std::uint64_t, 3> dims{300, 400, 500};
+  const auto d = common_depth(dims, range);
+  ASSERT_TRUE(d.has_value());
+  for (std::uint64_t x : dims) EXPECT_TRUE(depth_feasible(x, *d, range));
+}
+
+TEST(TiledLayout, ClassifyAspect) {
+  const TileRange range{16, 32, 16};  // alpha = 2
+  EXPECT_EQ(classify_aspect(100, 100, range), Aspect::Squat);
+  EXPECT_EQ(classify_aspect(200, 100, range), Aspect::Squat);  // ratio == alpha
+  EXPECT_EQ(classify_aspect(201, 100, range), Aspect::Wide);
+  EXPECT_EQ(classify_aspect(100, 201, range), Aspect::Lean);
+}
+
+TEST(TiledLayout, PadRatioBoundedByTmin) {
+  // Paper §4: with tiles from [T_min, T_max] the pad-to-matrix ratio is at
+  // most 1/T_min per dimension.
+  const TileRange range{16, 32, 16};
+  for (std::uint64_t x = 100; x <= 2000; x += 37) {
+    const auto mask = feasible_depths(x, range);
+    ASSERT_NE(mask, 0u);
+    for (int d = 0; d < 31; ++d) {
+      if ((mask & (1u << d)) == 0) continue;
+      const std::uint64_t t = (x + (1ull << d) - 1) >> d;
+      const std::uint64_t padded = t << d;
+      // pad < 2^d and x > (T_min - 1)·2^d for d >= 1, so the ratio is below
+      // 1/(T_min - 1) — the paper's "at most 1/T_min" up to rounding.
+      EXPECT_LE(static_cast<double>(padded - x) / static_cast<double>(x),
+                1.0 / (range.t_min - 1) + 1e-12)
+          << "x=" << x << " d=" << d;
+    }
+  }
+}
+
+TEST(TiledLayout, TileOffsetsAreTileSized) {
+  const TileGeometry g = make_geometry(64, 64, 3, Curve::GrayMorton);
+  for (std::uint32_t ti = 0; ti < 8; ++ti) {
+    for (std::uint32_t tj = 0; tj < 8; ++tj) {
+      EXPECT_EQ(g.tile_offset(ti, tj) % g.tile_elems(), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rla

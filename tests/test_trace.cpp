@@ -1,0 +1,116 @@
+// Tests of the address-trace generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "trace/access_logger.hpp"
+
+namespace rla::trace {
+namespace {
+
+TEST(Trace, CanonicalTraceLengthMatchesFormula) {
+  // Per (i, j, l) iteration: one A read and one B read; per leaf visit of
+  // (i, j) — n/leaf visits each — one C read and one C write.
+  // Total = 2n³ + 2n²·(n/leaf).
+  const std::uint32_t n = 16, leaf = 4;
+  const auto refs = standard_canonical_trace(n, leaf);
+  const std::uint64_t n3 = std::uint64_t{n} * n * n;
+  EXPECT_EQ(refs.size(), 2 * n3 + 2 * std::uint64_t{n} * n * (n / leaf));
+}
+
+TEST(Trace, TiledTraceLengthMatchesCanonical) {
+  const std::uint32_t n = 16;
+  const auto canonical = standard_canonical_trace(n, 4);
+  const auto tiled = standard_tiled_trace(n, 4, Curve::ZMorton);
+  EXPECT_EQ(canonical.size(), tiled.size());
+}
+
+TEST(Trace, AddressesStayInMatrixRegions) {
+  const std::uint32_t n = 16;
+  const TraceBases bases;
+  const std::uint64_t bytes = std::uint64_t{n} * n * sizeof(double);
+  for (const auto& ref : standard_canonical_trace(n, 4, bases)) {
+    const bool in_a = ref.addr >= bases.a && ref.addr < bases.a + bytes;
+    const bool in_b = ref.addr >= bases.b && ref.addr < bases.b + bytes;
+    const bool in_c = ref.addr >= bases.c && ref.addr < bases.c + bytes;
+    ASSERT_TRUE(in_a || in_b || in_c);
+    if (ref.write) ASSERT_TRUE(in_c);  // only C is written
+  }
+}
+
+TEST(Trace, SameAccessMultisetAcrossLayouts) {
+  // The tiled walk touches each logical element the same number of times as
+  // the canonical walk — only the address mapping differs. Compare C-write
+  // counts: each C element is written exactly (n/leaf)... once per leaf
+  // (i,j) visit; totals must agree between layouts.
+  const std::uint32_t n = 16;
+  auto count_writes = [](const std::vector<sim::MemRef>& refs) {
+    std::map<std::uint64_t, int> writes;
+    for (const auto& r : refs) {
+      if (r.write) ++writes[r.addr];
+    }
+    std::vector<int> counts;
+    counts.reserve(writes.size());
+    for (const auto& [addr, cnt] : writes) counts.push_back(cnt);
+    std::sort(counts.begin(), counts.end());
+    return counts;
+  };
+  const auto canonical = count_writes(standard_canonical_trace(n, 4));
+  for (Curve c : kRecursiveCurves) {
+    const auto tiled = count_writes(standard_tiled_trace(n, 4, c));
+    ASSERT_EQ(canonical, tiled) << curve_name(c);
+  }
+}
+
+TEST(Trace, TiledTraceValidatesShape) {
+  EXPECT_THROW(standard_tiled_trace(15, 4, Curve::ZMorton), std::invalid_argument);
+  EXPECT_THROW(standard_tiled_trace(16, 0, Curve::ZMorton), std::invalid_argument);
+  EXPECT_THROW(standard_tiled_trace(24, 4, Curve::ZMorton), std::invalid_argument);
+}
+
+TEST(Trace, QuadrantParallelTraceCoversFourCores) {
+  const auto refs = quadrant_parallel_trace(16, 4, Curve::ZMorton);
+  ASSERT_FALSE(refs.empty());
+  std::array<std::uint64_t, 4> per_core{};
+  for (const auto& r : refs) {
+    ASSERT_LT(r.core, 4u);
+    ++per_core[r.core];
+  }
+  // The four quadrant products are identical in shape => equal stream sizes.
+  EXPECT_EQ(per_core[0], per_core[1]);
+  EXPECT_EQ(per_core[1], per_core[2]);
+  EXPECT_EQ(per_core[2], per_core[3]);
+}
+
+TEST(Trace, QuadrantParallelInterleavesRoundRobin) {
+  const auto refs = quadrant_parallel_trace(8, 2, Curve::ZMorton);
+  // First four events are one per core.
+  ASSERT_GE(refs.size(), 4u);
+  EXPECT_EQ(refs[0].core, 0u);
+  EXPECT_EQ(refs[1].core, 1u);
+  EXPECT_EQ(refs[2].core, 2u);
+  EXPECT_EQ(refs[3].core, 3u);
+}
+
+TEST(Trace, QuadrantCoresWriteDisjointCRegions) {
+  const std::uint32_t n = 16;
+  const TraceBases bases;
+  const auto refs = quadrant_parallel_trace(n, 4, Curve::ZMorton, bases);
+  std::map<std::uint64_t, std::uint32_t> writer;
+  for (const auto& r : refs) {
+    if (!r.write) continue;
+    auto [it, inserted] = writer.emplace(r.addr, r.core);
+    if (!inserted) ASSERT_EQ(it->second, r.core) << "two cores wrote one element";
+  }
+  EXPECT_EQ(writer.size(), std::uint64_t{n} * n);  // every C element written
+}
+
+TEST(Trace, CanonicalWorksForParallelTraceToo) {
+  const auto refs = quadrant_parallel_trace(16, 4, Curve::ColMajor);
+  EXPECT_FALSE(refs.empty());
+}
+
+}  // namespace
+}  // namespace rla::trace

@@ -1,0 +1,131 @@
+// Tests of the curve rotations/reflections (paper §3's closing remark).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/curve.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+constexpr CurveTransform kAllTransforms[] = {
+    CurveTransform::Identity,  CurveTransform::FlipI,
+    CurveTransform::FlipJ,     CurveTransform::Rotate180,
+    CurveTransform::Transpose, CurveTransform::Rotate90,
+    CurveTransform::Rotate270, CurveTransform::AntiTranspose,
+};
+
+TEST(Transforms, ApplyKnownPoints) {
+  const int d = 3;  // 8x8, M = 7
+  EXPECT_EQ(apply_transform(CurveTransform::Identity, 1, 2, d).i, 1u);
+  EXPECT_EQ(apply_transform(CurveTransform::Identity, 1, 2, d).j, 2u);
+  EXPECT_EQ(apply_transform(CurveTransform::FlipI, 1, 2, d).i, 6u);
+  EXPECT_EQ(apply_transform(CurveTransform::FlipJ, 1, 2, d).j, 5u);
+  const TileCoord t = apply_transform(CurveTransform::Transpose, 1, 2, d);
+  EXPECT_EQ(t.i, 2u);
+  EXPECT_EQ(t.j, 1u);
+  const TileCoord r90 = apply_transform(CurveTransform::Rotate90, 1, 2, d);
+  EXPECT_EQ(r90.i, 2u);  // flip i (1 -> 6) then swap -> (2, 6)
+  EXPECT_EQ(r90.j, 6u);
+}
+
+TEST(Transforms, GroupClosureAndInverses) {
+  // Every transform is a bijection of the grid; rotations invert each other,
+  // everything else is an involution.
+  const int d = 3;
+  for (const CurveTransform t : kAllTransforms) {
+    std::set<std::uint64_t> seen;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      for (std::uint32_t j = 0; j < 8; ++j) {
+        const TileCoord tc = apply_transform(t, i, j, d);
+        ASSERT_TRUE(seen.insert((std::uint64_t{tc.i} << 32) | tc.j).second);
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      const TileCoord r = apply_transform(CurveTransform::Rotate90, i, j, d);
+      const TileCoord back = apply_transform(CurveTransform::Rotate270, r.i, r.j, d);
+      ASSERT_EQ(back.i, i);
+      ASSERT_EQ(back.j, j);
+    }
+  }
+}
+
+class TransformedCurveTest
+    : public ::testing::TestWithParam<std::tuple<Curve, CurveTransform>> {};
+
+TEST_P(TransformedCurveTest, BijectionAndRoundTrip) {
+  const auto [curve, transform] = GetParam();
+  const int d = 4;
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    for (std::uint32_t j = 0; j < 16; ++j) {
+      const std::uint64_t s = s_index_transformed(curve, transform, i, j, d);
+      ASSERT_LT(s, 256u);
+      ASSERT_TRUE(seen.insert(s).second);
+      const TileCoord back = s_inverse_transformed(curve, transform, s, d);
+      ASSERT_EQ(back.i, i);
+      ASSERT_EQ(back.j, j);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CurveByTransform, TransformedCurveTest,
+    ::testing::Combine(::testing::ValuesIn(kRecursiveCurves),
+                       ::testing::ValuesIn(kAllTransforms)),
+    [](const ::testing::TestParamInfo<TransformedCurveTest::ParamType>& info) {
+      return rla::testing::sanitize(curve_name(std::get<0>(info.param))) + "_t" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+TEST(Transforms, ZMortonTransposeSwapsInterleaveOrder) {
+  // Transposing Z-Morton exchanges the roles of i and j in the interleave:
+  // S_T(i, j) = S(j, i).
+  const int d = 4;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    for (std::uint32_t j = 0; j < 16; ++j) {
+      ASSERT_EQ(s_index_transformed(Curve::ZMorton, CurveTransform::Transpose, i,
+                                    j, d),
+                s_index(Curve::ZMorton, j, i, d));
+    }
+  }
+}
+
+TEST(Transforms, HilbertRotationsPreserveAdjacency) {
+  // The defining Hilbert property survives every rigid transform.
+  const int d = 4;
+  for (const CurveTransform t : kAllTransforms) {
+    TileCoord prev = s_inverse_transformed(Curve::Hilbert, t, 0, d);
+    for (std::uint64_t s = 1; s < 256; ++s) {
+      const TileCoord cur = s_inverse_transformed(Curve::Hilbert, t, s, d);
+      const int dist =
+          std::abs(static_cast<int>(cur.i) - static_cast<int>(prev.i)) +
+          std::abs(static_cast<int>(cur.j) - static_cast<int>(prev.j));
+      ASSERT_EQ(dist, 1) << "transform " << static_cast<int>(t) << " s=" << s;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Transforms, UMortonRotate180IsSelfSymmetric) {
+  // The U pattern is symmetric under 180° rotation combined with traversal
+  // reversal: S_rot(i,j) = N-1-S(i,j) would hold for a palindromic curve.
+  // U-Morton is not palindromic, but its *quadrant order* is reversed:
+  // verify the transform machinery by checking the top-level chunks.
+  const int d = 3;
+  const std::uint64_t quarter = 16;
+  // Identity: NW quadrant occupies chunk 0.
+  EXPECT_LT(s_index_transformed(Curve::UMorton, CurveTransform::Identity, 0, 0, d),
+            quarter);
+  // Rotate180: the NW corner lands where SE used to be.
+  const std::uint64_t s =
+      s_index_transformed(Curve::UMorton, CurveTransform::Rotate180, 0, 0, d);
+  EXPECT_EQ(s, s_index(Curve::UMorton, 7, 7, d));
+}
+
+}  // namespace
+}  // namespace rla

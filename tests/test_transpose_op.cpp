@@ -1,0 +1,92 @@
+// Tests of in-layout transposition (core/transpose).
+
+#include <gtest/gtest.h>
+
+#include "core/transpose.hpp"
+#include "layout/convert.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+class TransposeOpTest : public ::testing::TestWithParam<Curve> {};
+
+TEST_P(TransposeOpTest, SquareTiles) {
+  const Curve curve = GetParam();
+  const TileGeometry g = make_geometry(40, 40, 2, curve);
+  Matrix src = rla::testing::random_matrix(40, 40, 1);
+  TiledMatrix ts(g), td(transposed_geometry(g));
+  canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, ts.data());
+  transpose_tiled(ts, td);
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    for (std::uint32_t j = 0; j < 40; ++j) {
+      ASSERT_EQ(td.at(i, j), src(j, i)) << curve_name(curve);
+    }
+  }
+}
+
+TEST_P(TransposeOpTest, RectangularTilesWithPadding) {
+  const Curve curve = GetParam();
+  const TileGeometry g = make_geometry(36, 20, 2, curve);  // 9x5 tiles
+  Matrix src = rla::testing::random_matrix(36, 20, 2);
+  TiledMatrix ts(g), td(transposed_geometry(g));
+  canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, ts.data());
+  transpose_tiled(ts, td);
+  EXPECT_EQ(td.geom().rows, 20u);
+  EXPECT_EQ(td.geom().cols, 36u);
+  EXPECT_EQ(td.geom().tile_rows, g.tile_cols);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    for (std::uint32_t j = 0; j < 36; ++j) {
+      ASSERT_EQ(td.at(i, j), src(j, i)) << curve_name(curve);
+    }
+  }
+}
+
+TEST_P(TransposeOpTest, DoubleTransposeIsIdentity) {
+  const Curve curve = GetParam();
+  const TileGeometry g = make_geometry(24, 56, 3, curve);
+  Matrix src = rla::testing::random_matrix(24, 56, 3);
+  TiledMatrix a(g), b(transposed_geometry(g)), c(g);
+  canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, a.data());
+  transpose_tiled(a, b);
+  transpose_tiled(b, c);
+  for (std::uint64_t e = 0; e < a.size(); ++e) {
+    ASSERT_EQ(a.data()[e], c.data()[e]);
+  }
+}
+
+TEST_P(TransposeOpTest, ParallelMatchesSerial) {
+  const Curve curve = GetParam();
+  const TileGeometry g = make_geometry(64, 64, 3, curve);
+  Matrix src = rla::testing::random_matrix(64, 64, 4);
+  TiledMatrix ts(g), serial(transposed_geometry(g)),
+      parallel(transposed_geometry(g));
+  canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, ts.data());
+  transpose_tiled(ts, serial);
+  WorkerPool pool(4);
+  transpose_tiled(ts, parallel, &pool);
+  for (std::uint64_t e = 0; e < serial.size(); ++e) {
+    ASSERT_EQ(serial.data()[e], parallel.data()[e]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRecursive, TransposeOpTest,
+                         ::testing::ValuesIn(kRecursiveCurves),
+                         [](const ::testing::TestParamInfo<Curve>& info) {
+                           return rla::testing::sanitize(curve_name(info.param));
+                         });
+
+TEST(TransposeOp, RejectsMismatchedGeometry) {
+  const TileGeometry g = make_geometry(32, 32, 2, Curve::ZMorton);
+  TiledMatrix a(g), wrong(g);  // not transposed shape (here square but same
+                               // object is fine); use different depth to fail
+  TileGeometry bad = transposed_geometry(g);
+  bad.depth = 1;
+  bad.tile_rows *= 2;
+  bad.tile_cols *= 2;
+  TiledMatrix b(bad);
+  EXPECT_THROW(transpose_tiled(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rla

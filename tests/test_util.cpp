@@ -1,0 +1,160 @@
+// Tests of the utility substrate: aligned buffers, RNG, stats, CLI, tables.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "util/aligned_buffer.hpp"
+#include "util/cli.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rla {
+namespace {
+
+TEST(AlignedBuffer, AlignmentAndSize) {
+  AlignedBuffer<double> buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+  AlignedBuffer<double> page(10, kPageBytes);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(page.data()) % kPageBytes, 0u);
+}
+
+TEST(AlignedBuffer, CopyAndMoveSemantics) {
+  AlignedBuffer<int> a(10);
+  for (std::size_t i = 0; i < 10; ++i) a[i] = static_cast<int>(i);
+  AlignedBuffer<int> b = a;  // copy
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(b[7], 7);
+  AlignedBuffer<int> c = std::move(a);  // move
+  EXPECT_EQ(c[7], 7);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): testing the contract
+  b = c;                   // copy-assign
+  EXPECT_EQ(b[3], 3);
+  AlignedBuffer<int> d;
+  d = std::move(c);
+  EXPECT_EQ(d[3], 3);
+}
+
+TEST(AlignedBuffer, ZeroAndEmpty) {
+  AlignedBuffer<double> buf(16);
+  for (auto& v : buf) v = 1.0;
+  buf.zero();
+  for (const auto& v : buf) EXPECT_EQ(v, 0.0);
+  AlignedBuffer<double> empty;
+  EXPECT_TRUE(empty.empty());
+  empty.zero();  // no-op, no crash
+}
+
+TEST(Rng, DeterministicAndDistinctSeeds) {
+  Xoshiro256 a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  Xoshiro256 a2(1);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, DoubleRangeAndBound) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const double r = rng.next_double(-2.0, 3.0);
+    EXPECT_GE(r, -2.0);
+    EXPECT_LT(r, 3.0);
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Stats, Summarize) {
+  const Summary s = summarize({3.0, 1.0, 2.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+  const Summary odd = summarize({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(odd.median, 3.0);
+  const Summary empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({2.0, 0.0}), 0.0);
+}
+
+TEST(Cli, FlagForms) {
+  const char* argv[] = {"prog",        "--n=100",     "--algo=strassen",
+                        "--verbose",   "positional1", "--rate=2.5",
+                        "--flag=true"};
+  CliArgs args(7, argv);
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_EQ(args.get("algo"), "strassen");
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_TRUE(args.get_bool("flag"));
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 2.5);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional1");
+  EXPECT_EQ(args.get_int("missing", -7), -7);
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, MalformedNumbersFallBack) {
+  const char* argv[] = {"prog", "--n=abc", "--r=1.2.3"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.get_int("n", 5), 5);
+  EXPECT_DOUBLE_EQ(args.get_double("r", 9.0), 9.0);
+}
+
+TEST(Env, IntParsing) {
+  ::setenv("RLA_TEST_ENV_X", "42", 1);
+  EXPECT_EQ(env_int("RLA_TEST_ENV_X", 0), 42);
+  ::setenv("RLA_TEST_ENV_X", "junk", 1);
+  EXPECT_EQ(env_int("RLA_TEST_ENV_X", 7), 7);
+  ::unsetenv("RLA_TEST_ENV_X");
+  EXPECT_EQ(env_int("RLA_TEST_ENV_X", 3), 3);
+  EXPECT_EQ(env_string("RLA_TEST_ENV_X", "d"), "d");
+}
+
+TEST(Env, PickSize) {
+  ::unsetenv("RLA_PAPER_SCALE");
+  EXPECT_EQ(pick_size(1024, 256), 256);
+  ::setenv("RLA_PAPER_SCALE", "1", 1);
+  EXPECT_EQ(pick_size(1024, 256), 1024);
+  ::unsetenv("RLA_PAPER_SCALE");
+}
+
+TEST(Table, AlignmentAndFormat) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", TextTable::num(1.5, 2)});
+  t.add_row({"a-very-long-name", TextTable::num(12345ll)});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name "), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  // Header separator present.
+  EXPECT_NE(text.find("|-"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rla

@@ -1,0 +1,142 @@
+// Tests of the Frens–Wise zero-block flags and their effect on the
+// standard recursion (paper §4's design contrast).
+
+#include <gtest/gtest.h>
+
+#include "core/gemm.hpp"
+#include "core/zero_tree.hpp"
+#include "layout/convert.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+using rla::testing::random_matrix;
+
+TEST(ZeroTree, FlagsMatchContents) {
+  const TileGeometry g = make_geometry(32, 32, 2, Curve::ZMorton);  // 4x4 of 8x8
+  Matrix src(32, 32);
+  src.zero();
+  // Populate two tiles: logical (0..7, 0..7) and (16..23, 24..31).
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      src(i, j) = 1.0;
+      src(16 + i, 24 + j) = 2.0;
+    }
+  }
+  TiledMatrix tiled(g);
+  canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, tiled.data());
+  const ZeroTree tree = ZeroTree::build(tiled);
+  // Leaf level: exactly 2 of 16 tiles nonzero.
+  EXPECT_NEAR(tree.zero_tile_fraction(), 14.0 / 16.0, 1e-12);
+  // Tile (0,0) nonzero, tile (0,1) zero.
+  EXPECT_FALSE(tree.zero(0, g.tile_offset(0, 0) / g.tile_elems()));
+  EXPECT_TRUE(tree.zero(0, g.tile_offset(0, 1) / g.tile_elems()));
+  EXPECT_FALSE(tree.zero(0, g.tile_offset(2, 3) / g.tile_elems()));
+  // Root is not all-zero; the NE level-1 quadrant (tiles (0..1, 2..3)) is.
+  EXPECT_FALSE(tree.zero(2, 0));
+  TiledMatrix probe(g);
+  const TiledBlock ne = probe.root().quadrant(kNE);
+  EXPECT_TRUE(tree.zero(1, ne.s_base));
+}
+
+TEST(ZeroTree, AllZeroAndAllDense) {
+  const TileGeometry g = make_geometry(16, 16, 1, Curve::Hilbert);
+  TiledMatrix z(g);
+  z.zero();
+  EXPECT_DOUBLE_EQ(ZeroTree::build(z).zero_tile_fraction(), 1.0);
+  EXPECT_TRUE(ZeroTree::build(z).zero(g.depth, 0));
+  Matrix dense = random_matrix(16, 16, 1);
+  TiledMatrix d(g);
+  canonical_to_tiled(dense.data(), dense.ld(), false, 1.0, g, d.data());
+  EXPECT_DOUBLE_EQ(ZeroTree::build(d).zero_tile_fraction(), 0.0);
+}
+
+TEST(ZeroTree, ParallelBuildMatchesSerial) {
+  const TileGeometry g = make_geometry(64, 64, 3, Curve::GrayMorton);
+  Matrix src = random_matrix(64, 64, 2);
+  // Zero a band of columns.
+  for (std::uint32_t j = 16; j < 32; ++j) {
+    for (std::uint32_t i = 0; i < 64; ++i) src(i, j) = 0.0;
+  }
+  TiledMatrix tiled(g);
+  canonical_to_tiled(src.data(), src.ld(), false, 1.0, g, tiled.data());
+  const ZeroTree serial = ZeroTree::build(tiled);
+  WorkerPool pool(4);
+  const ZeroTree parallel = ZeroTree::build(tiled, &pool);
+  EXPECT_DOUBLE_EQ(serial.zero_tile_fraction(), parallel.zero_tile_fraction());
+}
+
+class SkipZeroTest : public ::testing::TestWithParam<Curve> {};
+
+TEST_P(SkipZeroTest, BlockSparseGemmIsCorrect) {
+  const Curve curve = GetParam();
+  const std::uint32_t n = 96;
+  // Block-diagonal A, banded B: plenty of zero tiles.
+  Matrix a(n, n), b(n, n);
+  a.zero();
+  b.zero();
+  Xoshiro256 rng(5);
+  for (std::uint32_t blk = 0; blk < 3; ++blk) {
+    for (std::uint32_t i = 0; i < 32; ++i) {
+      for (std::uint32_t j = 0; j < 32; ++j) {
+        a(blk * 32 + i, blk * 32 + j) = rng.next_double(-1.0, 1.0);
+      }
+    }
+  }
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = j >= 8 ? j - 8 : 0; i < std::min(n, j + 8); ++i) {
+      b(i, j) = rng.next_double(-1.0, 1.0);
+    }
+  }
+  GemmConfig skip;
+  skip.layout = curve;
+  skip.skip_zero_tiles = true;
+  Matrix c_skip(n, n);
+  multiply(c_skip, a, b, skip);
+
+  Matrix c_ref(n, n);
+  c_ref.zero();
+  reference_gemm(n, n, n, 1.0, a.data(), a.ld(), false, b.data(), b.ld(), false,
+                 0.0, c_ref.data(), c_ref.ld());
+  EXPECT_LT(max_abs_diff(c_skip.view(), c_ref.view()), 1e-11) << curve_name(curve);
+
+  // And bit-identical to the non-skipping run (skipping only elides
+  // products that contribute exact zeros).
+  GemmConfig no_skip = skip;
+  no_skip.skip_zero_tiles = false;
+  Matrix c_plain(n, n);
+  multiply(c_plain, a, b, no_skip);
+  EXPECT_EQ(max_abs_diff(c_skip.view(), c_plain.view()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRecursive, SkipZeroTest,
+                         ::testing::ValuesIn(kRecursiveCurves),
+                         [](const ::testing::TestParamInfo<Curve>& info) {
+                           return rla::testing::sanitize(curve_name(info.param));
+                         });
+
+TEST(SkipZero, DenseResultsUnchanged) {
+  GemmConfig cfg;
+  cfg.skip_zero_tiles = true;
+  EXPECT_LT(rla::testing::gemm_vs_reference(80, 80, 80, 1.0, Op::None, Op::None,
+                                            1.0, cfg),
+            1e-11);
+}
+
+TEST(SkipZero, InPlaceVariantAlsoSkips) {
+  GemmConfig cfg;
+  cfg.skip_zero_tiles = true;
+  cfg.standard_variant = StandardVariant::InPlace;
+  const std::uint32_t n = 64;
+  Matrix a(n, n), b = random_matrix(n, n, 9);
+  a.zero();  // entire A zero: product must leave beta·C
+  Matrix c = random_matrix(n, n, 10);
+  Matrix expected = c;
+  gemm(n, n, n, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(), Op::None, 1.0,
+       c.data(), c.ld(), cfg);
+  EXPECT_EQ(max_abs_diff(c.view(), expected.view()), 0.0);
+}
+
+}  // namespace
+}  // namespace rla
