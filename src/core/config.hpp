@@ -3,6 +3,7 @@
 // User-facing configuration of the gemm driver.
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "layout/curve.hpp"
@@ -99,6 +100,22 @@ struct GemmConfig {
   /// layouts only; pays an O(n²) scan plus a per-node test, wins on
   /// block-sparse or heavily padded operands.
   bool skip_zero_tiles = false;
+
+  /// Opt-in Freivalds randomized verification of fast-algorithm runs
+  /// (Strassen/Winograd have weaker error bounds than classical gemm; see
+  /// robust/verify.hpp). Each probe costs O(mn + mk + kn). On a failed
+  /// check the driver restores C and reruns with Algorithm::Standard,
+  /// recording the event in GemmProfile::degradation_trail. No effect when
+  /// `algorithm == Algorithm::Standard`.
+  bool verify = false;
+  int verify_probes = 2;               ///< escape probability <= 2^-probes
+  std::uint64_t verify_seed = 0;       ///< probe-vector seed (deterministic)
+  double verify_tolerance = 1e-6;      ///< allowed scaled residual per element
+
+  /// Fault-injection spec (robust/fault.hpp grammar) armed for the duration
+  /// of this call, replacing any process-wide plan; disarmed on return.
+  /// Empty = leave the RLA_FAULT-configured plan (if any) in effect.
+  std::string fault_spec;
 };
 
 }  // namespace rla

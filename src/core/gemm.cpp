@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -13,16 +15,28 @@
 #include "layout/bits.hpp"
 #include "layout/convert.hpp"
 #include "parallel/worker_pool.hpp"
+#include "robust/error.hpp"
+#include "robust/fault.hpp"
+#include "robust/verify.hpp"
+#include "util/aligned_buffer.hpp"
 #include "util/timer.hpp"
 
 namespace rla {
 
 namespace {
 
+/// Anything past this is a config bug, not a big machine.
+constexpr unsigned kMaxThreads = 4096;
+/// Tile grids are 2^d × 2^d over uint32 extents; past 30 nothing is feasible.
+constexpr int kMaxForcedDepth = 30;
+
 /// Mutable accumulation wrapper so split pieces can report concurrently.
+/// Also collects the degradation trail (kept internally so it is available
+/// for rla::Error even when the caller passed no profile).
 struct ProfileSink {
   GemmProfile* out = nullptr;
   std::mutex mutex;
+  std::vector<std::string> trail;
 
   void add(double conv_in, double compute, double conv_out, int depth,
            std::uint32_t tm, std::uint32_t tk, std::uint32_t tn) {
@@ -42,6 +56,19 @@ struct ProfileSink {
     std::lock_guard<std::mutex> lock(mutex);
     ++out->splits;
   }
+
+  void degrade(std::string step) {
+    std::lock_guard<std::mutex> lock(mutex);
+    trail.push_back(std::move(step));
+  }
+
+  /// Copy the trail into the caller's profile (call once, at quiescence).
+  void flush_trail() {
+    if (out == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    out->degradation_trail = trail;
+    out->degradations = static_cast<int>(trail.size());
+  }
 };
 
 struct Operand {
@@ -57,10 +84,14 @@ struct Operand {
 };
 
 /// One squat gemm piece on the recursive layout, at the given shared depth.
+/// The caller's C region is only written by the final remap, so any
+/// exception thrown before that leaves C untouched — which is what makes
+/// the retry ladder in run_piece_degrading safe.
 void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
                      double alpha, Operand a, Operand b, double beta, double* c,
                      std::size_t ldc, int depth, const GemmConfig& cfg,
                      WorkerPool& pool, ProfileSink& sink) {
+  fault::maybe_fail_alloc(fault::Site::AllocTiled);
   const TileGeometry ga = make_geometry(m, k, depth, cfg.layout);
   const TileGeometry gb = make_geometry(k, n, depth, cfg.layout);
   const TileGeometry gc = make_geometry(m, n, depth, cfg.layout);
@@ -90,6 +121,10 @@ void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
   const double conv_in = timer.seconds();
 
   timer.reset();
+  // Piece-local cancellation: the first exception in this piece's recursion
+  // prunes its sibling subtrees, the nested groups drain, and the exception
+  // resurfaces here — with C still pristine, so the piece can be retried.
+  std::atomic<bool> cancelled{false};
   MulContext ctx;
   ctx.kernel = cfg.kernel;
   ctx.standard_variant = cfg.standard_variant;
@@ -97,6 +132,7 @@ void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
   ctx.fast_cutoff_level = cfg.fast_cutoff_level;
   ctx.force_generic_additions = cfg.force_generic_additions;
   ctx.pool = &pool;
+  ctx.cancel = &cancelled;
   ZeroTree zero_a, zero_b;
   if (cfg.skip_zero_tiles && cfg.algorithm == Algorithm::Standard) {
     zero_a = ZeroTree::build(ta, &pool);
@@ -128,6 +164,72 @@ std::optional<int> choose_depth(std::uint32_t m, std::uint32_t n, std::uint32_t 
   return common_depth(dims, cfg.tiles);
 }
 
+void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
+                   Operand a, Operand b, double beta, double* c, std::size_t ldc,
+                   const GemmConfig& cfg, WorkerPool& pool, ProfileSink& sink);
+
+/// Degradation ladder for one tiled piece: on std::bad_alloc (real or the
+/// injected alloc.tiled / alloc.temp sites) retry with progressively less
+/// memory-hungry configurations instead of propagating. C is untouched until
+/// a piece attempt fully succeeds, so each retry restarts from clean state.
+void run_piece_degrading(std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                         double alpha, Operand a, Operand b, double beta,
+                         double* c, std::size_t ldc, int depth,
+                         const GemmConfig& cfg, WorkerPool& pool,
+                         ProfileSink& sink) {
+  GemmConfig attempt = cfg;
+  // 0 = as configured, 1 = fast serial-lowmem, 2 = allocation-free standard
+  // recursion at a shallower depth, 3 = canonical in-place.
+  int stage = 0;
+  for (;;) {
+    try {
+      if (stage < 3) {
+        run_tiled_piece(m, n, k, alpha, a, b, beta, c, ldc, depth, attempt, pool,
+                        sink);
+      } else {
+        GemmConfig canon = attempt;
+        canon.layout = Curve::ColMajor;
+        canon.algorithm = Algorithm::Standard;
+        run_canonical(m, n, k, alpha, a, b, beta, c, ldc, canon, pool, sink);
+      }
+      return;
+    } catch (const std::bad_alloc&) {
+      if (stage == 0 && attempt.algorithm != Algorithm::Standard &&
+          attempt.fast_variant != FastVariant::SerialLowMem) {
+        // One S/T/P buffer per recursion level instead of 17 per node.
+        attempt.fast_variant = FastVariant::SerialLowMem;
+        sink.degrade("alloc:fast->serial-lowmem");
+        stage = 1;
+        continue;
+      }
+      if (stage <= 1) {
+        // The in-place standard recursion allocates nothing beyond the three
+        // tiled operands; dropping a depth level also shrinks padding waste
+        // for awkward extents.
+        attempt.algorithm = Algorithm::Standard;
+        attempt.standard_variant = StandardVariant::InPlace;
+        attempt.skip_zero_tiles = false;
+        if (depth > 0) {
+          --depth;
+          sink.degrade("alloc:standard-inplace,depth-1");
+        } else {
+          sink.degrade("alloc:standard-inplace");
+        }
+        stage = 2;
+        continue;
+      }
+      if (stage == 2) {
+        // Last resort: no tiled storage at all, multiply in place on the
+        // caller's arrays.
+        sink.degrade("alloc:canonical-inplace");
+        stage = 3;
+        continue;
+      }
+      throw;  // even the canonical path failed; gemm() wraps into rla::Error
+    }
+  }
+}
+
 /// Cut an extent near its midpoint, rounded to a multiple of t_max so the
 /// resulting pieces tile cleanly.
 std::uint32_t split_point(std::uint32_t x, const TileRange& tiles) {
@@ -143,11 +245,13 @@ void run_or_split(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alph
   if (cfg.forced_depth >= 0) {
     const auto depth = choose_depth(m, n, k, cfg);
     if (!depth) throw std::invalid_argument("forced_depth infeasible for shape");
-    run_tiled_piece(m, n, k, alpha, a, b, beta, c, ldc, *depth, cfg, pool, sink);
+    run_piece_degrading(m, n, k, alpha, a, b, beta, c, ldc, *depth, cfg, pool,
+                        sink);
     return;
   }
   if (const auto depth = choose_depth(m, n, k, cfg)) {
-    run_tiled_piece(m, n, k, alpha, a, b, beta, c, ldc, *depth, cfg, pool, sink);
+    run_piece_degrading(m, n, k, alpha, a, b, beta, c, ldc, *depth, cfg, pool,
+                        sink);
     return;
   }
   // Wide or lean shape (paper Fig. 3): split the largest extent and
@@ -231,6 +335,9 @@ void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alp
   }
 
   // Fast algorithms: pad to a square whose side halves down to the leaf.
+  // These three side² buffers are the canonical fast path's equivalent of
+  // the recursion temporaries, so they share the alloc.temp injection site.
+  fault::maybe_fail_alloc(fault::Site::AllocTemp);
   const std::uint32_t big = std::max({m, n, k, cfg.tiles.t_max});
   const int levels = static_cast<int>(
       bits::ceil_log2(bits::ceil_div(big, cfg.tiles.t_max)));
@@ -268,13 +375,66 @@ void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alp
   sink.add(conv_in, compute, timer.seconds(), levels, side, side, side);
 }
 
+/// Canonical entry with its own one-step ladder: the fast algorithms' padded
+/// square copies are the only big allocation, so on bad_alloc fall straight
+/// back to the in-place standard algorithm.
+void run_canonical_degrading(std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                             double alpha, Operand a, Operand b, double beta,
+                             double* c, std::size_t ldc, const GemmConfig& cfg,
+                             WorkerPool& pool, ProfileSink& sink) {
+  try {
+    run_canonical(m, n, k, alpha, a, b, beta, c, ldc, cfg, pool, sink);
+  } catch (const std::bad_alloc&) {
+    if (cfg.algorithm == Algorithm::Standard) throw;
+    sink.degrade("alloc:canonical-standard");
+    GemmConfig fallback = cfg;
+    fallback.algorithm = Algorithm::Standard;
+    run_canonical(m, n, k, alpha, a, b, beta, c, ldc, fallback, pool, sink);
+  }
+}
+
+/// Reject configs whose downstream behavior would be confusing misbehavior
+/// instead of a clear error.
+void validate_config(const GemmConfig& cfg) {
+  if (cfg.tiles.t_min == 0 || cfg.tiles.t_min > cfg.tiles.t_max) {
+    throw std::invalid_argument(
+        "gemm: invalid TileRange: t_min must satisfy 1 <= t_min <= t_max");
+  }
+  if (cfg.forced_depth < -1 || cfg.forced_depth > kMaxForcedDepth) {
+    throw std::invalid_argument(
+        "gemm: forced_depth must be in [-1, 30] (tile grid is 2^d per side)");
+  }
+  if (cfg.threads > kMaxThreads) {
+    throw std::invalid_argument("gemm: threads exceeds the sane cap of 4096");
+  }
+  if (cfg.verify && (cfg.verify_probes < 1 || cfg.verify_probes > 64)) {
+    throw std::invalid_argument("gemm: verify_probes must be in [1, 64]");
+  }
+  if (cfg.verify && !(cfg.verify_tolerance > 0.0)) {
+    throw std::invalid_argument("gemm: verify_tolerance must be positive");
+  }
+}
+
+/// ld-indexed accesses reach element (cols-1)·ld + rows; make sure that
+/// byte offset cannot overflow std::size_t (a malformed ld otherwise turns
+/// into a wild pointer, not an exception).
+void check_ld_overflow(std::size_t ld, std::uint32_t cols, const char* name) {
+  constexpr std::size_t kMaxElems =
+      std::numeric_limits<std::size_t>::max() / sizeof(double);
+  if (cols != 0 && ld > kMaxElems / cols) {
+    throw std::invalid_argument(std::string("gemm: ld overflow for ") + name);
+  }
+}
+
 }  // namespace
 
 void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
           const double* a, std::size_t lda, Op op_a, const double* b,
           std::size_t ldb, Op op_b, double beta, double* c, std::size_t ldc,
           const GemmConfig& cfg, GemmProfile* profile) {
+  validate_config(cfg);
   if (c == nullptr || ldc < m) throw std::invalid_argument("gemm: bad C/ldc");
+  check_ld_overflow(ldc, n, "C");
   if (m == 0 || n == 0) return;
   if (profile != nullptr) *profile = GemmProfile{};
 
@@ -291,28 +451,133 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
   if ((op_b == Op::None && ldb < k) || (op_b == Op::Transpose && ldb < n)) {
     throw std::invalid_argument("gemm: bad ldb");
   }
+  check_ld_overflow(lda, op_a == Op::None ? k : m, "A");
+  check_ld_overflow(ldb, op_b == Op::None ? n : k, "B");
   if (cfg.layout == Curve::RowMajor) {
     throw std::invalid_argument("gemm: RowMajor is not a supported gemm layout");
   }
 
-  std::optional<WorkerPool> owned;
-  WorkerPool* pool = cfg.pool;
-  if (pool == nullptr) {
-    owned.emplace(cfg.threads <= 1 ? 0u : cfg.threads);
-    pool = &*owned;
-  }
+  fault::arm_from_env();
+  std::optional<fault::ScopedPlan> scoped_plan;
+  if (!cfg.fault_spec.empty()) scoped_plan.emplace(cfg.fault_spec);
 
   ProfileSink sink;
   sink.out = profile;
+
+  std::optional<WorkerPool> owned;
+  WorkerPool* pool = cfg.pool;
+  if (pool == nullptr) {
+    const unsigned want = cfg.threads <= 1 ? 0u : cfg.threads;
+    owned.emplace(want);
+    pool = &*owned;
+    if (pool->thread_count() < want) {
+      sink.degrade("pool:requested=" + std::to_string(want) +
+                   ",got=" + std::to_string(pool->thread_count()));
+    }
+  }
+
   const Operand oa{a, lda, op_a == Op::Transpose};
   const Operand ob{b, ldb, op_b == Op::Transpose};
 
-  if (cfg.layout == Curve::ColMajor) {
-    run_canonical(m, n, k, alpha, oa, ob, beta, c, ldc, cfg, *pool, sink);
-  } else {
-    run_or_split(m, n, k, alpha, oa, ob, beta, c, ldc, cfg, *pool, sink);
+  // Freivalds verification only guards the fast algorithms; the classical
+  // recursion is the trusted fallback.
+  const bool verify_active = cfg.verify && cfg.algorithm != Algorithm::Standard;
+  std::optional<FreivaldsCheck> checker;
+  AlignedBuffer<double> c_backup;  // packed m×n copy for the rerun (β ≠ 0)
+  bool have_backup = false;
+  if (verify_active) {
+    checker.emplace(m, n, cfg.verify_probes, cfg.verify_seed);
+    checker->capture(c, ldc, beta);
+    if (beta != 0.0) {
+      try {
+        c_backup = AlignedBuffer<double>(static_cast<std::size_t>(m) * n);
+        for (std::uint32_t j = 0; j < n; ++j) {
+          const double* src = c + static_cast<std::size_t>(j) * ldc;
+          double* dst = c_backup.data() + static_cast<std::size_t>(j) * m;
+          std::copy(src, src + m, dst);
+        }
+        have_backup = true;
+      } catch (const std::bad_alloc&) {
+        sink.degrade("verify:no-backup");
+      }
+    }
   }
-  if (profile != nullptr) profile->total = total.seconds();
+
+  const auto run_all = [&](const GemmConfig& run_cfg) {
+    if (run_cfg.layout == Curve::ColMajor) {
+      run_canonical_degrading(m, n, k, alpha, oa, ob, beta, c, ldc, run_cfg,
+                              *pool, sink);
+    } else {
+      run_or_split(m, n, k, alpha, oa, ob, beta, c, ldc, run_cfg, *pool, sink);
+    }
+  };
+
+  const auto finish = [&] {
+    sink.flush_trail();
+    if (profile != nullptr) profile->total = total.seconds();
+  };
+
+  try {
+    run_all(cfg);
+  } catch (const std::bad_alloc&) {
+    finish();
+    throw Error(ErrorKind::Allocation, "gemm",
+                "allocation failed even after exhausting the degradation ladder",
+                {m, n, k}, sink.trail);
+  }
+
+  if (checker) {
+    const bool at = op_a == Op::Transpose, bt = op_b == Op::Transpose;
+    VerifyResult result =
+        checker->check(k, alpha, a, lda, at, b, ldb, bt, c, ldc,
+                       cfg.verify_tolerance);
+    if (profile != nullptr) {
+      profile->verify_probes = result.probes;
+      profile->verify_max_residual = result.max_scaled_residual;
+    }
+    if (!result.ok) {
+      if (profile != nullptr) profile->verify_failed = true;
+      sink.degrade("verify:failed->standard");
+      if (beta != 0.0 && !have_backup) {
+        finish();
+        throw Error(ErrorKind::VerificationFailed, "gemm",
+                    "verification failed and C could not be restored for a rerun",
+                    {m, n, k}, sink.trail);
+      }
+      if (have_backup) {
+        for (std::uint32_t j = 0; j < n; ++j) {
+          const double* src = c_backup.data() + static_cast<std::size_t>(j) * m;
+          double* dst = c + static_cast<std::size_t>(j) * ldc;
+          std::copy(src, src + m, dst);
+        }
+      }
+      GemmConfig retry = cfg;
+      retry.algorithm = Algorithm::Standard;
+      try {
+        run_all(retry);
+      } catch (const std::bad_alloc&) {
+        finish();
+        throw Error(ErrorKind::Allocation, "gemm",
+                    "allocation failed during the verification rerun", {m, n, k},
+                    sink.trail);
+      }
+      if (profile != nullptr) profile->verify_rerun = true;
+      VerifyResult recheck =
+          checker->check(k, alpha, a, lda, at, b, ldb, bt, c, ldc,
+                         cfg.verify_tolerance);
+      if (profile != nullptr) {
+        profile->verify_max_residual =
+            std::max(profile->verify_max_residual, recheck.max_scaled_residual);
+      }
+      if (!recheck.ok) {
+        finish();
+        throw Error(ErrorKind::VerificationFailed, "gemm",
+                    "standard-algorithm rerun still fails verification",
+                    {m, n, k}, sink.trail);
+      }
+    }
+  }
+  finish();
 }
 
 void multiply(Matrix& c, const Matrix& a, const Matrix& b, const GemmConfig& cfg,

@@ -18,6 +18,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/matrix.hpp"
@@ -34,11 +36,31 @@ struct GemmProfile {
   int depth = -1;            ///< chosen recursion depth d (last split piece)
   std::uint32_t tile_m = 0, tile_k = 0, tile_n = 0;  ///< chosen tile edges
   int splits = 0;            ///< number of squat pieces (0 = no splitting)
+
+  /// Graceful-degradation events, in the order the driver took them (empty =
+  /// the configured path ran cleanly). Entries are short machine-checkable
+  /// strings, e.g. "alloc:fast->serial-lowmem", "pool:requested=8,got=3",
+  /// "verify:failed->standard".
+  std::vector<std::string> degradation_trail;
+  int degradations = 0;      ///< == degradation_trail.size(), for quick asserts
+
+  int verify_probes = 0;            ///< Freivalds probes run (0 = verify off)
+  double verify_max_residual = 0.0; ///< worst scaled residual observed
+  bool verify_failed = false;       ///< primary run failed the check
+  bool verify_rerun = false;        ///< standard-algorithm rerun happened
 };
 
 /// C (m×n, ldc) ← alpha · op(A) · op(B) + beta · C.
 /// op(A) is m×k (A is m×k when op_a == Op::None, k×m otherwise);
-/// op(B) is k×n. Throws std::invalid_argument on inconsistent arguments.
+/// op(B) is k×n. Throws std::invalid_argument on inconsistent arguments or
+/// an invalid cfg (inverted TileRange, out-of-range forced_depth, absurd
+/// thread counts, ld×extent products that overflow the address space).
+///
+/// Allocation failure does not propagate as std::bad_alloc: the driver
+/// degrades — fast variant → SerialLowMem, then a shallower-depth in-place
+/// standard recursion, then the canonical in-place path — and records each
+/// step in GemmProfile::degradation_trail. Only when the last-resort path
+/// also fails does it throw rla::Error (kind Allocation, with the trail).
 void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
           const double* a, std::size_t lda, Op op_a, const double* b,
           std::size_t ldb, Op op_b, double beta, double* c, std::size_t ldc,

@@ -2,6 +2,7 @@
 
 #include "core/kernels.hpp"
 #include "core/zero_tree.hpp"
+#include "robust/fault.hpp"
 
 namespace rla {
 
@@ -10,6 +11,7 @@ namespace {
 /// Fresh temporary with the same tile shape and curve as `like`, sized to
 /// one block of like.level levels. Root orientation is 0 by construction.
 TiledMatrix make_temp(const TiledBlock& like) {
+  fault::maybe_fail_alloc(fault::Site::AllocTemp);
   TileGeometry g;
   g.tile_rows = like.geom->tile_rows;
   g.tile_cols = like.geom->tile_cols;
@@ -24,6 +26,18 @@ void leaf(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
           const TiledBlock& b) {
   leaf_mm_tile(ctx.kernel, c.geom->tile_rows, c.geom->tile_cols, a.geom->tile_cols,
                a.tile(), b.tile(), c.tile());
+  if (fault::should_fail(fault::Site::KernelCorrupt)) c.tile()[0] += 1.0e6;
+}
+
+/// Cancellation + task.throw preamble shared by every recursion entry: one
+/// relaxed load (and one more inside should_fail) when nothing is armed.
+/// Returns true when the caller should return immediately.
+bool node_cancelled(const MulContext& ctx) {
+  if (ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  fault::maybe_fail_task(fault::Site::TaskThrow);
+  return false;
 }
 
 bool spawn_here(const MulContext& ctx, int level) {
@@ -44,6 +58,7 @@ void fork(TaskGroup& group, bool parallel, F&& f) {
 
 void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
                   const TiledBlock& b) {
+  if (node_cancelled(ctx)) return;
   // Frens–Wise flags: an all-zero operand annihilates the product.
   if ((ctx.zero_a != nullptr && ctx.zero_a->zero(a.level, a.s_base)) ||
       (ctx.zero_b != nullptr && ctx.zero_b->zero(b.level, b.s_base))) {
@@ -67,14 +82,14 @@ void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     // Two phases of four accumulating products; C quadrants are disjoint
     // within each phase, so no temporaries are needed.
     {
-      TaskGroup group(*ctx.pool);
+      TaskGroup group(*ctx.pool, ctx.cancel);
       fork(group, par, [&] { mul_standard(ctx, c11, a11, b11); });
       fork(group, par, [&] { mul_standard(ctx, c12, a11, b12); });
       fork(group, par, [&] { mul_standard(ctx, c21, a21, b11); });
       fork(group, par, [&] { mul_standard(ctx, c22, a21, b12); });
       group.wait();
     }
-    TaskGroup group(*ctx.pool);
+    TaskGroup group(*ctx.pool, ctx.cancel);
     fork(group, par, [&] { mul_standard(ctx, c11, a12, b21); });
     fork(group, par, [&] { mul_standard(ctx, c12, a12, b22); });
     fork(group, par, [&] { mul_standard(ctx, c21, a22, b21); });
@@ -89,7 +104,7 @@ void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   TiledMatrix t11 = make_temp(c11), t12 = make_temp(c12);
   TiledMatrix t21 = make_temp(c21), t22 = make_temp(c22);
   {
-    TaskGroup group(*ctx.pool);
+    TaskGroup group(*ctx.pool, ctx.cancel);
     fork(group, par, [&] { mul_standard(ctx, c11, a11, b11); });
     fork(group, par, [&] { mul_standard(ctx, c12, a11, b12); });
     fork(group, par, [&] { mul_standard(ctx, c21, a21, b11); });
@@ -112,7 +127,7 @@ void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     });
     group.wait();
   }
-  TaskGroup group(*ctx.pool);
+  TaskGroup group(*ctx.pool, ctx.cancel);
   fork(group, par, [&] { block_acc(c11, 1.0, t11.root(), fg); });
   fork(group, par, [&] { block_acc(c12, 1.0, t12.root(), fg); });
   fork(group, par, [&] { block_acc(c21, 1.0, t21.root(), fg); });
@@ -128,6 +143,7 @@ namespace {
 /// common-subexpression savings cannot survive with a single P buffer).
 void mul_fast_lowmem(const MulContext& ctx, bool winograd, const TiledBlock& c,
                      const TiledBlock& a, const TiledBlock& b) {
+  if (node_cancelled(ctx)) return;
   if (c.level <= ctx.fast_cutoff_level) {
     mul_standard(ctx, c, a, b);
     return;
@@ -239,6 +255,7 @@ void mul_fast_lowmem(const MulContext& ctx, bool winograd, const TiledBlock& c,
 
 void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
                   const TiledBlock& b) {
+  if (node_cancelled(ctx)) return;
   if (ctx.fast_variant == FastVariant::SerialLowMem) {
     mul_fast_lowmem(ctx, /*winograd=*/false, c, a, b);
     return;
@@ -267,7 +284,7 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
 
   {
     // Pre-additions (Fig. 1(b)): ten independent quadrant adds.
-    TaskGroup group(*ctx.pool);
+    TaskGroup group(*ctx.pool, ctx.cancel);
     fork(group, par, [&] { block_set_add(s1.root(), a11, +1.0, a22, fg); });
     fork(group, par, [&] { block_set_add(s2.root(), a21, +1.0, a22, fg); });
     // Note: S3 = A11 + A12 (Strassen's M5 pre-sum). The SPAA'99 scan prints
@@ -285,7 +302,7 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   }
   {
     // Seven recursive products, all spawned at once (paper §2).
-    TaskGroup group(*ctx.pool);
+    TaskGroup group(*ctx.pool, ctx.cancel);
     fork(group, par, [&] {
       p1.zero();
       mul_strassen(ctx, p1.root(), s1.root(), t1.root());
@@ -317,7 +334,7 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     group.wait();
   }
   // Post-additions.
-  TaskGroup group(*ctx.pool);
+  TaskGroup group(*ctx.pool, ctx.cancel);
   fork(group, par, [&] {
     block_acc4(c11, +1.0, p1.root(), +1.0, p4.root(), -1.0, p5.root(), +1.0,
                p7.root(), fg);
@@ -333,6 +350,7 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
 
 void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
                   const TiledBlock& b) {
+  if (node_cancelled(ctx)) return;
   if (ctx.fast_variant == FastVariant::SerialLowMem) {
     mul_fast_lowmem(ctx, /*winograd=*/true, c, a, b);
     return;
@@ -363,7 +381,7 @@ void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     // Pre-additions (Fig. 1(c)). S2/S4 and T2/T4 chain on earlier sums —
     // this sharing is Winograd's signature — so each side runs its chain in
     // one task, with the independent S3/T3 adds in their own tasks.
-    TaskGroup group(*ctx.pool);
+    TaskGroup group(*ctx.pool, ctx.cancel);
     fork(group, par, [&] {
       block_set_add(s1.root(), a21, +1.0, a22, fg);
       block_set_add(s2.root(), s1.root(), -1.0, a11, fg);
@@ -379,7 +397,7 @@ void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     group.wait();
   }
   {
-    TaskGroup group(*ctx.pool);
+    TaskGroup group(*ctx.pool, ctx.cancel);
     fork(group, par, [&] {
       p1.zero();
       mul_winograd(ctx, p1.root(), a11, b11);
@@ -413,12 +431,12 @@ void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   // Post-additions with Winograd's common-subexpression reuse: the U-chain
   // accumulates in place into the P buffers (all orientation 0, so the
   // aliased elementwise updates are safe).
-  TaskGroup group(*ctx.pool);
+  TaskGroup group(*ctx.pool, ctx.cancel);
   fork(group, par, [&] { block_acc2(c11, +1.0, p1.root(), +1.0, p2.root(), fg); });
   fork(group, par, [&] {
     block_acc(p4.root(), 1.0, p1.root(), fg);   // U2 = P1 + P4
     block_acc(p5.root(), 1.0, p4.root(), fg);   // U3 = U2 + P5
-    TaskGroup inner(*ctx.pool);
+    TaskGroup inner(*ctx.pool, ctx.cancel);
     fork(inner, par, [&] { block_acc2(c21, +1.0, p5.root(), +1.0, p7.root(), fg); });
     fork(inner, par, [&] { block_acc2(c22, +1.0, p5.root(), +1.0, p3.root(), fg); });
     fork(inner, par, [&] {

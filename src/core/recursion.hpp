@@ -9,6 +9,8 @@
 // allocations of quadrant size — for the fast algorithms this is the paper's
 // §5.1 observation that every recursion level halves the leading dimension.
 
+#include <atomic>
+
 #include "core/add.hpp"
 #include "core/config.hpp"
 #include "core/tiled_matrix.hpp"
@@ -29,6 +31,11 @@ struct MulContext {
   /// below it the recursion runs serially inside the owning task.
   int spawn_min_level = 2;
   WorkerPool* pool = nullptr;    ///< never null; a 0-thread pool is serial
+  /// Cooperative cancellation: when set and true, the recursion returns
+  /// without descending further. Wired to the TaskGroups it creates, so one
+  /// failed task prunes every sibling subtree (the partial C is discarded by
+  /// the driver, which rethrows the task's exception).
+  std::atomic<bool>* cancel = nullptr;
   /// Optional Frens–Wise zero-block flags for the original A/B operands
   /// (standard algorithm only): all-zero blocks act as multiplicative
   /// annihilators and their products are skipped. Must describe exactly the

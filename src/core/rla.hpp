@@ -33,3 +33,6 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/lu.hpp"
 #include "parallel/worker_pool.hpp"
+#include "robust/error.hpp"
+#include "robust/fault.hpp"
+#include "robust/verify.hpp"

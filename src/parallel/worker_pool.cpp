@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <system_error>
+
+#include "robust/fault.hpp"
 
 namespace rla {
 
@@ -12,14 +15,37 @@ thread_local const WorkerPool* tl_pool = nullptr;
 thread_local int tl_worker_index = -1;
 }  // namespace
 
-WorkerPool::WorkerPool(unsigned threads) {
+WorkerPool::WorkerPool(unsigned threads) : requested_(threads) {
   workers_.reserve(threads);
   for (unsigned w = 0; w < threads; ++w) {
     workers_.push_back(std::make_unique<Worker>());
   }
+  // Start threads behind a gate: they may not touch workers_ until the
+  // vector's final size is known, because a creation failure below shrinks
+  // it. Creation failures degrade the pool instead of propagating — a gemm
+  // on a loaded machine should run slower, not die.
+  std::vector<std::thread> started;
+  started.reserve(threads);
   for (unsigned w = 0; w < threads; ++w) {
-    workers_[w]->thread = std::thread([this, w] { worker_main(static_cast<int>(w)); });
+    try {
+      fault::maybe_fail_thread_create(fault::Site::PoolThreadCreate);
+      started.emplace_back([this, w] {
+        wait_for_start();
+        worker_main(static_cast<int>(w));
+      });
+    } catch (const std::system_error&) {
+      break;  // keep the threads we got; requested_ - size() records the loss
+    }
   }
+  if (started.size() < workers_.size()) workers_.resize(started.size());
+  for (std::size_t w = 0; w < started.size(); ++w) {
+    workers_[w]->thread = std::move(started[w]);
+  }
+  {
+    std::lock_guard<std::mutex> lock(start_mutex_);
+    start_ready_ = true;
+  }
+  start_cv_.notify_all();
 }
 
 WorkerPool::~WorkerPool() {
@@ -33,6 +59,11 @@ WorkerPool::~WorkerPool() {
   for (auto& worker : workers_) {
     while (TaskNode* node = worker->deque.pop()) delete node;
   }
+}
+
+void WorkerPool::wait_for_start() {
+  std::unique_lock<std::mutex> lock(start_mutex_);
+  start_cv_.wait(lock, [this] { return start_ready_; });
 }
 
 int WorkerPool::current_worker_index() noexcept { return tl_worker_index; }
@@ -83,7 +114,7 @@ void WorkerPool::run_node(TaskNode* node) {
   try {
     node->fn();
   } catch (...) {
-    if (group != nullptr) group->record_exception(std::current_exception());
+    if (group != nullptr) group->record_exception(std::current_exception(), node->seq);
   }
   delete node;
   if (group != nullptr) group->finish();
@@ -129,28 +160,25 @@ void WorkerPool::parallel_for(
 }
 
 void TaskGroup::wait() {
-  if (pool_.serial()) {
-    if (exception_) {
-      std::exception_ptr e = exception_;
-      exception_ = nullptr;
-      std::rethrow_exception(e);
-    }
-    return;
-  }
-  const int self = (tl_pool == &pool_) ? tl_worker_index : -1;
-  int idle_spins = 0;
-  while (pending_.load(std::memory_order_acquire) != 0) {
-    if (WorkerPool::TaskNode* node = pool_.try_acquire(self)) {
-      idle_spins = 0;
-      pool_.run_node(node);
-    } else if (++idle_spins < 256) {
-      std::this_thread::yield();
-    } else {
-      // All remaining children are running on other workers; nap briefly.
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-      idle_spins = 0;
+  if (!pool_.serial()) {
+    const int self = (tl_pool == &pool_) ? tl_worker_index : -1;
+    int idle_spins = 0;
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      if (WorkerPool::TaskNode* node = pool_.try_acquire(self)) {
+        idle_spins = 0;
+        pool_.run_node(node);
+      } else if (++idle_spins < 256) {
+        std::this_thread::yield();
+      } else {
+        // All remaining children are running on other workers; nap briefly.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        idle_spins = 0;
+      }
     }
   }
+  // Every task has finished and recorded its outcome, so the lowest-seq
+  // exception is final — propagation is deterministic even though the tasks
+  // raced.
   if (exception_) {
     std::exception_ptr e = exception_;
     exception_ = nullptr;
@@ -158,9 +186,13 @@ void TaskGroup::wait() {
   }
 }
 
-void TaskGroup::record_exception(std::exception_ptr e) noexcept {
+void TaskGroup::record_exception(std::exception_ptr e, std::uint64_t seq) noexcept {
+  if (cancel_ != nullptr) cancel_->store(true, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(exception_mutex_);
-  if (!exception_) exception_ = e;
+  if (!exception_ || seq < exception_seq_) {
+    exception_ = e;
+    exception_seq_ = seq;
+  }
 }
 
 }  // namespace rla

@@ -10,6 +10,20 @@
 // A WorkerPool with zero threads degrades to a serial executor: spawn runs
 // the task inline and wait is a no-op. All algorithms are written against
 // this one interface.
+//
+// Robustness contract:
+//  * Construction never fails for lack of threads. If creating worker thread
+//    i fails (std::system_error from std::thread, or the injected
+//    `pool.thread_create` fault site), the pool keeps the i threads it
+//    already has — down to zero, i.e. a serial pool — and records the
+//    shortfall in thread_create_failures().
+//  * Task exceptions are recorded per group and rethrown by wait(). "First"
+//    is deterministic: among all failed tasks of a group, the one with the
+//    lowest spawn index wins, regardless of scheduling order.
+//  * A TaskGroup may carry a cancellation flag (shared across nested
+//    groups); it is set as soon as any task in any group wired to it throws,
+//    so cooperating recursions can stop descending early. The flag is
+//    advisory — tasks already running are not interrupted.
 
 #include <atomic>
 #include <condition_variable>
@@ -32,8 +46,10 @@ class TaskGroup;
 /// Fork-join work-stealing pool.
 class WorkerPool {
  public:
-  /// `threads` worker threads are created; 0 gives a serial pool where spawn
-  /// executes inline (useful as a baseline and for deterministic tests).
+  /// Attempts to create `threads` worker threads; 0 gives a serial pool
+  /// where spawn executes inline (useful as a baseline and for
+  /// deterministic tests). Thread-creation failure degrades the pool to the
+  /// threads obtained so far instead of throwing (see header comment).
   explicit WorkerPool(unsigned threads);
   ~WorkerPool();
 
@@ -43,6 +59,9 @@ class WorkerPool {
   unsigned thread_count() const noexcept {
     return static_cast<unsigned>(workers_.size());
   }
+
+  /// Threads the constructor was asked for (>= thread_count()).
+  unsigned requested_threads() const noexcept { return requested_; }
 
   bool serial() const noexcept { return workers_.empty(); }
 
@@ -61,12 +80,25 @@ class WorkerPool {
     return steals_.load(std::memory_order_relaxed);
   }
 
+  /// Worker threads the constructor failed to create (0 = full strength).
+  unsigned thread_create_failures() const noexcept {
+    return requested_ - thread_count();
+  }
+
+  /// Task exceptions dropped by TaskGroup destructors that ran before any
+  /// wait() observed them (see ~TaskGroup). A nonzero value means some code
+  /// path discarded errors; it should be treated as a bug in that path.
+  std::uint64_t exceptions_swallowed() const noexcept {
+    return exceptions_swallowed_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class TaskGroup;
 
   struct TaskNode {
     std::function<void()> fn;
     TaskGroup* group = nullptr;
+    std::uint64_t seq = 0;  ///< spawn index within the group
   };
 
   struct Worker {
@@ -78,11 +110,20 @@ class WorkerPool {
   TaskNode* try_acquire(int self);  // own deque -> injection queue -> steal
   void run_node(TaskNode* node);
   void worker_main(int index);
+  void wait_for_start();
   static int current_worker_index() noexcept;
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  unsigned requested_ = 0;
   std::mutex injection_mutex_;
   std::deque<TaskNode*> injection_queue_;
+
+  // Workers block on this gate until the constructor has finalized
+  // workers_ (it may shrink the vector after a thread-creation failure, and
+  // running workers must never observe that resize).
+  std::mutex start_mutex_;
+  std::condition_variable start_cv_;
+  bool start_ready_ = false;
 
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;
@@ -90,36 +131,54 @@ class WorkerPool {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> exceptions_swallowed_{0};
 };
 
 /// One fork-join scope: spawn children, then wait for all of them.
 /// wait() runs other ready tasks while waiting, so nested groups (the
 /// recursive multiply) never block a worker thread.
+///
+/// Error contract: call wait() to observe task failures — it rethrows the
+/// recorded exception with the lowest spawn index (deterministic across
+/// scheduling). If a group is destroyed with an unobserved exception, the
+/// destructor cannot throw; it counts the loss in the pool-level
+/// exceptions_swallowed() stat instead.
 class TaskGroup {
  public:
-  explicit TaskGroup(WorkerPool& pool) : pool_(pool) {}
+  /// `cancel`, when given, is set to true as soon as any task of this group
+  /// throws; share one flag across nested groups to let a whole recursion
+  /// tree stop descending after the first failure.
+  explicit TaskGroup(WorkerPool& pool, std::atomic<bool>* cancel = nullptr)
+      : pool_(pool), cancel_(cancel) {}
 
-  /// Destruction waits for stragglers but swallows their exceptions (call
-  /// wait() explicitly to observe them).
+  /// Destruction waits for stragglers; any unobserved exception is counted
+  /// in WorkerPool::exceptions_swallowed() (call wait() to observe errors).
   ~TaskGroup() {
     try {
       wait();
     } catch (...) {
+      pool_.exceptions_swallowed_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  /// Spawn fn as a task. On a serial pool, runs fn inline immediately.
+  /// Spawn fn as a task. On a serial pool, runs fn inline immediately,
+  /// recording any exception for wait() just like a parallel task.
   template <typename F>
   void spawn(F&& fn) {
+    const std::uint64_t seq = next_seq_++;
     if (pool_.serial()) {
-      fn();
+      try {
+        fn();
+      } catch (...) {
+        record_exception(std::current_exception(), seq);
+      }
       return;
     }
     pending_.fetch_add(1, std::memory_order_relaxed);
-    auto* node = new WorkerPool::TaskNode{std::forward<F>(fn), this};
+    auto* node = new WorkerPool::TaskNode{std::forward<F>(fn), this, seq};
     pool_.enqueue(node);
   }
 
@@ -127,27 +186,37 @@ class TaskGroup {
   /// task's (convenience for "spawn k-1, run the k-th yourself" patterns).
   template <typename F>
   void run(F&& fn) {
+    const std::uint64_t seq = next_seq_++;
     try {
       fn();
     } catch (...) {
-      record_exception(std::current_exception());
+      record_exception(std::current_exception(), seq);
     }
   }
 
-  /// Wait until every spawned task has finished. Rethrows the first
-  /// exception any task (or run()) raised.
+  /// Wait until every spawned task has finished. Rethrows the exception of
+  /// the failed task with the lowest spawn index, if any task failed.
   void wait();
+
+  /// True once any task of this group (or a nested group sharing the same
+  /// cancellation flag) has thrown.
+  bool cancelled() const noexcept {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
 
  private:
   friend class WorkerPool;
 
   void finish() noexcept { pending_.fetch_sub(1, std::memory_order_acq_rel); }
-  void record_exception(std::exception_ptr e) noexcept;
+  void record_exception(std::exception_ptr e, std::uint64_t seq) noexcept;
 
   WorkerPool& pool_;
+  std::atomic<bool>* cancel_ = nullptr;
+  std::uint64_t next_seq_ = 0;  ///< only touched by the owning thread
   std::atomic<std::int64_t> pending_{0};
   std::mutex exception_mutex_;
   std::exception_ptr exception_;
+  std::uint64_t exception_seq_ = 0;
 };
 
 }  // namespace rla

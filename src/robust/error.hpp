@@ -1,0 +1,101 @@
+#pragma once
+
+// Structured error taxonomy for the gemm stack.
+//
+// rla::Error carries what a service operator needs to triage a failed
+// multiply without a debugger: the *kind* of failure, the *site* (an
+// injection-site name or a driver location), the problem dimensions, and the
+// degradation trail the driver walked before giving up. what() renders all
+// of it into one line.
+//
+// Argument validation keeps throwing std::invalid_argument (the established
+// contract); Error is for failures of execution, not of calling convention.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rla {
+
+enum class ErrorKind : std::uint8_t {
+  Allocation,          ///< storage could not be obtained, even degraded
+  ThreadCreate,        ///< no worker thread could be created at all
+  TaskFailure,         ///< a task body threw (includes injected task.throw)
+  VerificationFailed,  ///< Freivalds check failed even after the rerun
+};
+
+inline std::string_view error_kind_name(ErrorKind k) noexcept {
+  switch (k) {
+    case ErrorKind::Allocation:
+      return "allocation";
+    case ErrorKind::ThreadCreate:
+      return "thread-create";
+    case ErrorKind::TaskFailure:
+      return "task-failure";
+    case ErrorKind::VerificationFailed:
+      return "verification-failed";
+  }
+  return "?";
+}
+
+/// Problem dimensions attached to an Error (0 = not applicable).
+struct ErrorDims {
+  std::uint32_t m = 0, n = 0, k = 0;
+};
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, std::string site, std::string detail, ErrorDims dims = {},
+        std::vector<std::string> trail = {})
+      : std::runtime_error(format(kind, site, detail, dims, trail)),
+        kind_(kind),
+        site_(std::move(site)),
+        detail_(std::move(detail)),
+        dims_(dims),
+        trail_(std::move(trail)) {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+  const std::string& site() const noexcept { return site_; }
+  const std::string& detail() const noexcept { return detail_; }
+  ErrorDims dims() const noexcept { return dims_; }
+  /// Degradation steps the driver attempted before this error, oldest first.
+  const std::vector<std::string>& trail() const noexcept { return trail_; }
+
+ private:
+  static std::string format(ErrorKind kind, const std::string& site,
+                            const std::string& detail, ErrorDims dims,
+                            const std::vector<std::string>& trail) {
+    std::string out("rla: ");
+    out += error_kind_name(kind);
+    out += " at ";
+    out += site;
+    if (!detail.empty()) {
+      out += ": ";
+      out += detail;
+    }
+    if (dims.m != 0 || dims.n != 0 || dims.k != 0) {
+      out += " [m=" + std::to_string(dims.m) + " n=" + std::to_string(dims.n) +
+             " k=" + std::to_string(dims.k) + "]";
+    }
+    if (!trail.empty()) {
+      out += " (degradation trail:";
+      for (const std::string& step : trail) {
+        out += ' ';
+        out += step;
+      }
+      out += ')';
+    }
+    return out;
+  }
+
+  ErrorKind kind_;
+  std::string site_;
+  std::string detail_;
+  ErrorDims dims_;
+  std::vector<std::string> trail_;
+};
+
+}  // namespace rla

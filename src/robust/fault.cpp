@@ -1,0 +1,232 @@
+#include "robust/fault.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <system_error>
+
+#include "robust/error.hpp"
+#include "util/rng.hpp"
+
+namespace rla::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  FaultPlan plan;
+  Xoshiro256 rng{0};
+  std::atomic<std::uint64_t> hit_counts[kSiteCount] = {};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+std::string_view site_name(Site s) noexcept {
+  switch (s) {
+    case Site::AllocTiled:
+      return "alloc.tiled";
+    case Site::AllocTemp:
+      return "alloc.temp";
+    case Site::PoolThreadCreate:
+      return "pool.thread_create";
+    case Site::TaskThrow:
+      return "task.throw";
+    case Site::KernelCorrupt:
+      return "kernel.corrupt";
+  }
+  return "?";
+}
+
+bool parse_site(std::string_view text, Site& out) noexcept {
+  for (int i = 0; i < kSiteCount; ++i) {
+    const Site s = static_cast<Site>(i);
+    if (text == site_name(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::empty() const noexcept {
+  for (const Trigger& t : triggers) {
+    if (t.mode != Trigger::Mode::Off) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool fail_parse(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const std::string buf(text);
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const std::string buf(text);
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse_plan(std::string_view spec, FaultPlan& out, std::string* error) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t sep = spec.find(';', pos);
+    if (sep == std::string_view::npos) sep = spec.size();
+    std::string_view clause = spec.substr(pos, sep - pos);
+    pos = sep + 1;
+    if (clause.empty()) continue;
+
+    if (clause.substr(0, 5) == "seed=") {
+      if (!parse_u64(clause.substr(5), plan.seed)) {
+        return fail_parse(error, "bad seed clause: " + std::string(clause));
+      }
+      continue;
+    }
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string_view::npos) {
+      return fail_parse(error, "missing ':' in clause: " + std::string(clause));
+    }
+    Site site;
+    if (!parse_site(clause.substr(0, colon), site)) {
+      return fail_parse(error,
+                        "unknown site: " + std::string(clause.substr(0, colon)));
+    }
+    const std::string_view trigger = clause.substr(colon + 1);
+    Trigger& t = plan.at(site);
+    if (trigger.substr(0, 4) == "nth=") {
+      std::uint64_t n = 0;
+      if (!parse_u64(trigger.substr(4), n) || n == 0) {
+        return fail_parse(error, "bad nth trigger: " + std::string(clause));
+      }
+      t.mode = Trigger::Mode::Nth;
+      t.nth = n;
+    } else if (trigger.substr(0, 2) == "p=") {
+      double p = 0.0;
+      if (!parse_double(trigger.substr(2), p) || p < 0.0 || p > 1.0) {
+        return fail_parse(error, "bad probability trigger: " + std::string(clause));
+      }
+      t.mode = Trigger::Mode::Probability;
+      t.probability = p;
+    } else {
+      return fail_parse(error, "unknown trigger in clause: " + std::string(clause));
+    }
+  }
+  out = plan;
+  return true;
+}
+
+void arm(const FaultPlan& plan) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.plan = plan;
+  r.rng = Xoshiro256(plan.seed);
+  for (auto& count : r.hit_counts) count.store(0, std::memory_order_relaxed);
+  detail::g_armed.store(!plan.empty(), std::memory_order_release);
+}
+
+void disarm() noexcept {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  detail::g_armed.store(false, std::memory_order_release);
+  r.plan = FaultPlan{};
+}
+
+void arm_from_env() {
+  static const bool done = [] {
+    const char* spec = std::getenv("RLA_FAULT");
+    if (spec == nullptr || *spec == '\0') return true;
+    FaultPlan plan;
+    std::string error;
+    if (!parse_plan(spec, plan, &error)) {
+      throw std::invalid_argument("RLA_FAULT: " + error);
+    }
+    arm(plan);
+    return true;
+  }();
+  (void)done;
+}
+
+std::uint64_t hits(Site s) noexcept {
+  return registry().hit_counts[static_cast<int>(s)].load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+bool should_fail_slow(Site s) noexcept {
+  Registry& r = registry();
+  const std::uint64_t hit =
+      1 + r.hit_counts[static_cast<int>(s)].fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const Trigger& t = r.plan.at(s);
+  switch (t.mode) {
+    case Trigger::Mode::Off:
+      return false;
+    case Trigger::Mode::Nth:
+      return hit == t.nth;
+    case Trigger::Mode::Probability:
+      return r.rng.next_double() < t.probability;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+void maybe_fail_alloc(Site s) {
+  if (should_fail(s)) throw std::bad_alloc();
+}
+
+void maybe_fail_task(Site s) {
+  if (should_fail(s)) {
+    throw Error(ErrorKind::TaskFailure, std::string(site_name(s)),
+                "injected task failure");
+  }
+}
+
+void maybe_fail_thread_create(Site s) {
+  if (should_fail(s)) {
+    throw std::system_error(
+        std::make_error_code(std::errc::resource_unavailable_try_again),
+        "injected thread-creation failure");
+  }
+}
+
+ScopedPlan::ScopedPlan(std::string_view spec) {
+  FaultPlan plan;
+  std::string error;
+  if (!parse_plan(spec, plan, &error)) {
+    throw std::invalid_argument("fault spec: " + error);
+  }
+  arm(plan);
+}
+
+}  // namespace rla::fault

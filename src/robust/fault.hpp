@@ -1,0 +1,117 @@
+#pragma once
+
+// Deterministic fault-injection harness.
+//
+// A small set of *named sites* is compiled into the hot paths permanently
+// (driver allocations, pool thread creation, task bodies, leaf kernels).
+// Each site costs one relaxed atomic load when no plan is armed, so release
+// builds carry the instrumentation at zero practical cost, and the same
+// binary that serves traffic can be fault-tested.
+//
+// A FaultPlan arms per-site triggers: "fail the Nth hit" (deterministic,
+// 1-based) or "fail with probability p" (seeded, deterministic per seed).
+// Plans come from three places:
+//   * tests:      fault::ScopedPlan guard(plan);
+//   * GemmConfig: cfg.fault_spec = "alloc.tiled:nth=1";
+//   * the environment: RLA_FAULT="pool.thread_create:nth=2;seed=7"
+//     (parsed once, armed lazily the first time the driver runs).
+//
+// Spec grammar (';'-separated clauses):
+//   <site>:nth=<N>   fail the N-th hit of <site> (one-shot)
+//   <site>:p=<F>     fail each hit independently with probability F
+//   seed=<N>         seed for the probabilistic triggers (default 0)
+// Sites: alloc.tiled, alloc.temp, pool.thread_create, task.throw,
+//        kernel.corrupt.
+//
+// Hit counters accumulate only while a plan is armed; hits() lets tests
+// assert how often a site was even *reached* (e.g. that cancellation pruned
+// the recursion).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rla::fault {
+
+/// Named injection sites. Keep site_name() and parse_site() in sync.
+enum class Site : std::uint8_t {
+  AllocTiled,        ///< gemm driver's tiled-storage allocation ("alloc.tiled")
+  AllocTemp,         ///< recursion temporaries ("alloc.temp")
+  PoolThreadCreate,  ///< WorkerPool worker-thread creation ("pool.thread_create")
+  TaskThrow,         ///< recursive multiply task body ("task.throw")
+  KernelCorrupt,     ///< leaf kernel output corruption ("kernel.corrupt")
+};
+inline constexpr int kSiteCount = 5;
+
+std::string_view site_name(Site s) noexcept;
+bool parse_site(std::string_view text, Site& out) noexcept;
+
+/// Per-site trigger. Inactive by default.
+struct Trigger {
+  enum class Mode : std::uint8_t { Off, Nth, Probability };
+  Mode mode = Mode::Off;
+  std::uint64_t nth = 0;  ///< 1-based hit index that fails (Mode::Nth)
+  double probability = 0.0;
+};
+
+/// A full plan: one trigger per site plus the seed for probabilistic ones.
+struct FaultPlan {
+  Trigger triggers[kSiteCount];
+  std::uint64_t seed = 0;
+
+  Trigger& at(Site s) noexcept { return triggers[static_cast<int>(s)]; }
+  const Trigger& at(Site s) const noexcept {
+    return triggers[static_cast<int>(s)];
+  }
+  bool empty() const noexcept;
+};
+
+/// Parse a spec string (grammar above) into `out`. Returns false (leaving
+/// `out` unspecified) on malformed input; `error` receives a diagnostic.
+bool parse_plan(std::string_view spec, FaultPlan& out, std::string* error = nullptr);
+
+/// Arm `plan` process-wide (replacing any armed plan) / disarm entirely.
+/// Counters reset on every arm().
+void arm(const FaultPlan& plan);
+void disarm() noexcept;
+
+/// Arm from the RLA_FAULT environment variable if it is set and non-empty.
+/// Called lazily (once) by the gemm driver; safe to call repeatedly.
+void arm_from_env();
+
+/// Hits recorded for `s` since the last arm() (0 when never armed).
+std::uint64_t hits(Site s) noexcept;
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+bool should_fail_slow(Site s) noexcept;
+}  // namespace detail
+
+/// Fast-path query: false immediately when no plan is armed.
+inline bool should_fail(Site s) noexcept {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return false;
+  return detail::should_fail_slow(s);
+}
+
+/// should_fail(s) and throw std::bad_alloc on a hit (allocation sites).
+void maybe_fail_alloc(Site s);
+
+/// should_fail(s) and throw rla::Error{Kind::TaskFailure} on a hit.
+void maybe_fail_task(Site s);
+
+/// should_fail(s) and throw std::system_error(EAGAIN) on a hit (mimics
+/// std::thread's resource_unavailable_try_again failure mode).
+void maybe_fail_thread_create(Site s);
+
+/// RAII arm/disarm for tests and for GemmConfig::fault_spec.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(const FaultPlan& plan) { arm(plan); }
+  explicit ScopedPlan(std::string_view spec);
+  ~ScopedPlan() { disarm(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+}  // namespace rla::fault

@@ -1,0 +1,80 @@
+#include "robust/verify.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace rla {
+
+namespace {
+
+/// y ← op(M)·x for an r×c op(M) over column-major storage (r rows after op).
+void matvec(std::vector<double>& y, const double* mat, std::size_t ld, bool trans,
+            std::uint32_t rows, std::uint32_t cols, const double* x) {
+  y.assign(rows, 0.0);
+  if (!trans) {
+    // op(M)(i, j) = mat[i + j·ld]: accumulate column by column.
+    for (std::uint32_t j = 0; j < cols; ++j) {
+      const double xj = x[j];
+      const double* col = mat + static_cast<std::size_t>(j) * ld;
+      for (std::uint32_t i = 0; i < rows; ++i) y[i] += col[i] * xj;
+    }
+  } else {
+    // op(M)(i, j) = mat[j + i·ld]: each y_i is a dot with stored column i.
+    for (std::uint32_t i = 0; i < rows; ++i) {
+      const double* col = mat + static_cast<std::size_t>(i) * ld;
+      double acc = 0.0;
+      for (std::uint32_t j = 0; j < cols; ++j) acc += col[j] * x[j];
+      y[i] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+FreivaldsCheck::FreivaldsCheck(std::uint32_t m, std::uint32_t n, int probes,
+                               std::uint64_t seed)
+    : m_(m), n_(n), probes_(probes < 1 ? 1 : probes) {
+  Xoshiro256 rng(seed ^ 0x4672656976616c64ULL);  // "Freivald"
+  x_.resize(static_cast<std::size_t>(probes_) * n_);
+  for (double& v : x_) v = (rng.next_u64() & 1) != 0 ? 1.0 : -1.0;
+  y0_.assign(static_cast<std::size_t>(probes_) * m_, 0.0);
+}
+
+void FreivaldsCheck::capture(const double* c, std::size_t ldc, double beta) {
+  if (beta == 0.0) return;
+  std::vector<double> y;
+  for (int p = 0; p < probes_; ++p) {
+    matvec(y, c, ldc, false, m_, n_, x_.data() + static_cast<std::size_t>(p) * n_);
+    double* dst = y0_.data() + static_cast<std::size_t>(p) * m_;
+    for (std::uint32_t i = 0; i < m_; ++i) dst[i] = beta * y[i];
+  }
+}
+
+VerifyResult FreivaldsCheck::check(std::uint32_t k, double alpha, const double* a,
+                                   std::size_t lda, bool a_trans, const double* b,
+                                   std::size_t ldb, bool b_trans, const double* c,
+                                   std::size_t ldc, double tolerance) const {
+  VerifyResult result;
+  result.probes = probes_;
+  std::vector<double> t, u, v;
+  for (int p = 0; p < probes_; ++p) {
+    const double* x = x_.data() + static_cast<std::size_t>(p) * n_;
+    const double* y0 = y0_.data() + static_cast<std::size_t>(p) * m_;
+    matvec(t, b, ldb, b_trans, k, n_, x);           // t = op(B)·x
+    matvec(u, a, lda, a_trans, m_, k, t.data());    // u = op(A)·t
+    matvec(v, c, ldc, false, m_, n_, x);            // v = C_new·x
+    for (std::uint32_t i = 0; i < m_; ++i) {
+      const double expect = alpha * u[i] + y0[i];
+      const double residual = std::abs(v[i] - expect);
+      const double scale = 1.0 + std::abs(v[i]) + std::abs(alpha * u[i]) +
+                           std::abs(y0[i]);
+      const double scaled = residual / scale;
+      if (scaled > result.max_scaled_residual) result.max_scaled_residual = scaled;
+      if (scaled > tolerance) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace rla

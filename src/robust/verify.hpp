@@ -1,0 +1,57 @@
+#pragma once
+
+// Freivalds randomized verification of C ← α·op(A)·op(B) + β·C₀.
+//
+// Each probe draws a deterministic ±1 vector x and checks
+//
+//   C_new·x  ≈  α·op(A)·(op(B)·x) + β·(C₀·x)
+//
+// in O(mn + mk + kn) flops — asymptotically free next to the O(n³)-ish
+// multiply it guards. A wrong product escapes one probe with probability
+// ≤ 1/2, so a handful of probes give high confidence; this is the cheap
+// correctness check that lets the driver run Strassen/Winograd (whose error
+// bounds are weaker than classical gemm's) and fall back to the standard
+// algorithm automatically when a run looks wrong.
+//
+// Because verification needs β·C₀·x but the multiply destroys C₀, the check
+// is split into two halves: construct + capture() *before* the multiply,
+// check() after.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rla {
+
+struct VerifyResult {
+  int probes = 0;
+  bool ok = true;
+  /// Largest elementwise residual observed, scaled by the local magnitude
+  /// (so 1.0 means "off by as much as the data itself").
+  double max_scaled_residual = 0.0;
+};
+
+class FreivaldsCheck {
+ public:
+  /// Prepare `probes` ±1 probe vectors of length n, seeded deterministically.
+  FreivaldsCheck(std::uint32_t m, std::uint32_t n, int probes, std::uint64_t seed);
+
+  /// Record β·C₀·x for every probe. Call before the multiply overwrites C;
+  /// cheap no-op when beta == 0.
+  void capture(const double* c, std::size_t ldc, double beta);
+
+  /// Check the finished C against the captured state. `tolerance` is the
+  /// allowed scaled residual per element (e.g. 1e-6).
+  VerifyResult check(std::uint32_t k, double alpha, const double* a,
+                     std::size_t lda, bool a_trans, const double* b,
+                     std::size_t ldb, bool b_trans, const double* c,
+                     std::size_t ldc, double tolerance) const;
+
+ private:
+  std::uint32_t m_, n_;
+  int probes_;
+  std::vector<double> x_;   ///< probes_ × n_ probe vectors, concatenated
+  std::vector<double> y0_;  ///< probes_ × m_ captured β·C₀·x (zeros if β = 0)
+};
+
+}  // namespace rla

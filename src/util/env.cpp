@@ -1,5 +1,6 @@
 #include "util/env.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace rla {
@@ -7,8 +8,12 @@ namespace rla {
 std::int64_t env_int(const char* name, std::int64_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
+  errno = 0;
   char* end = nullptr;
   const std::int64_t parsed = std::strtoll(v, &end, 10);
+  // Out-of-range values saturate to LLONG_MIN/MAX with errno == ERANGE;
+  // treat them as unparsable rather than silently clamping.
+  if (errno == ERANGE) return fallback;
   return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 

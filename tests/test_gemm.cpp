@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 
 #include "core/gemm.hpp"
@@ -289,6 +290,67 @@ TEST(Gemm, MultiplyConvenience) {
   EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-10);
   Matrix wrong(41, 30);
   EXPECT_THROW(multiply(wrong, a, b, cfg), std::invalid_argument);
+}
+
+TEST(GemmValidation, RejectsInvalidConfigs) {
+  Matrix a = rla::testing::random_matrix(8, 8, 1);
+  Matrix b = rla::testing::random_matrix(8, 8, 2);
+  Matrix c(8, 8);
+  c.zero();
+  const auto run = [&](const GemmConfig& cfg) {
+    gemm(8, 8, 8, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(), Op::None,
+         0.0, c.data(), c.ld(), cfg);
+  };
+
+  GemmConfig inverted;
+  inverted.tiles = {32, 16};
+  EXPECT_THROW(run(inverted), std::invalid_argument);
+
+  GemmConfig zero_tile;
+  zero_tile.tiles = {0, 16};
+  EXPECT_THROW(run(zero_tile), std::invalid_argument);
+
+  GemmConfig deep;
+  deep.forced_depth = 31;
+  EXPECT_THROW(run(deep), std::invalid_argument);
+  deep.forced_depth = -2;
+  EXPECT_THROW(run(deep), std::invalid_argument);
+
+  GemmConfig too_many_threads;
+  too_many_threads.threads = 100000;
+  EXPECT_THROW(run(too_many_threads), std::invalid_argument);
+
+  GemmConfig bad_probes;
+  bad_probes.verify = true;
+  bad_probes.verify_probes = 0;
+  EXPECT_THROW(run(bad_probes), std::invalid_argument);
+
+  GemmConfig bad_tolerance;
+  bad_tolerance.verify = true;
+  bad_tolerance.verify_tolerance = 0.0;
+  EXPECT_THROW(run(bad_tolerance), std::invalid_argument);
+
+  // Config validation happens before the m == 0 early-out: bad configs are
+  // never silently accepted just because there is no work.
+  GemmConfig still_inverted;
+  still_inverted.tiles = {32, 16};
+  EXPECT_THROW(gemm(0, 0, 8, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+                    Op::None, 0.0, c.data(), c.ld(), still_inverted),
+               std::invalid_argument);
+}
+
+TEST(GemmValidation, RejectsOverflowingLeadingDimensions) {
+  Matrix a = rla::testing::random_matrix(8, 8, 3);
+  Matrix b = rla::testing::random_matrix(8, 8, 4);
+  Matrix c(8, 8);
+  c.zero();
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 8;
+  EXPECT_THROW(gemm(8, 8, 8, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+                    Op::None, 0.0, c.data(), huge, GemmConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(gemm(8, 8, 8, 1.0, a.data(), huge, Op::None, b.data(), b.ld(),
+                    Op::None, 0.0, c.data(), c.ld(), GemmConfig{}),
+               std::invalid_argument);
 }
 
 }  // namespace

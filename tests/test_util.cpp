@@ -125,6 +125,16 @@ TEST(Env, IntParsing) {
   EXPECT_EQ(env_string("RLA_TEST_ENV_X", "d"), "d");
 }
 
+TEST(Env, OutOfRangeIntFallsBack) {
+  // strtoll saturates to LLONG_MAX/MIN with errno == ERANGE; env_int must
+  // report the fallback instead of the silently clamped value.
+  ::setenv("RLA_TEST_ENV_X", "99999999999999999999", 1);
+  EXPECT_EQ(env_int("RLA_TEST_ENV_X", -1), -1);
+  ::setenv("RLA_TEST_ENV_X", "-99999999999999999999", 1);
+  EXPECT_EQ(env_int("RLA_TEST_ENV_X", 11), 11);
+  ::unsetenv("RLA_TEST_ENV_X");
+}
+
 TEST(Env, PickSize) {
   ::unsetenv("RLA_PAPER_SCALE");
   EXPECT_EQ(pick_size(1024, 256), 256);
