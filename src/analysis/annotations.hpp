@@ -1,0 +1,158 @@
+#pragma once
+
+// Instrumentation entry points of the determinacy-race detector (see
+// race_detect.hpp for the detector itself and DESIGN.md §8 for the theory).
+//
+// Two kinds of hooks live here:
+//
+//  * Memory-access annotations, RLA_RACE_READ / RLA_RACE_WRITE (and their
+//    strided variants). These are threaded through the hot memory paths —
+//    kernels, quadrant additions, the recursion's temporaries, layout
+//    conversion, the zero-tile scan — and compile to NOTHING unless the
+//    build sets RLA_RACE_DETECT=ON (cmake option). A default build therefore
+//    pays zero overhead for the detector's existence.
+//
+//  * Fork-join structure hooks (task begin/end, group sync). These are
+//    always compiled into TaskGroup because their disarmed cost is a single
+//    thread-local load per spawn — far off any per-element path — and
+//    keeping them unconditional lets the SP-bags bookkeeping be exercised by
+//    the plain test suite in every build configuration.
+//
+// Both kinds are routed through a thread-local "active detector" pointer:
+// detection is a property of the attaching thread (SP-bags requires the
+// serial depth-first schedule, so one thread is exactly the right scope).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rla::analysis {
+
+class RaceDetector;
+
+/// One static access site: where an annotated read/write lives in the code.
+/// Instances are function-local statics created by the macros below, so a
+/// Site's address identifies the annotation for the lifetime of the process.
+struct Site {
+  const char* file;
+  int line;
+  const char* label;  ///< enclosing function name
+};
+
+namespace detail {
+
+/// The detector attached to this thread (nullptr = detection off). Managed
+/// by ScopedDetection; everything below is a no-op while it is null.
+extern thread_local RaceDetector* tl_detector;
+
+// Out-of-line slow paths (defined in race_detect.cpp). Call only when
+// tl_detector is non-null.
+void record_access(const Site* site, const void* ptr, std::size_t bytes,
+                   bool write);
+void record_access_strided(const Site* site, const void* ptr,
+                           std::size_t run_bytes, std::size_t stride_bytes,
+                           std::size_t runs, bool write);
+void task_begin(const void* group, std::uint64_t seq);
+void task_end(const void* group);
+void group_sync(const void* group);
+void group_destroyed(const void* group);
+void parallel_schedule();
+void buffer_lifetime(const void* ptr, std::size_t bytes);
+
+}  // namespace detail
+
+/// True while a RaceDetector is attached to the calling thread.
+inline bool detection_active() noexcept { return detail::tl_detector != nullptr; }
+
+// ---- fork-join structure hooks (called by TaskGroup / WorkerPool) ----
+
+/// A task with spawn index `seq` of `group` starts executing (serial
+/// depth-first schedule: called immediately before the task body runs
+/// inline).
+inline void hook_task_begin(const void* group, std::uint64_t seq) {
+  if (detail::tl_detector != nullptr) detail::task_begin(group, seq);
+}
+
+/// The task started by the matching hook_task_begin finished (normally or by
+/// exception).
+inline void hook_task_end(const void* group) {
+  if (detail::tl_detector != nullptr) detail::task_end(group);
+}
+
+/// TaskGroup::wait() completed: every child of `group` is serialized with
+/// the code that follows.
+inline void hook_group_sync(const void* group) {
+  if (detail::tl_detector != nullptr) detail::group_sync(group);
+}
+
+/// The group object is going away; forget any state keyed on its address
+/// (a later group may reuse it).
+inline void hook_group_destroyed(const void* group) {
+  if (detail::tl_detector != nullptr) detail::group_destroyed(group);
+}
+
+/// A spawn took the parallel (deque) path while detection was active. The
+/// SP-bags algorithm is only sound under the serial depth-first schedule, so
+/// this invalidates certification for the attached detector.
+inline void hook_parallel_spawn() {
+  if (detail::tl_detector != nullptr) detail::parallel_schedule();
+}
+
+/// A heap buffer was allocated or freed. The detector clears its shadow
+/// state for the range: without this, malloc recycling would attribute a
+/// dead sibling task's accesses to a fresh buffer and report false races.
+inline void hook_buffer_lifetime(const void* ptr, std::size_t bytes) {
+  if (detail::tl_detector != nullptr) detail::buffer_lifetime(ptr, bytes);
+}
+
+}  // namespace rla::analysis
+
+// ---- memory-access annotations ----
+//
+// RLA_RACE_READ(ptr, bytes) / RLA_RACE_WRITE(ptr, bytes) annotate a
+// contiguous access; the _STRIDED forms annotate `runs` runs of `run_bytes`
+// spaced `stride_bytes` apart (column-major blocks with a leading
+// dimension). Compiled out entirely unless RLA_RACE_DETECT is defined
+// non-zero, so the default build's hot loops are untouched.
+
+#if defined(RLA_RACE_DETECT) && RLA_RACE_DETECT
+
+#define RLA_RACE_DETAIL_CAT2_(a, b) a##b
+#define RLA_RACE_DETAIL_CAT_(a, b) RLA_RACE_DETAIL_CAT2_(a, b)
+
+#define RLA_RACE_DETAIL_ACCESS_(ptr, bytes, is_write)                         \
+  do {                                                                        \
+    if (::rla::analysis::detail::tl_detector != nullptr) {                    \
+      static const ::rla::analysis::Site RLA_RACE_DETAIL_CAT_(                \
+          rla_race_site_, __LINE__){__FILE__, __LINE__, __func__};            \
+      ::rla::analysis::detail::record_access(                                 \
+          &RLA_RACE_DETAIL_CAT_(rla_race_site_, __LINE__), (ptr), (bytes),    \
+          (is_write));                                                        \
+    }                                                                         \
+  } while (0)
+
+#define RLA_RACE_DETAIL_ACCESS_STRIDED_(ptr, run, stride, runs, is_write)     \
+  do {                                                                        \
+    if (::rla::analysis::detail::tl_detector != nullptr) {                    \
+      static const ::rla::analysis::Site RLA_RACE_DETAIL_CAT_(                \
+          rla_race_site_, __LINE__){__FILE__, __LINE__, __func__};            \
+      ::rla::analysis::detail::record_access_strided(                         \
+          &RLA_RACE_DETAIL_CAT_(rla_race_site_, __LINE__), (ptr), (run),      \
+          (stride), (runs), (is_write));                                      \
+    }                                                                         \
+  } while (0)
+
+#define RLA_RACE_READ(ptr, bytes) RLA_RACE_DETAIL_ACCESS_(ptr, bytes, false)
+#define RLA_RACE_WRITE(ptr, bytes) RLA_RACE_DETAIL_ACCESS_(ptr, bytes, true)
+#define RLA_RACE_READ_STRIDED(ptr, run_bytes, stride_bytes, runs) \
+  RLA_RACE_DETAIL_ACCESS_STRIDED_(ptr, run_bytes, stride_bytes, runs, false)
+#define RLA_RACE_WRITE_STRIDED(ptr, run_bytes, stride_bytes, runs) \
+  RLA_RACE_DETAIL_ACCESS_STRIDED_(ptr, run_bytes, stride_bytes, runs, true)
+
+#else  // !RLA_RACE_DETECT
+
+#define RLA_RACE_READ(ptr, bytes) ((void)0)
+#define RLA_RACE_WRITE(ptr, bytes) ((void)0)
+#define RLA_RACE_READ_STRIDED(ptr, run_bytes, stride_bytes, runs) ((void)0)
+#define RLA_RACE_WRITE_STRIDED(ptr, run_bytes, stride_bytes, runs) ((void)0)
+
+#endif  // RLA_RACE_DETECT

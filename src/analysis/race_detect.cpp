@@ -1,0 +1,343 @@
+#include "analysis/race_detect.hpp"
+
+#include <array>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+
+namespace rla::analysis {
+
+namespace detail {
+thread_local RaceDetector* tl_detector = nullptr;
+}  // namespace detail
+
+bool instrumented() noexcept {
+#if defined(RLA_RACE_DETECT) && RLA_RACE_DETECT
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+constexpr std::uint32_t kNoTask = 0xFFFFFFFFu;
+
+/// Shadow cells per page: with the default 8-byte granularity one page
+/// covers 4 KiB of traced memory, matching the allocator's page alignment.
+constexpr std::size_t kPageCells = 512;
+
+constexpr unsigned log2_of(std::size_t pow2) noexcept {
+  unsigned r = 0;
+  while (pow2 > 1) {
+    pow2 >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+struct Cell {
+  std::uint32_t writer = kNoTask;
+  std::uint32_t reader = kNoTask;
+  const Site* writer_site = nullptr;
+  const Site* reader_site = nullptr;
+};
+
+struct Page {
+  std::array<Cell, kPageCells> cells;
+};
+
+}  // namespace
+
+struct RaceDetector::Impl {
+  DetectorOptions opts;
+  unsigned shift;  ///< log2(granularity)
+
+  SpBags bags;
+  struct Task {
+    std::uint32_t parent;
+    std::uint64_t seq;
+  };
+  std::vector<Task> tasks;          ///< indexed by task id (== bag element)
+  std::vector<std::uint32_t> stack; ///< active tasks; back() is current
+  std::unordered_map<const void*, std::uint32_t> group_pbag;
+
+  std::unordered_map<std::uintptr_t, std::unique_ptr<Page>> pages;
+  std::uintptr_t cached_key = ~std::uintptr_t{0};
+  Page* cached_page = nullptr;
+
+  std::vector<RaceReport> reports;
+  /// Dedup key: (prior site, current site, prior kind, current kind).
+  std::set<std::tuple<const Site*, const Site*, bool, bool>> seen_races;
+  std::uint64_t race_count = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  bool schedule_violation = false;
+
+  explicit Impl(DetectorOptions o) : opts(o), shift(log2_of(o.granularity)) {
+    tasks.push_back(Task{kNoTask, 0});
+    bags.make_set();  // task 0 = root "R", its own S-bag
+    stack.push_back(0);
+  }
+
+  Cell& cell(std::uintptr_t index) {
+    const std::uintptr_t key = index / kPageCells;
+    if (key != cached_key) {
+      auto& slot = pages[key];
+      if (slot == nullptr) slot = std::make_unique<Page>();
+      cached_key = key;
+      cached_page = slot.get();
+    }
+    return cached_page->cells[index % kPageCells];
+  }
+
+  std::string path(std::uint32_t id) const {
+    std::vector<std::uint64_t> seqs;
+    for (std::uint32_t t = id; tasks[t].parent != kNoTask; t = tasks[t].parent) {
+      seqs.push_back(tasks[t].seq);
+    }
+    std::string out = "R";
+    for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {
+      out += '.';
+      out += std::to_string(*it);
+    }
+    return out;
+  }
+
+  void report(std::uintptr_t index, std::uint32_t prior_task,
+              const Site* prior_site, bool prior_write, const Site* cur_site,
+              bool cur_write) {
+    const auto key = std::make_tuple(prior_site, cur_site, prior_write, cur_write);
+    if (!seen_races.insert(key).second) return;  // same race, another cell
+    ++race_count;
+    if (reports.size() >= opts.max_reports) return;
+    RaceReport r;
+    r.prior.addr = index << shift;
+    r.prior.write = prior_write;
+    r.prior.site = prior_site;
+    r.prior.task = prior_task;
+    r.prior.task_path = path(prior_task);
+    r.current.addr = index << shift;
+    r.current.write = cur_write;
+    r.current.site = cur_site;
+    r.current.task = stack.back();
+    r.current.task_path = path(stack.back());
+    reports.push_back(std::move(r));
+  }
+
+  /// The SP-bags access checks. A write races with any logically parallel
+  /// prior reader or writer; a read races with a logically parallel prior
+  /// writer. "Logically parallel" == the prior task's bag is a P-bag.
+  void touch(const Site* site, std::uintptr_t index, bool write) {
+    Cell& c = cell(index);
+    const std::uint32_t cur = stack.back();
+    if (write) {
+      if (c.reader != kNoTask && bags.is_p_bag(c.reader)) {
+        report(index, c.reader, c.reader_site, false, site, true);
+      }
+      if (c.writer != kNoTask && bags.is_p_bag(c.writer)) {
+        report(index, c.writer, c.writer_site, true, site, true);
+      }
+      c.writer = cur;
+      c.writer_site = site;
+    } else {
+      if (c.writer != kNoTask && bags.is_p_bag(c.writer)) {
+        report(index, c.writer, c.writer_site, true, site, false);
+      }
+      // Keep the *serial* reader: a reader in an S-bag can be overwritten by
+      // the current task, but a parallel reader must stay visible so a later
+      // write still races with it.
+      if (c.reader == kNoTask || !bags.is_p_bag(c.reader)) {
+        c.reader = cur;
+        c.reader_site = site;
+      }
+    }
+  }
+
+  void record(const Site* site, const void* ptr, std::size_t bytes, bool write) {
+    if (bytes == 0) return;
+    const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+    const std::uintptr_t first = addr >> shift;
+    const std::uintptr_t last = (addr + bytes - 1) >> shift;
+    for (std::uintptr_t i = first; i <= last; ++i) touch(site, i, write);
+    if (write) {
+      ++writes;
+    } else {
+      ++reads;
+    }
+  }
+};
+
+RaceDetector::RaceDetector(DetectorOptions opts) {
+  if (opts.granularity == 0 ||
+      (opts.granularity & (opts.granularity - 1)) != 0) {
+    opts.granularity = sizeof(double);
+  }
+  impl_ = std::make_unique<Impl>(opts);
+}
+
+RaceDetector::~RaceDetector() = default;
+
+void RaceDetector::task_begin(const void* group, std::uint64_t seq) {
+  (void)group;
+  const std::uint32_t id = impl_->bags.make_set();  // singleton S-bag
+  impl_->tasks.push_back(Impl::Task{impl_->stack.back(), seq});
+  impl_->stack.push_back(id);
+}
+
+void RaceDetector::task_end(const void* group) {
+  if (impl_->stack.size() <= 1) return;  // unmatched end; ignore defensively
+  const std::uint32_t id = impl_->stack.back();
+  impl_->stack.pop_back();
+  // The completed child is now logically parallel with everything its
+  // spawner does until the group's wait(): move its bag into the group's
+  // P-bag.
+  auto [it, inserted] = impl_->group_pbag.try_emplace(group, id);
+  if (inserted) {
+    impl_->bags.set_p(id, true);
+  } else {
+    it->second = impl_->bags.merge(it->second, id, /*tag_p=*/true);
+  }
+}
+
+void RaceDetector::group_sync(const void* group) {
+  const auto it = impl_->group_pbag.find(group);
+  if (it == impl_->group_pbag.end()) return;
+  // wait() serializes the group's children with the waiting task: the P-bag
+  // drains into the waiter's S-bag.
+  impl_->bags.merge(impl_->stack.back(), it->second, /*tag_p=*/false);
+  impl_->group_pbag.erase(it);
+}
+
+void RaceDetector::group_destroyed(const void* group) {
+  impl_->group_pbag.erase(group);
+}
+
+void RaceDetector::note_parallel_schedule() noexcept {
+  impl_->schedule_violation = true;
+}
+
+void RaceDetector::clear_range(const void* ptr, std::size_t bytes) {
+  if (bytes == 0 || impl_->pages.empty()) return;
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  const std::uintptr_t first = addr >> impl_->shift;
+  const std::uintptr_t last = (addr + bytes - 1) >> impl_->shift;
+  for (std::uintptr_t i = first; i <= last;) {
+    const std::uintptr_t key = i / kPageCells;
+    const auto it = impl_->pages.find(key);
+    const std::uintptr_t page_end = (key + 1) * kPageCells;
+    if (it == impl_->pages.end()) {
+      i = page_end;  // nothing traced in this page
+      continue;
+    }
+    for (; i <= last && i < page_end; ++i) {
+      it->second->cells[i % kPageCells] = Cell{};
+    }
+  }
+}
+
+void RaceDetector::record(const Site* site, const void* ptr, std::size_t bytes,
+                          bool write) {
+  impl_->record(site, ptr, bytes, write);
+}
+
+void RaceDetector::record_strided(const Site* site, const void* ptr,
+                                  std::size_t run_bytes, std::size_t stride_bytes,
+                                  std::size_t runs, bool write) {
+  const auto* base = static_cast<const char*>(ptr);
+  for (std::size_t r = 0; r < runs; ++r) {
+    impl_->record(site, base + r * stride_bytes, run_bytes, write);
+  }
+}
+
+std::uint64_t RaceDetector::race_count() const noexcept {
+  return impl_->race_count;
+}
+
+const std::vector<RaceReport>& RaceDetector::races() const noexcept {
+  return impl_->reports;
+}
+
+bool RaceDetector::schedule_violation() const noexcept {
+  return impl_->schedule_violation;
+}
+
+bool RaceDetector::certified() const noexcept {
+  return instrumented() && !impl_->schedule_violation &&
+         impl_->race_count == 0 && impl_->reads + impl_->writes > 0;
+}
+
+std::uint64_t RaceDetector::reads() const noexcept { return impl_->reads; }
+
+std::uint64_t RaceDetector::writes() const noexcept { return impl_->writes; }
+
+std::uint64_t RaceDetector::cells_tracked() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& [key, page] : impl_->pages) {
+    (void)key;
+    for (const Cell& c : page->cells) {
+      if (c.writer != kNoTask || c.reader != kNoTask) ++n;
+    }
+  }
+  return n;
+}
+
+std::uint32_t RaceDetector::task_count() const noexcept {
+  return static_cast<std::uint32_t>(impl_->tasks.size());
+}
+
+std::uint32_t RaceDetector::current_task() const noexcept {
+  return impl_->stack.back();
+}
+
+std::string RaceDetector::task_path(std::uint32_t id) const {
+  return impl_->path(id);
+}
+
+std::string RaceReport::to_string() const {
+  std::ostringstream out;
+  out << "determinacy race at 0x" << std::hex << current.addr << std::dec << ": "
+      << (prior.write ? "write" : "read") << " by task " << prior.task_path
+      << " at " << (prior.site != nullptr ? prior.site->file : "?") << ":"
+      << (prior.site != nullptr ? prior.site->line : 0) << " ("
+      << (prior.site != nullptr ? prior.site->label : "?") << ") is parallel with "
+      << (current.write ? "write" : "read") << " by task " << current.task_path
+      << " at " << (current.site != nullptr ? current.site->file : "?") << ":"
+      << (current.site != nullptr ? current.site->line : 0) << " ("
+      << (current.site != nullptr ? current.site->label : "?") << ")";
+  return out.str();
+}
+
+namespace detail {
+
+void record_access(const Site* site, const void* ptr, std::size_t bytes,
+                   bool write) {
+  tl_detector->record(site, ptr, bytes, write);
+}
+
+void record_access_strided(const Site* site, const void* ptr,
+                           std::size_t run_bytes, std::size_t stride_bytes,
+                           std::size_t runs, bool write) {
+  tl_detector->record_strided(site, ptr, run_bytes, stride_bytes, runs, write);
+}
+
+void task_begin(const void* group, std::uint64_t seq) {
+  tl_detector->task_begin(group, seq);
+}
+
+void task_end(const void* group) { tl_detector->task_end(group); }
+
+void group_sync(const void* group) { tl_detector->group_sync(group); }
+
+void group_destroyed(const void* group) { tl_detector->group_destroyed(group); }
+
+void parallel_schedule() { tl_detector->note_parallel_schedule(); }
+
+void buffer_lifetime(const void* ptr, std::size_t bytes) {
+  tl_detector->clear_range(ptr, bytes);
+}
+
+}  // namespace detail
+
+}  // namespace rla::analysis

@@ -1,0 +1,166 @@
+#pragma once
+
+// Determinacy-race detector for the TaskGroup fork-join runtime, in the
+// style of SP-bags (Feng & Leiserson, SPAA 1997) — the algorithm behind
+// Cilk's Nondeterminator, which is the natural correctness tool for this
+// reproduction's Cilk-style recursions.
+//
+// A *determinacy race* exists when two logically parallel tasks access the
+// same location and at least one writes: the program's result then depends
+// on the schedule. The detector runs the program once under the serial
+// depth-first schedule (which our 0-thread WorkerPool executes natively),
+// maintains the SP-bags series/parallel classification of every completed
+// task relative to the currently running one, and checks each annotated
+// memory access against a shadow table of last-reader/last-writer
+// provenance. If that single run reports no race, then — because the SP
+// relation is schedule-independent — NO schedule of the same DAG has a
+// race: this is a certification, not a test.
+//
+// Usage:
+//
+//   rla::analysis::RaceDetector det;          // standalone checker API
+//   {
+//     rla::analysis::ScopedDetection on(det); // attach to this thread
+//     ... run fork-join code on a serial WorkerPool ...
+//   }
+//   det.races();                              // deduplicated reports
+//
+// or, for a whole gemm call, set GemmConfig::detect_races = true and read
+// the result from GemmProfile (races / race_reports / race_certified).
+//
+// What "race-free" means here: every *annotated* access (see
+// annotations.hpp; the hot memory paths of the recursion, quadrant adds,
+// layout conversion and the zero-tile scan are annotated) of every task
+// spawned on the attached thread is involved in no determinacy race. The
+// annotations only exist when the build sets RLA_RACE_DETECT=ON;
+// certified() reports false in uninstrumented builds, where the detector
+// can still be driven through this API for its own bookkeeping tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/annotations.hpp"
+#include "analysis/sp_bags.hpp"
+
+namespace rla::analysis {
+
+/// True when the library was built with RLA_RACE_DETECT=ON, i.e. the
+/// RLA_RACE_READ/WRITE annotations in the hot paths are live.
+bool instrumented() noexcept;
+
+struct DetectorOptions {
+  /// Bytes per shadow cell (power of two). The default of one double gives
+  /// exact element provenance; coarser settings trade false sharing of
+  /// cells (possible false positives, never false negatives) for a smaller
+  /// table.
+  std::size_t granularity = sizeof(double);
+
+  /// Full reports kept (distinct races are still *counted* past the cap).
+  std::size_t max_reports = 64;
+};
+
+/// One side of a race: which annotated site touched which address from
+/// which task.
+struct RaceAccess {
+  std::uintptr_t addr = 0;       ///< first conflicting byte (cell-aligned)
+  bool write = false;
+  const Site* site = nullptr;    ///< static annotation site (file/line/label)
+  std::uint32_t task = 0;        ///< task id within this detector
+  std::string task_path;         ///< spawn path, e.g. "R.2.0.5"
+};
+
+/// A detected determinacy race: the recorded prior access and the current
+/// one are logically parallel and touch the same shadow cell.
+struct RaceReport {
+  RaceAccess prior;
+  RaceAccess current;
+  std::string to_string() const;
+};
+
+class RaceDetector {
+ public:
+  explicit RaceDetector(DetectorOptions opts = {});
+  ~RaceDetector();
+
+  RaceDetector(const RaceDetector&) = delete;
+  RaceDetector& operator=(const RaceDetector&) = delete;
+
+  // ---- fork-join structure (normally driven by the TaskGroup hooks; public
+  // so tests and custom harnesses can replay a DAG by hand) ----
+
+  /// A task with spawn index `seq` of `group` begins (depth-first: its body
+  /// runs to completion before the spawner continues).
+  void task_begin(const void* group, std::uint64_t seq);
+  /// ... and ends, moving its S-bag into the group's P-bag.
+  void task_end(const void* group);
+  /// wait() on `group`: its P-bag drains into the waiting task's S-bag.
+  void group_sync(const void* group);
+  /// The group's storage is being reused/destroyed; drop state keyed on it.
+  void group_destroyed(const void* group);
+  /// A spawn bypassed the serial schedule; certification is void.
+  void note_parallel_schedule() noexcept;
+  /// A buffer was allocated or freed: clear shadow provenance in the range
+  /// so recycled memory is not blamed for its previous owner's accesses.
+  void clear_range(const void* ptr, std::size_t bytes);
+
+  // ---- memory accesses (normally via the RLA_RACE_* macros) ----
+
+  void record(const Site* site, const void* ptr, std::size_t bytes, bool write);
+  void record_strided(const Site* site, const void* ptr, std::size_t run_bytes,
+                      std::size_t stride_bytes, std::size_t runs, bool write);
+
+  // ---- results ----
+
+  /// Distinct races found (deduplicated by the pair of annotation sites and
+  /// access kinds; each repeated cell hit of a known race is not recounted).
+  std::uint64_t race_count() const noexcept;
+
+  /// Kept reports, at most DetectorOptions::max_reports.
+  const std::vector<RaceReport>& races() const noexcept;
+
+  bool schedule_violation() const noexcept;
+
+  /// The strong claim: the run was instrumented, stayed on the serial
+  /// depth-first schedule, observed at least one access, and found no race
+  /// — so every schedule of the executed DAG is determinate.
+  bool certified() const noexcept;
+
+  std::uint64_t reads() const noexcept;
+  std::uint64_t writes() const noexcept;
+  /// Shadow cells currently holding provenance (certification breadth).
+  std::uint64_t cells_tracked() const noexcept;
+  /// Tasks created (root included).
+  std::uint32_t task_count() const noexcept;
+  /// Id of the task currently executing on the attached thread.
+  std::uint32_t current_task() const noexcept;
+  /// Spawn path of a task: "R" for the root, then ".seq" per generation.
+  std::string task_path(std::uint32_t id) const;
+
+ private:
+  friend class ScopedDetection;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Attaches a detector to the calling thread for the enclosing scope (the
+/// thread that runs the serial schedule). Nesting restores the previous
+/// detector on destruction.
+class ScopedDetection {
+ public:
+  explicit ScopedDetection(RaceDetector& detector) noexcept
+      : previous_(detail::tl_detector) {
+    detail::tl_detector = &detector;
+  }
+  ~ScopedDetection() { detail::tl_detector = previous_; }
+
+  ScopedDetection(const ScopedDetection&) = delete;
+  ScopedDetection& operator=(const ScopedDetection&) = delete;
+
+ private:
+  RaceDetector* previous_;
+};
+
+}  // namespace rla::analysis

@@ -1,0 +1,42 @@
+#include "analysis/sp_bags.hpp"
+
+namespace rla::analysis {
+
+std::uint32_t SpBags::make_set() {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{id, 0, false});
+  return id;
+}
+
+std::uint32_t SpBags::find(std::uint32_t x) noexcept {
+  while (nodes_[x].parent != x) {
+    nodes_[x].parent = nodes_[nodes_[x].parent].parent;  // path halving
+    x = nodes_[x].parent;
+  }
+  return x;
+}
+
+std::uint32_t SpBags::merge(std::uint32_t into, std::uint32_t from,
+                            bool tag_p) noexcept {
+  std::uint32_t a = find(into);
+  std::uint32_t b = find(from);
+  if (a == b) {
+    nodes_[a].is_p = tag_p;
+    return a;
+  }
+  if (nodes_[a].rank < nodes_[b].rank) {
+    const std::uint32_t t = a;
+    a = b;
+    b = t;
+  }
+  nodes_[b].parent = a;
+  if (nodes_[a].rank == nodes_[b].rank) ++nodes_[a].rank;
+  nodes_[a].is_p = tag_p;
+  return a;
+}
+
+void SpBags::set_p(std::uint32_t x, bool tag_p) noexcept {
+  nodes_[find(x)].is_p = tag_p;
+}
+
+}  // namespace rla::analysis

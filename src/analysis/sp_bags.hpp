@@ -1,0 +1,57 @@
+#pragma once
+
+// SP-bags disjoint sets (Feng & Leiserson, "Efficient Detection of
+// Determinacy Races in Cilk Programs", SPAA 1997).
+//
+// Every task ("procedure" in the paper) is an element of exactly one bag.
+// A bag is either an S-bag — its members are serialized *before* the
+// currently executing task — or a P-bag — its members are logically
+// *parallel* with the currently executing task. The algorithm maintains the
+// invariant, under a serial depth-first execution, that a previous accessor
+// races with the current task iff FIND-SET(previous) is a P-bag.
+//
+// The adaptation to TaskGroup fork-join (vs. Cilk's procedure-wide sync) is
+// that P-bags hang off TaskGroup instances rather than off the parent task:
+// `wait()` on one group serializes only that group's children. The
+// RaceDetector owns that mapping; this class is only the tagged union-find.
+
+#include <cstdint>
+#include <vector>
+
+namespace rla::analysis {
+
+/// Union-find over task ids with an S/P tag per set (valid at the root).
+/// Path halving + union by rank: near-constant amortized finds.
+class SpBags {
+ public:
+  /// Create a new task element in its own singleton S-bag; returns its id.
+  /// Ids are dense, starting at 0.
+  std::uint32_t make_set();
+
+  /// Representative of x's bag.
+  std::uint32_t find(std::uint32_t x) noexcept;
+
+  /// Merge the bag containing `from` into the bag containing `into`; the
+  /// merged bag is tagged P iff `tag_p`. Returns the merged root.
+  std::uint32_t merge(std::uint32_t into, std::uint32_t from, bool tag_p) noexcept;
+
+  /// Re-tag the bag containing x (S-bag -> P-bag when a child returns to a
+  /// group with no P-bag yet).
+  void set_p(std::uint32_t x, bool tag_p) noexcept;
+
+  /// True iff x's bag is a P-bag, i.e. x is logically parallel with the
+  /// currently executing task.
+  bool is_p_bag(std::uint32_t x) noexcept { return nodes_[find(x)].is_p; }
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::uint32_t parent;
+    std::uint8_t rank;
+    bool is_p;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rla::analysis

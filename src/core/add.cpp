@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "analysis/annotations.hpp"
 #include "core/kernels.hpp"
 #include "layout/mapping.hpp"
 
@@ -44,6 +45,11 @@ void block_set_add(const TiledBlock& dst, const TiledBlock& a, double sb,
   const TileMap ma = make_tile_map(dst, a, force_generic);
   const TileMap mb = make_tile_map(dst, b, force_generic);
   const std::uint64_t tsz = dst.geom->tile_elems();
+  // Tile maps only permute tiles within each operand's contiguous span, so
+  // one span annotation per operand is exact.
+  RLA_RACE_WRITE(dst.begin(), dst.elems() * sizeof(double));
+  RLA_RACE_READ(a.begin(), a.elems() * sizeof(double));
+  RLA_RACE_READ(b.begin(), b.elems() * sizeof(double));
   if (ma.identity() && mb.identity()) {
     vset_add(dst.begin(), a.begin(), sb, b.begin(), dst.elems());
     return;
@@ -60,6 +66,8 @@ void block_acc(const TiledBlock& dst, double s, const TiledBlock& src,
                bool force_generic) {
   const TileMap m = make_tile_map(dst, src, force_generic);
   const std::uint64_t tsz = dst.geom->tile_elems();
+  RLA_RACE_WRITE(dst.begin(), dst.elems() * sizeof(double));
+  RLA_RACE_READ(src.begin(), src.elems() * sizeof(double));
   if (m.identity()) {
     vacc(dst.begin(), s, src.begin(), dst.elems());
     return;
@@ -83,6 +91,9 @@ void block_acc2(const TiledBlock& dst, double s1, const TiledBlock& p1, double s
   const TileMap m1 = make_tile_map(dst, p1, force_generic);
   const TileMap m2 = make_tile_map(dst, p2, force_generic);
   const std::uint64_t tsz = dst.geom->tile_elems();
+  RLA_RACE_WRITE(dst.begin(), dst.elems() * sizeof(double));
+  RLA_RACE_READ(p1.begin(), p1.elems() * sizeof(double));
+  RLA_RACE_READ(p2.begin(), p2.elems() * sizeof(double));
   if (m1.identity() && m2.identity()) {
     vacc2(dst.begin(), s1, p1.begin(), s2, p2.begin(), dst.elems());
     return;
@@ -101,6 +112,10 @@ void block_acc3(const TiledBlock& dst, double s1, const TiledBlock& p1, double s
   const TileMap m2 = make_tile_map(dst, p2, force_generic);
   const TileMap m3 = make_tile_map(dst, p3, force_generic);
   const std::uint64_t tsz = dst.geom->tile_elems();
+  RLA_RACE_WRITE(dst.begin(), dst.elems() * sizeof(double));
+  RLA_RACE_READ(p1.begin(), p1.elems() * sizeof(double));
+  RLA_RACE_READ(p2.begin(), p2.elems() * sizeof(double));
+  RLA_RACE_READ(p3.begin(), p3.elems() * sizeof(double));
   if (m1.identity() && m2.identity() && m3.identity()) {
     vacc3(dst.begin(), s1, p1.begin(), s2, p2.begin(), s3, p3.begin(), dst.elems());
     return;
@@ -120,6 +135,11 @@ void block_acc4(const TiledBlock& dst, double s1, const TiledBlock& p1, double s
   const TileMap m3 = make_tile_map(dst, p3, force_generic);
   const TileMap m4 = make_tile_map(dst, p4, force_generic);
   const std::uint64_t tsz = dst.geom->tile_elems();
+  RLA_RACE_WRITE(dst.begin(), dst.elems() * sizeof(double));
+  RLA_RACE_READ(p1.begin(), p1.elems() * sizeof(double));
+  RLA_RACE_READ(p2.begin(), p2.elems() * sizeof(double));
+  RLA_RACE_READ(p3.begin(), p3.elems() * sizeof(double));
+  RLA_RACE_READ(p4.begin(), p4.elems() * sizeof(double));
   if (m1.identity() && m2.identity() && m3.identity() && m4.identity()) {
     vacc4(dst.begin(), s1, p1.begin(), s2, p2.begin(), s3, p3.begin(), s4,
           p4.begin(), dst.elems());
@@ -135,6 +155,8 @@ void block_acc4(const TiledBlock& dst, double s1, const TiledBlock& p1, double s
 void block_copy(const TiledBlock& dst, const TiledBlock& src, bool force_generic) {
   const TileMap m = make_tile_map(dst, src, force_generic);
   const std::uint64_t tsz = dst.geom->tile_elems();
+  RLA_RACE_WRITE(dst.begin(), dst.elems() * sizeof(double));
+  RLA_RACE_READ(src.begin(), src.elems() * sizeof(double));
   if (m.identity()) {
     std::memcpy(dst.begin(), src.begin(), dst.elems() * sizeof(double));
     return;
@@ -153,6 +175,7 @@ void block_copy(const TiledBlock& dst, const TiledBlock& src, bool force_generic
 }
 
 void block_zero(const TiledBlock& dst) noexcept {
+  RLA_RACE_WRITE(dst.begin(), dst.elems() * sizeof(double));
   std::memset(dst.begin(), 0, dst.elems() * sizeof(double));
 }
 

@@ -3,6 +3,7 @@
 #include <array>
 #include <cassert>
 
+#include "analysis/annotations.hpp"
 #include "core/kernels.hpp"
 
 namespace rla {
@@ -29,6 +30,12 @@ void leaf(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
 // counterparts of the tiled block_accN routines).
 void sacc2(MatrixView d, double s1, ConstMatrixView p1, double s2,
            ConstMatrixView p2) {
+  RLA_RACE_WRITE_STRIDED(d.data, d.rows * sizeof(double), d.ld * sizeof(double),
+                         d.cols);
+  RLA_RACE_READ_STRIDED(p1.data, p1.rows * sizeof(double),
+                        p1.ld * sizeof(double), p1.cols);
+  RLA_RACE_READ_STRIDED(p2.data, p2.rows * sizeof(double),
+                        p2.ld * sizeof(double), p2.cols);
   for (std::uint32_t j = 0; j < d.cols; ++j) {
     vacc2(&d(0, j), s1, &p1(0, j), s2, &p2(0, j), d.rows);
   }
@@ -36,6 +43,14 @@ void sacc2(MatrixView d, double s1, ConstMatrixView p1, double s2,
 
 void sacc3(MatrixView d, double s1, ConstMatrixView p1, double s2,
            ConstMatrixView p2, double s3, ConstMatrixView p3) {
+  RLA_RACE_WRITE_STRIDED(d.data, d.rows * sizeof(double), d.ld * sizeof(double),
+                         d.cols);
+  RLA_RACE_READ_STRIDED(p1.data, p1.rows * sizeof(double),
+                        p1.ld * sizeof(double), p1.cols);
+  RLA_RACE_READ_STRIDED(p2.data, p2.rows * sizeof(double),
+                        p2.ld * sizeof(double), p2.cols);
+  RLA_RACE_READ_STRIDED(p3.data, p3.rows * sizeof(double),
+                        p3.ld * sizeof(double), p3.cols);
   for (std::uint32_t j = 0; j < d.cols; ++j) {
     vacc3(&d(0, j), s1, &p1(0, j), s2, &p2(0, j), s3, &p3(0, j), d.rows);
   }
@@ -44,6 +59,16 @@ void sacc3(MatrixView d, double s1, ConstMatrixView p1, double s2,
 void sacc4(MatrixView d, double s1, ConstMatrixView p1, double s2,
            ConstMatrixView p2, double s3, ConstMatrixView p3, double s4,
            ConstMatrixView p4) {
+  RLA_RACE_WRITE_STRIDED(d.data, d.rows * sizeof(double), d.ld * sizeof(double),
+                         d.cols);
+  RLA_RACE_READ_STRIDED(p1.data, p1.rows * sizeof(double),
+                        p1.ld * sizeof(double), p1.cols);
+  RLA_RACE_READ_STRIDED(p2.data, p2.rows * sizeof(double),
+                        p2.ld * sizeof(double), p2.cols);
+  RLA_RACE_READ_STRIDED(p3.data, p3.rows * sizeof(double),
+                        p3.ld * sizeof(double), p3.cols);
+  RLA_RACE_READ_STRIDED(p4.data, p4.rows * sizeof(double),
+                        p4.ld * sizeof(double), p4.cols);
   for (std::uint32_t j = 0; j < d.cols; ++j) {
     vacc4(&d(0, j), s1, &p1(0, j), s2, &p2(0, j), s3, &p3(0, j), s4, &p4(0, j),
           d.rows);
@@ -98,7 +123,8 @@ void canon_standard(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
   const auto [ne, np] = bounds(n);
   const auto [ke, kp] = bounds(k);
   const bool par =
-      !ctx.pool->serial() && flops(m, n, k) >= ctx.spawn_flops;
+      analysis::detection_active() ||
+      (!ctx.pool->serial() && flops(m, n, k) >= ctx.spawn_flops);
 
   TaskGroup group(*ctx.pool);
   for (std::size_t mi = 0; mi < mp; ++mi) {
@@ -151,7 +177,8 @@ void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
     return;
   }
   const std::uint32_t h = s / 2;
-  const bool par = !ctx.pool->serial() && flops(s, s, s) >= ctx.spawn_flops;
+  const bool par = analysis::detection_active() ||
+                   (!ctx.pool->serial() && flops(s, s, s) >= ctx.spawn_flops);
 
   ConstMatrixView a11 = sub(a, 0, 0, h, h), a12 = sub(a, 0, h, h, h);
   ConstMatrixView a21 = sub(a, h, 0, h, h), a22 = sub(a, h, h, h, h);

@@ -116,6 +116,16 @@ struct GemmConfig {
   /// of this call, replacing any process-wide plan; disarmed on return.
   /// Empty = leave the RLA_FAULT-configured plan (if any) in effect.
   std::string fault_spec;
+
+  /// Run the call under the SP-bags determinacy-race detector (see
+  /// src/analysis/). Forces the serial depth-first schedule — any
+  /// `threads`/`pool` setting is overridden and the override recorded in the
+  /// degradation trail — because one race-free serial run certifies every
+  /// parallel schedule of the same task DAG. Results land in
+  /// GemmProfile::races / race_reports / race_certified. Accesses are only
+  /// visible to the detector in builds configured with -DRLA_RACE_DETECT=ON;
+  /// elsewhere the run completes but race_certified stays false.
+  bool detect_races = false;
 };
 
 }  // namespace rla

@@ -8,6 +8,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "analysis/race_detect.hpp"
 #include "core/canonical.hpp"
 #include "core/kernels.hpp"
 #include "core/recursion.hpp"
@@ -466,7 +467,16 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
 
   std::optional<WorkerPool> owned;
   WorkerPool* pool = cfg.pool;
-  if (pool == nullptr) {
+  if (cfg.detect_races) {
+    // SP-bags certification requires the serial depth-first schedule; one
+    // race-free serial run covers every schedule of the same task DAG, so
+    // overriding the configured parallelism loses nothing but wall-clock.
+    if (pool != nullptr || cfg.threads > 1) {
+      sink.degrade("race-detect:serial-schedule");
+    }
+    owned.emplace(0u);
+    pool = &*owned;
+  } else if (pool == nullptr) {
     const unsigned want = cfg.threads <= 1 ? 0u : cfg.threads;
     owned.emplace(want);
     pool = &*owned;
@@ -474,6 +484,13 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
       sink.degrade("pool:requested=" + std::to_string(want) +
                    ",got=" + std::to_string(pool->thread_count()));
     }
+  }
+
+  std::optional<analysis::RaceDetector> detector;
+  std::optional<analysis::ScopedDetection> detect_scope;
+  if (cfg.detect_races) {
+    detector.emplace();
+    detect_scope.emplace(*detector);
   }
 
   const Operand oa{a, lda, op_a == Op::Transpose};
@@ -513,6 +530,16 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
   };
 
   const auto finish = [&] {
+    detect_scope.reset();  // detach before reading results
+    if (detector && profile != nullptr) {
+      profile->races = static_cast<int>(detector->race_count());
+      profile->race_certified = detector->certified();
+      profile->race_cells = detector->cells_tracked();
+      profile->race_reports.clear();
+      for (const auto& r : detector->races()) {
+        profile->race_reports.push_back(r.to_string());
+      }
+    }
     sink.flush_trail();
     if (profile != nullptr) profile->total = total.seconds();
   };

@@ -48,6 +48,12 @@ struct GemmProfile {
   double verify_max_residual = 0.0; ///< worst scaled residual observed
   bool verify_failed = false;       ///< primary run failed the check
   bool verify_rerun = false;        ///< standard-algorithm rerun happened
+
+  // Race-detection results (GemmConfig::detect_races; see src/analysis/).
+  int races = 0;                    ///< distinct determinacy races found
+  bool race_certified = false;      ///< instrumented run, serial schedule, 0 races
+  std::uint64_t race_cells = 0;     ///< shadow cells carrying provenance
+  std::vector<std::string> race_reports;  ///< formatted, capped at 64
 };
 
 /// C (m×n, ldc) ← alpha · op(A) · op(B) + beta · C.

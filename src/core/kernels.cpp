@@ -1,5 +1,7 @@
 #include "core/kernels.hpp"
 
+#include "analysis/annotations.hpp"
+
 namespace rla {
 
 namespace {
@@ -109,6 +111,12 @@ void leaf_mm(KernelKind kind, std::uint32_t m, std::uint32_t n, std::uint32_t k,
              double alpha, const double* a, std::size_t lda, const double* b,
              std::size_t ldb, double* c, std::size_t ldc) noexcept {
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  // One annotation per operand covers every kernel variant: a is m×k and b
+  // is k×n (column-major, leading dimensions lda/ldb); c is accumulated
+  // into, so the write annotation subsumes its read.
+  RLA_RACE_READ_STRIDED(a, m * sizeof(double), lda * sizeof(double), k);
+  RLA_RACE_READ_STRIDED(b, k * sizeof(double), ldb * sizeof(double), n);
+  RLA_RACE_WRITE_STRIDED(c, m * sizeof(double), ldc * sizeof(double), n);
   switch (kind) {
     case KernelKind::Naive:
       mm_naive(m, n, k, alpha, a, lda, b, ldb, c, ldc);
@@ -152,6 +160,9 @@ void vacc4(double* dst, double s1, const double* a, double s2, const double* b,
 void strided_set_add(double* dst, std::size_t ldd, const double* a, std::size_t lda,
                      double sb, const double* b, std::size_t ldb, std::uint32_t m,
                      std::uint32_t n) noexcept {
+  RLA_RACE_WRITE_STRIDED(dst, m * sizeof(double), ldd * sizeof(double), n);
+  RLA_RACE_READ_STRIDED(a, m * sizeof(double), lda * sizeof(double), n);
+  RLA_RACE_READ_STRIDED(b, m * sizeof(double), ldb * sizeof(double), n);
   for (std::uint32_t j = 0; j < n; ++j) {
     vset_add(dst + static_cast<std::size_t>(j) * ldd,
              a + static_cast<std::size_t>(j) * lda, sb,
@@ -161,6 +172,8 @@ void strided_set_add(double* dst, std::size_t ldd, const double* a, std::size_t 
 
 void strided_acc(double* dst, std::size_t ldd, double s, const double* src,
                  std::size_t lds, std::uint32_t m, std::uint32_t n) noexcept {
+  RLA_RACE_WRITE_STRIDED(dst, m * sizeof(double), ldd * sizeof(double), n);
+  RLA_RACE_READ_STRIDED(src, m * sizeof(double), lds * sizeof(double), n);
   for (std::uint32_t j = 0; j < n; ++j) {
     vacc(dst + static_cast<std::size_t>(j) * ldd, s,
          src + static_cast<std::size_t>(j) * lds, m);
@@ -169,6 +182,7 @@ void strided_acc(double* dst, std::size_t ldd, double s, const double* src,
 
 void strided_scale(double* dst, std::size_t ldd, double s, std::uint32_t m,
                    std::uint32_t n) noexcept {
+  RLA_RACE_WRITE_STRIDED(dst, m * sizeof(double), ldd * sizeof(double), n);
   for (std::uint32_t j = 0; j < n; ++j) {
     double* col = dst + static_cast<std::size_t>(j) * ldd;
     if (s == 0.0) {
@@ -181,6 +195,8 @@ void strided_scale(double* dst, std::size_t ldd, double s, std::uint32_t m,
 
 void strided_copy(double* dst, std::size_t ldd, const double* src, std::size_t lds,
                   std::uint32_t m, std::uint32_t n) noexcept {
+  RLA_RACE_WRITE_STRIDED(dst, m * sizeof(double), ldd * sizeof(double), n);
+  RLA_RACE_READ_STRIDED(src, m * sizeof(double), lds * sizeof(double), n);
   for (std::uint32_t j = 0; j < n; ++j) {
     const double* in = src + static_cast<std::size_t>(j) * lds;
     double* out = dst + static_cast<std::size_t>(j) * ldd;
@@ -191,6 +207,8 @@ void strided_copy(double* dst, std::size_t ldd, const double* src, std::size_t l
 void strided_transpose(double* dst, std::size_t ldd, const double* src,
                        std::size_t lds, std::uint32_t m, std::uint32_t n) noexcept {
   // dst is m×n, src is n×m; blocked to keep both sides cache-friendly.
+  RLA_RACE_WRITE_STRIDED(dst, m * sizeof(double), ldd * sizeof(double), n);
+  RLA_RACE_READ_STRIDED(src, n * sizeof(double), lds * sizeof(double), m);
   constexpr std::uint32_t kBlock = 32;
   for (std::uint32_t jj = 0; jj < n; jj += kBlock) {
     const std::uint32_t jmax = jj + kBlock < n ? jj + kBlock : n;

@@ -1,5 +1,6 @@
 #include "core/recursion.hpp"
 
+#include "analysis/annotations.hpp"
 #include "core/kernels.hpp"
 #include "core/zero_tree.hpp"
 #include "robust/fault.hpp"
@@ -41,6 +42,10 @@ bool node_cancelled(const MulContext& ctx) {
 }
 
 bool spawn_here(const MulContext& ctx, int level) {
+  // Race detection certifies the PARALLEL task DAG, so every fork that could
+  // be a task on a real pool must become one, even on the serial pool the
+  // detector runs on and below the spawn threshold.
+  if (analysis::detection_active()) return true;
   return !ctx.pool->serial() && level >= ctx.spawn_min_level;
 }
 

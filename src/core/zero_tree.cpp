@@ -1,5 +1,6 @@
 #include "core/zero_tree.hpp"
 
+#include "analysis/annotations.hpp"
 #include "parallel/worker_pool.hpp"
 
 namespace rla {
@@ -14,6 +15,7 @@ ZeroTree ZeroTree::build(const TiledMatrix& m, WorkerPool* pool) {
   leaf.assign(tiles, 0);
 
   auto scan = [&](std::uint64_t s0, std::uint64_t s1) {
+    RLA_RACE_READ(m.data() + s0 * tsz, (s1 - s0) * tsz * sizeof(double));
     for (std::uint64_t s = s0; s < s1; ++s) {
       const double* tile = m.data() + s * tsz;
       bool all_zero = true;

@@ -93,4 +93,34 @@ constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
   return (a + b - 1) / b;
 }
 
+// Compile-time sanity: the bit shuffles invert each other exactly. These
+// identities are what every S function in the layout layer is built from, so
+// a regression here corrupts all recursive layouts at once — cheaper to
+// reject at compile time than to debug from a wrong gemm result.
+static_assert([] {
+  for (std::uint32_t u = 0; u < 32; ++u) {
+    for (std::uint32_t v = 0; v < 32; ++v) {
+      const Deinterleaved d = deinterleave(interleave(u, v));
+      if (d.u != u || d.v != v) return false;
+    }
+  }
+  return true;
+}(), "interleave/deinterleave must round-trip");
+static_assert(interleave(0xFFFFFFFFu, 0) == 0xAAAAAAAAAAAAAAAAULL,
+              "u-bits occupy the odd positions");
+static_assert([] {
+  for (std::uint64_t x = 0; x < 1024; ++x) {
+    if (gray_inverse(gray(x)) != x) return false;
+    if (x != 0 && ((gray(x) ^ gray(x - 1)) & ((gray(x) ^ gray(x - 1)) - 1)) != 0) {
+      return false;  // consecutive codes must differ in exactly one bit
+    }
+  }
+  return gray_inverse(gray(0xFEDCBA9876543210ULL)) == 0xFEDCBA9876543210ULL;
+}(), "gray/gray_inverse must round-trip and be a unit-distance code");
+static_assert(is_pow2(1) && is_pow2(1ULL << 63) && !is_pow2(0) && !is_pow2(12),
+              "is_pow2");
+static_assert(floor_log2(1) == 0 && floor_log2(1023) == 9 && ceil_log2(1023) == 10 &&
+              next_pow2(17) == 32 && ceil_div(7, 3) == 3,
+              "integer log helpers");
+
 }  // namespace rla::bits

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "analysis/annotations.hpp"
+
 namespace rla {
 
 namespace {
@@ -34,6 +36,7 @@ void canonical_to_tiled(const double* src, std::size_t ld, bool transpose,
                         double alpha, const TileGeometry& g, double* dst,
                         std::uint64_t s_begin, std::uint64_t s_end) {
   const std::uint64_t tsz = g.tile_elems();
+  RLA_RACE_WRITE(dst + s_begin * tsz, (s_end - s_begin) * tsz * sizeof(double));
   for (std::uint64_t s = s_begin; s < s_end; ++s) {
     const TileCoord tc = s_inverse(g.curve, s, g.depth);
     const TileClip clip = clip_tile(g, tc.i, tc.j);
@@ -51,11 +54,14 @@ void canonical_to_tiled(const double* src, std::size_t ld, bool transpose,
       const std::uint32_t j = clip.j0 + fj;
       if (!transpose) {
         const double* in = src + std::uint64_t{j} * ld + clip.i0;
+        RLA_RACE_READ(in, clip.live_r * sizeof(double));
         for (std::uint32_t fi = 0; fi < clip.live_r; ++fi) out[fi] = alpha * in[fi];
       } else {
         // Logical (i, j) = physical (j, i): column j of the logical matrix is
         // row j of src, a strided walk.
         const double* in = src + std::uint64_t{clip.i0} * ld + j;
+        RLA_RACE_READ_STRIDED(in, sizeof(double), ld * sizeof(double),
+                              clip.live_r);
         for (std::uint32_t fi = 0; fi < clip.live_r; ++fi) {
           out[fi] = alpha * in[std::uint64_t{fi} * ld];
         }
@@ -71,6 +77,7 @@ void canonical_to_tiled(const double* src, std::size_t ld, bool transpose,
 void tiled_to_canonical(const double* src, const TileGeometry& g, double* dst,
                         std::size_t ld, std::uint64_t s_begin, std::uint64_t s_end) {
   const std::uint64_t tsz = g.tile_elems();
+  RLA_RACE_READ(src + s_begin * tsz, (s_end - s_begin) * tsz * sizeof(double));
   for (std::uint64_t s = s_begin; s < s_end; ++s) {
     const TileCoord tc = s_inverse(g.curve, s, g.depth);
     const TileClip clip = clip_tile(g, tc.i, tc.j);
@@ -79,6 +86,7 @@ void tiled_to_canonical(const double* src, const TileGeometry& g, double* dst,
     for (std::uint32_t fj = 0; fj < clip.live_c; ++fj) {
       const double* in = tile + std::uint64_t{fj} * g.tile_rows;
       double* out = dst + std::uint64_t{clip.j0 + fj} * ld + clip.i0;
+      RLA_RACE_WRITE(out, clip.live_r * sizeof(double));
       std::memcpy(out, in, clip.live_r * sizeof(double));
     }
   }
@@ -87,6 +95,7 @@ void tiled_to_canonical(const double* src, const TileGeometry& g, double* dst,
 void zero_tiles(const TileGeometry& g, double* dst, std::uint64_t s_begin,
                 std::uint64_t s_end) {
   const std::uint64_t tsz = g.tile_elems();
+  RLA_RACE_WRITE(dst + s_begin * tsz, (s_end - s_begin) * tsz * sizeof(double));
   std::memset(dst + s_begin * tsz, 0, (s_end - s_begin) * tsz * sizeof(double));
 }
 

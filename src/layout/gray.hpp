@@ -16,16 +16,38 @@
 
 namespace rla::curve_detail {
 
-inline std::uint64_t gray_index(std::uint32_t i, std::uint32_t j) noexcept {
+constexpr std::uint64_t gray_index(std::uint32_t i, std::uint32_t j) noexcept {
   const auto gi = static_cast<std::uint32_t>(bits::gray(i));
   const auto gj = static_cast<std::uint32_t>(bits::gray(j));
   return bits::gray_inverse(bits::interleave(gi, gj));
 }
 
-inline TileCoord gray_inverse_index(std::uint64_t s) noexcept {
+constexpr TileCoord gray_inverse_index(std::uint64_t s) noexcept {
   const auto [gi, gj] = bits::deinterleave(bits::gray(s));
   return {static_cast<std::uint32_t>(bits::gray_inverse(gi)),
           static_cast<std::uint32_t>(bits::gray_inverse(gj))};
 }
+
+// Compile-time checks: round trip on a 16×16 grid; the base quadrant order
+// is the C shape (0,0),(0,1),(1,1),(1,0); and the two-orientation symmetry —
+// because 𝒢 is XOR-linear, S⁻¹(N-1-s) is the FlipI reflection of S⁻¹(s),
+// which is the structural fact behind the half-rotation trick of paper §3.4.
+static_assert([] {
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    for (std::uint32_t j = 0; j < 16; ++j) {
+      const TileCoord t = gray_inverse_index(gray_index(i, j));
+      if (t.i != i || t.j != j) return false;
+    }
+  }
+  for (std::uint64_t s = 0; s < 256; ++s) {
+    const TileCoord a = gray_inverse_index(s);
+    const TileCoord b = gray_inverse_index(255 - s);
+    if (b.i != 15 - a.i || b.j != a.j) return false;
+  }
+  return true;
+}(), "Gray-Morton must round-trip and reflect between its two orientations");
+static_assert(gray_index(0, 0) == 0 && gray_index(0, 1) == 1 &&
+              gray_index(1, 1) == 2 && gray_index(1, 0) == 3,
+              "base quadrant order is the C shape");
 
 }  // namespace rla::curve_detail

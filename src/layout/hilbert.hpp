@@ -17,8 +17,8 @@ namespace rla::curve_detail {
 
 /// Rotate/reflect the low `h`-block of a coordinate pair for one Hilbert
 /// recursion step. `n` is the size of the (sub)grid being fixed up.
-inline void hilbert_rot(std::uint32_t n, std::uint32_t& i, std::uint32_t& j,
-                        std::uint32_t ri, std::uint32_t rj) noexcept {
+constexpr void hilbert_rot(std::uint32_t n, std::uint32_t& i, std::uint32_t& j,
+                           std::uint32_t ri, std::uint32_t rj) noexcept {
   if (rj == 0) {
     if (ri == 1) {
       i = n - 1 - i;
@@ -31,7 +31,7 @@ inline void hilbert_rot(std::uint32_t n, std::uint32_t& i, std::uint32_t& j,
 }
 
 /// S(i, j) on a 2^d × 2^d grid.
-inline std::uint64_t hilbert_index(std::uint32_t i, std::uint32_t j, int d) noexcept {
+constexpr std::uint64_t hilbert_index(std::uint32_t i, std::uint32_t j, int d) noexcept {
   const std::uint32_t n = std::uint32_t{1} << d;
   std::uint64_t s = 0;
   for (std::uint32_t h = n >> 1; h > 0; h >>= 1) {
@@ -44,7 +44,7 @@ inline std::uint64_t hilbert_index(std::uint32_t i, std::uint32_t j, int d) noex
 }
 
 /// S⁻¹(s) on a 2^d × 2^d grid.
-inline TileCoord hilbert_inverse(std::uint64_t s, int d) noexcept {
+constexpr TileCoord hilbert_inverse(std::uint64_t s, int d) noexcept {
   const std::uint32_t n = std::uint32_t{1} << d;
   std::uint32_t i = 0;
   std::uint32_t j = 0;
@@ -59,5 +59,25 @@ inline TileCoord hilbert_inverse(std::uint64_t s, int d) noexcept {
   }
   return {i, j};
 }
+
+// Compile-time checks at depth 4: index/inverse round-trip everywhere, the
+// curve is a bijection that steps to an edge-adjacent tile (THE Hilbert
+// property), and it starts at the origin.
+static_assert([] {
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    for (std::uint32_t j = 0; j < 16; ++j) {
+      const TileCoord t = hilbert_inverse(hilbert_index(i, j, 4), 4);
+      if (t.i != i || t.j != j) return false;
+    }
+  }
+  for (std::uint64_t s = 1; s < 256; ++s) {
+    const TileCoord a = hilbert_inverse(s - 1, 4);
+    const TileCoord b = hilbert_inverse(s, 4);
+    const std::uint32_t di = a.i > b.i ? a.i - b.i : b.i - a.i;
+    const std::uint32_t dj = a.j > b.j ? a.j - b.j : b.j - a.j;
+    if (di + dj != 1) return false;
+  }
+  return hilbert_index(0, 0, 4) == 0;
+}(), "Hilbert S/S^-1 must round-trip and be a unit-step curve");
 
 }  // namespace rla::curve_detail

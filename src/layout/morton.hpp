@@ -16,31 +16,51 @@
 
 namespace rla::curve_detail {
 
-inline std::uint64_t z_index(std::uint32_t i, std::uint32_t j) noexcept {
+constexpr std::uint64_t z_index(std::uint32_t i, std::uint32_t j) noexcept {
   return bits::interleave(i, j);
 }
 
-inline TileCoord z_inverse(std::uint64_t s) noexcept {
+constexpr TileCoord z_inverse(std::uint64_t s) noexcept {
   const auto [u, v] = bits::deinterleave(s);
   return {u, v};
 }
 
-inline std::uint64_t u_index(std::uint32_t i, std::uint32_t j) noexcept {
+constexpr std::uint64_t u_index(std::uint32_t i, std::uint32_t j) noexcept {
   return bits::interleave(j, i ^ j);
 }
 
-inline TileCoord u_inverse(std::uint64_t s) noexcept {
+constexpr TileCoord u_inverse(std::uint64_t s) noexcept {
   const auto [u, v] = bits::deinterleave(s);
   return {u ^ v, u};  // j = u, i = v XOR j
 }
 
-inline std::uint64_t x_index(std::uint32_t i, std::uint32_t j) noexcept {
+constexpr std::uint64_t x_index(std::uint32_t i, std::uint32_t j) noexcept {
   return bits::interleave(i ^ j, j);
 }
 
-inline TileCoord x_inverse(std::uint64_t s) noexcept {
+constexpr TileCoord x_inverse(std::uint64_t s) noexcept {
   const auto [u, v] = bits::deinterleave(s);
   return {u ^ v, v};  // j = v, i = u XOR j
 }
+
+// Compile-time round trips on a 16×16 grid, plus anchor points of each
+// curve's quadrant ordering (paper Fig. 2), which is the same at every
+// scale: the second tile visited is (0,1) for L_Z, (1,0) for L_U, and the
+// diagonal (1,1) for L_X.
+static_assert([] {
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    for (std::uint32_t j = 0; j < 16; ++j) {
+      const TileCoord z = z_inverse(z_index(i, j));
+      const TileCoord u = u_inverse(u_index(i, j));
+      const TileCoord x = x_inverse(x_index(i, j));
+      if (z.i != i || z.j != j) return false;
+      if (u.i != i || u.j != j) return false;
+      if (x.i != i || x.j != j) return false;
+    }
+  }
+  return true;
+}(), "Morton index/inverse must round-trip");
+static_assert(z_index(0, 1) == 1 && u_index(1, 0) == 1 && x_index(1, 1) == 1,
+              "quadrant orderings of L_Z, L_U, L_X");
 
 }  // namespace rla::curve_detail

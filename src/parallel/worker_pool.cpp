@@ -147,7 +147,11 @@ void WorkerPool::parallel_for(
     std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
     const std::function<void(std::uint64_t, std::uint64_t)>& body) {
   grain = std::max<std::uint64_t>(grain, 1);
-  if (serial() || end - begin <= grain) {
+  // With a race detector attached, the serial shortcut must still model the
+  // chunks as logical tasks — they WOULD run in parallel on a real pool, and
+  // certification has to cover that DAG.
+  const bool model_tasks = analysis::detection_active();
+  if ((serial() && !model_tasks) || end - begin <= grain) {
     if (begin < end) body(begin, end);
     return;
   }
@@ -179,6 +183,7 @@ void TaskGroup::wait() {
   // Every task has finished and recorded its outcome, so the lowest-seq
   // exception is final — propagation is deterministic even though the tasks
   // raced.
+  analysis::hook_group_sync(this);
   if (exception_) {
     std::exception_ptr e = exception_;
     exception_ = nullptr;

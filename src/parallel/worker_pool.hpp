@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/annotations.hpp"
 #include "parallel/chase_lev_deque.hpp"
 
 namespace rla {
@@ -159,6 +160,7 @@ class TaskGroup {
     } catch (...) {
       pool_.exceptions_swallowed_.fetch_add(1, std::memory_order_relaxed);
     }
+    analysis::hook_group_destroyed(this);
   }
 
   TaskGroup(const TaskGroup&) = delete;
@@ -170,13 +172,18 @@ class TaskGroup {
   void spawn(F&& fn) {
     const std::uint64_t seq = next_seq_++;
     if (pool_.serial()) {
+      // Serial elision IS the depth-first schedule the race detector's
+      // SP-bags algorithm requires; tell it a logical task ran here.
+      analysis::hook_task_begin(this, seq);
       try {
         fn();
       } catch (...) {
         record_exception(std::current_exception(), seq);
       }
+      analysis::hook_task_end(this);
       return;
     }
+    analysis::hook_parallel_spawn();  // voids serial-schedule certification
     pending_.fetch_add(1, std::memory_order_relaxed);
     auto* node = new WorkerPool::TaskNode{std::forward<F>(fn), this, seq};
     pool_.enqueue(node);

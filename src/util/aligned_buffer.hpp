@@ -13,6 +13,8 @@
 #include <new>
 #include <utility>
 
+#include "analysis/annotations.hpp"
+
 namespace rla {
 
 inline constexpr std::size_t kCacheLineBytes = 64;
@@ -32,6 +34,9 @@ class AlignedBuffer {
     const std::size_t bytes = round_up(count * sizeof(T), alignment);
     data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
     if (data_ == nullptr) throw std::bad_alloc();
+    // A recycled allocation must not inherit the shadow provenance of its
+    // previous owner (a logically parallel sibling would look like a race).
+    analysis::hook_buffer_lifetime(data_, bytes);
   }
 
   AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_, other.alignment_) {
@@ -66,7 +71,10 @@ class AlignedBuffer {
 
   /// Set every element to zero (bytewise; valid for arithmetic T).
   void zero() noexcept {
-    if (size_ != 0) std::memset(data_, 0, size_ * sizeof(T));
+    if (size_ != 0) {
+      RLA_RACE_WRITE(data_, size_ * sizeof(T));
+      std::memset(data_, 0, size_ * sizeof(T));
+    }
   }
 
   T* data() noexcept { return data_; }
@@ -88,6 +96,9 @@ class AlignedBuffer {
   }
 
   void release() noexcept {
+    if (data_ != nullptr) {
+      analysis::hook_buffer_lifetime(data_, size_ * sizeof(T));
+    }
     std::free(data_);
     data_ = nullptr;
     size_ = 0;

@@ -125,6 +125,78 @@ TEST(Pool, ManySmallGroupsStress) {
   EXPECT_EQ(total.load(), 4000);
 }
 
+TEST(Pool, LowestSpawnOrderExceptionWinsDeterministically) {
+  // Several tasks throw; wait() must rethrow the one with the lowest spawn
+  // index no matter how the scheduler interleaved them. Repeat across serial
+  // and parallel pools and many rounds to shake out ordering luck.
+  for (const unsigned threads : {0u, 4u}) {
+    WorkerPool pool(threads);
+    for (int round = 0; round < 25; ++round) {
+      TaskGroup group(pool);
+      for (int i = 0; i < 32; ++i) {
+        group.spawn([i] {
+          if (i % 5 == 2) {  // failures at spawn indices 2, 7, 12, ...
+            throw std::runtime_error("task " + std::to_string(i));
+          }
+        });
+      }
+      try {
+        group.wait();
+        FAIL() << "expected an exception";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "task 2");
+      }
+    }
+    EXPECT_EQ(pool.exceptions_swallowed(), 0u);
+  }
+}
+
+TEST(Pool, CancellationPrunesRecursionStress) {
+  // A recursive descent wired to one shared cancellation flag: after the
+  // first failure, cooperating tasks stop descending. The test asserts the
+  // flag trips, the exception still propagates deterministically, and — on
+  // the serial pool, where spawn order is the execution order — work after
+  // the first failure is actually pruned.
+  for (const unsigned threads : {0u, 4u}) {
+    WorkerPool pool(threads);
+    for (int round = 0; round < 10; ++round) {
+      std::atomic<bool> cancel{false};
+      std::atomic<int> visited{0};
+      std::function<void(TaskGroup&, int)> descend = [&](TaskGroup& parent,
+                                                         int depth) {
+        if (parent.cancelled()) return;  // prune this subtree
+        visited.fetch_add(1, std::memory_order_relaxed);
+        if (depth == 0) return;
+        TaskGroup group(pool, &cancel);
+        for (int c = 0; c < 2; ++c) {
+          group.spawn([&, depth] {
+            if (depth == 3 && visited.load(std::memory_order_relaxed) > 4) {
+              throw std::logic_error("poisoned node");
+            }
+            descend(group, depth - 1);
+          });
+        }
+        group.wait();
+      };
+      TaskGroup root(pool, &cancel);
+      bool threw = false;
+      try {
+        descend(root, 6);
+      } catch (const std::logic_error&) {
+        threw = true;
+      }
+      EXPECT_TRUE(threw);
+      EXPECT_TRUE(cancel.load());
+      if (threads == 0) {
+        // Full tree: 2^7 - 1 = 127 nodes. Pruning must have cut well over
+        // half of it (the serial schedule hits a poisoned node early).
+        EXPECT_LT(visited.load(), 64);
+      }
+      EXPECT_EQ(pool.exceptions_swallowed(), 0u);
+    }
+  }
+}
+
 TEST(Pool, StealsHappenUnderImbalance) {
   // One external submitter, several workers: work must be distributed, so
   // with enough tasks at least one steal (or injection pickup) occurs and
