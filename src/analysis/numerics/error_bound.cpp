@@ -1,0 +1,107 @@
+#include "analysis/numerics/error_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "layout/bits.hpp"
+
+namespace rla::numerics {
+
+namespace {
+
+constexpr double kUnitRoundoff = 0x1p-53;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Padded inner dimension of the classical part: ⌈k/2^depth⌉ tile columns,
+/// re-expanded over the levels the standard recursion still owns.
+std::uint64_t classical_inner(std::uint32_t k, int depth, int fast_levels) {
+  const std::uint64_t tile_k =
+      std::max<std::uint64_t>(1, bits::ceil_div(k, std::uint64_t{1} << depth));
+  return tile_k << (depth - fast_levels);
+}
+
+}  // namespace
+
+double unit_roundoff() noexcept { return kUnitRoundoff; }
+
+double gamma_factor(std::uint64_t k) noexcept {
+  const double ku = static_cast<double>(k) * kUnitRoundoff;
+  if (ku >= 1.0) return kInf;
+  return ku / (1.0 - ku);
+}
+
+ErrorBound error_bound(Algorithm algo, std::uint32_t m, std::uint32_t n,
+                       std::uint32_t k, int depth,
+                       int fast_cutoff_level) noexcept {
+  (void)m;
+  (void)n;
+  ErrorBound b;
+  if (k == 0) return b;
+  depth = std::max(depth, 0);
+
+  if (algo == Algorithm::Standard) {
+    // Classical summation bound; the recursion's tree-ordered accumulation
+    // only tightens it, so γ_k stays a valid ceiling at every depth.
+    b.fast_levels = 0;
+    b.leaf_k = k;
+    b.componentwise = gamma_factor(k) / kUnitRoundoff;
+    // (|A||B|)_ij ≤ k·‖A‖_max·‖B‖_max turns the componentwise bound normwise.
+    b.constant = static_cast<double>(k) * b.componentwise;
+    b.relative = b.constant * kUnitRoundoff;
+    return b;
+  }
+
+  const int fast_levels =
+      std::clamp(depth - std::max(fast_cutoff_level, 0), 0, depth);
+  const double k0 = static_cast<double>(classical_inner(k, depth, fast_levels));
+  const double big_k = std::ldexp(k0, fast_levels);  // padded full inner dim
+  const double add = algo == Algorithm::Strassen ? 5.0 : 6.0;
+  const double amp = algo == Algorithm::Strassen ? 12.0 : 18.0;
+  b.fast_levels = fast_levels;
+  b.leaf_k = static_cast<std::uint32_t>(
+      std::min<double>(k0, std::numeric_limits<std::uint32_t>::max()));
+  b.componentwise = kInf;  // fast algorithms admit no componentwise bound
+  b.constant =
+      (k0 * k0 + add * k0) * std::pow(amp, fast_levels) - add * big_k;
+  b.relative = b.constant * kUnitRoundoff;
+  return b;
+}
+
+int max_fast_levels(Algorithm algo, std::uint32_t m, std::uint32_t n,
+                    std::uint32_t k, int depth, double budget) noexcept {
+  depth = std::max(depth, 0);
+  for (int levels = depth; levels >= 0; --levels) {
+    const ErrorBound b = error_bound(algo, m, n, k, depth, depth - levels);
+    if (b.relative <= budget) return levels;
+  }
+  return -1;
+}
+
+double factorization_bound(std::uint32_t n, double growth) noexcept {
+  if (n == 0) return 0.0;
+  // |A − L·U| ≤ γ_n |L||U| componentwise (Higham Thm 9.3; γ_{n+1} for
+  // Cholesky is absorbed by the +1). Normwise: ‖|L||U|‖_max ≤ n·growth·‖A‖.
+  const double g = std::max(growth, 1.0);
+  return gamma_factor(std::uint64_t{n} + 1) * static_cast<double>(n) * g;
+}
+
+std::string quadrant_path(std::uint32_t i, std::uint32_t j, std::uint32_t rows,
+                          std::uint32_t cols, int levels) {
+  static const char* const kNames[4] = {"NW", "SW", "NE", "SE"};
+  std::string path = "R";
+  for (int level = 0; level < levels && rows > 1 && cols > 1; ++level) {
+    const std::uint32_t hr = (rows + 1) / 2, hc = (cols + 1) / 2;
+    const int south = i >= hr ? 1 : 0;
+    const int east = j >= hc ? 1 : 0;
+    path += '.';
+    path += kNames[2 * east + south];
+    if (south != 0) i -= hr;
+    if (east != 0) j -= hc;
+    rows = south != 0 ? rows - hr : hr;
+    cols = east != 0 ? cols - hc : hc;
+  }
+  return path;
+}
+
+}  // namespace rla::numerics

@@ -1,0 +1,91 @@
+#pragma once
+
+// A priori floating-point error-bound certifier for the three multiplication
+// recursions (DESIGN.md §9).
+//
+// Fast matrix multiplication trades arithmetic for numerical headroom: each
+// Strassen/Winograd level amplifies the forward-error constant by a fixed
+// factor, so the bound is a closed-form function of the problem shape, the
+// recursion depth, and the unit roundoff. This module evaluates the
+// Higham-style bounds (Accuracy and Stability of Numerical Algorithms, §23)
+//
+//   classical:  |C − Ĉ|            ≤ γ_k |A||B|            (componentwise)
+//   Strassen:   ‖C − Ĉ‖_max ≤ [(k₀² + 5k₀)·12^ℓ − 5K] u ‖A‖_max ‖B‖_max
+//   Winograd:   ‖C − Ĉ‖_max ≤ [(k₀² + 6k₀)·18^ℓ − 6K] u ‖A‖_max ‖B‖_max
+//
+// (to first order in u), where ℓ is the number of fast-recursion levels, k₀
+// the inner dimension handled classically below the switchover, K = k₀·2^ℓ
+// the padded inner dimension, and γ_k = k·u/(1 − k·u). The fast algorithms
+// admit no componentwise bound — the pre-addition differences destroy the
+// |A||B| structure — which is exactly why the bound must be surfaced instead
+// of assumed.
+//
+// The gemm planner consumes these bounds two ways (core/gemm.cpp):
+//   * every GemmProfile reports the certified bound for the depth it ran at;
+//   * GemmConfig::error_budget caps the fast-recursion levels (raising the
+//     standard-recursion switchover, then abandoning the fast algorithm)
+//     so a serving system gets a *certified* error ceiling, not a hope.
+//
+// The LU/Cholesky drivers reuse gamma_factor/factorization_bound for their
+// growth-factor-aware residual bounds (src/linalg).
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace rla::numerics {
+
+/// Unit roundoff u of IEEE binary64 (2⁻⁵³).
+double unit_roundoff() noexcept;
+
+/// γ_k = k·u / (1 − k·u); +inf once k·u ≥ 1 (the bound model has collapsed).
+double gamma_factor(std::uint64_t k) noexcept;
+
+/// One certified a priori forward-error bound.
+struct ErrorBound {
+  /// Normwise constant: ‖C − Ĉ‖_max ≤ constant · u · ‖A‖_max·‖B‖_max + O(u²).
+  double constant = 0.0;
+  /// constant · u — the relative bound the planner compares to error_budget.
+  double relative = 0.0;
+  /// Componentwise factor on u·(|A||B|)_ij; +inf for Strassen/Winograd,
+  /// which have no componentwise bound.
+  double componentwise = 0.0;
+  /// Fast-recursion levels the bound assumes (0 for Algorithm::Standard).
+  int fast_levels = 0;
+  /// Inner dimension handled by the classical recursion below the
+  /// switchover (the k₀ of the formulas above).
+  std::uint32_t leaf_k = 0;
+};
+
+/// Bound for an m×n ← m×k · k×n product run as `algo` at recursion depth
+/// `depth` with the standard switchover at `fast_cutoff_level` (the
+/// GemmConfig knob; fast levels = depth − cutoff, clamped to [0, depth]).
+/// The model uses the padded tile geometry (tiles of ⌈k/2^depth⌉ columns),
+/// so it upper-bounds the implemented recursion. depth < 0 is treated as 0.
+ErrorBound error_bound(Algorithm algo, std::uint32_t m, std::uint32_t n,
+                       std::uint32_t k, int depth,
+                       int fast_cutoff_level = 0) noexcept;
+
+/// Largest number of fast-recursion levels ℓ ≤ depth whose bound fits
+/// `budget` (a relative bound, same scale as ErrorBound::relative).
+/// Returns 0 if only the fully classical recursion fits and -1 if even that
+/// exceeds the budget (the budget is infeasible for this shape).
+int max_fast_levels(Algorithm algo, std::uint32_t m, std::uint32_t n,
+                    std::uint32_t k, int depth, double budget) noexcept;
+
+/// Growth-factor-aware residual bound for an n×n LU / Cholesky
+/// factorization: ‖A − L·U‖_max ≤ factorization_bound(n, growth) · ‖A‖_max,
+/// where growth = ‖|L||U|‖-style observed growth (max|L|·max|U| / max|A|).
+/// Returns a *relative* bound (the u is folded in), matching
+/// CholeskyProfile::error_bound.
+double factorization_bound(std::uint32_t n, double growth) noexcept;
+
+/// Quadrant path of logical cell (i, j) through `levels` halving steps of an
+/// rows×cols block: "R" then ".NW"/".NE"/".SW"/".SE" per level (the order
+/// the recursion descends). Used to report the recursion path of the
+/// worst-error cell found by the shadow analyzer.
+std::string quadrant_path(std::uint32_t i, std::uint32_t j, std::uint32_t rows,
+                          std::uint32_t cols, int levels);
+
+}  // namespace rla::numerics

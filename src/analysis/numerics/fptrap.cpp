@@ -1,0 +1,101 @@
+#include "analysis/numerics/fptrap.hpp"
+
+#include <atomic>
+#include <cfenv>
+
+namespace rla::numerics {
+
+namespace {
+
+std::atomic<int> g_armed{0};
+std::atomic<unsigned> g_flags{0};
+
+constexpr int kWatchedFe = FE_INVALID | FE_OVERFLOW | FE_DIVBYZERO;
+
+unsigned fe_to_mask(int fe) noexcept {
+  unsigned mask = 0;
+  if ((fe & FE_INVALID) != 0) mask |= kFpInvalid;
+  if ((fe & FE_OVERFLOW) != 0) mask |= kFpOverflow;
+  if ((fe & FE_DIVBYZERO) != 0) mask |= kFpDivByZero;
+  return mask;
+}
+
+/// Read-and-clear this thread's watched flags, as a hazard mask.
+unsigned take_local() noexcept {
+  const int fe = std::fetestexcept(kWatchedFe);
+  if (fe != 0) std::feclearexcept(fe);
+  return fe_to_mask(fe);
+}
+
+}  // namespace
+
+void fp_capture_arm() noexcept {
+  if (g_armed.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // Start from a clean slate: pre-existing sticky flags (the caller's own
+    // arithmetic, earlier library calls) are not this gemm's hazards.
+    std::feclearexcept(kWatchedFe);
+    g_flags.store(0, std::memory_order_relaxed);
+  }
+}
+
+void fp_capture_disarm() noexcept {
+  g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool fp_capture_armed() noexcept {
+  return g_armed.load(std::memory_order_relaxed) > 0;
+}
+
+void fp_poll() noexcept {
+  if (!fp_capture_armed()) return;
+  const unsigned mask = take_local();
+  if (mask != 0) g_flags.fetch_or(mask, std::memory_order_relaxed);
+}
+
+unsigned fp_drain() noexcept {
+  if (!fp_capture_armed()) return 0;
+  const unsigned local = take_local();
+  return g_flags.exchange(0, std::memory_order_relaxed) | local;
+}
+
+std::string fp_describe(unsigned mask) {
+  if (mask == 0) return "none";
+  std::string out;
+  const auto append = [&out](const char* name) {
+    if (!out.empty()) out += '|';
+    out += name;
+  };
+  if ((mask & kFpInvalid) != 0) append("invalid");
+  if ((mask & kFpOverflow) != 0) append("overflow");
+  if ((mask & kFpDivByZero) != 0) append("divzero");
+  return out;
+}
+
+bool ScopedTraps::supported() noexcept {
+#if defined(__GLIBC__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+ScopedTraps::ScopedTraps(unsigned mask) noexcept {
+#if defined(__GLIBC__)
+  int fe = 0;
+  if ((mask & kFpInvalid) != 0) fe |= FE_INVALID;
+  if ((mask & kFpOverflow) != 0) fe |= FE_OVERFLOW;
+  if ((mask & kFpDivByZero) != 0) fe |= FE_DIVBYZERO;
+  std::feclearexcept(fe);
+  if (feenableexcept(fe) != -1) enabled_ = fe;
+#else
+  (void)mask;
+#endif
+}
+
+ScopedTraps::~ScopedTraps() {
+#if defined(__GLIBC__)
+  if (enabled_ != 0) fedisableexcept(enabled_);
+#endif
+}
+
+}  // namespace rla::numerics

@@ -1,0 +1,89 @@
+#pragma once
+
+// FP-hazard detection for the gemm driver (DESIGN.md §9).
+//
+// The fast algorithms are not just less accurate — they can manufacture
+// hazards the classical algorithm would not: pre-addition differences can
+// overflow where the classical partial products do not, and an Inf − Inf in
+// a quadrant add produces NaNs that Strassen's post-additions then smear
+// across the whole output block. GemmConfig::fp_check makes the driver
+// watch for those events and degrade to the standard algorithm.
+//
+// Mechanism: *flag capture*, not traps. The IEEE sticky exception flags
+// (FE_INVALID / FE_OVERFLOW / FE_DIVBYZERO) are read with fetestexcept at
+// phase boundaries — signal-based trapping (feenableexcept + SIGFPE) cannot
+// be unwound safely across the C++ recursion and the worker pool, so it is
+// reserved for the RAII ScopedTraps debug aid below (tests, death-style
+// debugging). The flags are per-thread state, so worker threads poll their
+// own flags after every task and OR them into a process-global atomic
+// (fp_poll(), called by WorkerPool::run_node); the driver drains that
+// global at each phase boundary for per-phase attribution. When disarmed
+// the whole machinery costs one relaxed atomic load per task — the same
+// budget as the fault-injection sites.
+//
+// Capture is process-global (matching the fault plan): overlapping gemm
+// calls with fp_check from several threads would attribute each other's
+// hazards. That is an accepted analysis-mode limitation, not a correctness
+// hazard — degradation only ever *adds* a classical rerun.
+
+#include <string>
+
+namespace rla::numerics {
+
+// Hazard mask bits (stable, independent of the platform's FE_* values).
+inline constexpr unsigned kFpInvalid = 1u;    ///< FE_INVALID (NaN produced)
+inline constexpr unsigned kFpOverflow = 2u;   ///< FE_OVERFLOW (±Inf produced)
+inline constexpr unsigned kFpDivByZero = 4u;  ///< FE_DIVBYZERO
+
+/// Arm process-wide capture: clears this thread's FE flags and the global
+/// accumulator. Nestable by refcount; workers start polling when armed.
+void fp_capture_arm() noexcept;
+
+/// Drop one armed level (flags accumulated so far stay readable via
+/// fp_drain until the next arm).
+void fp_capture_disarm() noexcept;
+
+/// True while at least one capture is armed.
+bool fp_capture_armed() noexcept;
+
+/// Fold the calling thread's sticky FE flags into the global accumulator
+/// and clear them. No-op (one relaxed load) when disarmed. Called by the
+/// worker pool after every task; safe from any thread.
+void fp_poll() noexcept;
+
+/// Poll the calling thread, then atomically take-and-clear the global
+/// accumulator. The returned mask is the set of hazards raised since the
+/// previous drain — the per-phase attribution primitive.
+unsigned fp_drain() noexcept;
+
+/// "invalid|overflow|divzero" rendering of a hazard mask ("none" for 0).
+std::string fp_describe(unsigned mask);
+
+/// RAII arm/disarm of capture (the driver's scoping tool).
+class ScopedFpCapture {
+ public:
+  ScopedFpCapture() noexcept { fp_capture_arm(); }
+  ~ScopedFpCapture() { fp_capture_disarm(); }
+  ScopedFpCapture(const ScopedFpCapture&) = delete;
+  ScopedFpCapture& operator=(const ScopedFpCapture&) = delete;
+};
+
+/// Hard-trap debug aid: feenableexcept(INVALID|OVERFLOW|DIVBYZERO) for the
+/// enclosing scope, so the first hazard raises SIGFPE at the faulting
+/// instruction (run under a debugger or a death test). glibc-only; on other
+/// platforms construction is a no-op and supported() is false. Do NOT use
+/// around parallel gemm in production — SIGFPE is not recoverable here.
+class ScopedTraps {
+ public:
+  static bool supported() noexcept;
+
+  explicit ScopedTraps(unsigned mask = kFpInvalid | kFpOverflow | kFpDivByZero) noexcept;
+  ~ScopedTraps();
+  ScopedTraps(const ScopedTraps&) = delete;
+  ScopedTraps& operator=(const ScopedTraps&) = delete;
+
+ private:
+  int enabled_ = 0;  ///< FE_* mask we enabled (to disable on exit)
+};
+
+}  // namespace rla::numerics

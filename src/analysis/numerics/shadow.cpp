@@ -1,0 +1,281 @@
+#include "analysis/numerics/shadow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <new>
+#include <unordered_map>
+
+namespace rla::numerics {
+
+namespace detail {
+
+thread_local ShadowAnalyzer* tl_shadow = nullptr;
+
+}  // namespace detail
+
+bool instrumented() noexcept {
+#if defined(RLA_NUMERICS) && RLA_NUMERICS
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool shadow_active() noexcept { return detail::tl_shadow != nullptr; }
+
+namespace {
+
+/// A step "cancelled" when its result lost more than half the binary64
+/// mantissa relative to its largest term: further accumulation into the
+/// result then has fewer than 27 trustworthy leading bits.
+constexpr long double kCancelRatio = 0x1p-26L;
+
+}  // namespace
+
+struct ShadowAnalyzer::Impl {
+  std::unordered_map<const double*, long double> cells;
+  std::uint64_t cancellations = 0;
+  std::uint64_t accumulations = 0;
+  bool lossy = false;
+};
+
+ShadowAnalyzer::ShadowAnalyzer() : impl_(new Impl) {}
+
+ShadowAnalyzer::~ShadowAnalyzer() { delete impl_; }
+
+long double ShadowAnalyzer::value(const double* p) const noexcept {
+  const auto it = impl_->cells.find(p);
+  return it != impl_->cells.end() ? it->second
+                                  : static_cast<long double>(*p);
+}
+
+void ShadowAnalyzer::set(const double* p, long double v) noexcept {
+  try {
+    impl_->cells[p] = v;
+  } catch (const std::bad_alloc&) {
+    impl_->lossy = true;
+  }
+}
+
+void ShadowAnalyzer::clear_range(const void* ptr, std::size_t bytes) noexcept {
+  const auto* lo = static_cast<const double*>(ptr);
+  const auto* hi = lo + bytes / sizeof(double);
+  auto& cells = impl_->cells;
+  // Range erase over a hash map is a full sweep; fine for an analysis mode
+  // whose maps are matrix-sized, and it keeps value() lookups O(1).
+  for (auto it = cells.begin(); it != cells.end();) {
+    it = it->first >= lo && it->first < hi ? cells.erase(it) : std::next(it);
+  }
+}
+
+ShadowStats ShadowAnalyzer::measure(const double* c, std::size_t ldc,
+                                    std::uint32_t m,
+                                    std::uint32_t n) const noexcept {
+  ShadowStats st;
+  long double max_shadow = 0.0L;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    const double* col = c + static_cast<std::size_t>(j) * ldc;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      const auto it = impl_->cells.find(col + i);
+      const long double shadow =
+          it != impl_->cells.end() ? it->second
+                                   : static_cast<long double>(col[i]);
+      if (it != impl_->cells.end()) ++st.tracked;
+      const long double err = std::fabs(static_cast<long double>(col[i]) - shadow);
+      max_shadow = std::max(max_shadow, std::fabs(shadow));
+      if (static_cast<double>(err) > st.max_abs_error) {
+        st.max_abs_error = static_cast<double>(err);
+        st.worst_i = i;
+        st.worst_j = j;
+      }
+      ++st.cells;
+    }
+  }
+  if (max_shadow > 0.0L) {
+    st.max_rel_error =
+        static_cast<double>(static_cast<long double>(st.max_abs_error) / max_shadow);
+  }
+  return st;
+}
+
+std::uint64_t ShadowAnalyzer::cancellations() const noexcept {
+  return impl_->cancellations;
+}
+
+std::uint64_t ShadowAnalyzer::accumulations() const noexcept {
+  return impl_->accumulations;
+}
+
+std::uint64_t ShadowAnalyzer::cells_tracked() const noexcept {
+  return impl_->cells.size();
+}
+
+bool ShadowAnalyzer::lossy() const noexcept { return impl_->lossy; }
+
+void ShadowAnalyzer::note_accumulation(long double result,
+                                       long double max_term) noexcept {
+  ++impl_->accumulations;
+  if (std::fabs(result) < std::fabs(max_term) * kCancelRatio &&
+      max_term != 0.0L) {
+    ++impl_->cancellations;
+  }
+}
+
+namespace detail {
+
+namespace {
+
+ShadowAnalyzer& an() noexcept { return *tl_shadow; }
+
+}  // namespace
+
+void mm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
+        const double* a, std::size_t lda, const double* b, std::size_t ldb,
+        double* c, std::size_t ldc) noexcept {
+  ShadowAnalyzer& s = an();
+  for (std::uint32_t j = 0; j < n; ++j) {
+    const double* bj = b + static_cast<std::size_t>(j) * ldb;
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      long double sum = 0.0L, max_term = 0.0L;
+      for (std::uint32_t l = 0; l < k; ++l) {
+        const long double term =
+            s.value(a + static_cast<std::size_t>(l) * lda + i) * s.value(bj + l);
+        max_term = std::max(max_term, std::fabs(term));
+        sum += term;
+      }
+      const long double old = s.value(cj + i);
+      const long double next = old + static_cast<long double>(alpha) * sum;
+      s.note_accumulation(sum, max_term);
+      s.note_accumulation(
+          next, std::max(std::fabs(old),
+                         std::fabs(static_cast<long double>(alpha) * sum)));
+      s.set(cj + i, next);
+    }
+  }
+}
+
+void set_add(double* dst, const double* a, double sb, const double* b,
+             std::uint64_t n) noexcept {
+  ShadowAnalyzer& s = an();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const long double ta = s.value(a + i);
+    const long double tb = static_cast<long double>(sb) * s.value(b + i);
+    const long double r = ta + tb;
+    s.note_accumulation(r, std::max(std::fabs(ta), std::fabs(tb)));
+    s.set(dst + i, r);
+  }
+}
+
+void acc(double* dst, double sc, const double* src, std::uint64_t n) noexcept {
+  ShadowAnalyzer& s = an();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const long double old = s.value(dst + i);
+    const long double add = static_cast<long double>(sc) * s.value(src + i);
+    const long double r = old + add;
+    s.note_accumulation(r, std::max(std::fabs(old), std::fabs(add)));
+    s.set(dst + i, r);
+  }
+}
+
+void acc2(double* dst, double s1, const double* a, double s2, const double* b,
+          std::uint64_t n) noexcept {
+  ShadowAnalyzer& s = an();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const long double old = s.value(dst + i);
+    const long double t1 = static_cast<long double>(s1) * s.value(a + i);
+    const long double t2 = static_cast<long double>(s2) * s.value(b + i);
+    const long double r = old + t1 + t2;
+    s.note_accumulation(
+        r, std::max({std::fabs(old), std::fabs(t1), std::fabs(t2)}));
+    s.set(dst + i, r);
+  }
+}
+
+void acc3(double* dst, double s1, const double* a, double s2, const double* b,
+          double s3, const double* c, std::uint64_t n) noexcept {
+  ShadowAnalyzer& s = an();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const long double old = s.value(dst + i);
+    const long double t1 = static_cast<long double>(s1) * s.value(a + i);
+    const long double t2 = static_cast<long double>(s2) * s.value(b + i);
+    const long double t3 = static_cast<long double>(s3) * s.value(c + i);
+    const long double r = old + t1 + t2 + t3;
+    s.note_accumulation(r, std::max({std::fabs(old), std::fabs(t1),
+                                     std::fabs(t2), std::fabs(t3)}));
+    s.set(dst + i, r);
+  }
+}
+
+void acc4(double* dst, double s1, const double* a, double s2, const double* b,
+          double s3, const double* c, double s4, const double* d,
+          std::uint64_t n) noexcept {
+  ShadowAnalyzer& s = an();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const long double old = s.value(dst + i);
+    const long double t1 = static_cast<long double>(s1) * s.value(a + i);
+    const long double t2 = static_cast<long double>(s2) * s.value(b + i);
+    const long double t3 = static_cast<long double>(s3) * s.value(c + i);
+    const long double t4 = static_cast<long double>(s4) * s.value(d + i);
+    const long double r = old + t1 + t2 + t3 + t4;
+    s.note_accumulation(
+        r, std::max({std::fabs(old), std::fabs(t1), std::fabs(t2),
+                     std::fabs(t3), std::fabs(t4)}));
+    s.set(dst + i, r);
+  }
+}
+
+void scale(double* dst, std::size_t ldd, double sc, std::uint32_t m,
+           std::uint32_t n) noexcept {
+  ShadowAnalyzer& s = an();
+  for (std::uint32_t j = 0; j < n; ++j) {
+    double* col = dst + static_cast<std::size_t>(j) * ldd;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      s.set(col + i,
+            sc == 0.0 ? 0.0L : static_cast<long double>(sc) * s.value(col + i));
+    }
+  }
+}
+
+void copy_strided(double* dst, std::size_t ldd, const double* src,
+                  std::size_t lds, std::uint32_t m, std::uint32_t n) noexcept {
+  ShadowAnalyzer& s = an();
+  for (std::uint32_t j = 0; j < n; ++j) {
+    const double* in = src + static_cast<std::size_t>(j) * lds;
+    double* out = dst + static_cast<std::size_t>(j) * ldd;
+    for (std::uint32_t i = 0; i < m; ++i) s.set(out + i, s.value(in + i));
+  }
+}
+
+void transpose(double* dst, std::size_t ldd, const double* src,
+               std::size_t lds, std::uint32_t m, std::uint32_t n) noexcept {
+  ShadowAnalyzer& s = an();
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = 0; i < m; ++i) {
+      s.set(dst + static_cast<std::size_t>(j) * ldd + i,
+            s.value(src + static_cast<std::size_t>(i) * lds + j));
+    }
+  }
+}
+
+void scaled_copy(double* dst, const double* src, std::size_t src_stride,
+                 double alpha, std::uint64_t n) noexcept {
+  ShadowAnalyzer& s = an();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    s.set(dst + i,
+          static_cast<long double>(alpha) * s.value(src + i * src_stride));
+  }
+}
+
+void move(double* dst, const double* src, std::uint64_t n) noexcept {
+  ShadowAnalyzer& s = an();
+  for (std::uint64_t i = 0; i < n; ++i) s.set(dst + i, s.value(src + i));
+}
+
+void clear(const void* ptr, std::size_t bytes) noexcept {
+  an().clear_range(ptr, bytes);
+}
+
+}  // namespace detail
+
+}  // namespace rla::numerics

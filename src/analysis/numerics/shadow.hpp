@@ -1,0 +1,209 @@
+#pragma once
+
+// Shadow-precision dynamic analyzer (DESIGN.md §9).
+//
+// The a priori bounds of error_bound.hpp certify a worst case; this module
+// measures what a particular run actually did. In an instrumented build
+// (-DRLA_NUMERICS=ON) every floating-point store on the gemm hot paths —
+// leaf kernels, quadrant additions, layout conversion, scaling — is
+// mirrored in an 80/128-bit long-double shadow accumulator keyed by the
+// destination address. Because the shadow arithmetic re-reads the *shadow*
+// values of the operands, the shadow result is the same computation carried
+// out in extended precision: the difference between a double cell and its
+// shadow is that cell's accumulated rounding error, measured (not bounded)
+// to the shadow's own precision.
+//
+// The analyzer also counts *cancellations*: accumulation steps whose result
+// is more than 2²⁶ (half the binary64 mantissa) smaller than their largest
+// term. Heavy cancellation is the mechanism by which the fast algorithms'
+// pre-addition differences lose componentwise accuracy, so the count is the
+// observable that explains a large measured error.
+//
+// Usage mirrors the race detector: a thread-local "active analyzer" pointer
+// managed by ScopedShadow, hooks that compile to nothing unless the build
+// sets RLA_NUMERICS, and a forced serial schedule (the shadow map is
+// deliberately unsynchronized — one thread is the right scope, and the
+// serial schedule makes the measured rounding history deterministic).
+// GemmConfig::analyze_numerics drives it for a whole gemm call and reports
+// ShadowStats into GemmProfile.
+//
+// Robustness notes: the analyzer allocates (hash map of shadow cells); all
+// hook paths are noexcept and swallow std::bad_alloc by dropping the
+// affected cells and latching `lossy()`, so an instrumented run can never
+// crash — at worst its measurement is marked incomplete. Hooks fire before
+// the mirrored double store, so `value()` of a not-yet-tracked operand can
+// fall back to the live double value.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rla::numerics {
+
+class ShadowAnalyzer;
+
+namespace detail {
+
+/// The analyzer attached to this thread (nullptr = analysis off). Managed
+/// by ScopedShadow; every hook below is a no-op while it is null.
+extern thread_local ShadowAnalyzer* tl_shadow;
+
+// Out-of-line mirrors (defined in shadow.cpp). Call only when tl_shadow is
+// non-null; all are noexcept and OOM-safe.
+void mm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
+        const double* a, std::size_t lda, const double* b, std::size_t ldb,
+        double* c, std::size_t ldc) noexcept;
+void set_add(double* dst, const double* a, double sb, const double* b,
+             std::uint64_t n) noexcept;
+void acc(double* dst, double s, const double* src, std::uint64_t n) noexcept;
+void acc2(double* dst, double s1, const double* a, double s2, const double* b,
+          std::uint64_t n) noexcept;
+void acc3(double* dst, double s1, const double* a, double s2, const double* b,
+          double s3, const double* c, std::uint64_t n) noexcept;
+void acc4(double* dst, double s1, const double* a, double s2, const double* b,
+          double s3, const double* c, double s4, const double* d,
+          std::uint64_t n) noexcept;
+void scale(double* dst, std::size_t ldd, double s, std::uint32_t m,
+           std::uint32_t n) noexcept;
+void copy_strided(double* dst, std::size_t ldd, const double* src,
+                  std::size_t lds, std::uint32_t m, std::uint32_t n) noexcept;
+void transpose(double* dst, std::size_t ldd, const double* src,
+               std::size_t lds, std::uint32_t m, std::uint32_t n) noexcept;
+/// dst[i] = alpha · src[i·src_stride] for i in [0, n) (layout conversion;
+/// src_stride in elements, 1 = contiguous).
+void scaled_copy(double* dst, const double* src, std::size_t src_stride,
+                 double alpha, std::uint64_t n) noexcept;
+/// Shadow mirror of memcpy(dst, src, n·sizeof(double)).
+void move(double* dst, const double* src, std::uint64_t n) noexcept;
+/// Shadow mirror of memset(ptr, 0, bytes) — and of buffer alloc/free, which
+/// must drop stale shadow state for the recycled range.
+void clear(const void* ptr, std::size_t bytes) noexcept;
+
+}  // namespace detail
+
+/// True when the library was built with RLA_NUMERICS=ON, i.e. the
+/// RLA_SHADOW_* hooks in the hot paths are live and ShadowStats from an
+/// analyzed run are meaningful.
+bool instrumented() noexcept;
+
+/// True while a ShadowAnalyzer is attached to the calling thread.
+bool shadow_active() noexcept;
+
+/// Result of measuring a region of doubles against its shadow.
+struct ShadowStats {
+  double max_abs_error = 0.0;  ///< max |double − shadow| over the region
+  double max_rel_error = 0.0;  ///< max_abs_error / max |shadow| (normwise)
+  std::uint32_t worst_i = 0;   ///< logical row of the max-abs-error cell
+  std::uint32_t worst_j = 0;   ///< logical column of the max-abs-error cell
+  std::uint64_t cells = 0;     ///< cells compared
+  std::uint64_t tracked = 0;   ///< cells that had live shadow state
+};
+
+/// Address-keyed long-double shadow of every hooked store made while the
+/// analyzer is attached (see ScopedShadow). Not thread-safe by design: run
+/// under the serial schedule.
+class ShadowAnalyzer {
+ public:
+  ShadowAnalyzer();
+  ~ShadowAnalyzer();
+
+  ShadowAnalyzer(const ShadowAnalyzer&) = delete;
+  ShadowAnalyzer& operator=(const ShadowAnalyzer&) = delete;
+
+  /// Shadow value of *p: the tracked extended-precision value, or the live
+  /// double when the cell was never stored through a hook (e.g. freshly
+  /// zeroed or caller-provided input).
+  long double value(const double* p) const noexcept;
+
+  /// Overwrite the shadow of *p (OOM drops the cell and latches lossy()).
+  void set(const double* p, long double v) noexcept;
+
+  /// Forget all shadow cells in [ptr, ptr + bytes).
+  void clear_range(const void* ptr, std::size_t bytes) noexcept;
+
+  /// Compare the column-major m×n region at (c, ldc) against its shadow.
+  ShadowStats measure(const double* c, std::size_t ldc, std::uint32_t m,
+                      std::uint32_t n) const noexcept;
+
+  /// Accumulation steps whose result cancelled ≥ 2²⁶ of the largest term.
+  std::uint64_t cancellations() const noexcept;
+  /// Total hooked accumulation steps (denominator for the cancellation rate).
+  std::uint64_t accumulations() const noexcept;
+  /// Live shadow cells.
+  std::uint64_t cells_tracked() const noexcept;
+  /// True if an allocation failure forced the analyzer to drop state; the
+  /// measurement is then a lower bound on the true error.
+  bool lossy() const noexcept;
+
+  // Internal: called by the detail:: mirrors.
+  void note_accumulation(long double result, long double max_term) noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // manual pimpl: ctor must not throw after alloc succeeds
+};
+
+/// Attaches an analyzer to the calling thread for the enclosing scope.
+/// Nesting restores the previous analyzer on destruction.
+class ScopedShadow {
+ public:
+  explicit ScopedShadow(ShadowAnalyzer& analyzer) noexcept
+      : previous_(detail::tl_shadow) {
+    detail::tl_shadow = &analyzer;
+  }
+  ~ScopedShadow() { detail::tl_shadow = previous_; }
+
+  ScopedShadow(const ScopedShadow&) = delete;
+  ScopedShadow& operator=(const ScopedShadow&) = delete;
+
+ private:
+  ShadowAnalyzer* previous_;
+};
+
+}  // namespace rla::numerics
+
+// ---- shadow hooks ----
+//
+// Placed immediately BEFORE the double-precision operation they mirror (the
+// shadow pass must observe operand addresses while `value()` can still fall
+// back to the pre-store doubles). Compiled out entirely unless RLA_NUMERICS
+// is defined non-zero, so default-build hot loops are untouched.
+
+#if defined(RLA_NUMERICS) && RLA_NUMERICS
+
+#define RLA_SHADOW_HOOK_(call)                                      \
+  do {                                                              \
+    if (::rla::numerics::detail::tl_shadow != nullptr) {            \
+      ::rla::numerics::detail::call;                                \
+    }                                                               \
+  } while (0)
+
+#else  // !RLA_NUMERICS
+
+#define RLA_SHADOW_HOOK_(call) ((void)0)
+
+#endif  // RLA_NUMERICS
+
+#define RLA_SHADOW_MM(m, n, k, alpha, a, lda, b, ldb, c, ldc) \
+  RLA_SHADOW_HOOK_(mm((m), (n), (k), (alpha), (a), (lda), (b), (ldb), (c), (ldc)))
+#define RLA_SHADOW_SET_ADD(dst, a, sb, b, n) \
+  RLA_SHADOW_HOOK_(set_add((dst), (a), (sb), (b), (n)))
+#define RLA_SHADOW_ACC(dst, s, src, n) \
+  RLA_SHADOW_HOOK_(acc((dst), (s), (src), (n)))
+#define RLA_SHADOW_ACC2(dst, s1, a, s2, b, n) \
+  RLA_SHADOW_HOOK_(acc2((dst), (s1), (a), (s2), (b), (n)))
+#define RLA_SHADOW_ACC3(dst, s1, a, s2, b, s3, c, n) \
+  RLA_SHADOW_HOOK_(acc3((dst), (s1), (a), (s2), (b), (s3), (c), (n)))
+#define RLA_SHADOW_ACC4(dst, s1, a, s2, b, s3, c, s4, d, n) \
+  RLA_SHADOW_HOOK_(acc4((dst), (s1), (a), (s2), (b), (s3), (c), (s4), (d), (n)))
+#define RLA_SHADOW_SCALE(dst, ldd, s, m, n) \
+  RLA_SHADOW_HOOK_(scale((dst), (ldd), (s), (m), (n)))
+#define RLA_SHADOW_COPY_STRIDED(dst, ldd, src, lds, m, n) \
+  RLA_SHADOW_HOOK_(copy_strided((dst), (ldd), (src), (lds), (m), (n)))
+#define RLA_SHADOW_TRANSPOSE(dst, ldd, src, lds, m, n) \
+  RLA_SHADOW_HOOK_(transpose((dst), (ldd), (src), (lds), (m), (n)))
+#define RLA_SHADOW_SCALED_COPY(dst, src, src_stride, alpha, n) \
+  RLA_SHADOW_HOOK_(scaled_copy((dst), (src), (src_stride), (alpha), (n)))
+#define RLA_SHADOW_MOVE(dst, src, n) \
+  RLA_SHADOW_HOOK_(move((dst), (src), (n)))
+#define RLA_SHADOW_CLEAR(ptr, bytes) \
+  RLA_SHADOW_HOOK_(clear((ptr), (bytes)))

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "analysis/annotations.hpp"
+#include "analysis/numerics/shadow.hpp"
 #include "core/kernels.hpp"
 #include "layout/mapping.hpp"
 
@@ -158,24 +159,30 @@ void block_copy(const TiledBlock& dst, const TiledBlock& src, bool force_generic
   RLA_RACE_WRITE(dst.begin(), dst.elems() * sizeof(double));
   RLA_RACE_READ(src.begin(), src.elems() * sizeof(double));
   if (m.identity()) {
+    RLA_SHADOW_MOVE(dst.begin(), src.begin(), dst.elems());
     std::memcpy(dst.begin(), src.begin(), dst.elems() * sizeof(double));
     return;
   }
   if (m.map == nullptr) {
-    const std::uint64_t half_bytes = dst.elems() / 2 * sizeof(double);
-    std::memcpy(dst.begin(), src.begin() + dst.elems() / 2, half_bytes);
-    std::memcpy(dst.begin() + dst.elems() / 2, src.begin(), half_bytes);
+    const std::uint64_t half = dst.elems() / 2;
+    const std::uint64_t half_bytes = half * sizeof(double);
+    RLA_SHADOW_MOVE(dst.begin(), src.begin() + half, half);
+    RLA_SHADOW_MOVE(dst.begin() + half, src.begin(), half);
+    std::memcpy(dst.begin(), src.begin() + half, half_bytes);
+    std::memcpy(dst.begin() + half, src.begin(), half_bytes);
     return;
   }
   double* d = dst.begin();
   const double* p = src.begin();
   for (std::uint64_t s = 0; s < dst.tile_count(); ++s) {
+    RLA_SHADOW_MOVE(d + s * tsz, p + m(s) * tsz, tsz);
     std::memcpy(d + s * tsz, p + m(s) * tsz, tsz * sizeof(double));
   }
 }
 
 void block_zero(const TiledBlock& dst) noexcept {
   RLA_RACE_WRITE(dst.begin(), dst.elems() * sizeof(double));
+  RLA_SHADOW_CLEAR(dst.begin(), dst.elems() * sizeof(double));
   std::memset(dst.begin(), 0, dst.elems() * sizeof(double));
 }
 

@@ -126,6 +126,35 @@ struct GemmConfig {
   /// visible to the detector in builds configured with -DRLA_RACE_DETECT=ON;
   /// elsewhere the run completes but race_certified stays false.
   bool detect_races = false;
+
+  /// A priori forward-error budget: the certified relative normwise bound
+  /// (‖C − Ĉ‖_max ≤ bound · ‖op(A)‖_max·‖op(B)‖_max, computed by
+  /// analysis/numerics/error_bound.hpp) of the algorithm/depth the planner
+  /// runs must not exceed this. 0 = no budget. When the configured fast
+  /// algorithm's bound is over budget the planner first raises the
+  /// standard-recursion switchover (fewer fast levels), then falls back to
+  /// Algorithm::Standard; if even the classical bound exceeds the budget it
+  /// records "numerics:budget-infeasible" and runs classical anyway. Every
+  /// adjustment lands in GemmProfile::degradation_trail, and the bound that
+  /// was actually certified in GemmProfile::error_bound.
+  double error_budget = 0.0;
+
+  /// Run under the shadow-precision analyzer: every hooked store is mirrored
+  /// in long double and GemmProfile reports the observed max error,
+  /// cancellation count and worst-cell recursion path. Forces the serial
+  /// schedule (recorded in the degradation trail) like detect_races.
+  /// Measurements are only live in builds configured with -DRLA_NUMERICS=ON;
+  /// elsewhere the run completes but numerics_analyzed stays false.
+  bool analyze_numerics = false;
+
+  /// Watch the IEEE sticky exception flags (INVALID / OVERFLOW / DIVBYZERO)
+  /// around the call, attributing hazards to the phase that raised them (in
+  /// the degradation trail, e.g. "fp:compute:invalid"). A hazard raised by a
+  /// fast-algorithm run triggers a rerun with Algorithm::Standard — the
+  /// classical algorithm cannot manufacture the intermediate overflows and
+  /// Inf − Inf cancellations Strassen/Winograd pre-additions can. Works on
+  /// any build and any schedule (workers poll their own flags per task).
+  bool fp_check = false;
 };
 
 }  // namespace rla

@@ -8,6 +8,9 @@
 #include <optional>
 #include <stdexcept>
 
+#include "analysis/numerics/error_bound.hpp"
+#include "analysis/numerics/fptrap.hpp"
+#include "analysis/numerics/shadow.hpp"
 #include "analysis/race_detect.hpp"
 #include "core/canonical.hpp"
 #include "core/kernels.hpp"
@@ -38,6 +41,7 @@ struct ProfileSink {
   GemmProfile* out = nullptr;
   std::mutex mutex;
   std::vector<std::string> trail;
+  unsigned fp_mask = 0;  ///< hazards noted so far (guarded by mutex)
 
   void add(double conv_in, double compute, double conv_out, int depth,
            std::uint32_t tm, std::uint32_t tk, std::uint32_t tn) {
@@ -63,6 +67,31 @@ struct ProfileSink {
     trail.push_back(std::move(step));
   }
 
+  /// Record the a priori bound of one executed piece; the profile keeps the
+  /// worst (largest) bound across split pieces.
+  void set_bound(const numerics::ErrorBound& b) {
+    if (out == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (b.constant >= out->bound_constant) {
+      out->bound_constant = b.constant;
+      out->error_bound = b.relative;
+    }
+    out->bound_fast_levels = std::max(out->bound_fast_levels, b.fast_levels);
+  }
+
+  /// Record an FP hazard with phase attribution ("fp:<phase>:<flags>").
+  void note_fp(const char* phase, unsigned mask) {
+    std::lock_guard<std::mutex> lock(mutex);
+    trail.push_back(std::string("fp:") + phase + ":" +
+                    numerics::fp_describe(mask));
+    fp_mask |= mask;
+  }
+
+  unsigned hazards() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return fp_mask;
+  }
+
   /// Copy the trail into the caller's profile (call once, at quiescence).
   void flush_trail() {
     if (out == nullptr) return;
@@ -71,6 +100,45 @@ struct ProfileSink {
     out->degradations = static_cast<int>(trail.size());
   }
 };
+
+/// Drain the FP-flag accumulator at a phase boundary and attribute anything
+/// raised since the last drain to `phase`. One relaxed load when fp_check is
+/// off.
+void fp_phase(ProfileSink& sink, const char* phase) {
+  if (!numerics::fp_capture_armed()) return;
+  const unsigned mask = numerics::fp_drain();
+  if (mask != 0) sink.note_fp(phase, mask);
+}
+
+/// Apply GemmConfig::error_budget to one piece before it runs: shrink the
+/// fast-recursion levels (by raising the standard switchover) until the
+/// certified bound fits, falling back to the classical algorithm — which is
+/// run even when its own bound is over budget, with the infeasibility on
+/// record (a result with a documented bound beats no result).
+void apply_error_budget(GemmConfig& cfg, std::uint32_t m, std::uint32_t n,
+                        std::uint32_t k, int depth, ProfileSink& sink) {
+  if (cfg.error_budget <= 0.0) return;
+  if (cfg.algorithm != Algorithm::Standard) {
+    const int configured =
+        std::clamp(depth - std::max(cfg.fast_cutoff_level, 0), 0, depth);
+    const int allowed = numerics::max_fast_levels(cfg.algorithm, m, n, k, depth,
+                                                  cfg.error_budget);
+    if (allowed >= configured) return;
+    if (allowed >= 1) {
+      cfg.fast_cutoff_level = depth - allowed;
+      sink.degrade("numerics:budget:fast-levels=" + std::to_string(configured) +
+                   "->" + std::to_string(allowed));
+      return;
+    }
+    cfg.algorithm = Algorithm::Standard;
+    sink.degrade("numerics:budget->standard");
+  }
+  const numerics::ErrorBound classical =
+      numerics::error_bound(Algorithm::Standard, m, n, k, depth);
+  if (classical.relative > cfg.error_budget) {
+    sink.degrade("numerics:budget-infeasible");
+  }
+}
 
 struct Operand {
   const double* data;
@@ -120,6 +188,7 @@ void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
     });
   }
   const double conv_in = timer.seconds();
+  fp_phase(sink, "convert.in");
 
   timer.reset();
   // Piece-local cancellation: the first exception in this piece's recursion
@@ -143,13 +212,17 @@ void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
   }
   mul_dispatch(ctx, cfg.algorithm, tc.root(), ta.root(), tb.root());
   const double compute = timer.seconds();
+  fp_phase(sink, "compute");
 
   timer.reset();
   pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
     tiled_to_canonical(tc.data(), gc, c, ldc, s0, s1);
   });
+  fp_phase(sink, "convert.out");
   sink.add(conv_in, compute, timer.seconds(), depth, ga.tile_rows, ga.tile_cols,
            gb.tile_cols);
+  sink.set_bound(numerics::error_bound(cfg.algorithm, m, n, k, depth,
+                                       cfg.fast_cutoff_level));
 }
 
 std::optional<int> choose_depth(std::uint32_t m, std::uint32_t n, std::uint32_t k,
@@ -179,6 +252,7 @@ void run_piece_degrading(std::uint32_t m, std::uint32_t n, std::uint32_t k,
                          const GemmConfig& cfg, WorkerPool& pool,
                          ProfileSink& sink) {
   GemmConfig attempt = cfg;
+  apply_error_budget(attempt, m, n, k, depth, sink);
   // 0 = as configured, 1 = fast serial-lowmem, 2 = allocation-free standard
   // recursion at a shallower depth, 3 = canonical in-place.
   int stage = 0;
@@ -305,8 +379,31 @@ void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alp
   ctx.leaf = cfg.tiles.t_max;
   ctx.pool = &pool;
 
+  // The fast canonical recursion halves a padded square all the way to the
+  // leaf (no cutoff knob), so the bound is modeled on the padded side: its
+  // own padding model then matches the implementation exactly.
+  Algorithm algo = cfg.algorithm;
+  const std::uint32_t big = std::max({m, n, k, cfg.tiles.t_max});
+  const int levels = static_cast<int>(
+      bits::ceil_log2(bits::ceil_div(big, cfg.tiles.t_max)));
+  const std::uint32_t side = static_cast<std::uint32_t>(
+      bits::ceil_div(big, std::uint64_t{1} << levels) << levels);
+  if (algo != Algorithm::Standard && cfg.error_budget > 0.0) {
+    const numerics::ErrorBound fast_bound =
+        numerics::error_bound(algo, side, side, side, levels);
+    if (fast_bound.relative > cfg.error_budget) {
+      sink.degrade("numerics:budget->standard");
+      algo = Algorithm::Standard;
+    }
+  }
+
   Timer timer;
-  if (cfg.algorithm == Algorithm::Standard) {
+  if (algo == Algorithm::Standard) {
+    const numerics::ErrorBound bound =
+        numerics::error_bound(Algorithm::Standard, m, n, k, 0);
+    if (cfg.error_budget > 0.0 && bound.relative > cfg.error_budget) {
+      sink.degrade("numerics:budget-infeasible");
+    }
     // Materialize op(A)/op(B) and fold α only when required.
     std::optional<Matrix> a_copy, b_copy;
     ConstMatrixView av{a.data, a.ld, m, k};
@@ -328,10 +425,13 @@ void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alp
       bv = b_t->view();
     }
     const double conv = timer.seconds();
+    fp_phase(sink, "convert.in");
     timer.reset();
     if (beta != 1.0) strided_scale(c, ldc, beta, m, n);
     canon_standard(ctx, MatrixView{c, ldc, m, n}, av, bv);
+    fp_phase(sink, "compute");
     sink.add(conv, timer.seconds(), 0.0, 0, 0, 0, 0);
+    sink.set_bound(bound);
     return;
   }
 
@@ -339,11 +439,6 @@ void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alp
   // These three side² buffers are the canonical fast path's equivalent of
   // the recursion temporaries, so they share the alloc.temp injection site.
   fault::maybe_fail_alloc(fault::Site::AllocTemp);
-  const std::uint32_t big = std::max({m, n, k, cfg.tiles.t_max});
-  const int levels = static_cast<int>(
-      bits::ceil_log2(bits::ceil_div(big, cfg.tiles.t_max)));
-  const std::uint32_t side = static_cast<std::uint32_t>(
-      bits::ceil_div(big, std::uint64_t{1} << levels) << levels);
 
   Matrix pa(side, side), pb(side, side), pc(side, side);
   pa.zero();
@@ -361,19 +456,23 @@ void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alp
     strided_copy(pb.data(), pb.ld(), b.data, b.ld, k, n);
   }
   const double conv_in = timer.seconds();
+  fp_phase(sink, "convert.in");
 
   timer.reset();
-  if (cfg.algorithm == Algorithm::Strassen) {
+  if (algo == Algorithm::Strassen) {
     canon_strassen(ctx, pc.view(), pa.view(), pb.view());
   } else {
     canon_winograd(ctx, pc.view(), pa.view(), pb.view());
   }
   const double compute = timer.seconds();
+  fp_phase(sink, "compute");
 
   timer.reset();
   if (beta != 1.0) strided_scale(c, ldc, beta, m, n);
   strided_acc(c, ldc, 1.0, pc.data(), pc.ld(), m, n);
+  fp_phase(sink, "convert.out");
   sink.add(conv_in, compute, timer.seconds(), levels, side, side, side);
+  sink.set_bound(numerics::error_bound(algo, side, side, side, levels));
 }
 
 /// Canonical entry with its own one-step ladder: the fast algorithms' padded
@@ -413,6 +512,9 @@ void validate_config(const GemmConfig& cfg) {
   }
   if (cfg.verify && !(cfg.verify_tolerance > 0.0)) {
     throw std::invalid_argument("gemm: verify_tolerance must be positive");
+  }
+  if (!(cfg.error_budget >= 0.0)) {  // also rejects NaN
+    throw std::invalid_argument("gemm: error_budget must be >= 0 (0 = off)");
   }
 }
 
@@ -467,12 +569,16 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
 
   std::optional<WorkerPool> owned;
   WorkerPool* pool = cfg.pool;
-  if (cfg.detect_races) {
+  if (cfg.detect_races || cfg.analyze_numerics) {
     // SP-bags certification requires the serial depth-first schedule; one
     // race-free serial run covers every schedule of the same task DAG, so
     // overriding the configured parallelism loses nothing but wall-clock.
+    // The shadow analyzer makes the same trade for a different reason: its
+    // shadow map is thread-local and the serial schedule makes the measured
+    // rounding history deterministic.
     if (pool != nullptr || cfg.threads > 1) {
-      sink.degrade("race-detect:serial-schedule");
+      sink.degrade(cfg.detect_races ? "race-detect:serial-schedule"
+                                    : "numerics:serial-schedule");
     }
     owned.emplace(0u);
     pool = &*owned;
@@ -493,32 +599,53 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
     detect_scope.emplace(*detector);
   }
 
+  std::optional<numerics::ShadowAnalyzer> shadow;
+  std::optional<numerics::ScopedShadow> shadow_scope;
+  if (cfg.analyze_numerics) {
+    shadow.emplace();
+    shadow_scope.emplace(*shadow);
+  }
+
+  std::optional<numerics::ScopedFpCapture> fp_capture;
+  if (cfg.fp_check) fp_capture.emplace();
+
   const Operand oa{a, lda, op_a == Op::Transpose};
   const Operand ob{b, ldb, op_b == Op::Transpose};
 
   // Freivalds verification only guards the fast algorithms; the classical
-  // recursion is the trusted fallback.
+  // recursion is the trusted fallback. FP-hazard capture shares the rerun
+  // machinery (and therefore the C backup) on the same grounds.
   const bool verify_active = cfg.verify && cfg.algorithm != Algorithm::Standard;
+  const bool fp_rerun_possible =
+      cfg.fp_check && cfg.algorithm != Algorithm::Standard;
   std::optional<FreivaldsCheck> checker;
   AlignedBuffer<double> c_backup;  // packed m×n copy for the rerun (β ≠ 0)
   bool have_backup = false;
   if (verify_active) {
     checker.emplace(m, n, cfg.verify_probes, cfg.verify_seed);
     checker->capture(c, ldc, beta);
-    if (beta != 0.0) {
-      try {
-        c_backup = AlignedBuffer<double>(static_cast<std::size_t>(m) * n);
-        for (std::uint32_t j = 0; j < n; ++j) {
-          const double* src = c + static_cast<std::size_t>(j) * ldc;
-          double* dst = c_backup.data() + static_cast<std::size_t>(j) * m;
-          std::copy(src, src + m, dst);
-        }
-        have_backup = true;
-      } catch (const std::bad_alloc&) {
-        sink.degrade("verify:no-backup");
+  }
+  if ((verify_active || fp_rerun_possible) && beta != 0.0) {
+    try {
+      c_backup = AlignedBuffer<double>(static_cast<std::size_t>(m) * n);
+      for (std::uint32_t j = 0; j < n; ++j) {
+        const double* src = c + static_cast<std::size_t>(j) * ldc;
+        double* dst = c_backup.data() + static_cast<std::size_t>(j) * m;
+        std::copy(src, src + m, dst);
       }
+      have_backup = true;
+    } catch (const std::bad_alloc&) {
+      sink.degrade("verify:no-backup");
     }
   }
+  const auto restore_c = [&] {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const double* src = c_backup.data() + static_cast<std::size_t>(j) * m;
+      double* dst = c + static_cast<std::size_t>(j) * ldc;
+      RLA_SHADOW_MOVE(dst, src, m);
+      std::copy(src, src + m, dst);
+    }
+  };
 
   const auto run_all = [&](const GemmConfig& run_cfg) {
     if (run_cfg.layout == Curve::ColMajor) {
@@ -540,6 +667,17 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
         profile->race_reports.push_back(r.to_string());
       }
     }
+    shadow_scope.reset();  // stop mirroring before measuring
+    if (shadow && profile != nullptr) {
+      profile->numerics_analyzed = numerics::instrumented();
+      const numerics::ShadowStats st = shadow->measure(c, ldc, m, n);
+      profile->observed_abs_error = st.max_abs_error;
+      profile->observed_rel_error = st.max_rel_error;
+      profile->cancellations = shadow->cancellations();
+      profile->shadow_cells = shadow->cells_tracked();
+      profile->worst_cell_path = numerics::quadrant_path(
+          st.worst_i, st.worst_j, m, n, std::max(profile->depth, 0));
+    }
     sink.flush_trail();
     if (profile != nullptr) profile->total = total.seconds();
   };
@@ -551,6 +689,41 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
     throw Error(ErrorKind::Allocation, "gemm",
                 "allocation failed even after exhausting the degradation ladder",
                 {m, n, k}, sink.trail);
+  }
+
+  if (cfg.fp_check) {
+    // Sweep up anything raised outside an attributed phase (e.g. on the
+    // canonical ladder's materialization of op/α copies).
+    const unsigned tail = numerics::fp_drain();
+    if (tail != 0) sink.note_fp("other", tail);
+    const unsigned hazards = sink.hazards();
+    if (profile != nullptr) profile->fp_hazards = hazards;
+    if (hazards != 0 && cfg.algorithm != Algorithm::Standard &&
+        (beta == 0.0 || have_backup)) {
+      // A fast-algorithm run raised INVALID/OVERFLOW/DIVBYZERO: rerun with
+      // the classical algorithm, which cannot manufacture intermediate
+      // overflows or Inf − Inf cancellations from finite inputs. (Without a
+      // backup under β ≠ 0 the hazard stays on record but C is kept.)
+      sink.degrade("fp:hazard->standard");
+      if (have_backup) restore_c();
+      GemmConfig retry = cfg;
+      retry.algorithm = Algorithm::Standard;
+      try {
+        run_all(retry);
+      } catch (const std::bad_alloc&) {
+        finish();
+        throw Error(ErrorKind::Allocation, "gemm",
+                    "allocation failed during the FP-hazard rerun", {m, n, k},
+                    sink.trail);
+      }
+      if (profile != nullptr) profile->fp_degraded = true;
+      const unsigned rerun_mask = numerics::fp_drain();
+      if (rerun_mask != 0) sink.note_fp("rerun", rerun_mask);
+      if (profile != nullptr) profile->fp_hazards = sink.hazards();
+    }
+    // Stop monitoring before the Freivalds probes: their residual
+    // arithmetic is diagnostic, not product computation.
+    fp_capture.reset();
   }
 
   if (checker) {
@@ -571,13 +744,7 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
                     "verification failed and C could not be restored for a rerun",
                     {m, n, k}, sink.trail);
       }
-      if (have_backup) {
-        for (std::uint32_t j = 0; j < n; ++j) {
-          const double* src = c_backup.data() + static_cast<std::size_t>(j) * m;
-          double* dst = c + static_cast<std::size_t>(j) * ldc;
-          std::copy(src, src + m, dst);
-        }
-      }
+      if (have_backup) restore_c();
       GemmConfig retry = cfg;
       retry.algorithm = Algorithm::Standard;
       try {

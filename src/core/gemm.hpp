@@ -54,6 +54,27 @@ struct GemmProfile {
   bool race_certified = false;      ///< instrumented run, serial schedule, 0 races
   std::uint64_t race_cells = 0;     ///< shadow cells carrying provenance
   std::vector<std::string> race_reports;  ///< formatted, capped at 64
+
+  // A priori error certification (always filled when the multiply ran; see
+  // analysis/numerics/error_bound.hpp). The bound covers the algorithm and
+  // depth that actually executed — after any budget capping or degradation —
+  // and is the worst (largest) bound across split pieces.
+  double bound_constant = 0.0;  ///< ‖C−Ĉ‖_max ≤ constant·u·‖A‖_max·‖B‖_max
+  double error_bound = 0.0;     ///< bound_constant · u (relative bound)
+  int bound_fast_levels = -1;   ///< fast levels the bound assumed (-1 = not set)
+
+  // Shadow-precision measurements (GemmConfig::analyze_numerics; live only
+  // in -DRLA_NUMERICS=ON builds).
+  bool numerics_analyzed = false;    ///< instrumented build, analyzer attached
+  double observed_abs_error = 0.0;   ///< max |C − shadow| over the output
+  double observed_rel_error = 0.0;   ///< observed_abs_error / max |shadow C|
+  std::uint64_t cancellations = 0;   ///< accumulation steps that cancelled ≥ 2²⁶
+  std::uint64_t shadow_cells = 0;    ///< live shadow cells at measurement
+  std::string worst_cell_path;       ///< quadrant path of the worst cell, "R.NW…"
+
+  // FP-hazard capture (GemmConfig::fp_check).
+  unsigned fp_hazards = 0;   ///< mask of numerics::kFp* bits observed
+  bool fp_degraded = false;  ///< hazard forced a standard-algorithm rerun
 };
 
 /// C (m×n, ldc) ← alpha · op(A) · op(B) + beta · C.

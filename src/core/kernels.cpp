@@ -1,6 +1,7 @@
 #include "core/kernels.hpp"
 
 #include "analysis/annotations.hpp"
+#include "analysis/numerics/shadow.hpp"
 
 namespace rla {
 
@@ -10,6 +11,7 @@ namespace {
 void mm_naive(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
               const double* a, std::size_t lda, const double* b, std::size_t ldb,
               double* c, std::size_t ldc) noexcept {
+  // rla-lint: covered-by-caller (leaf_mm annotates a, b, c for every variant)
   for (std::uint32_t j = 0; j < n; ++j) {
     const double* bj = b + static_cast<std::size_t>(j) * ldb;
     double* cj = c + static_cast<std::size_t>(j) * ldc;
@@ -28,6 +30,7 @@ void mm_naive(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
 void mm_tiled_unrolled(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
                        const double* a, std::size_t lda, const double* b,
                        std::size_t ldb, double* c, std::size_t ldc) noexcept {
+  // rla-lint: covered-by-caller (leaf_mm annotates a, b, c for every variant)
   constexpr std::uint32_t kTile = 32;
   for (std::uint32_t jj = 0; jj < n; jj += kTile) {
     const std::uint32_t jmax = jj + kTile < n ? jj + kTile : n;
@@ -62,6 +65,7 @@ void mm_tiled_unrolled(std::uint32_t m, std::uint32_t n, std::uint32_t k, double
 void mm_blocked4x4(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
                    const double* a, std::size_t lda, const double* b, std::size_t ldb,
                    double* c, std::size_t ldc) noexcept {
+  // rla-lint: covered-by-caller (leaf_mm annotates a, b, c for every variant)
   const std::uint32_t m4 = m & ~3u;
   const std::uint32_t n4 = n & ~3u;
   for (std::uint32_t j = 0; j < n4; j += 4) {
@@ -117,6 +121,11 @@ void leaf_mm(KernelKind kind, std::uint32_t m, std::uint32_t n, std::uint32_t k,
   RLA_RACE_READ_STRIDED(a, m * sizeof(double), lda * sizeof(double), k);
   RLA_RACE_READ_STRIDED(b, k * sizeof(double), ldb * sizeof(double), n);
   RLA_RACE_WRITE_STRIDED(c, m * sizeof(double), ldc * sizeof(double), n);
+  // One shadow pass covers every kernel variant (they compute the same
+  // products; only the double-precision summation order differs, which the
+  // extended-precision mirror absorbs). Must precede the double kernel so
+  // the mirror reads the pre-update C.
+  RLA_SHADOW_MM(m, n, k, alpha, a, lda, b, ldb, c, ldc);
   switch (kind) {
     case KernelKind::Naive:
       mm_naive(m, n, k, alpha, a, lda, b, ldb, c, ldc);
@@ -132,26 +141,36 @@ void leaf_mm(KernelKind kind, std::uint32_t m, std::uint32_t n, std::uint32_t k,
 
 void vset_add(double* dst, const double* a, double sb, const double* b,
               std::uint64_t n) noexcept {
+  // rla-lint: covered-by-caller (block_* ops in add.cpp annotate whole tile runs)
+  RLA_SHADOW_SET_ADD(dst, a, sb, b, n);
   for (std::uint64_t i = 0; i < n; ++i) dst[i] = a[i] + sb * b[i];
 }
 
 void vacc(double* dst, double s, const double* src, std::uint64_t n) noexcept {
+  // rla-lint: covered-by-caller (block_* ops in add.cpp annotate whole tile runs)
+  RLA_SHADOW_ACC(dst, s, src, n);
   for (std::uint64_t i = 0; i < n; ++i) dst[i] += s * src[i];
 }
 
 void vacc2(double* dst, double s1, const double* a, double s2, const double* b,
            std::uint64_t n) noexcept {
+  // rla-lint: covered-by-caller (block_* ops in add.cpp annotate whole tile runs)
+  RLA_SHADOW_ACC2(dst, s1, a, s2, b, n);
   for (std::uint64_t i = 0; i < n; ++i) dst[i] += s1 * a[i] + s2 * b[i];
 }
 
 void vacc3(double* dst, double s1, const double* a, double s2, const double* b,
            double s3, const double* c, std::uint64_t n) noexcept {
+  // rla-lint: covered-by-caller (block_* ops in add.cpp annotate whole tile runs)
+  RLA_SHADOW_ACC3(dst, s1, a, s2, b, s3, c, n);
   for (std::uint64_t i = 0; i < n; ++i) dst[i] += s1 * a[i] + s2 * b[i] + s3 * c[i];
 }
 
 void vacc4(double* dst, double s1, const double* a, double s2, const double* b,
            double s3, const double* c, double s4, const double* d,
            std::uint64_t n) noexcept {
+  // rla-lint: covered-by-caller (block_* ops in add.cpp annotate whole tile runs)
+  RLA_SHADOW_ACC4(dst, s1, a, s2, b, s3, c, s4, d, n);
   for (std::uint64_t i = 0; i < n; ++i) {
     dst[i] += s1 * a[i] + s2 * b[i] + s3 * c[i] + s4 * d[i];
   }
@@ -183,6 +202,7 @@ void strided_acc(double* dst, std::size_t ldd, double s, const double* src,
 void strided_scale(double* dst, std::size_t ldd, double s, std::uint32_t m,
                    std::uint32_t n) noexcept {
   RLA_RACE_WRITE_STRIDED(dst, m * sizeof(double), ldd * sizeof(double), n);
+  RLA_SHADOW_SCALE(dst, ldd, s, m, n);
   for (std::uint32_t j = 0; j < n; ++j) {
     double* col = dst + static_cast<std::size_t>(j) * ldd;
     if (s == 0.0) {
@@ -197,6 +217,7 @@ void strided_copy(double* dst, std::size_t ldd, const double* src, std::size_t l
                   std::uint32_t m, std::uint32_t n) noexcept {
   RLA_RACE_WRITE_STRIDED(dst, m * sizeof(double), ldd * sizeof(double), n);
   RLA_RACE_READ_STRIDED(src, m * sizeof(double), lds * sizeof(double), n);
+  RLA_SHADOW_COPY_STRIDED(dst, ldd, src, lds, m, n);
   for (std::uint32_t j = 0; j < n; ++j) {
     const double* in = src + static_cast<std::size_t>(j) * lds;
     double* out = dst + static_cast<std::size_t>(j) * ldd;
@@ -209,6 +230,7 @@ void strided_transpose(double* dst, std::size_t ldd, const double* src,
   // dst is m×n, src is n×m; blocked to keep both sides cache-friendly.
   RLA_RACE_WRITE_STRIDED(dst, m * sizeof(double), ldd * sizeof(double), n);
   RLA_RACE_READ_STRIDED(src, n * sizeof(double), lds * sizeof(double), m);
+  RLA_SHADOW_TRANSPOSE(dst, ldd, src, lds, m, n);
   constexpr std::uint32_t kBlock = 32;
   for (std::uint32_t jj = 0; jj < n; jj += kBlock) {
     const std::uint32_t jmax = jj + kBlock < n ? jj + kBlock : n;

@@ -1,5 +1,8 @@
 #include "core/recursion.hpp"
 
+#include <cfenv>
+#include <limits>
+
 #include "analysis/annotations.hpp"
 #include "core/kernels.hpp"
 #include "core/zero_tree.hpp"
@@ -28,6 +31,14 @@ void leaf(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
   leaf_mm_tile(ctx.kernel, c.geom->tile_rows, c.geom->tile_cols, a.geom->tile_cols,
                a.tile(), b.tile(), c.tile());
   if (fault::should_fail(fault::Site::KernelCorrupt)) c.tile()[0] += 1.0e6;
+  if (fault::should_fail(fault::Site::KernelFpe)) {
+    // Raise a real FE_INVALID and poison the output the way an actual kernel
+    // NaN would. feraiseexcept (rather than computing 0/0) keeps the
+    // injection visible to the fenv capture without tripping
+    // -fsanitize=float-divide-by-zero builds.
+    std::feraiseexcept(FE_INVALID);
+    c.tile()[0] += std::numeric_limits<double>::quiet_NaN();
+  }
 }
 
 /// Cancellation + task.throw preamble shared by every recursion entry: one

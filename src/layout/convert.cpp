@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "analysis/annotations.hpp"
+#include "analysis/numerics/shadow.hpp"
 
 namespace rla {
 
@@ -42,12 +43,14 @@ void canonical_to_tiled(const double* src, std::size_t ld, bool transpose,
     const TileClip clip = clip_tile(g, tc.i, tc.j);
     double* tile = dst + s * tsz;
     if (clip.live_r == 0 || clip.live_c == 0) {
+      RLA_SHADOW_CLEAR(tile, tsz * sizeof(double));
       std::memset(tile, 0, tsz * sizeof(double));
       continue;
     }
     for (std::uint32_t fj = 0; fj < g.tile_cols; ++fj) {
       double* out = tile + std::uint64_t{fj} * g.tile_rows;
       if (fj >= clip.live_c) {
+        RLA_SHADOW_CLEAR(out, g.tile_rows * sizeof(double));
         std::memset(out, 0, g.tile_rows * sizeof(double));
         continue;
       }
@@ -55,6 +58,7 @@ void canonical_to_tiled(const double* src, std::size_t ld, bool transpose,
       if (!transpose) {
         const double* in = src + std::uint64_t{j} * ld + clip.i0;
         RLA_RACE_READ(in, clip.live_r * sizeof(double));
+        RLA_SHADOW_SCALED_COPY(out, in, 1, alpha, clip.live_r);
         for (std::uint32_t fi = 0; fi < clip.live_r; ++fi) out[fi] = alpha * in[fi];
       } else {
         // Logical (i, j) = physical (j, i): column j of the logical matrix is
@@ -62,11 +66,14 @@ void canonical_to_tiled(const double* src, std::size_t ld, bool transpose,
         const double* in = src + std::uint64_t{clip.i0} * ld + j;
         RLA_RACE_READ_STRIDED(in, sizeof(double), ld * sizeof(double),
                               clip.live_r);
+        RLA_SHADOW_SCALED_COPY(out, in, ld, alpha, clip.live_r);
         for (std::uint32_t fi = 0; fi < clip.live_r; ++fi) {
           out[fi] = alpha * in[std::uint64_t{fi} * ld];
         }
       }
       if (clip.live_r < g.tile_rows) {
+        RLA_SHADOW_CLEAR(out + clip.live_r,
+                         (g.tile_rows - clip.live_r) * sizeof(double));
         std::memset(out + clip.live_r, 0,
                     (g.tile_rows - clip.live_r) * sizeof(double));
       }
@@ -87,6 +94,9 @@ void tiled_to_canonical(const double* src, const TileGeometry& g, double* dst,
       const double* in = tile + std::uint64_t{fj} * g.tile_rows;
       double* out = dst + std::uint64_t{clip.j0 + fj} * ld + clip.i0;
       RLA_RACE_WRITE(out, clip.live_r * sizeof(double));
+      // Copy the shadow with the data: the caller's C inherits the tiles'
+      // accumulated rounding history, which is what measure() compares.
+      RLA_SHADOW_MOVE(out, in, clip.live_r);
       std::memcpy(out, in, clip.live_r * sizeof(double));
     }
   }
@@ -96,6 +106,7 @@ void zero_tiles(const TileGeometry& g, double* dst, std::uint64_t s_begin,
                 std::uint64_t s_end) {
   const std::uint64_t tsz = g.tile_elems();
   RLA_RACE_WRITE(dst + s_begin * tsz, (s_end - s_begin) * tsz * sizeof(double));
+  RLA_SHADOW_CLEAR(dst + s_begin * tsz, (s_end - s_begin) * tsz * sizeof(double));
   std::memset(dst + s_begin * tsz, 0, (s_end - s_begin) * tsz * sizeof(double));
 }
 

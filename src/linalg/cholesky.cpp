@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "analysis/numerics/error_bound.hpp"
 #include "core/gemm.hpp"
 #include "core/kernels.hpp"
 #include "layout/convert.hpp"
@@ -13,6 +14,18 @@
 namespace rla {
 
 namespace {
+
+/// max |a_ij| over the lower triangle (the part the factorizations touch).
+double max_abs_lower(std::uint32_t n, const double* a, std::size_t lda) noexcept {
+  double m = 0.0;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = j; i < n; ++i) {
+      const double v = std::fabs(a[static_cast<std::size_t>(j) * lda + i]);
+      if (v > m) m = v;
+    }
+  }
+  return m;
+}
 
 // ---- leaf kernels on contiguous column-major tiles ----
 
@@ -209,6 +222,7 @@ void cholesky(std::uint32_t n, double* a, std::size_t lda,
   if (n == 0) return;
   if (profile != nullptr) *profile = CholeskyProfile{};
   Timer total;
+  const double max_in = profile != nullptr ? max_abs_lower(n, a, lda) : 0.0;
 
   std::optional<WorkerPool> owned;
   WorkerPool* pool = cfg.pool;
@@ -259,6 +273,11 @@ void cholesky(std::uint32_t n, double* a, std::size_t lda,
     profile->total = total.seconds();
     profile->depth = g.depth;
     profile->tile = g.tile_rows;
+    // Growth proxy: the factored entries satisfy |l_ij|² ≤ a_ii, so a value
+    // much above 1 here flags lost symmetry/definiteness, not normal growth.
+    const double max_l = max_abs_lower(n, a, lda);
+    profile->growth_factor = max_in > 0.0 ? (max_l * max_l) / max_in : 0.0;
+    profile->error_bound = numerics::factorization_bound(n, profile->growth_factor);
   }
 }
 

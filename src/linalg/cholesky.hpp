@@ -44,6 +44,15 @@ struct CholeskyProfile {
   double total = 0.0;
   int depth = -1;
   std::uint32_t tile = 0;
+
+  // Stability certificate (analysis/numerics/error_bound.hpp). growth_factor
+  // is the computable a posteriori proxy max|factor| / max|A| (for Cholesky
+  // it is ≲ 1 by |l_ij|² ≤ a_ii; for LU without pivoting it is unbounded and
+  // is *the* number to watch). error_bound is the Higham-style relative
+  // residual bound ‖A − L·U‖ / ‖A‖ ≤ γ_{n+1}·n·ρ evaluated at ρ =
+  // max(growth_factor, 1) — u is already folded in.
+  double growth_factor = 0.0;
+  double error_bound = 0.0;
 };
 
 /// Factor the n×n symmetric positive definite column-major matrix `a`

@@ -1,9 +1,11 @@
 #include "linalg/lu.hpp"
 
 #include <array>
+#include <cmath>
 #include <optional>
 #include <stdexcept>
 
+#include "analysis/numerics/error_bound.hpp"
 #include "core/kernels.hpp"
 #include "layout/convert.hpp"
 #include "util/timer.hpp"
@@ -11,6 +13,18 @@
 namespace rla {
 
 namespace {
+
+/// max |a_ij| over the full n×n matrix.
+double max_abs(std::uint32_t n, const double* a, std::size_t lda) noexcept {
+  double m = 0.0;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double v = std::fabs(a[static_cast<std::size_t>(j) * lda + i]);
+      if (v > m) m = v;
+    }
+  }
+  return m;
+}
 
 /// Unblocked right-looking LU without pivoting on a t×t column-major tile.
 bool leaf_lu(std::uint32_t t, double* a, std::size_t lda) noexcept {
@@ -191,6 +205,7 @@ void lu_nopivot(std::uint32_t n, double* a, std::size_t lda, const LuConfig& cfg
   if (n == 0) return;
   if (profile != nullptr) *profile = LuProfile{};
   Timer total;
+  const double max_in = profile != nullptr ? max_abs(n, a, lda) : 0.0;
 
   std::optional<WorkerPool> owned;
   WorkerPool* pool = cfg.pool;
@@ -234,6 +249,12 @@ void lu_nopivot(std::uint32_t n, double* a, std::size_t lda, const LuConfig& cfg
     profile->total = total.seconds();
     profile->depth = g.depth;
     profile->tile = g.tile_rows;
+    // Without pivoting the element growth ρ = max|L,U| / max|A| is the whole
+    // stability story (Higham §9.3): the residual bound scales linearly in
+    // it, and it is unbounded for general matrices.
+    const double max_lu = max_abs(n, a, lda);
+    profile->growth_factor = max_in > 0.0 ? max_lu / max_in : 0.0;
+    profile->error_bound = numerics::factorization_bound(n, profile->growth_factor);
   }
 }
 

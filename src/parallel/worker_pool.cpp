@@ -4,6 +4,7 @@
 #include <chrono>
 #include <system_error>
 
+#include "analysis/numerics/fptrap.hpp"
 #include "robust/fault.hpp"
 
 namespace rla {
@@ -116,6 +117,9 @@ void WorkerPool::run_node(TaskNode* node) {
   } catch (...) {
     if (group != nullptr) group->record_exception(std::current_exception(), node->seq);
   }
+  // FP-status flags are per-thread: fold this worker's into the process-wide
+  // capture before the submitter (a different thread) drains it.
+  numerics::fp_poll();
   delete node;
   if (group != nullptr) group->finish();
   tasks_executed_.fetch_add(1, std::memory_order_relaxed);

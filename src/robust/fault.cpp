@@ -43,6 +43,8 @@ std::string_view site_name(Site s) noexcept {
       return "task.throw";
     case Site::KernelCorrupt:
       return "kernel.corrupt";
+    case Site::KernelFpe:
+      return "kernel.fpe";
   }
   return "?";
 }

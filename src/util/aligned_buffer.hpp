@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "analysis/annotations.hpp"
+#include "analysis/numerics/shadow.hpp"
 
 namespace rla {
 
@@ -35,8 +36,10 @@ class AlignedBuffer {
     data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
     if (data_ == nullptr) throw std::bad_alloc();
     // A recycled allocation must not inherit the shadow provenance of its
-    // previous owner (a logically parallel sibling would look like a race).
+    // previous owner (a logically parallel sibling would look like a race,
+    // and a stale long-double shadow would corrupt error measurement).
     analysis::hook_buffer_lifetime(data_, bytes);
+    RLA_SHADOW_CLEAR(data_, bytes);
   }
 
   AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_, other.alignment_) {
@@ -73,6 +76,7 @@ class AlignedBuffer {
   void zero() noexcept {
     if (size_ != 0) {
       RLA_RACE_WRITE(data_, size_ * sizeof(T));
+      RLA_SHADOW_CLEAR(data_, size_ * sizeof(T));
       std::memset(data_, 0, size_ * sizeof(T));
     }
   }
@@ -98,6 +102,7 @@ class AlignedBuffer {
   void release() noexcept {
     if (data_ != nullptr) {
       analysis::hook_buffer_lifetime(data_, size_ * sizeof(T));
+      RLA_SHADOW_CLEAR(data_, size_ * sizeof(T));
     }
     std::free(data_);
     data_ = nullptr;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <tuple>
 
@@ -177,6 +178,66 @@ TEST(Gemm, BetaZeroIgnoresGarbageC) {
   reference_gemm(20, 20, 20, 1.0, a.data(), a.ld(), false, b.data(), b.ld(),
                  false, 0.0, c_ref.data(), c_ref.ld());
   EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-12);
+}
+
+// BLAS semantics: beta == 0 must overwrite C without reading it, so NaN or
+// Inf garbage in the output buffer can never leak into the product. Sweep
+// the distinct drivers (tiled recursive vs. canonical in-place) and the
+// fast algorithms, whose quadrant adds are the easiest place to regress.
+TEST(Gemm, BetaZeroPoisonSweepAcrossDriversAndAlgorithms) {
+  constexpr std::uint32_t m = 24, n = 40, k = 32;  // non-square forces splits
+  Matrix a = rla::testing::random_matrix(m, k, 11);
+  Matrix b = rla::testing::random_matrix(k, n, 12);
+  Matrix c_ref(m, n);
+  c_ref.zero();
+  reference_gemm(m, n, k, 1.0, a.data(), a.ld(), false, b.data(), b.ld(),
+                 false, 0.0, c_ref.data(), c_ref.ld());
+  const double poisons[] = {std::numeric_limits<double>::quiet_NaN(),
+                            std::numeric_limits<double>::infinity()};
+  for (const Curve layout : {Curve::ZMorton, Curve::ColMajor}) {
+    for (const Algorithm algo :
+         {Algorithm::Standard, Algorithm::Strassen, Algorithm::Winograd}) {
+      for (const bool verify : {false, true}) {
+        for (const double poison : poisons) {
+          GemmConfig cfg;
+          cfg.layout = layout;
+          cfg.algorithm = algo;
+          cfg.verify = verify;
+          Matrix c(m, n);
+          c.fill([&](auto, auto) { return poison; });
+          gemm(m, n, k, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+               Op::None, 0.0, c.data(), c.ld(), cfg);
+          const double diff = max_abs_diff(c.view(), c_ref.view());
+          EXPECT_TRUE(std::isfinite(diff) && diff < 1e-10)
+              << "layout=" << static_cast<int>(layout)
+              << " algo=" << static_cast<int>(algo) << " verify=" << verify
+              << " poison=" << poison << " diff=" << diff;
+        }
+      }
+    }
+  }
+}
+
+// The alpha == 0 / k == 0 early-outs reduce to C ← beta·C; with beta == 0
+// they must store zeros rather than multiply the poison by zero.
+TEST(Gemm, BetaZeroEarlyOutsOverwritePoison) {
+  GemmConfig cfg;
+  cfg.layout = Curve::Hilbert;
+  for (const bool zero_alpha : {true, false}) {
+    Matrix a = rla::testing::random_matrix(8, 8, 21);
+    Matrix b = rla::testing::random_matrix(8, 8, 22);
+    Matrix c(8, 8);
+    c.fill([](auto, auto) { return std::numeric_limits<double>::quiet_NaN(); });
+    const double alpha = zero_alpha ? 0.0 : 1.0;
+    const std::uint32_t k = zero_alpha ? 8 : 0;  // other path: k == 0
+    gemm(8, 8, k, alpha, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+         Op::None, 0.0, c.data(), c.ld(), cfg);
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      for (std::uint32_t i = 0; i < 8; ++i) {
+        ASSERT_EQ(c(i, j), 0.0) << "zero_alpha=" << zero_alpha;
+      }
+    }
+  }
 }
 
 TEST(Gemm, ForcedDepthSweepStaysCorrect) {

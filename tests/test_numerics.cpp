@@ -1,0 +1,683 @@
+// Tests for the numerical-stability certifier (src/analysis/numerics):
+// a priori error bounds, the planner's error budget, the shadow-precision
+// analyzer, and FP-hazard capture/degradation. The property tests compare
+// every algorithm × layout × depth against a long-double reference on both
+// random and adversarial inputs and assert the certified bound dominates
+// the observed error.
+
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cfloat>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/numerics/error_bound.hpp"
+#include "analysis/numerics/fptrap.hpp"
+#include "analysis/numerics/shadow.hpp"
+#include "robust/fault.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+using numerics::ErrorBound;
+using numerics::error_bound;
+using testing::random_matrix;
+
+constexpr double kU = 0x1p-53;
+
+bool trail_has_prefix(const GemmProfile& p, const std::string& prefix) {
+  for (const auto& entry : p.degradation_trail) {
+    if (entry.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+// ---- closed-form bound sanity ----
+
+TEST(ErrorBoundTest, UnitRoundoffAndGamma) {
+  EXPECT_DOUBLE_EQ(numerics::unit_roundoff(), kU);
+  EXPECT_DOUBLE_EQ(numerics::gamma_factor(0), 0.0);
+  // Small k: γ_k ≈ k·u.
+  EXPECT_NEAR(numerics::gamma_factor(8), 8.0 * kU, 8.0 * kU * 1e-10);
+  EXPECT_LT(numerics::gamma_factor(16), numerics::gamma_factor(32));
+  // Collapse once k·u ≥ 1.
+  EXPECT_TRUE(std::isinf(numerics::gamma_factor(std::uint64_t{1} << 53)));
+}
+
+TEST(ErrorBoundTest, StandardBoundMatchesClassicalFormula) {
+  const ErrorBound b = error_bound(Algorithm::Standard, 64, 64, 64, 3);
+  EXPECT_EQ(b.fast_levels, 0);
+  EXPECT_EQ(b.leaf_k, 64u);
+  EXPECT_NEAR(b.componentwise, numerics::gamma_factor(64) / kU, 1e-6);
+  EXPECT_NEAR(b.constant, 64.0 * b.componentwise, 1e-6);
+  EXPECT_DOUBLE_EQ(b.relative, b.constant * kU);
+  // Depth does not change the classical ceiling.
+  EXPECT_DOUBLE_EQ(error_bound(Algorithm::Standard, 64, 64, 64, 0).constant,
+                   b.constant);
+}
+
+TEST(ErrorBoundTest, FastBoundsMatchHighamConstants) {
+  // k = 64, depth 2, no cutoff: k₀ = 16 tiles re-expanded to 16, ℓ = 2,
+  // K = 64. Strassen: (k₀² + 5k₀)·12² − 5K.
+  const ErrorBound s = error_bound(Algorithm::Strassen, 64, 64, 64, 2);
+  EXPECT_EQ(s.fast_levels, 2);
+  EXPECT_EQ(s.leaf_k, 16u);
+  EXPECT_TRUE(std::isinf(s.componentwise));
+  EXPECT_NEAR(s.constant, (16.0 * 16.0 + 5.0 * 16.0) * 144.0 - 5.0 * 64.0, 1e-9);
+
+  const ErrorBound w = error_bound(Algorithm::Winograd, 64, 64, 64, 2);
+  EXPECT_NEAR(w.constant, (16.0 * 16.0 + 6.0 * 16.0) * 324.0 - 6.0 * 64.0, 1e-9);
+  // Winograd's 18^ℓ amplification dominates Strassen's 12^ℓ.
+  EXPECT_GT(w.constant, s.constant);
+}
+
+TEST(ErrorBoundTest, MoreFastLevelsMeansLooserBound) {
+  // With zero fast levels the Strassen formula degenerates to the classical
+  // k² (the γ-based classical bound is a hair above it via 1/(1−ku)).
+  const double classical = error_bound(Algorithm::Standard, 256, 256, 256, 0).constant;
+  double previous = error_bound(Algorithm::Strassen, 256, 256, 256, 0).constant;
+  EXPECT_NEAR(previous, classical, 1e-6 * classical);
+  for (int depth = 1; depth <= 4; ++depth) {
+    const ErrorBound b = error_bound(Algorithm::Strassen, 256, 256, 256, depth);
+    EXPECT_EQ(b.fast_levels, depth);
+    EXPECT_GT(b.constant, previous);
+    previous = b.constant;
+  }
+  // Raising the cutoff claws the bound back toward classical.
+  const double all_fast = error_bound(Algorithm::Strassen, 256, 256, 256, 4, 0).constant;
+  const double half_fast = error_bound(Algorithm::Strassen, 256, 256, 256, 4, 2).constant;
+  const double no_fast = error_bound(Algorithm::Strassen, 256, 256, 256, 4, 4).constant;
+  EXPECT_LT(half_fast, all_fast);
+  EXPECT_LT(no_fast, half_fast);
+}
+
+TEST(ErrorBoundTest, DegenerateShapes) {
+  EXPECT_DOUBLE_EQ(error_bound(Algorithm::Strassen, 8, 8, 0, 2).constant, 0.0);
+  EXPECT_GT(error_bound(Algorithm::Standard, 1, 1, 1, 0).constant, 0.0);
+  // Negative depth is clamped to 0.
+  EXPECT_DOUBLE_EQ(error_bound(Algorithm::Standard, 8, 8, 8, -3).constant,
+                   error_bound(Algorithm::Standard, 8, 8, 8, 0).constant);
+}
+
+TEST(ErrorBoundTest, MaxFastLevelsBracketsTheBudget) {
+  const int depth = 4;
+  // A budget above the fully fast bound allows every level.
+  const double loose = error_bound(Algorithm::Strassen, 64, 64, 64, depth).relative * 2;
+  EXPECT_EQ(numerics::max_fast_levels(Algorithm::Strassen, 64, 64, 64, depth, loose),
+            depth);
+  // A budget below the classical bound is infeasible.
+  EXPECT_EQ(numerics::max_fast_levels(Algorithm::Strassen, 64, 64, 64, depth, 1e-20),
+            -1);
+  // A budget between levels ℓ and ℓ+1 returns exactly ℓ.
+  for (int levels = 0; levels < depth; ++levels) {
+    const double at = error_bound(Algorithm::Strassen, 64, 64, 64, depth,
+                                  depth - levels).relative;
+    const double next = error_bound(Algorithm::Strassen, 64, 64, 64, depth,
+                                    depth - levels - 1).relative;
+    ASSERT_LT(at, next);
+    const double budget = 0.5 * (at + next);
+    EXPECT_EQ(numerics::max_fast_levels(Algorithm::Strassen, 64, 64, 64, depth, budget),
+              levels);
+  }
+}
+
+TEST(ErrorBoundTest, FactorizationBoundScalesWithGrowth) {
+  EXPECT_DOUBLE_EQ(numerics::factorization_bound(0, 10.0), 0.0);
+  const double base = numerics::factorization_bound(64, 1.0);
+  EXPECT_GT(base, 0.0);
+  // Growth below 1 is clamped (the residual can't beat γ_{n+1}·n).
+  EXPECT_DOUBLE_EQ(numerics::factorization_bound(64, 0.1), base);
+  EXPECT_NEAR(numerics::factorization_bound(64, 8.0), 8.0 * base, 8.0 * base * 1e-12);
+  EXPECT_GT(numerics::factorization_bound(128, 1.0), base);
+}
+
+TEST(ErrorBoundTest, QuadrantPath) {
+  EXPECT_EQ(numerics::quadrant_path(0, 0, 8, 8, 0), "R");
+  EXPECT_EQ(numerics::quadrant_path(0, 0, 8, 8, 3), "R.NW.NW.NW");
+  EXPECT_EQ(numerics::quadrant_path(7, 7, 8, 8, 1), "R.SE");
+  EXPECT_EQ(numerics::quadrant_path(4, 3, 8, 8, 2), "R.SW.NE");
+  // Odd extents split on ceiling halves: row 3 of 7 is still the north half.
+  EXPECT_EQ(numerics::quadrant_path(3, 0, 7, 7, 1), "R.NW");
+  EXPECT_EQ(numerics::quadrant_path(4, 0, 7, 7, 1), "R.SW");
+  // 1×1 blocks stop descending regardless of the requested levels.
+  EXPECT_EQ(numerics::quadrant_path(0, 0, 1, 1, 4), "R");
+}
+
+// ---- property tests: certified bound dominates the observed error ----
+
+/// Long-double reference product (alpha = 1, beta = 0, no transposes).
+std::vector<long double> reference_ld(const Matrix& a, const Matrix& b) {
+  const std::uint32_t m = a.rows(), k = a.cols(), n = b.cols();
+  std::vector<long double> c(static_cast<std::size_t>(m) * n, 0.0L);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t l = 0; l < k; ++l) {
+      const long double blj = b.data()[static_cast<std::size_t>(j) * b.ld() + l];
+      const double* al = a.data() + static_cast<std::size_t>(l) * a.ld();
+      long double* cj = c.data() + static_cast<std::size_t>(j) * m;
+      for (std::uint32_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
+    }
+  }
+  return c;
+}
+
+double max_abs(const Matrix& x) {
+  double v = 0.0;
+  for (std::uint32_t j = 0; j < x.cols(); ++j) {
+    for (std::uint32_t i = 0; i < x.rows(); ++i) {
+      v = std::max(v, std::fabs(x(i, j)));
+    }
+  }
+  return v;
+}
+
+/// Run C = A·B under cfg and assert max|C − C_ld| ≤ certified · ‖A‖·‖B‖
+/// (plus an absolute slack for below-denormal truncation).
+void expect_bound_dominates(const Matrix& a, const Matrix& b, GemmConfig cfg,
+                            double abs_slack, const std::string& label) {
+  const std::uint32_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  GemmProfile profile;
+  gemm(m, n, k, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(), Op::None, 0.0,
+       c.data(), c.ld(), cfg, &profile);
+  ASSERT_GT(profile.error_bound, 0.0) << label;
+
+  const std::vector<long double> ref = reference_ld(a, b);
+  long double worst = 0.0L;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = 0; i < m; ++i) {
+      const long double diff =
+          std::fabs(static_cast<long double>(c(i, j)) -
+                    ref[static_cast<std::size_t>(j) * m + i]);
+      if (diff > worst) worst = diff;
+    }
+  }
+  const double ceiling = profile.error_bound * max_abs(a) * max_abs(b) + abs_slack;
+  EXPECT_LE(static_cast<double>(worst), ceiling)
+      << label << " bound=" << profile.error_bound
+      << " fast_levels=" << profile.bound_fast_levels;
+}
+
+struct AdversarialCase {
+  const char* name;
+  Matrix a, b;
+  double abs_slack;
+};
+
+std::vector<AdversarialCase> adversarial_cases(std::uint32_t m, std::uint32_t n,
+                                               std::uint32_t k) {
+  std::vector<AdversarialCase> cases;
+  {
+    // Random, well-scaled.
+    cases.push_back({"random", random_matrix(m, k, 7), random_matrix(k, n, 8), 0.0});
+  }
+  {
+    // Worst-case cancellation: alternating ±big columns of A against an
+    // all-ones B make every dot product collapse to ~0 from O(big) terms.
+    Matrix a(m, k), b(k, n);
+    for (std::uint32_t l = 0; l < k; ++l) {
+      for (std::uint32_t i = 0; i < m; ++i) {
+        a(i, l) = (l % 2 == 0 ? 1.0 : -1.0) * (1.0e8 + i);
+      }
+    }
+    for (std::uint32_t j = 0; j < n; ++j) {
+      for (std::uint32_t l = 0; l < k; ++l) b(l, j) = 1.0;
+    }
+    cases.push_back({"cancellation", std::move(a), std::move(b), 0.0});
+  }
+  {
+    // Exponent extremes: A ~ 2^+500 against B ~ 2^-500; products are O(1)
+    // but any naive intermediate normalization would overflow.
+    Matrix a = random_matrix(m, k, 9), b = random_matrix(k, n, 10);
+    for (std::uint32_t l = 0; l < k; ++l) {
+      for (std::uint32_t i = 0; i < m; ++i) a(i, l) = std::ldexp(a(i, l), 500);
+    }
+    for (std::uint32_t j = 0; j < n; ++j) {
+      for (std::uint32_t l = 0; l < k; ++l) b(l, j) = std::ldexp(b(l, j), -500);
+    }
+    cases.push_back({"extremes", std::move(a), std::move(b), 0.0});
+  }
+  {
+    // Denormal operands: the certified ceiling itself underflows, so allow
+    // an absolute slack of k ulps at the bottom of the double range.
+    Matrix a = random_matrix(m, k, 11), b = random_matrix(k, n, 12);
+    for (std::uint32_t l = 0; l < k; ++l) {
+      for (std::uint32_t i = 0; i < m; ++i) a(i, l) = std::ldexp(a(i, l), -1040);
+    }
+    cases.push_back({"denormal", std::move(a), std::move(b),
+                     std::ldexp(static_cast<double>(k), -1060)});
+  }
+  return cases;
+}
+
+TEST(BoundDominationTest, AllAlgorithmsLayoutsAndDepths) {
+  const std::uint32_t m = 48, n = 48, k = 48;
+  const Algorithm algos[] = {Algorithm::Standard, Algorithm::Strassen,
+                             Algorithm::Winograd};
+  const auto cases = adversarial_cases(m, n, k);
+  for (const auto& cs : cases) {
+    for (Algorithm algo : algos) {
+      for (Curve curve : kRecursiveCurves) {
+        for (int depth = 0; depth <= 4; ++depth) {
+          GemmConfig cfg;
+          cfg.algorithm = algo;
+          cfg.layout = curve;
+          cfg.forced_depth = depth;
+          const std::string label = std::string(cs.name) + "/" +
+                                    std::string(algorithm_name(algo)) + "/" +
+                                    std::string(curve_name(curve)) + "/d" +
+                                    std::to_string(depth);
+          expect_bound_dominates(cs.a, cs.b, cfg, cs.abs_slack, label);
+        }
+      }
+      // Canonical baseline (depth chosen internally).
+      GemmConfig canon;
+      canon.algorithm = algo;
+      canon.layout = Curve::ColMajor;
+      expect_bound_dominates(cs.a, cs.b, canon, cs.abs_slack,
+                             std::string(cs.name) + "/" +
+                                 std::string(algorithm_name(algo)) + "/canonical");
+    }
+  }
+}
+
+TEST(BoundDominationTest, ProfileReportsBoundForEveryRun) {
+  Matrix a = random_matrix(40, 40, 1), b = random_matrix(40, 40, 2);
+  Matrix c(40, 40);
+  for (Algorithm algo : {Algorithm::Standard, Algorithm::Strassen}) {
+    GemmConfig cfg;
+    cfg.algorithm = algo;
+    GemmProfile profile;
+    gemm(40, 40, 40, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(), Op::None,
+         0.0, c.data(), c.ld(), cfg, &profile);
+    EXPECT_GT(profile.bound_constant, 0.0);
+    EXPECT_DOUBLE_EQ(profile.error_bound, profile.bound_constant * kU);
+    EXPECT_GE(profile.bound_fast_levels, 0);
+    if (algo == Algorithm::Standard) {
+      EXPECT_EQ(profile.bound_fast_levels, 0);
+    }
+  }
+}
+
+// ---- planner budget ----
+
+TEST(ErrorBudgetTest, NegativeOrNanBudgetIsRejected) {
+  Matrix a = random_matrix(8, 8, 1), b = random_matrix(8, 8, 2), c(8, 8);
+  GemmConfig cfg;
+  cfg.error_budget = -1e-10;
+  EXPECT_THROW(gemm(8, 8, 8, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+                    Op::None, 0.0, c.data(), c.ld(), cfg),
+               std::invalid_argument);
+  cfg.error_budget = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(gemm(8, 8, 8, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+                    Op::None, 0.0, c.data(), c.ld(), cfg),
+               std::invalid_argument);
+}
+
+TEST(ErrorBudgetTest, CapsFastLevelsAndStaysCorrect) {
+  const std::uint32_t size = 64;
+  const int depth = 4;
+  Matrix a = random_matrix(size, size, 3), b = random_matrix(size, size, 4);
+  // Budget that admits exactly 2 fast levels.
+  const double at2 = error_bound(Algorithm::Strassen, size, size, size, depth,
+                                 depth - 2).relative;
+  const double at3 = error_bound(Algorithm::Strassen, size, size, size, depth,
+                                 depth - 3).relative;
+  ASSERT_LT(at2, at3);
+
+  GemmConfig cfg;
+  cfg.algorithm = Algorithm::Strassen;
+  cfg.forced_depth = depth;
+  cfg.error_budget = 0.5 * (at2 + at3);
+  Matrix c(size, size);
+  GemmProfile profile;
+  gemm(size, size, size, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+       Op::None, 0.0, c.data(), c.ld(), cfg, &profile);
+  EXPECT_TRUE(trail_has_prefix(profile, "numerics:budget:fast-levels=4->2"))
+      << ::testing::PrintToString(profile.degradation_trail);
+  EXPECT_EQ(profile.bound_fast_levels, 2);
+  EXPECT_LE(profile.error_bound, cfg.error_budget);
+
+  Matrix c_ref(size, size);
+  reference_gemm(size, size, size, 1.0, a.data(), a.ld(), false, b.data(), b.ld(),
+                 false, 0.0, c_ref.data(), c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()),
+            testing::gemm_tolerance(size, size, size));
+}
+
+TEST(ErrorBudgetTest, FallsBackToStandardWhenNoFastLevelFits) {
+  const std::uint32_t size = 64;
+  Matrix a = random_matrix(size, size, 5), b = random_matrix(size, size, 6);
+  // Classical bound ≈ k²·u ≈ 4.5e-13 fits; even one Strassen level does not.
+  const double classical = error_bound(Algorithm::Standard, size, size, size, 0).relative;
+  const double one_level = error_bound(Algorithm::Strassen, size, size, size, 4, 3).relative;
+  ASSERT_LT(classical, one_level);
+  const double budget = 0.5 * (classical + one_level);
+
+  for (Curve curve : {Curve::ZMorton, Curve::ColMajor}) {
+    GemmConfig cfg;
+    cfg.algorithm = Algorithm::Strassen;
+    cfg.layout = curve;
+    cfg.error_budget = budget;
+    Matrix c(size, size);
+    GemmProfile profile;
+    gemm(size, size, size, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+         Op::None, 0.0, c.data(), c.ld(), cfg, &profile);
+    EXPECT_TRUE(trail_has_prefix(profile, "numerics:budget->standard"))
+        << ::testing::PrintToString(profile.degradation_trail);
+    EXPECT_EQ(profile.bound_fast_levels, 0);
+    EXPECT_LE(profile.error_bound, budget);
+
+    Matrix c_ref(size, size);
+    reference_gemm(size, size, size, 1.0, a.data(), a.ld(), false, b.data(),
+                   b.ld(), false, 0.0, c_ref.data(), c_ref.ld());
+    EXPECT_LT(max_abs_diff(c.view(), c_ref.view()),
+              testing::gemm_tolerance(size, size, size));
+  }
+}
+
+TEST(ErrorBudgetTest, InfeasibleBudgetIsRecordedAndClassicalStillRuns) {
+  const std::uint32_t size = 32;
+  Matrix a = random_matrix(size, size, 7), b = random_matrix(size, size, 8);
+  for (Curve curve : {Curve::ZMorton, Curve::ColMajor}) {
+    GemmConfig cfg;
+    cfg.layout = curve;
+    cfg.error_budget = 1e-20;  // below even the classical bound
+    Matrix c(size, size);
+    GemmProfile profile;
+    gemm(size, size, size, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+         Op::None, 0.0, c.data(), c.ld(), cfg, &profile);
+    EXPECT_TRUE(trail_has_prefix(profile, "numerics:budget-infeasible"))
+        << ::testing::PrintToString(profile.degradation_trail);
+    Matrix c_ref(size, size);
+    reference_gemm(size, size, size, 1.0, a.data(), a.ld(), false, b.data(),
+                   b.ld(), false, 0.0, c_ref.data(), c_ref.ld());
+    EXPECT_LT(max_abs_diff(c.view(), c_ref.view()),
+              testing::gemm_tolerance(size, size, size));
+  }
+}
+
+// ---- shadow-precision analyzer ----
+
+TEST(ShadowAnalyzerTest, DirectSetMeasureAndFallback) {
+  numerics::ShadowAnalyzer analyzer;
+  double x[4] = {1.0, 2.0, 3.0, 4.0};
+  // Untracked cells fall back to the live double.
+  EXPECT_EQ(analyzer.value(&x[0]), 1.0L);
+  analyzer.set(&x[0], 1.0L + 0x1p-60L);
+  EXPECT_EQ(analyzer.cells_tracked(), 1u);
+  const numerics::ShadowStats st = analyzer.measure(x, 4, 4, 1);
+  EXPECT_EQ(st.cells, 4u);
+  EXPECT_EQ(st.tracked, 1u);
+  EXPECT_NEAR(st.max_abs_error, 0x1p-60, 0x1p-80);
+  EXPECT_EQ(st.worst_i, 0u);
+  analyzer.clear_range(x, sizeof(x));
+  EXPECT_EQ(analyzer.cells_tracked(), 0u);
+  EXPECT_FALSE(analyzer.lossy());
+}
+
+TEST(ShadowAnalyzerTest, GemmReportsObservedErrorWithinBound) {
+  const std::uint32_t size = 48;
+  Matrix a = random_matrix(size, size, 21), b = random_matrix(size, size, 22);
+  for (Algorithm algo : {Algorithm::Standard, Algorithm::Strassen,
+                         Algorithm::Winograd}) {
+    GemmConfig cfg;
+    cfg.algorithm = algo;
+    cfg.analyze_numerics = true;
+    Matrix c(size, size);
+    GemmProfile profile;
+    gemm(size, size, size, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+         Op::None, 0.0, c.data(), c.ld(), cfg, &profile);
+    EXPECT_EQ(profile.numerics_analyzed, numerics::instrumented());
+    if (!numerics::instrumented()) {
+      EXPECT_EQ(profile.shadow_cells, 0u);
+      continue;
+    }
+    EXPECT_GT(profile.shadow_cells, 0u);
+    EXPECT_GT(profile.observed_abs_error, 0.0);
+    // The a priori certificate must dominate what the run actually did.
+    EXPECT_LE(profile.observed_rel_error, profile.error_bound)
+        << algorithm_name(algo);
+    EXPECT_EQ(profile.worst_cell_path.rfind("R", 0), 0u);
+  }
+}
+
+TEST(ShadowAnalyzerTest, CancellationHeavyInputsAreCounted) {
+  if (!numerics::instrumented()) GTEST_SKIP() << "needs -DRLA_NUMERICS=ON";
+  const std::uint32_t size = 32;
+  Matrix a(size, size), b(size, size);
+  for (std::uint32_t l = 0; l < size; ++l) {
+    for (std::uint32_t i = 0; i < size; ++i) {
+      a(i, l) = (l % 2 == 0 ? 1.0 : -1.0) * 1.0e8;
+      b(l, i) = 1.0;
+    }
+  }
+  GemmConfig cfg;
+  cfg.analyze_numerics = true;
+  Matrix c(size, size);
+  GemmProfile profile;
+  gemm(size, size, size, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+       Op::None, 0.0, c.data(), c.ld(), cfg, &profile);
+  EXPECT_GT(profile.cancellations, 0u);
+}
+
+TEST(ShadowAnalyzerTest, ForcesSerialScheduleAndRecordsIt) {
+  Matrix a = random_matrix(32, 32, 31), b = random_matrix(32, 32, 32);
+  GemmConfig cfg;
+  cfg.analyze_numerics = true;
+  cfg.threads = 4;
+  Matrix c(32, 32);
+  GemmProfile profile;
+  gemm(32, 32, 32, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(), Op::None,
+       0.0, c.data(), c.ld(), cfg, &profile);
+  EXPECT_TRUE(trail_has_prefix(profile, "numerics:serial-schedule"))
+      << ::testing::PrintToString(profile.degradation_trail);
+}
+
+// ---- FP-hazard capture ----
+
+TEST(FpCaptureTest, DescribeMasks) {
+  EXPECT_EQ(numerics::fp_describe(0), "none");
+  EXPECT_EQ(numerics::fp_describe(numerics::kFpInvalid), "invalid");
+  EXPECT_EQ(numerics::fp_describe(numerics::kFpInvalid | numerics::kFpOverflow |
+                                  numerics::kFpDivByZero),
+            "invalid|overflow|divzero");
+}
+
+TEST(FpCaptureTest, DrainSeesLocalFlags) {
+  numerics::ScopedFpCapture capture;
+  (void)numerics::fp_drain();  // clear anything the harness left behind
+  // feraiseexcept sets the same sticky flag as an actual x/0 without
+  // tripping -fsanitize=float-divide-by-zero builds.
+  std::feraiseexcept(FE_DIVBYZERO);
+  const unsigned mask = numerics::fp_drain();
+  EXPECT_NE(mask & numerics::kFpDivByZero, 0u);
+  // A second drain with no new hazards is clean.
+  EXPECT_EQ(numerics::fp_drain(), 0u);
+}
+
+TEST(FpCaptureTest, DisarmedPollIsFree) {
+  ASSERT_FALSE(numerics::fp_capture_armed());
+  std::feraiseexcept(FE_DIVBYZERO);
+  numerics::fp_poll();  // must not crash or accumulate while disarmed
+  numerics::ScopedFpCapture capture;
+  EXPECT_EQ(numerics::fp_drain() & numerics::kFpDivByZero, 0u)
+      << "arm must start from clean flags";
+}
+
+TEST(FpHazardTest, InjectedNanDegradesFastRunToStandard) {
+  const std::uint32_t size = 32;
+  Matrix a = random_matrix(size, size, 41), b = random_matrix(size, size, 42);
+  for (Curve curve : {Curve::ZMorton, Curve::Hilbert}) {
+    GemmConfig cfg;
+    cfg.algorithm = Algorithm::Strassen;
+    cfg.layout = curve;
+    cfg.fp_check = true;
+    cfg.fault_spec = "kernel.fpe:nth=1";  // one-shot: the rerun is clean
+    Matrix c(size, size);
+    GemmProfile profile;
+    gemm(size, size, size, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+         Op::None, 0.0, c.data(), c.ld(), cfg, &profile);
+    EXPECT_NE(profile.fp_hazards & numerics::kFpInvalid, 0u);
+    EXPECT_TRUE(profile.fp_degraded);
+    EXPECT_TRUE(trail_has_prefix(profile, "fp:hazard->standard"))
+        << ::testing::PrintToString(profile.degradation_trail);
+    // The rerun must leave a correct product despite the poisoned first try.
+    Matrix c_ref(size, size);
+    reference_gemm(size, size, size, 1.0, a.data(), a.ld(), false, b.data(),
+                   b.ld(), false, 0.0, c_ref.data(), c_ref.ld());
+    EXPECT_LT(max_abs_diff(c.view(), c_ref.view()),
+              testing::gemm_tolerance(size, size, size));
+  }
+}
+
+TEST(FpHazardTest, BetaNonzeroRerunRestoresCFromBackup) {
+  const std::uint32_t size = 24;
+  Matrix a = random_matrix(size, size, 43), b = random_matrix(size, size, 44);
+  Matrix c = random_matrix(size, size, 45);
+  Matrix c_ref = c;
+  GemmConfig cfg;
+  cfg.algorithm = Algorithm::Winograd;
+  cfg.fp_check = true;
+  cfg.fault_spec = "kernel.fpe:nth=1";
+  GemmProfile profile;
+  gemm(size, size, size, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+       Op::None, 0.5, c.data(), c.ld(), cfg, &profile);
+  EXPECT_TRUE(profile.fp_degraded);
+  reference_gemm(size, size, size, 1.0, a.data(), a.ld(), false, b.data(), b.ld(),
+                 false, 0.5, c_ref.data(), c_ref.ld());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()),
+            testing::gemm_tolerance(size, size, size));
+}
+
+TEST(FpHazardTest, GenuineOverflowIsAttributedToCompute) {
+  const std::uint32_t size = 32;
+  Matrix a(size, size), b(size, size);
+  for (std::uint32_t j = 0; j < size; ++j) {
+    for (std::uint32_t i = 0; i < size; ++i) {
+      a(i, j) = std::ldexp(1.0, 550);
+      b(i, j) = std::ldexp(1.0, 550);
+    }
+  }
+  GemmConfig cfg;
+  cfg.algorithm = Algorithm::Strassen;
+  cfg.fp_check = true;
+  Matrix c(size, size);
+  GemmProfile profile;
+  gemm(size, size, size, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(),
+       Op::None, 0.0, c.data(), c.ld(), cfg, &profile);
+  EXPECT_NE(profile.fp_hazards & numerics::kFpOverflow, 0u);
+  EXPECT_TRUE(profile.fp_degraded);  // products overflow in the rerun too,
+                                     // but the hazard fired on the fast run
+  bool attributed = false;
+  for (const auto& entry : profile.degradation_trail) {
+    if (entry.rfind("fp:", 0) == 0) attributed = true;
+  }
+  EXPECT_TRUE(attributed);
+}
+
+TEST(FpHazardTest, CleanRunReportsNoHazards) {
+  Matrix a = random_matrix(32, 32, 46), b = random_matrix(32, 32, 47);
+  GemmConfig cfg;
+  cfg.algorithm = Algorithm::Strassen;
+  cfg.fp_check = true;
+  cfg.threads = 3;  // exercise the worker-poll path
+  Matrix c(32, 32);
+  GemmProfile profile;
+  gemm(32, 32, 32, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(), Op::None,
+       0.0, c.data(), c.ld(), cfg, &profile);
+  EXPECT_EQ(profile.fp_hazards, 0u);
+  EXPECT_FALSE(profile.fp_degraded);
+}
+
+TEST(FpHazardDeathTest, ScopedTrapsRaisesSigfpe) {
+  if (!numerics::ScopedTraps::supported()) {
+    GTEST_SKIP() << "feenableexcept not available";
+  }
+  EXPECT_DEATH(
+      {
+        numerics::ScopedTraps traps(numerics::kFpDivByZero);
+        // With the exception unmasked, raising the flag delivers SIGFPE.
+        std::feraiseexcept(FE_DIVBYZERO);
+      },
+      "");
+}
+
+TEST(FaultSiteTest, KernelFpeSiteParsesAndCounts) {
+  fault::Site site;
+  ASSERT_TRUE(fault::parse_site("kernel.fpe", site));
+  EXPECT_EQ(site, fault::Site::KernelFpe);
+  EXPECT_EQ(fault::site_name(fault::Site::KernelFpe), "kernel.fpe");
+
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::parse_plan("kernel.fpe:nth=2", plan, &error)) << error;
+  EXPECT_EQ(plan.at(fault::Site::KernelFpe).mode, fault::Trigger::Mode::Nth);
+  EXPECT_EQ(plan.at(fault::Site::KernelFpe).nth, 2u);
+}
+
+// ---- LU / Cholesky certification ----
+
+TEST(FactorizationCertificateTest, CholeskyResidualWithinBound) {
+  const std::uint32_t n = 48;
+  Matrix m = random_matrix(n, n, 51);
+  Matrix a(n, n);
+  // A = MᵀM + n·I is comfortably SPD.
+  reference_gemm(n, n, n, 1.0, m.data(), m.ld(), true, m.data(), m.ld(), false,
+                 0.0, a.data(), a.ld());
+  for (std::uint32_t i = 0; i < n; ++i) a(i, i) += n;
+  Matrix original = a;
+
+  CholeskyProfile profile;
+  cholesky(n, a.data(), a.ld(), {}, &profile);
+  EXPECT_GT(profile.growth_factor, 0.0);
+  EXPECT_GT(profile.error_bound, 0.0);
+
+  // Residual ‖A − L·Lᵀ‖_max / ‖A‖_max against the certificate.
+  double residual = 0.0, norm_a = 0.0;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = j; i < n; ++i) {
+      double llt = 0.0;
+      for (std::uint32_t l = 0; l <= j; ++l) llt += a(i, l) * a(j, l);
+      residual = std::max(residual, std::fabs(original(i, j) - llt));
+      norm_a = std::max(norm_a, std::fabs(original(i, j)));
+    }
+  }
+  EXPECT_LE(residual / norm_a, profile.error_bound);
+}
+
+TEST(FactorizationCertificateTest, LuResidualWithinBoundAndGrowthReported) {
+  const std::uint32_t n = 48;
+  Matrix a = random_matrix(n, n, 52);
+  // Diagonal dominance keeps no-pivot LU stable (growth ≈ 1).
+  for (std::uint32_t i = 0; i < n; ++i) a(i, i) += 2.0 * n;
+  Matrix original = a;
+
+  LuProfile profile;
+  lu_nopivot(n, a.data(), a.ld(), {}, &profile);
+  EXPECT_GT(profile.growth_factor, 0.0);
+  EXPECT_LT(profile.growth_factor, 4.0);  // dominance bounds the growth
+  EXPECT_GT(profile.error_bound, 0.0);
+
+  double residual = 0.0, norm_a = 0.0;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      double lu = 0.0;
+      const std::uint32_t lim = std::min(i, j);
+      for (std::uint32_t l = 0; l <= lim; ++l) {
+        const double lil = i == l ? 1.0 : (l < i ? a(i, l) : 0.0);
+        const double ulj = l <= j ? a(l, j) : 0.0;
+        lu += lil * ulj;
+      }
+      residual = std::max(residual, std::fabs(original(i, j) - lu));
+      norm_a = std::max(norm_a, std::fabs(original(i, j)));
+    }
+  }
+  EXPECT_LE(residual / norm_a, profile.error_bound);
+}
+
+}  // namespace
+}  // namespace rla
