@@ -73,4 +73,31 @@ inline void set_flops_counters(benchmark::State& state, std::uint32_t n) {
       benchmark::Counter::kIs1000);
 }
 
+/// Publish one measured run's work/span results as plain counters, for the
+/// --json export (ISSUE: measured span + parallelism per benchmark). Call
+/// with the profile of a single cfg.measure = true run done outside the
+/// timed loop; the values are iteration-invariant.
+inline void set_profile_counters(benchmark::State& state,
+                                 const GemmProfile& profile) {
+  if (!profile.measured) return;
+  state.counters["measured_parallelism"] =
+      benchmark::Counter(profile.achieved_parallelism);
+  state.counters["measured_span_ms"] =
+      benchmark::Counter(profile.measured_span * 1e3);
+  state.counters["measured_work_ms"] =
+      benchmark::Counter(profile.measured_work * 1e3);
+  state.counters["tasks"] =
+      benchmark::Counter(static_cast<double>(profile.tasks_traced));
+  state.counters["steals"] =
+      benchmark::Counter(static_cast<double>(profile.sched.steals));
+}
+
+/// Benchmark label "layout=... algorithm=... threads=N" so the --json
+/// report carries the configuration alongside the name and shape.
+inline void set_config_label(benchmark::State& state, const GemmConfig& cfg) {
+  state.SetLabel("layout=" + std::string(curve_name(cfg.layout)) +
+                 " algorithm=" + std::string(algorithm_name(cfg.algorithm)) +
+                 " threads=" + std::to_string(cfg.threads));
+}
+
 }  // namespace rla::bench

@@ -50,6 +50,13 @@ void Dgemm_RecursiveBestTile(benchmark::State& state) {
   }
   set_flops_counters(state, n);
   state.counters["slowdown_vs_dgemm"] = best / flat_seconds(n);
+  // One measured (untimed) run so the --json export carries span/parallelism.
+  GemmConfig measured_cfg = cfg;
+  measured_cfg.measure = true;
+  GemmProfile profile;
+  run_gemm(p, measured_cfg, &profile);
+  set_profile_counters(state, profile);
+  set_config_label(state, cfg);
 }
 
 void Dgemm_ElementLevelFrensWise(benchmark::State& state) {
@@ -82,6 +89,12 @@ void Dgemm_StrassenBest(benchmark::State& state) {
   }
   set_flops_counters(state, n);
   state.counters["slowdown_vs_dgemm"] = best / flat_seconds(n);
+  GemmConfig measured_cfg = cfg;
+  measured_cfg.measure = true;
+  GemmProfile profile;
+  run_gemm(p, measured_cfg, &profile);
+  set_profile_counters(state, profile);
+  set_config_label(state, cfg);
 }
 
 void register_benchmarks() {

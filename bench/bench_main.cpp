@@ -1,0 +1,143 @@
+// Shared main for every bench binary: google-benchmark's CLI plus a
+// `--json=<path>` flag that writes a machine-readable report of all runs
+// (name, label, iterations, times, every user counter) and a per-benchmark
+// summary with median/min GFLOPS. The schema is checked by CI and consumed
+// by scripts; google-benchmark's own --benchmark_out remains available and
+// untouched.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+using rla::obs::json::Value;
+
+/// Console reporter that also records every finished run for the JSON
+/// export. (A separate "file" reporter would require --benchmark_out, so we
+/// tee off the display reporter instead.)
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) runs_.push_back(run);
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+Value run_to_json(const benchmark::BenchmarkReporter::Run& run) {
+  Value o = Value::object();
+  o.set("name", Value::string(run.benchmark_name()));
+  if (!run.aggregate_name.empty()) {
+    o.set("aggregate", Value::string(run.aggregate_name));
+  }
+  if (!run.report_label.empty()) {
+    o.set("label", Value::string(run.report_label));
+  }
+  o.set("iterations", Value::number(static_cast<std::int64_t>(run.iterations)));
+  o.set("real_time", Value::number(run.GetAdjustedRealTime()));
+  o.set("cpu_time", Value::number(run.GetAdjustedCPUTime()));
+  o.set("time_unit", Value::string(benchmark::GetTimeUnitString(run.time_unit)));
+  Value counters = Value::object();
+  for (const auto& [name, counter] : run.counters) {
+    counters.set(name, Value::number(static_cast<double>(counter)));
+  }
+  o.set("counters", std::move(counters));
+  return o;
+}
+
+bool write_json_report(const std::string& path, const char* program,
+                       const CollectingReporter& collector) {
+  Value root = Value::object();
+  Value context = Value::object();
+  context.set("executable", Value::string(program));
+  context.set("paper_scale", Value::boolean(rla::paper_scale()));
+  context.set("bench_threads",
+              Value::number(rla::env_int("RLA_BENCH_THREADS", 1)));
+  root.set("context", std::move(context));
+
+  Value runs = Value::array();
+  // Median/min GFLOPS per benchmark family, over non-aggregate runs that
+  // report a gflops counter (aggregates from --benchmark_repetitions are
+  // exported as runs but excluded here to avoid double counting).
+  std::map<std::string, std::vector<double>> gflops;
+  for (const auto& run : collector.runs()) {
+    runs.push_back(run_to_json(run));
+    if (run.run_type == benchmark::BenchmarkReporter::Run::RT_Iteration) {
+      const auto it = run.counters.find("gflops");
+      if (it != run.counters.end()) {
+        // The counter is a raw flops/s rate; the summary is in GFLOPS.
+        gflops[run.benchmark_name()].push_back(static_cast<double>(it->second) /
+                                               1e9);
+      }
+    }
+  }
+  root.set("benchmarks", std::move(runs));
+
+  Value summary = Value::array();
+  for (const auto& [name, values] : gflops) {
+    Value entry = Value::object();
+    entry.set("name", Value::string(name));
+    entry.set("median_gflops", Value::number(median_of(values)));
+    entry.set("min_gflops",
+              Value::number(*std::min_element(values.begin(), values.end())));
+    summary.push_back(std::move(entry));
+  }
+  root.set("summary", std::move(summary));
+
+  std::ofstream out(path);
+  if (!out) return false;
+  out << root.dump() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  args.push_back(nullptr);  // benchmark::Initialize expects argv[argc] == 0
+  int kept = static_cast<int>(args.size()) - 1;
+
+  benchmark::Initialize(&kept, args.data());
+  if (benchmark::ReportUnrecognizedArguments(kept, args.data())) return 1;
+
+  CollectingReporter collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    if (!write_json_report(json_path, argv[0], collector)) {
+      std::fprintf(stderr, "bench: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

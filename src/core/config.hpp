@@ -147,6 +147,23 @@ struct GemmConfig {
   /// elsewhere the run completes but numerics_analyzed stays false.
   bool analyze_numerics = false;
 
+  /// Write a Chrome trace-event JSON file (chrome://tracing / Perfetto) of
+  /// this call: per-worker task spans, spawns, steals, group syncs and the
+  /// driver phases, plus the scheduler-metrics snapshot and the measured
+  /// work/span summary under extra top-level keys. Empty = no trace file;
+  /// the RLA_TRACE environment variable supplies a path when this is empty.
+  /// Tracing implies `measure`. If another collector is already armed (one
+  /// traced gemm at a time per process) the call runs untraced and records
+  /// "trace:busy" in the degradation trail.
+  std::string trace_path;
+
+  /// Measure burdened work/span along the executed task DAG (Cilkview-style)
+  /// without necessarily writing a trace file: fills the measured_* fields
+  /// of GemmProfile (achieved parallelism, critical path, slackness).
+  /// Instrumentation is always compiled in; when neither this nor a trace
+  /// path is set the scheduler hooks cost one relaxed load each.
+  bool measure = false;
+
   /// Watch the IEEE sticky exception flags (INVALID / OVERFLOW / DIVBYZERO)
   /// around the call, attributing hazards to the phase that raised them (in
   /// the degradation trail, e.g. "fp:compute:invalid"). A hazard raised by a

@@ -15,14 +15,17 @@
 #include "core/canonical.hpp"
 #include "core/kernels.hpp"
 #include "core/recursion.hpp"
+#include "core/work_span.hpp"
 #include "core/zero_tree.hpp"
 #include "layout/bits.hpp"
 #include "layout/convert.hpp"
+#include "obs/collector.hpp"
 #include "parallel/worker_pool.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
 #include "robust/verify.hpp"
 #include "util/aligned_buffer.hpp"
+#include "util/env.hpp"
 #include "util/timer.hpp"
 
 namespace rla {
@@ -172,20 +175,23 @@ void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
       std::max<std::uint64_t>(1, tiles / (8 * (pool.thread_count() + 1)));
 
   Timer timer;
-  // Parallel remap (paper §4: "amenable to parallel execution"); α is folded
-  // into A's remap and β into C's.
-  pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
-    canonical_to_tiled(a.data, a.ld, a.transpose, alpha, ga, ta.data(), s0, s1);
-  });
-  pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
-    canonical_to_tiled(b.data, b.ld, b.transpose, 1.0, gb, tb.data(), s0, s1);
-  });
-  if (beta == 0.0) {
-    tc.zero();
-  } else {
+  {
+    obs::PhaseScope phase("convert.in");
+    // Parallel remap (paper §4: "amenable to parallel execution"); α is
+    // folded into A's remap and β into C's.
     pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
-      canonical_to_tiled(c, ldc, false, beta, gc, tc.data(), s0, s1);
+      canonical_to_tiled(a.data, a.ld, a.transpose, alpha, ga, ta.data(), s0, s1);
     });
+    pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
+      canonical_to_tiled(b.data, b.ld, b.transpose, 1.0, gb, tb.data(), s0, s1);
+    });
+    if (beta == 0.0) {
+      tc.zero();
+    } else {
+      pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
+        canonical_to_tiled(c, ldc, false, beta, gc, tc.data(), s0, s1);
+      });
+    }
   }
   const double conv_in = timer.seconds();
   fp_phase(sink, "convert.in");
@@ -210,14 +216,20 @@ void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
     ctx.zero_a = &zero_a;
     ctx.zero_b = &zero_b;
   }
-  mul_dispatch(ctx, cfg.algorithm, tc.root(), ta.root(), tb.root());
+  {
+    obs::PhaseScope phase("compute");
+    mul_dispatch(ctx, cfg.algorithm, tc.root(), ta.root(), tb.root());
+  }
   const double compute = timer.seconds();
   fp_phase(sink, "compute");
 
   timer.reset();
-  pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
-    tiled_to_canonical(tc.data(), gc, c, ldc, s0, s1);
-  });
+  {
+    obs::PhaseScope phase("convert.out");
+    pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
+      tiled_to_canonical(tc.data(), gc, c, ldc, s0, s1);
+    });
+  }
   fp_phase(sink, "convert.out");
   sink.add(conv_in, compute, timer.seconds(), depth, ga.tile_rows, ga.tile_cols,
            gb.tile_cols);
@@ -427,8 +439,11 @@ void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alp
     const double conv = timer.seconds();
     fp_phase(sink, "convert.in");
     timer.reset();
-    if (beta != 1.0) strided_scale(c, ldc, beta, m, n);
-    canon_standard(ctx, MatrixView{c, ldc, m, n}, av, bv);
+    {
+      obs::PhaseScope phase("compute");
+      if (beta != 1.0) strided_scale(c, ldc, beta, m, n);
+      canon_standard(ctx, MatrixView{c, ldc, m, n}, av, bv);
+    }
     fp_phase(sink, "compute");
     sink.add(conv, timer.seconds(), 0.0, 0, 0, 0, 0);
     sink.set_bound(bound);
@@ -459,17 +474,23 @@ void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alp
   fp_phase(sink, "convert.in");
 
   timer.reset();
-  if (algo == Algorithm::Strassen) {
-    canon_strassen(ctx, pc.view(), pa.view(), pb.view());
-  } else {
-    canon_winograd(ctx, pc.view(), pa.view(), pb.view());
+  {
+    obs::PhaseScope phase("compute");
+    if (algo == Algorithm::Strassen) {
+      canon_strassen(ctx, pc.view(), pa.view(), pb.view());
+    } else {
+      canon_winograd(ctx, pc.view(), pa.view(), pb.view());
+    }
   }
   const double compute = timer.seconds();
   fp_phase(sink, "compute");
 
   timer.reset();
-  if (beta != 1.0) strided_scale(c, ldc, beta, m, n);
-  strided_acc(c, ldc, 1.0, pc.data(), pc.ld(), m, n);
+  {
+    obs::PhaseScope phase("convert.out");
+    if (beta != 1.0) strided_scale(c, ldc, beta, m, n);
+    strided_acc(c, ldc, 1.0, pc.data(), pc.ld(), m, n);
+  }
   fp_phase(sink, "convert.out");
   sink.add(conv_in, compute, timer.seconds(), levels, side, side, side);
   sink.set_bound(numerics::error_bound(algo, side, side, side, levels));
@@ -592,6 +613,32 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
     }
   }
 
+  // Tracer / work-span measurement. One armed collector per process: a
+  // nested or concurrent traced gemm runs untraced with "trace:busy" on
+  // record rather than corrupting the outer trace.
+  const std::string trace_path =
+      cfg.trace_path.empty() ? env_string("RLA_TRACE") : cfg.trace_path;
+  std::optional<obs::Collector> collector;
+  if (cfg.measure || !trace_path.empty()) {
+    collector.emplace();
+    if (!collector->try_attach()) {
+      sink.degrade("trace:busy");
+      collector.reset();
+    }
+  }
+  // Root frame spanning every run_all below (degradation, FP and verify
+  // reruns included): sequential reruns extend the measured critical path.
+  std::optional<obs::ScopedRoot> obs_root;
+  if (collector) obs_root.emplace("gemm");
+
+  // Scheduler counters are pool-lifetime; delta against entry so an
+  // external long-lived pool reports only this call's activity.
+  const std::uint64_t base_tasks = pool->tasks_executed();
+  const std::uint64_t base_steals = pool->steals();
+  const std::uint64_t base_failed = pool->failed_steals();
+  const std::uint64_t base_wakeups = pool->idle_wakeups();
+  const std::uint64_t base_inject = pool->injection_pops();
+
   std::optional<analysis::RaceDetector> detector;
   std::optional<analysis::ScopedDetection> detect_scope;
   if (cfg.detect_races) {
@@ -657,6 +704,70 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
   };
 
   const auto finish = [&] {
+    if (profile != nullptr) {
+      profile->sched.workers = pool->thread_count();
+      profile->sched.tasks = pool->tasks_executed() - base_tasks;
+      profile->sched.steals = pool->steals() - base_steals;
+      profile->sched.failed_steals = pool->failed_steals() - base_failed;
+      profile->sched.idle_wakeups = pool->idle_wakeups() - base_wakeups;
+      profile->sched.injection_pops = pool->injection_pops() - base_inject;
+      profile->sched.deque_high_water = pool->deque_high_water();
+    }
+    if (collector) {
+      obs_root.reset();  // close the root span before freezing results
+      // Publish this call's scheduler counters into the trace's metrics
+      // snapshot (per steal slot; the trailing slot is external threads).
+      obs::Registry& reg = collector->registry();
+      const auto slots = pool->sched_snapshot();
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        const std::string prefix =
+            i + 1 == slots.size() ? std::string("sched.external.")
+                                  : "sched.w" + std::to_string(i) + ".";
+        reg.counter(prefix + "steals").set(slots[i].steals);
+        reg.counter(prefix + "failed_steals").set(slots[i].failed_steals);
+        reg.counter(prefix + "idle_wakeups").set(slots[i].idle_wakeups);
+        reg.counter(prefix + "injection_pops").set(slots[i].injection_pops);
+        reg.gauge(prefix + "deque_high_water").set(slots[i].deque_high_water);
+      }
+      collector->detach();
+      if (profile != nullptr) {
+        profile->measured = true;
+        profile->measured_work = static_cast<double>(collector->work_ns()) / 1e9;
+        profile->measured_span = static_cast<double>(collector->span_ns()) / 1e9;
+        profile->achieved_parallelism = collector->achieved_parallelism();
+        profile->parallel_slackness =
+            profile->achieved_parallelism /
+            static_cast<double>(std::max(1u, pool->thread_count()));
+        profile->tasks_traced = collector->tasks();
+        profile->trace_events_dropped = collector->events_dropped();
+        const obs::Histogram& hist = collector->task_durations();
+        int top = obs::Histogram::kBuckets;
+        while (top > 0 && hist.bucket(top - 1) == 0) --top;
+        profile->task_ns_hist.clear();
+        for (int i = 0; i < top; ++i) {
+          profile->task_ns_hist.push_back(hist.bucket(i));
+        }
+        try {
+          // Cross-check against the a-priori DAG model of the *configured*
+          // algorithm (degradations can make the executed DAG differ).
+          const WorkSpan model = analyze_gemm(m, n, k, cfg);
+          profile->model_work = model.work;
+          profile->model_span = model.span;
+          profile->model_parallelism = model.parallelism();
+        } catch (const std::exception&) {
+          // Shape requires splitting; the per-piece model does not compose
+          // into one number, so the model fields stay zero.
+        }
+      }
+      if (!trace_path.empty()) {
+        if (collector->write_chrome_trace_file(trace_path)) {
+          if (profile != nullptr) profile->trace_file = trace_path;
+        } else {
+          sink.degrade("trace:write-failed");
+        }
+      }
+      collector.reset();
+    }
     detect_scope.reset();  // detach before reading results
     if (detector && profile != nullptr) {
       profile->races = static_cast<int>(detector->race_count());
@@ -689,6 +800,12 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
     throw Error(ErrorKind::Allocation, "gemm",
                 "allocation failed even after exhausting the degradation ladder",
                 {m, n, k}, sink.trail);
+  } catch (...) {
+    // Task failures (including injected ones) propagate to the caller, but
+    // the trace of the dying run is exactly what a post-mortem needs: drain
+    // the collector and write the export before unwinding further.
+    finish();
+    throw;
   }
 
   if (cfg.fp_check) {
@@ -715,6 +832,9 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
         throw Error(ErrorKind::Allocation, "gemm",
                     "allocation failed during the FP-hazard rerun", {m, n, k},
                     sink.trail);
+      } catch (...) {
+        finish();
+        throw;
       }
       if (profile != nullptr) profile->fp_degraded = true;
       const unsigned rerun_mask = numerics::fp_drain();
@@ -728,9 +848,11 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
 
   if (checker) {
     const bool at = op_a == Op::Transpose, bt = op_b == Op::Transpose;
-    VerifyResult result =
-        checker->check(k, alpha, a, lda, at, b, ldb, bt, c, ldc,
-                       cfg.verify_tolerance);
+    VerifyResult result = [&] {
+      obs::PhaseScope phase("verify");
+      return checker->check(k, alpha, a, lda, at, b, ldb, bt, c, ldc,
+                            cfg.verify_tolerance);
+    }();
     if (profile != nullptr) {
       profile->verify_probes = result.probes;
       profile->verify_max_residual = result.max_scaled_residual;
@@ -754,11 +876,16 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
         throw Error(ErrorKind::Allocation, "gemm",
                     "allocation failed during the verification rerun", {m, n, k},
                     sink.trail);
+      } catch (...) {
+        finish();
+        throw;
       }
       if (profile != nullptr) profile->verify_rerun = true;
-      VerifyResult recheck =
-          checker->check(k, alpha, a, lda, at, b, ldb, bt, c, ldc,
-                         cfg.verify_tolerance);
+      VerifyResult recheck = [&] {
+        obs::PhaseScope phase("verify");
+        return checker->check(k, alpha, a, lda, at, b, ldb, bt, c, ldc,
+                              cfg.verify_tolerance);
+      }();
       if (profile != nullptr) {
         profile->verify_max_residual =
             std::max(profile->verify_max_residual, recheck.max_scaled_residual);

@@ -75,6 +75,50 @@ struct GemmProfile {
   // FP-hazard capture (GemmConfig::fp_check).
   unsigned fp_hazards = 0;   ///< mask of numerics::kFp* bits observed
   bool fp_degraded = false;  ///< hazard forced a standard-algorithm rerun
+
+  /// Scheduler health for this call (always filled; deltas against the
+  /// pool's counters at entry, so an external long-lived pool reports only
+  /// this call's activity — except deque_high_water, a pool-lifetime max).
+  struct SchedStats {
+    unsigned workers = 0;              ///< worker threads actually running
+    std::uint64_t tasks = 0;           ///< tasks executed by the pool
+    std::uint64_t steals = 0;          ///< successful steals
+    std::uint64_t failed_steals = 0;   ///< acquire sweeps that found nothing
+    std::uint64_t idle_wakeups = 0;    ///< worker sleeps that ended empty
+    std::uint64_t injection_pops = 0;  ///< tasks taken via the injection queue
+    std::int64_t deque_high_water = 0; ///< deepest work deque observed
+  };
+  SchedStats sched;
+
+  // Measured work/span along the executed DAG (GemmConfig::measure, or any
+  // trace request). Burdened accounting: each task's spawn-to-start queue
+  // latency is charged to the critical path, Cilkview-style.
+  bool measured = false;             ///< collector armed for this call
+  double measured_work = 0.0;        ///< seconds of exclusive task time (T_1)
+  double measured_span = 0.0;        ///< burdened critical path (T_inf)
+  double achieved_parallelism = 0.0; ///< measured_work / measured_span
+  double parallel_slackness = 0.0;   ///< achieved_parallelism / workers
+  std::uint64_t tasks_traced = 0;    ///< task frames the collector closed
+  std::uint64_t trace_events_dropped = 0;  ///< ring-buffer overflow losses
+  std::string trace_file;            ///< Chrome trace written (empty = none)
+  /// Log2-bucketed task-duration histogram in ns: bucket i counts tasks in
+  /// [2^i, 2^(i+1)); trimmed to the highest non-empty bucket.
+  std::vector<std::uint64_t> task_ns_hist;
+
+  // A priori work/span model (core/work_span) for cross-checking the
+  // measured numbers; zero when the shape needs splitting (model N/A).
+  double model_work = 0.0;           ///< flop-weighted unit-cost work
+  double model_span = 0.0;
+  double model_parallelism = 0.0;
+
+  /// Serialize every field to a single JSON object (schema documented in
+  /// DESIGN.md §10). Machine-readable companion to the trace file.
+  std::string to_json() const;
+
+  /// Parse a to_json() string back. Returns false (leaving *out untouched)
+  /// on malformed input. to_json(from_json(s)) == s for any s produced by
+  /// to_json — the round-trip contract the tests pin down.
+  static bool from_json(const std::string& text, GemmProfile& out);
 };
 
 /// C (m×n, ldc) ← alpha · op(A) · op(B) + beta · C.

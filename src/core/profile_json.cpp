@@ -1,0 +1,219 @@
+// GemmProfile <-> JSON (schema in DESIGN.md §10).
+//
+// to_json emits every field in a fixed order; from_json reads the same
+// layout back, so to_json(from_json(s)) == s for any s that to_json
+// produced. Unknown keys are ignored on input (forward compatibility),
+// missing keys leave the default value in place.
+
+#include <utility>
+
+#include "core/gemm.hpp"
+#include "obs/json.hpp"
+
+namespace rla {
+
+namespace {
+
+using obs::json::Value;
+
+Value string_array(const std::vector<std::string>& items) {
+  Value out = Value::array();
+  for (const auto& s : items) out.push_back(Value::string(s));
+  return out;
+}
+
+Value uint_array(const std::vector<std::uint64_t>& items) {
+  Value out = Value::array();
+  for (std::uint64_t v : items) out.push_back(Value::number(v));
+  return out;
+}
+
+void read_double(const Value& obj, const char* key, double& out) {
+  if (const Value* v = obj.find(key); v != nullptr && v->is_number()) {
+    out = v->as_double();
+  }
+}
+
+void read_int(const Value& obj, const char* key, int& out) {
+  if (const Value* v = obj.find(key); v != nullptr && v->is_number()) {
+    out = static_cast<int>(v->as_int());
+  }
+}
+
+void read_u32(const Value& obj, const char* key, std::uint32_t& out) {
+  if (const Value* v = obj.find(key); v != nullptr && v->is_number()) {
+    out = static_cast<std::uint32_t>(v->as_uint());
+  }
+}
+
+void read_u64(const Value& obj, const char* key, std::uint64_t& out) {
+  if (const Value* v = obj.find(key); v != nullptr && v->is_number()) {
+    out = v->as_uint();
+  }
+}
+
+void read_i64(const Value& obj, const char* key, std::int64_t& out) {
+  if (const Value* v = obj.find(key); v != nullptr && v->is_number()) {
+    out = v->as_int();
+  }
+}
+
+void read_unsigned(const Value& obj, const char* key, unsigned& out) {
+  if (const Value* v = obj.find(key); v != nullptr && v->is_number()) {
+    out = static_cast<unsigned>(v->as_uint());
+  }
+}
+
+void read_bool(const Value& obj, const char* key, bool& out) {
+  if (const Value* v = obj.find(key); v != nullptr && v->is_bool()) {
+    out = v->as_bool();
+  }
+}
+
+void read_string(const Value& obj, const char* key, std::string& out) {
+  if (const Value* v = obj.find(key); v != nullptr && v->is_string()) {
+    out = v->as_string();
+  }
+}
+
+void read_strings(const Value& obj, const char* key,
+                  std::vector<std::string>& out) {
+  if (const Value* v = obj.find(key); v != nullptr && v->is_array()) {
+    out.clear();
+    for (const Value& item : v->items()) {
+      if (item.is_string()) out.push_back(item.as_string());
+    }
+  }
+}
+
+void read_uints(const Value& obj, const char* key,
+                std::vector<std::uint64_t>& out) {
+  if (const Value* v = obj.find(key); v != nullptr && v->is_array()) {
+    out.clear();
+    for (const Value& item : v->items()) {
+      if (item.is_number()) out.push_back(item.as_uint());
+    }
+  }
+}
+
+}  // namespace
+
+std::string GemmProfile::to_json() const {
+  Value o = Value::object();
+  o.set("convert_in", Value::number(convert_in));
+  o.set("compute", Value::number(compute));
+  o.set("convert_out", Value::number(convert_out));
+  o.set("total", Value::number(total));
+  o.set("depth", Value::number(depth));
+  o.set("tile_m", Value::number(tile_m));
+  o.set("tile_k", Value::number(tile_k));
+  o.set("tile_n", Value::number(tile_n));
+  o.set("splits", Value::number(splits));
+  o.set("degradation_trail", string_array(degradation_trail));
+  o.set("degradations", Value::number(degradations));
+  o.set("verify_probes", Value::number(verify_probes));
+  o.set("verify_max_residual", Value::number(verify_max_residual));
+  o.set("verify_failed", Value::boolean(verify_failed));
+  o.set("verify_rerun", Value::boolean(verify_rerun));
+  o.set("races", Value::number(races));
+  o.set("race_certified", Value::boolean(race_certified));
+  o.set("race_cells", Value::number(race_cells));
+  o.set("race_reports", string_array(race_reports));
+  o.set("bound_constant", Value::number(bound_constant));
+  o.set("error_bound", Value::number(error_bound));
+  o.set("bound_fast_levels", Value::number(bound_fast_levels));
+  o.set("numerics_analyzed", Value::boolean(numerics_analyzed));
+  o.set("observed_abs_error", Value::number(observed_abs_error));
+  o.set("observed_rel_error", Value::number(observed_rel_error));
+  o.set("cancellations", Value::number(cancellations));
+  o.set("shadow_cells", Value::number(shadow_cells));
+  o.set("worst_cell_path", Value::string(worst_cell_path));
+  o.set("fp_hazards", Value::number(fp_hazards));
+  o.set("fp_degraded", Value::boolean(fp_degraded));
+
+  Value s = Value::object();
+  s.set("workers", Value::number(sched.workers));
+  s.set("tasks", Value::number(sched.tasks));
+  s.set("steals", Value::number(sched.steals));
+  s.set("failed_steals", Value::number(sched.failed_steals));
+  s.set("idle_wakeups", Value::number(sched.idle_wakeups));
+  s.set("injection_pops", Value::number(sched.injection_pops));
+  s.set("deque_high_water", Value::number(sched.deque_high_water));
+  o.set("sched", std::move(s));
+
+  o.set("measured", Value::boolean(measured));
+  o.set("measured_work", Value::number(measured_work));
+  o.set("measured_span", Value::number(measured_span));
+  o.set("achieved_parallelism", Value::number(achieved_parallelism));
+  o.set("parallel_slackness", Value::number(parallel_slackness));
+  o.set("tasks_traced", Value::number(tasks_traced));
+  o.set("trace_events_dropped", Value::number(trace_events_dropped));
+  o.set("trace_file", Value::string(trace_file));
+  o.set("task_ns_hist", uint_array(task_ns_hist));
+  o.set("model_work", Value::number(model_work));
+  o.set("model_span", Value::number(model_span));
+  o.set("model_parallelism", Value::number(model_parallelism));
+  return o.dump();
+}
+
+bool GemmProfile::from_json(const std::string& text, GemmProfile& out) {
+  const std::optional<Value> parsed = Value::parse(text);
+  if (!parsed || !parsed->is_object()) return false;
+  const Value& o = *parsed;
+  GemmProfile p;
+  read_double(o, "convert_in", p.convert_in);
+  read_double(o, "compute", p.compute);
+  read_double(o, "convert_out", p.convert_out);
+  read_double(o, "total", p.total);
+  read_int(o, "depth", p.depth);
+  read_u32(o, "tile_m", p.tile_m);
+  read_u32(o, "tile_k", p.tile_k);
+  read_u32(o, "tile_n", p.tile_n);
+  read_int(o, "splits", p.splits);
+  read_strings(o, "degradation_trail", p.degradation_trail);
+  read_int(o, "degradations", p.degradations);
+  read_int(o, "verify_probes", p.verify_probes);
+  read_double(o, "verify_max_residual", p.verify_max_residual);
+  read_bool(o, "verify_failed", p.verify_failed);
+  read_bool(o, "verify_rerun", p.verify_rerun);
+  read_int(o, "races", p.races);
+  read_bool(o, "race_certified", p.race_certified);
+  read_u64(o, "race_cells", p.race_cells);
+  read_strings(o, "race_reports", p.race_reports);
+  read_double(o, "bound_constant", p.bound_constant);
+  read_double(o, "error_bound", p.error_bound);
+  read_int(o, "bound_fast_levels", p.bound_fast_levels);
+  read_bool(o, "numerics_analyzed", p.numerics_analyzed);
+  read_double(o, "observed_abs_error", p.observed_abs_error);
+  read_double(o, "observed_rel_error", p.observed_rel_error);
+  read_u64(o, "cancellations", p.cancellations);
+  read_u64(o, "shadow_cells", p.shadow_cells);
+  read_string(o, "worst_cell_path", p.worst_cell_path);
+  read_unsigned(o, "fp_hazards", p.fp_hazards);
+  read_bool(o, "fp_degraded", p.fp_degraded);
+  if (const Value* s = o.find("sched"); s != nullptr && s->is_object()) {
+    read_unsigned(*s, "workers", p.sched.workers);
+    read_u64(*s, "tasks", p.sched.tasks);
+    read_u64(*s, "steals", p.sched.steals);
+    read_u64(*s, "failed_steals", p.sched.failed_steals);
+    read_u64(*s, "idle_wakeups", p.sched.idle_wakeups);
+    read_u64(*s, "injection_pops", p.sched.injection_pops);
+    read_i64(*s, "deque_high_water", p.sched.deque_high_water);
+  }
+  read_bool(o, "measured", p.measured);
+  read_double(o, "measured_work", p.measured_work);
+  read_double(o, "measured_span", p.measured_span);
+  read_double(o, "achieved_parallelism", p.achieved_parallelism);
+  read_double(o, "parallel_slackness", p.parallel_slackness);
+  read_u64(o, "tasks_traced", p.tasks_traced);
+  read_u64(o, "trace_events_dropped", p.trace_events_dropped);
+  read_string(o, "trace_file", p.trace_file);
+  read_uints(o, "task_ns_hist", p.task_ns_hist);
+  read_double(o, "model_work", p.model_work);
+  read_double(o, "model_span", p.model_span);
+  read_double(o, "model_parallelism", p.model_parallelism);
+  out = std::move(p);
+  return true;
+}
+
+}  // namespace rla

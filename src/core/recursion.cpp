@@ -6,6 +6,7 @@
 #include "analysis/annotations.hpp"
 #include "core/kernels.hpp"
 #include "core/zero_tree.hpp"
+#include "obs/collector.hpp"
 #include "robust/fault.hpp"
 
 namespace rla {
@@ -143,6 +144,9 @@ void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     });
     group.wait();
   }
+  // "adds" phases mark the serial joints between product waves in the
+  // trace; only spawning nodes emit them (deep nodes would flood the ring).
+  obs::PhaseScope adds_phase("adds", par);
   TaskGroup group(*ctx.pool, ctx.cancel);
   fork(group, par, [&] { block_acc(c11, 1.0, t11.root(), fg); });
   fork(group, par, [&] { block_acc(c12, 1.0, t12.root(), fg); });
@@ -300,6 +304,7 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
 
   {
     // Pre-additions (Fig. 1(b)): ten independent quadrant adds.
+    obs::PhaseScope adds_phase("adds", par);
     TaskGroup group(*ctx.pool, ctx.cancel);
     fork(group, par, [&] { block_set_add(s1.root(), a11, +1.0, a22, fg); });
     fork(group, par, [&] { block_set_add(s2.root(), a21, +1.0, a22, fg); });
@@ -350,6 +355,7 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     group.wait();
   }
   // Post-additions.
+  obs::PhaseScope adds_phase("adds", par);
   TaskGroup group(*ctx.pool, ctx.cancel);
   fork(group, par, [&] {
     block_acc4(c11, +1.0, p1.root(), +1.0, p4.root(), -1.0, p5.root(), +1.0,
@@ -397,6 +403,7 @@ void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     // Pre-additions (Fig. 1(c)). S2/S4 and T2/T4 chain on earlier sums —
     // this sharing is Winograd's signature — so each side runs its chain in
     // one task, with the independent S3/T3 adds in their own tasks.
+    obs::PhaseScope adds_phase("adds", par);
     TaskGroup group(*ctx.pool, ctx.cancel);
     fork(group, par, [&] {
       block_set_add(s1.root(), a21, +1.0, a22, fg);
@@ -447,6 +454,7 @@ void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   // Post-additions with Winograd's common-subexpression reuse: the U-chain
   // accumulates in place into the P buffers (all orientation 0, so the
   // aliased elementwise updates are safe).
+  obs::PhaseScope adds_phase("adds", par);
   TaskGroup group(*ctx.pool, ctx.cancel);
   fork(group, par, [&] { block_acc2(c11, +1.0, p1.root(), +1.0, p2.root(), fg); });
   fork(group, par, [&] {

@@ -1,0 +1,184 @@
+#pragma once
+
+// Task-span tracer and run-scoped metrics collector.
+//
+// One Collector is armed at a time (process-global slot). While armed, the
+// scheduler hooks (obs/hooks.hpp) record:
+//
+//  * trace events — task executions, spawns, steals, group syncs and driver
+//    phases — into fixed-capacity per-thread ring buffers (overflow drops the
+//    oldest events and counts the loss; every event is self-contained, so a
+//    partial ring is still a valid trace);
+//
+//  * measured work/span — each executing task carries a frame on its
+//    thread's frame stack tracking exclusive time (nested helping pauses the
+//    parent) and running span; completed children fold
+//    offset + queue-latency + subtree-span into their TaskGroup, and wait()
+//    takes the max into the waiting frame. The queue latency term is what
+//    makes the span "burdened": it charges the schedule's real migration
+//    cost to the critical path, the way Cilkview charges steal overhead.
+//
+// Export is Chrome trace-event JSON (chrome://tracing / Perfetto), with the
+// metrics-registry snapshot and the work/span summary under extra top-level
+// keys that trace viewers ignore.
+//
+// Lifecycle contract: try_attach() before the traced region, detach() after
+// all task activity the caller started has joined. detach() spins out any
+// emitter still inside a hook (pin protocol), so buffers never dangle.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+
+namespace rla::obs {
+
+/// One recorded event. Self-contained (no begin/end pairing), so ring
+/// overflow can drop any subset and the remainder still parses.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { Task, Phase, Spawn, Steal, Sync };
+
+  const char* name = "";     ///< static string
+  std::int64_t ts_ns = 0;    ///< steady-clock start
+  std::int64_t dur_ns = 0;   ///< 0 for instant events
+  std::uint64_t id = 0;      ///< task id
+  std::uint64_t parent = 0;  ///< spawning task id
+  std::uint64_t seq = 0;     ///< spawn index within the group
+  std::int64_t off_ns = 0;   ///< span offset at spawn
+  std::int64_t lat_ns = 0;   ///< spawn-to-start queue latency (burden)
+  std::int64_t span_ns = 0;  ///< measured subtree span (Task events)
+  std::int64_t excl_ns = 0;  ///< exclusive body time (Task events)
+  Kind kind = Kind::Task;
+  bool migrated = false;     ///< executed on a different thread than spawned
+};
+
+namespace detail {
+// Internal emission paths (collector.cpp) that need collector access.
+void emit_event(const TraceEvent& e);
+void pop_frame(GroupObs* fold_into);
+}  // namespace detail
+
+/// Fixed-capacity single-writer event ring for one thread.
+struct ThreadBuffer {
+  ThreadBuffer(std::size_t capacity, int tid, std::string label)
+      : ring(capacity), tid(tid), label(std::move(label)) {}
+
+  void emit(const TraceEvent& e) noexcept {
+    ring[written % ring.size()] = e;
+    ++written;
+  }
+
+  std::vector<TraceEvent> ring;
+  std::uint64_t written = 0;  ///< total events emitted (>= size() when wrapped)
+  std::int64_t busy_ns = 0;   ///< sum of exclusive task time on this thread
+  int tid = 0;                ///< trace lane id (registration order)
+  std::string label;          ///< "worker N" / "main"
+};
+
+class Collector {
+ public:
+  /// `ring_capacity` events per thread; 0 reads RLA_TRACE_BUF from the
+  /// environment (default 32768, ~3 MiB per participating thread).
+  explicit Collector(std::size_t ring_capacity = 0);
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Arm this collector. False if another collector is already armed (the
+  /// caller should proceed untraced and note the collision).
+  bool try_attach();
+
+  /// Disarm. Blocks until every in-flight hook has left the collector.
+  /// Results below are stable after this returns. Idempotent.
+  void detach();
+
+  bool attached() const noexcept { return attached_; }
+
+  // ---- results (read after detach) ----
+  std::uint64_t tasks() const noexcept;
+  std::int64_t work_ns() const noexcept;
+  std::int64_t span_ns() const noexcept;
+  std::uint64_t events_dropped() const;
+  double achieved_parallelism() const noexcept;
+  const Histogram& task_durations() const { return task_hist_; }
+  Registry& registry() { return registry_; }
+  const std::vector<std::unique_ptr<ThreadBuffer>>& thread_buffers() const {
+    return buffers_;
+  }
+
+  /// Chrome trace-event JSON. Returns false (and leaves a partial file /
+  /// stream) on I/O failure.
+  void write_chrome_trace(std::ostream& out) const;
+  bool write_chrome_trace_file(const std::string& path) const;
+
+  /// Ring buffers ever created, process-wide. The disabled-path overhead
+  /// guard asserts this does not move across an untraced run.
+  static std::uint64_t buffers_created();
+
+ private:
+  friend void detail::spawn_hook(TaskTag&, std::uint64_t);
+  friend void detail::inline_begin(std::uint64_t);
+  friend void detail::run_begin(const TaskTag&, std::uint64_t);
+  friend void detail::task_end(GroupObs*);
+  friend void detail::wait_begin();
+  friend void detail::wait_end(GroupObs*);
+  friend void detail::emit_event(const TraceEvent&);
+  friend void detail::pop_frame(GroupObs*);
+  friend class ScopedRoot;
+  friend class PhaseScope;
+
+  ThreadBuffer& thread_buffer();  ///< registered lazily per thread
+
+  std::int64_t epoch_ns_ = 0;  ///< attach time; trace timestamps are relative
+  std::size_t ring_capacity_;
+  bool attached_ = false;
+
+  mutable std::mutex reg_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::int64_t> work_ns_{0};
+  std::atomic<std::int64_t> span_ns_{0};  ///< sum of sequential root spans
+  Histogram task_hist_;
+  Registry registry_;
+};
+
+/// Root frame for one driver-level run: everything spawned underneath folds
+/// its span up to here; at destruction the root span accumulates into the
+/// collector (sequential roots — e.g. degradation reruns — add up).
+class ScopedRoot {
+ public:
+  explicit ScopedRoot(const char* name = "gemm");
+  ~ScopedRoot();
+  ScopedRoot(const ScopedRoot&) = delete;
+  ScopedRoot& operator=(const ScopedRoot&) = delete;
+
+ private:
+  bool on_;
+};
+
+/// Named X-span on the current thread's trace lane (driver phases:
+/// convert.in / compute / adds / verify / convert.out).
+class PhaseScope {
+ public:
+  explicit PhaseScope(const char* name);
+  /// Conditional form: records nothing when `enabled` is false (for spots
+  /// that would flood the ring at deep recursion levels).
+  PhaseScope(const char* name, bool enabled);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_ = 0;
+  bool on_;
+};
+
+}  // namespace rla::obs

@@ -1,0 +1,142 @@
+#pragma once
+
+// Lightweight runtime-tracing hooks for the work-stealing scheduler.
+//
+// These are the observability analogue of the race detector's fork-join
+// structure hooks (analysis/annotations.hpp): always compiled into
+// WorkerPool/TaskGroup, but costing a single relaxed load and a predictable
+// branch per spawn/run/wait when no Collector is attached. The heavy lifting
+// (ring-buffer event emission, work/span folding) lives out-of-line in
+// collector.cpp and only runs while a collector is armed.
+//
+// Scope objects capture the armed state at construction so a collector
+// attaching or detaching mid-task cannot unbalance the thread-local frame
+// stack: a scope that pushed a frame always pops it, and a scope that pushed
+// nothing never pops.
+
+#include <atomic>
+#include <cstdint>
+
+namespace rla::obs {
+
+class Collector;
+
+/// Per-task trace identity, carried inside WorkerPool::TaskNode from spawn
+/// to execution. All-zero (id == 0) means the task was spawned while no
+/// collector was armed.
+struct TaskTag {
+  std::uint64_t id = 0;       ///< process-unique task id (0 = untraced)
+  std::uint64_t parent = 0;   ///< id of the spawning task (0 = none/root)
+  std::int64_t off_ns = 0;    ///< parent's running span at the spawn point
+  std::int64_t spawn_ns = 0;  ///< steady-clock time of the spawn
+  int spawn_thread = -1;      ///< uid of the spawning thread (migration check)
+};
+
+/// Per-TaskGroup span accumulator: each completed child folds
+/// offset + queue-latency + subtree-span in; wait() takes the max into the
+/// waiting task's running span. Plain atomic max — no ABA concerns because
+/// contributions only grow within one wait round.
+struct GroupObs {
+  std::atomic<std::int64_t> max_child_ns{0};
+
+  void fold(std::int64_t contribution) noexcept {
+    std::int64_t cur = max_child_ns.load(std::memory_order_relaxed);
+    while (contribution > cur &&
+           !max_child_ns.compare_exchange_weak(cur, contribution,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+};
+
+namespace detail {
+
+/// The armed collector (null = tracing off). Set by Collector::try_attach /
+/// detach; hooks use a pin protocol (see collector.cpp) before touching it.
+extern std::atomic<Collector*> g_collector;
+
+// Out-of-line slow paths (collector.cpp). Call only from the scope objects
+// below, which guarantee balanced begin/end.
+void spawn_hook(TaskTag& tag, std::uint64_t seq);
+void inline_begin(std::uint64_t seq);
+void run_begin(const TaskTag& tag, std::uint64_t seq);
+void task_end(GroupObs* fold_into);
+void wait_begin();
+void wait_end(GroupObs* fold_from);
+void set_worker_hint(int worker_index);
+
+}  // namespace detail
+
+/// True while a Collector is armed (one relaxed load).
+inline bool armed() noexcept {
+  return detail::g_collector.load(std::memory_order_relaxed) != nullptr;
+}
+
+/// Stamp a task's trace identity at the parallel spawn point.
+inline void on_spawn(TaskTag& tag, std::uint64_t seq) {
+  if (armed()) detail::spawn_hook(tag, seq);
+}
+
+/// Announce a worker thread's pool index so its trace lane gets a stable
+/// name ("worker N"); call once at thread start.
+inline void on_worker_start(int worker_index) {
+  detail::set_worker_hint(worker_index);
+}
+
+/// Serial-pool inline spawn: the task body runs between construction and
+/// destruction; the logical fork/join still counts toward measured span.
+class InlineTaskScope {
+ public:
+  InlineTaskScope(GroupObs* group, std::uint64_t seq)
+      : group_(group), on_(armed()) {
+    if (on_) detail::inline_begin(seq);
+  }
+  ~InlineTaskScope() {
+    if (on_) detail::task_end(group_);
+  }
+  InlineTaskScope(const InlineTaskScope&) = delete;
+  InlineTaskScope& operator=(const InlineTaskScope&) = delete;
+
+ private:
+  GroupObs* group_;
+  bool on_;
+};
+
+/// A queued task executing on a worker (or helping) thread.
+class RunTaskScope {
+ public:
+  RunTaskScope(const TaskTag& tag, std::uint64_t seq, GroupObs* group)
+      : group_(group), on_(armed()) {
+    if (on_) detail::run_begin(tag, seq);
+  }
+  ~RunTaskScope() {
+    if (on_) detail::task_end(group_);
+  }
+  RunTaskScope(const RunTaskScope&) = delete;
+  RunTaskScope& operator=(const RunTaskScope&) = delete;
+
+ private:
+  GroupObs* group_;
+  bool on_;
+};
+
+/// TaskGroup::wait(): suspends the waiting task's span clock for the
+/// duration (helping runs other tasks' frames) and folds the group's child
+/// spans into the waiter at the join point — including when wait() rethrows
+/// a task exception (the fold happens during unwinding).
+class WaitScope {
+ public:
+  explicit WaitScope(GroupObs* group) : group_(group), on_(armed()) {
+    if (on_) detail::wait_begin();
+  }
+  ~WaitScope() {
+    if (on_) detail::wait_end(group_);
+  }
+  WaitScope(const WaitScope&) = delete;
+  WaitScope& operator=(const WaitScope&) = delete;
+
+ private:
+  GroupObs* group_;
+  bool on_;
+};
+
+}  // namespace rla::obs

@@ -1,0 +1,321 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace rla::obs::json {
+
+namespace {
+
+/// Format a double so that parse(dump(x)) == x. Integral values under 2^53
+/// print without an exponent or fraction for readability.
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no Inf/NaN
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  return buf;
+}
+
+}  // namespace
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double d) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.str_ = format_double(d);
+  return v;
+}
+
+Value Value::number(std::int64_t i) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.str_ = std::to_string(i);
+  return v;
+}
+
+Value Value::number(std::uint64_t u) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.str_ = std::to_string(u);
+  return v;
+}
+
+Value Value::number_from_text(std::string numeral) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.str_ = std::move(numeral);
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+double Value::as_double() const { return std::strtod(str_.c_str(), nullptr); }
+
+std::int64_t Value::as_int() const {
+  return std::strtoll(str_.c_str(), nullptr, 10);
+}
+
+std::uint64_t Value::as_uint() const {
+  return std::strtoull(str_.c_str(), nullptr, 10);
+}
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::set(std::string key, Value v) {
+  for (auto& [k, old] : obj_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Value::dump() const {
+  switch (kind_) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return bool_ ? "true" : "false";
+    case Kind::Number: return str_;
+    case Kind::String: return quote(str_);
+    case Kind::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += arr_[i].dump();
+      }
+      out.push_back(']');
+      return out;
+    }
+    case Kind::Object: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += quote(obj_[i].first);
+        out.push_back(':');
+        out += obj_[i].second.dump();
+      }
+      out.push_back('}');
+      return out;
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool eat(char ch) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == ch) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos < text.size()) {
+      char ch = text[pos++];
+      if (ch == '"') return out;
+      if (ch == '\\') {
+        if (pos >= text.size()) return std::nullopt;
+        char esc = text[pos++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Only the BMP subset our own writer emits (control chars);
+            // encode as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out.push_back(ch);
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> parse_value(int depth) {
+    if (depth > 128) return std::nullopt;
+    skip_ws();
+    if (pos >= text.size()) return std::nullopt;
+    const char ch = text[pos];
+    if (ch == 'n') return literal("null") ? std::optional<Value>(Value{}) : std::nullopt;
+    if (ch == 't') return literal("true") ? std::optional<Value>(Value::boolean(true)) : std::nullopt;
+    if (ch == 'f') return literal("false") ? std::optional<Value>(Value::boolean(false)) : std::nullopt;
+    if (ch == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return Value::string(std::move(*s));
+    }
+    if (ch == '[') {
+      ++pos;
+      Value arr = Value::array();
+      skip_ws();
+      if (eat(']')) return arr;
+      for (;;) {
+        auto item = parse_value(depth + 1);
+        if (!item) return std::nullopt;
+        arr.push_back(std::move(*item));
+        if (eat(']')) return arr;
+        if (!eat(',')) return std::nullopt;
+      }
+    }
+    if (ch == '{') {
+      ++pos;
+      Value obj = Value::object();
+      skip_ws();
+      if (eat('}')) return obj;
+      for (;;) {
+        skip_ws();
+        auto key = parse_string();
+        if (!key) return std::nullopt;
+        if (!eat(':')) return std::nullopt;
+        auto val = parse_value(depth + 1);
+        if (!val) return std::nullopt;
+        obj.set(std::move(*key), std::move(*val));
+        if (eat('}')) return obj;
+        if (!eat(',')) return std::nullopt;
+      }
+    }
+    // Number: scan the numeral, validate with strtod.
+    const std::size_t start = pos;
+    if (ch == '-' || ch == '+') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) return std::nullopt;
+    std::string numeral(text.substr(start, pos - start));
+    char* end = nullptr;
+    std::strtod(numeral.c_str(), &end);
+    if (end != numeral.c_str() + numeral.size()) return std::nullopt;
+    // Keep the exact source text so uint64 counters round-trip.
+    return Value::number_from_text(std::move(numeral));
+  }
+};
+
+}  // namespace
+
+std::optional<Value> Value::parse(std::string_view text) {
+  Parser p{text};
+  auto v = p.parse_value(0);
+  if (!v) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace rla::obs::json

@@ -1,0 +1,85 @@
+#pragma once
+
+// Minimal JSON value: build, serialize, parse.
+//
+// The observability layer needs to EMIT machine-readable artifacts (Chrome
+// trace files, GemmProfile::to_json(), bench --json reports) and the test
+// suite needs to READ them back to assert they are well-formed and lossless.
+// A dependency-free value type covering objects, arrays, strings, numbers,
+// booleans and null is enough for both directions; nothing here aims to be a
+// general-purpose JSON library.
+//
+// Numbers keep their source text: integers up to uint64/int64 round-trip
+// exactly (a double-only model would corrupt counters past 2^53), and doubles
+// are emitted with max_digits10 so parse(dump(x)) == x.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rla::obs::json {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;  // null
+  static Value boolean(bool b);
+  static Value number(double v);
+  static Value number(std::int64_t v);
+  static Value number(std::uint64_t v);
+  static Value number(int v) { return number(static_cast<std::int64_t>(v)); }
+  static Value number(unsigned v) { return number(static_cast<std::uint64_t>(v)); }
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+  /// Number carrying an already-validated numeral verbatim (parser use).
+  static Value number_from_text(std::string numeral);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::Null; }
+  bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  bool is_number() const noexcept { return kind_ == Kind::Number; }
+  bool is_string() const noexcept { return kind_ == Kind::String; }
+  bool is_array() const noexcept { return kind_ == Kind::Array; }
+  bool is_object() const noexcept { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const { return str_; }
+
+  /// Array access.
+  const std::vector<Value>& items() const { return arr_; }
+  std::size_t size() const noexcept { return arr_.size(); }
+  void push_back(Value v) { arr_.push_back(std::move(v)); }
+
+  /// Object access. `find` returns nullptr when the key is absent.
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return obj_;
+  }
+  const Value* find(std::string_view key) const;
+  void set(std::string key, Value v);
+
+  /// Compact serialization (no whitespace except inside strings).
+  std::string dump() const;
+
+  /// Strict-enough recursive-descent parse; nullopt on malformed input.
+  static std::optional<Value> parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::string str_;  ///< string payload, or the raw numeral for Kind::Number
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// JSON string escaping of `text` (returns the quoted form).
+std::string quote(std::string_view text);
+
+}  // namespace rla::obs::json

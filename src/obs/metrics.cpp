@@ -1,0 +1,90 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace rla::obs {
+
+void Histogram::record(std::int64_t sample) noexcept {
+  if (sample < 0) sample = 0;
+  const auto u = static_cast<std::uint64_t>(sample);
+  const int bucket = u == 0 ? 0 : std::bit_width(u) - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  std::int64_t cur = max_.load(std::memory_order_relaxed);
+  while (sample > cur &&
+         !max_.compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen > rank) {
+      return i >= 62 ? max() : (std::int64_t{1} << (i + 1)) - 1;
+    }
+  }
+  return max();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+json::Value Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Value counters = json::Value::object();
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, json::Value::number(c->value()));
+  }
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.set(name, json::Value::number(g->value()));
+  }
+  json::Value histograms = json::Value::object();
+  for (const auto& [name, h] : histograms_) {
+    json::Value entry = json::Value::object();
+    entry.set("count", json::Value::number(h->count()));
+    entry.set("sum", json::Value::number(h->sum()));
+    entry.set("max", json::Value::number(h->max()));
+    entry.set("p50", json::Value::number(h->quantile(0.50)));
+    entry.set("p99", json::Value::number(h->quantile(0.99)));
+    int top = Histogram::kBuckets;
+    while (top > 0 && h->bucket(top - 1) == 0) --top;
+    json::Value buckets = json::Value::array();
+    for (int i = 0; i < top; ++i) {
+      buckets.push_back(json::Value::number(h->bucket(i)));
+    }
+    entry.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(entry));
+  }
+  json::Value out = json::Value::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace rla::obs

@@ -1,0 +1,117 @@
+#pragma once
+
+// Metrics registry: named counters, gauges and histograms.
+//
+// The scheduler and the gemm driver publish their health numbers here —
+// per-worker steals, failed steal attempts, injection-queue hits, idle
+// wake-ups, busy nanoseconds, deque high-water depth, the task-duration
+// histogram — and a snapshot of the registry rides along in the Chrome trace
+// file (top-level "rla_metrics" key, ignored by trace viewers) and in
+// GemmProfile::to_json().
+//
+// Individual metric objects are updated with relaxed atomics and are safe to
+// hammer from worker threads; *registration* (name lookup / creation) takes a
+// mutex and belongs on setup or snapshot paths, never in a hot loop. Hot
+// paths hold a pre-registered pointer instead.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace rla::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void set(std::uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins level, with a fold-max helper for high-water marks.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void fold_max(std::int64_t v) noexcept {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative samples (nanoseconds in practice):
+/// bucket i counts samples in [2^i, 2^(i+1)), bucket 0 also takes 0.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::int64_t sample) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(int i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Smallest x with at least `q` (in [0,1]) of samples <= x, from the
+  /// bucketed counts (upper bucket edge; a factor-2 overestimate at worst).
+  std::int64_t quantile(double q) const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Named metric store. Lookup-or-create by name; snapshot to JSON.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters":{name:n,...},"gauges":{...},"histograms":{name:
+  ///  {"count":..,"sum":..,"max":..,"p50":..,"p99":..,"buckets":[...]}}}
+  /// Histogram bucket arrays are trimmed to the highest non-empty bucket.
+  json::Value snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace rla::obs

@@ -14,6 +14,13 @@ namespace {
 // most one pool for its lifetime, so a single pair suffices.
 thread_local const WorkerPool* tl_pool = nullptr;
 thread_local int tl_worker_index = -1;
+
+void fold_max(std::atomic<std::int64_t>& slot, std::int64_t v) noexcept {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
 }  // namespace
 
 WorkerPool::WorkerPool(unsigned threads) : requested_(threads) {
@@ -72,10 +79,15 @@ int WorkerPool::current_worker_index() noexcept { return tl_worker_index; }
 void WorkerPool::enqueue(TaskNode* node) {
   const int self = (tl_pool == this) ? tl_worker_index : -1;
   if (self >= 0) {
-    workers_[static_cast<std::size_t>(self)]->deque.push(node);
+    Worker& w = *workers_[static_cast<std::size_t>(self)];
+    w.deque.push(node);
+    fold_max(w.sched.deque_high_water,
+             static_cast<std::int64_t>(w.deque.size_estimate()));
   } else {
     std::lock_guard<std::mutex> lock(injection_mutex_);
     injection_queue_.push_back(node);
+    fold_max(external_.deque_high_water,
+             static_cast<std::int64_t>(injection_queue_.size()));
   }
   if (sleepers_.load(std::memory_order_relaxed) > 0) sleep_cv_.notify_one();
 }
@@ -91,6 +103,7 @@ WorkerPool::TaskNode* WorkerPool::try_acquire(int self) {
     if (!injection_queue_.empty()) {
       TaskNode* node = injection_queue_.front();
       injection_queue_.pop_front();
+      sched_slot(self).injection_pops.fetch_add(1, std::memory_order_relaxed);
       return node;
     }
   }
@@ -104,22 +117,32 @@ WorkerPool::TaskNode* WorkerPool::try_acquire(int self) {
     if (static_cast<int>(victim) == self) continue;
     if (TaskNode* node = workers_[victim]->deque.steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
+      sched_slot(self).steals.fetch_add(1, std::memory_order_relaxed);
       return node;
     }
   }
+  sched_slot(self).failed_steals.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
 }
 
 void WorkerPool::run_node(TaskNode* node) {
   TaskGroup* group = node->group;
-  try {
-    node->fn();
-  } catch (...) {
-    if (group != nullptr) group->record_exception(std::current_exception(), node->seq);
+  {
+    // Scope must close before finish(): the waiter may return from wait()
+    // and destroy the group — and its span accumulator — as soon as
+    // pending_ hits zero, and the scope's destructor folds into it.
+    obs::RunTaskScope tscope(node->tag, node->seq,
+                             group != nullptr ? &group->obs_ : nullptr);
+    try {
+      node->fn();
+    } catch (...) {
+      if (group != nullptr) group->record_exception(std::current_exception(), node->seq);
+    }
+    // FP-status flags are per-thread: fold this worker's into the
+    // process-wide capture before the submitter (a different thread)
+    // drains it.
+    numerics::fp_poll();
   }
-  // FP-status flags are per-thread: fold this worker's into the process-wide
-  // capture before the submitter (a different thread) drains it.
-  numerics::fp_poll();
   delete node;
   if (group != nullptr) group->finish();
   tasks_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -128,6 +151,8 @@ void WorkerPool::run_node(TaskNode* node) {
 void WorkerPool::worker_main(int index) {
   tl_pool = this;
   tl_worker_index = index;
+  obs::on_worker_start(index);
+  SchedCounters& sched = workers_[static_cast<std::size_t>(index)]->sched;
   int idle_spins = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     if (TaskNode* node = try_acquire(index)) {
@@ -143,8 +168,50 @@ void WorkerPool::worker_main(int index) {
     sleepers_.fetch_add(1, std::memory_order_relaxed);
     sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    sched.idle_wakeups.fetch_add(1, std::memory_order_relaxed);
     idle_spins = 0;
   }
+}
+
+std::vector<WorkerPool::SchedStats> WorkerPool::sched_snapshot() const {
+  std::vector<SchedStats> out;
+  out.reserve(workers_.size() + 1);
+  for (const auto& worker : workers_) out.push_back(worker->sched.snapshot());
+  out.push_back(external_.snapshot());
+  return out;
+}
+
+std::uint64_t WorkerPool::failed_steals() const noexcept {
+  std::uint64_t total = external_.failed_steals.load(std::memory_order_relaxed);
+  for (const auto& worker : workers_) {
+    total += worker->sched.failed_steals.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t WorkerPool::idle_wakeups() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->sched.idle_wakeups.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t WorkerPool::injection_pops() const noexcept {
+  std::uint64_t total = external_.injection_pops.load(std::memory_order_relaxed);
+  for (const auto& worker : workers_) {
+    total += worker->sched.injection_pops.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::int64_t WorkerPool::deque_high_water() const noexcept {
+  std::int64_t deepest = 0;
+  for (const auto& worker : workers_) {
+    deepest = std::max(
+        deepest, worker->sched.deque_high_water.load(std::memory_order_relaxed));
+  }
+  return deepest;
 }
 
 void WorkerPool::parallel_for(
@@ -168,6 +235,10 @@ void WorkerPool::parallel_for(
 }
 
 void TaskGroup::wait() {
+  // The scope pauses the waiter's span clock (helping runs other tasks'
+  // frames) and, at destruction, folds the group's child spans into the
+  // waiting frame — also when this function exits by rethrowing below.
+  obs::WaitScope wscope(&obs_);
   if (!pool_.serial()) {
     const int self = (tl_pool == &pool_) ? tl_worker_index : -1;
     int idle_spins = 0;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "analysis/annotations.hpp"
+#include "obs/hooks.hpp"
 #include "parallel/chase_lev_deque.hpp"
 
 namespace rla {
@@ -81,6 +82,35 @@ class WorkerPool {
     return steals_.load(std::memory_order_relaxed);
   }
 
+  /// Scheduler health counters for one steal slot (a worker, or the shared
+  /// "external" slot covering non-worker threads helping in wait()).
+  struct SchedStats {
+    std::uint64_t steals = 0;          ///< successful steals
+    std::uint64_t failed_steals = 0;   ///< acquire sweeps that found nothing
+    std::uint64_t idle_wakeups = 0;    ///< sleeps that ended without work
+    std::uint64_t injection_pops = 0;  ///< tasks taken from the injection queue
+    std::int64_t deque_high_water = 0; ///< deepest deque (injection queue for
+                                       ///< the external slot) observed
+  };
+
+  /// Per-worker counters plus one trailing entry for external threads
+  /// (thread_count() + 1 entries; a serial pool returns just the external
+  /// entry, which stays all-zero since serial spawns run inline).
+  std::vector<SchedStats> sched_snapshot() const;
+
+  /// Failed steal sweeps summed over all slots (0 on a serial pool).
+  std::uint64_t failed_steals() const noexcept;
+
+  /// Idle sleeps that timed out without work, summed over workers (0 on a
+  /// serial pool — it has no worker loop).
+  std::uint64_t idle_wakeups() const noexcept;
+
+  /// Injection-queue hits summed over all slots.
+  std::uint64_t injection_pops() const noexcept;
+
+  /// Deepest work deque observed across workers.
+  std::int64_t deque_high_water() const noexcept;
+
   /// Worker threads the constructor failed to create (0 = full strength).
   unsigned thread_create_failures() const noexcept {
     return requested_ - thread_count();
@@ -100,11 +130,31 @@ class WorkerPool {
     std::function<void()> fn;
     TaskGroup* group = nullptr;
     std::uint64_t seq = 0;  ///< spawn index within the group
+    obs::TaskTag tag;       ///< trace identity (all-zero when untraced)
+  };
+
+  /// Atomic backing for one SchedStats slot; hammered relaxed on the
+  /// scheduler's idle/steal paths, snapshotted by the accessors.
+  struct SchedCounters {
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> failed_steals{0};
+    std::atomic<std::uint64_t> idle_wakeups{0};
+    std::atomic<std::uint64_t> injection_pops{0};
+    std::atomic<std::int64_t> deque_high_water{0};
+
+    SchedStats snapshot() const noexcept {
+      return {steals.load(std::memory_order_relaxed),
+              failed_steals.load(std::memory_order_relaxed),
+              idle_wakeups.load(std::memory_order_relaxed),
+              injection_pops.load(std::memory_order_relaxed),
+              deque_high_water.load(std::memory_order_relaxed)};
+    }
   };
 
   struct Worker {
     ChaseLevDeque<TaskNode*> deque;
     std::thread thread;
+    SchedCounters sched;
   };
 
   void enqueue(TaskNode* node);
@@ -114,7 +164,14 @@ class WorkerPool {
   void wait_for_start();
   static int current_worker_index() noexcept;
 
+  /// The counter slot for the calling thread: its worker's, or external_.
+  SchedCounters& sched_slot(int self) noexcept {
+    return self >= 0 ? workers_[static_cast<std::size_t>(self)]->sched
+                     : external_;
+  }
+
   std::vector<std::unique_ptr<Worker>> workers_;
+  SchedCounters external_;  ///< non-worker threads helping in wait()
   unsigned requested_ = 0;
   std::mutex injection_mutex_;
   std::deque<TaskNode*> injection_queue_;
@@ -175,17 +232,24 @@ class TaskGroup {
       // Serial elision IS the depth-first schedule the race detector's
       // SP-bags algorithm requires; tell it a logical task ran here.
       analysis::hook_task_begin(this, seq);
-      try {
-        fn();
-      } catch (...) {
-        record_exception(std::current_exception(), seq);
+      {
+        // The tracer still models the logical fork/join so measured span —
+        // and thus DAG parallelism — is schedule-independent, the way
+        // Cilkview measures on a serial execution.
+        obs::InlineTaskScope tscope(&obs_, seq);
+        try {
+          fn();
+        } catch (...) {
+          record_exception(std::current_exception(), seq);
+        }
       }
       analysis::hook_task_end(this);
       return;
     }
     analysis::hook_parallel_spawn();  // voids serial-schedule certification
     pending_.fetch_add(1, std::memory_order_relaxed);
-    auto* node = new WorkerPool::TaskNode{std::forward<F>(fn), this, seq};
+    auto* node = new WorkerPool::TaskNode{std::forward<F>(fn), this, seq, {}};
+    obs::on_spawn(node->tag, seq);
     pool_.enqueue(node);
   }
 
@@ -194,6 +258,9 @@ class TaskGroup {
   template <typename F>
   void run(F&& fn) {
     const std::uint64_t seq = next_seq_++;
+    // Traced as a forked child: a run() is logically concurrent with the
+    // group's spawned siblings, it just executes on the spawning thread.
+    obs::InlineTaskScope tscope(&obs_, seq);
     try {
       fn();
     } catch (...) {
@@ -221,6 +288,10 @@ class TaskGroup {
   std::atomic<bool>* cancel_ = nullptr;
   std::uint64_t next_seq_ = 0;  ///< only touched by the owning thread
   std::atomic<std::int64_t> pending_{0};
+  /// Span accumulator for the tracer. Child folds happen before finish()
+  /// decrements pending_, and wait() reads after pending_ hits zero, so the
+  /// acquire/release pair on pending_ orders every fold before the join.
+  obs::GroupObs obs_;
   std::mutex exception_mutex_;
   std::exception_ptr exception_;
   std::uint64_t exception_seq_ = 0;

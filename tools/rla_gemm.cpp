@@ -1,0 +1,101 @@
+// Traced gemm driver: run one C = A·B and emit observability artifacts.
+//
+//   rla_gemm --m=1024 --n=1024 --k=1024 --threads=4 --layout=z
+//            --algorithm=strassen --trace=trace.json --profile=profile.json
+//
+// --trace writes a Chrome trace-event file (chrome://tracing / Perfetto);
+// --profile writes GemmProfile::to_json(). With neither, measurement still
+// runs and a one-line summary goes to stdout. This binary is what the CI
+// observability job drives and what tools/trace_summary.py consumes.
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/gemm.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s [--m=N] [--n=N] [--k=N] [--threads=N] [--layout=z|u|h|x|col]\n"
+      "          [--algorithm=standard|strassen|winograd] [--seed=N]\n"
+      "          [--trace=FILE] [--profile=FILE] [--no-measure]\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rla::CliArgs args(argc, argv);
+  if (args.get_bool("help")) {
+    usage(argv[0]);
+    return 0;
+  }
+
+  const auto m = static_cast<std::uint32_t>(args.get_int("m", 1024));
+  const auto n = static_cast<std::uint32_t>(args.get_int("n", m));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", m));
+  if (m == 0 || n == 0 || k == 0) {
+    std::fprintf(stderr, "rla_gemm: extents must be positive\n");
+    return 2;
+  }
+
+  rla::GemmConfig cfg;
+  cfg.threads = static_cast<unsigned>(args.get_int("threads", 4));
+  cfg.trace_path = args.get("trace");
+  cfg.measure = !args.get_bool("no-measure");
+  if (!rla::parse_curve(args.get("layout", "z"), cfg.layout)) {
+    std::fprintf(stderr, "rla_gemm: unknown layout '%s'\n",
+                 args.get("layout").c_str());
+    return 2;
+  }
+  if (!rla::parse_algorithm(args.get("algorithm", "standard"), cfg.algorithm)) {
+    std::fprintf(stderr, "rla_gemm: unknown algorithm '%s'\n",
+                 args.get("algorithm").c_str());
+    return 2;
+  }
+
+  std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> a(static_cast<std::size_t>(m) * k);
+  std::vector<double> b(static_cast<std::size_t>(k) * n);
+  std::vector<double> c(static_cast<std::size_t>(m) * n, 0.0);
+  for (double& x : a) x = dist(rng);
+  for (double& x : b) x = dist(rng);
+
+  rla::GemmProfile profile;
+  try {
+    rla::gemm(m, n, k, 1.0, a.data(), m, rla::Op::None, b.data(), k,
+              rla::Op::None, 0.0, c.data(), m, cfg, &profile);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rla_gemm: %s\n", e.what());
+    return 1;
+  }
+
+  const std::string profile_path = args.get("profile");
+  if (!profile_path.empty()) {
+    std::ofstream out(profile_path);
+    out << profile.to_json() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "rla_gemm: cannot write %s\n", profile_path.c_str());
+      return 1;
+    }
+  }
+
+  const double gflops =
+      profile.total > 0.0 ? 2.0 * m * n * static_cast<double>(k) / profile.total / 1e9
+                          : 0.0;
+  std::printf(
+      "gemm %ux%ux%u threads=%u total=%.3fs gflops=%.2f tasks=%llu steals=%llu "
+      "parallelism=%.2f span=%.3fms trace=%s\n",
+      m, n, k, profile.sched.workers, profile.total, gflops,
+      static_cast<unsigned long long>(profile.sched.tasks),
+      static_cast<unsigned long long>(profile.sched.steals),
+      profile.achieved_parallelism, profile.measured_span * 1e3,
+      profile.trace_file.empty() ? "(none)" : profile.trace_file.c_str());
+  return 0;
+}

@@ -1,0 +1,328 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace written by the rla observability collector.
+
+Consumes the JSON produced by ``GemmConfig::trace_path`` / ``RLA_TRACE=file``
+(see DESIGN.md section 10) and prints
+
+  * per-worker utilization: exclusive task nanoseconds per thread over the
+    trace's wall-clock extent,
+  * the top-10 longest tasks by exclusive time,
+  * the measured critical path: the chain of tasks from the root whose
+    burdened contributions (off_ns + lat_ns + span_ns) dominate each
+    parent's span, with the chain total cross-checked against the
+    ``rla_summary`` block the collector embeds.
+
+The tool is read-only and dependency-free (stdlib json only); CI runs it
+against a traced smoke gemm to validate the trace end-to-end.
+
+Usage:
+  tools/trace_summary.py trace.json [--top N] [--json]
+  tools/trace_summary.py --self-test
+
+Exit status: 0 ok, 1 malformed or inconsistent trace, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def load_trace(path: Path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        return None
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        print(f"error: {path} is not a Chrome trace (no traceEvents)", file=sys.stderr)
+        return None
+    return doc
+
+
+def thread_names(events):
+    """tid -> label from the M metadata events."""
+    names = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            names[ev.get("tid", 0)] = ev.get("args", {}).get("name", "")
+    return names
+
+
+def task_events(events):
+    return [ev for ev in events if ev.get("ph") == "X" and ev.get("cat") == "task"]
+
+
+def utilization(tasks, events):
+    """Per-tid (busy_ns, share-of-wall) over the trace extent."""
+    if not events:
+        return {}, 0.0
+    timed = [ev for ev in events if "ts" in ev]
+    start = min(ev["ts"] for ev in timed)
+    end = max(ev["ts"] + ev.get("dur", 0.0) for ev in timed)
+    wall_ns = max((end - start) * 1e3, 1.0)  # ts/dur are microseconds
+    busy = defaultdict(float)
+    for ev in tasks:
+        busy[ev.get("tid", 0)] += ev["args"].get("excl_ns", 0)
+    return {tid: (ns, ns / wall_ns) for tid, ns in sorted(busy.items())}, wall_ns
+
+
+def critical_path(tasks):
+    """Walk the executed DAG root-down along the dominant span contributions.
+
+    Each task event carries its subtree's burdened span (span_ns) plus the
+    burden it added to its parent (off_ns spawn overhead + lat_ns queue
+    latency).  The chain from the root that repeatedly picks the child with
+    the largest off + lat + span is the measured critical path; its burdened
+    length matches the root's span_ns up to the exclusive time interleaving
+    that the fold attributes to the parent.
+    """
+    if not tasks:
+        return []
+    children = defaultdict(list)
+    by_id = {}
+    for ev in tasks:
+        args = ev["args"]
+        by_id[args["id"]] = ev
+        children[args.get("parent", 0)].append(ev)
+    roots = [ev for ev in tasks if ev["args"].get("parent", 0) not in by_id]
+    root = max(roots, key=lambda ev: ev["args"].get("span_ns", 0))
+    chain = [root]
+    seen = {root["args"]["id"]}
+    node = root
+    while True:
+        kids = [ev for ev in children[node["args"]["id"]] if ev["args"]["id"] not in seen]
+        if not kids:
+            break
+        node = max(
+            kids,
+            key=lambda ev: ev["args"].get("off_ns", 0)
+            + ev["args"].get("lat_ns", 0)
+            + ev["args"].get("span_ns", 0),
+        )
+        seen.add(node["args"]["id"])
+        chain.append(node)
+    return chain
+
+
+def summarize(doc, top_n=10):
+    """Build the summary dict; returns (summary, problems)."""
+    problems = []
+    events = doc["traceEvents"]
+    names = thread_names(events)
+    tasks = task_events(events)
+    if not tasks:
+        problems.append("trace contains no task events")
+        return {}, problems
+
+    util, wall_ns = utilization(tasks, events)
+    total_excl = sum(ev["args"].get("excl_ns", 0) for ev in tasks)
+
+    longest = sorted(tasks, key=lambda ev: ev["args"].get("excl_ns", 0), reverse=True)
+    top = [
+        {
+            "id": ev["args"]["id"],
+            "name": ev.get("name", "task"),
+            "tid": ev.get("tid", 0),
+            "excl_ms": ev["args"].get("excl_ns", 0) / 1e6,
+            "dur_ms": ev.get("dur", 0.0) / 1e3,
+            "migrated": ev["args"].get("migrated", False),
+        }
+        for ev in longest[:top_n]
+    ]
+
+    chain = critical_path(tasks)
+    root_span = chain[0]["args"].get("span_ns", 0) if chain else 0
+    path = [
+        {
+            "id": ev["args"]["id"],
+            "name": ev.get("name", "task"),
+            "excl_ms": ev["args"].get("excl_ns", 0) / 1e6,
+            "burden_ms": (ev["args"].get("off_ns", 0) + ev["args"].get("lat_ns", 0)) / 1e6,
+        }
+        for ev in chain
+    ]
+
+    summary = {
+        "tasks": len(tasks),
+        "wall_ms": wall_ns / 1e6,
+        "work_ms": total_excl / 1e6,
+        "span_ms": root_span / 1e6,
+        "parallelism": total_excl / root_span if root_span else 0.0,
+        "workers": {
+            str(tid): {
+                "name": names.get(tid, f"tid {tid}"),
+                "busy_ms": ns / 1e6,
+                "utilization": share,
+            }
+            for tid, (ns, share) in util.items()
+        },
+        "top_tasks": top,
+        "critical_path": path,
+        "critical_path_tasks": len(path),
+    }
+
+    embedded = doc.get("rla_summary")
+    if isinstance(embedded, dict):
+        summary["embedded"] = embedded
+        dropped = embedded.get("events_dropped", 0)
+        # With a complete trace the recomputed work must match the
+        # collector's own accounting; with ring overflow it can only be less.
+        emb_work = embedded.get("work_ns", 0)
+        if not dropped and emb_work and abs(total_excl - emb_work) > 0.01 * emb_work:
+            problems.append(
+                f"recomputed work {total_excl} ns disagrees with embedded "
+                f"work_ns {emb_work} despite events_dropped == 0"
+            )
+        emb_span = embedded.get("span_ns", 0)
+        if not dropped and emb_span and root_span > emb_span * 1.01:
+            problems.append(
+                f"root span {root_span} ns exceeds embedded span_ns {emb_span}"
+            )
+    return summary, problems
+
+
+def print_report(summary):
+    print(
+        f"trace: {summary['tasks']} tasks, wall {summary['wall_ms']:.2f} ms, "
+        f"work {summary['work_ms']:.2f} ms, span {summary['span_ms']:.2f} ms, "
+        f"parallelism {summary['parallelism']:.2f}"
+    )
+    print("per-worker utilization:")
+    for tid, w in summary["workers"].items():
+        print(
+            f"  tid {tid:>3} {w['name']:<12} busy {w['busy_ms']:9.2f} ms  "
+            f"util {100.0 * w['utilization']:5.1f}%"
+        )
+    print(f"top {len(summary['top_tasks'])} tasks by exclusive time:")
+    for t in summary["top_tasks"]:
+        mig = " (migrated)" if t["migrated"] else ""
+        print(
+            f"  id {t['id']:>8} {t['name']:<12} tid {t['tid']} "
+            f"excl {t['excl_ms']:8.3f} ms  dur {t['dur_ms']:8.3f} ms{mig}"
+        )
+    path = summary["critical_path"]
+    print(f"critical path: {len(path)} tasks, span {summary['span_ms']:.2f} ms")
+    for t in path[:12]:
+        print(
+            f"  id {t['id']:>8} {t['name']:<12} excl {t['excl_ms']:8.3f} ms  "
+            f"burden {t['burden_ms']:8.3f} ms"
+        )
+    if len(path) > 12:
+        print(f"  ... {len(path) - 12} more")
+
+
+# --- self test ---------------------------------------------------------------
+
+def _task(tid, id_, parent, ts, dur_us, excl_ns, span_ns, off_ns=0, lat_ns=0):
+    return {
+        "name": "task",
+        "cat": "task",
+        "pid": 1,
+        "tid": tid,
+        "ph": "X",
+        "ts": ts,
+        "dur": dur_us,
+        "args": {
+            "id": id_,
+            "parent": parent,
+            "seq": 0,
+            "off_ns": off_ns,
+            "lat_ns": lat_ns,
+            "span_ns": span_ns,
+            "excl_ns": excl_ns,
+            "migrated": False,
+        },
+    }
+
+
+def seeded_trace():
+    """Root (id 1) with two children; child 3's subtree dominates the span."""
+    events = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "rla"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "main"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1, "args": {"name": "worker 0"}},
+        # ts/dur in us; excl/span in ns.  Wall extent: 0 .. 100 us.
+        _task(1, 2, 1, 10.0, 30.0, 30_000, 30_000, lat_ns=1_000),
+        _task(1, 4, 3, 50.0, 20.0, 20_000, 20_000),
+        _task(0, 3, 1, 40.0, 60.0, 40_000, 60_000, lat_ns=2_000),
+        _task(0, 1, 0, 0.0, 100.0, 30_000, 92_000),
+    ]
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "rla_summary": {
+            "tasks": 4,
+            "work_ns": 120_000,
+            "span_ns": 92_000,
+            "parallelism": 120.0 / 92.0,
+            "events_dropped": 0,
+        },
+    }
+
+
+def self_test() -> int:
+    doc = seeded_trace()
+    summary, problems = summarize(doc, top_n=10)
+    if problems:
+        print(f"self-test FAILED: seeded trace reported problems: {problems}")
+        return 2
+    path_ids = [t["id"] for t in summary["critical_path"]]
+    if path_ids != [1, 3, 4]:
+        print(f"self-test FAILED: critical path {path_ids}, expected [1, 3, 4]")
+        return 2
+    if abs(summary["work_ms"] - 0.12) > 1e-9:
+        print(f"self-test FAILED: work {summary['work_ms']} ms, expected 0.12")
+        return 2
+    util0 = summary["workers"]["0"]["utilization"]
+    if abs(util0 - 0.7) > 1e-6:  # 70 us busy on tid 0 over 100 us wall
+        print(f"self-test FAILED: tid-0 utilization {util0}, expected 0.70")
+        return 2
+    # A mutilated trace must be caught: inflate embedded work 10x.
+    bad = seeded_trace()
+    bad["rla_summary"]["work_ns"] = 1_200_000
+    _, bad_problems = summarize(bad, top_n=10)
+    if not bad_problems:
+        print("self-test FAILED: inconsistent embedded summary not detected")
+        return 2
+    print("self-test OK: critical path, utilization, and consistency checks hold")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="?", help="Chrome trace JSON from RLA_TRACE/trace_path")
+    parser.add_argument("--top", type=int, default=10, help="tasks to list (default 10)")
+    parser.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.trace:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    doc = load_trace(Path(args.trace))
+    if doc is None:
+        return 1
+    summary, problems = summarize(doc, top_n=args.top)
+    if summary:
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print_report(summary)
+    for p in problems:
+        print(f"problem: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `trace_summary.py t.json | head`
+        sys.exit(0)
