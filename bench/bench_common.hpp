@@ -67,10 +67,46 @@ inline double run_flat_dgemm(Problem& p, KernelKind kernel = KernelKind::Blocked
 }
 
 inline void set_flops_counters(benchmark::State& state, std::uint32_t n) {
-  const double flops = 2.0 * n * n * n;
+  // 2n^3 FLOPs per iteration, published in units of 1e9 so the counter
+  // reads as GFLOP/s (kIs1000 would have google-benchmark rescale the
+  // number to "G" itself and the exported value would be raw FLOP/s).
+  const double gflops = 2.0 * n * n * n / 1e9;
   state.counters["gflops"] = benchmark::Counter(
-      flops, benchmark::Counter::kIsIterationInvariantRate,
-      benchmark::Counter::kIs1000);
+      gflops, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Publish hardware-counter results (one cfg.hw_counters run done outside
+/// the timed loop) as misses-per-FLOP counters. No-ops when the PMU was
+/// unavailable, so --json output is stable across hosts: absent key means
+/// "not counted", never zero-means-unknown.
+inline void set_hw_counters(benchmark::State& state,
+                            const GemmProfile& profile, std::uint32_t n) {
+  if (!profile.hw_measured) return;
+  const double flops = 2.0 * n * n * static_cast<double>(n);
+  const auto have = [&](const char* name) {
+    for (const auto& e : profile.hw_events) {
+      if (e == name) return true;
+    }
+    return false;
+  };
+  if (have("l1d_read_misses")) {
+    state.counters["l1d_miss_per_flop"] = benchmark::Counter(
+        static_cast<double>(profile.hw_total.l1d_read_misses) / flops);
+  }
+  if (have("llc_misses")) {
+    state.counters["llc_miss_per_flop"] = benchmark::Counter(
+        static_cast<double>(profile.hw_total.llc_misses) / flops);
+  }
+  if (have("dtlb_misses")) {
+    state.counters["dtlb_miss_per_flop"] = benchmark::Counter(
+        static_cast<double>(profile.hw_total.dtlb_misses) / flops);
+  }
+  if (have("instructions") && have("cycles") &&
+      profile.hw_total.cycles > 0) {
+    state.counters["ipc"] = benchmark::Counter(
+        static_cast<double>(profile.hw_total.instructions) /
+        static_cast<double>(profile.hw_total.cycles));
+  }
 }
 
 /// Publish one measured run's work/span results as plain counters, for the

@@ -29,6 +29,17 @@ double flat_seconds(std::uint32_t n) {
   return best;
 }
 
+// Only publish the ratio when the baseline produced a usable time: a
+// sub-resolution or failed flat run would otherwise export inf/NaN and
+// poison every downstream comparison (bench_compare.py, the CI schema
+// check).
+void set_slowdown(benchmark::State& state, double best, std::uint32_t n) {
+  const double flat = flat_seconds(n);
+  if (flat > 0.0 && best < 1e300) {
+    state.counters["slowdown_vs_dgemm"] = best / flat;
+  }
+}
+
 void Dgemm_FlatBaseline(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   Problem p(n);
@@ -49,13 +60,16 @@ void Dgemm_RecursiveBestTile(benchmark::State& state) {
     best = std::min(best, run_gemm(p, cfg));
   }
   set_flops_counters(state, n);
-  state.counters["slowdown_vs_dgemm"] = best / flat_seconds(n);
-  // One measured (untimed) run so the --json export carries span/parallelism.
+  set_slowdown(state, best, n);
+  // One measured (untimed) run so the --json export carries span/parallelism
+  // and, where the PMU is usable, misses per FLOP.
   GemmConfig measured_cfg = cfg;
   measured_cfg.measure = true;
+  measured_cfg.hw_counters = true;
   GemmProfile profile;
   run_gemm(p, measured_cfg, &profile);
   set_profile_counters(state, profile);
+  set_hw_counters(state, profile, n);
   set_config_label(state, cfg);
 }
 
@@ -73,7 +87,7 @@ void Dgemm_ElementLevelFrensWise(benchmark::State& state) {
     best = std::min(best, run_gemm(p, cfg));
   }
   set_flops_counters(state, n);
-  state.counters["slowdown_vs_dgemm"] = best / flat_seconds(n);
+  set_slowdown(state, best, n);
 }
 
 void Dgemm_StrassenBest(benchmark::State& state) {
@@ -88,12 +102,14 @@ void Dgemm_StrassenBest(benchmark::State& state) {
     best = std::min(best, run_gemm(p, cfg));
   }
   set_flops_counters(state, n);
-  state.counters["slowdown_vs_dgemm"] = best / flat_seconds(n);
+  set_slowdown(state, best, n);
   GemmConfig measured_cfg = cfg;
   measured_cfg.measure = true;
+  measured_cfg.hw_counters = true;
   GemmProfile profile;
   run_gemm(p, measured_cfg, &profile);
   set_profile_counters(state, profile);
+  set_hw_counters(state, profile, n);
   set_config_label(state, cfg);
 }
 

@@ -39,6 +39,16 @@ void Fig6_Layouts(benchmark::State& state) {
     run_gemm(p, cfg);
   }
   set_flops_counters(state, n);
+  // One untimed counted run per point: the --json export then carries
+  // misses per FLOP per (layout, algorithm) — the measured companion to the
+  // cache simulator's Fig. 5 analysis. Skipped silently where the PMU is
+  // unavailable.
+  GemmConfig counted_cfg = cfg;
+  counted_cfg.hw_counters = true;
+  GemmProfile profile;
+  run_gemm(p, counted_cfg, &profile);
+  set_hw_counters(state, profile, n);
+  set_config_label(state, cfg);
 }
 
 void register_benchmarks() {

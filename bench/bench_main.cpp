@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -58,7 +59,10 @@ Value run_to_json(const benchmark::BenchmarkReporter::Run& run) {
   o.set("time_unit", Value::string(benchmark::GetTimeUnitString(run.time_unit)));
   Value counters = Value::object();
   for (const auto& [name, counter] : run.counters) {
-    counters.set(name, Value::number(static_cast<double>(counter)));
+    // A zero-iteration or failed run can yield NaN/inf rates; JSON has no
+    // spelling for those, so drop the counter rather than emit garbage.
+    const double value = static_cast<double>(counter);
+    if (std::isfinite(value)) counters.set(name, Value::number(value));
   }
   o.set("counters", std::move(counters));
   return o;
@@ -83,10 +87,10 @@ bool write_json_report(const std::string& path, const char* program,
     runs.push_back(run_to_json(run));
     if (run.run_type == benchmark::BenchmarkReporter::Run::RT_Iteration) {
       const auto it = run.counters.find("gflops");
-      if (it != run.counters.end()) {
-        // The counter is a raw flops/s rate; the summary is in GFLOPS.
-        gflops[run.benchmark_name()].push_back(static_cast<double>(it->second) /
-                                               1e9);
+      if (it != run.counters.end() &&
+          std::isfinite(static_cast<double>(it->second))) {
+        // set_flops_counters publishes the counter in GFLOP/s already.
+        gflops[run.benchmark_name()].push_back(static_cast<double>(it->second));
       }
     }
   }

@@ -164,6 +164,18 @@ struct GemmConfig {
   /// path is set the scheduler hooks cost one relaxed load each.
   bool measure = false;
 
+  /// Attach Linux perf_event_open hardware counters to this call: one
+  /// counter group per participating thread (cycles, instructions,
+  /// L1d-read-misses, LLC-misses, dTLB-misses, task-clock) with
+  /// multiplexing-scaled grouped reads. Fills GemmProfile::hw_* (whole-call
+  /// totals plus per-driver-phase deltas) and annotates the trace's phase
+  /// spans and metrics snapshot. Implies `measure`. The RLA_PERF environment
+  /// variable (truthy) arms this when the flag is false. When the kernel
+  /// refuses (perf_event_paranoid, seccomp ENOSYS, PMU-less VMs) the call
+  /// completes normally and records "perf:unavailable:<reason>" in the
+  /// degradation trail; a concurrent counting call records "perf:busy".
+  bool hw_counters = false;
+
   /// Watch the IEEE sticky exception flags (INVALID / OVERFLOW / DIVBYZERO)
   /// around the call, attributing hazards to the phase that raised them (in
   /// the degradation trail, e.g. "fp:compute:invalid"). A hazard raised by a

@@ -20,6 +20,7 @@
 #include "layout/bits.hpp"
 #include "layout/convert.hpp"
 #include "obs/collector.hpp"
+#include "obs/perf.hpp"
 #include "parallel/worker_pool.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
@@ -36,6 +37,18 @@ namespace {
 constexpr unsigned kMaxThreads = 4096;
 /// Tile grids are 2^d × 2^d over uint32 extents; past 30 nothing is feasible.
 constexpr int kMaxForcedDepth = 30;
+
+/// Multiplexing-scaled perf sample -> the profile's named-field form.
+GemmProfile::HwCounters to_hw_counters(const obs::perf::Sample& s) {
+  GemmProfile::HwCounters hw;
+  hw.cycles = s.value[obs::perf::kCycles];
+  hw.instructions = s.value[obs::perf::kInstructions];
+  hw.l1d_read_misses = s.value[obs::perf::kL1dReadMisses];
+  hw.llc_misses = s.value[obs::perf::kLlcMisses];
+  hw.dtlb_misses = s.value[obs::perf::kDtlbMisses];
+  hw.task_clock_ns = s.value[obs::perf::kTaskClock];
+  return hw;
+}
 
 /// Mutable accumulation wrapper so split pieces can report concurrently.
 /// Also collects the degradation trail (kept internally so it is available
@@ -613,13 +626,32 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
     }
   }
 
+  // Hardware performance counters (perf_event_open). One armed session per
+  // process, like the collector below; a kernel refusal (paranoid level,
+  // seccomp, PMU-less VM) degrades the call to uncounted instead of failing
+  // it, with the reason on record.
+  const bool want_hw = cfg.hw_counters || env_int("RLA_PERF", 0) != 0;
+  std::optional<obs::perf::Session> perf_session;
+  if (want_hw) {
+    perf_session.emplace();
+    if (!perf_session->try_attach()) {
+      sink.degrade("perf:busy");
+      perf_session.reset();
+    } else if (!perf_session->available()) {
+      sink.degrade("perf:unavailable:" + perf_session->reason());
+      perf_session->detach();
+      perf_session.reset();
+    }
+  }
+
   // Tracer / work-span measurement. One armed collector per process: a
   // nested or concurrent traced gemm runs untraced with "trace:busy" on
-  // record rather than corrupting the outer trace.
+  // record rather than corrupting the outer trace. Live HW counting implies
+  // measurement: the counters ride on the same phase spans.
   const std::string trace_path =
       cfg.trace_path.empty() ? env_string("RLA_TRACE") : cfg.trace_path;
   std::optional<obs::Collector> collector;
-  if (cfg.measure || !trace_path.empty()) {
+  if (cfg.measure || !trace_path.empty() || perf_session) {
     collector.emplace();
     if (!collector->try_attach()) {
       sink.degrade("trace:busy");
@@ -712,6 +744,45 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
       profile->sched.idle_wakeups = pool->idle_wakeups() - base_wakeups;
       profile->sched.injection_pops = pool->injection_pops() - base_inject;
       profile->sched.deque_high_water = pool->deque_high_water();
+    }
+    if (perf_session) {
+      // Freeze the counters before the collector snapshot so the aggregate
+      // and per-thread values land in the trace's rla_metrics block.
+      const obs::perf::Sample hw_total = perf_session->read_total();
+      const auto hw_threads = perf_session->per_thread();
+      const auto hw_phases = perf_session->phase_totals();
+      perf_session->detach();
+      if (collector) {
+        obs::Registry& reg = collector->registry();
+        for (int i = 0; i < obs::perf::kEventCount; ++i) {
+          if (!hw_total.has(i)) continue;
+          reg.counter(std::string("perf.total.") + obs::perf::event_name(i))
+              .set(hw_total.value[i]);
+        }
+        for (const auto& tc : hw_threads) {
+          for (int i = 0; i < obs::perf::kEventCount; ++i) {
+            if (!tc.sample.has(i)) continue;
+            reg.counter("perf." + tc.label + "." + obs::perf::event_name(i))
+                .set(tc.sample.value[i]);
+          }
+        }
+      }
+      if (profile != nullptr && hw_total.mask != 0) {
+        profile->hw_measured = true;
+        profile->hw_scale = hw_total.scale;
+        profile->hw_events.clear();
+        for (int i = 0; i < obs::perf::kEventCount; ++i) {
+          if (hw_total.has(i)) {
+            profile->hw_events.emplace_back(obs::perf::event_name(i));
+          }
+        }
+        profile->hw_total = to_hw_counters(hw_total);
+        profile->hw_phases.clear();
+        for (const auto& [phase, sample] : hw_phases) {
+          profile->hw_phases.emplace_back(phase, to_hw_counters(sample));
+        }
+      }
+      perf_session.reset();
     }
     if (collector) {
       obs_root.reset();  // close the root span before freezing results

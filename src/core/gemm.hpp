@@ -111,6 +111,30 @@ struct GemmProfile {
   double model_span = 0.0;
   double model_parallelism = 0.0;
 
+  /// One set of multiplexing-scaled hardware-counter values
+  /// (raw × time_enabled/time_running; see src/obs/perf.hpp). An event that
+  /// could not be opened on this machine stays 0 and is absent from
+  /// hw_events.
+  struct HwCounters {
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t l1d_read_misses = 0;
+    std::uint64_t llc_misses = 0;
+    std::uint64_t dtlb_misses = 0;
+    std::uint64_t task_clock_ns = 0;
+  };
+
+  // Hardware performance counters (GemmConfig::hw_counters / RLA_PERF).
+  // All-empty when counting was off or unavailable — the trail then carries
+  // "perf:unavailable:<reason>".
+  bool hw_measured = false;          ///< a counter group was live for this call
+  double hw_scale = 1.0;             ///< worst time_running/time_enabled (1 = exact)
+  std::vector<std::string> hw_events;  ///< event names that actually counted
+  HwCounters hw_total;               ///< whole-call totals over all threads
+  /// Per driver-phase counter deltas (convert.in / compute / adds / verify /
+  /// convert.out), aggregated across split pieces, in first-seen order.
+  std::vector<std::pair<std::string, HwCounters>> hw_phases;
+
   /// Serialize every field to a single JSON object (schema documented in
   /// DESIGN.md §10). Machine-readable companion to the trace file.
   std::string to_json() const;

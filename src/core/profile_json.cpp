@@ -96,6 +96,30 @@ void read_uints(const Value& obj, const char* key,
   }
 }
 
+void hw_fill(Value& obj, const GemmProfile::HwCounters& hw) {
+  obj.set("cycles", Value::number(hw.cycles));
+  obj.set("instructions", Value::number(hw.instructions));
+  obj.set("l1d_read_misses", Value::number(hw.l1d_read_misses));
+  obj.set("llc_misses", Value::number(hw.llc_misses));
+  obj.set("dtlb_misses", Value::number(hw.dtlb_misses));
+  obj.set("task_clock_ns", Value::number(hw.task_clock_ns));
+}
+
+Value hw_object(const GemmProfile::HwCounters& hw) {
+  Value obj = Value::object();
+  hw_fill(obj, hw);
+  return obj;
+}
+
+void read_hw(const Value& obj, GemmProfile::HwCounters& out) {
+  read_u64(obj, "cycles", out.cycles);
+  read_u64(obj, "instructions", out.instructions);
+  read_u64(obj, "l1d_read_misses", out.l1d_read_misses);
+  read_u64(obj, "llc_misses", out.llc_misses);
+  read_u64(obj, "dtlb_misses", out.dtlb_misses);
+  read_u64(obj, "task_clock_ns", out.task_clock_ns);
+}
+
 }  // namespace
 
 std::string GemmProfile::to_json() const {
@@ -153,6 +177,19 @@ std::string GemmProfile::to_json() const {
   o.set("model_work", Value::number(model_work));
   o.set("model_span", Value::number(model_span));
   o.set("model_parallelism", Value::number(model_parallelism));
+
+  o.set("hw_measured", Value::boolean(hw_measured));
+  o.set("hw_scale", Value::number(hw_scale));
+  o.set("hw_events", string_array(hw_events));
+  o.set("hw_total", hw_object(hw_total));
+  Value phases = Value::array();
+  for (const auto& [name, hw] : hw_phases) {
+    Value entry = Value::object();
+    entry.set("phase", Value::string(name));
+    hw_fill(entry, hw);
+    phases.push_back(std::move(entry));
+  }
+  o.set("hw_phases", std::move(phases));
   return o.dump();
 }
 
@@ -212,6 +249,22 @@ bool GemmProfile::from_json(const std::string& text, GemmProfile& out) {
   read_double(o, "model_work", p.model_work);
   read_double(o, "model_span", p.model_span);
   read_double(o, "model_parallelism", p.model_parallelism);
+  read_bool(o, "hw_measured", p.hw_measured);
+  read_double(o, "hw_scale", p.hw_scale);
+  read_strings(o, "hw_events", p.hw_events);
+  if (const Value* v = o.find("hw_total"); v != nullptr && v->is_object()) {
+    read_hw(*v, p.hw_total);
+  }
+  if (const Value* v = o.find("hw_phases"); v != nullptr && v->is_array()) {
+    p.hw_phases.clear();
+    for (const Value& entry : v->items()) {
+      if (!entry.is_object()) continue;
+      std::pair<std::string, HwCounters> ph;
+      read_string(entry, "phase", ph.first);
+      read_hw(entry, ph.second);
+      p.hw_phases.push_back(std::move(ph));
+    }
+  }
   out = std::move(p);
   return true;
 }

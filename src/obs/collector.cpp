@@ -272,6 +272,8 @@ void wait_end(GroupObs* fold_from) {
 
 void set_worker_hint(int worker_index) { tl_worker_hint = worker_index; }
 
+int worker_hint() noexcept { return tl_worker_hint; }
+
 }  // namespace detail
 
 using detail::g_buffers_created;
@@ -409,6 +411,14 @@ void write_event(std::ostream& out, const TraceEvent& e, int tid,
     out << ",\"off_ns\":" << e.off_ns << ",\"lat_ns\":" << e.lat_ns
         << ",\"span_ns\":" << e.span_ns << ",\"excl_ns\":" << e.excl_ns
         << ",\"migrated\":" << (e.migrated ? "true" : "false");
+  } else if (e.kind == TraceEvent::Kind::Phase && e.hw_mask != 0) {
+    // Scaled HW-counter deltas for this span (Perfetto shows them in the
+    // args pane when the slice is selected).
+    for (int i = 0; i < perf::kEventCount; ++i) {
+      if ((e.hw_mask >> i) & 1u) {
+        out << ",\"" << perf::event_name(i) << "\":" << e.hw[i];
+      }
+    }
   } else if (e.kind == TraceEvent::Kind::Spawn) {
     out << ",\"off_ns\":" << e.off_ns;
   } else if (e.kind == TraceEvent::Kind::Steal) {
@@ -478,21 +488,36 @@ ScopedRoot::~ScopedRoot() {
 }
 
 PhaseScope::PhaseScope(const char* name) : name_(name), on_(armed()) {
-  if (on_) start_ns_ = detail::now_ns();
+  hw_on_ = perf::phase_snapshot(hw_begin_);
+  if (on_ || hw_on_) start_ns_ = detail::now_ns();
 }
 
 PhaseScope::PhaseScope(const char* name, bool enabled)
     : name_(name), on_(enabled && armed()) {
-  if (on_) start_ns_ = detail::now_ns();
+  if (enabled) hw_on_ = perf::phase_snapshot(hw_begin_);
+  if (on_ || hw_on_) start_ns_ = detail::now_ns();
 }
 
 PhaseScope::~PhaseScope() {
-  if (!on_) return;
+  if (!on_ && !hw_on_) return;
   TraceEvent e;
   e.name = name_;
   e.kind = TraceEvent::Kind::Phase;
   e.ts_ns = start_ns_;
   e.dur_ns = detail::now_ns() - start_ns_;
+  if (hw_on_) {
+    // Bracket the phase with whole-process counter snapshots (the sum over
+    // all thread groups — work done by workers inside the phase counts) and
+    // fold the delta into the session's per-phase aggregate.
+    perf::Sample end;
+    if (perf::phase_snapshot(end)) {
+      const perf::Sample d = end.delta_since(hw_begin_);
+      perf::note_phase(name_, d);
+      e.hw_mask = static_cast<std::uint8_t>(d.mask);
+      for (int i = 0; i < perf::kEventCount; ++i) e.hw[i] = d.value[i];
+    }
+  }
+  if (!on_) return;  // counters recorded; no collector to emit the span to
   if (!detail::tl_frames.empty()) e.parent = detail::tl_frames.back().id;
   detail::emit_event(e);
 }

@@ -35,6 +35,7 @@
 
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 
 namespace rla::obs {
 
@@ -53,6 +54,11 @@ struct TraceEvent {
   std::int64_t lat_ns = 0;   ///< spawn-to-start queue latency (burden)
   std::int64_t span_ns = 0;  ///< measured subtree span (Task events)
   std::int64_t excl_ns = 0;  ///< exclusive body time (Task events)
+  /// Scaled HW-counter deltas for Phase events when a perf::Session was
+  /// counting (indexed by perf::EventIndex; hw_mask bit i = hw[i] valid).
+  /// Exported as trace-event args so Perfetto shows misses per span.
+  std::uint64_t hw[perf::kEventCount] = {};
+  std::uint8_t hw_mask = 0;
   Kind kind = Kind::Task;
   bool migrated = false;     ///< executed on a different thread than spawned
 };
@@ -178,7 +184,9 @@ class PhaseScope {
  private:
   const char* name_;
   std::int64_t start_ns_ = 0;
+  perf::Sample hw_begin_;  ///< counter snapshot at entry (hw_on_ only)
   bool on_;
+  bool hw_on_ = false;     ///< a perf::Session was counting at entry
 };
 
 }  // namespace rla::obs

@@ -64,6 +64,10 @@ void wait_begin();
 void wait_end(GroupObs* fold_from);
 void set_worker_hint(int worker_index);
 
+/// This thread's pool worker index (-1 = not a pool worker); labels both
+/// trace lanes and perf counter groups.
+int worker_hint() noexcept;
+
 }  // namespace detail
 
 /// True while a Collector is armed (one relaxed load).

@@ -45,6 +45,8 @@ std::string_view site_name(Site s) noexcept {
       return "kernel.corrupt";
     case Site::KernelFpe:
       return "kernel.fpe";
+    case Site::PerfOpen:
+      return "perf.open";
   }
   return "?";
 }

@@ -21,7 +21,7 @@
 //   <site>:p=<F>     fail each hit independently with probability F
 //   seed=<N>         seed for the probabilistic triggers (default 0)
 // Sites: alloc.tiled, alloc.temp, pool.thread_create, task.throw,
-//        kernel.corrupt, kernel.fpe.
+//        kernel.corrupt, kernel.fpe, perf.open.
 //
 // Hit counters accumulate only while a plan is armed; hits() lets tests
 // assert how often a site was even *reached* (e.g. that cancellation pruned
@@ -42,8 +42,9 @@ enum class Site : std::uint8_t {
   TaskThrow,         ///< recursive multiply task body ("task.throw")
   KernelCorrupt,     ///< leaf kernel output corruption ("kernel.corrupt")
   KernelFpe,         ///< leaf kernel raises FE_INVALID, NaN output ("kernel.fpe")
+  PerfOpen,          ///< perf_event_open counter-group setup ("perf.open")
 };
-inline constexpr int kSiteCount = 6;
+inline constexpr int kSiteCount = 7;
 
 std::string_view site_name(Site s) noexcept;
 bool parse_site(std::string_view text, Site& out) noexcept;

@@ -200,6 +200,20 @@ TEST(ProfileJson, RoundTripsEveryField) {
   p.model_work = 1.0e9;
   p.model_span = 310000.0;
   p.model_parallelism = 3224.0;
+  p.hw_measured = true;
+  p.hw_scale = 0.75;
+  p.hw_events = {"cycles", "l1d_read_misses", "task_clock_ns"};
+  p.hw_total.cycles = 123456789;
+  p.hw_total.instructions = 987654321;
+  p.hw_total.l1d_read_misses = 4242;
+  p.hw_total.llc_misses = 17;
+  p.hw_total.dtlb_misses = 3;
+  p.hw_total.task_clock_ns = 55555555;
+  GemmProfile::HwCounters compute_hw;
+  compute_hw.cycles = 100000000;
+  compute_hw.l1d_read_misses = 4000;
+  p.hw_phases = {{"convert.in", GemmProfile::HwCounters{}},
+                 {"compute", compute_hw}};
 
   const std::string once = p.to_json();
   GemmProfile q;
@@ -214,6 +228,15 @@ TEST(ProfileJson, RoundTripsEveryField) {
   EXPECT_DOUBLE_EQ(q.achieved_parallelism, 2.56);
   ASSERT_EQ(q.task_ns_hist.size(), 5u);
   EXPECT_EQ(q.task_ns_hist[4], 100u);
+  EXPECT_TRUE(q.hw_measured);
+  EXPECT_DOUBLE_EQ(q.hw_scale, 0.75);
+  ASSERT_EQ(q.hw_events.size(), 3u);
+  EXPECT_EQ(q.hw_events[1], "l1d_read_misses");
+  EXPECT_EQ(q.hw_total.cycles, 123456789u);
+  EXPECT_EQ(q.hw_total.task_clock_ns, 55555555u);
+  ASSERT_EQ(q.hw_phases.size(), 2u);
+  EXPECT_EQ(q.hw_phases[1].first, "compute");
+  EXPECT_EQ(q.hw_phases[1].second.l1d_read_misses, 4000u);
 }
 
 TEST(ProfileJson, DefaultProfileRoundTripsAndRejectsGarbage) {

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Diff two bench --json reports and flag performance regressions.
+
+    bench_compare.py BASE.json NEW.json [--threshold=0.15] [--metric=median_gflops]
+
+Compares the per-benchmark ``summary`` entries (median/min GFLOPS written by
+bench_main's --json exporter). A benchmark regresses when its NEW value drops
+more than ``threshold`` (a fraction: 0.15 = 15%) below BASE. Exit status:
+
+    0  no regression (improvements and new/removed benchmarks are reported
+       but never fail the run)
+    1  at least one regression beyond the threshold
+    2  usage or unreadable/malformed input
+
+Benchmarks present in only one report are listed as added/removed and
+tolerated: CI machines differ, and a renamed benchmark must not make every
+subsequent run red. Stdlib only; ``--self-test`` exercises the comparison
+logic on synthetic reports.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_summary(path, metric):
+    """Return {benchmark name: metric value} from one bench --json report."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as err:
+        raise SystemExit(f"bench_compare: cannot read {path}: {err}")
+    summary = report.get("summary")
+    if not isinstance(summary, list):
+        raise SystemExit(f"bench_compare: {path} has no summary array")
+    out = {}
+    for entry in summary:
+        if not isinstance(entry, dict):
+            continue
+        name = entry.get("name")
+        value = entry.get(metric)
+        if isinstance(name, str) and isinstance(value, (int, float)):
+            out[name] = float(value)
+    return out
+
+
+def compare(base, new, threshold):
+    """Classify each benchmark; returns (rows, regressed_names).
+
+    rows are (status, name, base_value, new_value, change) with change as a
+    fraction (+0.10 = 10% faster) or None for added/removed entries.
+    """
+    rows = []
+    regressed = []
+    for name in sorted(set(base) | set(new)):
+        if name not in new:
+            rows.append(("removed", name, base[name], None, None))
+            continue
+        if name not in base:
+            rows.append(("added", name, None, new[name], None))
+            continue
+        b, n = base[name], new[name]
+        if b <= 0:
+            # A degenerate baseline (0 GFLOPS) cannot regress meaningfully.
+            rows.append(("skipped", name, b, n, None))
+            continue
+        change = (n - b) / b
+        if change < -threshold:
+            status = "REGRESSED"
+            regressed.append(name)
+        elif change > threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append((status, name, b, n, change))
+    return rows, regressed
+
+
+def print_rows(rows, metric):
+    width = max((len(r[1]) for r in rows), default=4)
+    print(f"{'status':<10} {'benchmark':<{width}} {'base':>10} {'new':>10} {'change':>8}  ({metric})")
+    for status, name, b, n, change in rows:
+        base_s = f"{b:.3f}" if b is not None else "-"
+        new_s = f"{n:.3f}" if n is not None else "-"
+        change_s = f"{change:+.1%}" if change is not None else "-"
+        print(f"{status:<10} {name:<{width}} {base_s:>10} {new_s:>10} {change_s:>8}")
+
+
+def self_test():
+    base = {"a": 10.0, "b": 10.0, "c": 10.0, "gone": 5.0, "zero": 0.0}
+    new = {"a": 10.5, "b": 8.0, "c": 13.0, "fresh": 2.0, "zero": 1.0}
+    rows, regressed = compare(base, new, threshold=0.15)
+    by_name = {r[1]: r[0] for r in rows}
+    assert by_name == {
+        "a": "ok",           # +5% within threshold
+        "b": "REGRESSED",    # -20% beyond threshold
+        "c": "improved",     # +30%
+        "gone": "removed",
+        "fresh": "added",
+        "zero": "skipped",   # degenerate baseline
+    }, by_name
+    assert regressed == ["b"], regressed
+
+    # Tighter threshold flags the small drop too.
+    _, regressed = compare({"a": 10.0, "b": 10.0}, {"a": 9.6, "b": 10.0}, 0.02)
+    assert regressed == ["a"], regressed
+    # Identical reports never regress.
+    _, regressed = compare(base, dict(base), 0.0)
+    assert regressed == [], regressed
+    # Empty reports are fine (a filtered run compares nothing).
+    rows, regressed = compare({}, {}, 0.1)
+    assert rows == [] and regressed == []
+
+    # End-to-end through the JSON loader.
+    import tempfile, os
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "r.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"summary": [
+                {"name": "x", "median_gflops": 3.0, "min_gflops": 2.5},
+                {"name": "bad"},              # no value: skipped
+                "not-an-object",              # tolerated
+            ]}, handle)
+        loaded = load_summary(path, "median_gflops")
+        assert loaded == {"x": 3.0}, loaded
+        loaded = load_summary(path, "min_gflops")
+        assert loaded == {"x": 2.5}, loaded
+    print("bench_compare: self-test ok")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base", nargs="?", help="baseline bench --json report")
+    parser.add_argument("new", nargs="?", help="candidate bench --json report")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional drop (default 0.15 = 15%%)")
+    parser.add_argument("--metric", default="median_gflops",
+                        choices=["median_gflops", "min_gflops"])
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in tests and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.base is None or args.new is None:
+        parser.print_usage(sys.stderr)
+        return 2
+    if args.threshold < 0:
+        print("bench_compare: threshold must be >= 0", file=sys.stderr)
+        return 2
+
+    base = load_summary(args.base, args.metric)
+    new = load_summary(args.new, args.metric)
+    rows, regressed = compare(base, new, args.threshold)
+    print_rows(rows, args.metric)
+    if regressed:
+        print(f"\n{len(regressed)} regression(s) beyond "
+              f"{args.threshold:.0%}: {', '.join(regressed)}")
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -23,7 +23,8 @@ void usage(const char* prog) {
   std::printf(
       "usage: %s [--m=N] [--n=N] [--k=N] [--threads=N] [--layout=z|u|h|x|col]\n"
       "          [--algorithm=standard|strassen|winograd] [--seed=N]\n"
-      "          [--trace=FILE] [--profile=FILE] [--no-measure]\n",
+      "          [--trace=FILE] [--profile=FILE] [--profile-json=FILE]\n"
+      "          [--perf] [--no-measure]\n",
       prog);
 }
 
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   cfg.threads = static_cast<unsigned>(args.get_int("threads", 4));
   cfg.trace_path = args.get("trace");
   cfg.measure = !args.get_bool("no-measure");
+  cfg.hw_counters = args.get_bool("perf");
   if (!rla::parse_curve(args.get("layout", "z"), cfg.layout)) {
     std::fprintf(stderr, "rla_gemm: unknown layout '%s'\n",
                  args.get("layout").c_str());
@@ -76,7 +78,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::string profile_path = args.get("profile");
+  // --profile-json is an alias kept for scripts that spell the format out.
+  std::string profile_path = args.get("profile");
+  if (profile_path.empty()) profile_path = args.get("profile-json");
   if (!profile_path.empty()) {
     std::ofstream out(profile_path);
     out << profile.to_json() << "\n";

@@ -54,7 +54,52 @@ def thread_names(events):
 
 
 def task_events(events):
-    return [ev for ev in events if ev.get("ph") == "X" and ev.get("cat") == "task"]
+    """Complete task spans. Events without an args.id (hand-edited or
+    truncated traces) are dropped rather than crashing the walk below."""
+    return [
+        ev
+        for ev in events
+        if ev.get("ph") == "X"
+        and ev.get("cat") == "task"
+        and isinstance(ev.get("args"), dict)
+        and "id" in ev["args"]
+    ]
+
+
+# Trace-arg keys on phase spans that are structure, not counters.
+_PHASE_STRUCTURE_KEYS = {"id", "parent", "seq"}
+
+
+def phase_events(events):
+    return [ev for ev in events if ev.get("ph") == "X" and ev.get("cat") == "phase"]
+
+
+def phase_table(phases):
+    """Aggregate phase spans by name, in first-appearance order.
+
+    Returns [{name, count, wall_ms, counters: {event: total}}]. The counters
+    are whatever numeric args the collector attached beyond the structural
+    ids — with hardware counting on, the perf events (cycles,
+    l1d_read_misses, ...); otherwise empty.
+    """
+    order = []
+    agg = {}
+    for ev in sorted(phases, key=lambda e: e.get("ts", 0.0)):
+        name = ev.get("name", "phase")
+        if name not in agg:
+            order.append(name)
+            agg[name] = {"name": name, "count": 0, "wall_ms": 0.0, "counters": {}}
+        entry = agg[name]
+        entry["count"] += 1
+        entry["wall_ms"] += ev.get("dur", 0.0) / 1e3
+        args = ev.get("args")
+        if isinstance(args, dict):
+            for key, value in args.items():
+                if key in _PHASE_STRUCTURE_KEYS:
+                    continue
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    entry["counters"][key] = entry["counters"].get(key, 0) + value
+    return [agg[name] for name in order]
 
 
 def utilization(tasks, events):
@@ -148,6 +193,7 @@ def summarize(doc, top_n=10):
     ]
 
     summary = {
+        "phases": phase_table(phase_events(events)),
         "tasks": len(tasks),
         "wall_ms": wall_ns / 1e6,
         "work_ms": total_excl / 1e6,
@@ -165,6 +211,19 @@ def summarize(doc, top_n=10):
         "critical_path": path,
         "critical_path_tasks": len(path),
     }
+
+    # Whole-call perf counters from the metrics snapshot, when the trace has
+    # one (rla_metrics and rla_summary are both optional extensions: a trace
+    # from another producer, or a truncated file, summarizes fine without).
+    metrics = doc.get("rla_metrics")
+    if isinstance(metrics, dict) and isinstance(metrics.get("counters"), dict):
+        perf = {
+            key[len("perf.total."):]: value
+            for key, value in metrics["counters"].items()
+            if key.startswith("perf.total.") and isinstance(value, (int, float))
+        }
+        if perf:
+            summary["hw_total"] = perf
 
     embedded = doc.get("rla_summary")
     if isinstance(embedded, dict):
@@ -198,6 +257,24 @@ def print_report(summary):
             f"  tid {tid:>3} {w['name']:<12} busy {w['busy_ms']:9.2f} ms  "
             f"util {100.0 * w['utilization']:5.1f}%"
         )
+    if summary.get("phases"):
+        # Union of counter names across phases, in first-seen order.
+        counter_names = []
+        for ph in summary["phases"]:
+            for key in ph["counters"]:
+                if key not in counter_names:
+                    counter_names.append(key)
+        header = "".join(f" {name:>18}" for name in counter_names)
+        print(f"driver phases:{'' if counter_names else ' (no HW counters)'}")
+        print(f"  {'phase':<12} {'spans':>5} {'wall_ms':>9}{header}")
+        for ph in summary["phases"]:
+            cells = "".join(
+                f" {ph['counters'].get(name, 0):>18.0f}" for name in counter_names
+            )
+            print(f"  {ph['name']:<12} {ph['count']:>5} {ph['wall_ms']:>9.2f}{cells}")
+    if summary.get("hw_total"):
+        total = "  ".join(f"{k}={v:.0f}" for k, v in sorted(summary["hw_total"].items()))
+        print(f"hw totals: {total}")
     print(f"top {len(summary['top_tasks'])} tasks by exclusive time:")
     for t in summary["top_tasks"]:
         mig = " (migrated)" if t["migrated"] else ""
@@ -251,6 +328,20 @@ def seeded_trace():
         _task(1, 4, 3, 50.0, 20.0, 20_000, 20_000),
         _task(0, 3, 1, 40.0, 60.0, 40_000, 60_000, lat_ns=2_000),
         _task(0, 1, 0, 0.0, 100.0, 30_000, 92_000),
+        # Driver phases, the second with HW-counter args attached.
+        {"name": "convert.in", "cat": "phase", "pid": 1, "tid": 0, "ph": "X",
+         "ts": 0.0, "dur": 20.0, "args": {"id": 10, "parent": 1, "seq": 0}},
+        {"name": "compute", "cat": "phase", "pid": 1, "tid": 0, "ph": "X",
+         "ts": 20.0, "dur": 70.0,
+         "args": {"id": 11, "parent": 1, "seq": 0,
+                  "cycles": 900_000, "l1d_read_misses": 4_200}},
+        {"name": "compute", "cat": "phase", "pid": 1, "tid": 0, "ph": "X",
+         "ts": 90.0, "dur": 10.0,
+         "args": {"id": 12, "parent": 1, "seq": 0,
+                  "cycles": 100_000, "l1d_read_misses": 800}},
+        # A truncated task event with no args: must be ignored, not fatal.
+        {"name": "task", "cat": "task", "pid": 1, "tid": 0, "ph": "X",
+         "ts": 95.0, "dur": 1.0},
     ]
     return {
         "traceEvents": events,
@@ -282,12 +373,43 @@ def self_test() -> int:
     if abs(util0 - 0.7) > 1e-6:  # 70 us busy on tid 0 over 100 us wall
         print(f"self-test FAILED: tid-0 utilization {util0}, expected 0.70")
         return 2
+    phases = {p["name"]: p for p in summary["phases"]}
+    if list(phases) != ["convert.in", "compute"]:
+        print(f"self-test FAILED: phase order {list(phases)}")
+        return 2
+    if phases["compute"]["count"] != 2 or abs(phases["compute"]["wall_ms"] - 0.08) > 1e-9:
+        print(f"self-test FAILED: compute aggregation {phases['compute']}")
+        return 2
+    if phases["compute"]["counters"] != {"cycles": 1_000_000, "l1d_read_misses": 5_000}:
+        print(f"self-test FAILED: compute counters {phases['compute']['counters']}")
+        return 2
+    if phases["convert.in"]["counters"] != {}:
+        print(f"self-test FAILED: convert.in counters {phases['convert.in']['counters']}")
+        return 2
     # A mutilated trace must be caught: inflate embedded work 10x.
     bad = seeded_trace()
     bad["rla_summary"]["work_ns"] = 1_200_000
     _, bad_problems = summarize(bad, top_n=10)
     if not bad_problems:
         print("self-test FAILED: inconsistent embedded summary not detected")
+        return 2
+    # Traces without the rla_summary / rla_metrics extensions (or with a
+    # non-dict in their place) must summarize cleanly.
+    bare = seeded_trace()
+    del bare["rla_summary"]
+    bare["rla_metrics"] = "bogus"
+    bare_summary, bare_problems = summarize(bare, top_n=10)
+    if bare_problems or "embedded" in bare_summary or "hw_total" in bare_summary:
+        print(f"self-test FAILED: bare trace: {bare_problems}")
+        return 2
+    # And the metrics snapshot surfaces whole-call perf totals when present.
+    counted = seeded_trace()
+    counted["rla_metrics"] = {"counters": {"perf.total.cycles": 1_000_000,
+                                           "perf.w0.cycles": 500_000,
+                                           "sched.w0.steals": 3}}
+    counted_summary, _ = summarize(counted, top_n=10)
+    if counted_summary.get("hw_total") != {"cycles": 1_000_000}:
+        print(f"self-test FAILED: hw_total {counted_summary.get('hw_total')}")
         return 2
     print("self-test OK: critical path, utilization, and consistency checks hold")
     return 0
