@@ -41,11 +41,21 @@ struct Site {
 namespace detail {
 
 /// The detector attached to this thread (nullptr = detection off). Managed
-/// by ScopedDetection; everything below is a no-op while it is null.
-extern thread_local RaceDetector* tl_detector;
+/// by ScopedDetection via set_current_detector(); everything below is a
+/// no-op while it is null.
+///
+/// Deliberately behind out-of-line accessors instead of an `extern
+/// thread_local`: for cross-TU TLS reads GCC makes its -fsanitize=null
+/// check consume the flags of the `addq %fs:0` address computation, and the
+/// linker's mandated IE->LE relaxation rewrites that addq into a flag-
+/// preserving leaq — the check then tests stale flags and raises spurious
+/// "load of null pointer" reports. The defining TU accesses the variable
+/// directly and is immune, so every other TU goes through these.
+RaceDetector* current_detector() noexcept;
+void set_current_detector(RaceDetector* detector) noexcept;
 
 // Out-of-line slow paths (defined in race_detect.cpp). Call only when
-// tl_detector is non-null.
+// current_detector() is non-null.
 void record_access(const Site* site, const void* ptr, std::size_t bytes,
                    bool write);
 void record_access_strided(const Site* site, const void* ptr,
@@ -61,7 +71,9 @@ void buffer_lifetime(const void* ptr, std::size_t bytes);
 }  // namespace detail
 
 /// True while a RaceDetector is attached to the calling thread.
-inline bool detection_active() noexcept { return detail::tl_detector != nullptr; }
+inline bool detection_active() noexcept {
+  return detail::current_detector() != nullptr;
+}
 
 // ---- fork-join structure hooks (called by TaskGroup / WorkerPool) ----
 
@@ -69,39 +81,39 @@ inline bool detection_active() noexcept { return detail::tl_detector != nullptr;
 /// depth-first schedule: called immediately before the task body runs
 /// inline).
 inline void hook_task_begin(const void* group, std::uint64_t seq) {
-  if (detail::tl_detector != nullptr) detail::task_begin(group, seq);
+  if (detail::current_detector() != nullptr) detail::task_begin(group, seq);
 }
 
 /// The task started by the matching hook_task_begin finished (normally or by
 /// exception).
 inline void hook_task_end(const void* group) {
-  if (detail::tl_detector != nullptr) detail::task_end(group);
+  if (detail::current_detector() != nullptr) detail::task_end(group);
 }
 
 /// TaskGroup::wait() completed: every child of `group` is serialized with
 /// the code that follows.
 inline void hook_group_sync(const void* group) {
-  if (detail::tl_detector != nullptr) detail::group_sync(group);
+  if (detail::current_detector() != nullptr) detail::group_sync(group);
 }
 
 /// The group object is going away; forget any state keyed on its address
 /// (a later group may reuse it).
 inline void hook_group_destroyed(const void* group) {
-  if (detail::tl_detector != nullptr) detail::group_destroyed(group);
+  if (detail::current_detector() != nullptr) detail::group_destroyed(group);
 }
 
 /// A spawn took the parallel (deque) path while detection was active. The
 /// SP-bags algorithm is only sound under the serial depth-first schedule, so
 /// this invalidates certification for the attached detector.
 inline void hook_parallel_spawn() {
-  if (detail::tl_detector != nullptr) detail::parallel_schedule();
+  if (detail::current_detector() != nullptr) detail::parallel_schedule();
 }
 
 /// A heap buffer was allocated or freed. The detector clears its shadow
 /// state for the range: without this, malloc recycling would attribute a
 /// dead sibling task's accesses to a fresh buffer and report false races.
 inline void hook_buffer_lifetime(const void* ptr, std::size_t bytes) {
-  if (detail::tl_detector != nullptr) detail::buffer_lifetime(ptr, bytes);
+  if (detail::current_detector() != nullptr) detail::buffer_lifetime(ptr, bytes);
 }
 
 }  // namespace rla::analysis
@@ -121,7 +133,7 @@ inline void hook_buffer_lifetime(const void* ptr, std::size_t bytes) {
 
 #define RLA_RACE_DETAIL_ACCESS_(ptr, bytes, is_write)                         \
   do {                                                                        \
-    if (::rla::analysis::detail::tl_detector != nullptr) {                    \
+    if (::rla::analysis::detail::current_detector() != nullptr) {             \
       static const ::rla::analysis::Site RLA_RACE_DETAIL_CAT_(                \
           rla_race_site_, __LINE__){__FILE__, __LINE__, __func__};            \
       ::rla::analysis::detail::record_access(                                 \
@@ -132,7 +144,7 @@ inline void hook_buffer_lifetime(const void* ptr, std::size_t bytes) {
 
 #define RLA_RACE_DETAIL_ACCESS_STRIDED_(ptr, run, stride, runs, is_write)     \
   do {                                                                        \
-    if (::rla::analysis::detail::tl_detector != nullptr) {                    \
+    if (::rla::analysis::detail::current_detector() != nullptr) {             \
       static const ::rla::analysis::Site RLA_RACE_DETAIL_CAT_(                \
           rla_race_site_, __LINE__){__FILE__, __LINE__, __func__};            \
       ::rla::analysis::detail::record_access_strided(                         \

@@ -11,6 +11,12 @@ namespace detail {
 
 thread_local ShadowAnalyzer* tl_shadow = nullptr;
 
+ShadowAnalyzer* current_shadow() noexcept { return tl_shadow; }
+
+void set_current_shadow(ShadowAnalyzer* analyzer) noexcept {
+  tl_shadow = analyzer;
+}
+
 }  // namespace detail
 
 bool instrumented() noexcept {

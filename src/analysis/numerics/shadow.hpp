@@ -44,11 +44,17 @@ class ShadowAnalyzer;
 namespace detail {
 
 /// The analyzer attached to this thread (nullptr = analysis off). Managed
-/// by ScopedShadow; every hook below is a no-op while it is null.
-extern thread_local ShadowAnalyzer* tl_shadow;
+/// by ScopedShadow via set_current_shadow(); every hook below is a no-op
+/// while it is null. Behind out-of-line accessors instead of an `extern
+/// thread_local` for the same reason as analysis::detail::current_detector():
+/// the linker's IE->LE TLS relaxation turns cross-TU address computations
+/// into flag-preserving leaq, breaking the flags GCC's -fsanitize=null check
+/// consumes and yielding spurious "load of null pointer" reports.
+ShadowAnalyzer* current_shadow() noexcept;
+void set_current_shadow(ShadowAnalyzer* analyzer) noexcept;
 
-// Out-of-line mirrors (defined in shadow.cpp). Call only when tl_shadow is
-// non-null; all are noexcept and OOM-safe.
+// Out-of-line mirrors (defined in shadow.cpp). Call only when
+// current_shadow() is non-null; all are noexcept and OOM-safe.
 void mm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
         const double* a, std::size_t lda, const double* b, std::size_t ldb,
         double* c, std::size_t ldc) noexcept;
@@ -147,10 +153,10 @@ class ShadowAnalyzer {
 class ScopedShadow {
  public:
   explicit ScopedShadow(ShadowAnalyzer& analyzer) noexcept
-      : previous_(detail::tl_shadow) {
-    detail::tl_shadow = &analyzer;
+      : previous_(detail::current_shadow()) {
+    detail::set_current_shadow(&analyzer);
   }
-  ~ScopedShadow() { detail::tl_shadow = previous_; }
+  ~ScopedShadow() { detail::set_current_shadow(previous_); }
 
   ScopedShadow(const ScopedShadow&) = delete;
   ScopedShadow& operator=(const ScopedShadow&) = delete;
@@ -172,7 +178,7 @@ class ScopedShadow {
 
 #define RLA_SHADOW_HOOK_(call)                                      \
   do {                                                              \
-    if (::rla::numerics::detail::tl_shadow != nullptr) {            \
+    if (::rla::numerics::detail::current_shadow() != nullptr) {     \
       ::rla::numerics::detail::call;                                \
     }                                                               \
   } while (0)

@@ -10,6 +10,12 @@ namespace rla::analysis {
 
 namespace detail {
 thread_local RaceDetector* tl_detector = nullptr;
+
+RaceDetector* current_detector() noexcept { return tl_detector; }
+
+void set_current_detector(RaceDetector* detector) noexcept {
+  tl_detector = detector;
+}
 }  // namespace detail
 
 bool instrumented() noexcept {

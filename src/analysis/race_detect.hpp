@@ -151,10 +151,10 @@ class RaceDetector {
 class ScopedDetection {
  public:
   explicit ScopedDetection(RaceDetector& detector) noexcept
-      : previous_(detail::tl_detector) {
-    detail::tl_detector = &detector;
+      : previous_(detail::current_detector()) {
+    detail::set_current_detector(&detector);
   }
-  ~ScopedDetection() { detail::tl_detector = previous_; }
+  ~ScopedDetection() { detail::set_current_detector(previous_); }
 
   ScopedDetection(const ScopedDetection&) = delete;
   ScopedDetection& operator=(const ScopedDetection&) = delete;

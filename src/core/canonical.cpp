@@ -26,6 +26,12 @@ void leaf(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
           c.data, c.ld);
 }
 
+/// External-cancellation check at node granularity (one relaxed load); the
+/// canonical counterpart of recursion.cpp's node_cancelled.
+bool canon_cancelled(const CanonContext& ctx) noexcept {
+  return ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_relaxed);
+}
+
 // Column-major multi-operand accumulators over views (the canonical-path
 // counterparts of the tiled block_accN routines).
 void sacc2(MatrixView d, double s1, ConstMatrixView p1, double s2,
@@ -104,6 +110,7 @@ struct Quads {
 
 void canon_standard(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
                     ConstMatrixView b) {
+  if (canon_cancelled(ctx)) return;
   const std::uint32_t m = c.rows, n = c.cols, k = a.cols;
   if (m <= ctx.leaf && n <= ctx.leaf && k <= ctx.leaf) {
     leaf(ctx, c, a, b);
@@ -126,7 +133,7 @@ void canon_standard(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
       analysis::detection_active() ||
       (!ctx.pool->serial() && flops(m, n, k) >= ctx.spawn_flops);
 
-  TaskGroup group(*ctx.pool);
+  TaskGroup group(*ctx.pool, nullptr, ctx.priority);
   for (std::size_t mi = 0; mi < mp; ++mi) {
     for (std::size_t nj = 0; nj < np; ++nj) {
       const std::uint32_t r0 = me[mi], rows = me[mi + 1] - me[mi];
@@ -146,7 +153,7 @@ void canon_standard(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
           // Paper Fig. 1(a) parallel form: both k-halves at once, the second
           // into a temporary folded in by a post-addition.
           Matrix tmp(rows, cols);
-          TaskGroup inner(*ctx.pool);
+          TaskGroup inner(*ctx.pool, nullptr, ctx.priority);
           inner.spawn([=, &ctx] { canon_standard(ctx, cc, a1, b1); });
           inner.spawn([&tmp, a2, b2, &ctx] {
             tmp.zero();
@@ -170,6 +177,7 @@ namespace {
 template <typename Recurse>
 void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
                      ConstMatrixView b, bool winograd, Recurse&& recurse) {
+  if (canon_cancelled(ctx)) return;
   const std::uint32_t s = c.rows;
   assert(c.cols == s && a.cols == s && b.rows == s);
   if (s <= ctx.leaf || (s & 1) != 0) {
@@ -201,7 +209,7 @@ void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
   auto pv = [&](int i) { return P[static_cast<std::size_t>(i - 1)].view(); };
 
   {
-    TaskGroup group(*ctx.pool);
+    TaskGroup group(*ctx.pool, nullptr, ctx.priority);
     if (!winograd) {
       fork(group, par, [&] { sset_add(sv(1), a11, +1.0, a22); });
       fork(group, par, [&] { sset_add(sv(2), a21, +1.0, a22); });
@@ -231,7 +239,7 @@ void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
     group.wait();
   }
   {
-    TaskGroup group(*ctx.pool);
+    TaskGroup group(*ctx.pool, nullptr, ctx.priority);
     auto product = [&](MatrixView dst, ConstMatrixView x, ConstMatrixView y) {
       return [=, &ctx, &recurse] {
         strided_scale(dst.data, dst.ld, 0.0, dst.rows, dst.cols);
@@ -257,7 +265,7 @@ void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
     }
     group.wait();
   }
-  TaskGroup group(*ctx.pool);
+  TaskGroup group(*ctx.pool, nullptr, ctx.priority);
   if (!winograd) {
     fork(group, par, [&] { sacc4(c11, +1.0, pv(1), +1.0, pv(4), -1.0, pv(5), +1.0, pv(7)); });
     fork(group, par, [&] { sacc2(c21, +1.0, pv(2), +1.0, pv(4)); });
@@ -268,7 +276,7 @@ void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
     fork(group, par, [&] {
       sacc(pv(4), 1.0, pv(1));  // U2 = P1 + P4
       sacc(pv(5), 1.0, pv(4));  // U3 = U2 + P5
-      TaskGroup inner(*ctx.pool);
+      TaskGroup inner(*ctx.pool, nullptr, ctx.priority);
       fork(inner, par, [&] { sacc2(c21, +1.0, pv(5), +1.0, pv(7)); });
       fork(inner, par, [&] { sacc2(c22, +1.0, pv(5), +1.0, pv(3)); });
       fork(inner, par, [&] { sacc3(c12, +1.0, pv(4), +1.0, pv(3), +1.0, pv(6)); });
@@ -282,6 +290,7 @@ void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
 /// one S, one T, one P buffer; see the tiled counterpart in recursion.cpp.
 void canon_fast_lowmem(const CanonContext& ctx, bool winograd, MatrixView c,
                        ConstMatrixView a, ConstMatrixView b) {
+  if (canon_cancelled(ctx)) return;
   const std::uint32_t size = c.rows;
   if (size <= ctx.leaf || (size & 1) != 0) {
     leaf(ctx, c, a, b);

@@ -27,6 +27,12 @@ struct CanonContext {
   std::uint32_t leaf = 32;       ///< recurse until every dimension <= leaf
   std::uint64_t spawn_flops = 1ull << 21;  ///< spawn subproblems above this
   WorkerPool* pool = nullptr;
+  /// External cancellation (GemmConfig::cancel): nodes return without
+  /// descending once set; the driver raises rla::Error{Cancelled} after the
+  /// task tree drains. Null = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Injection-queue priority for forked TaskGroups (GemmConfig::priority).
+  int priority = 0;
 };
 
 /// C += A·B on column-major views, standard recursion, any shapes

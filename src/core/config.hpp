@@ -2,9 +2,13 @@
 
 // User-facing configuration of the gemm driver.
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
+
+#include "util/aligned_buffer.hpp"
 
 #include "layout/curve.hpp"
 #include "layout/tiled_layout.hpp"
@@ -86,6 +90,35 @@ struct GemmConfig {
 
   /// Optional externally managed pool (avoids per-call thread start-up).
   WorkerPool* pool = nullptr;
+
+  /// Cooperative cancellation token. When the pointed-to flag becomes true
+  /// the driver abandons the call at the next checkpoint — recursion nodes
+  /// stop descending through the same TaskGroup pruning path a task failure
+  /// uses, in-flight tasks drain, and gemm throws rla::Error with kind
+  /// Cancelled. C may hold partial garbage afterwards (the conversion back
+  /// is skipped, so the caller's C is only clobbered if the canonical
+  /// in-place path was already running). Deadline enforcement in the service
+  /// layer is built on this token; null = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Scheduling priority when several calls share one external pool: tasks
+  /// this call injects from non-worker threads overtake lower-priority
+  /// backlogs in the pool's injection queue (FIFO within equal priority).
+  /// The service layer maps request priorities onto this. Irrelevant for a
+  /// call that owns its pool.
+  int priority = 0;
+
+  /// Optional recycling allocator for the tiled conversion buffers (the
+  /// call's three largest allocations). When set, the driver obtains each
+  /// buffer via acquire_scratch(min_elements) — which may hand back a
+  /// previously used, page-aligned buffer of at least that many doubles —
+  /// and returns it through release_scratch when the piece finishes (or
+  /// fails). The service layer points these at its BufferArena so a stream
+  /// of requests stops hammering the system allocator. acquire_scratch may
+  /// throw std::bad_alloc, which feeds the normal degradation ladder. Both
+  /// must be set together; the hooks must be thread-safe.
+  std::function<AlignedBuffer<double>(std::size_t)> acquire_scratch;
+  std::function<void(AlignedBuffer<double>&&)> release_scratch;
 
   KernelKind kernel = KernelKind::TiledUnrolled;
 

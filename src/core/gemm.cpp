@@ -156,6 +156,17 @@ void apply_error_budget(GemmConfig& cfg, std::uint32_t m, std::uint32_t n,
   }
 }
 
+/// Driver-level cancellation checkpoint: one relaxed load, then
+/// rla::Error{Cancelled}. Placed at phase boundaries so a cancelled call
+/// never converts a partially computed C back into the caller's array.
+void throw_if_cancelled(const GemmConfig& cfg, std::uint32_t m, std::uint32_t n,
+                        std::uint32_t k) {
+  if (cfg.cancel != nullptr && cfg.cancel->load(std::memory_order_relaxed)) {
+    throw Error(ErrorKind::Cancelled, "gemm", "cooperative cancellation requested",
+                {m, n, k});
+  }
+}
+
 struct Operand {
   const double* data;
   std::size_t ld;
@@ -176,12 +187,32 @@ void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
                      double alpha, Operand a, Operand b, double beta, double* c,
                      std::size_t ldc, int depth, const GemmConfig& cfg,
                      WorkerPool& pool, ProfileSink& sink) {
+  throw_if_cancelled(cfg, m, n, k);
   fault::maybe_fail_alloc(fault::Site::AllocTiled);
   const TileGeometry ga = make_geometry(m, k, depth, cfg.layout);
   const TileGeometry gb = make_geometry(k, n, depth, cfg.layout);
   const TileGeometry gc = make_geometry(m, n, depth, cfg.layout);
 
-  TiledMatrix ta(ga), tb(gb), tc(gc);
+  // The three conversion buffers are the call's dominant allocations; a
+  // service-managed allocator (GemmConfig::acquire_scratch) recycles them
+  // across requests. The guard returns them on every exit path — including
+  // the cancellation/fault throws below — so the arena never leaks a buffer.
+  auto make_tiled = [&cfg](const TileGeometry& g) {
+    return cfg.acquire_scratch ? TiledMatrix(g, cfg.acquire_scratch(g.total_elems()))
+                               : TiledMatrix(g);
+  };
+  TiledMatrix ta = make_tiled(ga), tb = make_tiled(gb), tc = make_tiled(gc);
+  struct ScratchReturn {
+    const GemmConfig& cfg;
+    TiledMatrix *a, *b, *c;
+    ~ScratchReturn() {
+      if (cfg.release_scratch) {
+        cfg.release_scratch(a->take_buffer());
+        cfg.release_scratch(b->take_buffer());
+        cfg.release_scratch(c->take_buffer());
+      }
+    }
+  } scratch_return{cfg, &ta, &tb, &tc};
 
   const std::uint64_t tiles = ga.tile_count();
   const std::uint64_t grain =
@@ -192,22 +223,32 @@ void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
     obs::PhaseScope phase("convert.in");
     // Parallel remap (paper §4: "amenable to parallel execution"); α is
     // folded into A's remap and β into C's.
-    pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
-      canonical_to_tiled(a.data, a.ld, a.transpose, alpha, ga, ta.data(), s0, s1);
-    });
-    pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
-      canonical_to_tiled(b.data, b.ld, b.transpose, 1.0, gb, tb.data(), s0, s1);
-    });
+    pool.parallel_for(
+        0, tiles, grain,
+        [&](std::uint64_t s0, std::uint64_t s1) {
+          canonical_to_tiled(a.data, a.ld, a.transpose, alpha, ga, ta.data(), s0, s1);
+        },
+        cfg.priority);
+    pool.parallel_for(
+        0, tiles, grain,
+        [&](std::uint64_t s0, std::uint64_t s1) {
+          canonical_to_tiled(b.data, b.ld, b.transpose, 1.0, gb, tb.data(), s0, s1);
+        },
+        cfg.priority);
     if (beta == 0.0) {
       tc.zero();
     } else {
-      pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
-        canonical_to_tiled(c, ldc, false, beta, gc, tc.data(), s0, s1);
-      });
+      pool.parallel_for(
+          0, tiles, grain,
+          [&](std::uint64_t s0, std::uint64_t s1) {
+            canonical_to_tiled(c, ldc, false, beta, gc, tc.data(), s0, s1);
+          },
+          cfg.priority);
     }
   }
   const double conv_in = timer.seconds();
   fp_phase(sink, "convert.in");
+  throw_if_cancelled(cfg, m, n, k);
 
   timer.reset();
   // Piece-local cancellation: the first exception in this piece's recursion
@@ -222,6 +263,8 @@ void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
   ctx.force_generic_additions = cfg.force_generic_additions;
   ctx.pool = &pool;
   ctx.cancel = &cancelled;
+  ctx.external_cancel = cfg.cancel;
+  ctx.priority = cfg.priority;
   ZeroTree zero_a, zero_b;
   if (cfg.skip_zero_tiles && cfg.algorithm == Algorithm::Standard) {
     zero_a = ZeroTree::build(ta, &pool);
@@ -235,13 +278,19 @@ void run_tiled_piece(std::uint32_t m, std::uint32_t n, std::uint32_t k,
   }
   const double compute = timer.seconds();
   fp_phase(sink, "compute");
+  // The recursion returns early (no exception) when externally cancelled, so
+  // this check is what keeps a pruned, partially computed tc out of C.
+  throw_if_cancelled(cfg, m, n, k);
 
   timer.reset();
   {
     obs::PhaseScope phase("convert.out");
-    pool.parallel_for(0, tiles, grain, [&](std::uint64_t s0, std::uint64_t s1) {
-      tiled_to_canonical(tc.data(), gc, c, ldc, s0, s1);
-    });
+    pool.parallel_for(
+        0, tiles, grain,
+        [&](std::uint64_t s0, std::uint64_t s1) {
+          tiled_to_canonical(tc.data(), gc, c, ldc, s0, s1);
+        },
+        cfg.priority);
   }
   fp_phase(sink, "convert.out");
   sink.add(conv_in, compute, timer.seconds(), depth, ga.tile_rows, ga.tile_cols,
@@ -359,7 +408,7 @@ void run_or_split(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alph
   sink.count_split();
   if (m >= n && m >= k) {
     const std::uint32_t cut = split_point(m, cfg.tiles);
-    TaskGroup group(pool);
+    TaskGroup group(pool, nullptr, cfg.priority);
     group.spawn([=, &cfg, &pool, &sink] {
       run_or_split(cut, n, k, alpha, a, b, beta, c, ldc, cfg, pool, sink);
     });
@@ -370,7 +419,7 @@ void run_or_split(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alph
     group.wait();
   } else if (n >= k) {
     const std::uint32_t cut = split_point(n, cfg.tiles);
-    TaskGroup group(pool);
+    TaskGroup group(pool, nullptr, cfg.priority);
     group.spawn([=, &cfg, &pool, &sink] {
       run_or_split(m, cut, k, alpha, a, b, beta, c, ldc, cfg, pool, sink);
     });
@@ -397,12 +446,15 @@ void run_or_split(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alph
 void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
                    Operand a, Operand b, double beta, double* c, std::size_t ldc,
                    const GemmConfig& cfg, WorkerPool& pool, ProfileSink& sink) {
+  throw_if_cancelled(cfg, m, n, k);
   CanonContext ctx;
   ctx.kernel = cfg.kernel;
   ctx.standard_variant = cfg.standard_variant;
   ctx.fast_variant = cfg.fast_variant;
   ctx.leaf = cfg.tiles.t_max;
   ctx.pool = &pool;
+  ctx.cancel = cfg.cancel;
+  ctx.priority = cfg.priority;
 
   // The fast canonical recursion halves a padded square all the way to the
   // leaf (no cutoff knob), so the bound is modeled on the padded side: its
@@ -458,6 +510,9 @@ void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alp
       canon_standard(ctx, MatrixView{c, ldc, m, n}, av, bv);
     }
     fp_phase(sink, "compute");
+    // In-place on the caller's C: a cancelled recursion has already written
+    // partial sums, but the Cancelled error tells the caller C is dead.
+    throw_if_cancelled(cfg, m, n, k);
     sink.add(conv, timer.seconds(), 0.0, 0, 0, 0, 0);
     sink.set_bound(bound);
     return;
@@ -497,6 +552,7 @@ void run_canonical(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alp
   }
   const double compute = timer.seconds();
   fp_phase(sink, "compute");
+  throw_if_cancelled(cfg, m, n, k);  // keep the pruned padded product out of C
 
   timer.reset();
   {
@@ -593,6 +649,8 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
   if (cfg.layout == Curve::RowMajor) {
     throw std::invalid_argument("gemm: RowMajor is not a supported gemm layout");
   }
+
+  throw_if_cancelled(cfg, m, n, k);  // don't even build a pool past a deadline
 
   fault::arm_from_env();
   std::optional<fault::ScopedPlan> scoped_plan;
@@ -800,6 +858,16 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
         reg.counter(prefix + "injection_pops").set(slots[i].injection_pops);
         reg.gauge(prefix + "deque_high_water").set(slots[i].deque_high_water);
       }
+      // Pool-wide aggregates so SLO consumers (service registry,
+      // trace_summary.py) need no per-slot reconstruction or
+      // sched_snapshot() call of their own.
+      reg.counter("sched.total.steals").set(pool->steals());
+      reg.counter("sched.total.failed_steals").set(pool->failed_steals());
+      reg.counter("sched.total.idle_wakeups").set(pool->idle_wakeups());
+      reg.counter("sched.total.injection_pops").set(pool->injection_pops());
+      reg.counter("sched.total.tasks").set(pool->tasks_executed());
+      reg.gauge("sched.total.deque_high_water").set(pool->deque_high_water());
+      reg.counter("sched.exceptions_swallowed").set(pool->exceptions_swallowed());
       collector->detach();
       if (profile != nullptr) {
         profile->measured = true;

@@ -49,6 +49,10 @@ bool node_cancelled(const MulContext& ctx) {
   if (ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_relaxed)) {
     return true;
   }
+  if (ctx.external_cancel != nullptr &&
+      ctx.external_cancel->load(std::memory_order_relaxed)) {
+    return true;
+  }
   fault::maybe_fail_task(fault::Site::TaskThrow);
   return false;
 }
@@ -99,14 +103,14 @@ void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     // Two phases of four accumulating products; C quadrants are disjoint
     // within each phase, so no temporaries are needed.
     {
-      TaskGroup group(*ctx.pool, ctx.cancel);
+      TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
       fork(group, par, [&] { mul_standard(ctx, c11, a11, b11); });
       fork(group, par, [&] { mul_standard(ctx, c12, a11, b12); });
       fork(group, par, [&] { mul_standard(ctx, c21, a21, b11); });
       fork(group, par, [&] { mul_standard(ctx, c22, a21, b12); });
       group.wait();
     }
-    TaskGroup group(*ctx.pool, ctx.cancel);
+    TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
     fork(group, par, [&] { mul_standard(ctx, c11, a12, b21); });
     fork(group, par, [&] { mul_standard(ctx, c12, a12, b22); });
     fork(group, par, [&] { mul_standard(ctx, c21, a22, b21); });
@@ -121,7 +125,7 @@ void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   TiledMatrix t11 = make_temp(c11), t12 = make_temp(c12);
   TiledMatrix t21 = make_temp(c21), t22 = make_temp(c22);
   {
-    TaskGroup group(*ctx.pool, ctx.cancel);
+    TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
     fork(group, par, [&] { mul_standard(ctx, c11, a11, b11); });
     fork(group, par, [&] { mul_standard(ctx, c12, a11, b12); });
     fork(group, par, [&] { mul_standard(ctx, c21, a21, b11); });
@@ -147,7 +151,7 @@ void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   // "adds" phases mark the serial joints between product waves in the
   // trace; only spawning nodes emit them (deep nodes would flood the ring).
   obs::PhaseScope adds_phase("adds", par);
-  TaskGroup group(*ctx.pool, ctx.cancel);
+  TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
   fork(group, par, [&] { block_acc(c11, 1.0, t11.root(), fg); });
   fork(group, par, [&] { block_acc(c12, 1.0, t12.root(), fg); });
   fork(group, par, [&] { block_acc(c21, 1.0, t21.root(), fg); });
@@ -305,7 +309,7 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   {
     // Pre-additions (Fig. 1(b)): ten independent quadrant adds.
     obs::PhaseScope adds_phase("adds", par);
-    TaskGroup group(*ctx.pool, ctx.cancel);
+    TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
     fork(group, par, [&] { block_set_add(s1.root(), a11, +1.0, a22, fg); });
     fork(group, par, [&] { block_set_add(s2.root(), a21, +1.0, a22, fg); });
     // Note: S3 = A11 + A12 (Strassen's M5 pre-sum). The SPAA'99 scan prints
@@ -323,7 +327,7 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   }
   {
     // Seven recursive products, all spawned at once (paper §2).
-    TaskGroup group(*ctx.pool, ctx.cancel);
+    TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
     fork(group, par, [&] {
       p1.zero();
       mul_strassen(ctx, p1.root(), s1.root(), t1.root());
@@ -356,7 +360,7 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   }
   // Post-additions.
   obs::PhaseScope adds_phase("adds", par);
-  TaskGroup group(*ctx.pool, ctx.cancel);
+  TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
   fork(group, par, [&] {
     block_acc4(c11, +1.0, p1.root(), +1.0, p4.root(), -1.0, p5.root(), +1.0,
                p7.root(), fg);
@@ -404,7 +408,7 @@ void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     // this sharing is Winograd's signature — so each side runs its chain in
     // one task, with the independent S3/T3 adds in their own tasks.
     obs::PhaseScope adds_phase("adds", par);
-    TaskGroup group(*ctx.pool, ctx.cancel);
+    TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
     fork(group, par, [&] {
       block_set_add(s1.root(), a21, +1.0, a22, fg);
       block_set_add(s2.root(), s1.root(), -1.0, a11, fg);
@@ -420,7 +424,7 @@ void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     group.wait();
   }
   {
-    TaskGroup group(*ctx.pool, ctx.cancel);
+    TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
     fork(group, par, [&] {
       p1.zero();
       mul_winograd(ctx, p1.root(), a11, b11);
@@ -455,12 +459,12 @@ void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   // accumulates in place into the P buffers (all orientation 0, so the
   // aliased elementwise updates are safe).
   obs::PhaseScope adds_phase("adds", par);
-  TaskGroup group(*ctx.pool, ctx.cancel);
+  TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
   fork(group, par, [&] { block_acc2(c11, +1.0, p1.root(), +1.0, p2.root(), fg); });
   fork(group, par, [&] {
     block_acc(p4.root(), 1.0, p1.root(), fg);   // U2 = P1 + P4
     block_acc(p5.root(), 1.0, p4.root(), fg);   // U3 = U2 + P5
-    TaskGroup inner(*ctx.pool, ctx.cancel);
+    TaskGroup inner(*ctx.pool, ctx.cancel, ctx.priority);
     fork(inner, par, [&] { block_acc2(c21, +1.0, p5.root(), +1.0, p7.root(), fg); });
     fork(inner, par, [&] { block_acc2(c22, +1.0, p5.root(), +1.0, p3.root(), fg); });
     fork(inner, par, [&] {

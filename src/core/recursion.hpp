@@ -36,6 +36,14 @@ struct MulContext {
   /// failed task prunes every sibling subtree (the partial C is discarded by
   /// the driver, which rethrows the task's exception).
   std::atomic<bool>* cancel = nullptr;
+  /// External cancellation (GemmConfig::cancel): same pruning effect, but
+  /// set by another thread (deadline watchdog, shutdown) instead of a failed
+  /// task. The driver — not the recursion — turns it into an
+  /// rla::Error{Cancelled} once the task tree has drained.
+  const std::atomic<bool>* external_cancel = nullptr;
+  /// Injection-queue priority for every TaskGroup this multiplication forks
+  /// (GemmConfig::priority; only matters when several requests share a pool).
+  int priority = 0;
   /// Optional Frens–Wise zero-block flags for the original A/B operands
   /// (standard algorithm only): all-zero blocks act as multiplicative
   /// annihilators and their products are skipped. Must describe exactly the

@@ -73,6 +73,17 @@ class TiledMatrix {
         ops_(&CurveOps::get(geom.curve)),
         buffer_(geom.total_elems(), kPageBytes) {}
 
+  /// Adopt pre-allocated (possibly recycled) storage instead of allocating.
+  /// `storage` must hold at least geom.total_elems() doubles; the service
+  /// arena hands out page-aligned size-class buffers for exactly this.
+  TiledMatrix(const TileGeometry& geom, AlignedBuffer<double>&& storage)
+      : geom_(geom), ops_(&CurveOps::get(geom.curve)), buffer_(std::move(storage)) {
+    assert(buffer_.size() >= geom.total_elems());
+  }
+
+  /// Surrender the storage (for recycling); *this becomes empty.
+  AlignedBuffer<double> take_buffer() noexcept { return std::move(buffer_); }
+
   const TileGeometry& geom() const noexcept { return geom_; }
   double* data() noexcept { return buffer_.data(); }
   const double* data() const noexcept { return buffer_.data(); }

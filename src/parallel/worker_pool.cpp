@@ -86,7 +86,15 @@ void WorkerPool::enqueue(TaskNode* node) {
              static_cast<std::int64_t>(w.deque.size_estimate()));
   } else {
     std::lock_guard<std::mutex> lock(injection_mutex_);
-    injection_queue_.push_back(node);
+    // Priority-ordered, FIFO within a priority. The scan is from the back:
+    // almost all injected tasks share priority 0, so insertion is O(1) until
+    // a high-priority request actually needs to overtake a backlog.
+    auto it = injection_queue_.end();
+    while (it != injection_queue_.begin() &&
+           (*std::prev(it))->priority < node->priority) {
+      --it;
+    }
+    injection_queue_.insert(it, node);
     fold_max(external_.deque_high_water,
              static_cast<std::int64_t>(injection_queue_.size()));
   }
@@ -221,7 +229,8 @@ std::int64_t WorkerPool::deque_high_water() const noexcept {
 
 void WorkerPool::parallel_for(
     std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
-    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+    const std::function<void(std::uint64_t, std::uint64_t)>& body,
+    int priority) {
   grain = std::max<std::uint64_t>(grain, 1);
   // With a race detector attached, the serial shortcut must still model the
   // chunks as logical tasks — they WOULD run in parallel on a real pool, and
@@ -231,7 +240,7 @@ void WorkerPool::parallel_for(
     if (begin < end) body(begin, end);
     return;
   }
-  TaskGroup group(*this);
+  TaskGroup group(*this, nullptr, priority);
   for (std::uint64_t b = begin; b < end; b += grain) {
     const std::uint64_t e = std::min(end, b + grain);
     group.spawn([&body, b, e] { body(b, e); });

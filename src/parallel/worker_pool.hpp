@@ -69,8 +69,11 @@ class WorkerPool {
 
   /// Parallel loop over [begin, end): body(b, e) is invoked on disjoint
   /// sub-ranges of at most `grain` iterations. Blocks until all complete.
+  /// `priority` orders the chunks in the injection queue when the caller is
+  /// not a pool worker (see TaskGroup).
   void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
-                    const std::function<void(std::uint64_t, std::uint64_t)>& body);
+                    const std::function<void(std::uint64_t, std::uint64_t)>& body,
+                    int priority = 0);
 
   /// Tasks executed since construction (for tests and scheduler stats).
   std::uint64_t tasks_executed() const noexcept {
@@ -130,6 +133,7 @@ class WorkerPool {
     std::function<void()> fn;
     TaskGroup* group = nullptr;
     std::uint64_t seq = 0;  ///< spawn index within the group
+    int priority = 0;       ///< injection-queue ordering (higher pops first)
     obs::TaskTag tag;       ///< trace identity (all-zero when untraced)
   };
 
@@ -206,8 +210,16 @@ class TaskGroup {
   /// `cancel`, when given, is set to true as soon as any task of this group
   /// throws; share one flag across nested groups to let a whole recursion
   /// tree stop descending after the first failure.
-  explicit TaskGroup(WorkerPool& pool, std::atomic<bool>* cancel = nullptr)
-      : pool_(pool), cancel_(cancel) {}
+  ///
+  /// `priority` orders this group's spawns in the pool's shared injection
+  /// queue: tasks injected by non-worker threads (a service executor
+  /// submitting on behalf of a request) with higher priority are dispatched
+  /// first; equal priorities stay FIFO. Worker-local deques ignore it — once
+  /// a request's recursion is running on the workers, LIFO/steal order is
+  /// what keeps the working set cache-resident.
+  explicit TaskGroup(WorkerPool& pool, std::atomic<bool>* cancel = nullptr,
+                     int priority = 0)
+      : pool_(pool), cancel_(cancel), priority_(priority) {}
 
   /// Destruction waits for stragglers; any unobserved exception is counted
   /// in WorkerPool::exceptions_swallowed() (call wait() to observe errors).
@@ -248,7 +260,8 @@ class TaskGroup {
     }
     analysis::hook_parallel_spawn();  // voids serial-schedule certification
     pending_.fetch_add(1, std::memory_order_relaxed);
-    auto* node = new WorkerPool::TaskNode{std::forward<F>(fn), this, seq, {}};
+    auto* node =
+        new WorkerPool::TaskNode{std::forward<F>(fn), this, seq, priority_, {}};
     obs::on_spawn(node->tag, seq);
     pool_.enqueue(node);
   }
@@ -286,6 +299,7 @@ class TaskGroup {
 
   WorkerPool& pool_;
   std::atomic<bool>* cancel_ = nullptr;
+  int priority_ = 0;            ///< injection-queue priority of this group's spawns
   std::uint64_t next_seq_ = 0;  ///< only touched by the owning thread
   std::atomic<std::int64_t> pending_{0};
   /// Span accumulator for the tracer. Child folds happen before finish()

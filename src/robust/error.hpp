@@ -25,6 +25,8 @@ enum class ErrorKind : std::uint8_t {
   ThreadCreate,        ///< no worker thread could be created at all
   TaskFailure,         ///< a task body threw (includes injected task.throw)
   VerificationFailed,  ///< Freivalds check failed even after the rerun
+  Cancelled,           ///< cooperative cancellation (deadline, shutdown)
+  Config,              ///< malformed runtime configuration (fault specs, env)
 };
 
 inline std::string_view error_kind_name(ErrorKind k) noexcept {
@@ -37,6 +39,10 @@ inline std::string_view error_kind_name(ErrorKind k) noexcept {
       return "task-failure";
     case ErrorKind::VerificationFailed:
       return "verification-failed";
+    case ErrorKind::Cancelled:
+      return "cancelled";
+    case ErrorKind::Config:
+      return "config";
   }
   return "?";
 }

@@ -7,7 +7,6 @@
 #include <system_error>
 
 #include "robust/error.hpp"
-#include "util/rng.hpp"
 
 namespace rla::fault {
 
@@ -20,7 +19,6 @@ namespace {
 struct Registry {
   std::mutex mutex;
   FaultPlan plan;
-  Xoshiro256 rng{0};
   std::atomic<std::uint64_t> hit_counts[kSiteCount] = {};
 };
 
@@ -47,6 +45,8 @@ std::string_view site_name(Site s) noexcept {
       return "kernel.fpe";
     case Site::PerfOpen:
       return "perf.open";
+    case Site::ServiceStall:
+      return "service.stall";
   }
   return "?";
 }
@@ -78,6 +78,11 @@ bool fail_parse(std::string* error, const std::string& message) {
 
 bool parse_u64(std::string_view text, std::uint64_t& out) {
   if (text.empty()) return false;
+  // strtoull silently negates "-1" into 2^64-1; insist on plain digits so a
+  // negative count is a parse error, not an astronomically large trigger.
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+  }
   errno = 0;
   char* end = nullptr;
   const std::string buf(text);
@@ -136,7 +141,9 @@ bool parse_plan(std::string_view spec, FaultPlan& out, std::string* error) {
       t.nth = n;
     } else if (trigger.substr(0, 2) == "p=") {
       double p = 0.0;
-      if (!parse_double(trigger.substr(2), p) || p < 0.0 || p > 1.0) {
+      // The negated-domain form would let NaN slip through (NaN < 0 and
+      // NaN > 1 are both false); require membership in [0, 1] instead.
+      if (!parse_double(trigger.substr(2), p) || !(p >= 0.0 && p <= 1.0)) {
         return fail_parse(error, "bad probability trigger: " + std::string(clause));
       }
       t.mode = Trigger::Mode::Probability;
@@ -153,7 +160,6 @@ void arm(const FaultPlan& plan) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   r.plan = plan;
-  r.rng = Xoshiro256(plan.seed);
   for (auto& count : r.hit_counts) count.store(0, std::memory_order_relaxed);
   detail::g_armed.store(!plan.empty(), std::memory_order_release);
 }
@@ -165,16 +171,20 @@ void disarm() noexcept {
   r.plan = FaultPlan{};
 }
 
+FaultPlan parse_plan_or_throw(std::string_view spec) {
+  FaultPlan plan;
+  std::string error;
+  if (!parse_plan(spec, plan, &error)) {
+    throw Error(ErrorKind::Config, "fault.spec", error);
+  }
+  return plan;
+}
+
 void arm_from_env() {
   static const bool done = [] {
     const char* spec = std::getenv("RLA_FAULT");
     if (spec == nullptr || *spec == '\0') return true;
-    FaultPlan plan;
-    std::string error;
-    if (!parse_plan(spec, plan, &error)) {
-      throw std::invalid_argument("RLA_FAULT: " + error);
-    }
-    arm(plan);
+    arm(parse_plan_or_throw(spec));
     return true;
   }();
   (void)done;
@@ -185,6 +195,20 @@ std::uint64_t hits(Site s) noexcept {
 }
 
 namespace detail {
+
+/// SplitMix64 finalizer: the uniform deviate for hit `hit` of site `s` under
+/// `seed`. Stateless, so concurrent requests hammering different sites cannot
+/// perturb each other's fault pattern — only the per-site hit numbering
+/// (already an atomic counter) orders the decisions.
+double site_deviate(std::uint64_t seed, Site s, std::uint64_t hit) noexcept {
+  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL * (hit + 1)) ^
+                    (static_cast<std::uint64_t>(s) << 56);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
 
 bool should_fail_slow(Site s) noexcept {
   Registry& r = registry();
@@ -198,7 +222,7 @@ bool should_fail_slow(Site s) noexcept {
     case Trigger::Mode::Nth:
       return hit == t.nth;
     case Trigger::Mode::Probability:
-      return r.rng.next_double() < t.probability;
+      return site_deviate(r.plan.seed, s, hit) < t.probability;
   }
   return false;
 }
@@ -224,13 +248,6 @@ void maybe_fail_thread_create(Site s) {
   }
 }
 
-ScopedPlan::ScopedPlan(std::string_view spec) {
-  FaultPlan plan;
-  std::string error;
-  if (!parse_plan(spec, plan, &error)) {
-    throw std::invalid_argument("fault spec: " + error);
-  }
-  arm(plan);
-}
+ScopedPlan::ScopedPlan(std::string_view spec) { arm(parse_plan_or_throw(spec)); }
 
 }  // namespace rla::fault

@@ -21,7 +21,12 @@
 //   <site>:p=<F>     fail each hit independently with probability F
 //   seed=<N>         seed for the probabilistic triggers (default 0)
 // Sites: alloc.tiled, alloc.temp, pool.thread_create, task.throw,
-//        kernel.corrupt, kernel.fpe, perf.open.
+//        kernel.corrupt, kernel.fpe, perf.open, service.stall.
+//
+// Probabilistic triggers are *stateless*: the decision for hit i of site s is
+// a pure function of (seed, s, i), so a plan produces the same fault pattern
+// regardless of how concurrent requests interleave their hits — the property
+// the service-layer soak harness relies on for reproducible chaos schedules.
 //
 // Hit counters accumulate only while a plan is armed; hits() lets tests
 // assert how often a site was even *reached* (e.g. that cancellation pruned
@@ -43,8 +48,9 @@ enum class Site : std::uint8_t {
   KernelCorrupt,     ///< leaf kernel output corruption ("kernel.corrupt")
   KernelFpe,         ///< leaf kernel raises FE_INVALID, NaN output ("kernel.fpe")
   PerfOpen,          ///< perf_event_open counter-group setup ("perf.open")
+  ServiceStall,      ///< GemmService request execution stalls ("service.stall")
 };
-inline constexpr int kSiteCount = 7;
+inline constexpr int kSiteCount = 8;
 
 std::string_view site_name(Site s) noexcept;
 bool parse_site(std::string_view text, Site& out) noexcept;
@@ -71,7 +77,14 @@ struct FaultPlan {
 
 /// Parse a spec string (grammar above) into `out`. Returns false (leaving
 /// `out` unspecified) on malformed input; `error` receives a diagnostic.
+/// Rejects — never clamps — out-of-domain triggers: negative or > 1
+/// probabilities (including NaN and signed zeros of either sign outside
+/// [0, 1]) and counts that are not plain non-negative decimal integers.
 bool parse_plan(std::string_view spec, FaultPlan& out, std::string* error = nullptr);
+
+/// parse_plan or throw rla::Error{ErrorKind::Config} carrying the diagnostic
+/// (the form ScopedPlan and arm_from_env use).
+FaultPlan parse_plan_or_throw(std::string_view spec);
 
 /// Arm `plan` process-wide (replacing any armed plan) / disarm entirely.
 /// Counters reset on every arm().

@@ -1,0 +1,129 @@
+#include "service/arena.hpp"
+
+#include <algorithm>
+
+#include "analysis/annotations.hpp"
+#include "analysis/numerics/shadow.hpp"
+
+namespace rla::service {
+
+namespace {
+
+/// Size class of a request: next power of two, so recycled buffers from one
+/// problem shape serve nearby shapes too.
+std::size_t size_class(std::size_t count) noexcept {
+  if (count <= 64) return 64;
+  std::size_t c = 64;
+  while (c < count) c <<= 1;
+  return c;
+}
+
+}  // namespace
+
+BufferArena::BufferArena(std::size_t budget_bytes) : budget_(budget_bytes) {}
+
+void BufferArena::Reservation::release() noexcept {
+  if (arena_ != nullptr) {
+    arena_->release_reservation(bytes_);
+    arena_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+BufferArena::Reservation BufferArena::try_reserve(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (budget_ != 0 && bytes > budget_ - std::min(budget_, reserved_)) {
+    // Under pressure, cached (idle) buffers are the first thing to go:
+    // evict before rejecting the admission.
+    if (cached_ != 0 && reserved_ + bytes <= budget_ + cached_) {
+      free_lists_.clear();
+      cached_ = 0;
+    }
+    if (bytes > budget_ - std::min(budget_, reserved_)) {
+      ++rejections_;
+      return Reservation{};
+    }
+  }
+  reserved_ += bytes;
+  reserved_high_water_ = std::max(reserved_high_water_, reserved_);
+  return Reservation{this, bytes};
+}
+
+void BufferArena::release_reservation(std::size_t bytes) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reserved_ -= std::min(reserved_, bytes);
+}
+
+AlignedBuffer<double> BufferArena::acquire(std::size_t count) {
+  const std::size_t cls = size_class(count);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = free_lists_.find(cls);
+    if (it != free_lists_.end() && !it->second.empty()) {
+      AlignedBuffer<double> buf = std::move(it->second.back());
+      it->second.pop_back();
+      cached_ -= std::min(cached_, buf.size() * sizeof(double));
+      ++recycled_;
+      // A recycled buffer must look freshly allocated to the race/shadow
+      // analyzers: stale provenance from its previous request would read as
+      // a determinacy race across logically unrelated task trees.
+      analysis::hook_buffer_lifetime(buf.data(), buf.size() * sizeof(double));
+      RLA_SHADOW_CLEAR(buf.data(), buf.size() * sizeof(double));
+      return buf;
+    }
+    ++allocations_;
+  }
+  // Page-aligned like TiledMatrix's own storage (these buffers back tiled
+  // conversion matrices). May throw bad_alloc: that feeds the caller's
+  // degradation ladder exactly like a direct allocation failure.
+  return AlignedBuffer<double>(cls, kPageBytes);
+}
+
+void BufferArena::release(AlignedBuffer<double> buf) {
+  if (buf.empty()) return;
+  const std::size_t bytes = buf.size() * sizeof(double);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The cache shares the budget with live reservations; never let idle
+  // buffers squeeze out admissions.
+  if (budget_ != 0 && reserved_ + cached_ + bytes > budget_) return;  // drop
+  cached_ += bytes;
+  free_lists_[size_class(buf.size())].push_back(std::move(buf));
+}
+
+void BufferArena::trim() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_lists_.clear();
+  cached_ = 0;
+}
+
+std::size_t BufferArena::reserved_bytes() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reserved_;
+}
+
+std::size_t BufferArena::cached_bytes() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cached_;
+}
+
+std::size_t BufferArena::reserved_high_water() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reserved_high_water_;
+}
+
+std::uint64_t BufferArena::recycled() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recycled_;
+}
+
+std::uint64_t BufferArena::allocations() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocations_;
+}
+
+std::uint64_t BufferArena::rejections() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejections_;
+}
+
+}  // namespace rla::service

@@ -1,0 +1,524 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "robust/error.hpp"
+#include "robust/fault.hpp"
+#include "util/env.hpp"
+
+namespace rla::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t ns_between(Clock::time_point a, Clock::time_point b) noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+}
+
+std::uint64_t next_pow2(std::uint64_t v) noexcept {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::string_view outcome_name(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Completed:
+      return "completed";
+    case Outcome::Degraded:
+      return "degraded";
+    case Outcome::Rejected:
+      return "rejected";
+    case Outcome::Cancelled:
+      return "cancelled";
+    case Outcome::Failed:
+      return "failed";
+  }
+  return "?";
+}
+
+ServiceConfig ServiceConfig::from_env() {
+  ServiceConfig cfg;
+  cfg.threads = static_cast<unsigned>(
+      std::max<std::int64_t>(0, env_int("RLA_SERVICE_THREADS", 0)));
+  cfg.executors = static_cast<unsigned>(
+      std::max<std::int64_t>(1, env_int("RLA_SERVICE_EXECUTORS", 2)));
+  cfg.max_inflight = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env_int("RLA_SERVICE_MAX_INFLIGHT", 64)));
+  cfg.arena_bytes = static_cast<std::size_t>(std::max<std::int64_t>(
+                        0, env_int("RLA_SERVICE_ARENA_MB", 0))) *
+                    (std::size_t{1} << 20);
+  cfg.watchdog_period = std::chrono::milliseconds(
+      std::max<std::int64_t>(1, env_int("RLA_SERVICE_WATCHDOG_MS", 10)));
+  return cfg;
+}
+
+/// Everything the queue, an executor, the watchdog and the caller's future
+/// share about one request. Owned by shared_ptr: whoever finalizes last
+/// keeps it alive, so no path can observe a freed request.
+struct GemmService::Pending {
+  Request req;
+  std::promise<Response> promise;
+  std::uint64_t id = 0;
+
+  /// The cooperative cancel token GemmConfig::cancel points at. Set by the
+  /// watchdog on deadline expiry, or by nobody.
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> done{false};             ///< finalize-once latch
+  std::atomic<bool> deadline_flagged{false};  ///< deadline metric fired
+  std::atomic<bool> stall_flagged{false};     ///< stall metric fired
+
+  Clock::time_point submit_tp{};
+  Clock::time_point deadline_tp{};  ///< epoch = no deadline
+  Clock::time_point run_tp{};       ///< executor pickup (epoch = never ran)
+  bool started = false;             ///< guarded by the service mutex
+
+  BufferArena::Reservation reservation;
+
+  /// Service-level trail ("service:..." entries). Executor and watchdog both
+  /// append; tiny dedicated mutex so the watchdog never waits on a gemm.
+  std::mutex trail_mutex;
+  std::vector<std::string> trail;
+  int attempts = 0;
+
+  void note(std::string entry) {
+    std::lock_guard<std::mutex> lock(trail_mutex);
+    trail.push_back(std::move(entry));
+  }
+  bool has_deadline() const noexcept {
+    return deadline_tp != Clock::time_point{};
+  }
+};
+
+GemmService::GemmService(ServiceConfig cfg)
+    : cfg_(cfg), arena_(cfg.arena_bytes) {
+  unsigned threads = cfg_.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? hw - 1 : 1;
+  }
+  cfg_.threads = threads;
+  cfg_.executors = std::max(1u, cfg_.executors);
+  cfg_.max_inflight = std::max<std::size_t>(1, cfg_.max_inflight);
+  pool_ = std::make_unique<WorkerPool>(threads);
+  registry_.gauge("service.workers").set(pool_->thread_count());
+  registry_.gauge("service.executors").set(cfg_.executors);
+  registry_.gauge("service.max_inflight")
+      .set(static_cast<std::int64_t>(cfg_.max_inflight));
+  // Pre-register the whole schema so an export after a quiet run (or one
+  // where nothing was rejected/retried) still carries every series —
+  // tools/soak_check.py validates against the full set.
+  for (const char* name :
+       {"service.submitted", "service.accepted", "service.rejected",
+        "service.retries", "service.deadline_expired", "service.stalls_detected",
+        "service.arena_rejections", "service.degraded_admission"}) {
+    registry_.counter(name);
+  }
+  for (Outcome o : {Outcome::Completed, Outcome::Degraded, Outcome::Rejected,
+                    Outcome::Cancelled, Outcome::Failed}) {
+    registry_.counter(std::string("service.outcome.") +
+                      std::string(outcome_name(o)));
+  }
+  for (const char* name : {"service.queue_ns", "service.run_ns", "service.total_ns"}) {
+    registry_.histogram(name);
+  }
+  executors_.reserve(cfg_.executors);
+  for (unsigned e = 0; e < cfg_.executors; ++e) {
+    executors_.emplace_back([this] { executor_main(); });
+  }
+  watchdog_ = std::thread([this] { watchdog_main(); });
+}
+
+GemmService::~GemmService() { shutdown(); }
+
+std::size_t GemmService::in_flight() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_;
+}
+
+std::size_t GemmService::estimate_bytes(const Request& req) const noexcept {
+  const auto m = static_cast<std::uint64_t>(req.m);
+  const auto n = static_cast<std::uint64_t>(req.n);
+  const auto k = static_cast<std::uint64_t>(req.k);
+  const GemmConfig& g = req.cfg;
+  if (g.layout == Curve::ColMajor) {
+    // Canonical fast path: three padded square copies. Canonical standard:
+    // in place on the caller's arrays, the admission floor.
+    if (g.algorithm == Algorithm::Standard) return 0;
+    const std::uint64_t p = next_pow2(std::max({m, n, k, std::uint64_t{1}}));
+    return 3 * p * p * sizeof(double);
+  }
+  // Tiled path: three conversion matrices; padding to the tile grid at most
+  // doubles each dimension, so 4x elements bounds the worst case.
+  return 4 * (m * k + k * n + m * n) * sizeof(double);
+}
+
+bool GemmService::degrade_step(Pending& p, const char* why) {
+  GemmConfig& g = p.req.cfg;
+  std::string step("service:degraded:");
+  step += why;
+  if (g.algorithm != Algorithm::Standard &&
+      g.fast_variant != FastVariant::SerialLowMem) {
+    g.fast_variant = FastVariant::SerialLowMem;
+    p.note(step + ":fast->serial-lowmem");
+  } else if (g.algorithm != Algorithm::Standard ||
+             g.standard_variant != StandardVariant::InPlace) {
+    g.algorithm = Algorithm::Standard;
+    g.standard_variant = StandardVariant::InPlace;
+    p.note(step + ":->standard-inplace");
+  } else if (g.layout != Curve::ColMajor) {
+    g.layout = Curve::ColMajor;
+    p.note(step + ":->canonical");
+  } else {
+    return false;  // already at the floor
+  }
+  return true;
+}
+
+std::future<Response> GemmService::submit(const Request& req) {
+  auto p = std::make_shared<Pending>();
+  p->req = req;
+  p->submit_tp = Clock::now();
+  if (req.deadline.count() > 0) p->deadline_tp = p->submit_tp + req.deadline;
+  std::future<Response> fut = p->promise.get_future();
+  registry_.counter("service.submitted").add();
+
+  bool slot_held = false;
+  auto reject = [&](const char* reason) {
+    if (slot_held) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --inflight_;
+    }
+    registry_.counter("service.rejected").add();
+    Response r;
+    r.outcome = Outcome::Rejected;
+    r.reason = reason;
+    r.id = p->id;
+    p->done.store(true, std::memory_order_release);
+    p->promise.set_value(std::move(r));
+    return std::move(fut);
+  };
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    lock.unlock();
+    return reject("shutdown");
+  }
+  if (inflight_ >= cfg_.max_inflight) {
+    lock.unlock();
+    return reject("queue-full");
+  }
+  // Claim the inflight slot now so concurrent submits can't collectively
+  // overshoot the bound during the (lock-free) arena admission below.
+  ++inflight_;
+  slot_held = true;
+  p->id = next_id_++;
+  lock.unlock();
+
+  // Memory admission: reserve the estimated footprint, degrading the config
+  // onto cheaper paths until it fits (the PR-1 ladder, run *before* any
+  // allocation instead of after a failure).
+  BufferArena::Reservation res = arena_.try_reserve(estimate_bytes(p->req));
+  while (!res) {
+    if (!p->req.allow_degradation || !degrade_step(*p, "arena")) {
+      registry_.counter("service.arena_rejections").add();
+      return reject("arena-budget");
+    }
+    registry_.counter("service.degraded_admission").add();
+    res = arena_.try_reserve(estimate_bytes(p->req));
+  }
+  p->reservation = std::move(res);
+
+  lock.lock();
+  if (stopping_) {
+    lock.unlock();
+    return reject("shutdown");
+  }
+  // Priority-ordered insert, FIFO within a priority (same back-scan as the
+  // pool's injection queue: the common same-priority case is O(1)).
+  auto it = queue_.end();
+  while (it != queue_.begin() && (*std::prev(it))->req.priority < p->req.priority) {
+    --it;
+  }
+  queue_.insert(it, p);
+  registry_.counter("service.accepted").add();
+  registry_.gauge("service.queue_depth_high_water")
+      .fold_max(static_cast<std::int64_t>(queue_.size()));
+  lock.unlock();
+  work_cv_.notify_one();
+  return fut;
+}
+
+std::vector<std::future<Response>> GemmService::submit_batch(
+    const std::vector<Request>& reqs) {
+  std::vector<std::future<Response>> futures;
+  futures.reserve(reqs.size());
+  for (const Request& r : reqs) futures.push_back(submit(r));
+  return futures;
+}
+
+std::shared_ptr<GemmService::Pending> GemmService::dequeue() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  if (queue_.empty()) return nullptr;  // stopping and drained
+  std::shared_ptr<Pending> p = queue_.front();
+  queue_.pop_front();
+  p->run_tp = Clock::now();
+  p->started = true;
+  running_.push_back(p);
+  return p;
+}
+
+void GemmService::finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
+                           std::string reason, GemmProfile profile) {
+  if (p->done.exchange(true, std::memory_order_acq_rel)) return;
+  const Clock::time_point now = Clock::now();
+
+  Response r;
+  r.outcome = outcome;
+  r.reason = std::move(reason);
+  r.profile = std::move(profile);
+  r.id = p->id;
+  {
+    std::lock_guard<std::mutex> lock(p->trail_mutex);
+    r.degradation_trail = p->trail;
+    r.attempts = p->attempts;
+  }
+  // Service events first, then the gemm driver's own trail from the final
+  // attempt — one list tells the request's whole degradation story.
+  r.degradation_trail.insert(r.degradation_trail.end(),
+                             r.profile.degradation_trail.begin(),
+                             r.profile.degradation_trail.end());
+  const Clock::time_point picked = p->started ? p->run_tp : now;
+  const std::int64_t queue_ns = ns_between(p->submit_tp, picked);
+  const std::int64_t run_ns = p->started ? ns_between(p->run_tp, now) : 0;
+  r.queue_seconds = static_cast<double>(queue_ns) * 1e-9;
+  r.run_seconds = static_cast<double>(run_ns) * 1e-9;
+
+  p->reservation.release();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_;
+    // Remove from whichever list still holds it (queue for never-run
+    // requests finalized by the watchdog or shutdown).
+    auto rit = std::find(running_.begin(), running_.end(), p);
+    if (rit != running_.end()) running_.erase(rit);
+    auto qit = std::find(queue_.begin(), queue_.end(), p);
+    if (qit != queue_.end()) queue_.erase(qit);
+  }
+
+  registry_.counter(std::string("service.outcome.") +
+                    std::string(outcome_name(outcome)))
+      .add();
+  registry_.histogram("service.queue_ns").record(queue_ns);
+  registry_.histogram("service.run_ns").record(run_ns);
+  registry_.histogram("service.total_ns").record(ns_between(p->submit_tp, now));
+
+  p->promise.set_value(std::move(r));
+  work_cv_.notify_all();  // shutdown() may be waiting on inflight_
+}
+
+void GemmService::run_request(const std::shared_ptr<Pending>& p) {
+  // A request whose deadline lapsed while queued never runs.
+  if (p->cancel.load(std::memory_order_relaxed) ||
+      (p->has_deadline() && Clock::now() >= p->deadline_tp)) {
+    p->note("service:deadline");
+    if (!p->deadline_flagged.exchange(true)) {
+      registry_.counter("service.deadline_expired").add();
+    }
+    finalize(p, Outcome::Cancelled, "deadline expired in queue", {});
+    return;
+  }
+
+  // Injected stall (fault site "service.stall"): the executor goes dark in
+  // 1 ms slices, bounded and cancellation-aware, so chaos runs exercise the
+  // watchdog without ever violating the every-request-terminates guarantee.
+  if (fault::should_fail(fault::Site::ServiceStall)) {
+    p->note("service:stall-injected");
+    for (int i = 0; i < 200 && !p->cancel.load(std::memory_order_relaxed); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  const int max_attempts = 1 + std::max(0, p->req.retry_budget);
+  std::string last_error;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    GemmConfig cfg = p->req.cfg;  // degrade_step may rewrite between tries
+    cfg.pool = pool_.get();
+    cfg.threads = 0;
+    cfg.cancel = &p->cancel;
+    cfg.priority = p->req.priority;
+    cfg.acquire_scratch = [this](std::size_t count) { return arena_.acquire(count); };
+    cfg.release_scratch = [this](AlignedBuffer<double>&& buf) {
+      arena_.release(std::move(buf));
+    };
+
+    GemmProfile profile;
+    {
+      std::lock_guard<std::mutex> lock(p->trail_mutex);
+      p->attempts = attempt + 1;
+    }
+    try {
+      const Request& q = p->req;
+      gemm(q.m, q.n, q.k, q.alpha, q.a, q.lda, q.op_a, q.b, q.ldb, q.op_b,
+           q.beta, q.c, q.ldc, cfg, &profile);
+      bool degraded = profile.degradations > 0;
+      {
+        std::lock_guard<std::mutex> lock(p->trail_mutex);
+        degraded = degraded || !p->trail.empty();
+      }
+      finalize(p, degraded ? Outcome::Degraded : Outcome::Completed, "",
+               std::move(profile));
+      return;
+    } catch (const Error& e) {
+      if (e.kind() == ErrorKind::Cancelled) {
+        p->note("service:deadline");
+        if (!p->deadline_flagged.exchange(true)) {
+          registry_.counter("service.deadline_expired").add();
+        }
+        finalize(p, Outcome::Cancelled, e.what(), std::move(profile));
+        return;
+      }
+      last_error = e.what();
+    } catch (const std::invalid_argument& e) {
+      // Bad arguments cannot succeed on retry; fail fast.
+      finalize(p, Outcome::Failed, e.what(), std::move(profile));
+      return;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+    }
+    if (attempt + 1 < max_attempts) {
+      registry_.counter("service.retries").add();
+      p->note("service:retry:" + std::to_string(attempt + 1));
+      // Each retry steps the config down one rung first (when permitted):
+      // retrying the exact configuration that just failed is only useful
+      // against transient faults, and cheaper paths dodge persistent ones.
+      if (p->req.allow_degradation) degrade_step(*p, "retry");
+    }
+  }
+  finalize(p, Outcome::Failed, last_error, {});
+}
+
+void GemmService::executor_main() {
+  while (std::shared_ptr<Pending> p = dequeue()) {
+    run_request(p);
+  }
+}
+
+void GemmService::watchdog_main() {
+  for (;;) {
+    std::vector<std::shared_ptr<Pending>> expired;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait_for(lock, cfg_.watchdog_period);
+      if (stopping_ && inflight_ == 0) return;
+
+      const Clock::time_point now = Clock::now();
+      // Queued past their deadline: pull them out and finalize below
+      // (outside the lock — finalize re-takes it).
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        Pending& p = **it;
+        if (p.has_deadline() && now >= p.deadline_tp) {
+          p.cancel.store(true, std::memory_order_relaxed);
+          expired.push_back(*it);
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (const auto& sp : running_) {
+        Pending& p = *sp;
+        if (!p.has_deadline()) continue;
+        if (now >= p.deadline_tp) {
+          // Cooperative: set the flag; the driver raises Cancelled at its
+          // next checkpoint and the executor finalizes.
+          p.cancel.store(true, std::memory_order_relaxed);
+          if (!p.deadline_flagged.exchange(true)) {
+            registry_.counter("service.deadline_expired").add();
+          }
+        }
+        // Stuck detection (fault site semantics, not preemption): a request
+        // this far past its deadline means a checkpoint is overdue —
+        // an injected stall, a wedged worker, or a cancellation bug.
+        const auto grace = std::max<Clock::duration>(
+            cfg_.watchdog_period,
+            std::chrono::duration_cast<Clock::duration>(
+                (cfg_.stall_factor - 1.0) * p.req.deadline));
+        if (now >= p.deadline_tp + grace && !p.stall_flagged.exchange(true)) {
+          registry_.counter("service.stalls_detected").add();
+          p.note("service:stall-detected");
+        }
+      }
+    }
+    for (const auto& sp : expired) {
+      sp->note("service:deadline");
+      if (!sp->deadline_flagged.exchange(true)) {
+        registry_.counter("service.deadline_expired").add();
+      }
+      finalize(sp, Outcome::Cancelled, "deadline expired in queue", {});
+    }
+  }
+}
+
+void GemmService::shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && executors_.empty()) return;  // already shut down
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  // Graceful drain: new submits bounce with Rejected{shutdown}, but every
+  // already-accepted request still runs to a terminal outcome — executors
+  // keep dequeuing until the queue is empty, and the watchdog keeps
+  // enforcing deadlines on whatever is left, so a drain can never hang on
+  // a stalled or overdue request.
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  executors_.clear();
+  work_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::string GemmService::metrics_json() const {
+  // Fold the point-in-time surfaces (queue, arena, scheduler) into the
+  // registry, then snapshot. The sched.total.* and exceptions_swallowed
+  // names match what the per-call collector exports, so trace_summary.py
+  // reads both without a sched_snapshot call.
+  obs::Registry& reg = registry_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reg.gauge("service.in_flight").set(static_cast<std::int64_t>(inflight_));
+    reg.gauge("service.queue_depth").set(static_cast<std::int64_t>(queue_.size()));
+    reg.gauge("service.running").set(static_cast<std::int64_t>(running_.size()));
+  }
+  reg.gauge("arena.budget_bytes").set(static_cast<std::int64_t>(arena_.budget()));
+  reg.gauge("arena.reserved_bytes")
+      .set(static_cast<std::int64_t>(arena_.reserved_bytes()));
+  reg.gauge("arena.cached_bytes")
+      .set(static_cast<std::int64_t>(arena_.cached_bytes()));
+  reg.gauge("arena.reserved_high_water")
+      .set(static_cast<std::int64_t>(arena_.reserved_high_water()));
+  reg.counter("arena.recycled").set(arena_.recycled());
+  reg.counter("arena.allocations").set(arena_.allocations());
+  reg.counter("arena.rejections").set(arena_.rejections());
+  reg.counter("sched.total.steals").set(pool_->steals());
+  reg.counter("sched.total.failed_steals").set(pool_->failed_steals());
+  reg.counter("sched.total.idle_wakeups").set(pool_->idle_wakeups());
+  reg.counter("sched.total.injection_pops").set(pool_->injection_pops());
+  reg.counter("sched.total.tasks").set(pool_->tasks_executed());
+  reg.gauge("sched.total.deque_high_water").set(pool_->deque_high_water());
+  reg.counter("sched.exceptions_swallowed").set(pool_->exceptions_swallowed());
+  return registry_.snapshot().dump();
+}
+
+}  // namespace rla::service

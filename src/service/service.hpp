@@ -1,0 +1,201 @@
+#pragma once
+
+// Gemm-as-a-service: a long-lived engine that owns one WorkerPool and one
+// BufferArena and serves many concurrent gemm requests.
+//
+// Everything this repo built call-by-call — the degradation ladder, fault
+// injection, Freivalds verification, the metrics registry, cooperative
+// cancellation — becomes service policy here:
+//
+//   submit() ──► admission ──► queue (priority, FIFO within) ──► executor
+//                  │                                               │
+//                  │ queue full            deadline/stall          │ gemm()
+//                  ▼                       (watchdog)              ▼
+//               Rejected ◄─── expiry ──────────┘               finalize
+//                                                     Completed / Degraded /
+//                                                     Cancelled / Failed
+//
+// Guarantees (the soak harness asserts these under chaos):
+//  * Every accepted request terminates with exactly one Outcome — never
+//    hangs, never leaks, even when gemm faults or the deadline fires
+//    mid-flight.
+//  * Deadlines are enforced cooperatively: the watchdog sets the request's
+//    cancel flag, the recursion prunes, and the driver raises Cancelled at
+//    its next checkpoint.
+//  * Admission is priority-aware and memory-aware: when the arena cannot
+//    cover a request's footprint the service degrades it (fast → standard →
+//    canonical, each step cheaper in temporaries) before rejecting.
+//  * Backpressure: at most max_inflight requests queued+running; beyond
+//    that submit() completes immediately with Rejected{reason="queue-full"}.
+//
+// Environment knobs (all optional; constructor arguments win):
+//   RLA_SERVICE_THREADS      worker threads in the shared pool
+//   RLA_SERVICE_EXECUTORS    concurrent request executors
+//   RLA_SERVICE_MAX_INFLIGHT backpressure bound (queued + running)
+//   RLA_SERVICE_ARENA_MB     arena byte budget in MiB (0 = unlimited)
+//   RLA_SERVICE_WATCHDOG_MS  watchdog sweep period
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gemm.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/worker_pool.hpp"
+#include "service/arena.hpp"
+
+namespace rla::service {
+
+/// How one request ended. Exactly one of these per accepted request.
+enum class Outcome : std::uint8_t {
+  Completed,  ///< ran the configured path cleanly
+  Degraded,   ///< completed, but on a cheaper path (see degradation_trail)
+  Rejected,   ///< never ran: queue full, arena broke, or shutdown
+  Cancelled,  ///< deadline expired while queued or running
+  Failed,     ///< every attempt (including retries) raised a non-cancel error
+};
+
+std::string_view outcome_name(Outcome o) noexcept;
+
+/// One gemm request. Operand pointers must stay valid until the returned
+/// future resolves.
+struct Request {
+  std::uint32_t m = 0, n = 0, k = 0;
+  double alpha = 1.0;
+  const double* a = nullptr;
+  std::size_t lda = 0;
+  Op op_a = Op::None;
+  const double* b = nullptr;
+  std::size_t ldb = 0;
+  Op op_b = Op::None;
+  double beta = 0.0;
+  double* c = nullptr;
+  std::size_t ldc = 0;
+
+  /// Per-request gemm configuration. `pool`, `cancel`, `threads` and
+  /// `priority` are owned by the service and overwritten at admission.
+  GemmConfig cfg;
+
+  /// Larger runs first among queued requests (FIFO within a priority).
+  int priority = 0;
+
+  /// Wall-clock budget from submit(); 0 = none. An expired request is
+  /// finalized Cancelled — from the queue immediately, from a running
+  /// executor via the cooperative cancel flag.
+  std::chrono::microseconds deadline{0};
+
+  /// Attempts after the first on a non-cancellation failure (each retry may
+  /// first degrade the config one more step). 0 = fail fast.
+  int retry_budget = 1;
+
+  /// Permit the admission/retry ladder to rewrite the config onto cheaper
+  /// paths. When false a request that does not fit is rejected instead.
+  bool allow_degradation = true;
+};
+
+/// Terminal record of one request.
+struct Response {
+  Outcome outcome = Outcome::Rejected;
+  std::string reason;          ///< human-readable detail for non-Completed
+  GemmProfile profile;         ///< profile of the final (successful) attempt
+  /// Service-level events prepended to the gemm trail, e.g.
+  /// "service:degraded:arena:fast->standard", "service:retry:1",
+  /// "service:deadline". The gemm driver's own trail follows.
+  std::vector<std::string> degradation_trail;
+  int attempts = 0;            ///< gemm() invocations made (0 = rejected)
+  std::uint64_t id = 0;        ///< service-assigned sequence number
+  double queue_seconds = 0.0;  ///< submit -> executor pickup
+  double run_seconds = 0.0;    ///< executor pickup -> terminal
+};
+
+struct ServiceConfig {
+  unsigned threads = 0;        ///< 0 = hardware_concurrency - 1
+  unsigned executors = 2;      ///< concurrent requests actually running
+  std::size_t max_inflight = 64;   ///< queued + running bound (backpressure)
+  std::size_t arena_bytes = 0;     ///< 0 = unlimited
+  std::chrono::milliseconds watchdog_period{10};
+  /// A running request this far past its deadline (factor of the deadline,
+  /// minimum one watchdog period) is reported stuck: the watchdog records a
+  /// service.stalls_detected tick. Cancellation remains cooperative — the
+  /// flag is already set — so this is detection, not preemption.
+  double stall_factor = 2.0;
+
+  /// Overlay RLA_SERVICE_* environment variables onto the defaults.
+  static ServiceConfig from_env();
+};
+
+/// The engine. Thread-safe: submit from any number of threads.
+class GemmService {
+ public:
+  explicit GemmService(ServiceConfig cfg = ServiceConfig::from_env());
+
+  /// Drains: every accepted request runs to a terminal outcome (deadlined
+  /// ones still get cancelled by the watchdog) before the pool is torn down.
+  ~GemmService();
+
+  GemmService(const GemmService&) = delete;
+  GemmService& operator=(const GemmService&) = delete;
+
+  /// Submit one request. Always returns a future that resolves — with
+  /// Rejected when backpressure or shutdown refused it.
+  std::future<Response> submit(const Request& req);
+
+  /// Submit a batch; element i's future is result[i]. Elements are admitted
+  /// independently — one rejected or faulting element does not disturb the
+  /// rest (the batch-fault test pins this down).
+  std::vector<std::future<Response>> submit_batch(const std::vector<Request>& reqs);
+
+  /// Finish everything in flight, refuse new work. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  /// Export queue/latency/outcome/arena/scheduler metrics (obs::Registry
+  /// JSON snapshot, same shape trace_summary.py and bench_compare read).
+  std::string metrics_json() const;
+
+  std::size_t in_flight() const noexcept;  ///< queued + running now
+  WorkerPool& pool() noexcept { return *pool_; }
+  BufferArena& arena() noexcept { return arena_; }
+  const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Pending;  // shared between queue, executor, watchdog, and future
+
+  void executor_main();
+  void watchdog_main();
+  std::shared_ptr<Pending> dequeue();                 // blocks; null = stop
+  void run_request(const std::shared_ptr<Pending>& p);
+  void finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
+                std::string reason, GemmProfile profile);
+  /// Degrade p's config one step; false when already at the floor.
+  static bool degrade_step(Pending& p, const char* why);
+  std::size_t estimate_bytes(const Request& req) const noexcept;
+
+  ServiceConfig cfg_;
+  std::unique_ptr<WorkerPool> pool_;
+  BufferArena arena_;
+  /// mutable: metrics_json() folds point-in-time gauges in before snapshot.
+  mutable obs::Registry registry_;
+  std::mutex shutdown_mutex_;  ///< serializes shutdown() callers
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Pending>> queue_;        // priority-ordered
+  std::vector<std::shared_ptr<Pending>> running_;     // watchdog's view
+  bool stopping_ = false;
+  std::size_t inflight_ = 0;  ///< queued + running (admission counter)
+  std::uint64_t next_id_ = 1;
+
+  std::vector<std::thread> executors_;
+  std::thread watchdog_;
+};
+
+}  // namespace rla::service

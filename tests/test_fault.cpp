@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <new>
 #include <stdexcept>
+#include <vector>
 
 #include "core/gemm.hpp"
 #include "parallel/worker_pool.hpp"
@@ -71,7 +73,64 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_FALSE(fault::parse_plan("alloc.tiled:p=1.5", plan, &error));
   EXPECT_FALSE(fault::parse_plan("alloc.tiled:whenever", plan, &error));
   EXPECT_FALSE(fault::parse_plan("seed=notanumber", plan, &error));
-  EXPECT_THROW(fault::ScopedPlan bad("nope:nth=1"), std::invalid_argument);
+  try {
+    fault::ScopedPlan bad("nope:nth=1");
+    FAIL() << "expected rla::Error{Config}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Config);
+    EXPECT_EQ(e.site(), "fault.spec");
+  }
+}
+
+TEST(FaultPlan, RejectsOutOfDomainTriggersInsteadOfClamping) {
+  fault::FaultPlan plan;
+  std::string error;
+  // Negative and >1 probabilities must be rejected, not clamped — a clamped
+  // p=-0.3 silently becomes "never fires" and p=1.5 "always fires", both of
+  // which falsify what the chaos schedule claims to have tested.
+  EXPECT_FALSE(fault::parse_plan("alloc.tiled:p=-0.3", plan, &error));
+  EXPECT_NE(error.find("probability"), std::string::npos);
+  EXPECT_FALSE(fault::parse_plan("alloc.tiled:p=1.0001", plan, &error));
+  EXPECT_FALSE(fault::parse_plan("alloc.tiled:p=nan", plan, &error));
+  EXPECT_FALSE(fault::parse_plan("alloc.tiled:p=inf", plan, &error));
+  // Non-numeric counts must not strtoull-wrap into huge positives.
+  EXPECT_FALSE(fault::parse_plan("alloc.tiled:nth=-1", plan, &error));
+  EXPECT_FALSE(fault::parse_plan("alloc.tiled:nth=1x", plan, &error));
+  EXPECT_FALSE(fault::parse_plan("seed=-7", plan, &error));
+  // Domain edges stay accepted.
+  EXPECT_TRUE(fault::parse_plan("alloc.tiled:p=0", plan));
+  EXPECT_TRUE(fault::parse_plan("alloc.tiled:p=1", plan));
+}
+
+TEST(FaultPlan, ProbabilisticTriggersAreStatelessPerHitIndex) {
+  // The decision for hit i must be a pure function of (seed, site, i): two
+  // arms of the same plan replay the identical fault pattern, which is what
+  // makes concurrent chaos schedules reproducible.
+  std::vector<bool> first, second;
+  {
+    fault::ScopedPlan guard("task.throw:p=0.5;seed=1234");
+    for (int i = 0; i < 64; ++i) {
+      first.push_back(fault::should_fail(fault::Site::TaskThrow));
+    }
+  }
+  {
+    fault::ScopedPlan guard("task.throw:p=0.5;seed=1234");
+    for (int i = 0; i < 64; ++i) {
+      second.push_back(fault::should_fail(fault::Site::TaskThrow));
+    }
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+  // A different seed produces a different pattern (with 2^-64 luck).
+  std::vector<bool> reseeded;
+  {
+    fault::ScopedPlan guard("task.throw:p=0.5;seed=99");
+    for (int i = 0; i < 64; ++i) {
+      reseeded.push_back(fault::should_fail(fault::Site::TaskThrow));
+    }
+  }
+  EXPECT_NE(first, reseeded);
 }
 
 TEST(FaultPlan, DisarmedSitesNeverFire) {

@@ -7,14 +7,23 @@
 // --profile writes GemmProfile::to_json(). With neither, measurement still
 // runs and a one-line summary goes to stdout. This binary is what the CI
 // observability job drives and what tools/trace_summary.py consumes.
+//
+// --serve routes the call through the GemmService engine instead of a direct
+// gemm() (admission, deadline, retry and arena policy all apply; the
+// RLA_SERVICE_* environment variables configure the engine). --batch=N
+// submits N independent requests of the same shape as one batch and reports
+// per-outcome totals. --service-metrics=FILE dumps the engine's registry
+// snapshot afterwards — the same JSON tools/soak_check.py reads.
 
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "core/gemm.hpp"
+#include "service/service.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -24,8 +33,99 @@ void usage(const char* prog) {
       "usage: %s [--m=N] [--n=N] [--k=N] [--threads=N] [--layout=z|u|h|x|col]\n"
       "          [--algorithm=standard|strassen|winograd] [--seed=N]\n"
       "          [--trace=FILE] [--profile=FILE] [--profile-json=FILE]\n"
-      "          [--perf] [--no-measure]\n",
+      "          [--perf] [--no-measure]\n"
+      "          [--serve] [--batch=N] [--deadline-ms=N] [--priority=N]\n"
+      "          [--service-metrics=FILE]\n",
       prog);
+}
+
+/// --serve / --batch: drive the request(s) through a GemmService.
+int run_served(const rla::CliArgs& args, std::uint32_t m, std::uint32_t n,
+               std::uint32_t k, const rla::GemmConfig& base_cfg) {
+  const auto batch =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("batch", 1)));
+
+  rla::service::ServiceConfig svc_cfg = rla::service::ServiceConfig::from_env();
+  if (args.has("threads")) {
+    svc_cfg.threads =
+        static_cast<unsigned>(std::max<std::int64_t>(0, args.get_int("threads", 0)));
+  }
+  rla::service::GemmService service(svc_cfg);
+
+  std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  struct Operands {
+    std::vector<double> a, b, c;
+  };
+  std::vector<Operands> ops(batch);
+  std::vector<rla::service::Request> reqs(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    Operands& o = ops[i];
+    o.a.resize(static_cast<std::size_t>(m) * k);
+    o.b.resize(static_cast<std::size_t>(k) * n);
+    o.c.assign(static_cast<std::size_t>(m) * n, 0.0);
+    for (double& x : o.a) x = dist(rng);
+    for (double& x : o.b) x = dist(rng);
+    rla::service::Request& req = reqs[i];
+    req.m = m;
+    req.n = n;
+    req.k = k;
+    req.a = o.a.data();
+    req.lda = m;
+    req.b = o.b.data();
+    req.ldb = k;
+    req.c = o.c.data();
+    req.ldc = m;
+    req.cfg = base_cfg;
+    if (i > 0) {
+      // One trace collector per process: concurrent siblings would only
+      // record trace:busy (and read as spuriously Degraded). The first
+      // request carries the measurement; the rest run bare.
+      req.cfg.trace_path.clear();
+      req.cfg.measure = false;
+      req.cfg.hw_counters = false;
+    }
+    req.priority = static_cast<int>(args.get_int("priority", 0));
+    req.deadline =
+        std::chrono::milliseconds(std::max<std::int64_t>(0, args.get_int("deadline-ms", 0)));
+  }
+
+  std::vector<std::future<rla::service::Response>> futures =
+      service.submit_batch(reqs);
+  std::size_t outcomes[5] = {0, 0, 0, 0, 0};
+  int rc = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const rla::service::Response r = futures[i].get();
+    outcomes[static_cast<int>(r.outcome)]++;
+    if (batch == 1 || r.outcome != rla::service::Outcome::Completed) {
+      std::printf("request %llu: %s%s%s queue=%.3fms run=%.3fms attempts=%d\n",
+                  static_cast<unsigned long long>(r.id),
+                  rla::service::outcome_name(r.outcome).data(),
+                  r.reason.empty() ? "" : " — ", r.reason.c_str(),
+                  r.queue_seconds * 1e3, r.run_seconds * 1e3, r.attempts);
+      for (const std::string& step : r.degradation_trail) {
+        std::printf("  trail: %s\n", step.c_str());
+      }
+    }
+    if (r.outcome == rla::service::Outcome::Failed) rc = 1;
+  }
+  service.shutdown();
+  std::printf(
+      "serve %ux%ux%u batch=%zu workers=%u executors=%u completed=%zu "
+      "degraded=%zu rejected=%zu cancelled=%zu failed=%zu\n",
+      m, n, k, batch, service.config().threads, service.config().executors,
+      outcomes[0], outcomes[1], outcomes[2], outcomes[3], outcomes[4]);
+
+  const std::string metrics_path = args.get("service-metrics");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << service.metrics_json() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "rla_gemm: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
@@ -59,6 +159,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "rla_gemm: unknown algorithm '%s'\n",
                  args.get("algorithm").c_str());
     return 2;
+  }
+
+  if (args.get_bool("serve") || args.has("batch")) {
+    try {
+      return run_served(args, m, n, k, cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rla_gemm: %s\n", e.what());
+      return 1;
+    }
   }
 
   std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));

@@ -1,0 +1,332 @@
+// Chaos/soak driver for the gemm service layer.
+//
+//   rla_soak --requests=2000 --faults=alloc,worker,stall --seed=1
+//            --metrics=soak_metrics.json
+//
+// Hammers one GemmService with a deterministic mixed workload — sizes,
+// priorities, deadlines, algorithms, layouts, a sprinkling of invalid
+// arguments — while a fault plan injects allocation failures, task throws
+// and executor stalls, then asserts the service guarantees:
+//
+//   * every submitted request terminates with exactly one Outcome (no hung
+//     futures, bounded wait per request);
+//   * nothing leaks: in_flight() drains to zero and every arena reservation
+//     is returned;
+//   * completed work is *correct*: an O(n^2) Freivalds-style probe checks
+//     C·r == A·(B·r) for every Completed/Degraded request (skipped when
+//     kernel-corruption faults are armed, which corrupt by design).
+//
+// Exit status 0 = all guarantees held; 1 = violation (details on stderr);
+// 2 = bad usage. CI runs this under ASan and TSan (the chaos-soak job);
+// tools/soak_check.py validates the --metrics JSON afterwards.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "robust/fault.hpp"
+#include "service/service.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using rla::service::Outcome;
+using rla::service::Response;
+
+void usage(const char* prog) {
+  std::printf(
+      "usage: %s [--requests=N] [--faults=alloc,worker,stall,kernel|none]\n"
+      "          [--seed=N] [--threads=N] [--executors=N] [--max-inflight=N]\n"
+      "          [--arena-mb=N] [--max-size=N] [--deadline-pct=N]\n"
+      "          [--metrics=FILE] [--timeout-s=N] [--quiet]\n",
+      prog);
+}
+
+/// One outstanding request: operand storage (alive until the future
+/// resolves) plus what the final audit needs.
+struct Ticket {
+  std::vector<double> a, b, c;
+  std::uint32_t m = 0, n = 0, k = 0;
+  bool check = false;     ///< Freivalds probe on success
+  bool expect_failed = false;  ///< submitted with invalid arguments
+  std::future<Response> fut;
+};
+
+/// O(mn + mk + kn) correctness probe: C·r vs A·(B·r) for a random ±1 vector.
+/// Exact products are identical; floating-point noise stays far below tol.
+bool probe_ok(const Ticket& t) {
+  std::mt19937_64 rng(t.m * 1000003ull + t.n * 10007ull + t.k * 101ull);
+  std::vector<double> r(t.n), br(t.k, 0.0), abr(t.m, 0.0), cr(t.m, 0.0);
+  for (double& x : r) x = (rng() & 1) ? 1.0 : -1.0;
+  for (std::uint32_t j = 0; j < t.n; ++j)
+    for (std::uint32_t i = 0; i < t.k; ++i) br[i] += t.b[i + j * t.k] * r[j];
+  for (std::uint32_t j = 0; j < t.k; ++j)
+    for (std::uint32_t i = 0; i < t.m; ++i) abr[i] += t.a[i + j * t.m] * br[j];
+  for (std::uint32_t j = 0; j < t.n; ++j)
+    for (std::uint32_t i = 0; i < t.m; ++i) cr[i] += t.c[i + j * t.m] * r[j];
+  double diff = 0.0, scale = 1.0;
+  for (std::uint32_t i = 0; i < t.m; ++i) {
+    diff = std::max(diff, std::abs(cr[i] - abr[i]));
+    scale = std::max(scale, std::abs(abr[i]));
+  }
+  return diff <= 1e-8 * scale * std::max<std::uint32_t>(1, t.k);
+}
+
+/// Translate --faults categories into the fault-plan spec grammar.
+bool build_fault_spec(const std::string& faults, std::uint64_t seed,
+                      std::string& spec, bool& kernel_chaos) {
+  spec.clear();
+  kernel_chaos = false;
+  if (faults.empty() || faults == "none") return true;
+  std::size_t pos = 0;
+  while (pos <= faults.size()) {
+    const std::size_t comma = std::min(faults.find(',', pos), faults.size());
+    const std::string cat = faults.substr(pos, comma - pos);
+    pos = comma + 1;
+    std::string clause;
+    if (cat == "alloc") {
+      clause = "alloc.tiled:p=0.03;alloc.temp:p=0.02";
+    } else if (cat == "worker") {
+      clause = "task.throw:p=0.02";
+    } else if (cat == "stall") {
+      clause = "service.stall:p=0.04";
+    } else if (cat == "kernel") {
+      clause = "kernel.corrupt:p=0.02";
+      kernel_chaos = true;  // silent corruption: probes would misfire
+    } else if (cat.empty()) {
+      continue;
+    } else {
+      std::fprintf(stderr, "rla_soak: unknown fault category '%s'\n", cat.c_str());
+      return false;
+    }
+    if (!spec.empty()) spec += ';';
+    spec += clause;
+  }
+  if (!spec.empty()) spec += ";seed=" + std::to_string(seed);
+  return true;
+}
+
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rla::CliArgs args(argc, argv);
+  if (args.get_bool("help")) {
+    usage(argv[0]);
+    return 0;
+  }
+  const auto requests = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, args.get_int("requests", 2000)));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto max_size =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(8, args.get_int("max-size", 160)));
+  const auto deadline_pct =
+      std::clamp<std::int64_t>(args.get_int("deadline-pct", 25), 0, 100);
+  const auto timeout = std::chrono::seconds(
+      std::max<std::int64_t>(1, args.get_int("timeout-s", 120)));
+  const bool quiet = args.get_bool("quiet");
+
+  std::string fault_spec;
+  bool kernel_chaos = false;
+  if (!build_fault_spec(args.get("faults", "alloc,worker,stall"), seed, fault_spec,
+                        kernel_chaos)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  rla::service::ServiceConfig cfg;
+  cfg.threads = static_cast<unsigned>(std::max<std::int64_t>(0, args.get_int("threads", 0)));
+  cfg.executors =
+      static_cast<unsigned>(std::max<std::int64_t>(1, args.get_int("executors", 3)));
+  cfg.max_inflight = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, args.get_int("max-inflight", 64)));
+  cfg.arena_bytes = static_cast<std::size_t>(
+                        std::max<std::int64_t>(0, args.get_int("arena-mb", 256)))
+                    << 20;
+  cfg.watchdog_period = 5ms;
+
+  // Armed for the whole soak: probabilistic triggers are stateless per hit
+  // index, so the chaos schedule is reproducible for a given seed no matter
+  // how the concurrent requests interleave.
+  std::unique_ptr<rla::fault::ScopedPlan> plan;
+  try {
+    if (!fault_spec.empty()) plan = std::make_unique<rla::fault::ScopedPlan>(fault_spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rla_soak: bad fault spec: %s\n", e.what());
+    return 2;
+  }
+
+  rla::service::GemmService service(cfg);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::uint32_t sizes[] = {16,  24,  32,  48,  64,  80,  96,
+                                 112, 128, 144, max_size};
+  const std::size_t max_outstanding = std::max<std::size_t>(64, 2 * cfg.max_inflight);
+
+  std::size_t outcomes[5] = {0, 0, 0, 0, 0};
+  std::size_t hung = 0, wrong = 0, unexpected = 0, retried = 0, probed = 0;
+  std::vector<double> queue_ms, total_ms;
+  std::deque<std::unique_ptr<Ticket>> outstanding;
+
+  auto settle = [&](Ticket& t) {
+    if (t.fut.wait_for(timeout) != std::future_status::ready) {
+      ++hung;  // guarantee violated: a future that never resolves
+      return;
+    }
+    const Response r = t.fut.get();
+    outcomes[static_cast<int>(r.outcome)]++;
+    if (r.attempts > 1) ++retried;
+    if (r.outcome != Outcome::Rejected) {
+      queue_ms.push_back(r.queue_seconds * 1e3);
+      total_ms.push_back((r.queue_seconds + r.run_seconds) * 1e3);
+    }
+    // Invalid arguments must never *succeed*; bouncing off backpressure or a
+    // queue-deadline before the arguments are ever inspected is fine.
+    if (t.expect_failed &&
+        (r.outcome == Outcome::Completed || r.outcome == Outcome::Degraded)) {
+      ++unexpected;
+    }
+    if (t.check && !kernel_chaos &&
+        (r.outcome == Outcome::Completed || r.outcome == Outcome::Degraded)) {
+      ++probed;
+      if (!probe_ok(t)) {
+        ++wrong;
+        std::fprintf(stderr, "rla_soak: WRONG RESULT id=%llu %ux%ux%u (%s)\n",
+                     static_cast<unsigned long long>(r.id), t.m, t.n, t.k,
+                     rla::service::outcome_name(r.outcome).data());
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < requests; ++i) {
+    auto t = std::make_unique<Ticket>();
+    t->m = sizes[rng() % std::size(sizes)];
+    t->n = sizes[rng() % std::size(sizes)];
+    t->k = sizes[rng() % std::size(sizes)];
+    t->a.resize(static_cast<std::size_t>(t->m) * t->k);
+    t->b.resize(static_cast<std::size_t>(t->k) * t->n);
+    t->c.assign(static_cast<std::size_t>(t->m) * t->n, 0.0);
+    for (double& x : t->a) x = dist(rng);
+    for (double& x : t->b) x = dist(rng);
+
+    rla::service::Request req;
+    req.m = t->m;
+    req.n = t->n;
+    req.k = t->k;
+    req.a = t->a.data();
+    req.lda = t->m;
+    req.b = t->b.data();
+    req.ldb = t->k;
+    req.c = t->c.data();
+    req.ldc = t->m;
+    req.priority = static_cast<int>(rng() % 4);
+    req.retry_budget = 1 + static_cast<int>(rng() % 2);
+    switch (rng() % 10) {
+      case 0:
+      case 1:
+        req.cfg.algorithm = rla::Algorithm::Strassen;
+        break;
+      case 2:
+        req.cfg.algorithm = rla::Algorithm::Winograd;
+        break;
+      default:
+        break;  // standard
+    }
+    if (rng() % 10 < 3) req.cfg.layout = rla::Curve::ColMajor;
+    if (kernel_chaos && req.cfg.algorithm != rla::Algorithm::Standard) {
+      req.cfg.verify = rng() % 2 == 0;  // exercise Freivalds rerun under chaos
+    }
+    if (static_cast<std::int64_t>(rng() % 100) < deadline_pct) {
+      req.deadline = std::chrono::microseconds(500 + rng() % 50000);  // 0.5–50 ms
+    }
+    t->check = true;
+    if (rng() % 100 == 0 && t->m > 1) {
+      req.lda = 1;  // invalid: must fail fast, must not disturb anything else
+      t->expect_failed = true;
+      t->check = false;
+    }
+
+    t->fut = service.submit(req);
+    outstanding.push_back(std::move(t));
+    while (outstanding.size() > max_outstanding) {
+      settle(*outstanding.front());
+      outstanding.pop_front();
+    }
+  }
+  while (!outstanding.empty()) {
+    settle(*outstanding.front());
+    outstanding.pop_front();
+  }
+
+  service.shutdown();
+  const std::size_t leaked_inflight = service.in_flight();
+  const std::size_t leaked_bytes = service.arena().reserved_bytes();
+
+  const std::string metrics = service.metrics_json();
+  const std::string metrics_path = args.get("metrics");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << metrics << "\n";
+    if (!out) {
+      std::fprintf(stderr, "rla_soak: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+  }
+
+  if (!quiet) {
+    std::printf(
+        "rla_soak: %zu requests faults=%s completed=%zu degraded=%zu "
+        "rejected=%zu cancelled=%zu failed=%zu retried=%zu probed=%zu\n",
+        requests, fault_spec.empty() ? "(none)" : fault_spec.c_str(),
+        outcomes[static_cast<int>(Outcome::Completed)],
+        outcomes[static_cast<int>(Outcome::Degraded)],
+        outcomes[static_cast<int>(Outcome::Rejected)],
+        outcomes[static_cast<int>(Outcome::Cancelled)],
+        outcomes[static_cast<int>(Outcome::Failed)], retried, probed);
+    std::printf(
+        "rla_soak: queue p50=%.2fms p99=%.2fms total p99=%.2fms max=%.2fms\n",
+        percentile(queue_ms, 0.5), percentile(queue_ms, 0.99),
+        percentile(total_ms, 0.99),
+        total_ms.empty() ? 0.0 : *std::max_element(total_ms.begin(), total_ms.end()));
+  }
+
+  bool ok = true;
+  if (hung != 0) {
+    std::fprintf(stderr, "rla_soak: FAIL %zu request(s) never resolved\n", hung);
+    ok = false;
+  }
+  if (wrong != 0) {
+    std::fprintf(stderr, "rla_soak: FAIL %zu wrong result(s)\n", wrong);
+    ok = false;
+  }
+  if (unexpected != 0) {
+    std::fprintf(stderr,
+                 "rla_soak: FAIL %zu invalid request(s) not reported Failed\n",
+                 unexpected);
+    ok = false;
+  }
+  if (leaked_inflight != 0 || leaked_bytes != 0) {
+    std::fprintf(stderr,
+                 "rla_soak: FAIL leaked state after drain: in_flight=%zu "
+                 "arena_reserved=%zu bytes\n",
+                 leaked_inflight, leaked_bytes);
+    ok = false;
+  }
+  std::printf("rla_soak: %s\n", ok ? "PASS (every request terminated, nothing leaked)"
+                                   : "FAIL");
+  return ok ? 0 : 1;
+}

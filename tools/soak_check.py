@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Validate the metrics JSON exported by a rla_soak run.
+
+Consumes the ``GemmService::metrics_json()`` snapshot (written via
+``rla_soak --metrics=FILE`` after the service drained) and checks the
+invariants a healthy soak must leave behind:
+
+  * accounting closes: submitted == accepted + rejected, and the accepted
+    total equals the sum of the terminal service.outcome.* counters;
+  * everything drained: in_flight, queue_depth, running, and
+    arena.reserved_bytes are all zero;
+  * latency histograms exist and are populated: service.queue_ns /
+    service.run_ns / service.total_ns each carry one record per accepted
+    request (p99 present);
+  * the scheduler and arena series the service folds in are present
+    (sched.total.*, sched.exceptions_swallowed, arena.*).
+
+Optional thresholds let CI gate outcomes (e.g. ``--min-completed 100``
+or ``--max-failed-pct 50`` under heavy chaos).
+
+Usage:
+  tools/soak_check.py metrics.json [--min-completed N] [--max-failed-pct P]
+  tools/soak_check.py --self-test
+
+Exit status: 0 ok, 1 invariant violated or malformed input, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_COUNTERS = [
+    "service.submitted",
+    "service.accepted",
+    "service.rejected",
+    "arena.recycled",
+    "arena.allocations",
+    "arena.rejections",
+    "sched.total.steals",
+    "sched.total.tasks",
+    "sched.exceptions_swallowed",
+]
+
+REQUIRED_GAUGES = [
+    "service.in_flight",
+    "service.queue_depth",
+    "service.running",
+    "service.workers",
+    "service.executors",
+    "service.max_inflight",
+    "arena.budget_bytes",
+    "arena.reserved_bytes",
+    "arena.reserved_high_water",
+]
+
+OUTCOMES = ["completed", "degraded", "rejected", "cancelled", "failed"]
+
+LATENCY_HISTOGRAMS = ["service.queue_ns", "service.run_ns", "service.total_ns"]
+
+
+def check(doc, min_completed=0, max_failed_pct=100.0):
+    """Return a list of problem strings (empty = metrics are consistent)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["metrics document is not a JSON object"]
+    counters = doc.get("counters")
+    gauges = doc.get("gauges")
+    histograms = doc.get("histograms")
+    if not isinstance(counters, dict) or not isinstance(gauges, dict):
+        return ["metrics document lacks counters/gauges sections"]
+    if not isinstance(histograms, dict):
+        return ["metrics document lacks a histograms section"]
+
+    for key in REQUIRED_COUNTERS:
+        if not isinstance(counters.get(key), (int, float)):
+            problems.append(f"missing counter {key}")
+    for key in REQUIRED_GAUGES:
+        if not isinstance(gauges.get(key), (int, float)):
+            problems.append(f"missing gauge {key}")
+    if problems:
+        return problems
+
+    submitted = counters["service.submitted"]
+    accepted = counters["service.accepted"]
+    rejected = counters["service.rejected"]
+    if submitted != accepted + rejected:
+        problems.append(
+            f"accounting leak: submitted {submitted} != accepted {accepted} "
+            f"+ rejected {rejected}"
+        )
+    # Terminal outcomes: every accepted request lands in exactly one bucket.
+    # service.outcome.rejected counts double-bounces (admission rejections are
+    # already in service.rejected and never accepted), so exclude it here.
+    terminal = sum(
+        counters.get(f"service.outcome.{name}", 0)
+        for name in OUTCOMES
+        if name != "rejected"
+    )
+    if terminal != accepted:
+        problems.append(
+            f"outcome leak: {accepted} accepted but {terminal} terminal outcomes"
+        )
+
+    for gauge in ["service.in_flight", "service.queue_depth", "service.running"]:
+        if gauges[gauge] != 0:
+            problems.append(f"not drained: {gauge} = {gauges[gauge]}")
+    if gauges["arena.reserved_bytes"] != 0:
+        problems.append(
+            f"arena leak: reserved_bytes = {gauges['arena.reserved_bytes']}"
+        )
+
+    for name in LATENCY_HISTOGRAMS:
+        hist = histograms.get(name)
+        if not isinstance(hist, dict):
+            problems.append(f"missing histogram {name}")
+            continue
+        count = hist.get("count", 0)
+        if count != accepted:
+            problems.append(
+                f"{name}: {count} records for {accepted} accepted requests"
+            )
+        if not isinstance(hist.get("p99"), (int, float)):
+            problems.append(f"{name}: no p99")
+
+    completed = counters.get("service.outcome.completed", 0) + counters.get(
+        "service.outcome.degraded", 0
+    )
+    if completed < min_completed:
+        problems.append(
+            f"only {completed} requests completed (threshold {min_completed})"
+        )
+    failed = counters.get("service.outcome.failed", 0)
+    if accepted and 100.0 * failed / accepted > max_failed_pct:
+        problems.append(
+            f"failure rate {100.0 * failed / accepted:.1f}% exceeds "
+            f"{max_failed_pct:.1f}%"
+        )
+    return problems
+
+
+# --- self test ---------------------------------------------------------------
+
+def seeded_metrics():
+    """A drained, closed-books snapshot (shape of GemmService::metrics_json)."""
+    hist = {"count": 90, "sum": 1, "max": 1, "p50": 1, "p99": 1, "buckets": [90]}
+    return {
+        "counters": {
+            "service.submitted": 100,
+            "service.accepted": 90,
+            "service.rejected": 10,
+            "service.outcome.completed": 60,
+            "service.outcome.degraded": 15,
+            "service.outcome.cancelled": 10,
+            "service.outcome.failed": 5,
+            "arena.recycled": 40,
+            "arena.allocations": 12,
+            "arena.rejections": 2,
+            "sched.total.steals": 7,
+            "sched.total.tasks": 1000,
+            "sched.exceptions_swallowed": 0,
+        },
+        "gauges": {
+            "service.in_flight": 0,
+            "service.queue_depth": 0,
+            "service.running": 0,
+            "service.workers": 3,
+            "service.executors": 2,
+            "service.max_inflight": 64,
+            "arena.budget_bytes": 1 << 28,
+            "arena.reserved_bytes": 0,
+            "arena.reserved_high_water": 1 << 20,
+        },
+        "histograms": {name: dict(hist) for name in LATENCY_HISTOGRAMS},
+    }
+
+
+def self_test() -> int:
+    good = seeded_metrics()
+    problems = check(good, min_completed=70)
+    if problems:
+        print(f"self-test FAILED: clean snapshot flagged: {problems}")
+        return 2
+
+    cases = {
+        "accounting leak": lambda d: d["counters"].update({"service.rejected": 9}),
+        "outcome leak": lambda d: d["counters"].update(
+            {"service.outcome.failed": 6}
+        ),
+        "not drained": lambda d: d["gauges"].update({"service.in_flight": 3}),
+        "arena leak": lambda d: d["gauges"].update({"arena.reserved_bytes": 4096}),
+        "histogram mismatch": lambda d: d["histograms"][
+            "service.queue_ns"
+        ].update({"count": 89}),
+        "missing counter": lambda d: d["counters"].pop("sched.exceptions_swallowed"),
+        "threshold": None,  # handled below
+    }
+    for label, mutate in cases.items():
+        if mutate is None:
+            continue
+        doc = json.loads(json.dumps(seeded_metrics()))
+        mutate(doc)
+        if not check(doc):
+            print(f"self-test FAILED: '{label}' mutation not detected")
+            return 2
+    if not check(seeded_metrics(), min_completed=99):
+        print("self-test FAILED: min-completed threshold not enforced")
+        return 2
+    if not check(seeded_metrics(), max_failed_pct=1.0):
+        print("self-test FAILED: max-failed-pct threshold not enforced")
+        return 2
+    print("self-test OK: accounting, drain, histogram and threshold checks hold")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("metrics", nargs="?", help="metrics JSON from rla_soak --metrics")
+    parser.add_argument("--min-completed", type=int, default=0,
+                        help="require at least N Completed+Degraded requests")
+    parser.add_argument("--max-failed-pct", type=float, default=100.0,
+                        help="max percentage of accepted requests ending Failed")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.metrics:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    path = Path(args.metrics)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        return 1
+
+    problems = check(doc, args.min_completed, args.max_failed_pct)
+    for p in problems:
+        print(f"problem: {p}", file=sys.stderr)
+    if not problems:
+        counters = doc["counters"]
+        print(
+            f"soak metrics ok: {counters['service.submitted']:.0f} submitted, "
+            f"{counters['service.accepted']:.0f} accepted, "
+            f"{counters.get('service.outcome.completed', 0):.0f} completed, "
+            f"{counters.get('service.outcome.degraded', 0):.0f} degraded, "
+            f"{counters.get('service.outcome.cancelled', 0):.0f} cancelled, "
+            f"{counters.get('service.outcome.failed', 0):.0f} failed, "
+            f"arena recycled {counters['arena.recycled']:.0f}x"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -224,6 +224,16 @@ def summarize(doc, top_n=10):
         }
         if perf:
             summary["hw_total"] = perf
+        sched = {
+            key[len("sched.total."):]: value
+            for key, value in metrics["counters"].items()
+            if key.startswith("sched.total.") and isinstance(value, (int, float))
+        }
+        swallowed = metrics["counters"].get("sched.exceptions_swallowed")
+        if isinstance(swallowed, (int, float)):
+            sched["exceptions_swallowed"] = swallowed
+        if sched:
+            summary["sched_total"] = sched
 
     embedded = doc.get("rla_summary")
     if isinstance(embedded, dict):
@@ -275,6 +285,11 @@ def print_report(summary):
     if summary.get("hw_total"):
         total = "  ".join(f"{k}={v:.0f}" for k, v in sorted(summary["hw_total"].items()))
         print(f"hw totals: {total}")
+    if summary.get("sched_total"):
+        total = "  ".join(
+            f"{k}={v:.0f}" for k, v in sorted(summary["sched_total"].items())
+        )
+        print(f"scheduler totals: {total}")
     print(f"top {len(summary['top_tasks'])} tasks by exclusive time:")
     for t in summary["top_tasks"]:
         mig = " (migrated)" if t["migrated"] else ""
@@ -399,17 +414,33 @@ def self_test() -> int:
     del bare["rla_summary"]
     bare["rla_metrics"] = "bogus"
     bare_summary, bare_problems = summarize(bare, top_n=10)
-    if bare_problems or "embedded" in bare_summary or "hw_total" in bare_summary:
+    if (
+        bare_problems
+        or "embedded" in bare_summary
+        or "hw_total" in bare_summary
+        or "sched_total" in bare_summary
+    ):
         print(f"self-test FAILED: bare trace: {bare_problems}")
         return 2
-    # And the metrics snapshot surfaces whole-call perf totals when present.
+    # And the metrics snapshot surfaces whole-call perf and scheduler totals
+    # when present (per-worker series stay out of the rollup).
     counted = seeded_trace()
     counted["rla_metrics"] = {"counters": {"perf.total.cycles": 1_000_000,
                                            "perf.w0.cycles": 500_000,
-                                           "sched.w0.steals": 3}}
+                                           "sched.w0.steals": 3,
+                                           "sched.total.steals": 7,
+                                           "sched.total.tasks": 11,
+                                           "sched.exceptions_swallowed": 2}}
     counted_summary, _ = summarize(counted, top_n=10)
     if counted_summary.get("hw_total") != {"cycles": 1_000_000}:
         print(f"self-test FAILED: hw_total {counted_summary.get('hw_total')}")
+        return 2
+    if counted_summary.get("sched_total") != {
+        "steals": 7,
+        "tasks": 11,
+        "exceptions_swallowed": 2,
+    }:
+        print(f"self-test FAILED: sched_total {counted_summary.get('sched_total')}")
         return 2
     print("self-test OK: critical path, utilization, and consistency checks hold")
     return 0
