@@ -32,10 +32,12 @@ void BufferArena::Reservation::release() noexcept {
 
 BufferArena::Reservation BufferArena::try_reserve(std::size_t bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (budget_ != 0 && bytes > budget_ - std::min(budget_, reserved_)) {
+  // The budget caps reserved + cached: idle buffers count as real memory.
+  if (budget_ != 0 &&
+      bytes > budget_ - std::min(budget_, reserved_ + cached_)) {
     // Under pressure, cached (idle) buffers are the first thing to go:
-    // evict before rejecting the admission.
-    if (cached_ != 0 && reserved_ + bytes <= budget_ + cached_) {
+    // evict, then re-check against live reservations only.
+    if (cached_ != 0) {
       free_lists_.clear();
       cached_ = 0;
     }

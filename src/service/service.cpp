@@ -323,7 +323,7 @@ void GemmService::finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
   registry_.histogram("service.total_ns").record(ns_between(p->submit_tp, now));
 
   p->promise.set_value(std::move(r));
-  work_cv_.notify_all();  // shutdown() may be waiting on inflight_
+  watchdog_cv_.notify_all();  // during drain: exit promptly at inflight_ == 0
 }
 
 void GemmService::run_request(const std::shared_ptr<Pending>& p) {
@@ -372,8 +372,17 @@ void GemmService::run_request(const std::shared_ptr<Pending>& p) {
            q.beta, q.c, q.ldc, cfg, &profile);
       bool degraded = profile.degradations > 0;
       {
+        // Only config rewrites and retries make the outcome Degraded;
+        // informational entries (e.g. "service:stall-injected") on an
+        // otherwise clean run do not.
         std::lock_guard<std::mutex> lock(p->trail_mutex);
-        degraded = degraded || !p->trail.empty();
+        for (const std::string& entry : p->trail) {
+          if (entry.rfind("service:degraded:", 0) == 0 ||
+              entry.rfind("service:retry:", 0) == 0) {
+            degraded = true;
+            break;
+          }
+        }
       }
       finalize(p, degraded ? Outcome::Degraded : Outcome::Completed, "",
                std::move(profile));
@@ -385,6 +394,12 @@ void GemmService::run_request(const std::shared_ptr<Pending>& p) {
           registry_.counter("service.deadline_expired").add();
         }
         finalize(p, Outcome::Cancelled, e.what(), std::move(profile));
+        return;
+      }
+      if (e.kind() == ErrorKind::Config) {
+        // A malformed config (e.g. a bad fault spec) is deterministic: no
+        // retry or degradation can make it parse. Fail fast like bad args.
+        finalize(p, Outcome::Failed, e.what(), std::move(profile));
         return;
       }
       last_error = e.what();
@@ -418,7 +433,7 @@ void GemmService::watchdog_main() {
     std::vector<std::shared_ptr<Pending>> expired;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait_for(lock, cfg_.watchdog_period);
+      watchdog_cv_.wait_for(lock, cfg_.watchdog_period);
       if (stopping_ && inflight_ == 0) return;
 
       const Clock::time_point now = Clock::now();
@@ -476,6 +491,7 @@ void GemmService::shutdown() {
     stopping_ = true;
   }
   work_cv_.notify_all();
+  watchdog_cv_.notify_all();
   // Graceful drain: new submits bounce with Rejected{shutdown}, but every
   // already-accepted request still runs to a terminal outcome — executors
   // keep dequeuing until the queue is empty, and the watchdog keeps
@@ -485,7 +501,7 @@ void GemmService::shutdown() {
     if (t.joinable()) t.join();
   }
   executors_.clear();
-  work_cv_.notify_all();
+  watchdog_cv_.notify_all();
   if (watchdog_.joinable()) watchdog_.join();
 }
 

@@ -187,7 +187,11 @@ class GemmService {
   std::mutex shutdown_mutex_;  ///< serializes shutdown() callers
 
   mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
+  std::condition_variable work_cv_;      ///< executors: work queued / stopping
+  /// The watchdog sleeps on its own CV: if it shared work_cv_, submit()'s
+  /// notify_one could wake the watchdog (predicate-less wait_for) instead of
+  /// an executor, leaving a deadline-less request queued indefinitely.
+  std::condition_variable watchdog_cv_;
   std::deque<std::shared_ptr<Pending>> queue_;        // priority-ordered
   std::vector<std::shared_ptr<Pending>> running_;     // watchdog's view
   bool stopping_ = false;

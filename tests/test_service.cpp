@@ -228,6 +228,24 @@ TEST(Service, QueuedRequestPastDeadlineNeverRuns) {
               blocked.outcome == Outcome::Degraded);
 }
 
+TEST(Service, SubmitWakeupReachesExecutorOnQuietService) {
+  // Regression: the watchdog used to sleep on work_cv_ with a predicate-less
+  // wait_for, so submit()'s notify_one could be consumed by the watchdog
+  // instead of an executor and a deadline-less request would sit queued
+  // indefinitely on a quiet service. With the watchdog period far longer
+  // than the test, only a genuine executor wakeup can finish these in time.
+  ServiceConfig cfg = small_config();
+  cfg.executors = 1;
+  cfg.watchdog_period = std::chrono::milliseconds(60'000);
+  GemmService service(cfg);
+  for (int i = 0; i < 20; ++i) {
+    Job job(16, 16, 16, 1000 + i);
+    auto f = service.submit(job.req);
+    ASSERT_EQ(f.wait_for(5s), std::future_status::ready) << "request " << i;
+    EXPECT_EQ(f.get().outcome, Outcome::Completed);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Priorities.
 
@@ -354,6 +372,32 @@ TEST(Service, ExhaustedRetriesFail) {
   EXPECT_FALSE(r.reason.empty());
 }
 
+TEST(Service, MalformedFaultSpecFailsFastWithoutRetries) {
+  // A config parse error is deterministic: retrying (or degrading) cannot
+  // make it succeed, so it must fail on the first attempt like bad args.
+  GemmService service(small_config());
+  Job job(64, 64, 64, 22);
+  job.req.cfg.fault_spec = "bogus.site:nth=1";
+  job.req.retry_budget = 3;
+  Response r = service.submit(job.req).get();
+  EXPECT_EQ(r.outcome, Outcome::Failed);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_FALSE(trail_contains(r, "service:retry"));
+  EXPECT_NE(r.reason.find("fault"), std::string::npos) << r.reason;
+}
+
+TEST(Service, InjectedStallAloneIsNotDegraded) {
+  // An absorbed stall followed by a clean run on the original config is a
+  // Completed outcome: only config rewrites and retries count as Degraded,
+  // even though the stall leaves an informational trail entry.
+  GemmService service(small_config());
+  fault::ScopedPlan stall("service.stall:nth=1");
+  Job job(32, 32, 32, 23);
+  Response r = service.submit(job.req).get();
+  EXPECT_EQ(r.outcome, Outcome::Completed) << r.reason;
+  EXPECT_TRUE(trail_contains(r, "service:stall-injected"));
+}
+
 // ---------------------------------------------------------------------------
 // Shutdown.
 
@@ -452,6 +496,27 @@ TEST(Arena, AcquireRecyclesSizeClasses) {
   EXPECT_EQ(again.data(), data);
   EXPECT_EQ(arena.recycled(), 1u);
   EXPECT_EQ(arena.allocations(), 1u);
+}
+
+TEST(Arena, AdmissionCountsCachedBytesAndEvictsToAdmit) {
+  // Budget caps reserved + cached. A reservation that collides with idle
+  // cache must evict the cache and then be admitted, not overshoot the
+  // budget and not be rejected while evictable bytes exist.
+  BufferArena arena(1024);
+  AlignedBuffer<double> buf = arena.acquire(64);  // 64-double class = 512 B
+  arena.release(std::move(buf));
+  ASSERT_EQ(arena.cached_bytes(), 512u);
+
+  auto r = arena.try_reserve(768);  // 512 cached + 768 > 1024, but fits alone
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(arena.cached_bytes(), 0u);    // cache evicted to admit
+  EXPECT_EQ(arena.reserved_bytes(), 768u);
+  EXPECT_EQ(arena.rejections(), 0u);
+
+  // Even after eviction this one cannot fit: reject.
+  auto r2 = arena.try_reserve(512);
+  EXPECT_FALSE(static_cast<bool>(r2));
+  EXPECT_EQ(arena.rejections(), 1u);
 }
 
 TEST(Arena, CachedBuffersDroppedOverBudgetAndTrimmed) {
