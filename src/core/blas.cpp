@@ -1,23 +1,22 @@
 #include "core/blas.hpp"
 
-#include <mutex>
-
 #include "core/gemm.hpp"
+#include "support/sync.hpp"
 
 namespace rla {
 
 namespace {
-std::mutex config_mutex;
-GemmConfig global_config;  // NOLINT: intentional process-wide default
+Mutex config_mutex;  // lock-level: registry
+GemmConfig global_config RLA_GUARDED_BY(config_mutex);  // NOLINT: intentional process-wide default
 }  // namespace
 
 void set_default_gemm_config(const GemmConfig& cfg) {
-  std::lock_guard<std::mutex> lock(config_mutex);
+  MutexLock lock(config_mutex);
   global_config = cfg;
 }
 
 GemmConfig default_gemm_config() {
-  std::lock_guard<std::mutex> lock(config_mutex);
+  MutexLock lock(config_mutex);
   return global_config;
 }
 

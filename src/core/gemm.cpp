@@ -4,7 +4,6 @@
 #include <array>
 #include <atomic>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 
@@ -25,6 +24,7 @@
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
 #include "robust/verify.hpp"
+#include "support/sync.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
@@ -54,15 +54,15 @@ GemmProfile::HwCounters to_hw_counters(const obs::perf::Sample& s) {
 /// Also collects the degradation trail (kept internally so it is available
 /// for rla::Error even when the caller passed no profile).
 struct ProfileSink {
-  GemmProfile* out = nullptr;
-  std::mutex mutex;
-  std::vector<std::string> trail;
-  unsigned fp_mask = 0;  ///< hazards noted so far (guarded by mutex)
+  GemmProfile* RLA_PT_GUARDED_BY(mutex) out = nullptr;
+  Mutex mutex;  // lock-level: registry
+  std::vector<std::string> trail RLA_GUARDED_BY(mutex);
+  unsigned fp_mask RLA_GUARDED_BY(mutex) = 0;  ///< hazards noted so far
 
   void add(double conv_in, double compute, double conv_out, int depth,
            std::uint32_t tm, std::uint32_t tk, std::uint32_t tn) {
     if (out == nullptr) return;
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     out->convert_in += conv_in;
     out->compute += compute;
     out->convert_out += conv_out;
@@ -74,12 +74,12 @@ struct ProfileSink {
 
   void count_split() {
     if (out == nullptr) return;
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     ++out->splits;
   }
 
   void degrade(std::string step) {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     trail.push_back(std::move(step));
   }
 
@@ -87,7 +87,7 @@ struct ProfileSink {
   /// worst (largest) bound across split pieces.
   void set_bound(const numerics::ErrorBound& b) {
     if (out == nullptr) return;
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (b.constant >= out->bound_constant) {
       out->bound_constant = b.constant;
       out->error_bound = b.relative;
@@ -97,21 +97,21 @@ struct ProfileSink {
 
   /// Record an FP hazard with phase attribution ("fp:<phase>:<flags>").
   void note_fp(const char* phase, unsigned mask) {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     trail.push_back(std::string("fp:") + phase + ":" +
                     numerics::fp_describe(mask));
     fp_mask |= mask;
   }
 
   unsigned hazards() {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return fp_mask;
   }
 
   /// Copy the trail into the caller's profile (call once, at quiescence).
   void flush_trail() {
     if (out == nullptr) return;
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     out->degradation_trail = trail;
     out->degradations = static_cast<int>(trail.size());
   }

@@ -2,27 +2,49 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 
 #include "layout/quadrant.hpp"
+#include "support/sync.hpp"
 
 namespace rla {
 
+namespace {
+
+using OrderKey = std::tuple<Curve, int, int, int>;
+
+/// Named struct so the guarded_by relation is visible to the analysis.
+struct OrderMapCache {
+  Mutex mutex;  // lock-level: registry
+  /// unique_ptr so map rehashing never moves the vectors callers hold.
+  std::map<OrderKey, std::unique_ptr<std::vector<std::uint32_t>>> entries
+      RLA_GUARDED_BY(mutex);
+};
+
+OrderMapCache& order_map_cache() {
+  static OrderMapCache cache;
+  return cache;
+}
+
+}  // namespace
+
 const std::vector<std::uint32_t>& cached_order_map(Curve c, int r_from, int r_to,
                                                    int level) {
-  using Key = std::tuple<Curve, int, int, int>;
-  static std::mutex mutex;
-  // unique_ptr so map rehashing never moves the vectors callers hold.
-  static std::map<Key, std::unique_ptr<std::vector<std::uint32_t>>> cache;
-  const Key key{c, r_from, r_to, level};
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    auto map = std::make_unique<std::vector<std::uint32_t>>(
-        CurveOps::get(c).order_map(r_from, r_to, level));
-    it = cache.emplace(key, std::move(map)).first;
+  const OrderKey key{c, r_from, r_to, level};
+  OrderMapCache& cache = order_map_cache();
+  {
+    MutexLock lock(cache.mutex);
+    auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) return *it->second;
   }
+  // Build outside the lock: CurveOps::get takes its own registry-level
+  // mutex (two same-rank locks must never nest) and the expansion is
+  // expensive. A racing thread may build the same map; emplace keeps the
+  // first and the loser's copy is discarded.
+  auto map = std::make_unique<std::vector<std::uint32_t>>(
+      CurveOps::get(c).order_map(r_from, r_to, level));
+  MutexLock lock(cache.mutex);
+  auto it = cache.entries.emplace(key, std::move(map)).first;
   return *it->second;
 }
 

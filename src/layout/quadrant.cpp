@@ -2,8 +2,9 @@
 
 #include <cassert>
 #include <map>
-#include <mutex>
 #include <stdexcept>
+
+#include "support/sync.hpp"
 
 namespace rla {
 
@@ -111,12 +112,27 @@ CurveOps::CurveOps(Curve c) : curve_(c) {
   orientations_ = static_cast<int>(representative.size());
 }
 
+namespace {
+
+/// Named struct (not two function-local statics) so the guarded_by relation
+/// between the table and its mutex is declared where the analysis sees it.
+struct CurveOpsCache {
+  Mutex mutex;  // lock-level: registry
+  std::map<Curve, CurveOps> ops RLA_GUARDED_BY(mutex);
+};
+
+CurveOpsCache& curve_ops_cache() {
+  static CurveOpsCache cache;
+  return cache;
+}
+
+}  // namespace
+
 const CurveOps& CurveOps::get(Curve c) {
-  static std::mutex mutex;
-  static std::map<Curve, CurveOps> cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(c);
-  if (it == cache.end()) it = cache.emplace(c, CurveOps(c)).first;
+  CurveOpsCache& cache = curve_ops_cache();
+  MutexLock lock(cache.mutex);
+  auto it = cache.ops.find(c);
+  if (it == cache.ops.end()) it = cache.ops.emplace(c, CurveOps(c)).first;
   return it->second;
 }
 

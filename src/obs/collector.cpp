@@ -336,7 +336,7 @@ ThreadBuffer& Collector::thread_buffer() {
   if (tl_buffer_cache.generation == gen && tl_buffer_cache.buffer != nullptr) {
     return *tl_buffer_cache.buffer;
   }
-  std::lock_guard<std::mutex> lock(reg_mutex_);
+  MutexLock lock(reg_mutex_);
   const int tid = static_cast<int>(buffers_.size());
   const int hint = detail::tl_worker_hint;
   std::string label =
@@ -361,7 +361,7 @@ std::int64_t Collector::span_ns() const noexcept {
 }
 
 std::uint64_t Collector::events_dropped() const {
-  std::lock_guard<std::mutex> lock(reg_mutex_);
+  MutexLock lock(reg_mutex_);
   std::uint64_t dropped = 0;
   for (const auto& buf : buffers_) {
     if (buf->written > buf->ring.size()) dropped += buf->written - buf->ring.size();
@@ -432,7 +432,7 @@ void write_event(std::ostream& out, const TraceEvent& e, int tid,
 }  // namespace
 
 void Collector::write_chrome_trace(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(reg_mutex_);
+  MutexLock lock(reg_mutex_);
   out << "{\"traceEvents\":[";
   bool first = true;
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"

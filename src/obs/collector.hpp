@@ -29,13 +29,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
+#include "support/sync.hpp"
 
 namespace rla::obs {
 
@@ -114,7 +114,11 @@ class Collector {
   double achieved_parallelism() const noexcept;
   const Histogram& task_durations() const { return task_hist_; }
   Registry& registry() { return registry_; }
-  const std::vector<std::unique_ptr<ThreadBuffer>>& thread_buffers() const {
+  const std::vector<std::unique_ptr<ThreadBuffer>>& thread_buffers() const
+      RLA_NO_THREAD_SAFETY_ANALYSIS {
+    // justification: results accessor, valid only after detach() — its
+    // quiescence barrier is what makes the unlocked read safe, and taking
+    // reg_mutex_ here could not protect the returned reference anyway.
     return buffers_;
   }
 
@@ -145,8 +149,11 @@ class Collector {
   std::size_t ring_capacity_;
   bool attached_ = false;
 
-  mutable std::mutex reg_mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  /// Guards the buffer *list* only. A ThreadBuffer's contents stay
+  /// unguarded by design: single writer (its owning thread), and readers
+  /// wait for detach()'s quiescence before touching them.
+  mutable Mutex reg_mutex_;  // lock-level: registry
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ RLA_GUARDED_BY(reg_mutex_);
 
   std::atomic<std::uint64_t> tasks_{0};
   std::atomic<std::int64_t> work_ns_{0};

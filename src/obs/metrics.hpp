@@ -18,11 +18,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/json.hpp"
+#include "support/sync.hpp"
 
 namespace rla::obs {
 
@@ -98,20 +98,25 @@ class Histogram {
 /// Named metric store. Lookup-or-create by name; snapshot to JSON.
 class Registry {
  public:
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) RLA_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) RLA_EXCLUDES(mutex_);
+  Histogram& histogram(const std::string& name) RLA_EXCLUDES(mutex_);
 
   /// {"counters":{name:n,...},"gauges":{...},"histograms":{name:
   ///  {"count":..,"sum":..,"max":..,"p50":..,"p99":..,"buckets":[...]}}}
   /// Histogram bucket arrays are trimmed to the highest non-empty bucket.
-  json::Value snapshot() const;
+  json::Value snapshot() const RLA_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards the name → metric maps only; the metric objects themselves are
+  /// updated with relaxed atomics and returned by stable reference.
+  mutable Mutex mutex_;  // lock-level: registry
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      RLA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      RLA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      RLA_GUARDED_BY(mutex_);
 };
 
 }  // namespace rla::obs

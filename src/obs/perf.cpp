@@ -290,14 +290,18 @@ bool Session::try_attach() {
   auto probe = std::make_unique<CounterGroup>();
   std::string reason;
   if (probe->open(&reason)) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    groups_.push_back(std::move(probe));
-    labels_.push_back("main");
-    available_ = true;
+    {
+      MutexLock lock(mutex_);
+      groups_.push_back(std::move(probe));
+      labels_.push_back("main");
+    }
+    // Release: the probe group above must be visible to any worker whose
+    // join_current_thread() acquires this flag through the armed session.
+    available_.store(true, std::memory_order_release);
     detail::tl_joined_generation =
         detail::g_generation.load(std::memory_order_relaxed);
   } else {
-    available_ = false;
+    available_.store(false, std::memory_order_release);
     reason_ = reason;
   }
   return true;
@@ -318,11 +322,11 @@ void Session::detach() {
 }
 
 void Session::join_current_thread() {
-  if (!available_) return;
+  if (!available()) return;
   auto group = std::make_unique<CounterGroup>();
   if (!group->open(nullptr)) return;  // this thread just goes uncounted
   const int hint = obs::detail::worker_hint();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   groups_.push_back(std::move(group));
   labels_.push_back(hint >= 0 ? "w" + std::to_string(hint)
                               : "t" + std::to_string(labels_.size()));
@@ -331,7 +335,7 @@ void Session::join_current_thread() {
 Sample Session::read_total() const {
   Sample total;
   total.mask = 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& g : groups_) {
     Sample s;
     if (g->read(s)) total.accumulate(s);
@@ -341,7 +345,7 @@ Sample Session::read_total() const {
 
 std::vector<ThreadCounters> Session::per_thread() const {
   std::vector<ThreadCounters> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out.reserve(groups_.size());
   for (std::size_t i = 0; i < groups_.size(); ++i) {
     Sample s;
@@ -351,7 +355,7 @@ std::vector<ThreadCounters> Session::per_thread() const {
 }
 
 void Session::note_phase(const char* name, const Sample& delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [phase, sample] : phases_) {
     if (phase == name) {
       sample.accumulate(delta);
@@ -365,7 +369,7 @@ void Session::note_phase(const char* name, const Sample& delta) {
 }
 
 std::vector<std::pair<std::string, Sample>> Session::phase_totals() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return phases_;
 }
 
@@ -373,7 +377,7 @@ bool phase_snapshot(Sample& out) {
   if (!counting()) return false;
   bool ok = false;
   if (Session* s = detail::pin()) {
-    if (s->available_) {
+    if (s->available()) {
       out = s->read_total();
       ok = out.mask != 0;
     }

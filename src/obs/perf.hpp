@@ -29,10 +29,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "support/sync.hpp"
 
 namespace rla::obs::perf {
 
@@ -125,7 +126,9 @@ class Session {
   void detach();
 
   bool attached() const noexcept { return attached_; }
-  bool available() const noexcept { return available_; }
+  bool available() const noexcept {
+    return available_.load(std::memory_order_acquire);
+  }
   const std::string& reason() const noexcept { return reason_; }
 
   /// Sum of every thread group's current scaled cumulative values.
@@ -148,13 +151,18 @@ class Session {
  private:
   friend bool phase_snapshot(Sample& out);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<CounterGroup>> groups_;
-  std::vector<std::string> labels_;
-  std::vector<std::pair<std::string, Sample>> phases_;
+  mutable Mutex mutex_;  // lock-level: registry
+  std::vector<std::unique_ptr<CounterGroup>> groups_ RLA_GUARDED_BY(mutex_);
+  std::vector<std::string> labels_ RLA_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, Sample>> phases_ RLA_GUARDED_BY(mutex_);
   std::string reason_;
   bool attached_ = false;
-  bool available_ = false;
+  /// Atomic, not mutex-guarded: workers probe it through the armed-session
+  /// pointer from the join/snapshot hooks, and the release store in
+  /// try_attach() must be ordered before the g_session publication those
+  /// hooks load from (the old plain bool was written after the CAS — a
+  /// window where a joining worker read stale false).
+  std::atomic<bool> available_{false};
 };
 
 namespace detail {

@@ -12,14 +12,25 @@
 #include <memory>
 #include <vector>
 
+#include "support/sync.hpp"
+
 namespace rla {
 
 /// Lock-free single-owner deque of pointers. T must be a pointer type.
+///
+/// The owner-only API (push/pop and the retired-array list behind it) is
+/// guarded by a phantom "role" capability rather than a mutex: there is no
+/// lock to take, but the thread-safety analysis still rejects any call path
+/// that reaches push()/pop() without first asserting — next to its dynamic
+/// owner check — that it is the owning thread (see assert_owner()).
 template <typename T>
 class ChaseLevDeque {
   static_assert(std::is_pointer_v<T>, "ChaseLevDeque stores pointers");
 
  public:
+  /// Phantom capability: "I am this deque's single owner thread". Never
+  /// locked — held only via RLA_ASSERT_CAPABILITY after a dynamic check.
+  class RLA_CAPABILITY("role") OwnerRole {};
   explicit ChaseLevDeque(std::int64_t initial_capacity = 64)
       : array_(new RingArray(initial_capacity)) {
     retired_.emplace_back(array_.load(std::memory_order_relaxed));
@@ -30,8 +41,14 @@ class ChaseLevDeque {
 
   ~ChaseLevDeque() = default;
 
+  /// Declare (to the static analysis) that the calling thread is the
+  /// deque's owner. Callers pair this with their dynamic ownership check —
+  /// the scheduler's thread-local worker index — so the assertion documents
+  /// an invariant that is actually enforced at runtime.
+  void assert_owner() const RLA_ASSERT_CAPABILITY(owner_) {}
+
   /// Owner only: push at the bottom.
-  void push(T item) {
+  void push(T item) RLA_REQUIRES(owner_) {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_acquire);
     RingArray* a = array_.load(std::memory_order_relaxed);
@@ -51,7 +68,7 @@ class ChaseLevDeque {
   }
 
   /// Owner only: pop from the bottom. Returns nullptr when empty.
-  T pop() {
+  T pop() RLA_REQUIRES(owner_) {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     RingArray* a = array_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
@@ -119,7 +136,8 @@ class ChaseLevDeque {
     std::unique_ptr<std::atomic<T>[]> slots;
   };
 
-  RingArray* grow(RingArray* a, std::int64_t t, std::int64_t b) {
+  RingArray* grow(RingArray* a, std::int64_t t, std::int64_t b)
+      RLA_REQUIRES(owner_) {
     auto bigger = std::make_unique<RingArray>(a->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, a->get(i));
     RingArray* raw = bigger.get();
@@ -131,7 +149,10 @@ class ChaseLevDeque {
   std::atomic<std::int64_t> top_{0};
   std::atomic<std::int64_t> bottom_{0};
   std::atomic<RingArray*> array_;
-  std::vector<std::unique_ptr<RingArray>> retired_;  // owner-only mutation
+  /// Retired grow() arrays; only the owner thread appends (thieves read
+  /// array_ through the atomic, never this list).
+  std::vector<std::unique_ptr<RingArray>> retired_ RLA_GUARDED_BY(owner_);
+  OwnerRole owner_;
 };
 
 }  // namespace rla

@@ -51,28 +51,35 @@ WorkerPool::WorkerPool(unsigned threads) : requested_(threads) {
     workers_[w]->thread = std::move(started[w]);
   }
   {
-    std::lock_guard<std::mutex> lock(start_mutex_);
+    MutexLock lock(start_mutex_);
     start_ready_ = true;
   }
-  start_cv_.notify_all();
+  start_cv_.notify_all();  // publishes: start_ready_ (workers_ is final)
 }
 
 WorkerPool::~WorkerPool() {
   stop_.store(true, std::memory_order_release);
-  sleep_cv_.notify_all();
+  sleep_cv_.notify_all();  // publishes: stop_
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
   // Drain anything never executed (only possible if a TaskGroup was leaked).
-  for (TaskNode* node : injection_queue_) delete node;
+  {
+    MutexLock lock(injection_mutex_);
+    for (TaskNode* node : injection_queue_) delete node;
+    injection_queue_.clear();
+  }
   for (auto& worker : workers_) {
+    // The owning worker thread has joined; the destructor inherits its role.
+    worker->deque.assert_owner();
     while (TaskNode* node = worker->deque.pop()) delete node;
   }
 }
 
 void WorkerPool::wait_for_start() {
-  std::unique_lock<std::mutex> lock(start_mutex_);
-  start_cv_.wait(lock, [this] { return start_ready_; });
+  MutexLock lock(start_mutex_);
+  start_cv_.wait(start_mutex_, lock,
+                 [this]() RLA_REQUIRES(start_mutex_) { return start_ready_; });
 }
 
 int WorkerPool::current_worker_index() noexcept { return tl_worker_index; }
@@ -81,11 +88,12 @@ void WorkerPool::enqueue(TaskNode* node) {
   const int self = (tl_pool == this) ? tl_worker_index : -1;
   if (self >= 0) {
     Worker& w = *workers_[static_cast<std::size_t>(self)];
+    w.deque.assert_owner();  // self == tl_worker_index: this IS the owner
     w.deque.push(node);
     fold_max(w.sched.deque_high_water,
              static_cast<std::int64_t>(w.deque.size_estimate()));
   } else {
-    std::lock_guard<std::mutex> lock(injection_mutex_);
+    MutexLock lock(injection_mutex_);
     // Priority-ordered, FIFO within a priority. The scan is from the back:
     // almost all injected tasks share priority 0, so insertion is O(1) until
     // a high-priority request actually needs to overtake a backlog.
@@ -98,17 +106,21 @@ void WorkerPool::enqueue(TaskNode* node) {
     fold_max(external_.deque_high_water,
              static_cast<std::int64_t>(injection_queue_.size()));
   }
-  if (sleepers_.load(std::memory_order_relaxed) > 0) sleep_cv_.notify_one();
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    sleep_cv_.notify_one();  // publishes: a TaskNode reachable via try_acquire
+  }
 }
 
 WorkerPool::TaskNode* WorkerPool::try_acquire(int self) {
   if (self >= 0) {
-    if (TaskNode* node = workers_[static_cast<std::size_t>(self)]->deque.pop()) {
+    Worker& w = *workers_[static_cast<std::size_t>(self)];
+    w.deque.assert_owner();  // self is the caller's own worker index
+    if (TaskNode* node = w.deque.pop()) {
       return node;
     }
   }
   {
-    std::lock_guard<std::mutex> lock(injection_mutex_);
+    MutexLock lock(injection_mutex_);
     if (!injection_queue_.empty()) {
       TaskNode* node = injection_queue_.front();
       injection_queue_.pop_front();
@@ -177,9 +189,13 @@ void WorkerPool::worker_main(int index) {
       std::this_thread::yield();
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
     sleepers_.fetch_add(1, std::memory_order_relaxed);
-    sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    // timed-wait: the wake condition (work in a deque or the injection
+    // queue, or stop_) lives outside sleep_mutex_, so there is no guarded
+    // predicate to test; enqueue's notify ends the nap early and the worker
+    // loop re-checks try_acquire/stop_ itself. Bounded at 1 ms.
+    sleep_cv_.wait_for(sleep_mutex_, lock, std::chrono::milliseconds(1));
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
     sched.idle_wakeups.fetch_add(1, std::memory_order_relaxed);
     idle_spins = 0;
@@ -273,16 +289,21 @@ void TaskGroup::wait() {
   // exception is final — propagation is deterministic even though the tasks
   // raced.
   analysis::hook_group_sync(this);
-  if (exception_) {
-    std::exception_ptr e = exception_;
+  // Quiescence (pending_ == 0 with acquire/release pairing) already orders
+  // every record_exception before this read, but the lock keeps the access
+  // pattern uniform and lets the static analysis certify it.
+  std::exception_ptr e;
+  {
+    MutexLock lock(exception_mutex_);
+    e = exception_;
     exception_ = nullptr;
-    std::rethrow_exception(e);
   }
+  if (e) std::rethrow_exception(e);
 }
 
 void TaskGroup::record_exception(std::exception_ptr e, std::uint64_t seq) noexcept {
   if (cancel_ != nullptr) cancel_->store(true, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(exception_mutex_);
+  MutexLock lock(exception_mutex_);
   if (!exception_ || seq < exception_seq_) {
     exception_ = e;
     exception_seq_ = seq;

@@ -26,13 +26,11 @@
 //    advisory — tasks already running are not interrupted.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <random>
 #include <thread>
 #include <vector>
@@ -40,6 +38,7 @@
 #include "analysis/annotations.hpp"
 #include "obs/hooks.hpp"
 #include "parallel/chase_lev_deque.hpp"
+#include "support/sync.hpp"
 
 namespace rla {
 
@@ -161,8 +160,9 @@ class WorkerPool {
     SchedCounters sched;
   };
 
-  void enqueue(TaskNode* node);
-  TaskNode* try_acquire(int self);  // own deque -> injection queue -> steal
+  void enqueue(TaskNode* node) RLA_EXCLUDES(injection_mutex_);
+  // own deque -> injection queue -> steal
+  TaskNode* try_acquire(int self) RLA_EXCLUDES(injection_mutex_);
   void run_node(TaskNode* node);
   void worker_main(int index);
   void wait_for_start();
@@ -177,18 +177,21 @@ class WorkerPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   SchedCounters external_;  ///< non-worker threads helping in wait()
   unsigned requested_ = 0;
-  std::mutex injection_mutex_;
-  std::deque<TaskNode*> injection_queue_;
+  Mutex injection_mutex_;  // lock-level: pool
+  std::deque<TaskNode*> injection_queue_ RLA_GUARDED_BY(injection_mutex_);
 
   // Workers block on this gate until the constructor has finalized
   // workers_ (it may shrink the vector after a thread-creation failure, and
   // running workers must never observe that resize).
-  std::mutex start_mutex_;
-  std::condition_variable start_cv_;
-  bool start_ready_ = false;
+  Mutex start_mutex_;  // lock-level: pool
+  CondVar start_cv_;
+  bool start_ready_ RLA_GUARDED_BY(start_mutex_) = false;
 
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
+  // Idle-nap channel: the condition workers wait on (work may exist) lives
+  // in the deques and injection queue, not under this mutex; see the
+  // timed-wait in worker_main.
+  Mutex sleep_mutex_;  // lock-level: pool
+  CondVar sleep_cv_;
   std::atomic<int> sleepers_{0};
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> tasks_executed_{0};
@@ -306,9 +309,9 @@ class TaskGroup {
   /// decrements pending_, and wait() reads after pending_ hits zero, so the
   /// acquire/release pair on pending_ orders every fold before the join.
   obs::GroupObs obs_;
-  std::mutex exception_mutex_;
-  std::exception_ptr exception_;
-  std::uint64_t exception_seq_ = 0;
+  Mutex exception_mutex_;  // lock-level: pool
+  std::exception_ptr exception_ RLA_GUARDED_BY(exception_mutex_);
+  std::uint64_t exception_seq_ RLA_GUARDED_BY(exception_mutex_) = 0;
 };
 
 }  // namespace rla

@@ -2,11 +2,11 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <mutex>
 #include <new>
 #include <system_error>
 
 #include "robust/error.hpp"
+#include "support/sync.hpp"
 
 namespace rla::fault {
 
@@ -17,8 +17,8 @@ std::atomic<bool> g_armed{false};
 namespace {
 
 struct Registry {
-  std::mutex mutex;
-  FaultPlan plan;
+  Mutex mutex;  // lock-level: registry
+  FaultPlan plan RLA_GUARDED_BY(mutex);
   std::atomic<std::uint64_t> hit_counts[kSiteCount] = {};
 };
 
@@ -158,7 +158,7 @@ bool parse_plan(std::string_view spec, FaultPlan& out, std::string* error) {
 
 void arm(const FaultPlan& plan) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   r.plan = plan;
   for (auto& count : r.hit_counts) count.store(0, std::memory_order_relaxed);
   detail::g_armed.store(!plan.empty(), std::memory_order_release);
@@ -166,7 +166,7 @@ void arm(const FaultPlan& plan) {
 
 void disarm() noexcept {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   detail::g_armed.store(false, std::memory_order_release);
   r.plan = FaultPlan{};
 }
@@ -214,7 +214,7 @@ bool should_fail_slow(Site s) noexcept {
   Registry& r = registry();
   const std::uint64_t hit =
       1 + r.hit_counts[static_cast<int>(s)].fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   const Trigger& t = r.plan.at(s);
   switch (t.mode) {
     case Trigger::Mode::Off:

@@ -31,7 +31,7 @@ void BufferArena::Reservation::release() noexcept {
 }
 
 BufferArena::Reservation BufferArena::try_reserve(std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(arena_mutex_);
   // The budget caps reserved + cached: idle buffers count as real memory.
   if (budget_ != 0 &&
       bytes > budget_ - std::min(budget_, reserved_ + cached_)) {
@@ -52,14 +52,14 @@ BufferArena::Reservation BufferArena::try_reserve(std::size_t bytes) {
 }
 
 void BufferArena::release_reservation(std::size_t bytes) noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(arena_mutex_);
   reserved_ -= std::min(reserved_, bytes);
 }
 
 AlignedBuffer<double> BufferArena::acquire(std::size_t count) {
   const std::size_t cls = size_class(count);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(arena_mutex_);
     auto it = free_lists_.find(cls);
     if (it != free_lists_.end() && !it->second.empty()) {
       AlignedBuffer<double> buf = std::move(it->second.back());
@@ -84,7 +84,7 @@ AlignedBuffer<double> BufferArena::acquire(std::size_t count) {
 void BufferArena::release(AlignedBuffer<double> buf) {
   if (buf.empty()) return;
   const std::size_t bytes = buf.size() * sizeof(double);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(arena_mutex_);
   // The cache shares the budget with live reservations; never let idle
   // buffers squeeze out admissions.
   if (budget_ != 0 && reserved_ + cached_ + bytes > budget_) return;  // drop
@@ -93,38 +93,38 @@ void BufferArena::release(AlignedBuffer<double> buf) {
 }
 
 void BufferArena::trim() noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(arena_mutex_);
   free_lists_.clear();
   cached_ = 0;
 }
 
 std::size_t BufferArena::reserved_bytes() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(arena_mutex_);
   return reserved_;
 }
 
 std::size_t BufferArena::cached_bytes() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(arena_mutex_);
   return cached_;
 }
 
 std::size_t BufferArena::reserved_high_water() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(arena_mutex_);
   return reserved_high_water_;
 }
 
 std::uint64_t BufferArena::recycled() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(arena_mutex_);
   return recycled_;
 }
 
 std::uint64_t BufferArena::allocations() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(arena_mutex_);
   return allocations_;
 }
 
 std::uint64_t BufferArena::rejections() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(arena_mutex_);
   return rejections_;
 }
 

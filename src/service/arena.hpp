@@ -20,9 +20,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "support/sync.hpp"
 #include "util/aligned_buffer.hpp"
 
 namespace rla::service {
@@ -76,42 +76,47 @@ class BufferArena {
   /// Reserve `bytes` against the budget, or return an empty Reservation when
   /// the remaining budget is insufficient (the caller then degrades or
   /// rejects). Zero-byte reservations always succeed.
-  Reservation try_reserve(std::size_t bytes);
+  Reservation try_reserve(std::size_t bytes) RLA_EXCLUDES(arena_mutex_);
 
   /// A recycled (or fresh) buffer of at least `count` doubles. The returned
   /// buffer's size is the size-class rounding of `count` (next power of two),
   /// which is what makes cross-request reuse hit. Does NOT count against the
   /// budget by itself — callers hold a Reservation covering their footprint.
-  AlignedBuffer<double> acquire(std::size_t count);
+  AlignedBuffer<double> acquire(std::size_t count) RLA_EXCLUDES(arena_mutex_);
 
   /// Return a buffer to the free list for reuse. Dropped (freed) when
   /// caching it would exceed the budget's cache share.
-  void release(AlignedBuffer<double> buf);
+  void release(AlignedBuffer<double> buf) RLA_EXCLUDES(arena_mutex_);
 
   /// Drop every cached buffer (memory-pressure valve; also used by tests).
-  void trim() noexcept;
+  void trim() noexcept RLA_EXCLUDES(arena_mutex_);
 
   std::size_t budget() const noexcept { return budget_; }
-  std::size_t reserved_bytes() const noexcept;
-  std::size_t cached_bytes() const noexcept;
-  std::size_t reserved_high_water() const noexcept;
-  std::uint64_t recycled() const noexcept;     ///< acquires served from cache
-  std::uint64_t allocations() const noexcept;  ///< acquires that hit malloc
-  std::uint64_t rejections() const noexcept;   ///< failed try_reserve calls
+  std::size_t reserved_bytes() const noexcept RLA_EXCLUDES(arena_mutex_);
+  std::size_t cached_bytes() const noexcept RLA_EXCLUDES(arena_mutex_);
+  std::size_t reserved_high_water() const noexcept RLA_EXCLUDES(arena_mutex_);
+  /// acquires served from cache
+  std::uint64_t recycled() const noexcept RLA_EXCLUDES(arena_mutex_);
+  /// acquires that hit malloc
+  std::uint64_t allocations() const noexcept RLA_EXCLUDES(arena_mutex_);
+  /// failed try_reserve calls
+  std::uint64_t rejections() const noexcept RLA_EXCLUDES(arena_mutex_);
 
  private:
-  void release_reservation(std::size_t bytes) noexcept;
+  void release_reservation(std::size_t bytes) noexcept
+      RLA_EXCLUDES(arena_mutex_);
 
   const std::size_t budget_;
-  mutable std::mutex mutex_;
-  std::size_t reserved_ = 0;
-  std::size_t cached_ = 0;
-  std::size_t reserved_high_water_ = 0;
-  std::uint64_t recycled_ = 0;
-  std::uint64_t allocations_ = 0;
-  std::uint64_t rejections_ = 0;
+  mutable Mutex arena_mutex_;  // lock-level: arena
+  std::size_t reserved_ RLA_GUARDED_BY(arena_mutex_) = 0;
+  std::size_t cached_ RLA_GUARDED_BY(arena_mutex_) = 0;
+  std::size_t reserved_high_water_ RLA_GUARDED_BY(arena_mutex_) = 0;
+  std::uint64_t recycled_ RLA_GUARDED_BY(arena_mutex_) = 0;
+  std::uint64_t allocations_ RLA_GUARDED_BY(arena_mutex_) = 0;
+  std::uint64_t rejections_ RLA_GUARDED_BY(arena_mutex_) = 0;
   /// Size-class free lists keyed by element count (power-of-two classes).
-  std::map<std::size_t, std::vector<AlignedBuffer<double>>> free_lists_;
+  std::map<std::size_t, std::vector<AlignedBuffer<double>>> free_lists_
+      RLA_GUARDED_BY(arena_mutex_);
 };
 
 }  // namespace rla::service

@@ -78,18 +78,23 @@ struct GemmService::Pending {
   Clock::time_point submit_tp{};
   Clock::time_point deadline_tp{};  ///< epoch = no deadline
   Clock::time_point run_tp{};       ///< executor pickup (epoch = never ran)
-  bool started = false;             ///< guarded by the service mutex
+  /// Publishes run_tp: dequeue() writes run_tp then stores true (release);
+  /// finalize() pairs with an acquire load. An atomic rather than a
+  /// service_mutex_-guarded bool because finalize() must read it without
+  /// the service lock (it may run on the submit path, pre-admission) and
+  /// GUARDED_BY cannot name another object's mutex anyway.
+  std::atomic<bool> started{false};
 
   BufferArena::Reservation reservation;
 
   /// Service-level trail ("service:..." entries). Executor and watchdog both
   /// append; tiny dedicated mutex so the watchdog never waits on a gemm.
-  std::mutex trail_mutex;
-  std::vector<std::string> trail;
-  int attempts = 0;
+  Mutex trail_mutex;  // lock-level: registry
+  std::vector<std::string> trail RLA_GUARDED_BY(trail_mutex);
+  int attempts RLA_GUARDED_BY(trail_mutex) = 0;
 
-  void note(std::string entry) {
-    std::lock_guard<std::mutex> lock(trail_mutex);
+  void note(std::string entry) RLA_EXCLUDES(trail_mutex) {
+    MutexLock lock(trail_mutex);
     trail.push_back(std::move(entry));
   }
   bool has_deadline() const noexcept {
@@ -139,7 +144,7 @@ GemmService::GemmService(ServiceConfig cfg)
 GemmService::~GemmService() { shutdown(); }
 
 std::size_t GemmService::in_flight() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(service_mutex_);
   return inflight_;
 }
 
@@ -191,9 +196,9 @@ std::future<Response> GemmService::submit(const Request& req) {
   registry_.counter("service.submitted").add();
 
   bool slot_held = false;
-  auto reject = [&](const char* reason) {
+  auto reject = [&](const char* reason) RLA_EXCLUDES(service_mutex_) {
     if (slot_held) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(service_mutex_);
       --inflight_;
     }
     registry_.counter("service.rejected").add();
@@ -206,7 +211,7 @@ std::future<Response> GemmService::submit(const Request& req) {
     return std::move(fut);
   };
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(service_mutex_);
   if (stopping_) {
     lock.unlock();
     return reject("shutdown");
@@ -252,7 +257,7 @@ std::future<Response> GemmService::submit(const Request& req) {
   registry_.gauge("service.queue_depth_high_water")
       .fold_max(static_cast<std::int64_t>(queue_.size()));
   lock.unlock();
-  work_cv_.notify_one();
+  work_cv_.notify_one();  // publishes: queue_ (one new Pending)
   return fut;
 }
 
@@ -265,13 +270,16 @@ std::vector<std::future<Response>> GemmService::submit_batch(
 }
 
 std::shared_ptr<GemmService::Pending> GemmService::dequeue() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  MutexLock lock(service_mutex_);
+  work_cv_.wait(service_mutex_, lock, [this]() RLA_REQUIRES(service_mutex_) {
+    return stopping_ || !queue_.empty();
+  });
   if (queue_.empty()) return nullptr;  // stopping and drained
   std::shared_ptr<Pending> p = queue_.front();
   queue_.pop_front();
   p->run_tp = Clock::now();
-  p->started = true;
+  // Release-publishes run_tp to finalize()'s acquire load.
+  p->started.store(true, std::memory_order_release);
   running_.push_back(p);
   return p;
 }
@@ -287,7 +295,7 @@ void GemmService::finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
   r.profile = std::move(profile);
   r.id = p->id;
   {
-    std::lock_guard<std::mutex> lock(p->trail_mutex);
+    MutexLock lock(p->trail_mutex);
     r.degradation_trail = p->trail;
     r.attempts = p->attempts;
   }
@@ -296,16 +304,20 @@ void GemmService::finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
   r.degradation_trail.insert(r.degradation_trail.end(),
                              r.profile.degradation_trail.begin(),
                              r.profile.degradation_trail.end());
-  const Clock::time_point picked = p->started ? p->run_tp : now;
+  // Acquire pairs with dequeue()'s release store, making run_tp visible
+  // even when the finalizer is the watchdog or a shutdown path rather than
+  // the executor that picked the request up.
+  const bool started = p->started.load(std::memory_order_acquire);
+  const Clock::time_point picked = started ? p->run_tp : now;
   const std::int64_t queue_ns = ns_between(p->submit_tp, picked);
-  const std::int64_t run_ns = p->started ? ns_between(p->run_tp, now) : 0;
+  const std::int64_t run_ns = started ? ns_between(p->run_tp, now) : 0;
   r.queue_seconds = static_cast<double>(queue_ns) * 1e-9;
   r.run_seconds = static_cast<double>(run_ns) * 1e-9;
 
   p->reservation.release();
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(service_mutex_);
     --inflight_;
     // Remove from whichever list still holds it (queue for never-run
     // requests finalized by the watchdog or shutdown).
@@ -323,7 +335,7 @@ void GemmService::finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
   registry_.histogram("service.total_ns").record(ns_between(p->submit_tp, now));
 
   p->promise.set_value(std::move(r));
-  watchdog_cv_.notify_all();  // during drain: exit promptly at inflight_ == 0
+  watchdog_cv_.notify_all();  // publishes: inflight_ (drain exits at zero)
 }
 
 void GemmService::run_request(const std::shared_ptr<Pending>& p) {
@@ -363,7 +375,7 @@ void GemmService::run_request(const std::shared_ptr<Pending>& p) {
 
     GemmProfile profile;
     {
-      std::lock_guard<std::mutex> lock(p->trail_mutex);
+      MutexLock lock(p->trail_mutex);
       p->attempts = attempt + 1;
     }
     try {
@@ -375,7 +387,7 @@ void GemmService::run_request(const std::shared_ptr<Pending>& p) {
         // Only config rewrites and retries make the outcome Degraded;
         // informational entries (e.g. "service:stall-injected") on an
         // otherwise clean run do not.
-        std::lock_guard<std::mutex> lock(p->trail_mutex);
+        MutexLock lock(p->trail_mutex);
         for (const std::string& entry : p->trail) {
           if (entry.rfind("service:degraded:", 0) == 0 ||
               entry.rfind("service:retry:", 0) == 0) {
@@ -432,9 +444,17 @@ void GemmService::watchdog_main() {
   for (;;) {
     std::vector<std::shared_ptr<Pending>> expired;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      watchdog_cv_.wait_for(lock, cfg_.watchdog_period);
-      if (stopping_ && inflight_ == 0) return;
+      MutexLock lock(service_mutex_);
+      // Predicate wait: wake early only for the drain condition; the
+      // periodic deadline sweep runs on timeout. The predicate-less form
+      // this replaces could absorb finalize()'s drain notify during a
+      // sweep and push shutdown out by one period.
+      const bool draining = watchdog_cv_.wait_for(
+          service_mutex_, lock, cfg_.watchdog_period,
+          [this]() RLA_REQUIRES(service_mutex_) {
+            return stopping_ && inflight_ == 0;
+          });
+      if (draining) return;
 
       const Clock::time_point now = Clock::now();
       // Queued past their deadline: pull them out and finalize below
@@ -484,14 +504,14 @@ void GemmService::watchdog_main() {
 }
 
 void GemmService::shutdown() {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  MutexLock shutdown_lock(shutdown_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(service_mutex_);  // lifecycle → service nesting
     if (stopping_ && executors_.empty()) return;  // already shut down
     stopping_ = true;
   }
-  work_cv_.notify_all();
-  watchdog_cv_.notify_all();
+  work_cv_.notify_all();      // publishes: stopping_
+  watchdog_cv_.notify_all();  // publishes: stopping_
   // Graceful drain: new submits bounce with Rejected{shutdown}, but every
   // already-accepted request still runs to a terminal outcome — executors
   // keep dequeuing until the queue is empty, and the watchdog keeps
@@ -501,7 +521,7 @@ void GemmService::shutdown() {
     if (t.joinable()) t.join();
   }
   executors_.clear();
-  watchdog_cv_.notify_all();
+  watchdog_cv_.notify_all();  // publishes: inflight_ (drained to zero above)
   if (watchdog_.joinable()) watchdog_.join();
 }
 
@@ -512,7 +532,7 @@ std::string GemmService::metrics_json() const {
   // reads both without a sched_snapshot call.
   obs::Registry& reg = registry_;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(service_mutex_);  // service → registry nesting
     reg.gauge("service.in_flight").set(static_cast<std::int64_t>(inflight_));
     reg.gauge("service.queue_depth").set(static_cast<std::int64_t>(queue_.size()));
     reg.gauge("service.running").set(static_cast<std::int64_t>(running_.size()));

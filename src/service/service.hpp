@@ -37,12 +37,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,6 +49,7 @@
 #include "obs/metrics.hpp"
 #include "parallel/worker_pool.hpp"
 #include "service/arena.hpp"
+#include "support/sync.hpp"
 
 namespace rla::service {
 
@@ -146,7 +145,8 @@ class GemmService {
 
   /// Submit one request. Always returns a future that resolves — with
   /// Rejected when backpressure or shutdown refused it.
-  std::future<Response> submit(const Request& req);
+  std::future<Response> submit(const Request& req)
+      RLA_EXCLUDES(service_mutex_);
 
   /// Submit a batch; element i's future is result[i]. Elements are admitted
   /// independently — one rejected or faulting element does not disturb the
@@ -155,13 +155,14 @@ class GemmService {
 
   /// Finish everything in flight, refuse new work. Idempotent; the
   /// destructor calls it.
-  void shutdown();
+  void shutdown() RLA_EXCLUDES(shutdown_mutex_, service_mutex_);
 
   /// Export queue/latency/outcome/arena/scheduler metrics (obs::Registry
   /// JSON snapshot, same shape trace_summary.py and bench_compare read).
-  std::string metrics_json() const;
+  std::string metrics_json() const RLA_EXCLUDES(service_mutex_);
 
-  std::size_t in_flight() const noexcept;  ///< queued + running now
+  std::size_t in_flight() const noexcept
+      RLA_EXCLUDES(service_mutex_);  ///< queued + running now
   WorkerPool& pool() noexcept { return *pool_; }
   BufferArena& arena() noexcept { return arena_; }
   const ServiceConfig& config() const noexcept { return cfg_; }
@@ -169,12 +170,15 @@ class GemmService {
  private:
   struct Pending;  // shared between queue, executor, watchdog, and future
 
-  void executor_main();
-  void watchdog_main();
-  std::shared_ptr<Pending> dequeue();                 // blocks; null = stop
-  void run_request(const std::shared_ptr<Pending>& p);
+  void executor_main() RLA_EXCLUDES(service_mutex_);
+  void watchdog_main() RLA_EXCLUDES(service_mutex_);
+  /// Blocks; null = stop.
+  std::shared_ptr<Pending> dequeue() RLA_EXCLUDES(service_mutex_);
+  void run_request(const std::shared_ptr<Pending>& p)
+      RLA_EXCLUDES(service_mutex_);
   void finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
-                std::string reason, GemmProfile profile);
+                std::string reason, GemmProfile profile)
+      RLA_EXCLUDES(service_mutex_);
   /// Degrade p's config one step; false when already at the floor.
   static bool degrade_step(Pending& p, const char* why);
   std::size_t estimate_bytes(const Request& req) const noexcept;
@@ -184,22 +188,27 @@ class GemmService {
   BufferArena arena_;
   /// mutable: metrics_json() folds point-in-time gauges in before snapshot.
   mutable obs::Registry registry_;
-  std::mutex shutdown_mutex_;  ///< serializes shutdown() callers
+  /// Serializes shutdown() callers. Ranked above service_mutex_: shutdown()
+  /// nests the service lock inside it, never the reverse.
+  Mutex shutdown_mutex_;  // lock-level: lifecycle
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;      ///< executors: work queued / stopping
+  mutable Mutex service_mutex_;  // lock-level: service
+  CondVar work_cv_;  ///< executors: work queued / stopping
   /// The watchdog sleeps on its own CV: if it shared work_cv_, submit()'s
-  /// notify_one could wake the watchdog (predicate-less wait_for) instead of
-  /// an executor, leaving a deadline-less request queued indefinitely.
-  std::condition_variable watchdog_cv_;
-  std::deque<std::shared_ptr<Pending>> queue_;        // priority-ordered
-  std::vector<std::shared_ptr<Pending>> running_;     // watchdog's view
-  bool stopping_ = false;
-  std::size_t inflight_ = 0;  ///< queued + running (admission counter)
-  std::uint64_t next_id_ = 1;
+  /// notify_one could wake the watchdog instead of an executor, leaving a
+  /// deadline-less request queued until the next periodic sweep.
+  CondVar watchdog_cv_;
+  /// Priority-ordered pending requests.
+  std::deque<std::shared_ptr<Pending>> queue_ RLA_GUARDED_BY(service_mutex_);
+  /// The watchdog's view of executing requests.
+  std::vector<std::shared_ptr<Pending>> running_ RLA_GUARDED_BY(service_mutex_);
+  bool stopping_ RLA_GUARDED_BY(service_mutex_) = false;
+  /// queued + running (admission counter).
+  std::size_t inflight_ RLA_GUARDED_BY(service_mutex_) = 0;
+  std::uint64_t next_id_ RLA_GUARDED_BY(service_mutex_) = 1;
 
-  std::vector<std::thread> executors_;
-  std::thread watchdog_;
+  std::vector<std::thread> executors_ RLA_GUARDED_BY(shutdown_mutex_);
+  std::thread watchdog_ RLA_GUARDED_BY(shutdown_mutex_);
 };
 
 }  // namespace rla::service

@@ -1,0 +1,26 @@
+// Negative-compile case: CondVar::wait is RLA_REQUIRES(mu), so waiting
+// without the mutex held must not compile. Expected diagnostic:
+// -Wthread-safety-analysis "requires holding mutex".
+#include "support/sync.hpp"
+
+namespace {
+
+struct Gate {
+  rla::Mutex mu;  // lock-level: registry
+  rla::CondVar ready_cv;
+  bool ready RLA_GUARDED_BY(mu) = false;
+
+  void bad_wait(rla::MutexLock& lock) {
+    // BAD: this function never acquired mu, yet hands it to wait().
+    ready_cv.wait(mu, lock, [this]() RLA_REQUIRES(mu) { return ready; });
+  }
+};
+
+}  // namespace
+
+int main() {
+  Gate g;
+  rla::MutexLock lock(g.mu);
+  g.bad_wait(lock);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Negative-compile case: acquiring a mutex already held by the same scope
+// (self-deadlock with std::mutex). Expected diagnostic:
+// -Wthread-safety-analysis "acquiring mutex ... that is already held".
+#include "support/sync.hpp"
+
+namespace {
+
+rla::Mutex gate_mu;  // lock-level: registry
+
+void self_deadlock() {
+  rla::MutexLock outer(gate_mu);
+  rla::MutexLock inner(gate_mu);  // BAD: gate_mu is already held
+}
+
+}  // namespace
+
+int main() {
+  self_deadlock();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Positive control for the negative-compile harness: idiomatic use of every
+// primitive. If this file does not compile cleanly under
+// -Werror=thread-safety, the harness is broken (or the annotations are),
+// and the "failures" of the BAD cases prove nothing.
+#include "support/sync.hpp"
+
+namespace {
+
+struct Queue {
+  rla::Mutex queue_mu;  // lock-level: registry
+  rla::CondVar item_cv;
+  int items RLA_GUARDED_BY(queue_mu) = 0;
+
+  void push() RLA_EXCLUDES(queue_mu) {
+    {
+      rla::MutexLock lock(queue_mu);
+      ++items;
+    }
+    item_cv.notify_one();  // publishes: items
+  }
+
+  int pop() RLA_EXCLUDES(queue_mu) {
+    rla::MutexLock lock(queue_mu);
+    item_cv.wait(queue_mu, lock,
+                 [this]() RLA_REQUIRES(queue_mu) { return items > 0; });
+    return --items;
+  }
+
+  int peek() RLA_EXCLUDES(queue_mu) {
+    rla::MutexLock lock(queue_mu);
+    const int n = items;
+    lock.unlock();  // manual release: the analysis tracks the state
+    return n;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.push();
+  if (q.peek() != 1) return 1;
+  return q.pop() == 0 ? 0 : 1;
+}

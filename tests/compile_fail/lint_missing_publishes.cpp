@@ -1,0 +1,29 @@
+// Lint-negative case (not compiled): a notify site without a
+// `// publishes:` comment naming the guarded state it makes visible.
+// tools/check_locks.py must flag this file (rule R5); ctest runs it as a
+// WILL_FAIL test.
+#include "support/sync.hpp"
+
+namespace bad {
+
+struct Gate {
+  rla::Mutex gate_mu;  // lock-level: registry
+  rla::CondVar open_cv;
+  bool open RLA_GUARDED_BY(gate_mu) = false;
+
+  void unlatch() {
+    {
+      rla::MutexLock lock(gate_mu);
+      open = true;
+    }
+    open_cv.notify_all();  // BAD: which guarded state did this publish?
+  }
+};
+
+}  // namespace bad
+
+int main() {
+  bad::Gate g;
+  g.unlatch();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Lint-negative case (not compiled): raw std primitives outside
+// src/support/sync.hpp. tools/check_locks.py must flag this file (rule R1);
+// ctest runs it as a WILL_FAIL test.
+#include <mutex>
+
+namespace bad {
+
+std::mutex raw_mutex;  // BAD: use rla::Mutex
+
+void touch() {
+  std::lock_guard<std::mutex> lock(raw_mutex);  // BAD: use rla::MutexLock
+}
+
+}  // namespace bad
+
+int main() {
+  bad::touch();
+  return 0;
+}

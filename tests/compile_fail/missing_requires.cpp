@@ -1,0 +1,25 @@
+// Negative-compile case: calling an RLA_REQUIRES function without holding
+// the capability it names. Expected diagnostic: -Wthread-safety-analysis
+// "calling function ... requires holding mutex".
+#include "support/sync.hpp"
+
+namespace {
+
+struct State {
+  rla::Mutex mu;  // lock-level: registry
+  int x RLA_GUARDED_BY(mu) = 0;
+
+  void bump_locked() RLA_REQUIRES(mu) { ++x; }
+};
+
+void caller(State& s) {
+  s.bump_locked();  // BAD: caller does not hold s.mu
+}
+
+}  // namespace
+
+int main() {
+  State s;
+  caller(s);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Negative-compile case: reading a guarded field without holding its mutex.
+// Expected diagnostic: -Wthread-safety-analysis "requires holding mutex".
+#include "support/sync.hpp"
+
+namespace {
+
+struct Counter {
+  rla::Mutex mu;  // lock-level: registry
+  int value RLA_GUARDED_BY(mu) = 0;
+
+  int read_unlocked() { return value; }  // BAD: mu not held
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.read_unlocked();
+}

@@ -1,0 +1,21 @@
+// Negative-compile case: writing a guarded field without holding its mutex.
+// Expected diagnostic: -Wthread-safety-analysis "requires holding mutex
+// exclusively".
+#include "support/sync.hpp"
+
+namespace {
+
+struct Counter {
+  rla::Mutex mu;  // lock-level: registry
+  int value RLA_GUARDED_BY(mu) = 0;
+
+  void bump_unlocked() { ++value; }  // BAD: mu not held
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_unlocked();
+  return 0;
+}

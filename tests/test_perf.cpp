@@ -11,11 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cachesim/hierarchy.hpp"
 #include "core/gemm.hpp"
@@ -173,6 +176,40 @@ TEST(PerfUnavailable, BusySessionDegradesConcurrentCall) {
   EXPECT_FALSE(profile.hw_measured);
   EXPECT_TRUE(trail_contains(profile, "perf:busy"));
   outer.detach();
+}
+
+TEST(PerfUnavailable, AvailableFlagSafeToReadConcurrently) {
+  // Regression: Session::available_ was a plain bool that try_attach wrote
+  // *after* publishing the session through the process-wide slot, so a
+  // concurrent reader reaching the session via the slot raced the write.
+  // It is now an atomic whose release store pairs with the acquire load in
+  // available(); hammer the publication from readers across attach/detach
+  // cycles (under TSan this is the reproducer, elsewhere a liveness smoke).
+  obs::perf::Session session;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      obs::perf::Sample snap;
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)session.available();
+        (void)obs::perf::phase_snapshot(snap);
+      }
+    });
+  }
+  bool last_published = session.available();
+  for (int i = 0; i < 200; ++i) {
+    if (session.try_attach()) {
+      last_published = session.available();
+      session.detach();
+    }
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  // detach() keeps the flag at its published value so per-thread totals
+  // stay readable; the last attach decided it (either way on a PMU-less
+  // host, which is why this is not a hard-coded expectation).
+  EXPECT_EQ(session.available(), last_published);
 }
 
 // ---------------------------------------------------------------------------

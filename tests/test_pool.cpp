@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "parallel/worker_pool.hpp"
+#include "support/sync.hpp"
 
 namespace rla {
 namespace {
@@ -47,14 +48,14 @@ TEST(Pool, ParallelForCoversRangeExactlyOnce) {
 TEST(Pool, ParallelForEmptyAndTinyRanges) {
   WorkerPool pool(2);
   int calls = 0;
-  std::mutex m;
+  Mutex m;  // lock-level: registry
   pool.parallel_for(5, 5, 16, [&](std::uint64_t, std::uint64_t) {
-    std::lock_guard<std::mutex> lock(m);
+    MutexLock lock(m);
     ++calls;
   });
   EXPECT_EQ(calls, 0);
   pool.parallel_for(5, 6, 16, [&](std::uint64_t b, std::uint64_t e) {
-    std::lock_guard<std::mutex> lock(m);
+    MutexLock lock(m);
     EXPECT_EQ(b, 5u);
     EXPECT_EQ(e, 6u);
     ++calls;

@@ -442,6 +442,53 @@ TEST(Service, DestructorFinalizesQueuedRequests) {
   EXPECT_EQ(terminal, 4);
 }
 
+TEST(Service, ShutdownPromptDespiteLongWatchdogPeriod) {
+  // Regression: the watchdog used to nap in a predicate-less wait_for, so a
+  // shutdown() that raced the start of a nap could miss the wakeup and sit
+  // out a full period before noticing stopping_. With the predicate wait
+  // (stopping_ && inflight_ == 0, re-checked under service_mutex_), the
+  // drain must return promptly even when the period dwarfs the test.
+  ServiceConfig cfg = small_config();
+  cfg.watchdog_period = std::chrono::milliseconds(60'000);
+  GemmService service(cfg);
+  Job job(32, 32, 32, 21);
+  ASSERT_EQ(service.submit(job.req).get().outcome, Outcome::Completed);
+  const auto t0 = std::chrono::steady_clock::now();
+  service.shutdown();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s);
+}
+
+TEST(Service, RunTimingsConsistentUnderDeadlineRaces) {
+  // Regression: Pending::started was a plain bool written by the executor
+  // after run_tp and read by the watchdog's finalize — a data race in which
+  // finalize could observe started == true while run_tp was still the
+  // epoch, turning run_seconds into a garbage machine-uptime-sized value.
+  // The release store / acquire load now publishes (started, run_tp)
+  // indivisibly; hammer deadline/execution races and assert every timing
+  // stays sane. (attempts == 0 with a tiny run_seconds is legitimate: an
+  // executor may pick a request up and find the deadline already gone.)
+  ServiceConfig cfg = small_config();
+  cfg.watchdog_period = 1ms;
+  GemmService service(cfg);
+  std::vector<std::unique_ptr<Job>> jobs;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 48; ++i) {
+    jobs.push_back(std::make_unique<Job>(24, 24, 24, 2000 + i));
+    // Mix of no deadline, unmeetable, and race-window deadlines.
+    jobs.back()->req.deadline = std::chrono::microseconds((i % 4) * 300);
+    futures.push_back(service.submit(jobs.back()->req));
+  }
+  for (auto& f : futures) {
+    const Response r = f.get();
+    EXPECT_GE(r.queue_seconds, 0.0);
+    EXPECT_GE(r.run_seconds, 0.0);
+    // An epoch-based run_tp read through the old race would report the
+    // host's uptime here; any honest value is bounded by the test itself.
+    EXPECT_LT(r.queue_seconds, 60.0) << outcome_name(r.outcome);
+    EXPECT_LT(r.run_seconds, 60.0) << outcome_name(r.outcome);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Metrics export (satellite: service SLO surface incl. scheduler stats).
 

@@ -1,0 +1,164 @@
+// Runtime tests of the annotated sync primitives (src/support/sync.hpp).
+// The Clang thread-safety analysis checks the *static* discipline; these
+// tests pin the runtime semantics the wrappers must preserve on every
+// compiler: mutual exclusion, RAII release, manual unlock/relock, and the
+// predicate-wait contract of CondVar.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "support/sync.hpp"
+
+namespace rla {
+namespace {
+
+TEST(Sync, MutexProvidesMutualExclusion) {
+  Mutex m;  // lock-level: registry
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        MutexLock lock(m);
+        ++counter;  // unprotected, this would race and drop increments
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 4 * 20000);
+}
+
+TEST(Sync, TryLockReflectsOwnership) {
+  Mutex m;  // lock-level: registry
+  ASSERT_TRUE(m.try_lock());
+  // Owned: a contender must fail. (try_lock on the owning thread is UB for
+  // std::mutex, so probe from another thread.)
+  bool contender_got_it = true;
+  std::thread probe([&] { contender_got_it = m.try_lock(); });
+  probe.join();
+  EXPECT_FALSE(contender_got_it);
+  m.unlock();
+  std::thread probe2([&] {
+    if (m.try_lock()) m.unlock();
+    contender_got_it = true;
+  });
+  probe2.join();
+  EXPECT_TRUE(contender_got_it);
+}
+
+TEST(Sync, MutexLockManualUnlockAndRelock) {
+  Mutex m;  // lock-level: registry
+  MutexLock lock(m);
+  EXPECT_TRUE(lock.owns_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  // While released, another thread can take the mutex.
+  bool other_got_it = false;
+  std::thread probe([&] {
+    MutexLock inner(m);
+    other_got_it = true;
+  });
+  probe.join();
+  EXPECT_TRUE(other_got_it);
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(Sync, MutexLockReleasesOnScopeExit) {
+  Mutex m;  // lock-level: registry
+  { MutexLock lock(m); }
+  // If the destructor leaked the lock this would deadlock (tier-1 runs
+  // under a ctest timeout, so a hang is a failure, not a stall).
+  MutexLock again(m);
+  EXPECT_TRUE(again.owns_lock());
+}
+
+TEST(Sync, CondVarPredicateWaitSeesPublishedState) {
+  Mutex m;  // lock-level: registry
+  CondVar ready_cv;
+  bool ready = false;
+  int observed = 0;
+
+  std::thread waiter([&] {
+    MutexLock lock(m);
+    ready_cv.wait(m, lock, [&] { return ready; });
+    observed = 1;
+  });
+  // Unsynchronized sleep-then-notify would be a lost-wakeup test bug; the
+  // predicate overload re-checks under the mutex, so this publish is safe
+  // no matter when the waiter arrives.
+  {
+    MutexLock lock(m);
+    ready = true;
+  }
+  ready_cv.notify_one();  // publishes: ready
+  waiter.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(Sync, CondVarPredicateWaitForTimesOutFalse) {
+  Mutex m;  // lock-level: registry
+  CondVar never_cv;
+  MutexLock lock(m);
+  const bool satisfied = never_cv.wait_for(
+      m, lock, std::chrono::milliseconds(5), [] { return false; });
+  EXPECT_FALSE(satisfied);
+  EXPECT_TRUE(lock.owns_lock());  // relocked after the timed wait
+}
+
+TEST(Sync, CondVarPredicateWaitForReturnsTrueWhenSatisfied) {
+  Mutex m;  // lock-level: registry
+  CondVar ready_cv;
+  bool ready = false;
+  std::thread publisher([&] {
+    {
+      MutexLock lock(m);
+      ready = true;
+    }
+    ready_cv.notify_all();  // publishes: ready
+  });
+  MutexLock lock(m);
+  const bool satisfied = ready_cv.wait_for(
+      m, lock, std::chrono::seconds(30), [&] { return ready; });
+  EXPECT_TRUE(satisfied);
+  publisher.join();
+}
+
+TEST(Sync, CondVarTimedPollWakesOnTimeout) {
+  Mutex m;  // lock-level: registry
+  CondVar idle_cv;
+  MutexLock lock(m);
+  // timed-wait: this is the primitive's own contract test — no guarded
+  // predicate exists; the assertion is simply that the poll returns.
+  idle_cv.wait_for(m, lock, std::chrono::milliseconds(1));
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(Sync, NotifyAllWakesEveryWaiter) {
+  Mutex m;  // lock-level: registry
+  CondVar go_cv;
+  bool go = false;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 4; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(m);
+      go_cv.wait(m, lock, [&] { return go; });
+      woke.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  {
+    MutexLock lock(m);
+    go = true;
+  }
+  go_cv.notify_all();  // publishes: go
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(woke.load(), 4);
+}
+
+}  // namespace
+}  // namespace rla
