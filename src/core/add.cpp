@@ -21,6 +21,8 @@ void check_compatible(const TiledBlock& a, const TiledBlock& b) {
 
 }  // namespace
 
+// hotpath-exempt: the order-map registry locks and allocates only on first
+// use per (curve, orientation, level); steady state returns a cached pointer.
 TileMap make_tile_map(const TiledBlock& dst, const TiledBlock& src,
                       bool force_generic) {
   check_compatible(dst, src);
@@ -41,6 +43,7 @@ TileMap make_tile_map(const TiledBlock& dst, const TiledBlock& src,
   return m;
 }
 
+// rla-hotpath
 void block_set_add(const TiledBlock& dst, const TiledBlock& a, double sb,
                    const TiledBlock& b, bool force_generic) {
   const TileMap ma = make_tile_map(dst, a, force_generic);
@@ -63,6 +66,7 @@ void block_set_add(const TiledBlock& dst, const TiledBlock& a, double sb,
   }
 }
 
+// rla-hotpath
 void block_acc(const TiledBlock& dst, double s, const TiledBlock& src,
                bool force_generic) {
   const TileMap m = make_tile_map(dst, src, force_generic);
@@ -87,6 +91,7 @@ void block_acc(const TiledBlock& dst, double s, const TiledBlock& src,
   }
 }
 
+// rla-hotpath
 void block_acc2(const TiledBlock& dst, double s1, const TiledBlock& p1, double s2,
                 const TiledBlock& p2, bool force_generic) {
   const TileMap m1 = make_tile_map(dst, p1, force_generic);
@@ -106,6 +111,7 @@ void block_acc2(const TiledBlock& dst, double s1, const TiledBlock& p1, double s
   }
 }
 
+// rla-hotpath
 void block_acc3(const TiledBlock& dst, double s1, const TiledBlock& p1, double s2,
                 const TiledBlock& p2, double s3, const TiledBlock& p3,
                 bool force_generic) {
@@ -128,6 +134,7 @@ void block_acc3(const TiledBlock& dst, double s1, const TiledBlock& p1, double s
   }
 }
 
+// rla-hotpath
 void block_acc4(const TiledBlock& dst, double s1, const TiledBlock& p1, double s2,
                 const TiledBlock& p2, double s3, const TiledBlock& p3, double s4,
                 const TiledBlock& p4, bool force_generic) {
@@ -153,6 +160,7 @@ void block_acc4(const TiledBlock& dst, double s1, const TiledBlock& p1, double s
   }
 }
 
+// rla-hotpath
 void block_copy(const TiledBlock& dst, const TiledBlock& src, bool force_generic) {
   const TileMap m = make_tile_map(dst, src, force_generic);
   const std::uint64_t tsz = dst.geom->tile_elems();
@@ -180,6 +188,7 @@ void block_copy(const TiledBlock& dst, const TiledBlock& src, bool force_generic
   }
 }
 
+// rla-hotpath
 void block_zero(const TiledBlock& dst) noexcept {
   RLA_RACE_WRITE(dst.begin(), dst.elems() * sizeof(double));
   RLA_SHADOW_CLEAR(dst.begin(), dst.elems() * sizeof(double));

@@ -814,13 +814,15 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
         obs::Registry& reg = collector->registry();
         for (int i = 0; i < obs::perf::kEventCount; ++i) {
           if (!hw_total.has(i)) continue;
-          reg.counter(std::string("perf.total.") + obs::perf::event_name(i))
+          reg.counter(std::string("perf.total.") +  // metric-family: perf.total.*
+                      obs::perf::event_name(i))
               .set(hw_total.value[i]);
         }
         for (const auto& tc : hw_threads) {
           for (int i = 0; i < obs::perf::kEventCount; ++i) {
             if (!tc.sample.has(i)) continue;
-            reg.counter("perf." + tc.label + "." + obs::perf::event_name(i))
+            reg.counter("perf." + tc.label + "." +  // metric-family: perf.*
+                        obs::perf::event_name(i))
                 .set(tc.sample.value[i]);
           }
         }
@@ -852,6 +854,7 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
         const std::string prefix =
             i + 1 == slots.size() ? std::string("sched.external.")
                                   : "sched.w" + std::to_string(i) + ".";
+        // metric-family: sched.w*.* sched.external.*
         reg.counter(prefix + "steals").set(slots[i].steals);
         reg.counter(prefix + "failed_steals").set(slots[i].failed_steals);
         reg.counter(prefix + "idle_wakeups").set(slots[i].idle_wakeups);

@@ -111,6 +111,7 @@ void mm_blocked4x4(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alp
 
 }  // namespace
 
+// rla-hotpath
 void leaf_mm(KernelKind kind, std::uint32_t m, std::uint32_t n, std::uint32_t k,
              double alpha, const double* a, std::size_t lda, const double* b,
              std::size_t ldb, double* c, std::size_t ldc) noexcept {
@@ -139,6 +140,7 @@ void leaf_mm(KernelKind kind, std::uint32_t m, std::uint32_t n, std::uint32_t k,
   }
 }
 
+// rla-hotpath
 void vset_add(double* dst, const double* a, double sb, const double* b,
               std::uint64_t n) noexcept {
   // rla-lint: covered-by-caller (block_* ops in add.cpp annotate whole tile runs)
@@ -146,12 +148,14 @@ void vset_add(double* dst, const double* a, double sb, const double* b,
   for (std::uint64_t i = 0; i < n; ++i) dst[i] = a[i] + sb * b[i];
 }
 
+// rla-hotpath
 void vacc(double* dst, double s, const double* src, std::uint64_t n) noexcept {
   // rla-lint: covered-by-caller (block_* ops in add.cpp annotate whole tile runs)
   RLA_SHADOW_ACC(dst, s, src, n);
   for (std::uint64_t i = 0; i < n; ++i) dst[i] += s * src[i];
 }
 
+// rla-hotpath
 void vacc2(double* dst, double s1, const double* a, double s2, const double* b,
            std::uint64_t n) noexcept {
   // rla-lint: covered-by-caller (block_* ops in add.cpp annotate whole tile runs)
@@ -159,6 +163,7 @@ void vacc2(double* dst, double s1, const double* a, double s2, const double* b,
   for (std::uint64_t i = 0; i < n; ++i) dst[i] += s1 * a[i] + s2 * b[i];
 }
 
+// rla-hotpath
 void vacc3(double* dst, double s1, const double* a, double s2, const double* b,
            double s3, const double* c, std::uint64_t n) noexcept {
   // rla-lint: covered-by-caller (block_* ops in add.cpp annotate whole tile runs)
@@ -166,6 +171,7 @@ void vacc3(double* dst, double s1, const double* a, double s2, const double* b,
   for (std::uint64_t i = 0; i < n; ++i) dst[i] += s1 * a[i] + s2 * b[i] + s3 * c[i];
 }
 
+// rla-hotpath
 void vacc4(double* dst, double s1, const double* a, double s2, const double* b,
            double s3, const double* c, double s4, const double* d,
            std::uint64_t n) noexcept {
@@ -176,6 +182,7 @@ void vacc4(double* dst, double s1, const double* a, double s2, const double* b,
   }
 }
 
+// rla-hotpath
 void strided_set_add(double* dst, std::size_t ldd, const double* a, std::size_t lda,
                      double sb, const double* b, std::size_t ldb, std::uint32_t m,
                      std::uint32_t n) noexcept {
@@ -189,6 +196,7 @@ void strided_set_add(double* dst, std::size_t ldd, const double* a, std::size_t 
   }
 }
 
+// rla-hotpath
 void strided_acc(double* dst, std::size_t ldd, double s, const double* src,
                  std::size_t lds, std::uint32_t m, std::uint32_t n) noexcept {
   RLA_RACE_WRITE_STRIDED(dst, m * sizeof(double), ldd * sizeof(double), n);
@@ -199,6 +207,7 @@ void strided_acc(double* dst, std::size_t ldd, double s, const double* src,
   }
 }
 
+// rla-hotpath
 void strided_scale(double* dst, std::size_t ldd, double s, std::uint32_t m,
                    std::uint32_t n) noexcept {
   RLA_RACE_WRITE_STRIDED(dst, m * sizeof(double), ldd * sizeof(double), n);
@@ -213,6 +222,7 @@ void strided_scale(double* dst, std::size_t ldd, double s, std::uint32_t m,
   }
 }
 
+// rla-hotpath
 void strided_copy(double* dst, std::size_t ldd, const double* src, std::size_t lds,
                   std::uint32_t m, std::uint32_t n) noexcept {
   RLA_RACE_WRITE_STRIDED(dst, m * sizeof(double), ldd * sizeof(double), n);
@@ -225,6 +235,7 @@ void strided_copy(double* dst, std::size_t ldd, const double* src, std::size_t l
   }
 }
 
+// rla-hotpath
 void strided_transpose(double* dst, std::size_t ldd, const double* src,
                        std::size_t lds, std::uint32_t m, std::uint32_t n) noexcept {
   // dst is m×n, src is n×m; blocked to keep both sides cache-friendly.

@@ -5,14 +5,16 @@
 
 namespace rla {
 
+// rla-hotpath
 ZeroTree ZeroTree::build(const TiledMatrix& m, WorkerPool* pool) {
   ZeroTree tree;
   const TileGeometry& g = m.geom();
   const std::uint64_t tiles = g.tile_count();
   const std::uint64_t tsz = g.tile_elems();
+  // hotpath-exempt: one-time tree storage, O(tiles/3) bytes per call
   tree.levels_.resize(static_cast<std::size_t>(g.depth) + 1);
   auto& leaf = tree.levels_[0];
-  leaf.assign(tiles, 0);
+  leaf.assign(tiles, 0);  // hotpath-exempt: one-time tree storage
 
   auto scan = [&](std::uint64_t s0, std::uint64_t s1) {
     RLA_RACE_READ(m.data() + s0 * tsz, (s1 - s0) * tsz * sizeof(double));
@@ -31,6 +33,7 @@ ZeroTree ZeroTree::build(const TiledMatrix& m, WorkerPool* pool) {
   if (pool != nullptr && !pool->serial()) {
     const std::uint64_t grain =
         std::max<std::uint64_t>(1, tiles / (8 * (pool->thread_count() + 1)));
+    // hotpath-exempt: pool dispatch; the per-tile scan body above is pure
     pool->parallel_for(0, tiles, grain, scan);
   } else {
     scan(0, tiles);
@@ -39,7 +42,7 @@ ZeroTree ZeroTree::build(const TiledMatrix& m, WorkerPool* pool) {
   for (int l = 1; l <= g.depth; ++l) {
     const auto& below = tree.levels_[static_cast<std::size_t>(l) - 1];
     auto& here = tree.levels_[static_cast<std::size_t>(l)];
-    here.assign(below.size() / 4, 0);
+    here.assign(below.size() / 4, 0);  // hotpath-exempt: one-time tree storage
     for (std::size_t k = 0; k < here.size(); ++k) {
       here[k] = static_cast<std::uint8_t>(below[4 * k] & below[4 * k + 1] &
                                           below[4 * k + 2] & below[4 * k + 3]);
@@ -48,6 +51,7 @@ ZeroTree ZeroTree::build(const TiledMatrix& m, WorkerPool* pool) {
   return tree;
 }
 
+// rla-hotpath
 double ZeroTree::zero_tile_fraction() const noexcept {
   if (levels_.empty() || levels_[0].empty()) return 0.0;
   std::uint64_t zeros = 0;

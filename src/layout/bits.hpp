@@ -13,6 +13,7 @@
 namespace rla::bits {
 
 /// Spread the low 32 bits of x so bit k moves to bit 2k (even positions).
+// rla-hotpath
 constexpr std::uint64_t spread(std::uint64_t x) noexcept {
   x &= 0xFFFFFFFFULL;
   x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
@@ -24,6 +25,7 @@ constexpr std::uint64_t spread(std::uint64_t x) noexcept {
 }
 
 /// Inverse of spread: gather even-position bits of x into the low 32 bits.
+// rla-hotpath
 constexpr std::uint64_t gather(std::uint64_t x) noexcept {
   x &= 0x5555555555555555ULL;
   x = (x | (x >> 1)) & 0x3333333333333333ULL;
@@ -36,6 +38,7 @@ constexpr std::uint64_t gather(std::uint64_t x) noexcept {
 
 /// Bitwise interleave u ⋈ v = u_{d-1} v_{d-1} ... u_0 v_0 (paper §3 notation):
 /// bits of `u` land in the odd (more significant) positions of each pair.
+// rla-hotpath
 constexpr std::uint64_t interleave(std::uint32_t u, std::uint32_t v) noexcept {
   return (spread(u) << 1) | spread(v);
 }
@@ -46,15 +49,18 @@ struct Deinterleaved {
   std::uint32_t v;
 };
 
+// rla-hotpath
 constexpr Deinterleaved deinterleave(std::uint64_t w) noexcept {
   return {static_cast<std::uint32_t>(gather(w >> 1)),
           static_cast<std::uint32_t>(gather(w))};
 }
 
 /// Reflected binary Gray code G(x) (paper's 𝒢).
+// rla-hotpath
 constexpr std::uint64_t gray(std::uint64_t x) noexcept { return x ^ (x >> 1); }
 
 /// Inverse Gray code 𝒢⁻¹: prefix-XOR from the most significant bit down.
+// rla-hotpath
 constexpr std::uint64_t gray_inverse(std::uint64_t g) noexcept {
   g ^= g >> 32;
   g ^= g >> 16;

@@ -16,12 +16,14 @@
 
 namespace rla::curve_detail {
 
+// rla-hotpath
 constexpr std::uint64_t gray_index(std::uint32_t i, std::uint32_t j) noexcept {
   const auto gi = static_cast<std::uint32_t>(bits::gray(i));
   const auto gj = static_cast<std::uint32_t>(bits::gray(j));
   return bits::gray_inverse(bits::interleave(gi, gj));
 }
 
+// rla-hotpath
 constexpr TileCoord gray_inverse_index(std::uint64_t s) noexcept {
   const auto [gi, gj] = bits::deinterleave(bits::gray(s));
   return {static_cast<std::uint32_t>(bits::gray_inverse(gi)),

@@ -17,6 +17,7 @@ namespace rla::curve_detail {
 
 /// Rotate/reflect the low `h`-block of a coordinate pair for one Hilbert
 /// recursion step. `n` is the size of the (sub)grid being fixed up.
+// rla-hotpath
 constexpr void hilbert_rot(std::uint32_t n, std::uint32_t& i, std::uint32_t& j,
                            std::uint32_t ri, std::uint32_t rj) noexcept {
   if (rj == 0) {
@@ -31,6 +32,7 @@ constexpr void hilbert_rot(std::uint32_t n, std::uint32_t& i, std::uint32_t& j,
 }
 
 /// S(i, j) on a 2^d × 2^d grid.
+// rla-hotpath
 constexpr std::uint64_t hilbert_index(std::uint32_t i, std::uint32_t j, int d) noexcept {
   const std::uint32_t n = std::uint32_t{1} << d;
   std::uint64_t s = 0;
@@ -44,6 +46,7 @@ constexpr std::uint64_t hilbert_index(std::uint32_t i, std::uint32_t j, int d) n
 }
 
 /// S⁻¹(s) on a 2^d × 2^d grid.
+// rla-hotpath
 constexpr TileCoord hilbert_inverse(std::uint64_t s, int d) noexcept {
   const std::uint32_t n = std::uint32_t{1} << d;
   std::uint32_t i = 0;

@@ -16,28 +16,34 @@
 
 namespace rla::curve_detail {
 
+// rla-hotpath
 constexpr std::uint64_t z_index(std::uint32_t i, std::uint32_t j) noexcept {
   return bits::interleave(i, j);
 }
 
+// rla-hotpath
 constexpr TileCoord z_inverse(std::uint64_t s) noexcept {
   const auto [u, v] = bits::deinterleave(s);
   return {u, v};
 }
 
+// rla-hotpath
 constexpr std::uint64_t u_index(std::uint32_t i, std::uint32_t j) noexcept {
   return bits::interleave(j, i ^ j);
 }
 
+// rla-hotpath
 constexpr TileCoord u_inverse(std::uint64_t s) noexcept {
   const auto [u, v] = bits::deinterleave(s);
   return {u ^ v, u};  // j = u, i = v XOR j
 }
 
+// rla-hotpath
 constexpr std::uint64_t x_index(std::uint32_t i, std::uint32_t j) noexcept {
   return bits::interleave(i ^ j, j);
 }
 
+// rla-hotpath
 constexpr TileCoord x_inverse(std::uint64_t s) noexcept {
   const auto [u, v] = bits::deinterleave(s);
   return {u ^ v, v};  // j = v, i = u XOR j

@@ -7,6 +7,7 @@
 
 #include "robust/error.hpp"
 #include "support/sync.hpp"
+#include "util/env.hpp"
 
 namespace rla::fault {
 
@@ -30,32 +31,14 @@ Registry& registry() {
 }  // namespace
 
 std::string_view site_name(Site s) noexcept {
-  switch (s) {
-    case Site::AllocTiled:
-      return "alloc.tiled";
-    case Site::AllocTemp:
-      return "alloc.temp";
-    case Site::PoolThreadCreate:
-      return "pool.thread_create";
-    case Site::TaskThrow:
-      return "task.throw";
-    case Site::KernelCorrupt:
-      return "kernel.corrupt";
-    case Site::KernelFpe:
-      return "kernel.fpe";
-    case Site::PerfOpen:
-      return "perf.open";
-    case Site::ServiceStall:
-      return "service.stall";
-  }
-  return "?";
+  const int i = static_cast<int>(s);
+  return (i >= 0 && i < kSiteCount) ? kSiteNames[i] : "?";
 }
 
 bool parse_site(std::string_view text, Site& out) noexcept {
   for (int i = 0; i < kSiteCount; ++i) {
-    const Site s = static_cast<Site>(i);
-    if (text == site_name(s)) {
-      out = s;
+    if (text == kSiteNames[i]) {
+      out = static_cast<Site>(i);
       return true;
     }
   }
@@ -182,8 +165,8 @@ FaultPlan parse_plan_or_throw(std::string_view spec) {
 
 void arm_from_env() {
   static const bool done = [] {
-    const char* spec = std::getenv("RLA_FAULT");
-    if (spec == nullptr || *spec == '\0') return true;
+    const std::string spec = env_string("RLA_FAULT");
+    if (spec.empty()) return true;
     arm(parse_plan_or_throw(spec));
     return true;
   }();

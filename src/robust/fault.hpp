@@ -20,8 +20,8 @@
 //   <site>:nth=<N>   fail the N-th hit of <site> (one-shot)
 //   <site>:p=<F>     fail each hit independently with probability F
 //   seed=<N>         seed for the probabilistic triggers (default 0)
-// Sites: alloc.tiled, alloc.temp, pool.thread_create, task.throw,
-//        kernel.corrupt, kernel.fpe, perf.open, service.stall.
+// Sites: the RLA_FAULT_SITE_LIST X-macro below is the single registry of
+// record (enum, name table and kSiteCount are all generated from it).
 //
 // Probabilistic triggers are *stateless*: the decision for hit i of site s is
 // a pure function of (seed, s, i), so a plan produces the same fault pattern
@@ -39,18 +39,46 @@
 
 namespace rla::fault {
 
-/// Named injection sites. Keep site_name() and parse_site() in sync.
+/// The canonical site list: one X-macro row per site generates the enum, the
+/// name table and kSiteCount, so the three cannot drift apart. rla_lint's C2
+/// checker reads this list as the registry of record — every site literal in
+/// a fault spec anywhere in the tree must resolve here, and every row must
+/// have a live should_fail/maybe_fail_* call site.
+///
+///   X(enumerator, "spec-name")
+#define RLA_FAULT_SITE_LIST(X)                                                 \
+  X(AllocTiled, "alloc.tiled")   /* gemm driver's tiled-storage allocation */  \
+  X(AllocTemp, "alloc.temp")     /* recursion temporaries */                   \
+  X(PoolThreadCreate, "pool.thread_create") /* worker-thread creation */       \
+  X(TaskThrow, "task.throw")     /* recursive multiply task body */            \
+  X(KernelCorrupt, "kernel.corrupt") /* leaf kernel output corruption */       \
+  X(KernelFpe, "kernel.fpe")     /* leaf kernel FE_INVALID, NaN output */      \
+  X(PerfOpen, "perf.open")       /* perf_event_open counter-group setup */     \
+  X(ServiceStall, "service.stall") /* GemmService request execution stalls */
+
+/// Named injection sites, generated from RLA_FAULT_SITE_LIST.
 enum class Site : std::uint8_t {
-  AllocTiled,        ///< gemm driver's tiled-storage allocation ("alloc.tiled")
-  AllocTemp,         ///< recursion temporaries ("alloc.temp")
-  PoolThreadCreate,  ///< WorkerPool worker-thread creation ("pool.thread_create")
-  TaskThrow,         ///< recursive multiply task body ("task.throw")
-  KernelCorrupt,     ///< leaf kernel output corruption ("kernel.corrupt")
-  KernelFpe,         ///< leaf kernel raises FE_INVALID, NaN output ("kernel.fpe")
-  PerfOpen,          ///< perf_event_open counter-group setup ("perf.open")
-  ServiceStall,      ///< GemmService request execution stalls ("service.stall")
+#define RLA_FAULT_SITE_ENUM(sym, name) sym,
+  RLA_FAULT_SITE_LIST(RLA_FAULT_SITE_ENUM)
+#undef RLA_FAULT_SITE_ENUM
 };
-inline constexpr int kSiteCount = 8;
+
+/// Spec-grammar names, indexed by static_cast<int>(Site).
+inline constexpr std::string_view kSiteNames[] = {
+#define RLA_FAULT_SITE_NAME(sym, name) name,
+    RLA_FAULT_SITE_LIST(RLA_FAULT_SITE_NAME)
+#undef RLA_FAULT_SITE_NAME
+};
+
+inline constexpr int kSiteCount =
+    static_cast<int>(sizeof(kSiteNames) / sizeof(kSiteNames[0]));
+
+// Both expansions above consumed the same list, so the enum and the name
+// table agree by construction; this pins the invariant against a manual edit
+// of either generated artifact.
+static_assert(static_cast<int>(Site::ServiceStall) == kSiteCount - 1,
+              "Site enum and kSiteNames must be generated from "
+              "RLA_FAULT_SITE_LIST");
 
 std::string_view site_name(Site s) noexcept;
 bool parse_site(std::string_view text, Site& out) noexcept;

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/schema.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
 #include "util/env.hpp"
@@ -117,22 +118,29 @@ GemmService::GemmService(ServiceConfig cfg)
   registry_.gauge("service.executors").set(cfg_.executors);
   registry_.gauge("service.max_inflight")
       .set(static_cast<std::int64_t>(cfg_.max_inflight));
-  // Pre-register the whole schema so an export after a quiet run (or one
-  // where nothing was rejected/retried) still carries every series —
-  // tools/soak_check.py validates against the full set.
-  for (const char* name :
-       {"service.submitted", "service.accepted", "service.rejected",
-        "service.retries", "service.deadline_expired", "service.stalls_detected",
-        "service.arena_rejections", "service.degraded_admission"}) {
-    registry_.counter(name);
+  // Pre-register every series the canonical schema (obs/schema.hpp) tags,
+  // so an export after a quiet run (or one where nothing was
+  // rejected/retried) still carries every series — tools/soak_check.py
+  // validates against the full set.
+  for (const obs::schema::Entry& e : obs::schema::kMetrics) {
+    if (!e.preregister) continue;
+    const std::string name(e.name);
+    switch (e.kind) {
+      case obs::schema::Kind::Counter:
+        registry_.counter(name);  // metric-family: schema
+        break;
+      case obs::schema::Kind::Gauge:
+        registry_.gauge(name);  // metric-family: schema
+        break;
+      case obs::schema::Kind::Histogram:
+        registry_.histogram(name);  // metric-family: schema
+        break;
+    }
   }
   for (Outcome o : {Outcome::Completed, Outcome::Degraded, Outcome::Rejected,
                     Outcome::Cancelled, Outcome::Failed}) {
-    registry_.counter(std::string("service.outcome.") +
+    registry_.counter(std::string("service.outcome.") +  // metric-family: service.outcome.*
                       std::string(outcome_name(o)));
-  }
-  for (const char* name : {"service.queue_ns", "service.run_ns", "service.total_ns"}) {
-    registry_.histogram(name);
   }
   executors_.reserve(cfg_.executors);
   for (unsigned e = 0; e < cfg_.executors; ++e) {
@@ -327,7 +335,7 @@ void GemmService::finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
     if (qit != queue_.end()) queue_.erase(qit);
   }
 
-  registry_.counter(std::string("service.outcome.") +
+  registry_.counter(std::string("service.outcome.") +  // metric-family: service.outcome.*
                     std::string(outcome_name(outcome)))
       .add();
   registry_.histogram("service.queue_ns").record(queue_ns);

@@ -1,0 +1,26 @@
+// Seeded C1 violation fixture: a marked hot-path function that reaches an
+// allocation through a helper, plus a direct lock.  rla_lint's hotpath
+// checker must flag both; the ctest entry pattern-matches the diagnostics so
+// a checker crash cannot impersonate a detection.  This file is never
+// compiled and the default lint sweep skips tests/lint_fixtures/.
+#include <mutex>
+#include <vector>
+
+namespace rla_fixture {
+
+static double* grow_scratch(std::size_t n) {
+  std::vector<double> scratch(n);  // transitive allocation: must be flagged
+  return scratch.data();
+}
+
+// rla-hotpath
+double hot_accumulate(const double* a, std::size_t n) {
+  std::mutex m;
+  std::lock_guard<std::mutex> hold(m);  // direct lock: must be flagged
+  double* s = grow_scratch(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] + s[i];
+  return acc;
+}
+
+}  // namespace rla_fixture

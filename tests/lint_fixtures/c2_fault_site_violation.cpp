@@ -1,0 +1,12 @@
+// Seeded C2 violation fixture: an off-registry Site:: symbol and a fault
+// spec literal naming a site that RLA_FAULT_SITE_LIST does not define.
+// Never compiled; skipped by the default sweep.
+namespace rla_fixture {
+
+int touch_sites() {
+  auto s = static_cast<int>(rla::fault::Site::TotallyBogusSite);
+  const char* spec = "alloc.imaginary:nth=3";
+  return s + (spec != nullptr);
+}
+
+}  // namespace rla_fixture

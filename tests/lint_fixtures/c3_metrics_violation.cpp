@@ -1,0 +1,12 @@
+// Seeded C3 violation fixture: an off-schema metric literal, a computed
+// metric name with no metric-family declaration, and an off-schema span.
+// Never compiled; skipped by the default sweep.
+namespace rla_fixture {
+
+void emit(Registry& reg, const char* label) {
+  reg.counter("service.submited").add(1);  // typo: not a schema row
+  reg.gauge(std::string("custom.") + label).set(1);  // no metric-family
+  obs::PhaseScope phase("comptue");  // typo: not a schema span
+}
+
+}  // namespace rla_fixture

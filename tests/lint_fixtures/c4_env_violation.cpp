@@ -1,0 +1,15 @@
+// Seeded C4 violation fixture: a raw getenv outside src/util/env.cpp and an
+// RLA_* variable read through the sanctioned wrapper but absent from
+// README.md's environment table.  Never compiled; skipped by the default
+// sweep.
+#include <cstdlib>
+
+namespace rla_fixture {
+
+int read_knobs() {
+  const char* raw = std::getenv("RLA_PERF");  // raw getenv: must be flagged
+  int undocumented = rla::env_int("RLA_SECRET_UNDOCUMENTED_KNOB", 0);
+  return (raw != nullptr) + undocumented;
+}
+
+}  // namespace rla_fixture

@@ -1,0 +1,44 @@
+// Positive control: this file exercises every rla_lint checker's trigger
+// surface *correctly* and must produce zero findings — a checker that
+// starts flagging compliant idioms fails the rla_lint_clean ctest entry.
+// Never compiled; skipped by the default sweep.
+#include <cstring>
+
+namespace rla_fixture {
+
+// A pure hot-path function: arithmetic, memcpy, calls to other pure code.
+// rla-hotpath
+double hot_dot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// An exempted setup call inside a hot function, with justification.
+// rla-hotpath
+double hot_with_setup(const double* a, std::size_t n) {
+  double* scratch = make_scratch(n);  // hotpath-exempt: one-time arena grab, amortised
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] + scratch[i];
+  return acc;
+}
+
+// Canonical fault-site usage: a listed Site:: symbol and a canonical spec.
+int arm_faults() {
+  auto s = static_cast<int>(rla::fault::Site::AllocTiled);
+  const char* spec = "alloc.tiled:nth=2;task.throw:p=0.5";
+  return s + (spec != nullptr);
+}
+
+// On-schema metric literals, a declared family, and a schema span.
+void emit(Registry& reg, int worker) {
+  reg.counter("service.submitted").add(1);
+  // metric-family: sched.w*.*
+  reg.counter(worker_lane(worker, "steals")).add(1);
+  obs::PhaseScope phase("compute");
+}
+
+// Env access through the sanctioned wrapper, documented variable.
+int knobs() { return rla::env_int("RLA_PERF", 0); }
+
+}  // namespace rla_fixture

@@ -66,7 +66,7 @@ TEST(FaultPlan, ParsesSitesTriggersAndSeed) {
 TEST(FaultPlan, RejectsMalformedSpecs) {
   fault::FaultPlan plan;
   std::string error;
-  EXPECT_FALSE(fault::parse_plan("bogus.site:nth=1", plan, &error));
+  EXPECT_FALSE(fault::parse_plan("bogus.site:nth=1", plan, &error));  // rla-lint: bad-site-ok
   EXPECT_NE(error.find("unknown site"), std::string::npos);
   EXPECT_FALSE(fault::parse_plan("alloc.tiled", plan, &error));
   EXPECT_FALSE(fault::parse_plan("alloc.tiled:nth=0", plan, &error));
@@ -74,7 +74,7 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_FALSE(fault::parse_plan("alloc.tiled:whenever", plan, &error));
   EXPECT_FALSE(fault::parse_plan("seed=notanumber", plan, &error));
   try {
-    fault::ScopedPlan bad("nope:nth=1");
+    fault::ScopedPlan bad("nope:nth=1");  // rla-lint: bad-site-ok
     FAIL() << "expected rla::Error{Config}";
   } catch (const Error& e) {
     EXPECT_EQ(e.kind(), ErrorKind::Config);

@@ -377,7 +377,7 @@ TEST(Service, MalformedFaultSpecFailsFastWithoutRetries) {
   // make it succeed, so it must fail on the first attempt like bad args.
   GemmService service(small_config());
   Job job(64, 64, 64, 22);
-  job.req.cfg.fault_spec = "bogus.site:nth=1";
+  job.req.cfg.fault_spec = "bogus.site:nth=1";  // rla-lint: bad-site-ok
   job.req.retry_budget = 3;
   Response r = service.submit(job.req).get();
   EXPECT_EQ(r.outcome, Outcome::Failed);

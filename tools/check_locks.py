@@ -59,7 +59,7 @@ HIERARCHY = ["lifecycle", "service", "pool", "arena", "registry"]
 RANK = {name: i for i, name in enumerate(HIERARCHY)}
 
 EXEMPT_PRIMITIVES = "src/support/sync.hpp"
-SKIP_DIRS = ("tests/compile_fail",)
+SKIP_DIRS = ("tests/compile_fail", "tests/lint_fixtures")
 
 RAW_PRIMITIVE_RE = re.compile(
     r"std::(?:mutex\b|recursive_mutex\b|timed_mutex\b|shared_mutex\b"

@@ -1,0 +1,15 @@
+"""Entry point so `python3 tools/rla_lint ...` runs the driver."""
+
+import os
+import sys
+
+# Make both `rla_lint.*` and the sibling standalone tools (check_locks,
+# check_annotations) importable no matter how we were invoked.
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from rla_lint.driver import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

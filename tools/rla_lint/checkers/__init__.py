@@ -1,0 +1,29 @@
+"""Checker registry for rla_lint."""
+
+from rla_lint.checkers import (
+    env_contract,
+    fault_sites,
+    hotpath,
+    locks,
+    metrics_schema,
+    race_annotations,
+)
+
+ALL_CHECKERS = [
+    hotpath.HotpathChecker(),
+    fault_sites.FaultSiteChecker(),
+    metrics_schema.MetricsSchemaChecker(),
+    env_contract.EnvContractChecker(),
+    locks.LockChecker(),
+    race_annotations.RaceAnnotationChecker(),
+]
+
+
+def by_name(names):
+    table = {c.name: c for c in ALL_CHECKERS}
+    picked = []
+    for n in names:
+        if n not in table:
+            raise KeyError(n)
+        picked.append(table[n])
+    return picked

@@ -1,0 +1,158 @@
+"""C4: environment-variable contract.
+
+All environment access goes through src/util/env.{hpp,cpp} (env_int,
+env_string, ...), and every `RLA_*` variable the code reads must appear in
+README.md's environment table (a markdown table whose rows start with
+`` | `RLA_... ``), and vice versa.  Enforced:
+
+  * raw getenv/secure_getenv anywhere but src/util/env.cpp is a finding;
+  * every env_int("RLA_X")/env_string("RLA_X") name must be documented in
+    the README table;
+  * (sweep only) every documented RLA_* variable must be read somewhere —
+    a stale table row is a finding.
+
+tests/ may *set* variables (setenv) freely; reading still goes through the
+wrappers, and test-only names are excluded from the documentation contract.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from rla_lint.model import Finding, Project
+
+ENV_IMPL = "src/util/env.cpp"
+README = "README.md"
+
+_RAW_GETENV = re.compile(r"\b(?:std::\s*)?(?:secure_)?getenv\s*\(")
+_ENV_READ = re.compile(r"\benv_(?:int|string)\s*\(\s*\"([A-Z][A-Z0-9_]*)\"")
+_README_ROW = re.compile(r"^\s*\|\s*`(RLA_[A-Z0-9_]+)")
+
+
+def documented_vars(project: Project) -> Tuple[Set[str], Dict[str, int]]:
+    sf = project.files.get(README)
+    docs: Set[str] = set()
+    lines: Dict[str, int] = {}
+    if sf is None:
+        return docs, lines
+    for i, raw in enumerate(sf.lines, start=1):
+        m = _README_ROW.match(raw)
+        if m:
+            docs.add(m.group(1))
+            lines.setdefault(m.group(1), i)
+    return docs, lines
+
+
+class EnvContractChecker:
+    name = "env-contract"
+    code = "C4"
+    description = (
+        "getenv only in src/util/env.cpp; every RLA_* variable read in code "
+        "must be documented in README's env table, and vice versa"
+    )
+
+    def run(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        docs, doc_lines = documented_vars(project)
+        read_vars: Set[str] = set()
+
+        for sf in project.cpp_files():
+            for i, line in enumerate(sf.stripped_lines, start=1):
+                if _RAW_GETENV.search(line) and sf.path != ENV_IMPL:
+                    if project.in_targets(sf.path):
+                        findings.append(
+                            Finding(
+                                self.name, self.code, sf.path, i,
+                                "raw getenv() outside src/util/env.cpp — use "
+                                "rla::env_int / rla::env_string",
+                            )
+                        )
+            # Explicitly-named files (fixtures) join the contract even when
+            # they live under tests/.
+            test_file = sf.path.startswith("tests/") and not (
+                project.explicit and sf.path in project.target_set()
+            )
+            for i, line in enumerate(sf.code_lines, start=1):
+                for var in _ENV_READ.findall(line):
+                    if not var.startswith("RLA_"):
+                        continue
+                    if test_file:
+                        continue  # test-only knobs are not user contract
+                    read_vars.add(var)
+                    if var not in docs and project.in_targets(sf.path):
+                        findings.append(
+                            Finding(
+                                self.name, self.code, sf.path, i,
+                                f"{var} is read here but missing from "
+                                "README.md's environment table",
+                            )
+                        )
+
+        if not project.explicit:
+            for var in sorted(docs - read_vars):
+                findings.append(
+                    Finding(
+                        self.name, self.code, README,
+                        doc_lines.get(var, 1),
+                        f"README documents {var} but nothing reads it via "
+                        "env_int/env_string — stale row?",
+                    )
+                )
+        return findings
+
+    # -- self-test --------------------------------------------------------
+
+    def self_test(self) -> List[str]:
+        errors: List[str] = []
+        proj = Project(".")
+        proj.add_virtual_file(
+            README,
+            "\n".join(
+                [
+                    "| Variable | Meaning |",
+                    "|---|---|",
+                    "| `RLA_DOCUMENTED` | a knob |",
+                    "| `RLA_STALE_ROW` | nothing reads this |",
+                ]
+            ),
+        )
+        proj.add_virtual_file(
+            ENV_IMPL,
+            'int env_int(const char* k, int d) { return std::getenv(k) ? 1 : d; }',
+        )
+        proj.add_virtual_file(
+            "src/core/use.cpp",
+            "\n".join(
+                [
+                    "void f() {",
+                    '  int a = env_int("RLA_DOCUMENTED", 0);',
+                    '  int b = env_int("RLA_UNDOCUMENTED", 0);',
+                    '  const char* raw = std::getenv("RLA_DOCUMENTED");',
+                    "}",
+                ]
+            ),
+        )
+        proj.add_virtual_file(
+            "tests/test_env.cpp",
+            'void t() { int x = env_int("RLA_TEST_ONLY_KNOB", 0); }',
+        )
+        got = self.run(proj)
+        msgs = [f"{f.path}:{f.message}" for f in got]
+
+        def has(frag):
+            return any(frag in m for m in msgs)
+
+        if not has("raw getenv() outside"):
+            errors.append("C4 missed raw getenv outside env.cpp")
+        if any(f.path == ENV_IMPL and "raw getenv" in f.message for f in got):
+            errors.append("C4 flagged getenv inside the sanctioned impl")
+        if not has("RLA_UNDOCUMENTED is read here"):
+            errors.append("C4 missed undocumented env var")
+        if has("RLA_DOCUMENTED is read here"):
+            errors.append("C4 flagged a documented env var")
+        if not has("README documents RLA_STALE_ROW"):
+            errors.append("C4 missed stale README row")
+        if has("RLA_TEST_ONLY_KNOB"):
+            errors.append("C4 dragged a test-only knob into the contract")
+        return errors

@@ -1,0 +1,204 @@
+"""C2: fault-site registry consistency.
+
+src/robust/fault.hpp owns the canonical X-macro site list
+(RLA_FAULT_SITE_LIST).  This checker parses it and enforces:
+
+  * the enum/name-table/count in fault.hpp are generated from the list
+    (no hand-written `kSiteCount = <n>` literal may reappear);
+  * every `Site::<Sym>` reference in the tree names a listed symbol;
+  * every RLA_FAULT-style spec string literal (`site[:nth=N][:p=P]`,
+    ';'-separated clauses) uses canonical site names — a test that wants a
+    deliberately bogus site marks the line `// rla-lint: bad-site-ok`;
+  * (sweep only) no dead sites: each listed site must be referenced by
+    `Site::<Sym>` somewhere outside fault.hpp/fault.cpp.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from rla_lint.model import Finding, Project
+
+FAULT_HEADER = "src/robust/fault.hpp"
+FAULT_IMPL = "src/robust/fault.cpp"
+BAD_SITE_OK = "rla-lint: bad-site-ok"
+
+_X_ROW = re.compile(r"X\(\s*(\w+)\s*,\s*\"([^\"]+)\"\s*\)")
+_SITE_REF = re.compile(r"\bSite::(\w+)\b")
+_STRING_LIT = re.compile(r'"((?:[^"\\]|\\.)*)"')
+_SPEC_CLAUSE = re.compile(r"^([a-z][a-z0-9_.]*):(?:nth=\d+|p=[0-9.eE+-]+)")
+
+
+def parse_site_list(project: Project, header: str = FAULT_HEADER):
+    """Return ([(Sym, "name")...], header line of the list) or (None, msg)."""
+    sf = project.files.get(header)
+    if sf is None:
+        return None, f"{header} not found"
+    lines = sf.lines
+    start = None
+    for i, raw in enumerate(lines):
+        if "#define RLA_FAULT_SITE_LIST(" in raw:
+            start = i
+            break
+    if start is None:
+        return None, f"{header} has no RLA_FAULT_SITE_LIST X-macro"
+    block = []
+    i = start
+    while i < len(lines):
+        block.append(lines[i])
+        if not lines[i].rstrip().endswith("\\"):
+            break
+        i += 1
+    rows = _X_ROW.findall("\n".join(block))
+    if not rows:
+        return None, "RLA_FAULT_SITE_LIST defines no X(Sym, \"name\") rows"
+    return rows, start + 1
+
+
+class FaultSiteChecker:
+    name = "fault-sites"
+    code = "C2"
+    description = (
+        "fault-site enum refs and RLA_FAULT spec literals must resolve to "
+        "the canonical RLA_FAULT_SITE_LIST in src/robust/fault.hpp"
+    )
+
+    def run(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        rows, where = parse_site_list(project)
+        if rows is None:
+            if not project.explicit or project.in_targets(FAULT_HEADER):
+                findings.append(
+                    Finding(self.name, self.code, FAULT_HEADER, 1, str(where))
+                )
+            return findings
+        syms = {sym for sym, _ in rows}
+        names = {nm for _, nm in rows}
+
+        hdr = project.files.get(FAULT_HEADER)
+        # The count must be derived, not hand-written.
+        for i, line in enumerate(hdr.stripped_lines, start=1):
+            if re.search(r"\bkSiteCount\s*=\s*\d", line):
+                findings.append(
+                    Finding(
+                        self.name, self.code, FAULT_HEADER, i,
+                        "kSiteCount must be derived from the X-macro table, "
+                        "not a hand-written literal",
+                    )
+                )
+        if "static_assert" not in hdr.stripped:
+            findings.append(
+                Finding(
+                    self.name, self.code, FAULT_HEADER, where,
+                    "fault.hpp must static_assert the enum/table/count stay "
+                    "in sync with RLA_FAULT_SITE_LIST",
+                )
+            )
+
+        used_syms: Set[str] = set()
+        for sf in project.cpp_files():
+            # Site::<Sym> references must name listed symbols.
+            for i, line in enumerate(sf.stripped_lines, start=1):
+                for m in _SITE_REF.finditer(line):
+                    sym = m.group(1)
+                    if sym in syms:
+                        if sf.path not in (FAULT_HEADER, FAULT_IMPL):
+                            used_syms.add(sym)
+                    elif project.in_targets(sf.path):
+                        findings.append(
+                            Finding(
+                                self.name, self.code, sf.path, i,
+                                f"Site::{sym} is not in RLA_FAULT_SITE_LIST "
+                                f"({FAULT_HEADER}:{where})",
+                            )
+                        )
+            # Spec-shaped string literals must use canonical site names.
+            if sf.path in (FAULT_HEADER, FAULT_IMPL):
+                continue  # parser/table internals mention sites generically
+            if not project.in_targets(sf.path):
+                continue
+            for i, line in enumerate(sf.code_lines, start=1):
+                raw = sf.lines[i - 1] if i - 1 < len(sf.lines) else ""
+                if BAD_SITE_OK in raw or (
+                    i >= 2 and BAD_SITE_OK in sf.lines[i - 2]
+                ):
+                    continue
+                for lit in _STRING_LIT.findall(line):
+                    for clause in lit.split(";"):
+                        clause = clause.strip()
+                        m = _SPEC_CLAUSE.match(clause)
+                        if not m:
+                            continue
+                        site = m.group(1)
+                        if site not in names:
+                            findings.append(
+                                Finding(
+                                    self.name, self.code, sf.path, i,
+                                    f"fault spec names unknown site '{site}' "
+                                    f"(canonical list: {FAULT_HEADER}:{where}; "
+                                    "deliberate? mark the line "
+                                    f"'// {BAD_SITE_OK}')",
+                                )
+                            )
+
+        if not project.explicit:
+            for sym, nm in rows:
+                if sym not in used_syms:
+                    findings.append(
+                        Finding(
+                            self.name, self.code, FAULT_HEADER, where,
+                            f"dead fault site: Site::{sym} (\"{nm}\") is never "
+                            "referenced outside fault.hpp/fault.cpp — remove "
+                            "the row or use the site",
+                        )
+                    )
+        return findings
+
+    # -- self-test --------------------------------------------------------
+
+    def self_test(self) -> List[str]:
+        errors: List[str] = []
+        proj = Project(".")
+        proj.add_virtual_file(
+            FAULT_HEADER,
+            "\n".join(
+                [
+                    "#pragma once",
+                    "#define RLA_FAULT_SITE_LIST(X) \\",
+                    '  X(AllocTiled, "alloc.tiled") \\',
+                    '  X(TaskThrow, "task.throw")',
+                    "enum class Site {};",
+                    "inline constexpr int kSiteCount = 2;",
+                ]
+            ),
+        )
+        proj.add_virtual_file(
+            "src/robust/use.cpp",
+            "\n".join(
+                [
+                    "void f() {",
+                    "  auto a = Site::AllocTiled;",
+                    "  auto b = Site::Bogus;",
+                    '  const char* s = "alloc.tiled:nth=2;nope.site:p=0.5";',
+                    '  const char* ok = "nope.site:nth=1";  // rla-lint: bad-site-ok',
+                    "}",
+                ]
+            ),
+        )
+        msgs = [f.message for f in self.run(proj)]
+        if not any("Site::Bogus" in m for m in msgs):
+            errors.append("C2 missed unknown Site:: symbol")
+        if not any("'nope.site'" in m for m in msgs):
+            errors.append("C2 missed unknown site in spec literal")
+        if sum("'nope.site'" in m for m in msgs) != 1:
+            errors.append("C2 ignored the bad-site-ok suppression marker")
+        if not any("hand-written literal" in m for m in msgs):
+            errors.append("C2 missed hand-written kSiteCount")
+        if not any("static_assert" in m for m in msgs):
+            errors.append("C2 missed missing static_assert")
+        if not any("dead fault site: Site::TaskThrow" in m for m in msgs):
+            errors.append("C2 missed dead site TaskThrow")
+        if any("dead fault site: Site::AllocTiled" in m for m in msgs):
+            errors.append("C2 flagged a live site as dead")
+        return errors

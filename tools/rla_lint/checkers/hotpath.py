@@ -1,0 +1,305 @@
+"""C1: hot-path purity.
+
+Functions marked `// rla-hotpath` — the leaf kernels, block add/copy loops,
+layout index arithmetic — and everything they transitively call must not
+allocate, take locks, throw, or do I/O.  The checker computes the call-graph
+closure from each marked root and scans every reached function body for a
+ban-list of constructs.  A line carrying `// hotpath-exempt: <why>` (or
+directly below such a comment line) is excused AND not descended through;
+a function whose definition is annotated `// hotpath-exempt: <why>` is
+excused entirely.  Every exemption must carry a non-empty justification.
+
+Lexical resolution is by callee name: a call joins the closure with every
+project function of that name (conservative over overloads).  The libclang
+backend, when available, replaces these edges with AST-resolved ones.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from rla_lint.model import Finding, Function, Project, extract_calls
+
+HOTPATH_MARK = "rla-hotpath"
+EXEMPT_MARK = "hotpath-exempt:"
+
+# (regex over a stripped body line, human reason).  Strings and comments are
+# already blanked, so literals can't trigger these.
+BANNED: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"\bnew\b(?!\s*\()"), "allocates ('new')"),
+    (re.compile(r"\bdelete\b(?!\s*;|\s*=)"), "frees heap memory ('delete')"),
+    (
+        re.compile(r"\b(?:malloc|calloc|realloc|aligned_alloc|posix_memalign)\s*\("),
+        "allocates (C allocator)",
+    ),
+    (re.compile(r"\bfree\s*\("), "frees heap memory"),
+    (
+        re.compile(
+            r"\bstd::(?:vector|deque|list|map|set|unordered_map|unordered_set|"
+            r"multimap|multiset|function|any|valarray)\s*<"
+        ),
+        "constructs an allocating container",
+    ),
+    (re.compile(r"\bstd::string\b(?!_view)"), "constructs std::string"),
+    (re.compile(r"\bmake_(?:unique|shared)\b"), "allocates (make_unique/shared)"),
+    (
+        re.compile(
+            r"\.(?:resize|reserve|push_back|emplace_back|emplace|insert|assign|"
+            r"shrink_to_fit)\s*\("
+        ),
+        "allocating container operation",
+    ),
+    (
+        re.compile(r"\b(?:MutexLock|CondWait|std::mutex|std::lock_guard|"
+                   r"std::unique_lock|std::scoped_lock|std::shared_mutex)\b"),
+        "takes a lock",
+    ),
+    (re.compile(r"(?:\.|->)(?:lock|unlock|try_lock)\s*\("), "takes a lock"),
+    (re.compile(r"\bthrow\b"), "throws"),
+    (
+        re.compile(
+            r"\b(?:printf|fprintf|fputs|fputc|fwrite|fread|fopen|fclose|puts|"
+            r"getline|system|popen)\s*\("
+        ),
+        "does I/O",
+    ),
+    (re.compile(r"\bstd::c(?:out|err|log)\b"), "does I/O (iostream)"),
+    (re.compile(r"\bstd::o?f?stream\b|\bstd::[io]fstream\b"), "does I/O (fstream)"),
+    (re.compile(r"\bgetenv\b"), "reads the environment"),
+]
+
+
+def _directive_lines(sf) -> Tuple[Set[int], Dict[int, str]]:
+    """Return (hotpath marker lines, exempt line -> justification)."""
+    marks: Set[int] = set()
+    exempts: Dict[int, str] = {}
+    for i, raw in enumerate(sf.lines, start=1):
+        if "//" not in raw:
+            continue
+        comment = raw.split("//", 1)[1]
+        if HOTPATH_MARK in comment and EXEMPT_MARK not in comment:
+            marks.add(i)
+        if EXEMPT_MARK in comment:
+            why = comment.split(EXEMPT_MARK, 1)[1].strip()
+            exempts[i] = why
+    return marks, exempts
+
+
+class HotpathChecker:
+    name = "hotpath"
+    code = "C1"
+    description = (
+        "functions marked // rla-hotpath (and transitive callees) must not "
+        "allocate, lock, throw, or do I/O"
+    )
+
+    def run(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        fn_table = project.functions_by_name()
+
+        # Index functions by (path, start_line) and collect directives.
+        marks_by_file: Dict[str, Set[int]] = {}
+        exempts_by_file: Dict[str, Dict[int, str]] = {}
+        for sf in project.cpp_files():
+            marks, exempts = _directive_lines(sf)
+            if marks:
+                marks_by_file[sf.path] = marks
+            if exempts:
+                exempts_by_file[sf.path] = exempts
+
+        fn_at: Dict[Tuple[str, int], Function] = {}
+        fns_in_file: Dict[str, List[Function]] = {}
+        for fn in project.functions():
+            fn_at[(fn.path, fn.start_line)] = fn
+            fns_in_file.setdefault(fn.path, []).append(fn)
+
+        def attached_function(path: str, mark_line: int):
+            """The function a marker/exemption line annotates, if any.
+
+            A directive annotates a function when it sits on the signature
+            or opening-brace line, or on its own line at most 3 lines above
+            the opening brace (multi-line signatures).
+            """
+            best = None
+            for fn in fns_in_file.get(path, ()):
+                if fn.start_line >= mark_line and fn.start_line - mark_line <= 3:
+                    if best is None or fn.start_line < best.start_line:
+                        best = fn
+            return best
+
+        # Roots: marked functions.  Complain about dangling markers.
+        roots: List[Function] = []
+        for path, marks in marks_by_file.items():
+            for line in sorted(marks):
+                fn = attached_function(path, line)
+                if fn is None:
+                    if project.in_targets(path):
+                        findings.append(
+                            Finding(
+                                self.name, self.code, path, line,
+                                "'// rla-hotpath' marker is not attached to a "
+                                "function definition",
+                            )
+                        )
+                    continue
+                roots.append(fn)
+
+        # Function-level exemptions (and empty-justification complaints).
+        # A comment-only `// hotpath-exempt: why` line directly above a
+        # definition (nothing but the signature between them — no ';'/'}')
+        # exempts the whole function; anywhere else it exempts one line.
+        exempt_fns: Set[str] = set()
+        line_exempt: Dict[Tuple[str, int], str] = {}
+        for path, table in exempts_by_file.items():
+            for line, why in table.items():
+                if not why:
+                    if project.in_targets(path):
+                        findings.append(
+                            Finding(
+                                self.name, self.code, path, line,
+                                "'// hotpath-exempt:' requires a justification "
+                                "after the colon",
+                            )
+                        )
+                    continue
+                fn = attached_function(path, line)
+                whole_function = (
+                    fn is not None
+                    and not _code_at(project, path, line)
+                    and not any(
+                        ("}" in _stripped_at(project, path, k))
+                        or (";" in _stripped_at(project, path, k))
+                        for k in range(line + 1, fn.start_line)
+                    )
+                )
+                if whole_function:
+                    exempt_fns.add(fn.key())
+                else:
+                    line_exempt[(path, line)] = why
+
+        # BFS the closure from each root; report at the offending line, with
+        # the root so the reader knows which hot path is poisoned.
+        for root in roots:
+            seen: Set[str] = set()
+            queue: List[Tuple[Function, str]] = [(root, root.qualname)]
+            while queue:
+                fn, chain = queue.pop()
+                if fn.key() in seen or fn.key() in exempt_fns:
+                    continue
+                seen.add(fn.key())
+                for lineno, text in fn.body_lines:
+                    exempted = (fn.path, lineno) in line_exempt or (
+                        (fn.path, lineno - 1) in line_exempt
+                        and not _code_at(project, fn.path, lineno - 1)
+                    )
+                    if not exempted:
+                        for pat, why in BANNED:
+                            m = pat.search(text)
+                            if m:
+                                findings.append(
+                                    Finding(
+                                        self.name, self.code, fn.path, lineno,
+                                        f"hot path '{chain}' {why} "
+                                        f"('{m.group(0).strip()}'); wrap with "
+                                        "'// hotpath-exempt: <why>' only if "
+                                        "intentional",
+                                    )
+                                )
+                    if exempted:
+                        continue  # do not descend through exempted calls
+                    for callee in extract_calls(text):
+                        for target in fn_table.get(callee, ()):
+                            if target.key() not in seen:
+                                queue.append(
+                                    (target, f"{chain} -> {target.qualname}")
+                                )
+        # Only report findings rooted in target files on explicit runs.
+        if project.explicit:
+            tgt = project.target_set()
+            findings = [f for f in findings if f.path in tgt]
+        return findings
+
+    # -- self-test --------------------------------------------------------
+
+    def self_test(self) -> List[str]:
+        errors: List[str] = []
+        proj = Project(".")
+        proj.add_virtual_file(
+            "seed/c1.cpp",
+            "\n".join(
+                [
+                    "#include <vector>",
+                    "namespace rla {",
+                    "static int helper(int n) {",
+                    "  std::vector<int> v(static_cast<unsigned>(n));  // bad",
+                    "  return static_cast<int>(v.size());",
+                    "}",
+                    "int pure_helper(int n) { return n * 2; }",
+                    "// rla-hotpath",
+                    "int hot(int n) {",
+                    "  return helper(n) + pure_helper(n);",
+                    "}",
+                    "// rla-hotpath",
+                    "int hot_exempted(int n) {",
+                    "  int k = helper(n);  // hotpath-exempt: setup, measured cold",
+                    "  return k;",
+                    "}",
+                    "// rla-hotpath",
+                    "int hot_direct(int n) {",
+                    "  throw n;",
+                    "}",
+                    "}",
+                ]
+            ),
+        )
+        got = self.run(proj)
+        msgs = [f"{f.line}:{f.message}" for f in got]
+        if not any("'hot -> helper'" in m and "container" in m for m in msgs):
+            errors.append("C1 missed transitive allocation through helper()")
+        if not any("hot_direct" in m and "throws" in m for m in msgs):
+            errors.append("C1 missed direct throw in marked function")
+        if any("hot_exempted" in m for m in msgs):
+            errors.append("C1 flagged an exempted call line")
+        # Marker with no function, exemption with no justification.
+        proj2 = Project(".")
+        proj2.add_virtual_file(
+            "seed/c1b.cpp",
+            "\n".join(
+                [
+                    "// rla-hotpath",
+                    "",
+                    "",
+                    "",
+                    "",
+                    "int unrelated(int n) { return n; }",
+                    "// rla-hotpath",
+                    "int f(int n) {",
+                    "  int* p = new int[8];  // hotpath-exempt:",
+                    "  delete[] p;",
+                    "  return n;",
+                    "}",
+                ]
+            ),
+        )
+        msgs2 = [f.message for f in self.run(proj2)]
+        if not any("not attached" in m for m in msgs2):
+            errors.append("C1 missed dangling rla-hotpath marker")
+        if not any("requires a justification" in m for m in msgs2):
+            errors.append("C1 missed empty exemption justification")
+        if not any("'new'" in m for m in msgs2):
+            errors.append("C1 let an unjustified exemption suppress 'new'")
+        return errors
+
+
+def _stripped_at(project: Project, path: str, lineno: int) -> str:
+    sf = project.files.get(path)
+    if sf is None or lineno < 1 or lineno > len(sf.stripped_lines):
+        return ""
+    return sf.stripped_lines[lineno - 1]
+
+
+def _code_at(project: Project, path: str, lineno: int) -> bool:
+    """True if the stripped line has non-whitespace (it's code, not a bare
+    comment line)."""
+    return bool(_stripped_at(project, path, lineno).strip())

@@ -1,0 +1,63 @@
+"""C5: lock discipline — folds tools/check_locks.py into the driver.
+
+The rules (R1-R7: raw primitive ban, hierarchy order, guard-while-locked,
+wait-predicate shape, ...) live in check_locks.py, which remains directly
+runnable; this wrapper feeds it files from the shared project model so one
+`rla_lint` invocation covers everything.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+import check_locks  # noqa: E402
+
+from rla_lint.model import Finding, Project  # noqa: E402
+
+# check_locks' own sweep scope.
+SCOPE_PREFIXES = ("src/", "tests/", "bench/")
+
+
+class LockChecker:
+    name = "locks"
+    code = "C5"
+    description = (
+        "lock discipline: no raw sync primitives outside src/support/sync.hpp, "
+        "acquisition follows the declared hierarchy (tools/check_locks.py rules)"
+    )
+
+    def run(self, project: Project) -> List[Finding]:
+        # Lock-level declarations are collected across the whole file set
+        # (the hierarchy is cross-file), so feed lint_files one batch.
+        batch = []
+        for sf in project.cpp_files():
+            if not sf.path.startswith(SCOPE_PREFIXES):
+                continue
+            if any(sf.path.startswith(s) for s in check_locks.SKIP_DIRS):
+                continue
+            # Use check_locks' own stripper — its rules were calibrated
+            # against that exact blanking behaviour.
+            batch.append(
+                (sf.path, sf.text,
+                 check_locks.strip_comments_and_strings(sf.text))
+            )
+        findings = [
+            Finding(self.name, self.code, path, line, msg)
+            for path, line, msg in check_locks.lint_files(batch)
+            if project.in_targets(path)
+        ]
+        return findings
+
+    def self_test(self) -> List[str]:
+        import contextlib
+        import io
+
+        with contextlib.redirect_stdout(io.StringIO()):
+            rc = check_locks.self_test()
+        return [] if rc == 0 else ["check_locks embedded self-test failed"]

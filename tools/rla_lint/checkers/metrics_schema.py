@@ -1,0 +1,350 @@
+"""C3: metric/trace-name schema consistency.
+
+src/obs/schema.hpp owns the canonical observability name schema
+(RLA_METRIC_SCHEMA / RLA_SPAN_SCHEMA).  This checker enforces, across
+languages:
+
+  * every static name passed to .counter()/.gauge()/.histogram() in C++
+    production code matches a schema row ('*' matches [A-Za-z0-9_.]+);
+  * every call site that *builds* a name at runtime declares its family with
+    an adjacent `// metric-family: <row> [<row>...]` comment (same line or up
+    to 5 lines above); each declared row must exist in the schema; the token
+    `schema` marks loops that iterate the schema itself;
+  * every PhaseScope/fp_phase span literal is a schema span;
+  * every schema-shaped metric name consumed by the Python tools
+    (soak_check.py, trace_summary.py) exists in the schema — `{...}`
+    placeholders and trailing-dot prefixes are treated as wildcards;
+  * (sweep only) no dead rows: each schema row must have at least one C++
+    producer (a matching literal or a metric-family declaration).
+
+tests/ are excluded as producers (unit tests register ad-hoc names on
+private registries); bench/ and tools/ C++ are included.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from rla_lint.model import Finding, Project
+
+SCHEMA_HEADER = "src/obs/schema.hpp"
+FAMILY_MARK = "metric-family:"
+FAMILY_WINDOW = 5  # lines above a call site searched for the declaration
+
+_METRIC_ROW = re.compile(
+    r"X\(\s*(Counter|Gauge|Histogram)\s*,\s*\"([^\"]+)\"\s*,\s*(true|false)\s*\)"
+)
+_SPAN_ROW = re.compile(r"X\(\s*\"([^\"]+)\"\s*\)")
+
+# A call that names a metric: receiver.counter( / receiver->gauge( etc.
+# A call is "literal" only when its whole first argument is one string
+# literal; `("perf." + label + ...)` is a computed name.
+_METRIC_CALL = re.compile(r"(?:\.|->)(counter|gauge|histogram)\s*\(\s*(.)")
+_METRIC_CALL_LIT = re.compile(
+    r"(?:\.|->)(?:counter|gauge|histogram)\s*\(\s*\"([^\"]+)\"\s*[),]"
+)
+_SPAN_LIT = re.compile(
+    r"\b(?:PhaseScope\s+\w+\s*\(\s*|PhaseScope\s*\(\s*|fp_phase\s*\(\s*[\w.]+\s*,\s*)"
+    r"\"([^\"]+)\""
+)
+
+# Python side: string literals that look like metric names.
+_PY_STRING = re.compile(r"""(?:f?)(['"])((?:service|arena|sched|perf)\.[^'"]*)\1""")
+_NAME_CHAR = r"[A-Za-z0-9_.]+"
+
+
+def _pattern_to_regex(pattern: str) -> re.Pattern:
+    return re.compile(
+        "^" + re.escape(pattern).replace(r"\*", _NAME_CHAR) + "$"
+    )
+
+
+def parse_schema(project: Project, header: str = SCHEMA_HEADER):
+    """Return ({metric row -> (kind, preregister)}, [spans], line) or None."""
+    sf = project.files.get(header)
+    if sf is None:
+        return None, None, f"{header} not found"
+    text = "\n".join(sf.lines)
+    m = text.find("#define RLA_METRIC_SCHEMA(")
+    s = text.find("#define RLA_SPAN_SCHEMA(")
+    if m < 0 or s < 0:
+        return None, None, f"{header} lacks RLA_METRIC_SCHEMA/RLA_SPAN_SCHEMA"
+
+    def macro_block(start: int) -> str:
+        out = []
+        for line in text[start:].split("\n"):
+            out.append(line)
+            if not line.rstrip().endswith("\\"):
+                break
+        return "\n".join(out)
+
+    metrics: Dict[str, Tuple[str, bool]] = {}
+    for kind, name, pre in _METRIC_ROW.findall(macro_block(m)):
+        metrics[name] = (kind, pre == "true")
+    spans = [nm for nm in _SPAN_ROW.findall(macro_block(s))]
+    line = text[:m].count("\n") + 1
+    if not metrics or not spans:
+        return None, None, f"{header} schema macros define no rows"
+    return metrics, spans, line
+
+
+class MetricsSchemaChecker:
+    name = "metrics-schema"
+    code = "C3"
+    description = (
+        "metric and span names in C++ producers and Python consumers must "
+        "match the canonical schema in src/obs/schema.hpp"
+    )
+
+    def _is_producer(self, path: str) -> bool:
+        if path.startswith("tests/"):
+            return False  # unit tests use ad-hoc names on private registries
+        if path == SCHEMA_HEADER or path.startswith("src/obs/metrics"):
+            return False  # the registry implementation itself
+        return path.startswith(("src/", "bench/", "tools/")) and path.endswith(
+            (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".inl")
+        )
+
+    def run(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        metrics, spans, where = parse_schema(project)
+        if metrics is None:
+            findings.append(
+                Finding(self.name, self.code, SCHEMA_HEADER, 1, str(where))
+            )
+            return findings
+        metric_res = {nm: _pattern_to_regex(nm) for nm in metrics}
+        span_set = set(spans)
+        covered: Set[str] = set()  # schema rows with a producer
+
+        def match_schema(name: str) -> Optional[str]:
+            if name in metrics:
+                return name
+            for nm, rx in metric_res.items():
+                if "*" in nm and rx.match(name):
+                    return nm
+            return None
+
+        def family_for(sf, lineno: int) -> Optional[List[str]]:
+            """metric-family declaration on the line or <=5 lines above."""
+            lo = max(0, lineno - 1 - FAMILY_WINDOW)
+            for k in range(lineno - 1, lo - 1, -1):
+                raw = sf.lines[k] if k < len(sf.lines) else ""
+                if FAMILY_MARK in raw:
+                    tail = raw.split(FAMILY_MARK, 1)[1].strip()
+                    return [t for t in tail.split() if t]
+            return None
+
+        for sf in project.cpp_files():
+            # Explicitly-named files (fixtures) are always treated as
+            # producers; the path filter only shapes the default sweep.
+            if not self._is_producer(sf.path) and not (
+                project.explicit and sf.path in project.target_set()
+            ):
+                continue
+            for i, line in enumerate(sf.code_lines, start=1):
+                # Span literals.
+                for nm in _SPAN_LIT.findall(line):
+                    if nm in span_set:
+                        covered.add("span:" + nm)
+                    elif project.in_targets(sf.path):
+                        findings.append(
+                            Finding(
+                                self.name, self.code, sf.path, i,
+                                f"span name \"{nm}\" is not in RLA_SPAN_SCHEMA "
+                                f"({SCHEMA_HEADER}:{where})",
+                            )
+                        )
+                # Metric calls: literal names check against the schema;
+                # computed names need a metric-family declaration.
+                for m in _METRIC_CALL.finditer(line):
+                    lit = _METRIC_CALL_LIT.match(line, m.start())
+                    if lit:
+                        nm = lit.group(1)
+                        hit = match_schema(nm)
+                        if hit:
+                            covered.add(hit)
+                        elif project.in_targets(sf.path):
+                            findings.append(
+                                Finding(
+                                    self.name, self.code, sf.path, i,
+                                    f"metric name \"{nm}\" is not in "
+                                    f"RLA_METRIC_SCHEMA ({SCHEMA_HEADER}:"
+                                    f"{where})",
+                                )
+                            )
+                        continue
+                    fam = family_for(sf, i)
+                    if fam is None:
+                        if project.in_targets(sf.path):
+                            findings.append(
+                                Finding(
+                                    self.name, self.code, sf.path, i,
+                                    f".{m.group(1)}() with a computed name "
+                                    "needs an adjacent '// metric-family: "
+                                    "<schema row>' declaration",
+                                )
+                            )
+                        continue
+                    for f_nm in fam:
+                        if f_nm == "schema":
+                            # Iterates the schema itself: every preregister
+                            # row is produced here.
+                            for nm, (_, pre) in metrics.items():
+                                if pre:
+                                    covered.add(nm)
+                        elif f_nm in metrics:
+                            covered.add(f_nm)
+                        elif project.in_targets(sf.path):
+                            findings.append(
+                                Finding(
+                                    self.name, self.code, sf.path, i,
+                                    f"metric-family '{f_nm}' is not a row of "
+                                    f"RLA_METRIC_SCHEMA ({SCHEMA_HEADER}:"
+                                    f"{where})",
+                                )
+                            )
+
+        # Python consumers.
+        for sf in project.python_files():
+            if not sf.path.startswith("tools/"):
+                continue
+            if sf.path.startswith("tools/rla_lint/"):
+                continue  # the lint's own sources carry seeded bad names
+            for i, line in enumerate(sf.lines, start=1):
+                code = line.split("#", 1)[0]
+                for _q, nm in _PY_STRING.findall(code):
+                    norm = re.sub(r"\{[^}]*\}", "*", nm)
+                    if norm.endswith("."):
+                        norm += "*"
+                    if not re.fullmatch(r"[A-Za-z0-9_.*]+", norm):
+                        continue
+                    if norm.rstrip("*").rstrip(".") in ("service", "arena",
+                                                        "sched", "perf"):
+                        continue  # bare prefix, not a name
+                    ok = match_schema(norm) or (
+                        "*" in norm
+                        and any(
+                            _covers(norm, row) for row in metrics
+                        )
+                    )
+                    if not ok and project.in_targets(sf.path):
+                        findings.append(
+                            Finding(
+                                self.name, self.code, sf.path, i,
+                                f"python consumer references \"{nm}\" which "
+                                f"matches no RLA_METRIC_SCHEMA row "
+                                f"({SCHEMA_HEADER}:{where})",
+                            )
+                        )
+
+        # Dead schema rows (sweep only).
+        if not project.explicit:
+            for nm in metrics:
+                if nm not in covered:
+                    findings.append(
+                        Finding(
+                            self.name, self.code, SCHEMA_HEADER, where,
+                            f"dead schema row \"{nm}\": no C++ producer "
+                            "(literal or metric-family declaration) emits it",
+                        )
+                    )
+            for nm in spans:
+                if ("span:" + nm) not in covered:
+                    findings.append(
+                        Finding(
+                            self.name, self.code, SCHEMA_HEADER, where,
+                            f"dead span row \"{nm}\": no PhaseScope/fp_phase "
+                            "site uses it",
+                        )
+                    )
+        return findings
+
+    # -- self-test --------------------------------------------------------
+
+    def self_test(self) -> List[str]:
+        errors: List[str] = []
+        proj = Project(".")
+        proj.add_virtual_file(
+            SCHEMA_HEADER,
+            "\n".join(
+                [
+                    "#define RLA_METRIC_SCHEMA(X) \\",
+                    '  X(Counter, "service.submitted", true) \\',
+                    '  X(Counter, "service.outcome.*", false) \\',
+                    '  X(Gauge, "arena.unused_row", false)',
+                    "#define RLA_SPAN_SCHEMA(X) \\",
+                    '  X("compute") \\',
+                    '  X("verify")',
+                ]
+            ),
+        )
+        proj.add_virtual_file(
+            "src/service/use.cpp",
+            "\n".join(
+                [
+                    "void f(Registry& reg) {",
+                    '  reg.counter("service.submitted").add(1);',
+                    '  reg.counter("service.typo").add(1);',
+                    "  // metric-family: service.outcome.*",
+                    "  reg.counter(outcome_name(o)).add(1);",
+                    "  // metric-family: service.no_such_row",
+                    "  reg.gauge(other_name()).set(2);",
+                    '  obs::PhaseScope ps("compute");',
+                    '  obs::PhaseScope bad("comupte");',
+                    "  int spacer1 = 0;",
+                    "  int spacer2 = spacer1;",
+                    "  reg.gauge(dynamic_name()).set(spacer2);",
+                    "}",
+                ]
+            ),
+        )
+        proj.add_virtual_file(
+            "tools/consume.py",
+            "\n".join(
+                [
+                    'REQUIRED = ["service.submitted", "service.mistyped"]',
+                    'fam = f"service.outcome.{name}"',
+                ]
+            ),
+        )
+        msgs = [f.message for f in self.run(proj)]
+
+        def has(frag):
+            return any(frag in m for m in msgs)
+
+        if not has('"service.typo" is not'):
+            errors.append("C3 missed off-schema C++ literal")
+        if has('"service.submitted" is not'):
+            errors.append("C3 flagged an on-schema literal")
+        if not has("needs an adjacent"):
+            errors.append("C3 missed computed name without metric-family")
+        if not has("'service.no_such_row' is not a row"):
+            errors.append("C3 missed bogus metric-family row")
+        if not has('span name "comupte"'):
+            errors.append("C3 missed off-schema span literal")
+        if not has('"service.mistyped" which matches no'):
+            errors.append("C3 missed off-schema python consumer name")
+        if has('"service.outcome.{name}"'):
+            errors.append("C3 flagged a family-shaped python f-string")
+        if not has('dead schema row "arena.unused_row"'):
+            errors.append("C3 missed dead schema row")
+        if not has('dead span row "verify"'):
+            errors.append("C3 missed dead span row")
+        if has('dead schema row "service.outcome.*"'):
+            errors.append("C3 ignored metric-family coverage")
+        return errors
+
+
+def _covers(consumer_pattern: str, row: str) -> bool:
+    """True if a wildcard consumer pattern could name members of `row`.
+
+    Both sides may hold '*'; treat each '*' as [A-Za-z0-9_.]+ and test the
+    row pattern's literal prefix against the consumer regex (prefix overlap
+    is enough: consumers slice prefixes like "perf.total.")."""
+    rx = re.compile(
+        "^" + re.escape(consumer_pattern).replace(r"\*", _NAME_CHAR)
+    )
+    probe = row.replace("*", "x")
+    return bool(rx.match(probe))

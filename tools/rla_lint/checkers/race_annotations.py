@@ -1,0 +1,52 @@
+"""C6: race-annotation coverage — folds tools/check_annotations.py.
+
+Every function in src/core and src/layout that touches worker-shared state
+must carry the RaceAnnotated marker or a covered-by-caller waiver; the rules
+live in check_annotations.py (still directly runnable), this wrapper runs
+them from the shared project model.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+import check_annotations  # noqa: E402
+
+from rla_lint.model import Finding, Project  # noqa: E402
+
+# check_annotations' own sweep scope.
+SCOPE_PREFIXES = ("src/core/", "src/layout/")
+
+
+class RaceAnnotationChecker:
+    name = "race-annotations"
+    code = "C6"
+    description = (
+        "shared-state functions in src/core and src/layout carry race "
+        "annotations (tools/check_annotations.py rules)"
+    )
+
+    def run(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for sf in project.cpp_files():
+            if not sf.path.startswith(SCOPE_PREFIXES):
+                continue
+            if not project.in_targets(sf.path):
+                continue
+            for path, line, msg in check_annotations.lint_text(sf.text, sf.path):
+                findings.append(Finding(self.name, self.code, path, line, msg))
+        return findings
+
+    def self_test(self) -> List[str]:
+        import contextlib
+        import io
+
+        with contextlib.redirect_stdout(io.StringIO()):
+            rc = check_annotations.self_test()
+        return [] if rc == 0 else ["check_annotations embedded self-test failed"]

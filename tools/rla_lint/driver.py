@@ -1,0 +1,244 @@
+"""rla_lint driver: CLI, project loading, output formats, self-test."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List
+
+from rla_lint import __version__
+from rla_lint import checkers as registry
+from rla_lint.model import Finding, Project, load_compile_commands
+
+
+def _default_root() -> str:
+    # tools/rla_lint/driver.py -> repo root is two levels up from tools/.
+    return os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+
+
+def _emit_text(findings: List[Finding], out) -> None:
+    for f in findings:
+        print(f.render(), file=out)
+
+
+def _emit_json(findings: List[Finding], out) -> None:
+    json.dump(
+        [
+            {
+                "checker": f.checker,
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        out,
+        indent=2,
+    )
+    print(file=out)
+
+
+def _emit_sarif(findings: List[Finding], selected, out) -> None:
+    rules = [
+        {
+            "id": c.code,
+            "name": c.name,
+            "shortDescription": {"text": c.description},
+        }
+        for c in selected
+    ]
+    results = [
+        {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f"[{f.checker}] {f.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": f.line},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "rla_lint",
+                        "version": __version__,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    json.dump(sarif, out, indent=2)
+    print(file=out)
+
+
+def run_self_tests(selected, out) -> int:
+    failed = 0
+    for c in selected:
+        errors = c.self_test()
+        if errors:
+            failed += 1
+            print(f"self-test FAILED [{c.code} {c.name}]:", file=out)
+            for e in errors:
+                print(f"  - {e}", file=out)
+        else:
+            print(f"self-test OK [{c.code} {c.name}]", file=out)
+    if failed:
+        print(f"rla_lint self-test: {failed} checker(s) FAILED", file=out)
+        return 2
+    print(
+        f"rla_lint self-test: all {len(selected)} checkers detect their "
+        "seeded violations",
+        file=out,
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="rla_lint",
+        description=(
+            "Whole-project invariant analysis: hot-path purity, fault-site "
+            "registry, metric/span schema, env contract, lock discipline, "
+            "race annotations."
+        ),
+    )
+    ap.add_argument(
+        "paths",
+        nargs="*",
+        help="restrict findings to these files (repo-relative); default: sweep",
+    )
+    ap.add_argument("--root", default=_default_root(), help="repository root")
+    ap.add_argument(
+        "--checkers",
+        default="all",
+        help="comma-separated checker names (default: all); see --list-checkers",
+    )
+    ap.add_argument(
+        "--compile-commands",
+        default=None,
+        help="compile_commands.json: adds its TUs to the sweep and feeds "
+        "include paths to the libclang backend",
+    )
+    ap.add_argument(
+        "--backend",
+        choices=("auto", "text", "clang"),
+        default="auto",
+        help="call-graph frontend: libclang when importable (auto), force "
+        "lexical (text), or require libclang (clang)",
+    )
+    ap.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("--list-checkers", action="store_true")
+    ap.add_argument("--version", action="version", version=__version__)
+    args = ap.parse_args(argv)
+
+    try:
+        if args.checkers == "all":
+            selected = list(registry.ALL_CHECKERS)
+        else:
+            selected = registry.by_name(
+                [c.strip() for c in args.checkers.split(",") if c.strip()]
+            )
+    except KeyError as e:
+        known = ", ".join(c.name for c in registry.ALL_CHECKERS)
+        print(f"error: unknown checker {e}; known: {known}", file=sys.stderr)
+        return 2
+
+    if args.list_checkers:
+        for c in registry.ALL_CHECKERS:
+            print(f"{c.code}  {c.name:18s} {c.description}")
+        return 0
+
+    if args.self_test:
+        return run_self_tests(selected, sys.stdout)
+
+    project = Project(args.root)
+    project.load_tree()
+    if args.compile_commands:
+        try:
+            tus, includes = load_compile_commands(
+                args.compile_commands, args.root
+            )
+        except (OSError, ValueError) as e:
+            print(f"error: bad compile_commands: {e}", file=sys.stderr)
+            return 2
+        for rel in tus:
+            project.load_file(rel)
+        project.clang_includes = includes
+
+    if args.paths:
+        project.explicit = True
+        for rel in args.paths:
+            # Accept repo-relative paths regardless of cwd (ctest runs from
+            # the build tree), falling back to cwd-relative resolution.
+            if not os.path.isabs(rel) and os.path.isfile(
+                os.path.join(args.root, rel)
+            ):
+                rel = rel.replace(os.sep, "/")
+            else:
+                rel = os.path.relpath(
+                    os.path.abspath(rel), os.path.abspath(args.root)
+                ).replace(os.sep, "/")
+            if project.load_file(rel) is None:
+                print(f"error: no such file: {rel}", file=sys.stderr)
+                return 2
+            project.targets.append(rel)
+
+    # Backend selection: libclang sharpens the C1 call graph when present.
+    if args.backend in ("auto", "clang"):
+        try:
+            from rla_lint import clang_frontend
+
+            clang_frontend.sharpen(project)
+            project.backend = "clang"
+        except clang_frontend.ClangUnavailable as e:
+            if args.backend == "clang":
+                print(f"error: libclang backend unavailable: {e}", file=sys.stderr)
+                return 2
+            project.backend = "text"
+
+    findings: List[Finding] = []
+    for c in selected:
+        findings.extend(c.run(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+
+    if args.format == "json":
+        _emit_json(findings, sys.stdout)
+    elif args.format == "sarif":
+        _emit_sarif(findings, selected, sys.stdout)
+    else:
+        _emit_text(findings, sys.stdout)
+        scanned = len(project.targets) if project.explicit else len(project.files)
+        names = ",".join(c.name for c in selected)
+        verdict = "FAILED" if findings else "OK"
+        print(
+            f"rla_lint {verdict}: {scanned} file(s), {len(findings)} "
+            f"violation(s), checkers: {names}, backend: {project.backend}"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

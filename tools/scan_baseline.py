@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Diff clang static-analyzer (scan-build) results against a committed baseline.
+
+scan-build has no native baseline mechanism, so CI uses this tool: the
+`static-analysis` job runs `scan-build -plist -o <dir> cmake --build ...`
+(the toolchain only exists on the CI image — the dev container has no
+clang), then `scan_baseline.py compare` parses the emitted .plist files and
+fails iff a diagnostic appears that the committed baseline
+(tools/scan_build.baseline) does not list.
+
+Baseline entries are one per line: `checker|file|issue_hash|description`.
+The issue hash is clang's `issue_hash_content_of_line_in_context`, which is
+stable across unrelated edits (it hashes the issue line's context, not its
+line number), so the baseline does not churn when code moves.  Lines
+starting with '#' are comments.  Stale entries (in the baseline, no longer
+reported) are warnings, not failures — prune them with `--update`.
+
+Usage:
+  scan_baseline.py compare --plist-dir DIR [--baseline FILE] [--update]
+  scan_baseline.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import plistlib
+import sys
+import tempfile
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "scan_build.baseline")
+
+
+def collect_issues(plist_dir: str):
+    """Parse every .plist under plist_dir -> sorted list of signature tuples."""
+    issues = []
+    for dirpath, _dirnames, filenames in os.walk(plist_dir):
+        for fn in sorted(filenames):
+            if not fn.endswith(".plist"):
+                continue
+            path = os.path.join(dirpath, fn)
+            try:
+                with open(path, "rb") as f:
+                    data = plistlib.load(f)
+            except Exception as e:  # malformed plist: surface, don't crash
+                print(f"warning: unreadable plist {path}: {e}", file=sys.stderr)
+                continue
+            files = data.get("files", [])
+            for diag in data.get("diagnostics", []):
+                loc = diag.get("location", {})
+                fidx = loc.get("file", -1)
+                fname = files[fidx] if 0 <= fidx < len(files) else "?"
+                # Normalize to a repo-relative-ish suffix so CI and local
+                # runs agree regardless of checkout directory.
+                fname = fname.replace("\\", "/")
+                for marker in ("/src/", "/tests/", "/bench/", "/tools/",
+                               "/examples/"):
+                    k = fname.find(marker)
+                    if k >= 0:
+                        fname = fname[k + 1:]
+                        break
+                issues.append(
+                    (
+                        diag.get("check_name", "?"),
+                        fname,
+                        diag.get("issue_hash_content_of_line_in_context", "?"),
+                        diag.get("description", "?"),
+                    )
+                )
+    return sorted(set(issues))
+
+
+def load_baseline(path: str):
+    entries = set()
+    if not os.path.isfile(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|", 3)
+            if len(parts) == 4:
+                entries.add(tuple(parts))
+    return entries
+
+
+def write_baseline(path: str, issues) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# clang static-analyzer baseline for scan_baseline.py\n")
+        f.write("# format: checker|file|issue_hash|description\n")
+        f.write("# regenerate: tools/scan_baseline.py compare "
+                "--plist-dir <dir> --update\n")
+        for checker, fname, ihash, desc in issues:
+            f.write(f"{checker}|{fname}|{ihash}|{desc}\n")
+
+
+def compare(plist_dir: str, baseline_path: str, update: bool) -> int:
+    issues = collect_issues(plist_dir)
+    baseline = load_baseline(baseline_path)
+    if update:
+        write_baseline(baseline_path, issues)
+        print(f"baseline updated: {len(issues)} issue(s) -> {baseline_path}")
+        return 0
+    new = [i for i in issues if i not in baseline]
+    stale = sorted(baseline - set(issues))
+    for checker, fname, ihash, desc in stale:
+        print(f"warning: stale baseline entry: {checker}|{fname}|{ihash}",
+              file=sys.stderr)
+    if new:
+        print(f"scan-build FAILED: {len(new)} issue(s) not in baseline "
+              f"({baseline_path}):")
+        for checker, fname, ihash, desc in new:
+            print(f"  {fname}: [{checker}] {desc} (hash {ihash})")
+        print("fix the issue, or if it is a deliberate false positive add "
+              "the line above to the baseline via --update")
+        return 1
+    print(f"scan-build OK: {len(issues)} issue(s), all baselined; "
+          f"{len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'}")
+    return 0
+
+
+# -- self test ---------------------------------------------------------------
+
+
+def _mk_plist(path: str, desc: str, ihash: str) -> None:
+    data = {
+        "files": ["/ci/checkout/src/core/gemm.cpp"],
+        "diagnostics": [
+            {
+                "check_name": "core.NullDereference",
+                "description": desc,
+                "issue_hash_content_of_line_in_context": ihash,
+                "location": {"file": 0, "line": 42, "col": 3},
+            }
+        ],
+    }
+    with open(path, "wb") as f:
+        plistlib.dump(data, f)
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory() as td:
+        plist_dir = os.path.join(td, "plists")
+        os.mkdir(plist_dir)
+        _mk_plist(os.path.join(plist_dir, "a.plist"), "null deref", "h123")
+        baseline = os.path.join(td, "baseline")
+
+        # 1. empty baseline -> new issue must fail
+        if compare(plist_dir, baseline, update=False) != 1:
+            print("self-test FAILED: new issue did not fail the compare")
+            return 2
+        # 2. update, then compare -> clean
+        if compare(plist_dir, baseline, update=True) != 0:
+            print("self-test FAILED: --update errored")
+            return 2
+        if compare(plist_dir, baseline, update=False) != 0:
+            print("self-test FAILED: baselined issue still fails")
+            return 2
+        # 3. baseline survives file-path prefix changes (hash-keyed)
+        _mk_plist(os.path.join(plist_dir, "a.plist"), "null deref", "h123")
+        with open(os.path.join(plist_dir, "a.plist"), "rb") as f:
+            data = plistlib.load(f)
+        data["files"] = ["/other/prefix/src/core/gemm.cpp"]
+        with open(os.path.join(plist_dir, "a.plist"), "wb") as f:
+            plistlib.dump(data, f)
+        if compare(plist_dir, baseline, update=False) != 0:
+            print("self-test FAILED: path prefix change broke the baseline")
+            return 2
+        # 4. a second, unbaselined issue must fail
+        _mk_plist(os.path.join(plist_dir, "b.plist"), "leak", "h999")
+        if compare(plist_dir, baseline, update=False) != 1:
+            print("self-test FAILED: second new issue not caught")
+            return 2
+    print("self-test OK: new issues fail, baselined issues pass, "
+          "hash keying survives path changes")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("command", nargs="?", choices=("compare",))
+    ap.add_argument("--plist-dir", default=None)
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--update", action="store_true")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.command != "compare" or not args.plist_dir:
+        print("usage: scan_baseline.py compare --plist-dir DIR "
+              "[--baseline FILE] [--update]  (or --self-test)",
+              file=sys.stderr)
+        return 2
+    return compare(args.plist_dir, args.baseline, args.update)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
