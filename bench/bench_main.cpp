@@ -17,11 +17,26 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/env.hpp"
 
 namespace {
 
 using rla::obs::json::Value;
+
+double to_ns(double t, benchmark::TimeUnit unit) {
+  switch (unit) {
+    case benchmark::kNanosecond:
+      return t;
+    case benchmark::kMicrosecond:
+      return t * 1e3;
+    case benchmark::kMillisecond:
+      return t * 1e6;
+    case benchmark::kSecond:
+      return t * 1e9;
+  }
+  return t;
+}
 
 /// Console reporter that also records every finished run for the JSON
 /// export. (A separate "file" reporter would require --benchmark_out, so we
@@ -83,6 +98,10 @@ bool write_json_report(const std::string& path, const char* program,
   // report a gflops counter (aggregates from --benchmark_repetitions are
   // exported as runs but excluded here to avoid double counting).
   std::map<std::string, std::vector<double>> gflops;
+  // Per-family real-time percentiles via the same log2-bucket histogram +
+  // interpolated quantile the service SLO gauges use — one estimator, one
+  // set of semantics across bench and service reporting.
+  std::map<std::string, rla::obs::Histogram> times;
   for (const auto& run : collector.runs()) {
     runs.push_back(run_to_json(run));
     if (run.run_type == benchmark::BenchmarkReporter::Run::RT_Iteration) {
@@ -91,6 +110,10 @@ bool write_json_report(const std::string& path, const char* program,
           std::isfinite(static_cast<double>(it->second))) {
         // set_flops_counters publishes the counter in GFLOP/s already.
         gflops[run.benchmark_name()].push_back(static_cast<double>(it->second));
+      }
+      const double t_ns = to_ns(run.GetAdjustedRealTime(), run.time_unit);
+      if (std::isfinite(t_ns) && t_ns >= 0.0) {
+        times[run.benchmark_name()].record(static_cast<std::int64_t>(t_ns));
       }
     }
   }
@@ -103,6 +126,11 @@ bool write_json_report(const std::string& path, const char* program,
     entry.set("median_gflops", Value::number(median_of(values)));
     entry.set("min_gflops",
               Value::number(*std::min_element(values.begin(), values.end())));
+    if (const auto it = times.find(name); it != times.end()) {
+      entry.set("p50_ns", Value::number(it->second.quantile_interpolated(0.50)));
+      entry.set("p95_ns", Value::number(it->second.quantile_interpolated(0.95)));
+      entry.set("p99_ns", Value::number(it->second.quantile_interpolated(0.99)));
+    }
     summary.push_back(std::move(entry));
   }
   root.set("summary", std::move(summary));

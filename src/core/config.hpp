@@ -190,6 +190,12 @@ struct GemmConfig {
   /// "trace:busy" in the degradation trail.
   std::string trace_path;
 
+  /// Request-scoped trace id (0 = none). Minted by GemmService::submit (or a
+  /// caller correlating several gemms); the driver makes it ambient for the
+  /// whole call so every spawned task, trace event and flight-recorder
+  /// record carries it, and copies it into GemmProfile::trace_id.
+  std::uint64_t trace_id = 0;
+
   /// Measure burdened work/span along the executed task DAG (Cilkview-style)
   /// without necessarily writing a trace file: fills the measured_* fields
   /// of GemmProfile (achieved parallelism, critical path, slackness).

@@ -659,6 +659,16 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
   ProfileSink sink;
   sink.out = profile;
 
+  // Request-scoped trace id: explicit from the config, else whatever is
+  // already ambient (a service executor running several pieces under one
+  // request). Ambient for the whole call — TaskGroup::spawn stamps it into
+  // every task, so trace events and flight records keep request identity
+  // across steals — and recorded in the profile for joining artifacts.
+  const std::uint64_t trace_id =
+      cfg.trace_id != 0 ? cfg.trace_id : obs::current_trace_id();
+  obs::TraceIdScope trace_id_scope(trace_id);
+  if (profile != nullptr) profile->trace_id = trace_id;
+
   std::optional<WorkerPool> owned;
   WorkerPool* pool = cfg.pool;
   if (cfg.detect_races || cfg.analyze_numerics) {
@@ -871,6 +881,12 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
       reg.counter("sched.total.tasks").set(pool->tasks_executed());
       reg.gauge("sched.total.deque_high_water").set(pool->deque_high_water());
       reg.counter("sched.exceptions_swallowed").set(pool->exceptions_swallowed());
+      if (trace_id != 0) {
+        // Keyed into the trace's rla_metrics block so a metrics series and
+        // a Chrome trace join on the same request id.
+        reg.gauge("telemetry.trace_id")
+            .set(static_cast<std::int64_t>(trace_id));
+      }
       collector->detach();
       if (profile != nullptr) {
         profile->measured = true;

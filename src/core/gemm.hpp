@@ -29,6 +29,11 @@ namespace rla {
 /// Cost breakdown of one gemm call (all wall-clock seconds).
 /// The per-phase fields are aggregated across any submatrix splits.
 struct GemmProfile {
+  /// Request-scoped trace id this call ran under (GemmConfig::trace_id;
+  /// 0 = no request scope). Joins this profile with the matching Chrome
+  /// trace events, flight-recorder records and service metrics.
+  std::uint64_t trace_id = 0;
+
   double convert_in = 0.0;   ///< canonical -> recursive remap (A, B, C)
   double compute = 0.0;      ///< recursive multiplication proper
   double convert_out = 0.0;  ///< recursive -> canonical remap of C

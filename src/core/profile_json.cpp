@@ -124,6 +124,7 @@ void read_hw(const Value& obj, GemmProfile::HwCounters& out) {
 
 std::string GemmProfile::to_json() const {
   Value o = Value::object();
+  o.set("trace_id", Value::number(trace_id));
   o.set("convert_in", Value::number(convert_in));
   o.set("compute", Value::number(compute));
   o.set("convert_out", Value::number(convert_out));
@@ -198,6 +199,7 @@ bool GemmProfile::from_json(const std::string& text, GemmProfile& out) {
   if (!parsed || !parsed->is_object()) return false;
   const Value& o = *parsed;
   GemmProfile p;
+  read_u64(o, "trace_id", p.trace_id);
   read_double(o, "convert_in", p.convert_in);
   read_double(o, "compute", p.compute);
   read_double(o, "convert_out", p.convert_out);

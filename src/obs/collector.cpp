@@ -11,6 +11,23 @@
 
 namespace rla::obs {
 
+namespace {
+
+/// Request trace id ambient on this thread (0 = none). Maintained
+/// unconditionally — unlike the collector hooks it must survive with no
+/// collector armed, because flight-recorder events and GemmProfiles carry it
+/// too. Restored across task boundaries by TraceIdScope (worker_pool.cpp
+/// wraps each task body in the spawn-time tag's scope).
+thread_local std::uint64_t tl_trace_id = 0;
+
+}  // namespace
+
+std::uint64_t current_trace_id() noexcept { return tl_trace_id; }
+
+void set_current_trace_id(std::uint64_t trace) noexcept {
+  tl_trace_id = trace;
+}
+
 namespace detail {
 
 std::atomic<Collector*> g_collector{nullptr};
@@ -162,6 +179,7 @@ void pop_frame(GroupObs* fold_into) {
     TraceEvent e;
     e.name = f.name;
     e.kind = TraceEvent::Kind::Task;
+    e.trace = tl_trace_id;
     e.ts_ns = f.start_ns;
     e.dur_ns = now - f.start_ns;
     e.id = f.id;
@@ -190,6 +208,7 @@ void spawn_hook(TaskTag& tag, std::uint64_t seq) {
   TraceEvent e;
   e.name = "spawn";
   e.kind = TraceEvent::Kind::Spawn;
+  e.trace = tag.trace;
   e.ts_ns = now;
   e.id = tag.id;
   e.parent = tag.parent;
@@ -223,6 +242,7 @@ void run_begin(const TaskTag& tag, std::uint64_t seq) {
     TraceEvent e;
     e.name = "steal";
     e.kind = TraceEvent::Kind::Steal;
+    e.trace = tag.trace;
     e.ts_ns = now;
     e.id = id;
     e.parent = tag.parent;
@@ -263,6 +283,7 @@ void wait_end(GroupObs* fold_from) {
     TraceEvent e;
     e.name = "sync";
     e.kind = TraceEvent::Kind::Sync;
+    e.trace = tl_trace_id;
     e.ts_ns = now;
     e.parent = f.id;
     e.span_ns = f.span_ns;
@@ -407,6 +428,7 @@ void write_event(std::ostream& out, const TraceEvent& e, int tid,
   }
   out << ",\"args\":{";
   out << "\"id\":" << e.id << ",\"parent\":" << e.parent << ",\"seq\":" << e.seq;
+  if (e.trace != 0) out << ",\"trace\":" << e.trace;
   if (e.kind == TraceEvent::Kind::Task) {
     out << ",\"off_ns\":" << e.off_ns << ",\"lat_ns\":" << e.lat_ns
         << ",\"span_ns\":" << e.span_ns << ",\"excl_ns\":" << e.excl_ns
@@ -503,6 +525,7 @@ PhaseScope::~PhaseScope() {
   TraceEvent e;
   e.name = name_;
   e.kind = TraceEvent::Kind::Phase;
+  e.trace = current_trace_id();
   e.ts_ns = start_ns_;
   e.dur_ns = detail::now_ns() - start_ns_;
   if (hw_on_) {

@@ -49,6 +49,7 @@ struct TraceEvent {
   std::int64_t dur_ns = 0;   ///< 0 for instant events
   std::uint64_t id = 0;      ///< task id
   std::uint64_t parent = 0;  ///< spawning task id
+  std::uint64_t trace = 0;   ///< request trace id (0 = no request scope)
   std::uint64_t seq = 0;     ///< spawn index within the group
   std::int64_t off_ns = 0;   ///< span offset at spawn
   std::int64_t lat_ns = 0;   ///< spawn-to-start queue latency (burden)

@@ -27,6 +27,7 @@ class Collector;
 struct TaskTag {
   std::uint64_t id = 0;       ///< process-unique task id (0 = untraced)
   std::uint64_t parent = 0;   ///< id of the spawning task (0 = none/root)
+  std::uint64_t trace = 0;    ///< request trace id (0 = no request scope)
   std::int64_t off_ns = 0;    ///< parent's running span at the spawn point
   std::int64_t spawn_ns = 0;  ///< steady-clock time of the spawn
   int spawn_thread = -1;      ///< uid of the spawning thread (migration check)
@@ -74,6 +75,31 @@ int worker_hint() noexcept;
 inline bool armed() noexcept {
   return detail::g_collector.load(std::memory_order_relaxed) != nullptr;
 }
+
+/// The request trace id ambient on this thread (0 = none). Unlike the
+/// collector hooks this is maintained unconditionally — profiles and the
+/// flight recorder need request identity even with no collector armed.
+/// Defined in collector.cpp next to the other per-thread trace state.
+std::uint64_t current_trace_id() noexcept;
+void set_current_trace_id(std::uint64_t trace) noexcept;
+
+/// RAII: make `trace` ambient for the scope, restoring the previous id on
+/// exit. Installed by the gemm driver from GemmConfig::trace_id and by the
+/// pool when it runs a task (from the spawn-time TaskTag), so the id follows
+/// the request across steals.
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(std::uint64_t trace) noexcept
+      : prev_(current_trace_id()) {
+    set_current_trace_id(trace);
+  }
+  ~TraceIdScope() { set_current_trace_id(prev_); }
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
 
 /// Stamp a task's trace identity at the parallel spawn point.
 inline void on_spawn(TaskTag& tag, std::uint64_t seq) {

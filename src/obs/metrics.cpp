@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace rla::obs {
 
@@ -30,6 +31,37 @@ std::int64_t Histogram::quantile(double q) const noexcept {
     }
   }
   return max();
+}
+
+double Histogram::quantile_interpolated(double q) const noexcept {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (total == 1) return static_cast<double>(max());
+  // 0-based fractional rank: p0 is the smallest sample, p100 the largest.
+  const double rank = q * static_cast<double>(total - 1);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = bucket(i);
+    if (n == 0) continue;
+    if (static_cast<double>(seen + n) > rank) {
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i);
+      // No sample exceeds max(), so the bucket's effective upper edge is the
+      // smaller of its nominal edge and the observed maximum.
+      double hi = std::ldexp(1.0, i + 1) - 1.0;
+      const auto mx = static_cast<double>(max());
+      if (hi > mx) hi = mx;
+      if (hi < lo) return lo;
+      // Spread the bucket's n samples evenly across [lo, hi].
+      const double frac =
+          n > 1 ? (rank - static_cast<double>(seen)) / static_cast<double>(n - 1)
+                : 0.0;
+      return lo + (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac) * (hi - lo);
+    }
+    seen += n;
+  }
+  return static_cast<double>(max());
 }
 
 Counter& Registry::counter(const std::string& name) {
@@ -70,6 +102,7 @@ json::Value Registry::snapshot() const {
     entry.set("sum", json::Value::number(h->sum()));
     entry.set("max", json::Value::number(h->max()));
     entry.set("p50", json::Value::number(h->quantile(0.50)));
+    entry.set("p95", json::Value::number(h->quantile(0.95)));
     entry.set("p99", json::Value::number(h->quantile(0.99)));
     int top = Histogram::kBuckets;
     while (top > 0 && h->bucket(top - 1) == 0) --top;

@@ -88,6 +88,14 @@ class Histogram {
   /// bucketed counts (upper bucket edge; a factor-2 overestimate at worst).
   std::int64_t quantile(double q) const noexcept;
 
+  /// Quantile estimate with linear interpolation inside the containing
+  /// bucket. Exact on an empty histogram (0) and on a single sample (the
+  /// sample itself); otherwise interpolates rank q*(count-1) between the
+  /// bucket's lower edge and min(upper edge, max()), so p0 and p100 stay
+  /// inside the observed range. Feeds the service SLO gauges and the bench
+  /// --json percentiles.
+  double quantile_interpolated(double q) const noexcept;
+
  private:
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> count_{0};

@@ -50,6 +50,15 @@ namespace rla::obs::schema {
   X(Histogram, "service.queue_ns",               true)                         \
   X(Histogram, "service.run_ns",                 true)                         \
   X(Histogram, "service.total_ns",               true)                         \
+  /* --- per-priority-class SLO series (service.cpp telemetry fold) --- */     \
+  X(Histogram, "service.priority.*",             false) /* <class>.total_ns */ \
+  X(Gauge,     "service.slo.*",                  false) /* quantiles, rates */ \
+  /* --- telemetry pipeline (src/obs/telemetry/, service.cpp) --- */           \
+  X(Counter,   "telemetry.snapshots",            true)                         \
+  X(Counter,   "telemetry.flight.events",        true)                         \
+  X(Counter,   "telemetry.flight.dropped",       true)                         \
+  X(Counter,   "telemetry.flight.dumps",         true)                         \
+  X(Gauge,     "telemetry.trace_id",             false)                        \
   /* --- conversion-buffer arena (service.cpp export) --- */                   \
   X(Gauge,     "arena.budget_bytes",             false)                        \
   X(Gauge,     "arena.reserved_bytes",           false)                        \

@@ -1,0 +1,87 @@
+#include "obs/telemetry/endpoint.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rla::obs::telemetry {
+
+namespace {
+
+bool send_all(int fd, const char* buf, std::size_t len) noexcept {
+  while (len > 0) {
+    const ::ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buf += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ExpositionServer::ExpositionServer(std::string socket_path, Producer producer)
+    : path_(std::move(socket_path)), producer_(std::move(producer)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() + 1 > sizeof(addr.sun_path)) {
+    error_ = "socket path too long: " + path_;
+    return;
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  ::unlink(path_.c_str());  // stale socket from a crashed predecessor
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 8) < 0) {
+    error_ = std::string("bind/listen ") + path_ + ": " + std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  fd_ = fd;
+  thread_ = std::thread([this] { main(); });
+}
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+void ExpositionServer::main() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 200 /*ms*/);
+    if (ready <= 0) continue;  // timeout, EINTR: re-check the stop flag
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    const std::string doc = producer_ ? producer_() : std::string();
+    send_all(conn, doc.data(), doc.size());
+    ::close(conn);
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ExpositionServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (!thread_.joinable()) return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+  }
+}
+
+}  // namespace rla::obs::telemetry

@@ -1,0 +1,59 @@
+#pragma once
+
+// Live exposition endpoint: a Unix-domain stream socket that serves one
+// telemetry document per connection (DESIGN.md §15). This is the first step
+// toward the ROADMAP wire protocol — connect, read the full Prometheus text
+// (or whatever the producer renders), EOF:
+//
+//   rla_gemm --serve --telemetry-socket=/tmp/rla.sock ... &
+//   nc -U /tmp/rla.sock        # or socat - UNIX-CONNECT:/tmp/rla.sock
+//
+// A Unix socket rather than TCP keeps the surface local-only (filesystem
+// permissions are the ACL) and needs no port allocation in CI.
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace rla::obs::telemetry {
+
+class ExpositionServer {
+ public:
+  /// Renders the document served to each connection; invoked per accept on
+  /// the server thread.
+  using Producer = std::function<std::string()>;
+
+  /// Binds and starts the accept loop. On failure `ok()` is false and
+  /// `error()` says why; the object is inert but safely destructible.
+  ExpositionServer(std::string socket_path, Producer producer);
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  bool ok() const noexcept { return fd_ >= 0; }
+  const std::string& error() const noexcept { return error_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Connections served so far.
+  std::uint64_t served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  /// Stop the accept loop, close and unlink the socket; idempotent.
+  void stop();
+
+ private:
+  void main();
+
+  std::string path_;
+  Producer producer_;
+  std::string error_;
+  int fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread thread_;
+};
+
+}  // namespace rla::obs::telemetry

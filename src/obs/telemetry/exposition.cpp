@@ -1,0 +1,92 @@
+#include "obs/telemetry/exposition.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+namespace rla::obs::telemetry {
+
+namespace {
+
+std::string number_text(const json::Value& v) {
+  // Numbers in the snapshot keep their source text; dump() re-emits it
+  // verbatim, which is exactly the exposition-friendly form.
+  return v.is_number() ? v.dump() : "0";
+}
+
+void render_scalar_section(const json::Value& doc, const char* section,
+                           const char* type, std::string& out) {
+  const json::Value* values = doc.find(section);
+  if (values == nullptr || !values->is_object()) return;
+  for (const auto& [name, value] : values->members()) {
+    if (!value.is_number()) continue;
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " " + type + "\n";
+    out += prom + " " + number_text(value) + "\n";
+  }
+}
+
+void render_histogram(const std::string& name, const json::Value& hist,
+                      std::string& out) {
+  const json::Value* buckets = hist.find("buckets");
+  const json::Value* count = hist.find("count");
+  const json::Value* sum = hist.find("sum");
+  if (buckets == nullptr || !buckets->is_array() || count == nullptr ||
+      sum == nullptr) {
+    return;
+  }
+  const std::string prom = prometheus_name(name);
+  out += "# TYPE " + prom + " histogram\n";
+  std::uint64_t cumulative = 0;
+  int i = 0;
+  for (const json::Value& b : buckets->items()) {
+    const std::uint64_t n = b.is_number() ? b.as_uint() : 0;
+    cumulative += n;
+    if (n != 0) {
+      // Upper edge of log2 bucket i is 2^(i+1)-1 (inclusive, integer ns);
+      // emit only the informative (non-empty) buckets — `le` is cumulative,
+      // so skipping an empty one loses nothing.
+      const std::uint64_t edge =
+          i >= 63 ? UINT64_MAX : (std::uint64_t{1} << (i + 1)) - 1;
+      out += prom + "_bucket{le=\"" + std::to_string(edge) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    ++i;
+  }
+  // A racing writer can make the scalar count lag the bucket tallies by an
+  // event or two; keep the exposition internally monotone.
+  std::uint64_t total = count->is_number() ? count->as_uint() : 0;
+  if (cumulative > total) total = cumulative;
+  out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
+  out += prom + "_sum " + number_text(*sum) + "\n";
+  out += prom + "_count " + std::to_string(total) + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "rla_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_text(const json::Value& snapshot) {
+  std::string out;
+  if (!snapshot.is_object()) return out;
+  render_scalar_section(snapshot, "counters", "counter", out);
+  render_scalar_section(snapshot, "gauges", "gauge", out);
+  const json::Value* histograms = snapshot.find("histograms");
+  if (histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, hist] : histograms->members()) {
+      if (hist.is_object()) render_histogram(name, hist, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace rla::obs::telemetry

@@ -1,0 +1,33 @@
+#pragma once
+
+// Prometheus text exposition (version 0.0.4) of a metrics snapshot
+// (DESIGN.md §15).
+//
+// Input is the JSON document Registry::snapshot() produces —
+// {"counters":{...},"gauges":{...},"histograms":{...}} — which is also what
+// GemmService::metrics_json() and the TelemetrySnapshotter samples hold, so
+// one renderer covers the live endpoint, the --serve status dump and the
+// soak artifacts. Names are mapped to the Prometheus grammar by prefixing
+// `rla_` and folding every non-[a-zA-Z0-9_] character to `_`
+// (service.queue_ns → rla_service_queue_ns).
+//
+// Log2 histograms render as native Prometheus histograms: cumulative
+// `_bucket{le="2^(i+1)-1"}` series per non-empty prefix, a `+Inf` bucket
+// equal to `_count`, plus `_sum`. tools/check_exposition.py validates the
+// result in CI.
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace rla::obs::telemetry {
+
+/// `service.queue_ns` → `rla_service_queue_ns`.
+std::string prometheus_name(const std::string& name);
+
+/// Render a Registry::snapshot()-shaped document as Prometheus text
+/// exposition. Unknown sections are ignored; an empty document renders to an
+/// empty string.
+std::string prometheus_text(const json::Value& snapshot);
+
+}  // namespace rla::obs::telemetry

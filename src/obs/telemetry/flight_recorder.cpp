@@ -1,0 +1,242 @@
+#include "obs/telemetry/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+
+#include "util/env.hpp"
+
+namespace rla::obs::telemetry {
+
+namespace {
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t round_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// --- async-signal-safe formatting ------------------------------------------
+// Hand-rolled: the dump runs inside fatal-signal handlers where snprintf,
+// locales and the heap are all off the table.
+
+std::size_t fmt_u64(char* out, std::uint64_t v) noexcept {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+std::size_t fmt_i64(char* out, std::int64_t v) noexcept {
+  if (v >= 0) return fmt_u64(out, static_cast<std::uint64_t>(v));
+  out[0] = '-';
+  return 1 + fmt_u64(out + 1, 0 - static_cast<std::uint64_t>(v));
+}
+
+std::size_t put_str(char* out, const char* s) noexcept {
+  std::size_t n = 0;
+  while (s[n] != '\0') {
+    out[n] = s[n];
+    ++n;
+  }
+  return n;
+}
+
+bool write_all(int fd, const char* buf, std::size_t len) noexcept {
+  while (len > 0) {
+    const ::ssize_t n = ::write(fd, buf, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buf += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* flight_event_kind_name(FlightEventKind kind) noexcept {
+  switch (kind) {
+    case FlightEventKind::Admit:
+      return "admit";
+    case FlightEventKind::Queue:
+      return "queue";
+    case FlightEventKind::Start:
+      return "start";
+    case FlightEventKind::Degrade:
+      return "degrade";
+    case FlightEventKind::Retry:
+      return "retry";
+    case FlightEventKind::Deadline:
+      return "deadline";
+    case FlightEventKind::Stall:
+      return "stall";
+    case FlightEventKind::Finalize:
+      return "finalize";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  if (capacity == 0) {
+    const int n = env_int("RLA_TELEMETRY_FLIGHT_EVENTS", 4096);
+    capacity = n > 0 ? static_cast<std::size_t>(n) : 4096;
+  }
+  if (capacity < 16) capacity = 16;
+  cap_ = round_pow2(capacity);
+  slots_ = std::make_unique<Slot[]>(cap_);
+}
+
+// rla-hotpath
+void FlightRecorder::record(FlightEventKind kind, std::uint64_t request,
+                            std::uint64_t trace, std::int64_t detail) noexcept {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[seq & (cap_ - 1)];
+  slot.stamp.store(2 * seq + 1, std::memory_order_release);
+  slot.request.store(request, std::memory_order_relaxed);
+  slot.trace.store(trace, std::memory_order_relaxed);
+  slot.t_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  slot.detail.store(detail, std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  slot.stamp.store(2 * seq + 2, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t start = head > cap_ ? head - cap_ : 0;
+  out.reserve(static_cast<std::size_t>(head - start));
+  for (std::uint64_t seq = start; seq < head; ++seq) {
+    const Slot& slot = slots_[seq & (cap_ - 1)];
+    const std::uint64_t s1 = slot.stamp.load(std::memory_order_acquire);
+    if (s1 != 2 * seq + 2) continue;  // overwritten or mid-write
+    FlightEvent ev;
+    ev.seq = seq;
+    ev.request = slot.request.load(std::memory_order_relaxed);
+    ev.trace = slot.trace.load(std::memory_order_relaxed);
+    ev.t_ns = slot.t_ns.load(std::memory_order_relaxed);
+    ev.detail = slot.detail.load(std::memory_order_relaxed);
+    ev.kind = static_cast<FlightEventKind>(
+        slot.kind.load(std::memory_order_relaxed));
+    if (slot.stamp.load(std::memory_order_acquire) != s1) continue;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+// rla-hotpath
+bool FlightRecorder::dump_fd(int fd) const noexcept {
+  char buf[256];
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t start = head > cap_ ? head - cap_ : 0;
+  char* p = buf;
+  p += put_str(p, "{\"kind\":\"flight_recorder\",\"recorded\":");
+  p += fmt_u64(p, head);
+  p += put_str(p, ",\"dropped\":");
+  p += fmt_u64(p, head > cap_ ? head - cap_ : 0);
+  p += put_str(p, ",\"capacity\":");
+  p += fmt_u64(p, cap_);
+  p += put_str(p, "}\n");
+  if (!write_all(fd, buf, static_cast<std::size_t>(p - buf))) return false;
+  for (std::uint64_t seq = start; seq < head; ++seq) {
+    const Slot& slot = slots_[seq & (cap_ - 1)];
+    const std::uint64_t s1 = slot.stamp.load(std::memory_order_acquire);
+    if (s1 != 2 * seq + 2) continue;  // overwritten or mid-write
+    const std::uint64_t request = slot.request.load(std::memory_order_relaxed);
+    const std::uint64_t trace = slot.trace.load(std::memory_order_relaxed);
+    const std::int64_t t_ns = slot.t_ns.load(std::memory_order_relaxed);
+    const std::int64_t detail = slot.detail.load(std::memory_order_relaxed);
+    const std::uint8_t kind = slot.kind.load(std::memory_order_relaxed);
+    if (slot.stamp.load(std::memory_order_acquire) != s1) continue;
+    const char* name =
+        kind <= static_cast<std::uint8_t>(FlightEventKind::Finalize)
+            ? flight_event_kind_name(static_cast<FlightEventKind>(kind))
+            : "unknown";
+    p = buf;
+    p += put_str(p, "{\"seq\":");
+    p += fmt_u64(p, seq);
+    p += put_str(p, ",\"request\":");
+    p += fmt_u64(p, request);
+    p += put_str(p, ",\"trace\":");
+    p += fmt_u64(p, trace);
+    p += put_str(p, ",\"t_ns\":");
+    p += fmt_i64(p, t_ns);
+    p += put_str(p, ",\"event\":\"");
+    p += put_str(p, name);
+    p += put_str(p, "\",\"detail\":");
+    p += fmt_i64(p, detail);
+    p += put_str(p, "}\n");
+    if (!write_all(fd, buf, static_cast<std::size_t>(p - buf))) return false;
+  }
+  return true;
+}
+
+// rla-hotpath
+bool FlightRecorder::dump_to_path(const char* path) const noexcept {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);  // hotpath-exempt: open(2) is an async-signal-safe syscall
+  if (fd < 0) return false;
+  const bool ok = dump_fd(fd);
+  ::close(fd);  // hotpath-exempt: close(2) is an async-signal-safe syscall
+  return ok;
+}
+
+// --- fatal-signal dump ------------------------------------------------------
+
+namespace {
+
+std::atomic<FlightRecorder*> g_fatal_recorder{nullptr};
+char g_fatal_path[512] = {0};
+
+// rla-hotpath
+void fatal_dump_handler(int sig) noexcept {
+  const int saved_errno = errno;
+  FlightRecorder* rec = g_fatal_recorder.load(std::memory_order_acquire);
+  if (rec != nullptr && g_fatal_path[0] != '\0') {
+    rec->dump_to_path(g_fatal_path);
+  }
+  errno = saved_errno;
+  // Re-raise with the default disposition: the dump is a side stop, the
+  // crash (core, abort message, exit code) must still happen.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_fatal_dump(FlightRecorder* rec, const char* path) {
+  if (rec == nullptr || path == nullptr || path[0] == '\0') {
+    g_fatal_recorder.store(nullptr, std::memory_order_release);
+    return;
+  }
+  std::size_t n = 0;
+  while (path[n] != '\0' && n + 1 < sizeof(g_fatal_path)) {
+    g_fatal_path[n] = path[n];
+    ++n;
+  }
+  g_fatal_path[n] = '\0';
+  g_fatal_recorder.store(rec, std::memory_order_release);
+  struct sigaction sa;
+  sa.sa_handler = &fatal_dump_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace rla::obs::telemetry

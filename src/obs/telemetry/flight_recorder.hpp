@@ -1,0 +1,123 @@
+#pragma once
+
+// Always-on flight recorder: a bounded, lock-free ring of request-lifecycle
+// events, built to be readable from the places where nothing else is —
+// the watchdog's stall path, a deadline blow-up, and a fatal-signal handler
+// (DESIGN.md §15).
+//
+// Writers (`record`) never allocate, lock, or block: a global ticket
+// (fetch_add) picks the slot, a per-slot stamp makes the write a seqlock so
+// concurrent readers detect torn payloads and skip them. When the ring wraps,
+// the oldest events are overwritten — `dropped()` counts how many.
+//
+// Two dump paths:
+//   * `snapshot()` — ordered copy for tests and in-process inspection
+//     (allocates; not signal-safe);
+//   * `dump_fd` / `dump_to_path` — async-signal-safe JSONL writers: raw
+//     write(2), hand-rolled integer formatting, no locks, no allocation, no
+//     throwing. These are in the rla_lint C1 hotpath purity closure.
+//
+// Bundle format (JSONL): one header line
+//   {"kind":"flight_recorder","recorded":N,"dropped":N,"capacity":N}
+// then one line per surviving event, oldest first:
+//   {"seq":N,"request":N,"trace":N,"t_ns":N,"event":"admit","detail":N}
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rla::obs::telemetry {
+
+/// Request-lifecycle event kinds, in nominal order of occurrence. `Degrade`,
+/// `Retry` and `Deadline` may repeat and interleave between `Start` and
+/// `Finalize`; `Finalize` is terminal for a request.
+enum class FlightEventKind : std::uint8_t {
+  Admit = 0,
+  Queue,
+  Start,
+  Degrade,
+  Retry,
+  Deadline,
+  Stall,
+  Finalize,
+};
+
+/// Stable lower-case name for the JSONL `event` field.
+const char* flight_event_kind_name(FlightEventKind kind) noexcept;
+
+/// One recorded lifecycle event. POD on purpose: the signal-safe dump reads
+/// these fields straight out of the ring.
+struct FlightEvent {
+  std::uint64_t seq = 0;      ///< global order ticket (gap-free)
+  std::uint64_t request = 0;  ///< service request id
+  std::uint64_t trace = 0;    ///< request trace id (joins traces/profiles)
+  std::int64_t t_ns = 0;      ///< steady-clock nanoseconds
+  std::int64_t detail = 0;    ///< kind-specific payload (priority, attempt…)
+  FlightEventKind kind = FlightEventKind::Admit;
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to a power of two; 0 reads
+  /// RLA_TELEMETRY_FLIGHT_EVENTS (default 4096, min 16).
+  explicit FlightRecorder(std::size_t capacity = 0);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Lock-free, allocation-free, wait-free modulo the ticket CAS loop
+  /// inside fetch_add. Safe from any thread, any time.
+  void record(FlightEventKind kind, std::uint64_t request, std::uint64_t trace,
+              std::int64_t detail = 0) noexcept;
+
+  std::size_t capacity() const noexcept { return cap_; }
+  /// Total events ever recorded (survivors + overwritten).
+  std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+  /// Events lost to ring overwrite so far.
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t n = recorded();
+    return n > cap_ ? n - cap_ : 0;
+  }
+
+  /// Ordered (oldest-first) copy of the surviving window. Skips slots whose
+  /// payload a concurrent writer is mid-update. Allocates; NOT signal-safe.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Async-signal-safe JSONL dump to an open descriptor. Returns false on a
+  /// short or failed write.
+  bool dump_fd(int fd) const noexcept;
+
+  /// Async-signal-safe open/dump/close to a path (O_CREAT|O_TRUNC, 0644).
+  bool dump_to_path(const char* path) const noexcept;
+
+ private:
+  /// Ring slot, a per-slot seqlock. The payload fields are relaxed atomics
+  /// (not a plain struct) so a reader racing a wrapping writer is data-race
+  /// free; the stamp brackets detect the torn window and the reader skips it.
+  struct Slot {
+    /// 0 empty; 2*seq+1 while the payload for ticket `seq` is being
+    /// written; 2*seq+2 once it is complete.
+    std::atomic<std::uint64_t> stamp{0};
+    std::atomic<std::uint64_t> request{0};
+    std::atomic<std::uint64_t> trace{0};
+    std::atomic<std::int64_t> t_ns{0};
+    std::atomic<std::int64_t> detail{0};
+    std::atomic<std::uint8_t> kind{0};
+  };
+
+  std::size_t cap_;  ///< power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};  ///< next ticket
+};
+
+/// Arm a process-wide fatal handler (SIGSEGV, SIGBUS, SIGFPE, SIGABRT) that
+/// dumps `rec` to `path` with the signal-safe writer, then re-raises with
+/// the default disposition so the crash still crashes. One recorder/path per
+/// process; a second call re-points the globals. Pass rec=nullptr to disarm.
+void install_fatal_dump(FlightRecorder* rec, const char* path);
+
+}  // namespace rla::obs::telemetry

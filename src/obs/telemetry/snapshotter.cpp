@@ -1,0 +1,123 @@
+#include "obs/telemetry/snapshotter.hpp"
+
+#include <utility>
+
+#include "util/env.hpp"
+
+namespace rla::obs::telemetry {
+
+namespace {
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Snapshotter::Snapshotter(Sampler sampler, Options opts)
+    : sampler_(std::move(sampler)), period_(opts.period) {
+  if (period_ < std::chrono::milliseconds(1)) {
+    period_ = std::chrono::milliseconds(1);
+  }
+  std::size_t ring = opts.ring;
+  if (ring == 0) {
+    const int n = env_int("RLA_TELEMETRY_RING", 128);
+    ring = n > 0 ? static_cast<std::size_t>(n) : 128;
+  }
+  ring_cap_ = ring < 2 ? 2 : ring;
+  thread_ = std::thread([this] { main(); });
+}
+
+Snapshotter::~Snapshotter() { stop(); }
+
+void Snapshotter::main() {
+  for (;;) {
+    {
+      MutexLock lock(ring_mutex_);
+      const bool stopping = stop_cv_.wait_for(
+          ring_mutex_, lock, period_,
+          [this]() RLA_REQUIRES(ring_mutex_) { return stopping_; });
+      if (stopping) return;
+    }
+    sample_now();
+  }
+}
+
+void Snapshotter::sample_now() {
+  // Invoke the sampler unlocked: it may take service/pool/arena-rank locks,
+  // all of which outrank ring_mutex_ (registry).
+  Sample s;
+  s.doc = sampler_ ? sampler_() : json::Value::object();
+  s.t_ns = steady_now_ns();
+  push(std::move(s));
+}
+
+void Snapshotter::push(Sample&& s) {
+  MutexLock lock(ring_mutex_);
+  if (ring_.size() < ring_cap_) {
+    ring_.push_back(std::move(s));
+  } else {
+    ring_[next_ % ring_cap_] = std::move(s);
+  }
+  next_ = (next_ + 1) % ring_cap_;
+  ++taken_;
+}
+
+void Snapshotter::stop() {
+  bool join_here = false;
+  {
+    MutexLock lock(ring_mutex_);
+    stopping_ = true;
+    if (!joined_) {
+      joined_ = true;
+      join_here = true;
+    }
+  }
+  stop_cv_.notify_all();  // publishes: stopping_
+  if (join_here) {
+    thread_.join();
+    // Final sample after the thread quiesced: a service shut down between
+    // two periods still leaves a closing data point in the series.
+    sample_now();
+  }
+}
+
+std::uint64_t Snapshotter::samples() const {
+  MutexLock lock(ring_mutex_);
+  return taken_;
+}
+
+std::string Snapshotter::jsonl() const {
+  // Copy the window under the lock, serialize outside it.
+  std::vector<Sample> window;
+  {
+    MutexLock lock(ring_mutex_);
+    window.reserve(ring_.size());
+    const std::size_t n = ring_.size();
+    // Oldest-first: once the ring is full, next_ points at the oldest slot.
+    const std::size_t first = n < ring_cap_ ? 0 : next_ % ring_cap_;
+    for (std::size_t i = 0; i < n; ++i) {
+      window.push_back(ring_[(first + i) % n]);
+    }
+  }
+  std::string out;
+  for (const Sample& s : window) {
+    json::Value line = json::Value::object();
+    line.set("t_ns", json::Value::number(s.t_ns));
+    line.set("sample", s.doc);
+    out += line.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+json::Value Snapshotter::latest() const {
+  MutexLock lock(ring_mutex_);
+  if (ring_.empty()) return json::Value();
+  const std::size_t newest = (next_ + ring_cap_ - 1) % ring_cap_;
+  return ring_[newest < ring_.size() ? newest : ring_.size() - 1].doc;
+}
+
+}  // namespace rla::obs::telemetry

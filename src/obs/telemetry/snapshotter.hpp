@@ -1,0 +1,85 @@
+#pragma once
+
+// TelemetrySnapshotter: a sampling thread that periodically invokes a caller
+// supplied sampler (for GemmService: fold live gauges + sched_snapshot() +
+// arena occupancy + the inflight table into a metrics document) and retains
+// the results in a bounded time-series ring (DESIGN.md §15).
+//
+// The sampler runs *without* the snapshotter's own lock held: for the
+// service it acquires service-rank locks, while ring_mutex_ sits at
+// registry rank, so invoking it under our lock would invert the hierarchy.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "support/sync.hpp"
+
+namespace rla::obs::telemetry {
+
+class Snapshotter {
+ public:
+  /// Produces one sample document (typically a Registry::snapshot() with
+  /// live gauges folded in). Invoked from the snapshotter thread with no
+  /// snapshotter lock held.
+  using Sampler = std::function<json::Value()>;
+
+  struct Options {
+    std::chrono::milliseconds period{100};
+    std::size_t ring = 0;  ///< retained samples; 0 reads RLA_TELEMETRY_RING
+  };
+
+  /// Starts the sampling thread immediately.
+  Snapshotter(Sampler sampler, Options opts);
+  ~Snapshotter();
+
+  Snapshotter(const Snapshotter&) = delete;
+  Snapshotter& operator=(const Snapshotter&) = delete;
+
+  /// Stop and join the sampling thread; idempotent. One final sample is
+  /// taken on the way out so a short-lived service still exports a series.
+  void stop();
+
+  /// Take one sample right now (synchronously, on the caller's thread).
+  void sample_now();
+
+  /// Samples taken over the snapshotter's lifetime (ring may hold fewer).
+  std::uint64_t samples() const;
+
+  /// The retained window as JSONL, oldest first: one
+  /// {"t_ns":...,"sample":{...}} object per line.
+  std::string jsonl() const;
+
+  /// The newest retained sample, or a null value when none was taken yet.
+  json::Value latest() const;
+
+ private:
+  struct Sample {
+    std::int64_t t_ns = 0;
+    json::Value doc;
+  };
+
+  void main();
+  void push(Sample&& s);
+
+  Sampler sampler_;
+  std::chrono::milliseconds period_;
+  std::size_t ring_cap_;
+
+  /// Guards the ring and the stop flag only — never held across sampler_().
+  mutable Mutex ring_mutex_;  // lock-level: registry
+  CondVar stop_cv_;
+  bool stopping_ RLA_GUARDED_BY(ring_mutex_) = false;
+  bool joined_ RLA_GUARDED_BY(ring_mutex_) = false;
+  std::vector<Sample> ring_ RLA_GUARDED_BY(ring_mutex_);
+  std::size_t next_ RLA_GUARDED_BY(ring_mutex_) = 0;
+  std::uint64_t taken_ RLA_GUARDED_BY(ring_mutex_) = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace rla::obs::telemetry

@@ -156,6 +156,10 @@ void WorkerPool::run_node(TaskNode* node) {
     // Scope must close before finish(): the waiter may return from wait()
     // and destroy the group — and its span accumulator — as soon as
     // pending_ hits zero, and the scope's destructor folds into it.
+    // The spawn-time trace id becomes ambient for the body (and for the
+    // trace events the run scope emits), then the worker's previous scope
+    // is restored — a stolen task never leaks its request id to the victim.
+    obs::TraceIdScope trace_scope(node->tag.trace);
     obs::RunTaskScope tscope(node->tag, node->seq,
                              group != nullptr ? &group->obs_ : nullptr);
     try {

@@ -1,17 +1,25 @@
 #include "service/service.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <exception>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "obs/schema.hpp"
+#include "obs/telemetry/exposition.hpp"
+#include "obs/telemetry/trace_id.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
 #include "util/env.hpp"
 
 namespace rla::service {
+
+using FlightKind = obs::telemetry::FlightEventKind;
 
 namespace {
 
@@ -26,6 +34,14 @@ std::uint64_t next_pow2(std::uint64_t v) noexcept {
   while (p < v) p <<= 1;
   return p;
 }
+
+/// SLO bucketing: three coarse priority classes keep the per-class
+/// histogram count fixed and the series names enumerable.
+const char* priority_class(int priority) noexcept {
+  return priority < 0 ? "low" : priority > 0 ? "high" : "normal";
+}
+
+constexpr const char* kPriorityClasses[] = {"low", "normal", "high"};
 
 }  // namespace
 
@@ -58,6 +74,9 @@ ServiceConfig ServiceConfig::from_env() {
                     (std::size_t{1} << 20);
   cfg.watchdog_period = std::chrono::milliseconds(
       std::max<std::int64_t>(1, env_int("RLA_SERVICE_WATCHDOG_MS", 10)));
+  cfg.telemetry_period = std::chrono::milliseconds(
+      std::max<std::int64_t>(0, env_int("RLA_TELEMETRY_PERIOD_MS", 0)));
+  cfg.flight_dump_path = env_string("RLA_TELEMETRY_FLIGHT_DUMP");
   return cfg;
 }
 
@@ -68,6 +87,7 @@ struct GemmService::Pending {
   Request req;
   std::promise<Response> promise;
   std::uint64_t id = 0;
+  std::uint64_t trace = 0;  ///< minted at submit; immutable afterwards
 
   /// The cooperative cancel token GemmConfig::cancel points at. Set by the
   /// watchdog on deadline expiry, or by nobody.
@@ -142,11 +162,21 @@ GemmService::GemmService(ServiceConfig cfg)
     registry_.counter(std::string("service.outcome.") +  // metric-family: service.outcome.*
                       std::string(outcome_name(o)));
   }
+  for (const char* cls : kPriorityClasses) {
+    registry_.histogram(std::string("service.priority.") +  // metric-family: service.priority.*
+                        cls + ".total_ns");
+  }
   executors_.reserve(cfg_.executors);
   for (unsigned e = 0; e < cfg_.executors; ++e) {
     executors_.emplace_back([this] { executor_main(); });
   }
   watchdog_ = std::thread([this] { watchdog_main(); });
+  if (cfg_.telemetry_period.count() > 0) {
+    obs::telemetry::Snapshotter::Options opts;
+    opts.period = cfg_.telemetry_period;
+    snapshotter_ = std::make_unique<obs::telemetry::Snapshotter>(
+        [this] { return telemetry_sample(); }, opts);
+  }
 }
 
 GemmService::~GemmService() { shutdown(); }
@@ -173,24 +203,34 @@ std::size_t GemmService::estimate_bytes(const Request& req) const noexcept {
   return 4 * (m * k + k * n + m * n) * sizeof(double);
 }
 
-bool GemmService::degrade_step(Pending& p, const char* why) {
+bool GemmService::degrade_step(Pending& p, const char* why, bool record_flight) {
   GemmConfig& g = p.req.cfg;
   std::string step("service:degraded:");
   step += why;
+  std::int64_t rung = 0;
   if (g.algorithm != Algorithm::Standard &&
       g.fast_variant != FastVariant::SerialLowMem) {
     g.fast_variant = FastVariant::SerialLowMem;
     p.note(step + ":fast->serial-lowmem");
+    rung = 1;
   } else if (g.algorithm != Algorithm::Standard ||
              g.standard_variant != StandardVariant::InPlace) {
     g.algorithm = Algorithm::Standard;
     g.standard_variant = StandardVariant::InPlace;
     p.note(step + ":->standard-inplace");
+    rung = 2;
   } else if (g.layout != Curve::ColMajor) {
     g.layout = Curve::ColMajor;
     p.note(step + ":->canonical");
+    rung = 3;
   } else {
     return false;  // already at the floor
+  }
+  // Admission-ladder degrades (record_flight = false) stay out of the ring:
+  // the request is not admitted yet, and the bundle-closure invariant only
+  // covers requests between their Admit and Finalize events.
+  if (record_flight) {
+    flight_.record(FlightKind::Degrade, p.id, p.trace, rung);
   }
   return true;
 }
@@ -200,6 +240,11 @@ std::future<Response> GemmService::submit(const Request& req) {
   p->req = req;
   p->submit_tp = Clock::now();
   if (req.deadline.count() > 0) p->deadline_tp = p->submit_tp + req.deadline;
+  // Mint the request-scoped trace id before anything can fail: every
+  // response — even a Rejected one — carries it, and the gemm driver makes
+  // it ambient so trace events and the profile join back to this request.
+  p->trace = obs::telemetry::mint_trace_id();
+  p->req.cfg.trace_id = p->trace;
   std::future<Response> fut = p->promise.get_future();
   registry_.counter("service.submitted").add();
 
@@ -214,6 +259,7 @@ std::future<Response> GemmService::submit(const Request& req) {
     r.outcome = Outcome::Rejected;
     r.reason = reason;
     r.id = p->id;
+    r.trace_id = p->trace;
     p->done.store(true, std::memory_order_release);
     p->promise.set_value(std::move(r));
     return std::move(fut);
@@ -240,7 +286,7 @@ std::future<Response> GemmService::submit(const Request& req) {
   // allocation instead of after a failure).
   BufferArena::Reservation res = arena_.try_reserve(estimate_bytes(p->req));
   while (!res) {
-    if (!p->req.allow_degradation || !degrade_step(*p, "arena")) {
+    if (!p->req.allow_degradation || !degrade_step(*p, "arena", false)) {
       registry_.counter("service.arena_rejections").add();
       return reject("arena-budget");
     }
@@ -264,6 +310,14 @@ std::future<Response> GemmService::submit(const Request& req) {
   registry_.counter("service.accepted").add();
   registry_.gauge("service.queue_depth_high_water")
       .fold_max(static_cast<std::int64_t>(queue_.size()));
+  // Admit + Queue under the same hold that makes the request visible, and
+  // the open_ insert with them: a bundle dump (one hold of this mutex) can
+  // then prove closure — flight events without a Finalize imply a row in
+  // the inflight table.
+  open_.emplace(p->id, p);
+  flight_.record(FlightKind::Admit, p->id, p->trace, p->req.priority);
+  flight_.record(FlightKind::Queue, p->id, p->trace,
+                 static_cast<std::int64_t>(queue_.size()));
   lock.unlock();
   work_cv_.notify_one();  // publishes: queue_ (one new Pending)
   return fut;
@@ -289,6 +343,7 @@ std::shared_ptr<GemmService::Pending> GemmService::dequeue() {
   // Release-publishes run_tp to finalize()'s acquire load.
   p->started.store(true, std::memory_order_release);
   running_.push_back(p);
+  flight_.record(FlightKind::Start, p->id, p->trace);
   return p;
 }
 
@@ -302,6 +357,7 @@ void GemmService::finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
   r.reason = std::move(reason);
   r.profile = std::move(profile);
   r.id = p->id;
+  r.trace_id = p->trace;
   {
     MutexLock lock(p->trail_mutex);
     r.degradation_trail = p->trail;
@@ -333,6 +389,11 @@ void GemmService::finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
     if (rit != running_.end()) running_.erase(rit);
     auto qit = std::find(queue_.begin(), queue_.end(), p);
     if (qit != queue_.end()) queue_.erase(qit);
+    // Finalize in the same hold as the open_ erase — the closing half of
+    // the bundle invariant (see submit()).
+    open_.erase(p->id);
+    flight_.record(FlightKind::Finalize, p->id, p->trace,
+                   static_cast<std::int64_t>(outcome));
   }
 
   registry_.counter(std::string("service.outcome.") +  // metric-family: service.outcome.*
@@ -340,7 +401,11 @@ void GemmService::finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
       .add();
   registry_.histogram("service.queue_ns").record(queue_ns);
   registry_.histogram("service.run_ns").record(run_ns);
-  registry_.histogram("service.total_ns").record(ns_between(p->submit_tp, now));
+  const std::int64_t total_ns = ns_between(p->submit_tp, now);
+  registry_.histogram("service.total_ns").record(total_ns);
+  registry_.histogram(std::string("service.priority.") +  // metric-family: service.priority.*
+                      priority_class(p->req.priority) + ".total_ns")
+      .record(total_ns);
 
   p->promise.set_value(std::move(r));
   watchdog_cv_.notify_all();  // publishes: inflight_ (drain exits at zero)
@@ -353,17 +418,23 @@ void GemmService::run_request(const std::shared_ptr<Pending>& p) {
     p->note("service:deadline");
     if (!p->deadline_flagged.exchange(true)) {
       registry_.counter("service.deadline_expired").add();
+      flight_.record(FlightKind::Deadline, p->id, p->trace);
     }
     finalize(p, Outcome::Cancelled, "deadline expired in queue", {});
     return;
   }
 
   // Injected stall (fault site "service.stall"): the executor goes dark in
-  // 1 ms slices, bounded and cancellation-aware, so chaos runs exercise the
-  // watchdog without ever violating the every-request-terminates guarantee.
+  // 1 ms slices. The first 50 slices deliberately ignore cancellation — a
+  // stall that bailed the instant the watchdog flagged its deadline would
+  // exit before `deadline + grace` elapses and the stall detector could
+  // never fire, making `service.stalls_detected` (and the flight-recorder
+  // dump it triggers) untestable. The loop stays hard-bounded at 200 ms
+  // either way, so the every-request-terminates guarantee is intact.
   if (fault::should_fail(fault::Site::ServiceStall)) {
     p->note("service:stall-injected");
-    for (int i = 0; i < 200 && !p->cancel.load(std::memory_order_relaxed); ++i) {
+    for (int i = 0; i < 200; ++i) {
+      if (i >= 50 && p->cancel.load(std::memory_order_relaxed)) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
@@ -412,6 +483,7 @@ void GemmService::run_request(const std::shared_ptr<Pending>& p) {
         p->note("service:deadline");
         if (!p->deadline_flagged.exchange(true)) {
           registry_.counter("service.deadline_expired").add();
+          flight_.record(FlightKind::Deadline, p->id, p->trace);
         }
         finalize(p, Outcome::Cancelled, e.what(), std::move(profile));
         return;
@@ -433,10 +505,11 @@ void GemmService::run_request(const std::shared_ptr<Pending>& p) {
     if (attempt + 1 < max_attempts) {
       registry_.counter("service.retries").add();
       p->note("service:retry:" + std::to_string(attempt + 1));
+      flight_.record(FlightKind::Retry, p->id, p->trace, attempt + 1);
       // Each retry steps the config down one rung first (when permitted):
       // retrying the exact configuration that just failed is only useful
       // against transient faults, and cheaper paths dodge persistent ones.
-      if (p->req.allow_degradation) degrade_step(*p, "retry");
+      if (p->req.allow_degradation) degrade_step(*p, "retry", true);
     }
   }
   finalize(p, Outcome::Failed, last_error, {});
@@ -486,6 +559,7 @@ void GemmService::watchdog_main() {
           p.cancel.store(true, std::memory_order_relaxed);
           if (!p.deadline_flagged.exchange(true)) {
             registry_.counter("service.deadline_expired").add();
+            flight_.record(FlightKind::Deadline, p.id, p.trace);
           }
         }
         // Stuck detection (fault site semantics, not preemption): a request
@@ -498,6 +572,14 @@ void GemmService::watchdog_main() {
         if (now >= p.deadline_tp + grace && !p.stall_flagged.exchange(true)) {
           registry_.counter("service.stalls_detected").add();
           p.note("service:stall-detected");
+          flight_.record(FlightKind::Stall, p.id, p.trace);
+          // First stall: capture the post-mortem bundle while the stalled
+          // request is still in flight. Same lock hold as the sweep, so
+          // the bundle is a consistent point-in-time cut.
+          if (!cfg_.flight_dump_path.empty() && !stall_dumped_) {
+            stall_dumped_ = true;
+            dump_bundle_locked(cfg_.flight_dump_path.c_str());
+          }
         }
       }
     }
@@ -505,6 +587,7 @@ void GemmService::watchdog_main() {
       sp->note("service:deadline");
       if (!sp->deadline_flagged.exchange(true)) {
         registry_.counter("service.deadline_expired").add();
+        flight_.record(FlightKind::Deadline, sp->id, sp->trace);
       }
       finalize(sp, Outcome::Cancelled, "deadline expired in queue", {});
     }
@@ -531,11 +614,14 @@ void GemmService::shutdown() {
   executors_.clear();
   watchdog_cv_.notify_all();  // publishes: inflight_ (drained to zero above)
   if (watchdog_.joinable()) watchdog_.join();
+  // Stop sampling after the drain so the final sample (stop() takes one)
+  // shows the drained end state: in_flight 0, terminal outcome totals.
+  if (snapshotter_) snapshotter_->stop();
 }
 
-std::string GemmService::metrics_json() const {
-  // Fold the point-in-time surfaces (queue, arena, scheduler) into the
-  // registry, then snapshot. The sched.total.* and exceptions_swallowed
+void GemmService::fold_runtime_metrics() const {
+  // Fold the point-in-time surfaces (queue, arena, scheduler, SLO) into the
+  // registry before a snapshot. The sched.total.* and exceptions_swallowed
   // names match what the per-call collector exports, so trace_summary.py
   // reads both without a sched_snapshot call.
   obs::Registry& reg = registry_;
@@ -544,6 +630,13 @@ std::string GemmService::metrics_json() const {
     reg.gauge("service.in_flight").set(static_cast<std::int64_t>(inflight_));
     reg.gauge("service.queue_depth").set(static_cast<std::int64_t>(queue_.size()));
     reg.gauge("service.running").set(static_cast<std::int64_t>(running_.size()));
+    // Queue-age SLO gauge: how stale is the oldest queued request right now.
+    std::int64_t oldest_ns = 0;
+    const Clock::time_point now = Clock::now();
+    for (const auto& sp : queue_) {
+      oldest_ns = std::max(oldest_ns, ns_between(sp->submit_tp, now));
+    }
+    reg.gauge("service.slo.queue_age_ns").set(oldest_ns);  // metric-family: service.slo.*
   }
   reg.gauge("arena.budget_bytes").set(static_cast<std::int64_t>(arena_.budget()));
   reg.gauge("arena.reserved_bytes")
@@ -562,7 +655,142 @@ std::string GemmService::metrics_json() const {
   reg.counter("sched.total.tasks").set(pool_->tasks_executed());
   reg.gauge("sched.total.deque_high_water").set(pool_->deque_high_water());
   reg.counter("sched.exceptions_swallowed").set(pool_->exceptions_swallowed());
+  // SLO surface: per-priority-class end-to-end latency quantiles (from the
+  // log2 histograms finalize() feeds, interpolated inside the bucket) and
+  // the deadline-miss rate in parts per million of accepted requests.
+  for (const char* cls : kPriorityClasses) {
+    obs::Histogram& h =
+        reg.histogram(std::string("service.priority.") +  // metric-family: service.priority.*
+                      cls + ".total_ns");
+    const std::string base = std::string("service.slo.") + cls;
+    reg.gauge(base + ".p50_ns")  // metric-family: service.slo.*
+        .set(static_cast<std::int64_t>(h.quantile_interpolated(0.50)));
+    reg.gauge(base + ".p95_ns")  // metric-family: service.slo.*
+        .set(static_cast<std::int64_t>(h.quantile_interpolated(0.95)));
+    reg.gauge(base + ".p99_ns")  // metric-family: service.slo.*
+        .set(static_cast<std::int64_t>(h.quantile_interpolated(0.99)));
+  }
+  const std::uint64_t accepted = reg.counter("service.accepted").value();
+  const std::uint64_t missed = reg.counter("service.deadline_expired").value();
+  reg.gauge("service.slo.deadline_miss_ppm")  // metric-family: service.slo.*
+      .set(accepted > 0
+               ? static_cast<std::int64_t>(missed * 1000000 / accepted)
+               : 0);
+  reg.counter("telemetry.flight.events").set(flight_.recorded());
+  reg.counter("telemetry.flight.dropped").set(flight_.dropped());
+  reg.counter("telemetry.flight.dumps")
+      .set(flight_dumps_.load(std::memory_order_relaxed));
+}
+
+std::string GemmService::metrics_json() const {
+  fold_runtime_metrics();
   return registry_.snapshot().dump();
+}
+
+obs::json::Value GemmService::telemetry_sample() const {
+  registry_.counter("telemetry.snapshots").add();
+  fold_runtime_metrics();
+  return registry_.snapshot();
+}
+
+std::string GemmService::telemetry_prometheus() const {
+  fold_runtime_metrics();
+  return obs::telemetry::prometheus_text(registry_.snapshot());
+}
+
+std::string GemmService::telemetry_jsonl() const {
+  return snapshotter_ ? snapshotter_->jsonl() : std::string();
+}
+
+obs::json::Value GemmService::inflight_table_locked() const {
+  using obs::json::Value;
+  const Clock::time_point now = Clock::now();
+  Value rows = Value::array();
+  for (const auto& [id, sp] : open_) {
+    const Pending& p = *sp;
+    Value row = Value::object();
+    row.set("id", Value::number(id));
+    row.set("trace", Value::number(p.trace));
+    row.set("priority", Value::number(p.req.priority));
+    // "finalizing": finalize() latched done but has not erased the row yet
+    // (it records Finalize in that same later critical section).
+    const char* state = p.done.load(std::memory_order_acquire) ? "finalizing"
+                        : p.started.load(std::memory_order_acquire)
+                            ? "running"
+                            : "queued";
+    row.set("state", Value::string(state));
+    row.set("age_ns", Value::number(ns_between(p.submit_tp, now)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string GemmService::status_json() const {
+  using obs::json::Value;
+  Value o = Value::object();
+  o.set("workers", Value::number(pool_->thread_count()));
+  o.set("executors", Value::number(cfg_.executors));
+  o.set("max_inflight", Value::number(cfg_.max_inflight));
+  {
+    MutexLock lock(service_mutex_);
+    o.set("in_flight", Value::number(inflight_));
+    o.set("queue_depth", Value::number(queue_.size()));
+    o.set("running", Value::number(running_.size()));
+    o.set("requests", inflight_table_locked());
+  }
+  o.set("flight_recorded", Value::number(flight_.recorded()));
+  o.set("flight_dropped", Value::number(flight_.dropped()));
+  o.set("flight_dumps",
+        Value::number(flight_dumps_.load(std::memory_order_relaxed)));
+  o.set("snapshots",
+        Value::number(snapshotter_ ? snapshotter_->samples()
+                                   : std::uint64_t{0}));
+  return o.dump();
+}
+
+bool GemmService::dump_bundle_locked(const char* path) const {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  bool ok = flight_.dump_fd(fd);
+  // The inflight table rides in the same file, captured in the same
+  // service_mutex_ hold as the event dump above — that single hold is what
+  // makes the bundle closed (soak_check.py --flight asserts it).
+  using obs::json::Value;
+  std::string tail;
+  const Value rows = inflight_table_locked();
+  for (const Value& row : rows.items()) {
+    Value line = row;
+    line.set("kind", Value::string("inflight"));
+    tail += line.dump();
+    tail += '\n';
+  }
+  Value footer = Value::object();
+  footer.set("kind", Value::string("bundle_end"));
+  footer.set("open", Value::number(open_.size()));
+  footer.set("recorded", Value::number(flight_.recorded()));
+  footer.set("dropped", Value::number(flight_.dropped()));
+  tail += footer.dump();
+  tail += '\n';
+  const char* data = tail.data();
+  std::size_t left = tail.size();
+  while (left > 0) {
+    const ssize_t w = ::write(fd, data, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    data += w;
+    left -= static_cast<std::size_t>(w);
+  }
+  ::close(fd);
+  flight_dumps_.fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+bool GemmService::dump_flight_bundle(const std::string& path) const {
+  MutexLock lock(service_mutex_);
+  return dump_bundle_locked(path.c_str());
 }
 
 }  // namespace rla::service

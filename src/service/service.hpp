@@ -28,12 +28,24 @@
 //  * Backpressure: at most max_inflight requests queued+running; beyond
 //    that submit() completes immediately with Rejected{reason="queue-full"}.
 //
+// Telemetry (DESIGN.md §15): submit() mints a request-scoped trace id that
+// follows the request through the pool into every task span, trace event and
+// the returned profile; an always-on flight recorder keeps a bounded ring of
+// lifecycle events (admit/queue/start/degrade/retry/deadline/stall/finalize)
+// that the watchdog dumps as a post-mortem bundle when it detects a stall;
+// and an optional snapshotter thread folds the whole metrics surface —
+// including per-priority latency quantiles and deadline-miss-rate SLO
+// gauges — into a retained time series, exported as JSONL or Prometheus
+// text exposition.
+//
 // Environment knobs (all optional; constructor arguments win):
-//   RLA_SERVICE_THREADS      worker threads in the shared pool
-//   RLA_SERVICE_EXECUTORS    concurrent request executors
-//   RLA_SERVICE_MAX_INFLIGHT backpressure bound (queued + running)
-//   RLA_SERVICE_ARENA_MB     arena byte budget in MiB (0 = unlimited)
-//   RLA_SERVICE_WATCHDOG_MS  watchdog sweep period
+//   RLA_SERVICE_THREADS        worker threads in the shared pool
+//   RLA_SERVICE_EXECUTORS      concurrent request executors
+//   RLA_SERVICE_MAX_INFLIGHT   backpressure bound (queued + running)
+//   RLA_SERVICE_ARENA_MB       arena byte budget in MiB (0 = unlimited)
+//   RLA_SERVICE_WATCHDOG_MS    watchdog sweep period
+//   RLA_TELEMETRY_PERIOD_MS    snapshotter sample period (0 = no snapshotter)
+//   RLA_TELEMETRY_FLIGHT_DUMP  bundle path armed for the watchdog stall dump
 
 #include <atomic>
 #include <chrono>
@@ -43,10 +55,14 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/gemm.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/flight_recorder.hpp"
+#include "obs/telemetry/snapshotter.hpp"
 #include "parallel/worker_pool.hpp"
 #include "service/arena.hpp"
 #include "support/sync.hpp"
@@ -111,6 +127,11 @@ struct Response {
   std::vector<std::string> degradation_trail;
   int attempts = 0;            ///< gemm() invocations made (0 = rejected)
   std::uint64_t id = 0;        ///< service-assigned sequence number
+  /// Request-scoped trace id, minted at submit() entry so even a Rejected
+  /// response carries one. The same id appears in profile.trace_id, in every
+  /// Chrome trace event of the request's gemm, and in its flight-recorder
+  /// events — the join key across all observability surfaces.
+  std::uint64_t trace_id = 0;
   double queue_seconds = 0.0;  ///< submit -> executor pickup
   double run_seconds = 0.0;    ///< executor pickup -> terminal
 };
@@ -127,7 +148,15 @@ struct ServiceConfig {
   /// flag is already set — so this is detection, not preemption.
   double stall_factor = 2.0;
 
-  /// Overlay RLA_SERVICE_* environment variables onto the defaults.
+  /// Snapshotter sample period; 0 (the default) runs no snapshotter thread.
+  std::chrono::milliseconds telemetry_period{0};
+  /// When non-empty, the watchdog dumps the flight-recorder bundle here the
+  /// first time it detects a stall (and the count lands in
+  /// telemetry.flight.dumps). Empty = stall detection only, no auto-dump.
+  std::string flight_dump_path;
+
+  /// Overlay RLA_SERVICE_* / RLA_TELEMETRY_* environment variables onto the
+  /// defaults.
   static ServiceConfig from_env();
 };
 
@@ -159,7 +188,36 @@ class GemmService {
 
   /// Export queue/latency/outcome/arena/scheduler metrics (obs::Registry
   /// JSON snapshot, same shape trace_summary.py and bench_compare read).
+  /// Includes the SLO surface: per-priority-class latency quantiles
+  /// (service.slo.<class>.p50_ns/p95_ns/p99_ns), the deadline-miss rate and
+  /// the oldest queued request's age.
   std::string metrics_json() const RLA_EXCLUDES(service_mutex_);
+
+  /// The same metrics surface as metrics_json(), rendered as Prometheus
+  /// text exposition (version 0.0.4) for scrape-style consumers.
+  std::string telemetry_prometheus() const RLA_EXCLUDES(service_mutex_);
+
+  /// The snapshotter's retained time series as JSONL (oldest first); empty
+  /// string when no snapshotter is running (telemetry_period == 0).
+  std::string telemetry_jsonl() const RLA_EXCLUDES(service_mutex_);
+
+  /// Live introspection document: config, queue/running counts, and the
+  /// inflight-request table (id, trace, priority, state, age). This is what
+  /// the --serve SIGUSR1 status dump and the telemetry socket serve.
+  std::string status_json() const RLA_EXCLUDES(service_mutex_);
+
+  /// Write the post-mortem bundle (flight-recorder JSONL + inflight table +
+  /// footer) to `path`. The events and the table are captured under one
+  /// service_mutex_ hold, so the bundle is closed: every request with
+  /// events but no finalize event appears in the inflight table. Returns
+  /// false on I/O failure. The watchdog calls this on first stall when
+  /// cfg.flight_dump_path is set; tests and operators may call it any time.
+  bool dump_flight_bundle(const std::string& path) const
+      RLA_EXCLUDES(service_mutex_);
+
+  /// The always-on lifecycle event ring (for tests and external dumpers —
+  /// e.g. wiring into install_fatal_dump).
+  obs::telemetry::FlightRecorder& flight() const noexcept { return flight_; }
 
   std::size_t in_flight() const noexcept
       RLA_EXCLUDES(service_mutex_);  ///< queued + running now
@@ -179,15 +237,31 @@ class GemmService {
   void finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
                 std::string reason, GemmProfile profile)
       RLA_EXCLUDES(service_mutex_);
-  /// Degrade p's config one step; false when already at the floor.
-  static bool degrade_step(Pending& p, const char* why);
+  /// Degrade p's config one step; false when already at the floor. Records
+  /// a flight Degrade event when `record_flight` (suppressed during the
+  /// admission ladder: the request is not admitted yet, and the bundle
+  /// invariant only covers admitted requests).
+  bool degrade_step(Pending& p, const char* why, bool record_flight);
   std::size_t estimate_bytes(const Request& req) const noexcept;
+  /// Fold every point-in-time surface (queue gauges, arena, scheduler
+  /// totals, SLO quantiles, telemetry counters) into registry_.
+  void fold_runtime_metrics() const RLA_EXCLUDES(service_mutex_);
+  /// One snapshotter sample: fold + registry snapshot.
+  obs::json::Value telemetry_sample() const RLA_EXCLUDES(service_mutex_);
+  /// Inflight table rows from open_ (id/trace/priority/state/age_ns).
+  obs::json::Value inflight_table_locked() const RLA_REQUIRES(service_mutex_);
+  bool dump_bundle_locked(const char* path) const RLA_REQUIRES(service_mutex_);
 
   ServiceConfig cfg_;
   std::unique_ptr<WorkerPool> pool_;
   BufferArena arena_;
   /// mutable: metrics_json() folds point-in-time gauges in before snapshot.
   mutable obs::Registry registry_;
+  /// Always-on lifecycle ring; mutable because const introspection paths
+  /// (dump_flight_bundle) read it and record() is the writers' concern.
+  mutable obs::telemetry::FlightRecorder flight_;
+  /// Bundle dumps performed (watchdog auto-dump + explicit calls).
+  mutable std::atomic<std::uint64_t> flight_dumps_{0};
   /// Serializes shutdown() callers. Ranked above service_mutex_: shutdown()
   /// nests the service lock inside it, never the reverse.
   Mutex shutdown_mutex_;  // lock-level: lifecycle
@@ -202,13 +276,29 @@ class GemmService {
   std::deque<std::shared_ptr<Pending>> queue_ RLA_GUARDED_BY(service_mutex_);
   /// The watchdog's view of executing requests.
   std::vector<std::shared_ptr<Pending>> running_ RLA_GUARDED_BY(service_mutex_);
+  /// Every admitted-but-not-finalized request, keyed by id. Inserted in the
+  /// same lock hold that records the Admit flight event, erased in the one
+  /// that records Finalize — so a bundle dump (also one lock hold) always
+  /// sees a closed set: open flight requests ⊆ this table. Unlike queue_ and
+  /// running_, membership here is exact across the watchdog's erase-then-
+  /// finalize window.
+  std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> open_
+      RLA_GUARDED_BY(service_mutex_);
   bool stopping_ RLA_GUARDED_BY(service_mutex_) = false;
+  /// The watchdog's stall auto-dump fires once per service lifetime (the
+  /// first bundle captures the interesting state; later stalls still record
+  /// Stall events and operators can dump_flight_bundle() at will).
+  mutable bool stall_dumped_ RLA_GUARDED_BY(service_mutex_) = false;
   /// queued + running (admission counter).
   std::size_t inflight_ RLA_GUARDED_BY(service_mutex_) = 0;
   std::uint64_t next_id_ RLA_GUARDED_BY(service_mutex_) = 1;
 
   std::vector<std::thread> executors_ RLA_GUARDED_BY(shutdown_mutex_);
   std::thread watchdog_ RLA_GUARDED_BY(shutdown_mutex_);
+  /// Optional sampling thread (cfg.telemetry_period > 0). Constructed last
+  /// and stopped by shutdown() after the drain, so its sampler — which
+  /// reads pool_/arena_/service state — never outlives them.
+  std::unique_ptr<obs::telemetry::Snapshotter> snapshotter_;
 };
 
 }  // namespace rla::service

@@ -1,0 +1,456 @@
+// Tests of the request-scoped telemetry pipeline: trace-id minting and
+// propagation through the pool and the service, the lock-free flight
+// recorder (ring semantics, dump format, fatal-signal path), the
+// snapshotter's time series, interpolated histogram quantiles, and the
+// Unix-socket exposition endpoint.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rla.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry/endpoint.hpp"
+#include "obs/telemetry/flight_recorder.hpp"
+#include "obs/telemetry/snapshotter.hpp"
+#include "obs/telemetry/trace_id.hpp"
+#include "parallel/worker_pool.hpp"
+#include "robust/fault.hpp"
+#include "service/service.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+using namespace std::chrono_literals;
+using obs::telemetry::FlightEvent;
+using obs::telemetry::FlightEventKind;
+using obs::telemetry::FlightRecorder;
+using rla::testing::random_matrix;
+
+std::string temp_path(const char* leaf) {
+  return ::testing::TempDir() + leaf;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t count_lines_with(const std::string& text, const std::string& needle) {
+  std::size_t n = 0;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    if (line.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Trace ids.
+
+TEST(Telemetry, MintedTraceIdsAreDistinctAcrossThreads) {
+  constexpr int kThreads = 8, kPer = 200;
+  std::vector<std::vector<std::uint64_t>> minted(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&minted, t] {
+      for (int i = 0; i < kPer; ++i) {
+        minted[static_cast<std::size_t>(t)].push_back(
+            obs::telemetry::mint_trace_id());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<std::uint64_t> all;
+  for (const auto& batch : minted) {
+    for (std::uint64_t id : batch) {
+      EXPECT_NE(id, 0u);
+      EXPECT_TRUE(all.insert(id).second) << "duplicate trace id " << id;
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kPer);
+}
+
+TEST(Telemetry, TraceIdScopeRestoresOnExit) {
+  obs::set_current_trace_id(0);
+  {
+    obs::TraceIdScope outer(41);
+    EXPECT_EQ(obs::current_trace_id(), 41u);
+    {
+      obs::TraceIdScope inner(42);
+      EXPECT_EQ(obs::current_trace_id(), 42u);
+    }
+    EXPECT_EQ(obs::current_trace_id(), 41u);
+  }
+  EXPECT_EQ(obs::current_trace_id(), 0u);
+}
+
+TEST(Telemetry, TaskGroupPropagatesAmbientTraceToWorkers) {
+  WorkerPool pool(3);
+  obs::TraceIdScope scope(777);
+  std::atomic<int> wrong{0};
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 200; ++i) {
+    group.spawn([&] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (obs::current_trace_id() != 777) {
+        wrong.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 200);
+  EXPECT_EQ(wrong.load(), 0) << "tasks observed a foreign trace id";
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+
+TEST(Telemetry, FlightRingOverwritesOldestAndKeepsOrder) {
+  FlightRecorder rec(16);
+  EXPECT_EQ(rec.capacity(), 16u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    rec.record(FlightEventKind::Queue, i, i + 1000,
+               static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(rec.recorded(), 100u);
+  EXPECT_EQ(rec.dropped(), 84u);
+  const std::vector<FlightEvent> window = rec.snapshot();
+  ASSERT_EQ(window.size(), 16u);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(window[i].seq, 84u + i);  // oldest survivor first
+    EXPECT_EQ(window[i].request, 84u + i);
+    EXPECT_EQ(window[i].trace, 1084u + i);
+    EXPECT_EQ(window[i].detail, static_cast<std::int64_t>(84 + i));
+  }
+}
+
+TEST(Telemetry, FlightSnapshotStaysCoherentUnderConcurrentWriters) {
+  FlightRecorder rec(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&rec, &stop, t] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        rec.record(FlightEventKind::Start, static_cast<std::uint64_t>(t),
+                   static_cast<std::uint64_t>(t), static_cast<std::int64_t>(i++));
+      }
+    });
+  }
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::vector<FlightEvent> window = rec.snapshot();
+    EXPECT_LE(window.size(), 64u);
+    for (std::size_t i = 1; i < window.size(); ++i) {
+      EXPECT_LT(window[i - 1].seq, window[i].seq);  // ordered, no duplicates
+    }
+    for (const FlightEvent& ev : window) {
+      EXPECT_LT(ev.request, 4u);  // payload matches some writer, never torn
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writers) th.join();
+}
+
+TEST(Telemetry, FlightDumpFdWritesParseableJsonl) {
+  FlightRecorder rec(32);
+  rec.record(FlightEventKind::Admit, 7, 70, 3);
+  rec.record(FlightEventKind::Queue, 7, 70, 1);
+  rec.record(FlightEventKind::Finalize, 7, 70, 0);
+  const std::string path = temp_path("rla_flight_dump.jsonl");
+  ASSERT_TRUE(rec.dump_to_path(path.c_str()));
+  const std::string text = slurp(path);
+  EXPECT_EQ(count_lines_with(text, "\"kind\":\"flight_recorder\""), 1u);
+  EXPECT_EQ(count_lines_with(text, "\"event\":\"admit\""), 1u);
+  EXPECT_EQ(count_lines_with(text, "\"event\":\"queue\""), 1u);
+  EXPECT_EQ(count_lines_with(text, "\"event\":\"finalize\""), 1u);
+  EXPECT_NE(text.find("\"recorded\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"request\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"trace\":70"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+using TelemetryDeathTest = ::testing::Test;
+
+TEST(TelemetryDeathTest, FatalSignalDumpsBundleBeforeDying) {
+  FlightRecorder rec(32);
+  rec.record(FlightEventKind::Admit, 9, 90, 0);
+  const std::string path = temp_path("rla_fatal_dump.jsonl");
+  std::remove(path.c_str());
+  obs::telemetry::install_fatal_dump(&rec, path.c_str());
+  EXPECT_DEATH(std::raise(SIGSEGV), "");
+  obs::telemetry::install_fatal_dump(nullptr, nullptr);
+  // The death-test child ran the (async-signal-safe) handler on its way out;
+  // the dump it wrote is visible to us.
+  const std::string text = slurp(path);
+  EXPECT_EQ(count_lines_with(text, "\"kind\":\"flight_recorder\""), 1u);
+  EXPECT_EQ(count_lines_with(text, "\"event\":\"admit\""), 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Interpolated quantiles.
+
+TEST(Telemetry, QuantileInterpolatedEdgeCases) {
+  obs::Histogram h;
+  EXPECT_EQ(h.quantile_interpolated(0.5), 0.0);  // empty
+  h.record(37);
+  EXPECT_EQ(h.quantile_interpolated(0.0), 37.0);  // single sample is exact
+  EXPECT_EQ(h.quantile_interpolated(0.5), 37.0);
+  EXPECT_EQ(h.quantile_interpolated(1.0), 37.0);
+}
+
+TEST(Telemetry, QuantileInterpolatedTracksUniformData) {
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(i);
+  const double p50 = h.quantile_interpolated(0.50);
+  const double p95 = h.quantile_interpolated(0.95);
+  const double p99 = h.quantile_interpolated(0.99);
+  // Log2 buckets bound the error to within the enclosing bucket.
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  EXPECT_GE(p95, 64.0);
+  EXPECT_LE(p95, 99.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, 99.0);  // interpolation clamps to the observed max
+}
+
+// ---------------------------------------------------------------------------
+// Snapshotter.
+
+TEST(Telemetry, SnapshotterSamplesPeriodicallyAndOnStop) {
+  std::atomic<int> calls{0};
+  obs::telemetry::Snapshotter::Options opts;
+  opts.period = 5ms;
+  opts.ring = 64;
+  obs::telemetry::Snapshotter snap(
+      [&calls] {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        obs::json::Value doc = obs::json::Value::object();
+        doc.set("probe", obs::json::Value::number(std::int64_t{1}));
+        return doc;
+      },
+      opts);
+  std::this_thread::sleep_for(40ms);
+  snap.stop();
+  snap.stop();  // idempotent
+  const std::uint64_t taken = snap.samples();
+  EXPECT_GE(taken, 2u);  // several periods plus the final stop() sample
+  EXPECT_EQ(taken, static_cast<std::uint64_t>(calls.load()));
+  const std::string jsonl = snap.jsonl();
+  EXPECT_EQ(count_lines_with(jsonl, "\"t_ns\""), std::min<std::uint64_t>(taken, 64));
+  EXPECT_EQ(count_lines_with(jsonl, "\"probe\":1"), std::min<std::uint64_t>(taken, 64));
+}
+
+TEST(Telemetry, SnapshotterRingRetainsNewestSamples) {
+  std::atomic<std::int64_t> tick{0};
+  obs::telemetry::Snapshotter::Options opts;
+  opts.period = 1h;  // no periodic samples; we drive sample_now() by hand
+  opts.ring = 4;
+  obs::telemetry::Snapshotter snap(
+      [&tick] {
+        obs::json::Value doc = obs::json::Value::object();
+        doc.set("tick", obs::json::Value::number(
+                            tick.fetch_add(1, std::memory_order_relaxed)));
+        return doc;
+      },
+      opts);
+  for (int i = 0; i < 10; ++i) snap.sample_now();
+  const std::string jsonl = snap.jsonl();
+  EXPECT_EQ(count_lines_with(jsonl, "\"tick\""), 4u);
+  EXPECT_NE(jsonl.find("\"tick\":9"), std::string::npos);   // newest kept
+  EXPECT_EQ(jsonl.find("\"tick\":5"), std::string::npos);   // oldest evicted
+  snap.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Exposition endpoint.
+
+std::string read_from_socket(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string doc;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    doc.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return doc;
+}
+
+TEST(Telemetry, ExpositionServerServesOneDocumentPerConnection) {
+  const std::string path = temp_path("rla_expo.sock");
+  std::remove(path.c_str());
+  std::atomic<int> renders{0};
+  obs::telemetry::ExpositionServer server(path, [&renders] {
+    renders.fetch_add(1, std::memory_order_relaxed);
+    return std::string("# TYPE rla_probe counter\nrla_probe 1\n");
+  });
+  ASSERT_TRUE(server.ok()) << server.error();
+  for (int i = 0; i < 3; ++i) {
+    const std::string doc = read_from_socket(path);
+    EXPECT_NE(doc.find("rla_probe 1"), std::string::npos);
+  }
+  // served() counts accepted connections; give the accept loop a beat.
+  for (int i = 0; i < 100 && server.served() < 3; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(server.served(), 3u);
+  EXPECT_EQ(renders.load(), 3);
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_EQ(read_from_socket(path), "");  // socket is gone after stop
+}
+
+// ---------------------------------------------------------------------------
+// Service integration.
+
+namespace svc = rla::service;
+
+struct Job {
+  Matrix a, b, c;
+  svc::Request req;
+
+  Job(std::uint32_t m, std::uint32_t n, std::uint32_t k, std::uint64_t seed)
+      : a(random_matrix(m, k, seed)), b(random_matrix(k, n, seed + 1)), c(m, n) {
+    c.zero();
+    req.m = m;
+    req.n = n;
+    req.k = k;
+    req.a = a.data();
+    req.lda = a.ld();
+    req.b = b.data();
+    req.ldb = b.ld();
+    req.c = c.data();
+    req.ldc = c.ld();
+  }
+};
+
+svc::ServiceConfig small_config() {
+  svc::ServiceConfig cfg;
+  cfg.threads = 2;
+  cfg.executors = 2;
+  cfg.max_inflight = 64;
+  cfg.watchdog_period = 5ms;
+  return cfg;
+}
+
+TEST(Telemetry, ServiceMintsDistinctTraceIdsUnderConcurrentSubmit) {
+  svc::GemmService service(small_config());
+  constexpr int kThreads = 4, kPer = 4;
+  std::vector<std::unique_ptr<Job>> jobs;
+  for (int i = 0; i < kThreads * kPer; ++i) {
+    jobs.push_back(std::make_unique<Job>(48, 48, 48, 100 + i));
+  }
+  std::vector<std::future<svc::Response>> futures(jobs.size());
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        const int idx = t * kPer + i;
+        futures[static_cast<std::size_t>(idx)] =
+            service.submit(jobs[static_cast<std::size_t>(idx)]->req);
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  std::set<std::uint64_t> traces;
+  for (auto& f : futures) {
+    const svc::Response r = f.get();
+    ASSERT_EQ(r.outcome, svc::Outcome::Completed);
+    EXPECT_NE(r.trace_id, 0u);
+    EXPECT_TRUE(traces.insert(r.trace_id).second)
+        << "trace id " << r.trace_id << " reused across requests";
+    // The profile the gemm driver filled carries the same trace id the
+    // service minted — this is the join key between per-request artifacts.
+    EXPECT_EQ(r.profile.trace_id, r.trace_id);
+  }
+}
+
+TEST(Telemetry, ServiceFlightBundleClosesInflightTable) {
+  svc::ServiceConfig cfg = small_config();
+  cfg.executors = 1;
+  svc::GemmService service(cfg);
+  fault::ScopedPlan stall("service.stall:nth=1");
+
+  Job blocker(32, 32, 32, 1);
+  auto blocker_future = service.submit(blocker.req);
+  std::this_thread::sleep_for(20ms);  // executor now dark in the stall
+
+  std::vector<std::unique_ptr<Job>> queued;
+  std::vector<std::future<svc::Response>> futures;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(std::make_unique<Job>(32, 32, 32, 200 + i));
+    futures.push_back(service.submit(queued.back()->req));
+  }
+
+  const std::string path = temp_path("rla_bundle.jsonl");
+  std::remove(path.c_str());
+  ASSERT_TRUE(service.dump_flight_bundle(path));
+  const std::string text = slurp(path);
+  EXPECT_EQ(count_lines_with(text, "\"kind\":\"flight_recorder\""), 1u);
+  EXPECT_EQ(count_lines_with(text, "\"kind\":\"bundle_end\""), 1u);
+  // 1 running blocker + 3 queued, all open at dump time.
+  EXPECT_EQ(count_lines_with(text, "\"kind\":\"inflight\""), 4u);
+  EXPECT_NE(text.find("\"open\":4"), std::string::npos);
+  EXPECT_EQ(count_lines_with(text, "\"state\":\"running\""), 1u);
+  EXPECT_EQ(count_lines_with(text, "\"state\":\"queued\""), 3u);
+  EXPECT_EQ(count_lines_with(text, "\"event\":\"admit\""), 4u);
+  EXPECT_EQ(count_lines_with(text, "\"event\":\"finalize\""), 0u);
+
+  blocker_future.get();
+  for (auto& f : futures) f.get();
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, ServiceStatusAndPrometheusExposeLiveState) {
+  svc::GemmService service(small_config());
+  Job job(64, 64, 64, 5);
+  service.submit(job.req).get();
+
+  const std::string status = service.status_json();
+  EXPECT_NE(status.find("\"requests\":[]"), std::string::npos);  // drained
+  EXPECT_NE(status.find("\"in_flight\":0"), std::string::npos);
+  EXPECT_NE(status.find("\"flight_recorded\""), std::string::npos);
+
+  const std::string expo = service.telemetry_prometheus();
+  EXPECT_NE(expo.find("# TYPE rla_service_submitted counter"),
+            std::string::npos);
+  EXPECT_NE(expo.find("rla_service_submitted 1"), std::string::npos);
+  EXPECT_NE(expo.find("rla_service_slo_deadline_miss_ppm 0"),
+            std::string::npos);
+  EXPECT_NE(expo.find("rla_service_total_ns_bucket"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rla

@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition document from the telemetry pipeline.
+
+Consumes the output of ``GemmService::telemetry_prometheus()`` (written by
+``rla_soak --exposition=FILE`` or served over the ``rla_gemm
+--telemetry-socket`` endpoint) and checks that it is well-formed 0.0.4 text
+exposition the way a scraper would see it:
+
+  * every sample belongs to a family announced by a ``# TYPE`` line, and no
+    family is announced twice;
+  * sample lines parse (``name{labels} value``) with finite values;
+  * histogram families are complete: ``_bucket`` series with ``le`` labels,
+    cumulative and non-decreasing, ending in ``le="+Inf"`` whose value
+    equals ``_count``, plus ``_sum`` and ``_count`` samples;
+  * counters and gauges carry exactly one unlabelled sample;
+  * the service families CI relies on are present (``--required`` adds
+    more).
+
+Usage:
+  tools/check_exposition.py exposition.txt [--required FAMILY ...]
+  tools/check_exposition.py --self-test
+
+Exit status: 0 ok, 1 malformed exposition, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+# Families every service exposition must carry: admission accounting, one
+# latency histogram, one SLO gauge, and the flight-recorder counters.
+DEFAULT_REQUIRED = [
+    "rla_service_submitted",
+    "rla_service_accepted",
+    "rla_service_total_ns",
+    "rla_service_slo_deadline_miss_ppm",
+    "rla_telemetry_flight_events",
+]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\d+)?$"
+)
+
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+
+
+def _parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def check(lines, required=None):
+    """Return a list of problem strings (empty = exposition is valid)."""
+    problems = []
+    types = {}  # family -> declared type
+    samples = {}  # family -> [(labels dict, value)]
+
+    def family_of(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    for i, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    problems.append(f"line {i}: malformed TYPE line")
+                    continue
+                _, _, name, kind = parts
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    problems.append(f"line {i}: unknown type {kind!r}")
+                if name in types:
+                    problems.append(f"line {i}: duplicate TYPE for {name}")
+                types[name] = kind
+            continue  # HELP and other comments are free-form
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"line {i}: unparseable sample: {line!r}")
+            continue
+        value = _parse_value(m.group("value"))
+        if value is None or math.isnan(value):
+            problems.append(f"line {i}: bad value {m.group('value')!r}")
+            continue
+        labels = {}
+        label_text = m.group("labels")
+        if label_text:
+            for item in label_text.split(","):
+                lm = _LABEL_RE.match(item.strip())
+                if not lm:
+                    problems.append(f"line {i}: bad label {item!r}")
+                    break
+                labels[lm.group("key")] = lm.group("val")
+        name = m.group("name")
+        family = family_of(name)
+        if family not in types:
+            problems.append(f"line {i}: sample {name} has no TYPE line")
+            continue
+        samples.setdefault(family, []).append((name, labels, value))
+
+    for family, kind in types.items():
+        series = samples.get(family, [])
+        if not series:
+            problems.append(f"{family}: TYPE line but no samples")
+            continue
+        if kind in ("counter", "gauge"):
+            if len(series) != 1 or series[0][1]:
+                problems.append(
+                    f"{family}: {kind} must have exactly one unlabelled sample"
+                )
+            elif kind == "counter" and series[0][2] < 0:
+                problems.append(f"{family}: negative counter")
+        elif kind == "histogram":
+            buckets = [
+                (labels.get("le"), value)
+                for name, labels, value in series
+                if name == family + "_bucket"
+            ]
+            count = [v for n, l, v in series if n == family + "_count" and not l]
+            total = [v for n, l, v in series if n == family + "_sum" and not l]
+            if not buckets:
+                problems.append(f"{family}: histogram without _bucket series")
+                continue
+            if len(count) != 1 or len(total) != 1:
+                problems.append(f"{family}: histogram needs one _count and one _sum")
+                continue
+            prev = -math.inf
+            for le, value in buckets:
+                if le is None:
+                    problems.append(f"{family}: bucket without le label")
+                    break
+                if value < prev:
+                    problems.append(
+                        f"{family}: bucket le={le} not cumulative "
+                        f"({value} < {prev})"
+                    )
+                prev = value
+            if buckets[-1][0] != "+Inf":
+                problems.append(f"{family}: last bucket is not le=\"+Inf\"")
+            elif buckets[-1][1] != count[0]:
+                problems.append(
+                    f"{family}: le=\"+Inf\" bucket {buckets[-1][1]} != "
+                    f"_count {count[0]}"
+                )
+
+    for family in required or []:
+        if family not in samples:
+            problems.append(f"required family {family} is missing")
+    return problems
+
+
+# --- self test ---------------------------------------------------------------
+
+def seeded_exposition():
+    return [
+        "# TYPE rla_service_submitted counter",
+        "rla_service_submitted 100",
+        "# TYPE rla_service_accepted counter",
+        "rla_service_accepted 90",
+        "# TYPE rla_service_slo_deadline_miss_ppm gauge",
+        "rla_service_slo_deadline_miss_ppm 1250",
+        "# TYPE rla_telemetry_flight_events counter",
+        "rla_telemetry_flight_events 410",
+        "# TYPE rla_service_total_ns histogram",
+        'rla_service_total_ns_bucket{le="1023"} 10',
+        'rla_service_total_ns_bucket{le="2047"} 55',
+        'rla_service_total_ns_bucket{le="+Inf"} 90',
+        "rla_service_total_ns_sum 123456",
+        "rla_service_total_ns_count 90",
+    ]
+
+
+def self_test() -> int:
+    good = seeded_exposition()
+    problems = check(good, required=DEFAULT_REQUIRED)
+    if problems:
+        print(f"self-test FAILED: clean exposition flagged: {problems}")
+        return 2
+
+    def mutate(fn):
+        lines = list(seeded_exposition())
+        fn(lines)
+        return lines
+
+    cases = {
+        "sample without TYPE": lambda l: l.remove(
+            "# TYPE rla_service_submitted counter"
+        ),
+        "TYPE without samples": lambda l: l.append(
+            "# TYPE rla_orphan counter"
+        ),
+        "duplicate TYPE": lambda l: l.append(
+            "# TYPE rla_service_accepted counter"
+        ),
+        "bad value": lambda l: l.__setitem__(1, "rla_service_submitted oops"),
+        "negative counter": lambda l: l.__setitem__(3, "rla_service_accepted -4"),
+        "labelled gauge": lambda l: l.__setitem__(
+            5, 'rla_service_slo_deadline_miss_ppm{x="y"} 1'
+        ),
+        "non-cumulative buckets": lambda l: l.__setitem__(
+            10, 'rla_service_total_ns_bucket{le="2047"} 5'
+        ),
+        "no +Inf bucket": lambda l: l.remove(
+            'rla_service_total_ns_bucket{le="+Inf"} 90'
+        ),
+        "+Inf != count": lambda l: l.__setitem__(
+            13, "rla_service_total_ns_count 91"
+        ),
+        "missing _sum": lambda l: l.remove("rla_service_total_ns_sum 123456"),
+    }
+    for label, fn in cases.items():
+        if not check(mutate(fn)):
+            print(f"self-test FAILED: '{label}' mutation not detected")
+            return 2
+    if not check(good, required=["rla_absent_family"]):
+        print("self-test FAILED: --required not enforced")
+        return 2
+    print("self-test OK: TYPE coverage, histogram and required-family checks hold")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("exposition", nargs="?",
+                        help="Prometheus text exposition to validate")
+    parser.add_argument("--required", nargs="*", default=DEFAULT_REQUIRED,
+                        help="family names that must be present")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.exposition:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    try:
+        with open(args.exposition) as fh:
+            lines = fh.readlines()
+    except OSError as err:
+        print(f"error: cannot read {args.exposition}: {err}", file=sys.stderr)
+        return 1
+
+    problems = check(lines, required=args.required)
+    for p in problems:
+        print(f"problem: {p}", file=sys.stderr)
+    if not problems:
+        families = sum(1 for line in lines if line.startswith("# TYPE"))
+        print(f"exposition ok: {families} families")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,19 +14,39 @@
 // submits N independent requests of the same shape as one batch and reports
 // per-outcome totals. --service-metrics=FILE dumps the engine's registry
 // snapshot afterwards — the same JSON tools/soak_check.py reads.
+//
+// Live introspection while serving: SIGUSR1 prints the status document
+// (inflight table with ids/traces/states, queue depths, flight-recorder
+// counters) to stderr, and --telemetry-socket=PATH (or RLA_TELEMETRY_SOCKET)
+// serves the Prometheus exposition over a Unix socket, one document per
+// connection.
 
+#include <csignal>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/gemm.hpp"
+#include "obs/telemetry/endpoint.hpp"
 #include "service/service.hpp"
 #include "util/cli.hpp"
+#include "util/env.hpp"
 
 namespace {
+
+/// SIGUSR1 handshake: the handler only flips this flag; a poller thread does
+/// the non-signal-safe status rendering.
+volatile std::sig_atomic_t g_status_requested = 0;
+
+void on_sigusr1(int) { g_status_requested = 1; }
 
 void usage(const char* prog) {
   std::printf(
@@ -35,7 +55,8 @@ void usage(const char* prog) {
       "          [--trace=FILE] [--profile=FILE] [--profile-json=FILE]\n"
       "          [--perf] [--no-measure]\n"
       "          [--serve] [--batch=N] [--deadline-ms=N] [--priority=N]\n"
-      "          [--service-metrics=FILE]\n",
+      "          [--service-metrics=FILE] [--telemetry-socket=PATH]\n"
+      "          [--telemetry-ms=N]\n",
       prog);
 }
 
@@ -50,7 +71,38 @@ int run_served(const rla::CliArgs& args, std::uint32_t m, std::uint32_t n,
     svc_cfg.threads =
         static_cast<unsigned>(std::max<std::int64_t>(0, args.get_int("threads", 0)));
   }
+  if (args.has("telemetry-ms")) {
+    svc_cfg.telemetry_period = std::chrono::milliseconds(
+        std::max<std::int64_t>(0, args.get_int("telemetry-ms", 0)));
+  }
   rla::service::GemmService service(svc_cfg);
+
+  // SIGUSR1 → status dump on stderr, rendered by a poller thread (the
+  // handler itself only sets a flag).
+  std::signal(SIGUSR1, on_sigusr1);
+  std::atomic<bool> status_stop{false};
+  std::thread status_thread([&service, &status_stop] {
+    while (!status_stop.load(std::memory_order_acquire)) {
+      if (g_status_requested != 0) {
+        g_status_requested = 0;
+        const std::string status = service.status_json();
+        std::fprintf(stderr, "rla_gemm status: %s\n", status.c_str());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  std::string socket_path = args.get("telemetry-socket");
+  if (socket_path.empty()) socket_path = rla::env_string("RLA_TELEMETRY_SOCKET");
+  std::unique_ptr<rla::obs::telemetry::ExpositionServer> endpoint;
+  if (!socket_path.empty()) {
+    endpoint = std::make_unique<rla::obs::telemetry::ExpositionServer>(
+        socket_path, [&service] { return service.telemetry_prometheus(); });
+    if (!endpoint->ok()) {
+      std::fprintf(stderr, "rla_gemm: telemetry socket %s: %s\n",
+                   socket_path.c_str(), endpoint->error().c_str());
+    }
+  }
 
   std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
   std::uniform_real_distribution<double> dist(-1.0, 1.0);
@@ -109,6 +161,10 @@ int run_served(const rla::CliArgs& args, std::uint32_t m, std::uint32_t n,
     }
     if (r.outcome == rla::service::Outcome::Failed) rc = 1;
   }
+  if (endpoint) endpoint->stop();
+  status_stop.store(true, std::memory_order_release);
+  status_thread.join();
+  std::signal(SIGUSR1, SIG_DFL);
   service.shutdown();
   std::printf(
       "serve %ux%ux%u batch=%zu workers=%u executors=%u completed=%zu "

@@ -46,7 +46,9 @@ void usage(const char* prog) {
       "usage: %s [--requests=N] [--faults=alloc,worker,stall,kernel|none]\n"
       "          [--seed=N] [--threads=N] [--executors=N] [--max-inflight=N]\n"
       "          [--arena-mb=N] [--max-size=N] [--deadline-pct=N]\n"
-      "          [--metrics=FILE] [--timeout-s=N] [--quiet]\n",
+      "          [--metrics=FILE] [--timeout-s=N] [--quiet]\n"
+      "          [--telemetry-ms=N] [--exposition=FILE] [--snapshots=FILE]\n"
+      "          [--flight-dump=FILE] [--stall-p=F]\n",
       prog);
 }
 
@@ -81,8 +83,11 @@ bool probe_ok(const Ticket& t) {
 }
 
 /// Translate --faults categories into the fault-plan spec grammar.
+/// `stall_p` is spliced into the stall clause verbatim so CI can force a
+/// deterministic stall schedule (e.g. --stall-p=1 with a fixed seed).
 bool build_fault_spec(const std::string& faults, std::uint64_t seed,
-                      std::string& spec, bool& kernel_chaos) {
+                      const std::string& stall_p, std::string& spec,
+                      bool& kernel_chaos) {
   spec.clear();
   kernel_chaos = false;
   if (faults.empty() || faults == "none") return true;
@@ -97,7 +102,7 @@ bool build_fault_spec(const std::string& faults, std::uint64_t seed,
     } else if (cat == "worker") {
       clause = "task.throw:p=0.02";
     } else if (cat == "stall") {
-      clause = "service.stall:p=0.04";
+      clause = "service.stall:p=" + stall_p;
     } else if (cat == "kernel") {
       clause = "kernel.corrupt:p=0.02";
       kernel_chaos = true;  // silent corruption: probes would misfire
@@ -142,8 +147,8 @@ int main(int argc, char** argv) {
 
   std::string fault_spec;
   bool kernel_chaos = false;
-  if (!build_fault_spec(args.get("faults", "alloc,worker,stall"), seed, fault_spec,
-                        kernel_chaos)) {
+  if (!build_fault_spec(args.get("faults", "alloc,worker,stall"), seed,
+                        args.get("stall-p", "0.04"), fault_spec, kernel_chaos)) {
     usage(argv[0]);
     return 2;
   }
@@ -158,6 +163,10 @@ int main(int argc, char** argv) {
                         std::max<std::int64_t>(0, args.get_int("arena-mb", 256)))
                     << 20;
   cfg.watchdog_period = 5ms;
+  cfg.telemetry_period = std::chrono::milliseconds(
+      std::max<std::int64_t>(0, args.get_int("telemetry-ms", 0)));
+  const std::string flight_dump = args.get("flight-dump");
+  cfg.flight_dump_path = flight_dump;  // watchdog auto-dumps on first stall
 
   // Armed for the whole soak: probabilistic triggers are stateless per hit
   // index, so the chaos schedule is reproducible for a given seed no matter
@@ -171,6 +180,12 @@ int main(int argc, char** argv) {
   }
 
   rla::service::GemmService service(cfg);
+  // Arm the fatal-signal dump alongside the watchdog's stall dump: a crash
+  // mid-soak still leaves the lifecycle ring on disk for the post-mortem.
+  if (!flight_dump.empty()) {
+    rla::obs::telemetry::install_fatal_dump(&service.flight(),
+                                            flight_dump.c_str());
+  }
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> dist(-1.0, 1.0);
   const std::uint32_t sizes[] = {16,  24,  32,  48,  64,  80,  96,
@@ -179,6 +194,7 @@ int main(int argc, char** argv) {
 
   std::size_t outcomes[5] = {0, 0, 0, 0, 0};
   std::size_t hung = 0, wrong = 0, unexpected = 0, retried = 0, probed = 0;
+  std::size_t untraced = 0;
   std::vector<double> queue_ms, total_ms;
   std::deque<std::unique_ptr<Ticket>> outstanding;
 
@@ -190,6 +206,13 @@ int main(int argc, char** argv) {
     const Response r = t.fut.get();
     outcomes[static_cast<int>(r.outcome)]++;
     if (r.attempts > 1) ++retried;
+    // Telemetry guarantee: every response carries a request-scoped trace id,
+    // and a completed run's profile carries the same one.
+    if (r.trace_id == 0 ||
+        (r.outcome != Outcome::Rejected && r.attempts > 0 &&
+         r.profile.trace_id != 0 && r.profile.trace_id != r.trace_id)) {
+      ++untraced;
+    }
     if (r.outcome != Outcome::Rejected) {
       queue_ms.push_back(r.queue_seconds * 1e3);
       total_ms.push_back((r.queue_seconds + r.run_seconds) * 1e3);
@@ -286,6 +309,24 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  const std::string exposition_path = args.get("exposition");
+  if (!exposition_path.empty()) {
+    std::ofstream out(exposition_path);
+    out << service.telemetry_prometheus();
+    if (!out) {
+      std::fprintf(stderr, "rla_soak: cannot write %s\n", exposition_path.c_str());
+      return 1;
+    }
+  }
+  const std::string snapshots_path = args.get("snapshots");
+  if (!snapshots_path.empty()) {
+    std::ofstream out(snapshots_path);
+    out << service.telemetry_jsonl();
+    if (!out) {
+      std::fprintf(stderr, "rla_soak: cannot write %s\n", snapshots_path.c_str());
+      return 1;
+    }
+  }
 
   if (!quiet) {
     std::printf(
@@ -325,6 +366,16 @@ int main(int argc, char** argv) {
                  "arena_reserved=%zu bytes\n",
                  leaked_inflight, leaked_bytes);
     ok = false;
+  }
+  if (untraced != 0) {
+    std::fprintf(stderr,
+                 "rla_soak: FAIL %zu response(s) with missing or mismatched "
+                 "trace id\n",
+                 untraced);
+    ok = false;
+  }
+  if (!flight_dump.empty()) {
+    rla::obs::telemetry::install_fatal_dump(nullptr, nullptr);
   }
   std::printf("rla_soak: %s\n", ok ? "PASS (every request terminated, nothing leaked)"
                                    : "FAIL");

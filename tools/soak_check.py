@@ -18,8 +18,20 @@ invariants a healthy soak must leave behind:
 Optional thresholds let CI gate outcomes (e.g. ``--min-completed 100``
 or ``--max-failed-pct 50`` under heavy chaos).
 
+``--flight BUNDLE`` additionally validates a flight-recorder post-mortem
+bundle (``rla_soak --flight-dump`` / ``GemmService::dump_flight_bundle``):
+header line, global seq order, per-request lifecycle order (admit first,
+nothing after finalize), per-request time monotonicity (small cross-thread
+slack), the closure invariant (every request with ring events but no
+finalize appears in the bundle's inflight table, and vice versa — only
+checkable when the ring reports zero drops), and the ``bundle_end`` footer
+whose ``open`` count must equal the number of inflight rows.
+``--require-stall`` demands at least one ``stall`` event, which is how CI
+proves the watchdog actually captured the bundle from its stall path.
+
 Usage:
   tools/soak_check.py metrics.json [--min-completed N] [--max-failed-pct P]
+                      [--flight BUNDLE] [--require-stall]
   tools/soak_check.py --self-test
 
 Exit status: 0 ok, 1 invariant violated or malformed input, 2 usage error.
@@ -141,6 +153,169 @@ def check(doc, min_completed=0, max_failed_pct=100.0):
     return problems
 
 
+# --- flight-recorder bundle --------------------------------------------------
+
+# Events recorded by concurrent threads (watchdog vs executor) may carry
+# slightly out-of-order timestamps relative to their global ticket order.
+TIME_SLACK_NS = 5_000_000
+
+# Lifecycle rank per event kind; a request's events must never step backwards
+# below "queue" re-entry (degrade/retry/deadline/stall float freely between
+# start and finalize, so they share the running rank).
+_LIFECYCLE_RANK = {
+    "admit": 0,
+    "queue": 1,
+    "start": 2,
+    "degrade": 2,
+    "retry": 2,
+    "deadline": 2,
+    "stall": 2,
+    "finalize": 3,
+}
+
+
+def check_flight(lines, require_stall=False):
+    """Validate a flight-recorder bundle given as an iterable of JSONL lines.
+
+    Returns a list of problem strings (empty = bundle is consistent).
+    """
+    problems = []
+    records = []
+    for i, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            records.append((i, json.loads(raw)))
+        except json.JSONDecodeError as err:
+            return [f"flight line {i}: not JSON ({err})"]
+    if not records:
+        return ["flight bundle is empty"]
+
+    _, header = records[0]
+    if header.get("kind") != "flight_recorder":
+        return ["flight bundle does not start with a flight_recorder header"]
+    for key in ("recorded", "dropped", "capacity"):
+        if not isinstance(header.get(key), int):
+            problems.append(f"flight header: missing {key}")
+    if problems:
+        return problems
+    dropped = header["dropped"]
+
+    events = []
+    inflight = {}
+    footer = None
+    for i, doc in records[1:]:
+        kind = doc.get("kind")
+        if kind == "inflight":
+            if footer is not None:
+                problems.append(f"flight line {i}: inflight row after bundle_end")
+            rid = doc.get("id")
+            if not isinstance(rid, int):
+                problems.append(f"flight line {i}: inflight row without id")
+                continue
+            if rid in inflight:
+                problems.append(f"flight line {i}: duplicate inflight id {rid}")
+            inflight[rid] = doc
+        elif kind == "bundle_end":
+            if footer is not None:
+                problems.append(f"flight line {i}: duplicate bundle_end")
+            footer = (i, doc)
+        elif kind is None:
+            events.append((i, doc))
+        else:
+            problems.append(f"flight line {i}: unknown kind {kind!r}")
+
+    # Global seq order: the dump walks the ring oldest-first, so the global
+    # ticket must be strictly increasing down the file.
+    prev_seq = -1
+    per_request = {}
+    for i, ev in events:
+        for key in ("seq", "request", "trace", "t_ns"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"flight line {i}: event missing {key}")
+                break
+        else:
+            if ev["seq"] <= prev_seq:
+                problems.append(
+                    f"flight line {i}: seq {ev['seq']} not above {prev_seq}"
+                )
+            prev_seq = ev["seq"]
+            per_request.setdefault(ev["request"], []).append((i, ev))
+
+    for rid, evs in per_request.items():
+        rank = -1
+        last_t = None
+        finalized = False
+        for i, ev in evs:
+            name = ev.get("event")
+            if name not in _LIFECYCLE_RANK:
+                problems.append(f"flight line {i}: unknown event {name!r}")
+                continue
+            if finalized:
+                problems.append(
+                    f"flight line {i}: request {rid} has events after finalize"
+                )
+            if _LIFECYCLE_RANK[name] < rank:
+                problems.append(
+                    f"flight line {i}: request {rid} lifecycle steps backwards "
+                    f"({name} after rank {rank})"
+                )
+            rank = max(rank, _LIFECYCLE_RANK[name])
+            if name == "finalize":
+                finalized = True
+            if last_t is not None and ev["t_ns"] + TIME_SLACK_NS < last_t:
+                problems.append(
+                    f"flight line {i}: request {rid} time runs backwards by "
+                    f"{last_t - ev['t_ns']} ns"
+                )
+            last_t = max(last_t or 0, ev["t_ns"])
+        if dropped == 0 and evs and evs[0][1].get("event") != "admit":
+            problems.append(
+                f"request {rid}: first ring event is "
+                f"{evs[0][1].get('event')!r}, not admit (and ring reports "
+                f"zero drops)"
+            )
+
+    # Closure: the dump snapshots events and the inflight table in one lock
+    # hold, so (with no ring drops) a request that has events but never
+    # finalized must still be open — and every open request must have at
+    # least its admit event in the ring.
+    if dropped == 0:
+        unfinalized = {
+            rid
+            for rid, evs in per_request.items()
+            if not any(ev.get("event") == "finalize" for _, ev in evs)
+        }
+        for rid in sorted(unfinalized - set(inflight)):
+            problems.append(
+                f"closure: request {rid} has ring events, no finalize, and "
+                f"is missing from the inflight table"
+            )
+        for rid in sorted(set(inflight) - set(per_request)):
+            problems.append(
+                f"closure: inflight request {rid} has no ring events despite "
+                f"zero drops"
+            )
+
+    if footer is None:
+        problems.append("flight bundle has no bundle_end footer")
+    else:
+        i, doc = footer
+        open_count = doc.get("open")
+        if open_count != len(inflight):
+            problems.append(
+                f"flight line {i}: footer open={open_count} but "
+                f"{len(inflight)} inflight rows"
+            )
+
+    if require_stall and not any(
+        ev.get("event") == "stall" for _, ev in events
+    ):
+        problems.append("no stall event in bundle (--require-stall)")
+    return problems
+
+
 # --- self test ---------------------------------------------------------------
 
 def seeded_metrics():
@@ -177,6 +352,30 @@ def seeded_metrics():
     }
 
 
+def seeded_bundle():
+    """A consistent post-mortem bundle: request 1 completed, 2 stalled
+    mid-run, 3 still queued at dump time."""
+    ms = 1_000_000  # fixture timestamps in ms so slack violations register
+    lines = [
+        {"kind": "flight_recorder", "recorded": 9, "dropped": 0, "capacity": 64},
+        {"seq": 0, "request": 1, "trace": 11, "t_ns": 1 * ms, "event": "admit", "detail": 0},
+        {"seq": 1, "request": 1, "trace": 11, "t_ns": 2 * ms, "event": "queue", "detail": 1},
+        {"seq": 2, "request": 2, "trace": 12, "t_ns": 3 * ms, "event": "admit", "detail": 0},
+        {"seq": 3, "request": 2, "trace": 12, "t_ns": 4 * ms, "event": "queue", "detail": 2},
+        {"seq": 4, "request": 1, "trace": 11, "t_ns": 5 * ms, "event": "start", "detail": 0},
+        {"seq": 5, "request": 1, "trace": 11, "t_ns": 9 * ms, "event": "finalize", "detail": 0},
+        {"seq": 6, "request": 2, "trace": 12, "t_ns": 10 * ms, "event": "start", "detail": 0},
+        {"seq": 7, "request": 3, "trace": 13, "t_ns": 11 * ms, "event": "admit", "detail": 0},
+        {"seq": 8, "request": 2, "trace": 12, "t_ns": 50 * ms, "event": "stall", "detail": 0},
+        {"id": 2, "trace": 12, "priority": 0, "state": "running", "age_ns": 45 * ms, "kind": "inflight"},
+        {"id": 3, "trace": 13, "priority": 0, "state": "queued", "age_ns": 40 * ms, "kind": "inflight"},
+        {"kind": "bundle_end", "open": 2, "recorded": 9, "dropped": 0},
+    ]
+    # request 3: admitted but its queue event raced the dump — still closed,
+    # because admit lands in the same lock hold as the open-table insert.
+    return [json.dumps(line) for line in lines]
+
+
 def self_test() -> int:
     good = seeded_metrics()
     problems = check(good, min_completed=70)
@@ -211,7 +410,45 @@ def self_test() -> int:
     if not check(seeded_metrics(), max_failed_pct=1.0):
         print("self-test FAILED: max-failed-pct threshold not enforced")
         return 2
-    print("self-test OK: accounting, drain, histogram and threshold checks hold")
+
+    if check_flight(seeded_bundle(), require_stall=True):
+        print(
+            f"self-test FAILED: clean bundle flagged: "
+            f"{check_flight(seeded_bundle(), require_stall=True)}"
+        )
+        return 2
+
+    def mutate_bundle(fn):
+        lines = [json.loads(line) for line in seeded_bundle()]
+        fn(lines)
+        return [json.dumps(line) for line in lines]
+
+    flight_cases = {
+        "seq regression": lambda l: l[5].update({"seq": 2}),
+        "event after finalize": lambda l: l[7].update(
+            {"request": 1, "trace": 11}
+        ),
+        "lifecycle backwards": lambda l: l[7].update({"event": "admit"}),
+        "time backwards": lambda l: l[9].update({"t_ns": 1}),
+        "closure (missing inflight row)": lambda l: l.pop(11),
+        "closure (inflight without events)": lambda l: l[10].update({"id": 9}),
+        "footer count": lambda l: l[12].update({"open": 1}),
+        "missing footer": lambda l: l.pop(12),
+        "headerless": lambda l: l.pop(0),
+    }
+    for label, mutate in flight_cases.items():
+        if not check_flight(mutate_bundle(mutate)):
+            print(f"self-test FAILED: flight '{label}' mutation not detected")
+            return 2
+    no_stall = mutate_bundle(lambda l: l[9].update({"event": "deadline"}))
+    if check_flight(no_stall) or not check_flight(no_stall, require_stall=True):
+        print("self-test FAILED: --require-stall not enforced")
+        return 2
+
+    print(
+        "self-test OK: accounting, drain, histogram, threshold and "
+        "flight-bundle checks hold"
+    )
     return 0
 
 
@@ -222,6 +459,10 @@ def main() -> int:
                         help="require at least N Completed+Degraded requests")
     parser.add_argument("--max-failed-pct", type=float, default=100.0,
                         help="max percentage of accepted requests ending Failed")
+    parser.add_argument("--flight", metavar="BUNDLE",
+                        help="also validate a flight-recorder bundle (JSONL)")
+    parser.add_argument("--require-stall", action="store_true",
+                        help="fail unless the bundle holds a stall event")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
 
@@ -240,6 +481,21 @@ def main() -> int:
         return 1
 
     problems = check(doc, args.min_completed, args.max_failed_pct)
+    if args.flight:
+        try:
+            with open(args.flight) as fh:
+                flight_lines = fh.readlines()
+        except OSError as err:
+            print(f"error: cannot read {args.flight}: {err}", file=sys.stderr)
+            return 1
+        flight_problems = check_flight(flight_lines, args.require_stall)
+        if not flight_problems:
+            n_events = sum(
+                1 for line in flight_lines
+                if line.strip() and '"kind"' not in line
+            )
+            print(f"flight bundle ok: {n_events} events, closure holds")
+        problems.extend(flight_problems)
     for p in problems:
         print(f"problem: {p}", file=sys.stderr)
     if not problems:

@@ -67,7 +67,7 @@ def task_events(events):
 
 
 # Trace-arg keys on phase spans that are structure, not counters.
-_PHASE_STRUCTURE_KEYS = {"id", "parent", "seq"}
+_PHASE_STRUCTURE_KEYS = {"id", "parent", "seq", "trace"}
 
 
 def phase_events(events):
@@ -235,6 +235,27 @@ def summarize(doc, top_n=10):
         if sched:
             summary["sched_total"] = sched
 
+    # Service SLO gauges and telemetry-pipeline counters, for traces taken
+    # through the service layer (rla_gemm --serve / rla_soak metrics).
+    if isinstance(metrics, dict):
+        slo = {}
+        telemetry = {}
+        for section in ("counters", "gauges"):
+            values = metrics.get(section)
+            if not isinstance(values, dict):
+                continue
+            for key, value in values.items():
+                if not isinstance(value, (int, float)):
+                    continue
+                if key.startswith("service.slo."):
+                    slo[key[len("service.slo."):]] = value
+                elif key.startswith("telemetry."):
+                    telemetry[key[len("telemetry."):]] = value
+        if slo:
+            summary["slo"] = slo
+        if telemetry:
+            summary["telemetry"] = telemetry
+
     embedded = doc.get("rla_summary")
     if isinstance(embedded, dict):
         summary["embedded"] = embedded
@@ -290,6 +311,14 @@ def print_report(summary):
             f"{k}={v:.0f}" for k, v in sorted(summary["sched_total"].items())
         )
         print(f"scheduler totals: {total}")
+    if summary.get("slo"):
+        total = "  ".join(f"{k}={v:.0f}" for k, v in sorted(summary["slo"].items()))
+        print(f"service slo: {total}")
+    if summary.get("telemetry"):
+        total = "  ".join(
+            f"{k}={v:.0f}" for k, v in sorted(summary["telemetry"].items())
+        )
+        print(f"telemetry: {total}")
     print(f"top {len(summary['top_tasks'])} tasks by exclusive time:")
     for t in summary["top_tasks"]:
         mig = " (migrated)" if t["migrated"] else ""
@@ -430,7 +459,11 @@ def self_test() -> int:
                                            "sched.w0.steals": 3,
                                            "sched.total.steals": 7,
                                            "sched.total.tasks": 11,
-                                           "sched.exceptions_swallowed": 2}}
+                                           "sched.exceptions_swallowed": 2,
+                                           "telemetry.flight.events": 42},
+             "gauges": {"service.slo.normal.p99_ns": 5_000_000,
+                        "service.slo.deadline_miss_ppm": 1_250,
+                        "telemetry.trace_id": 17}}
     counted_summary, _ = summarize(counted, top_n=10)
     if counted_summary.get("hw_total") != {"cycles": 1_000_000}:
         print(f"self-test FAILED: hw_total {counted_summary.get('hw_total')}")
@@ -442,6 +475,26 @@ def self_test() -> int:
     }:
         print(f"self-test FAILED: sched_total {counted_summary.get('sched_total')}")
         return 2
+    if counted_summary.get("slo") != {
+        "normal.p99_ns": 5_000_000,
+        "deadline_miss_ppm": 1_250,
+    }:
+        print(f"self-test FAILED: slo {counted_summary.get('slo')}")
+        return 2
+    if counted_summary.get("telemetry") != {"flight.events": 42, "trace_id": 17}:
+        print(f"self-test FAILED: telemetry {counted_summary.get('telemetry')}")
+        return 2
+    # The structural trace-id arg on phase spans must not be summed as if it
+    # were a hardware counter.
+    traced = seeded_trace()
+    for ev in traced["traceEvents"]:
+        if ev.get("cat") == "phase":
+            ev.setdefault("args", {})["trace"] = 12345
+    traced_summary, _ = summarize(traced, top_n=10)
+    for ph in traced_summary["phases"]:
+        if "trace" in ph["counters"]:
+            print("self-test FAILED: trace id counted as a phase counter")
+            return 2
     print("self-test OK: critical path, utilization, and consistency checks hold")
     return 0
 
