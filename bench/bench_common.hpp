@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <map>
 #include <vector>
 
 #include "core/rla.hpp"
@@ -126,6 +128,61 @@ inline void set_profile_counters(benchmark::State& state,
       benchmark::Counter(static_cast<double>(profile.tasks_traced));
   state.counters["steals"] =
       benchmark::Counter(static_cast<double>(profile.sched.steals));
+}
+
+/// Publish recursion-resolved (treeprof) per-depth results from one
+/// cfg.tree_profile run done outside the timed loop: exclusive time share
+/// per depth plus, where the PMU counted, misses-per-FLOP and IPC per
+/// depth. Keys look like "tree_d2_time_share". No-op when the tree was not
+/// measured (disarmed, or the session slot was busy), so absent keys mean
+/// "not profiled", never zero-means-unknown — same contract as
+/// set_hw_counters above.
+inline void set_tree_counters(benchmark::State& state,
+                              const GemmProfile& profile) {
+  if (!profile.tree_measured || profile.tree_profile.empty()) return;
+  // Only publish hw-derived columns for events the perf session actually
+  // counted (a host where just the software task clock works would
+  // otherwise export zero-means-unknown miss rates).
+  const auto counted = [&](const char* name) {
+    if (!profile.hw_measured) return false;
+    for (const auto& e : profile.hw_events) {
+      if (e == name) return true;
+    }
+    return false;
+  };
+  const bool have_l1 = counted("l1d_read_misses");
+  const bool have_ipc = counted("instructions") && counted("cycles");
+  struct DepthRow {
+    double time_ns = 0, flops = 0, l1 = 0, instructions = 0, cycles = 0;
+  };
+  std::map<int, DepthRow> depths;
+  double total_ns = 0;
+  for (const auto& node : profile.tree_profile) {
+    DepthRow& row = depths[std::atoi(node.key.c_str() + 1)];
+    row.time_ns += static_cast<double>(node.time_ns);
+    row.flops += static_cast<double>(node.flops);
+    total_ns += static_cast<double>(node.time_ns);
+    if (node.hw_valid) {
+      row.l1 += static_cast<double>(node.hw.l1d_read_misses);
+      row.instructions += static_cast<double>(node.hw.instructions);
+      row.cycles += static_cast<double>(node.hw.cycles);
+    }
+  }
+  for (const auto& [depth, row] : depths) {
+    const std::string prefix = "tree_d" + std::to_string(depth) + "_";
+    if (total_ns > 0) {
+      state.counters[prefix + "time_share"] =
+          benchmark::Counter(row.time_ns / total_ns);
+    }
+    if (have_l1 && row.flops > 0) {
+      state.counters[prefix + "l1d_miss_per_flop"] =
+          benchmark::Counter(row.l1 / row.flops);
+    }
+    if (have_ipc && row.cycles > 0) {
+      state.counters[prefix + "ipc"] =
+          benchmark::Counter(row.instructions / row.cycles);
+    }
+  }
 }
 
 /// Benchmark label "layout=... algorithm=... threads=N" so the --json

@@ -61,15 +61,18 @@ void Dgemm_RecursiveBestTile(benchmark::State& state) {
   }
   set_flops_counters(state, n);
   set_slowdown(state, best, n);
-  // One measured (untimed) run so the --json export carries span/parallelism
-  // and, where the PMU is usable, misses per FLOP.
+  // One measured (untimed) run so the --json export carries span/parallelism,
+  // the per-depth recursion-tree shares, and, where the PMU is usable,
+  // misses per FLOP.
   GemmConfig measured_cfg = cfg;
   measured_cfg.measure = true;
   measured_cfg.hw_counters = true;
+  measured_cfg.tree_profile = true;
   GemmProfile profile;
   run_gemm(p, measured_cfg, &profile);
   set_profile_counters(state, profile);
   set_hw_counters(state, profile, n);
+  set_tree_counters(state, profile);
   set_config_label(state, cfg);
 }
 
@@ -106,10 +109,12 @@ void Dgemm_StrassenBest(benchmark::State& state) {
   GemmConfig measured_cfg = cfg;
   measured_cfg.measure = true;
   measured_cfg.hw_counters = true;
+  measured_cfg.tree_profile = true;
   GemmProfile profile;
   run_gemm(p, measured_cfg, &profile);
   set_profile_counters(state, profile);
   set_hw_counters(state, profile, n);
+  set_tree_counters(state, profile);
   set_config_label(state, cfg);
 }
 

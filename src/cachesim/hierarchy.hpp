@@ -27,6 +27,25 @@ struct MemRef {
   bool write;
 };
 
+/// Point-in-time copy of the hierarchy's headline counters, for computing
+/// deltas over a sub-interval of a trace (e.g. one recursion-tree node)
+/// without resetting the warmed-up cache state in between.
+struct HierarchySnapshot {
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t tlb_misses = 0;
+  std::uint64_t cycles = 0;
+
+  /// Counter-wise `*this - earlier` (both from the same hierarchy, with
+  /// `earlier` taken first).
+  HierarchySnapshot operator-(const HierarchySnapshot& earlier) const noexcept {
+    return {l1_accesses - earlier.l1_accesses, l1_misses - earlier.l1_misses,
+            l2_misses - earlier.l2_misses, tlb_misses - earlier.tlb_misses,
+            cycles - earlier.cycles};
+  }
+};
+
 class MemoryHierarchy {
  public:
   explicit MemoryHierarchy(const HierarchyConfig& config);
@@ -44,6 +63,12 @@ class MemoryHierarchy {
 
   /// Modeled cycles consumed so far.
   std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Copy the headline counters (see HierarchySnapshot).
+  HierarchySnapshot snapshot() const noexcept {
+    return {l1_.stats().accesses(), l1_.stats().misses, l2_.stats().misses,
+            tlb_.stats().misses, cycles_};
+  }
 
   /// Modeled average cycles per access.
   double cpa() const noexcept {

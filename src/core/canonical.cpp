@@ -8,6 +8,8 @@
 
 namespace rla {
 
+namespace treeprof = obs::treeprof;
+
 namespace {
 
 ConstMatrixView sub(ConstMatrixView v, std::uint32_t r0, std::uint32_t c0,
@@ -24,6 +26,7 @@ void leaf(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
           ConstMatrixView b) {
   leaf_mm(ctx.kernel, c.rows, c.cols, a.cols, 1.0, a.data, a.ld, b.data, b.ld,
           c.data, c.ld);
+  treeprof::add_flops(2ull * c.rows * c.cols * a.cols);
 }
 
 /// External-cancellation check at node granularity (one relaxed load); the
@@ -109,8 +112,9 @@ struct Quads {
 }  // namespace
 
 void canon_standard(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
-                    ConstMatrixView b) {
+                    ConstMatrixView b, std::uint64_t path) {
   if (canon_cancelled(ctx)) return;
+  treeprof::NodeScope tree_node(path);
   const std::uint32_t m = c.rows, n = c.cols, k = a.cols;
   if (m <= ctx.leaf && n <= ctx.leaf && k <= ctx.leaf) {
     leaf(ctx, c, a, b);
@@ -139,9 +143,14 @@ void canon_standard(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
       const std::uint32_t r0 = me[mi], rows = me[mi + 1] - me[mi];
       const std::uint32_t c0 = ne[nj], cols = ne[nj + 1] - ne[nj];
       MatrixView cc = sub(c, r0, c0, rows, cols);
+      // Tree addresses follow the tiled recursion's convention: C-quadrant
+      // products of the first k-half are children 0..3, the second k-half
+      // 4..7.
+      const unsigned ci = static_cast<unsigned>(mi * 2 + nj);
       fork(group, par, [=, &ctx, &ke = ke, kp = kp] {
         if (kp == 1) {
-          canon_standard(ctx, cc, sub(a, r0, 0, rows, k), sub(b, 0, c0, k, cols));
+          canon_standard(ctx, cc, sub(a, r0, 0, rows, k), sub(b, 0, c0, k, cols),
+                         treeprof::child_path(path, ci));
           return;
         }
         const std::uint32_t k1 = ke[1];
@@ -154,16 +163,21 @@ void canon_standard(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
           // into a temporary folded in by a post-addition.
           Matrix tmp(rows, cols);
           TaskGroup inner(*ctx.pool, nullptr, ctx.priority);
-          inner.spawn([=, &ctx] { canon_standard(ctx, cc, a1, b1); });
-          inner.spawn([&tmp, a2, b2, &ctx] {
+          inner.spawn([=, &ctx] {
+            canon_standard(ctx, cc, a1, b1, treeprof::child_path(path, ci));
+          });
+          inner.spawn([&tmp, a2, b2, &ctx, path, ci] {
             tmp.zero();
-            canon_standard(ctx, tmp.view(), a2, b2);
+            canon_standard(ctx, tmp.view(), a2, b2,
+                           treeprof::child_path(path, 4 + ci));
           });
           inner.wait();
+          treeprof::NodeScope add_node(path);
           sacc(cc, 1.0, tmp.view());
+          treeprof::add_flops(static_cast<std::uint64_t>(rows) * cols);
         } else {
-          canon_standard(ctx, cc, a1, b1);
-          canon_standard(ctx, cc, a2, b2);
+          canon_standard(ctx, cc, a1, b1, treeprof::child_path(path, ci));
+          canon_standard(ctx, cc, a2, b2, treeprof::child_path(path, 4 + ci));
         }
       });
     }
@@ -176,8 +190,10 @@ namespace {
 /// Shared implementation of the two fast canonical recursions.
 template <typename Recurse>
 void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
-                     ConstMatrixView b, bool winograd, Recurse&& recurse) {
+                     ConstMatrixView b, bool winograd, std::uint64_t path,
+                     Recurse&& recurse) {
   if (canon_cancelled(ctx)) return;
+  treeprof::NodeScope tree_node(path);
   const std::uint32_t s = c.rows;
   assert(c.cols == s && a.cols == s && b.rows == s);
   if (s <= ctx.leaf || (s & 1) != 0) {
@@ -185,8 +201,20 @@ void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
     return;
   }
   const std::uint32_t h = s / 2;
+  const std::uint64_t hh = static_cast<std::uint64_t>(h) * h;
   const bool par = analysis::detection_active() ||
                    (!ctx.pool->serial() && flops(s, s, s) >= ctx.spawn_flops);
+  // Runs `body` (a pre- or post-addition of this node) inside the node's own
+  // treeprof frame, crediting `passes` full-quadrant element passes, forked
+  // like any other node work.
+  auto node_add = [par, path, hh](TaskGroup& g, std::uint64_t passes,
+                                  auto body) {
+    fork(g, par, [=] {
+      treeprof::NodeScope add_node(path);
+      body();
+      treeprof::add_flops(passes * hh);
+    });
+  };
 
   ConstMatrixView a11 = sub(a, 0, 0, h, h), a12 = sub(a, 0, h, h, h);
   ConstMatrixView a21 = sub(a, h, 0, h, h), a22 = sub(a, h, h, h, h);
@@ -211,75 +239,76 @@ void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
   {
     TaskGroup group(*ctx.pool, nullptr, ctx.priority);
     if (!winograd) {
-      fork(group, par, [&] { sset_add(sv(1), a11, +1.0, a22); });
-      fork(group, par, [&] { sset_add(sv(2), a21, +1.0, a22); });
+      node_add(group, 1, [&] { sset_add(sv(1), a11, +1.0, a22); });
+      node_add(group, 1, [&] { sset_add(sv(2), a21, +1.0, a22); });
       // S3 = A11 + A12 (see the sign note in recursion.cpp).
-      fork(group, par, [&] { sset_add(sv(3), a11, +1.0, a12); });
-      fork(group, par, [&] { sset_add(sv(4), a21, -1.0, a11); });
-      fork(group, par, [&] { sset_add(sv(5), a12, -1.0, a22); });
-      fork(group, par, [&] { sset_add(tv(1), b11, +1.0, b22); });
-      fork(group, par, [&] { sset_add(tv(2), b12, -1.0, b22); });
-      fork(group, par, [&] { sset_add(tv(3), b21, -1.0, b11); });
-      fork(group, par, [&] { sset_add(tv(4), b11, +1.0, b12); });
-      fork(group, par, [&] { sset_add(tv(5), b21, +1.0, b22); });
+      node_add(group, 1, [&] { sset_add(sv(3), a11, +1.0, a12); });
+      node_add(group, 1, [&] { sset_add(sv(4), a21, -1.0, a11); });
+      node_add(group, 1, [&] { sset_add(sv(5), a12, -1.0, a22); });
+      node_add(group, 1, [&] { sset_add(tv(1), b11, +1.0, b22); });
+      node_add(group, 1, [&] { sset_add(tv(2), b12, -1.0, b22); });
+      node_add(group, 1, [&] { sset_add(tv(3), b21, -1.0, b11); });
+      node_add(group, 1, [&] { sset_add(tv(4), b11, +1.0, b12); });
+      node_add(group, 1, [&] { sset_add(tv(5), b21, +1.0, b22); });
     } else {
-      fork(group, par, [&] {
+      node_add(group, 3, [&] {
         sset_add(sv(1), a21, +1.0, a22);
         sset_add(sv(2), sv(1), -1.0, a11);
         sset_add(sv(4), a12, -1.0, sv(2));
       });
-      fork(group, par, [&] { sset_add(sv(3), a11, -1.0, a21); });
-      fork(group, par, [&] {
+      node_add(group, 1, [&] { sset_add(sv(3), a11, -1.0, a21); });
+      node_add(group, 3, [&] {
         sset_add(tv(1), b12, -1.0, b11);
         sset_add(tv(2), b22, -1.0, tv(1));
         sset_add(tv(4), b21, -1.0, tv(2));
       });
-      fork(group, par, [&] { sset_add(tv(3), b22, -1.0, b12); });
+      node_add(group, 1, [&] { sset_add(tv(3), b22, -1.0, b12); });
     }
     group.wait();
   }
   {
     TaskGroup group(*ctx.pool, nullptr, ctx.priority);
-    auto product = [&](MatrixView dst, ConstMatrixView x, ConstMatrixView y) {
+    auto product = [&](unsigned idx, MatrixView dst, ConstMatrixView x,
+                       ConstMatrixView y) {
       return [=, &ctx, &recurse] {
         strided_scale(dst.data, dst.ld, 0.0, dst.rows, dst.cols);
-        recurse(ctx, dst, x, y);
+        recurse(ctx, dst, x, y, treeprof::child_path(path, idx));
       };
     };
     if (!winograd) {
-      fork(group, par, product(pv(1), sv(1), tv(1)));
-      fork(group, par, product(pv(2), sv(2), b11));
-      fork(group, par, product(pv(3), a11, tv(2)));
-      fork(group, par, product(pv(4), a22, tv(3)));
-      fork(group, par, product(pv(5), sv(3), b22));
-      fork(group, par, product(pv(6), sv(4), tv(4)));
-      fork(group, par, product(pv(7), sv(5), tv(5)));
+      fork(group, par, product(0, pv(1), sv(1), tv(1)));
+      fork(group, par, product(1, pv(2), sv(2), b11));
+      fork(group, par, product(2, pv(3), a11, tv(2)));
+      fork(group, par, product(3, pv(4), a22, tv(3)));
+      fork(group, par, product(4, pv(5), sv(3), b22));
+      fork(group, par, product(5, pv(6), sv(4), tv(4)));
+      fork(group, par, product(6, pv(7), sv(5), tv(5)));
     } else {
-      fork(group, par, product(pv(1), a11, b11));
-      fork(group, par, product(pv(2), a12, b21));
-      fork(group, par, product(pv(3), sv(1), tv(1)));
-      fork(group, par, product(pv(4), sv(2), tv(2)));
-      fork(group, par, product(pv(5), sv(3), tv(3)));
-      fork(group, par, product(pv(6), sv(4), b22));
-      fork(group, par, product(pv(7), a22, tv(4)));
+      fork(group, par, product(0, pv(1), a11, b11));
+      fork(group, par, product(1, pv(2), a12, b21));
+      fork(group, par, product(2, pv(3), sv(1), tv(1)));
+      fork(group, par, product(3, pv(4), sv(2), tv(2)));
+      fork(group, par, product(4, pv(5), sv(3), tv(3)));
+      fork(group, par, product(5, pv(6), sv(4), b22));
+      fork(group, par, product(6, pv(7), a22, tv(4)));
     }
     group.wait();
   }
   TaskGroup group(*ctx.pool, nullptr, ctx.priority);
   if (!winograd) {
-    fork(group, par, [&] { sacc4(c11, +1.0, pv(1), +1.0, pv(4), -1.0, pv(5), +1.0, pv(7)); });
-    fork(group, par, [&] { sacc2(c21, +1.0, pv(2), +1.0, pv(4)); });
-    fork(group, par, [&] { sacc2(c12, +1.0, pv(3), +1.0, pv(5)); });
-    fork(group, par, [&] { sacc4(c22, +1.0, pv(1), +1.0, pv(3), -1.0, pv(2), +1.0, pv(6)); });
+    node_add(group, 4, [&] { sacc4(c11, +1.0, pv(1), +1.0, pv(4), -1.0, pv(5), +1.0, pv(7)); });
+    node_add(group, 2, [&] { sacc2(c21, +1.0, pv(2), +1.0, pv(4)); });
+    node_add(group, 2, [&] { sacc2(c12, +1.0, pv(3), +1.0, pv(5)); });
+    node_add(group, 4, [&] { sacc4(c22, +1.0, pv(1), +1.0, pv(3), -1.0, pv(2), +1.0, pv(6)); });
   } else {
-    fork(group, par, [&] { sacc2(c11, +1.0, pv(1), +1.0, pv(2)); });
-    fork(group, par, [&] {
+    node_add(group, 2, [&] { sacc2(c11, +1.0, pv(1), +1.0, pv(2)); });
+    node_add(group, 2, [&] {
       sacc(pv(4), 1.0, pv(1));  // U2 = P1 + P4
       sacc(pv(5), 1.0, pv(4));  // U3 = U2 + P5
       TaskGroup inner(*ctx.pool, nullptr, ctx.priority);
-      fork(inner, par, [&] { sacc2(c21, +1.0, pv(5), +1.0, pv(7)); });
-      fork(inner, par, [&] { sacc2(c22, +1.0, pv(5), +1.0, pv(3)); });
-      fork(inner, par, [&] { sacc3(c12, +1.0, pv(4), +1.0, pv(3), +1.0, pv(6)); });
+      node_add(inner, 2, [&] { sacc2(c21, +1.0, pv(5), +1.0, pv(7)); });
+      node_add(inner, 2, [&] { sacc2(c22, +1.0, pv(5), +1.0, pv(3)); });
+      node_add(inner, 3, [&] { sacc3(c12, +1.0, pv(4), +1.0, pv(3), +1.0, pv(6)); });
       inner.wait();
     });
   }
@@ -289,14 +318,17 @@ void canon_fast_node(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
 /// Paper §5.1's sequential space-conserving variant on canonical views:
 /// one S, one T, one P buffer; see the tiled counterpart in recursion.cpp.
 void canon_fast_lowmem(const CanonContext& ctx, bool winograd, MatrixView c,
-                       ConstMatrixView a, ConstMatrixView b) {
+                       ConstMatrixView a, ConstMatrixView b,
+                       std::uint64_t path) {
   if (canon_cancelled(ctx)) return;
+  treeprof::NodeScope tree_node(path);
   const std::uint32_t size = c.rows;
   if (size <= ctx.leaf || (size & 1) != 0) {
     leaf(ctx, c, a, b);
     return;
   }
   const std::uint32_t h = size / 2;
+  const std::uint64_t hh = static_cast<std::uint64_t>(h) * h;
   ConstMatrixView a11 = sub(a, 0, 0, h, h), a12 = sub(a, 0, h, h, h);
   ConstMatrixView a21 = sub(a, h, 0, h, h), a22 = sub(a, h, h, h, h);
   ConstMatrixView b11 = sub(b, 0, 0, h, h), b12 = sub(b, 0, h, h, h);
@@ -306,9 +338,22 @@ void canon_fast_lowmem(const CanonContext& ctx, bool winograd, MatrixView c,
 
   Matrix s_buf(h, h), t_buf(h, h), p_buf(h, h);
   MatrixView s = s_buf.view(), t = t_buf.view(), p = p_buf.view();
+  // Products are the node's children 0..6, in P1..P7 emission order (both
+  // branches run all seven); the serial adds between them stay on this
+  // node's frame, credited one element pass per call.
+  unsigned next_child = 0;
   auto product = [&](ConstMatrixView x, ConstMatrixView y) {
     p_buf.zero();
-    canon_fast_lowmem(ctx, winograd, p, x, y);
+    canon_fast_lowmem(ctx, winograd, p, x, y,
+                      treeprof::child_path(path, next_child++));
+  };
+  auto add = [&](MatrixView d, ConstMatrixView x, double sb, ConstMatrixView y) {
+    sset_add(d, x, sb, y);
+    treeprof::add_flops(hh);
+  };
+  auto acc = [&](MatrixView d, double sc, ConstMatrixView src) {
+    sacc(d, sc, src);
+    treeprof::add_flops(hh);
   };
 
   if (!winograd) {
@@ -346,64 +391,68 @@ void canon_fast_lowmem(const CanonContext& ctx, bool winograd, MatrixView c,
 
   // Winograd with expanded U-chains (see recursion.cpp).
   product(a11, b11);  // P1 -> all four
-  sacc(c11, +1.0, p);
-  sacc(c21, +1.0, p);
-  sacc(c22, +1.0, p);
-  sacc(c12, +1.0, p);
+  acc(c11, +1.0, p);
+  acc(c21, +1.0, p);
+  acc(c22, +1.0, p);
+  acc(c12, +1.0, p);
   product(a12, b21);  // P2 -> C11
-  sacc(c11, +1.0, p);
-  sset_add(s, a21, +1.0, a22);
-  sset_add(t, b12, -1.0, b11);
+  acc(c11, +1.0, p);
+  add(s, a21, +1.0, a22);
+  add(t, b12, -1.0, b11);
   product(s, t);  // P3 -> C22, C12
-  sacc(c22, +1.0, p);
-  sacc(c12, +1.0, p);
-  sset_add(s, a21, +1.0, a22);
-  sacc(s, -1.0, a11);
-  sset_add(t, b22, -1.0, b12);
-  sacc(t, +1.0, b11);
+  acc(c22, +1.0, p);
+  acc(c12, +1.0, p);
+  add(s, a21, +1.0, a22);
+  acc(s, -1.0, a11);
+  add(t, b22, -1.0, b12);
+  acc(t, +1.0, b11);
   product(s, t);  // P4 -> C21, C22, C12
-  sacc(c21, +1.0, p);
-  sacc(c22, +1.0, p);
-  sacc(c12, +1.0, p);
-  sset_add(s, a11, -1.0, a21);
-  sset_add(t, b22, -1.0, b12);
+  acc(c21, +1.0, p);
+  acc(c22, +1.0, p);
+  acc(c12, +1.0, p);
+  add(s, a11, -1.0, a21);
+  add(t, b22, -1.0, b12);
   product(s, t);  // P5 -> C21, C22
-  sacc(c21, +1.0, p);
-  sacc(c22, +1.0, p);
-  sset_add(s, a12, -1.0, a21);
-  sacc(s, -1.0, a22);
-  sacc(s, +1.0, a11);
+  acc(c21, +1.0, p);
+  acc(c22, +1.0, p);
+  add(s, a12, -1.0, a21);
+  acc(s, -1.0, a22);
+  acc(s, +1.0, a11);
   product(s, b22);  // P6 -> C12
-  sacc(c12, +1.0, p);
-  sset_add(t, b21, -1.0, b22);
-  sacc(t, +1.0, b12);
-  sacc(t, -1.0, b11);
+  acc(c12, +1.0, p);
+  add(t, b21, -1.0, b22);
+  acc(t, +1.0, b12);
+  acc(t, -1.0, b11);
   product(a22, t);  // P7 -> C21
-  sacc(c21, +1.0, p);
+  acc(c21, +1.0, p);
 }
 
 }  // namespace
 
 void canon_strassen(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
-                    ConstMatrixView b) {
+                    ConstMatrixView b, std::uint64_t path) {
   if (ctx.fast_variant == FastVariant::SerialLowMem) {
-    canon_fast_lowmem(ctx, /*winograd=*/false, c, a, b);
+    canon_fast_lowmem(ctx, /*winograd=*/false, c, a, b, path);
     return;
   }
-  canon_fast_node(ctx, c, a, b, /*winograd=*/false,
+  canon_fast_node(ctx, c, a, b, /*winograd=*/false, path,
                   [](const CanonContext& cx, MatrixView cc, ConstMatrixView aa,
-                     ConstMatrixView bb) { canon_strassen(cx, cc, aa, bb); });
+                     ConstMatrixView bb, std::uint64_t p) {
+                    canon_strassen(cx, cc, aa, bb, p);
+                  });
 }
 
 void canon_winograd(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
-                    ConstMatrixView b) {
+                    ConstMatrixView b, std::uint64_t path) {
   if (ctx.fast_variant == FastVariant::SerialLowMem) {
-    canon_fast_lowmem(ctx, /*winograd=*/true, c, a, b);
+    canon_fast_lowmem(ctx, /*winograd=*/true, c, a, b, path);
     return;
   }
-  canon_fast_node(ctx, c, a, b, /*winograd=*/true,
+  canon_fast_node(ctx, c, a, b, /*winograd=*/true, path,
                   [](const CanonContext& cx, MatrixView cc, ConstMatrixView aa,
-                     ConstMatrixView bb) { canon_winograd(cx, cc, aa, bb); });
+                     ConstMatrixView bb, std::uint64_t p) {
+                    canon_winograd(cx, cc, aa, bb, p);
+                  });
 }
 
 }  // namespace rla

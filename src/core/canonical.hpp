@@ -14,8 +14,11 @@
 // leading dimension, the paper's explanation for Strassen's robustness even
 // on canonical storage.
 
+#include <cstdint>
+
 #include "core/config.hpp"
 #include "core/matrix.hpp"
+#include "obs/treeprof/treeprof.hpp"
 #include "parallel/worker_pool.hpp"
 
 namespace rla {
@@ -37,16 +40,23 @@ struct CanonContext {
 
 /// C += A·B on column-major views, standard recursion, any shapes
 /// (A m×k, B k×n, C m×n); splits use ceiling halves so no padding is needed.
+///
+/// `path` is this node's recursion-tree address for the treeprof profiler
+/// (obs/treeprof/); callers other than the recursion itself leave the root
+/// default. Same convention on the fast recursions below.
 void canon_standard(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
-                    ConstMatrixView b);
+                    ConstMatrixView b,
+                    std::uint64_t path = obs::treeprof::kRootPath);
 
 /// C += A·B, Strassen recurrence. All of m, n, k must be equal and divisible
 /// by 2 down to <= ctx.leaf (the driver guarantees this by padding).
 void canon_strassen(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
-                    ConstMatrixView b);
+                    ConstMatrixView b,
+                    std::uint64_t path = obs::treeprof::kRootPath);
 
 /// C += A·B, Winograd's variant; same shape requirements as canon_strassen.
 void canon_winograd(const CanonContext& ctx, MatrixView c, ConstMatrixView a,
-                    ConstMatrixView b);
+                    ConstMatrixView b,
+                    std::uint64_t path = obs::treeprof::kRootPath);
 
 }  // namespace rla

@@ -215,6 +215,18 @@ struct GemmConfig {
   /// degradation trail; a concurrent counting call records "perf:busy".
   bool hw_counters = false;
 
+  /// Recursion-resolved profiling (obs/treeprof/): attribute exclusive wall
+  /// time, FLOPs, task counts and per-thread PMU deltas to each node of the
+  /// quadrant recursion, keyed by its path ("d3:021"), down to
+  /// RLA_TREEPROF_MAX_DEPTH levels (deeper cost rolls up; default 3). Fills
+  /// GemmProfile::tree_profile, feeds the per-depth metric export and the
+  /// --flame folded-stack output, and emits nested "node" spans into the
+  /// trace when one is being written. Implies `measure`. The RLA_TREEPROF
+  /// environment variable (truthy) arms this when the flag is false. If
+  /// another tree-profiling session is armed the call runs unprofiled and
+  /// records "treeprof:busy" in the degradation trail.
+  bool tree_profile = false;
+
   /// Watch the IEEE sticky exception flags (INVALID / OVERFLOW / DIVBYZERO)
   /// around the call, attributing hazards to the phase that raised them (in
   /// the degradation trail, e.g. "fp:compute:invalid"). A hazard raised by a

@@ -20,6 +20,7 @@
 #include "layout/convert.hpp"
 #include "obs/collector.hpp"
 #include "obs/perf.hpp"
+#include "obs/treeprof/treeprof.hpp"
 #include "parallel/worker_pool.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
@@ -718,12 +719,25 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
   // measurement: the counters ride on the same phase spans.
   const std::string trace_path =
       cfg.trace_path.empty() ? env_string("RLA_TRACE") : cfg.trace_path;
+  const bool want_tree = cfg.tree_profile || env_int("RLA_TREEPROF", 0) != 0;
   std::optional<obs::Collector> collector;
-  if (cfg.measure || !trace_path.empty() || perf_session) {
+  if (cfg.measure || !trace_path.empty() || perf_session || want_tree) {
     collector.emplace();
     if (!collector->try_attach()) {
       sink.degrade("trace:busy");
       collector.reset();
+    }
+  }
+
+  // Recursion-resolved profiling (obs/treeprof/). One armed session per
+  // process, like the other slots; a collision runs unprofiled. Armed after
+  // the perf session so frame transitions can read this call's counters.
+  std::optional<obs::treeprof::Session> tree_session;
+  if (want_tree) {
+    tree_session.emplace();
+    if (!tree_session->try_attach()) {
+      sink.degrade("treeprof:busy");
+      tree_session.reset();
     }
   }
   // Root frame spanning every run_all below (degradation, FP and verify
@@ -812,6 +826,53 @@ void gemm(std::uint32_t m, std::uint32_t n, std::uint32_t k, double alpha,
       profile->sched.idle_wakeups = pool->idle_wakeups() - base_wakeups;
       profile->sched.injection_pops = pool->injection_pops() - base_inject;
       profile->sched.deque_high_water = pool->deque_high_water();
+    }
+    if (tree_session) {
+      // Disarm (quiescence barrier) and fold the per-thread tables before
+      // the perf session detaches — frame flushes read its counters — and
+      // before the collector freezes its metrics snapshot.
+      tree_session->detach();
+      const std::vector<obs::treeprof::Node> tree_nodes = tree_session->fold();
+      if (profile != nullptr) {
+        profile->tree_measured = true;
+        profile->tree_profile.clear();
+        for (const auto& node : tree_nodes) {
+          GemmProfile::TreeNode tn;
+          tn.key = obs::treeprof::path_key(node.path);
+          tn.time_ns = node.stats.time_ns;
+          tn.flops = node.stats.flops;
+          tn.tasks = node.stats.tasks;
+          tn.hw_valid = node.stats.hw.mask != 0;
+          tn.hw = to_hw_counters(node.stats.hw);
+          profile->tree_profile.push_back(std::move(tn));
+        }
+      }
+      if (collector) {
+        // Per-depth aggregates into the trace's rla_metrics block (the
+        // folded list is sorted by depth, so one linear sweep per level).
+        obs::Registry& reg = collector->registry();
+        reg.counter("treeprof.nodes").set(tree_nodes.size());
+        std::size_t i = 0;
+        while (i < tree_nodes.size()) {
+          const int d = obs::treeprof::path_depth(tree_nodes[i].path);
+          std::uint64_t t_ns = 0, flops = 0, tasks = 0;
+          std::size_t j = i;
+          for (; j < tree_nodes.size() &&
+                 obs::treeprof::path_depth(tree_nodes[j].path) == d;
+               ++j) {
+            t_ns += tree_nodes[j].stats.time_ns;
+            flops += tree_nodes[j].stats.flops;
+            tasks += tree_nodes[j].stats.tasks;
+          }
+          const std::string prefix = "treeprof.d" + std::to_string(d) + ".";
+          // metric-family: treeprof.*
+          reg.counter(prefix + "time_ns").set(t_ns);
+          reg.counter(prefix + "flops").set(flops);
+          reg.counter(prefix + "tasks").set(tasks);
+          i = j;
+        }
+      }
+      tree_session.reset();
     }
     if (perf_session) {
       // Freeze the counters before the collector snapshot so the aggregate

@@ -140,6 +140,27 @@ struct GemmProfile {
   /// convert.out), aggregated across split pieces, in first-seen order.
   std::vector<std::pair<std::string, HwCounters>> hw_phases;
 
+  /// One recursion-tree node's attribution (GemmConfig::tree_profile /
+  /// RLA_TREEPROF; see obs/treeprof/). `key` is the quadrant-path key
+  /// ("d0", "d3:021"); `time_ns` is *exclusive* wall time (children and
+  /// group waits excluded), so sums per depth reconcile against the compute
+  /// phase. Nodes deeper than RLA_TREEPROF_MAX_DEPTH roll up into their
+  /// ancestor at the cap. `hw` carries exclusive PMU deltas when a perf
+  /// session was also counting (hw_valid false = no event counted).
+  struct TreeNode {
+    std::string key;
+    std::uint64_t time_ns = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t tasks = 0;
+    bool hw_valid = false;
+    HwCounters hw;
+  };
+
+  // Recursion-resolved profile, sorted by (depth, path); empty when
+  // profiling was off or the session slot was busy ("treeprof:busy").
+  bool tree_measured = false;   ///< a treeprof session was armed for this call
+  std::vector<TreeNode> tree_profile;
+
   /// Serialize every field to a single JSON object (schema documented in
   /// DESIGN.md §10). Machine-readable companion to the trace file.
   std::string to_json() const;

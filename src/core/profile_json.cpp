@@ -191,6 +191,20 @@ std::string GemmProfile::to_json() const {
     phases.push_back(std::move(entry));
   }
   o.set("hw_phases", std::move(phases));
+
+  o.set("tree_measured", Value::boolean(tree_measured));
+  Value tree = Value::array();
+  for (const auto& node : tree_profile) {
+    Value entry = Value::object();
+    entry.set("key", Value::string(node.key));
+    entry.set("time_ns", Value::number(node.time_ns));
+    entry.set("flops", Value::number(node.flops));
+    entry.set("tasks", Value::number(node.tasks));
+    entry.set("hw_valid", Value::boolean(node.hw_valid));
+    hw_fill(entry, node.hw);
+    tree.push_back(std::move(entry));
+  }
+  o.set("tree_profile", std::move(tree));
   return o.dump();
 }
 
@@ -265,6 +279,21 @@ bool GemmProfile::from_json(const std::string& text, GemmProfile& out) {
       read_string(entry, "phase", ph.first);
       read_hw(entry, ph.second);
       p.hw_phases.push_back(std::move(ph));
+    }
+  }
+  read_bool(o, "tree_measured", p.tree_measured);
+  if (const Value* v = o.find("tree_profile"); v != nullptr && v->is_array()) {
+    p.tree_profile.clear();
+    for (const Value& entry : v->items()) {
+      if (!entry.is_object()) continue;
+      TreeNode node;
+      read_string(entry, "key", node.key);
+      read_u64(entry, "time_ns", node.time_ns);
+      read_u64(entry, "flops", node.flops);
+      read_u64(entry, "tasks", node.tasks);
+      read_bool(entry, "hw_valid", node.hw_valid);
+      read_hw(entry, node.hw);
+      p.tree_profile.push_back(std::move(node));
     }
   }
   out = std::move(p);

@@ -11,7 +11,16 @@
 
 namespace rla {
 
+namespace treeprof = obs::treeprof;
+
 namespace {
+
+/// Elements covered by one block: 2^level × 2^level tiles of
+/// tile_rows × tile_cols. FLOP weight of one elementwise add pass.
+std::uint64_t block_elems(const TiledBlock& b) noexcept {
+  return (static_cast<std::uint64_t>(b.geom->tile_rows) << b.level) *
+         (static_cast<std::uint64_t>(b.geom->tile_cols) << b.level);
+}
 
 /// Fresh temporary with the same tile shape and curve as `like`, sized to
 /// one block of like.level levels. Root orientation is 0 by construction.
@@ -31,6 +40,8 @@ void leaf(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
           const TiledBlock& b) {
   leaf_mm_tile(ctx.kernel, c.geom->tile_rows, c.geom->tile_cols, a.geom->tile_cols,
                a.tile(), b.tile(), c.tile());
+  treeprof::add_flops(2ull * c.geom->tile_rows * c.geom->tile_cols *
+                      a.geom->tile_cols);
   if (fault::should_fail(fault::Site::KernelCorrupt)) c.tile()[0] += 1.0e6;
   if (fault::should_fail(fault::Site::KernelFpe)) {
     // Raise a real FE_INVALID and poison the output the way an actual kernel
@@ -78,13 +89,14 @@ void fork(TaskGroup& group, bool parallel, F&& f) {
 }  // namespace
 
 void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
-                  const TiledBlock& b) {
+                  const TiledBlock& b, std::uint64_t path) {
   if (node_cancelled(ctx)) return;
   // Frens–Wise flags: an all-zero operand annihilates the product.
   if ((ctx.zero_a != nullptr && ctx.zero_a->zero(a.level, a.s_base)) ||
       (ctx.zero_b != nullptr && ctx.zero_b->zero(b.level, b.s_base))) {
     return;
   }
+  treeprof::NodeScope node(path);
   if (c.level == 0) {
     leaf(ctx, c, a, b);
     return;
@@ -104,17 +116,17 @@ void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     // within each phase, so no temporaries are needed.
     {
       TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
-      fork(group, par, [&] { mul_standard(ctx, c11, a11, b11); });
-      fork(group, par, [&] { mul_standard(ctx, c12, a11, b12); });
-      fork(group, par, [&] { mul_standard(ctx, c21, a21, b11); });
-      fork(group, par, [&] { mul_standard(ctx, c22, a21, b12); });
+      fork(group, par, [&] { mul_standard(ctx, c11, a11, b11, treeprof::child_path(path, 0)); });
+      fork(group, par, [&] { mul_standard(ctx, c12, a11, b12, treeprof::child_path(path, 1)); });
+      fork(group, par, [&] { mul_standard(ctx, c21, a21, b11, treeprof::child_path(path, 2)); });
+      fork(group, par, [&] { mul_standard(ctx, c22, a21, b12, treeprof::child_path(path, 3)); });
       group.wait();
     }
     TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
-    fork(group, par, [&] { mul_standard(ctx, c11, a12, b21); });
-    fork(group, par, [&] { mul_standard(ctx, c12, a12, b22); });
-    fork(group, par, [&] { mul_standard(ctx, c21, a22, b21); });
-    fork(group, par, [&] { mul_standard(ctx, c22, a22, b22); });
+    fork(group, par, [&] { mul_standard(ctx, c11, a12, b21, treeprof::child_path(path, 4)); });
+    fork(group, par, [&] { mul_standard(ctx, c12, a12, b22, treeprof::child_path(path, 5)); });
+    fork(group, par, [&] { mul_standard(ctx, c21, a22, b21, treeprof::child_path(path, 6)); });
+    fork(group, par, [&] { mul_standard(ctx, c22, a22, b22, treeprof::child_path(path, 7)); });
     group.wait();
     return;
   }
@@ -126,36 +138,53 @@ void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   TiledMatrix t21 = make_temp(c21), t22 = make_temp(c22);
   {
     TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
-    fork(group, par, [&] { mul_standard(ctx, c11, a11, b11); });
-    fork(group, par, [&] { mul_standard(ctx, c12, a11, b12); });
-    fork(group, par, [&] { mul_standard(ctx, c21, a21, b11); });
-    fork(group, par, [&] { mul_standard(ctx, c22, a21, b12); });
+    fork(group, par, [&] { mul_standard(ctx, c11, a11, b11, treeprof::child_path(path, 0)); });
+    fork(group, par, [&] { mul_standard(ctx, c12, a11, b12, treeprof::child_path(path, 1)); });
+    fork(group, par, [&] { mul_standard(ctx, c21, a21, b11, treeprof::child_path(path, 2)); });
+    fork(group, par, [&] { mul_standard(ctx, c22, a21, b12, treeprof::child_path(path, 3)); });
     fork(group, par, [&] {
       t11.zero();
-      mul_standard(ctx, t11.root(), a12, b21);
+      mul_standard(ctx, t11.root(), a12, b21, treeprof::child_path(path, 4));
     });
     fork(group, par, [&] {
       t12.zero();
-      mul_standard(ctx, t12.root(), a12, b22);
+      mul_standard(ctx, t12.root(), a12, b22, treeprof::child_path(path, 5));
     });
     fork(group, par, [&] {
       t21.zero();
-      mul_standard(ctx, t21.root(), a22, b21);
+      mul_standard(ctx, t21.root(), a22, b21, treeprof::child_path(path, 6));
     });
     fork(group, par, [&] {
       t22.zero();
-      mul_standard(ctx, t22.root(), a22, b22);
+      mul_standard(ctx, t22.root(), a22, b22, treeprof::child_path(path, 7));
     });
     group.wait();
   }
   // "adds" phases mark the serial joints between product waves in the
   // trace; only spawning nodes emit them (deep nodes would flood the ring).
+  // Forked add tasks attribute to this node's own path (same depth).
   obs::PhaseScope adds_phase("adds", par);
   TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
-  fork(group, par, [&] { block_acc(c11, 1.0, t11.root(), fg); });
-  fork(group, par, [&] { block_acc(c12, 1.0, t12.root(), fg); });
-  fork(group, par, [&] { block_acc(c21, 1.0, t21.root(), fg); });
-  fork(group, par, [&] { block_acc(c22, 1.0, t22.root(), fg); });
+  fork(group, par, [&] {
+    treeprof::NodeScope add_node(path);
+    block_acc(c11, 1.0, t11.root(), fg);
+    treeprof::add_flops(block_elems(c11));
+  });
+  fork(group, par, [&] {
+    treeprof::NodeScope add_node(path);
+    block_acc(c12, 1.0, t12.root(), fg);
+    treeprof::add_flops(block_elems(c12));
+  });
+  fork(group, par, [&] {
+    treeprof::NodeScope add_node(path);
+    block_acc(c21, 1.0, t21.root(), fg);
+    treeprof::add_flops(block_elems(c21));
+  });
+  fork(group, par, [&] {
+    treeprof::NodeScope add_node(path);
+    block_acc(c22, 1.0, t22.root(), fg);
+    treeprof::add_flops(block_elems(c22));
+  });
   group.wait();
 }
 
@@ -166,12 +195,14 @@ namespace {
 /// Winograd's U-chains are expanded into per-product C contributions (the
 /// common-subexpression savings cannot survive with a single P buffer).
 void mul_fast_lowmem(const MulContext& ctx, bool winograd, const TiledBlock& c,
-                     const TiledBlock& a, const TiledBlock& b) {
+                     const TiledBlock& a, const TiledBlock& b,
+                     std::uint64_t path) {
   if (node_cancelled(ctx)) return;
   if (c.level <= ctx.fast_cutoff_level) {
-    mul_standard(ctx, c, a, b);
+    mul_standard(ctx, c, a, b, path);
     return;
   }
+  treeprof::NodeScope tree_node(path);
   const bool fg = ctx.force_generic_additions;
   const TiledBlock c11 = c.quadrant(kNW), c12 = c.quadrant(kNE);
   const TiledBlock c21 = c.quadrant(kSW), c22 = c.quadrant(kSE);
@@ -184,110 +215,122 @@ void mul_fast_lowmem(const MulContext& ctx, bool winograd, const TiledBlock& c,
   TiledMatrix p_buf = make_temp(c11);
   const TiledBlock s = s_buf.root(), t = t_buf.root(), p = p_buf.root();
 
-  auto product = [&](const TiledBlock& x, const TiledBlock& y) {
+  // Products carry child paths P1..P7 -> 0..6; every elementwise add pass
+  // charges one FLOP per element to this node.
+  auto product = [&](unsigned idx, const TiledBlock& x, const TiledBlock& y) {
     block_zero(p);
-    mul_fast_lowmem(ctx, winograd, p, x, y);
+    mul_fast_lowmem(ctx, winograd, p, x, y, treeprof::child_path(path, idx));
+  };
+  auto acc = [&](const TiledBlock& dst, double scale, const TiledBlock& src) {
+    block_acc(dst, scale, src, fg);
+    treeprof::add_flops(block_elems(dst));
+  };
+  auto set_add = [&](const TiledBlock& dst, const TiledBlock& x, double scale,
+                     const TiledBlock& y) {
+    block_set_add(dst, x, scale, y, fg);
+    treeprof::add_flops(block_elems(dst));
   };
 
   if (!winograd) {
     // P1 = (A11+A22)(B11+B22) -> C11, C22
-    block_set_add(s, a11, +1.0, a22, fg);
-    block_set_add(t, b11, +1.0, b22, fg);
-    product(s, t);
-    block_acc(c11, +1.0, p, fg);
-    block_acc(c22, +1.0, p, fg);
+    set_add(s, a11, +1.0, a22);
+    set_add(t, b11, +1.0, b22);
+    product(0, s, t);
+    acc(c11, +1.0, p);
+    acc(c22, +1.0, p);
     // P2 = (A21+A22) B11 -> C21, -C22
-    block_set_add(s, a21, +1.0, a22, fg);
-    product(s, b11);
-    block_acc(c21, +1.0, p, fg);
-    block_acc(c22, -1.0, p, fg);
+    set_add(s, a21, +1.0, a22);
+    product(1, s, b11);
+    acc(c21, +1.0, p);
+    acc(c22, -1.0, p);
     // P3 = A11 (B12-B22) -> C12, C22
-    block_set_add(t, b12, -1.0, b22, fg);
-    product(a11, t);
-    block_acc(c12, +1.0, p, fg);
-    block_acc(c22, +1.0, p, fg);
+    set_add(t, b12, -1.0, b22);
+    product(2, a11, t);
+    acc(c12, +1.0, p);
+    acc(c22, +1.0, p);
     // P4 = A22 (B21-B11) -> C11, C21
-    block_set_add(t, b21, -1.0, b11, fg);
-    product(a22, t);
-    block_acc(c11, +1.0, p, fg);
-    block_acc(c21, +1.0, p, fg);
+    set_add(t, b21, -1.0, b11);
+    product(3, a22, t);
+    acc(c11, +1.0, p);
+    acc(c21, +1.0, p);
     // P5 = (A11+A12) B22 -> -C11, C12
-    block_set_add(s, a11, +1.0, a12, fg);
-    product(s, b22);
-    block_acc(c11, -1.0, p, fg);
-    block_acc(c12, +1.0, p, fg);
+    set_add(s, a11, +1.0, a12);
+    product(4, s, b22);
+    acc(c11, -1.0, p);
+    acc(c12, +1.0, p);
     // P6 = (A21-A11)(B11+B12) -> C22
-    block_set_add(s, a21, -1.0, a11, fg);
-    block_set_add(t, b11, +1.0, b12, fg);
-    product(s, t);
-    block_acc(c22, +1.0, p, fg);
+    set_add(s, a21, -1.0, a11);
+    set_add(t, b11, +1.0, b12);
+    product(5, s, t);
+    acc(c22, +1.0, p);
     // P7 = (A12-A22)(B21+B22) -> C11
-    block_set_add(s, a12, -1.0, a22, fg);
-    block_set_add(t, b21, +1.0, b22, fg);
-    product(s, t);
-    block_acc(c11, +1.0, p, fg);
+    set_add(s, a12, -1.0, a22);
+    set_add(t, b21, +1.0, b22);
+    product(6, s, t);
+    acc(c11, +1.0, p);
     return;
   }
 
   // Winograd with expanded U-chains:
   //   C11 = P1+P2, C21 = P1+P4+P5+P7, C22 = P1+P3+P4+P5, C12 = P1+P3+P4+P6.
   // P1 = A11 B11
-  product(a11, b11);
-  block_acc(c11, +1.0, p, fg);
-  block_acc(c21, +1.0, p, fg);
-  block_acc(c22, +1.0, p, fg);
-  block_acc(c12, +1.0, p, fg);
+  product(0, a11, b11);
+  acc(c11, +1.0, p);
+  acc(c21, +1.0, p);
+  acc(c22, +1.0, p);
+  acc(c12, +1.0, p);
   // P2 = A12 B21
-  product(a12, b21);
-  block_acc(c11, +1.0, p, fg);
+  product(1, a12, b21);
+  acc(c11, +1.0, p);
   // P3 = (A21+A22)(B12-B11)
-  block_set_add(s, a21, +1.0, a22, fg);
-  block_set_add(t, b12, -1.0, b11, fg);
-  product(s, t);
-  block_acc(c22, +1.0, p, fg);
-  block_acc(c12, +1.0, p, fg);
+  set_add(s, a21, +1.0, a22);
+  set_add(t, b12, -1.0, b11);
+  product(2, s, t);
+  acc(c22, +1.0, p);
+  acc(c12, +1.0, p);
   // P4 = (A21+A22-A11)(B22-B12+B11)
-  block_set_add(s, a21, +1.0, a22, fg);
-  block_acc(s, -1.0, a11, fg);
-  block_set_add(t, b22, -1.0, b12, fg);
-  block_acc(t, +1.0, b11, fg);
-  product(s, t);
-  block_acc(c21, +1.0, p, fg);
-  block_acc(c22, +1.0, p, fg);
-  block_acc(c12, +1.0, p, fg);
+  set_add(s, a21, +1.0, a22);
+  acc(s, -1.0, a11);
+  set_add(t, b22, -1.0, b12);
+  acc(t, +1.0, b11);
+  product(3, s, t);
+  acc(c21, +1.0, p);
+  acc(c22, +1.0, p);
+  acc(c12, +1.0, p);
   // P5 = (A11-A21)(B22-B12)
-  block_set_add(s, a11, -1.0, a21, fg);
-  block_set_add(t, b22, -1.0, b12, fg);
-  product(s, t);
-  block_acc(c21, +1.0, p, fg);
-  block_acc(c22, +1.0, p, fg);
+  set_add(s, a11, -1.0, a21);
+  set_add(t, b22, -1.0, b12);
+  product(4, s, t);
+  acc(c21, +1.0, p);
+  acc(c22, +1.0, p);
   // P6 = (A12-A21-A22+A11) B22
-  block_set_add(s, a12, -1.0, a21, fg);
-  block_acc(s, -1.0, a22, fg);
-  block_acc(s, +1.0, a11, fg);
-  product(s, b22);
-  block_acc(c12, +1.0, p, fg);
+  set_add(s, a12, -1.0, a21);
+  acc(s, -1.0, a22);
+  acc(s, +1.0, a11);
+  product(5, s, b22);
+  acc(c12, +1.0, p);
   // P7 = A22 (B21-B22+B12-B11)
-  block_set_add(t, b21, -1.0, b22, fg);
-  block_acc(t, +1.0, b12, fg);
-  block_acc(t, -1.0, b11, fg);
-  product(a22, t);
-  block_acc(c21, +1.0, p, fg);
+  set_add(t, b21, -1.0, b22);
+  acc(t, +1.0, b12);
+  acc(t, -1.0, b11);
+  product(6, a22, t);
+  acc(c21, +1.0, p);
 }
 
 }  // namespace
 
 void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
-                  const TiledBlock& b) {
+                  const TiledBlock& b, std::uint64_t path) {
   if (node_cancelled(ctx)) return;
   if (ctx.fast_variant == FastVariant::SerialLowMem) {
-    mul_fast_lowmem(ctx, /*winograd=*/false, c, a, b);
+    mul_fast_lowmem(ctx, /*winograd=*/false, c, a, b, path);
     return;
   }
   if (c.level <= ctx.fast_cutoff_level) {
-    mul_standard(ctx, c, a, b);
+    mul_standard(ctx, c, a, b, path);
     return;
   }
+  treeprof::NodeScope tree_node(path);
   const bool par = spawn_here(ctx, c.level);
   const bool fg = ctx.force_generic_additions;
 
@@ -307,22 +350,29 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   TiledMatrix p7 = make_temp(c11);
 
   {
-    // Pre-additions (Fig. 1(b)): ten independent quadrant adds.
+    // Pre-additions (Fig. 1(b)): ten independent quadrant adds, each
+    // attributed to this node's own path.
     obs::PhaseScope adds_phase("adds", par);
     TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
-    fork(group, par, [&] { block_set_add(s1.root(), a11, +1.0, a22, fg); });
-    fork(group, par, [&] { block_set_add(s2.root(), a21, +1.0, a22, fg); });
+    auto pre_add = [&](const TiledBlock& dst, const TiledBlock& x, double s,
+                       const TiledBlock& y) {
+      treeprof::NodeScope add_node(path);
+      block_set_add(dst, x, s, y, fg);
+      treeprof::add_flops(block_elems(dst));
+    };
+    fork(group, par, [&] { pre_add(s1.root(), a11, +1.0, a22); });
+    fork(group, par, [&] { pre_add(s2.root(), a21, +1.0, a22); });
     // Note: S3 = A11 + A12 (Strassen's M5 pre-sum). The SPAA'99 scan prints
     // "S3 = A11 - A12", which is inconsistent with its own post-additions
     // C12 = P3 + P5 and C11 = ... - P5 ...; the + sign is the classical one.
-    fork(group, par, [&] { block_set_add(s3.root(), a11, +1.0, a12, fg); });
-    fork(group, par, [&] { block_set_add(s4.root(), a21, -1.0, a11, fg); });
-    fork(group, par, [&] { block_set_add(s5.root(), a12, -1.0, a22, fg); });
-    fork(group, par, [&] { block_set_add(t1.root(), b11, +1.0, b22, fg); });
-    fork(group, par, [&] { block_set_add(t2.root(), b12, -1.0, b22, fg); });
-    fork(group, par, [&] { block_set_add(t3.root(), b21, -1.0, b11, fg); });
-    fork(group, par, [&] { block_set_add(t4.root(), b11, +1.0, b12, fg); });
-    fork(group, par, [&] { block_set_add(t5.root(), b21, +1.0, b22, fg); });
+    fork(group, par, [&] { pre_add(s3.root(), a11, +1.0, a12); });
+    fork(group, par, [&] { pre_add(s4.root(), a21, -1.0, a11); });
+    fork(group, par, [&] { pre_add(s5.root(), a12, -1.0, a22); });
+    fork(group, par, [&] { pre_add(t1.root(), b11, +1.0, b22); });
+    fork(group, par, [&] { pre_add(t2.root(), b12, -1.0, b22); });
+    fork(group, par, [&] { pre_add(t3.root(), b21, -1.0, b11); });
+    fork(group, par, [&] { pre_add(t4.root(), b11, +1.0, b12); });
+    fork(group, par, [&] { pre_add(t5.root(), b21, +1.0, b22); });
     group.wait();
   }
   {
@@ -330,31 +380,31 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
     fork(group, par, [&] {
       p1.zero();
-      mul_strassen(ctx, p1.root(), s1.root(), t1.root());
+      mul_strassen(ctx, p1.root(), s1.root(), t1.root(), treeprof::child_path(path, 0));
     });
     fork(group, par, [&] {
       p2.zero();
-      mul_strassen(ctx, p2.root(), s2.root(), b11);
+      mul_strassen(ctx, p2.root(), s2.root(), b11, treeprof::child_path(path, 1));
     });
     fork(group, par, [&] {
       p3.zero();
-      mul_strassen(ctx, p3.root(), a11, t2.root());
+      mul_strassen(ctx, p3.root(), a11, t2.root(), treeprof::child_path(path, 2));
     });
     fork(group, par, [&] {
       p4.zero();
-      mul_strassen(ctx, p4.root(), a22, t3.root());
+      mul_strassen(ctx, p4.root(), a22, t3.root(), treeprof::child_path(path, 3));
     });
     fork(group, par, [&] {
       p5.zero();
-      mul_strassen(ctx, p5.root(), s3.root(), b22);
+      mul_strassen(ctx, p5.root(), s3.root(), b22, treeprof::child_path(path, 4));
     });
     fork(group, par, [&] {
       p6.zero();
-      mul_strassen(ctx, p6.root(), s4.root(), t4.root());
+      mul_strassen(ctx, p6.root(), s4.root(), t4.root(), treeprof::child_path(path, 5));
     });
     fork(group, par, [&] {
       p7.zero();
-      mul_strassen(ctx, p7.root(), s5.root(), t5.root());
+      mul_strassen(ctx, p7.root(), s5.root(), t5.root(), treeprof::child_path(path, 6));
     });
     group.wait();
   }
@@ -362,29 +412,42 @@ void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   obs::PhaseScope adds_phase("adds", par);
   TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
   fork(group, par, [&] {
+    treeprof::NodeScope add_node(path);
     block_acc4(c11, +1.0, p1.root(), +1.0, p4.root(), -1.0, p5.root(), +1.0,
                p7.root(), fg);
+    treeprof::add_flops(4 * block_elems(c11));
   });
-  fork(group, par, [&] { block_acc2(c21, +1.0, p2.root(), +1.0, p4.root(), fg); });
-  fork(group, par, [&] { block_acc2(c12, +1.0, p3.root(), +1.0, p5.root(), fg); });
   fork(group, par, [&] {
+    treeprof::NodeScope add_node(path);
+    block_acc2(c21, +1.0, p2.root(), +1.0, p4.root(), fg);
+    treeprof::add_flops(2 * block_elems(c21));
+  });
+  fork(group, par, [&] {
+    treeprof::NodeScope add_node(path);
+    block_acc2(c12, +1.0, p3.root(), +1.0, p5.root(), fg);
+    treeprof::add_flops(2 * block_elems(c12));
+  });
+  fork(group, par, [&] {
+    treeprof::NodeScope add_node(path);
     block_acc4(c22, +1.0, p1.root(), +1.0, p3.root(), -1.0, p2.root(), +1.0,
                p6.root(), fg);
+    treeprof::add_flops(4 * block_elems(c22));
   });
   group.wait();
 }
 
 void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
-                  const TiledBlock& b) {
+                  const TiledBlock& b, std::uint64_t path) {
   if (node_cancelled(ctx)) return;
   if (ctx.fast_variant == FastVariant::SerialLowMem) {
-    mul_fast_lowmem(ctx, /*winograd=*/true, c, a, b);
+    mul_fast_lowmem(ctx, /*winograd=*/true, c, a, b, path);
     return;
   }
   if (c.level <= ctx.fast_cutoff_level) {
-    mul_standard(ctx, c, a, b);
+    mul_standard(ctx, c, a, b, path);
     return;
   }
+  treeprof::NodeScope tree_node(path);
   const bool par = spawn_here(ctx, c.level);
   const bool fg = ctx.force_generic_additions;
 
@@ -410,48 +473,60 @@ void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
     obs::PhaseScope adds_phase("adds", par);
     TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
     fork(group, par, [&] {
+      treeprof::NodeScope add_node(path);
       block_set_add(s1.root(), a21, +1.0, a22, fg);
       block_set_add(s2.root(), s1.root(), -1.0, a11, fg);
       block_set_add(s4.root(), a12, -1.0, s2.root(), fg);
+      treeprof::add_flops(3 * block_elems(s1.root()));
     });
-    fork(group, par, [&] { block_set_add(s3.root(), a11, -1.0, a21, fg); });
     fork(group, par, [&] {
+      treeprof::NodeScope add_node(path);
+      block_set_add(s3.root(), a11, -1.0, a21, fg);
+      treeprof::add_flops(block_elems(s3.root()));
+    });
+    fork(group, par, [&] {
+      treeprof::NodeScope add_node(path);
       block_set_add(t1.root(), b12, -1.0, b11, fg);
       block_set_add(t2.root(), b22, -1.0, t1.root(), fg);
       block_set_add(t4.root(), b21, -1.0, t2.root(), fg);
+      treeprof::add_flops(3 * block_elems(t1.root()));
     });
-    fork(group, par, [&] { block_set_add(t3.root(), b22, -1.0, b12, fg); });
+    fork(group, par, [&] {
+      treeprof::NodeScope add_node(path);
+      block_set_add(t3.root(), b22, -1.0, b12, fg);
+      treeprof::add_flops(block_elems(t3.root()));
+    });
     group.wait();
   }
   {
     TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
     fork(group, par, [&] {
       p1.zero();
-      mul_winograd(ctx, p1.root(), a11, b11);
+      mul_winograd(ctx, p1.root(), a11, b11, treeprof::child_path(path, 0));
     });
     fork(group, par, [&] {
       p2.zero();
-      mul_winograd(ctx, p2.root(), a12, b21);
+      mul_winograd(ctx, p2.root(), a12, b21, treeprof::child_path(path, 1));
     });
     fork(group, par, [&] {
       p3.zero();
-      mul_winograd(ctx, p3.root(), s1.root(), t1.root());
+      mul_winograd(ctx, p3.root(), s1.root(), t1.root(), treeprof::child_path(path, 2));
     });
     fork(group, par, [&] {
       p4.zero();
-      mul_winograd(ctx, p4.root(), s2.root(), t2.root());
+      mul_winograd(ctx, p4.root(), s2.root(), t2.root(), treeprof::child_path(path, 3));
     });
     fork(group, par, [&] {
       p5.zero();
-      mul_winograd(ctx, p5.root(), s3.root(), t3.root());
+      mul_winograd(ctx, p5.root(), s3.root(), t3.root(), treeprof::child_path(path, 4));
     });
     fork(group, par, [&] {
       p6.zero();
-      mul_winograd(ctx, p6.root(), s4.root(), b22);
+      mul_winograd(ctx, p6.root(), s4.root(), b22, treeprof::child_path(path, 5));
     });
     fork(group, par, [&] {
       p7.zero();
-      mul_winograd(ctx, p7.root(), a22, t4.root());
+      mul_winograd(ctx, p7.root(), a22, t4.root(), treeprof::child_path(path, 6));
     });
     group.wait();
   }
@@ -460,15 +535,31 @@ void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
   // aliased elementwise updates are safe).
   obs::PhaseScope adds_phase("adds", par);
   TaskGroup group(*ctx.pool, ctx.cancel, ctx.priority);
-  fork(group, par, [&] { block_acc2(c11, +1.0, p1.root(), +1.0, p2.root(), fg); });
   fork(group, par, [&] {
+    treeprof::NodeScope add_node(path);
+    block_acc2(c11, +1.0, p1.root(), +1.0, p2.root(), fg);
+    treeprof::add_flops(2 * block_elems(c11));
+  });
+  fork(group, par, [&] {
+    treeprof::NodeScope add_node(path);
     block_acc(p4.root(), 1.0, p1.root(), fg);   // U2 = P1 + P4
     block_acc(p5.root(), 1.0, p4.root(), fg);   // U3 = U2 + P5
+    treeprof::add_flops(2 * block_elems(p4.root()));
     TaskGroup inner(*ctx.pool, ctx.cancel, ctx.priority);
-    fork(inner, par, [&] { block_acc2(c21, +1.0, p5.root(), +1.0, p7.root(), fg); });
-    fork(inner, par, [&] { block_acc2(c22, +1.0, p5.root(), +1.0, p3.root(), fg); });
     fork(inner, par, [&] {
+      treeprof::NodeScope inner_node(path);
+      block_acc2(c21, +1.0, p5.root(), +1.0, p7.root(), fg);
+      treeprof::add_flops(2 * block_elems(c21));
+    });
+    fork(inner, par, [&] {
+      treeprof::NodeScope inner_node(path);
+      block_acc2(c22, +1.0, p5.root(), +1.0, p3.root(), fg);
+      treeprof::add_flops(2 * block_elems(c22));
+    });
+    fork(inner, par, [&] {
+      treeprof::NodeScope inner_node(path);
       block_acc3(c12, +1.0, p4.root(), +1.0, p3.root(), +1.0, p6.root(), fg);
+      treeprof::add_flops(3 * block_elems(c12));
     });
     inner.wait();
   });
@@ -476,16 +567,17 @@ void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& 
 }
 
 void mul_dispatch(const MulContext& ctx, Algorithm alg, const TiledBlock& c,
-                  const TiledBlock& a, const TiledBlock& b) {
+                  const TiledBlock& a, const TiledBlock& b,
+                  std::uint64_t path) {
   switch (alg) {
     case Algorithm::Standard:
-      mul_standard(ctx, c, a, b);
+      mul_standard(ctx, c, a, b, path);
       break;
     case Algorithm::Strassen:
-      mul_strassen(ctx, c, a, b);
+      mul_strassen(ctx, c, a, b, path);
       break;
     case Algorithm::Winograd:
-      mul_winograd(ctx, c, a, b);
+      mul_winograd(ctx, c, a, b, path);
       break;
   }
 }

@@ -10,10 +10,12 @@
 // §5.1 observation that every recursion level halves the leading dimension.
 
 #include <atomic>
+#include <cstdint>
 
 #include "core/add.hpp"
 #include "core/config.hpp"
 #include "core/tiled_matrix.hpp"
+#include "obs/treeprof/treeprof.hpp"
 #include "parallel/worker_pool.hpp"
 
 namespace rla {
@@ -52,20 +54,31 @@ struct MulContext {
   const ZeroTree* zero_b = nullptr;
 };
 
+// Each routine carries its node's quadrant path (obs/treeprof/ encoding) so
+// an armed tree-profiling session can attribute cost per recursion-tree
+// node; recursive calls extend it with the child index (standard products
+// 0..7, fast-algorithm products P1..P7 -> 0..6, forked add tasks attribute
+// to their node's own path). Defaulting to kRootPath keeps external callers
+// unchanged; when no session is armed the per-node cost is one relaxed load.
+
 /// C += A·B, standard 8-multiply recursion (Fig. 1(a)).
 void mul_standard(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
-                  const TiledBlock& b);
+                  const TiledBlock& b,
+                  std::uint64_t path = obs::treeprof::kRootPath);
 
 /// C += A·B, Strassen's 7-multiply recurrence (Fig. 1(b)).
 void mul_strassen(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
-                  const TiledBlock& b);
+                  const TiledBlock& b,
+                  std::uint64_t path = obs::treeprof::kRootPath);
 
 /// C += A·B, Winograd's variant (Fig. 1(c)).
 void mul_winograd(const MulContext& ctx, const TiledBlock& c, const TiledBlock& a,
-                  const TiledBlock& b);
+                  const TiledBlock& b,
+                  std::uint64_t path = obs::treeprof::kRootPath);
 
 /// Dispatch on ctx/algorithm.
 void mul_dispatch(const MulContext& ctx, Algorithm alg, const TiledBlock& c,
-                  const TiledBlock& a, const TiledBlock& b);
+                  const TiledBlock& a, const TiledBlock& b,
+                  std::uint64_t path = obs::treeprof::kRootPath);
 
 }  // namespace rla

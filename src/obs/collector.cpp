@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <thread>
 #include <vector>
 
+#include "obs/treeprof/treeprof.hpp"
 #include "util/env.hpp"
 
 namespace rla::obs {
@@ -256,6 +258,24 @@ void run_begin(const TaskTag& tag, std::uint64_t seq) {
 
 void task_end(GroupObs* fold_into) { pop_frame(fold_into); }
 
+void node_event(std::uint64_t path, int depth, std::int64_t start_ns,
+                std::int64_t dur_ns, std::int64_t excl_ns, std::uint64_t flops,
+                const perf::Sample& hw) {
+  TraceEvent e;
+  e.name = "node";
+  e.kind = TraceEvent::Kind::Node;
+  e.trace = tl_trace_id;
+  e.ts_ns = start_ns;
+  e.dur_ns = dur_ns;
+  e.id = path;
+  e.seq = static_cast<std::uint64_t>(depth);
+  e.excl_ns = excl_ns;
+  e.span_ns = static_cast<std::int64_t>(flops);  // field reuse, see header
+  e.hw_mask = static_cast<std::uint8_t>(hw.mask);
+  for (int i = 0; i < perf::kEventCount; ++i) e.hw[i] = hw.value[i];
+  emit_event(e);
+}
+
 void wait_begin() {
   if (tl_frames.empty()) return;
   close_segment(tl_frames.back(), now_ns());
@@ -409,6 +429,7 @@ const char* phase_name(TraceEvent::Kind kind) noexcept {
     case TraceEvent::Kind::Spawn: return "spawn";
     case TraceEvent::Kind::Steal: return "steal";
     case TraceEvent::Kind::Sync: return "sync";
+    case TraceEvent::Kind::Node: return "node";
   }
   return "?";
 }
@@ -416,10 +437,18 @@ const char* phase_name(TraceEvent::Kind kind) noexcept {
 void write_event(std::ostream& out, const TraceEvent& e, int tid,
                  std::int64_t epoch_ns) {
   const double ts_us = static_cast<double>(e.ts_ns - epoch_ns) / 1000.0;
-  out << "{\"name\":" << json::quote(e.name) << ",\"cat\":\""
-      << phase_name(e.kind) << "\",\"pid\":1,\"tid\":" << tid;
-  const bool durational =
-      e.kind == TraceEvent::Kind::Task || e.kind == TraceEvent::Kind::Phase;
+  out << "{\"name\":";
+  if (e.kind == TraceEvent::Kind::Node) {
+    // Display name is the quadrant path key so Perfetto nests the recursion
+    // ("d0" > "d1:2" > "d2:21" ...); the static name stays the cat.
+    out << json::quote(treeprof::path_key(e.id));
+  } else {
+    out << json::quote(e.name);
+  }
+  out << ",\"cat\":\"" << phase_name(e.kind) << "\",\"pid\":1,\"tid\":" << tid;
+  const bool durational = e.kind == TraceEvent::Kind::Task ||
+                          e.kind == TraceEvent::Kind::Phase ||
+                          e.kind == TraceEvent::Kind::Node;
   if (durational) {
     out << ",\"ph\":\"X\",\"ts\":" << ts_us
         << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
@@ -436,6 +465,14 @@ void write_event(std::ostream& out, const TraceEvent& e, int tid,
   } else if (e.kind == TraceEvent::Kind::Phase && e.hw_mask != 0) {
     // Scaled HW-counter deltas for this span (Perfetto shows them in the
     // args pane when the slice is selected).
+    for (int i = 0; i < perf::kEventCount; ++i) {
+      if ((e.hw_mask >> i) & 1u) {
+        out << ",\"" << perf::event_name(i) << "\":" << e.hw[i];
+      }
+    }
+  } else if (e.kind == TraceEvent::Kind::Node) {
+    out << ",\"depth\":" << e.seq << ",\"excl_ns\":" << e.excl_ns
+        << ",\"flops\":" << e.span_ns;
     for (int i = 0; i < perf::kEventCount; ++i) {
       if ((e.hw_mask >> i) & 1u) {
         out << ",\"" << perf::event_name(i) << "\":" << e.hw[i];
@@ -464,6 +501,16 @@ void Collector::write_chrome_trace(std::ostream& out) const {
     out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
         << buf->tid << ",\"args\":{\"name\":" << json::quote(buf->label)
         << "}}";
+  }
+  // Stable lane order regardless of registration (= first-emission) order:
+  // the main lane on top, then workers by pool index.
+  for (const auto& buf : buffers_) {
+    int sort = 0;
+    if (buf->label.rfind("worker ", 0) == 0) {
+      sort = 1 + std::atoi(buf->label.c_str() + 7);
+    }
+    out << ",{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << buf->tid << ",\"args\":{\"sort_index\":" << sort << "}}";
   }
   for (const auto& buf : buffers_) {
     const std::uint64_t count = std::min<std::uint64_t>(buf->written, buf->ring.size());

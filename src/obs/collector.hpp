@@ -42,7 +42,7 @@ namespace rla::obs {
 /// One recorded event. Self-contained (no begin/end pairing), so ring
 /// overflow can drop any subset and the remainder still parses.
 struct TraceEvent {
-  enum class Kind : std::uint8_t { Task, Phase, Spawn, Steal, Sync };
+  enum class Kind : std::uint8_t { Task, Phase, Spawn, Steal, Sync, Node };
 
   const char* name = "";     ///< static string
   std::int64_t ts_ns = 0;    ///< steady-clock start
@@ -55,19 +55,30 @@ struct TraceEvent {
   std::int64_t lat_ns = 0;   ///< spawn-to-start queue latency (burden)
   std::int64_t span_ns = 0;  ///< measured subtree span (Task events)
   std::int64_t excl_ns = 0;  ///< exclusive body time (Task events)
-  /// Scaled HW-counter deltas for Phase events when a perf::Session was
-  /// counting (indexed by perf::EventIndex; hw_mask bit i = hw[i] valid).
+  /// Scaled HW-counter deltas for Phase and Node events when a perf::Session
+  /// was counting (indexed by perf::EventIndex; hw_mask bit i = hw[i] valid).
   /// Exported as trace-event args so Perfetto shows misses per span.
   std::uint64_t hw[perf::kEventCount] = {};
   std::uint8_t hw_mask = 0;
   Kind kind = Kind::Task;
   bool migrated = false;     ///< executed on a different thread than spawned
 };
+// Node events (recursion-tree profiler frames, obs/treeprof/) reuse fields:
+// id = quadrant path, seq = depth, span_ns = attributed FLOPs, excl_ns =
+// exclusive time, hw = exclusive PMU deltas. write_event renders the path
+// key ("d2:01") as the display name and unpacks the args.
 
 namespace detail {
 // Internal emission paths (collector.cpp) that need collector access.
 void emit_event(const TraceEvent& e);
 void pop_frame(GroupObs* fold_into);
+/// Emit one finished recursion-tree frame (treeprof NodeScope destructor)
+/// as a Kind::Node span on the calling thread's trace lane. `path`/`depth`
+/// follow the treeprof path encoding; `hw` carries the frame's exclusive
+/// scaled PMU deltas (mask 0 = no perf session was counting).
+void node_event(std::uint64_t path, int depth, std::int64_t start_ns,
+                std::int64_t dur_ns, std::int64_t excl_ns, std::uint64_t flops,
+                const perf::Sample& hw);
 }  // namespace detail
 
 /// Fixed-capacity single-writer event ring for one thread.

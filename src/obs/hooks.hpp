@@ -76,6 +76,22 @@ inline bool armed() noexcept {
   return detail::g_collector.load(std::memory_order_relaxed) != nullptr;
 }
 
+namespace treeprof {
+namespace detail {
+/// Armed flag for the recursion-tree profiler (obs/treeprof/). Mirrors the
+/// session slot in treeprof.cpp; lives here so scheduler waits can check it
+/// with one inline relaxed load without pulling in the treeprof header.
+extern std::atomic<bool> g_armed;
+void wait_begin() noexcept;
+void wait_end() noexcept;
+}  // namespace detail
+
+/// True while a treeprof::Session is armed (one relaxed load).
+inline bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+}  // namespace treeprof
+
 /// The request trace id ambient on this thread (0 = none). Unlike the
 /// collector hooks this is maintained unconditionally — profiles and the
 /// flight recorder need request identity even with no collector armed.
@@ -155,10 +171,13 @@ class RunTaskScope {
 /// a task exception (the fold happens during unwinding).
 class WaitScope {
  public:
-  explicit WaitScope(GroupObs* group) : group_(group), on_(armed()) {
+  explicit WaitScope(GroupObs* group)
+      : group_(group), on_(armed()), tree_on_(treeprof::armed()) {
     if (on_) detail::wait_begin();
+    if (tree_on_) treeprof::detail::wait_begin();
   }
   ~WaitScope() {
+    if (tree_on_) treeprof::detail::wait_end();
     if (on_) detail::wait_end(group_);
   }
   WaitScope(const WaitScope&) = delete;
@@ -167,6 +186,7 @@ class WaitScope {
  private:
   GroupObs* group_;
   bool on_;
+  bool tree_on_;  ///< treeprof armed at construction (same capture rule)
 };
 
 }  // namespace rla::obs

@@ -246,6 +246,13 @@ std::atomic<std::uint64_t> g_pins{0};
 
 thread_local std::uint64_t tl_joined_generation = 0;
 
+/// This thread's own group within the armed session, cached so
+/// thread_sample() avoids the session mutex. Valid only while
+/// tl_group_generation matches g_generation (groups outlive detach but not
+/// the Session object; a new attach invalidates the cache first).
+thread_local CounterGroup* tl_group = nullptr;
+thread_local std::uint64_t tl_group_generation = 0;
+
 Session* pin() noexcept {
   g_pins.fetch_add(1, std::memory_order_seq_cst);
   Session* s = g_session.load(std::memory_order_seq_cst);
@@ -294,6 +301,9 @@ bool Session::try_attach() {
       MutexLock lock(mutex_);
       groups_.push_back(std::move(probe));
       labels_.push_back("main");
+      detail::tl_group = groups_.back().get();
+      detail::tl_group_generation =
+          detail::g_generation.load(std::memory_order_relaxed);
     }
     // Release: the probe group above must be visible to any worker whose
     // join_current_thread() acquires this flag through the armed session.
@@ -330,6 +340,18 @@ void Session::join_current_thread() {
   groups_.push_back(std::move(group));
   labels_.push_back(hint >= 0 ? "w" + std::to_string(hint)
                               : "t" + std::to_string(labels_.size()));
+  detail::tl_group = groups_.back().get();
+  detail::tl_group_generation =
+      detail::g_generation.load(std::memory_order_relaxed);
+}
+
+bool Session::read_current_thread(Sample& out) const {
+  if (detail::tl_group == nullptr ||
+      detail::tl_group_generation !=
+          detail::g_generation.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  return detail::tl_group->read(out);
 }
 
 Sample Session::read_total() const {
@@ -391,6 +413,16 @@ void note_phase(const char* name, const Sample& delta) {
     s->note_phase(name, delta);
     detail::unpin();
   }
+}
+
+bool thread_sample(Sample& out) {
+  if (!counting()) return false;
+  bool ok = false;
+  if (Session* s = detail::pin()) {
+    if (s->available()) ok = s->read_current_thread(out);
+    detail::unpin();
+  }
+  return ok;
 }
 
 }  // namespace rla::obs::perf

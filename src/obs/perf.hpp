@@ -148,6 +148,11 @@ class Session {
   /// group for the calling thread and register it with its lane label.
   void join_current_thread();
 
+  /// Internal (thread_sample, under the pin protocol): read only the
+  /// calling thread's own group — one read syscall, no session mutex.
+  /// False when this thread never joined the armed session.
+  bool read_current_thread(Sample& out) const;
+
  private:
   friend bool phase_snapshot(Sample& out);
 
@@ -190,5 +195,11 @@ bool phase_snapshot(Sample& out);
 
 /// Record a phase delta into the armed session (no-op when none).
 void note_phase(const char* name, const Sample& delta);
+
+/// Cumulative scaled counters of the *calling thread's* group only — the
+/// cheap read the tree profiler brackets frame transitions with (read_total
+/// sums every group under the session mutex; this is one syscall). False
+/// when no session is armed/available or this thread has no group.
+bool thread_sample(Sample& out);
 
 }  // namespace rla::obs::perf

@@ -79,7 +79,10 @@ namespace rla::obs::schema {
   X(Counter,   "sched.external.*",               false) /* non-pool callers */ \
   /* --- hardware counters (gemm.cpp export; suffix = perf event) --- */       \
   X(Counter,   "perf.total.*",                   false)                        \
-  X(Counter,   "perf.*",                         false) /* per-phase lanes */
+  X(Counter,   "perf.*",                         false) /* per-phase lanes */  \
+  /* --- recursion-tree profiler (gemm.cpp / service.cpp exports) --- */       \
+  X(Counter,   "treeprof.nodes",                 true)                         \
+  X(Counter,   "treeprof.*",                     false) /* per-depth lanes */
 // clang-format on
 
 /// Trace-span (PhaseScope) names: the gemm driver's phases. The Chrome-trace

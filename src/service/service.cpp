@@ -401,6 +401,10 @@ void GemmService::finalize(const std::shared_ptr<Pending>& p, Outcome outcome,
       .add();
   registry_.histogram("service.queue_ns").record(queue_ns);
   registry_.histogram("service.run_ns").record(run_ns);
+  // Tree-profiled requests (GemmConfig::tree_profile): nodes attributed
+  // across the service lifetime; 0-increment otherwise, so the preregistered
+  // family always exports.
+  registry_.counter("treeprof.nodes").add(r.profile.tree_profile.size());
   const std::int64_t total_ns = ns_between(p->submit_tp, now);
   registry_.histogram("service.total_ns").record(total_ns);
   registry_.histogram(std::string("service.priority.") +  // metric-family: service.priority.*

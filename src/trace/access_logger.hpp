@@ -57,6 +57,17 @@ std::vector<sim::MemRef> standard_tiled_trace(std::uint32_t n, std::uint32_t til
 std::vector<sim::CoreRef> quadrant_parallel_trace(std::uint32_t n, std::uint32_t tile,
                                                   Curve curve, TraceBases bases = {});
 
+/// Callbacks observing the recursion structure of the hooked walks below.
+/// `enter`/`exit` bracket every recursive node (depth 0 = whole product);
+/// `leaf` fires inside the node that runs the jik loop, with its block shape.
+/// The default is a no-op set so the plain walks can delegate.
+struct NullWalkHooks {
+  void enter(int /*depth*/) {}
+  void exit(int /*depth*/) {}
+  void leaf(int /*depth*/, std::uint32_t /*m*/, std::uint32_t /*n*/,
+            std::uint32_t /*k*/) {}
+};
+
 // ---- template implementations ----
 
 namespace detail {
@@ -77,17 +88,21 @@ void leaf_refs(std::uint32_t m, std::uint32_t n, std::uint32_t k, AddrA&& ea,
   }
 }
 
-template <typename AddrA, typename AddrB, typename AddrC, typename Sink>
-void walk_standard(std::uint32_t i0, std::uint32_t j0, std::uint32_t l0,
-                   std::uint32_t m, std::uint32_t n, std::uint32_t k,
-                   std::uint32_t leaf, AddrA&& ea, AddrB&& eb, AddrC&& ec,
-                   Sink&& out) {
+template <typename AddrA, typename AddrB, typename AddrC, typename Sink,
+          typename Hooks>
+void walk_standard_hooked(std::uint32_t i0, std::uint32_t j0, std::uint32_t l0,
+                          std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                          std::uint32_t leaf, int depth, AddrA&& ea, AddrB&& eb,
+                          AddrC&& ec, Sink&& out, Hooks& hooks) {
+  hooks.enter(depth);
   if (m <= leaf && n <= leaf && k <= leaf) {
+    hooks.leaf(depth, m, n, k);
     leaf_refs(
         m, n, k,
         [&](std::uint32_t i, std::uint32_t l) { return ea(i0 + i, l0 + l); },
         [&](std::uint32_t l, std::uint32_t j) { return eb(l0 + l, j0 + j); },
         [&](std::uint32_t i, std::uint32_t j) { return ec(i0 + i, j0 + j); }, out);
+    hooks.exit(depth);
     return;
   }
   // Ceiling-half splits of every oversized dimension, walked depth-first in
@@ -104,30 +119,50 @@ void walk_standard(std::uint32_t i0, std::uint32_t j0, std::uint32_t l0,
       for (std::uint32_t jq = 0; jq < (n > leaf ? 2u : 1u); ++jq) {
         const std::uint32_t jo = jq == 0 ? 0 : n1;
         const std::uint32_t nn = jq == 0 ? n1 : n - n1;
-        walk_standard(i0 + io, j0 + jo, l0 + lo, mm, nn, kk, leaf, ea, eb, ec,
-                      out);
+        walk_standard_hooked(i0 + io, j0 + jo, l0 + lo, mm, nn, kk, leaf,
+                             depth + 1, ea, eb, ec, out, hooks);
       }
     }
   }
+  hooks.exit(depth);
+}
+
+template <typename AddrA, typename AddrB, typename AddrC, typename Sink>
+void walk_standard(std::uint32_t i0, std::uint32_t j0, std::uint32_t l0,
+                   std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                   std::uint32_t leaf, AddrA&& ea, AddrB&& eb, AddrC&& ec,
+                   Sink&& out) {
+  NullWalkHooks hooks;
+  walk_standard_hooked(i0, j0, l0, m, n, k, leaf, 0, ea, eb, ec, out, hooks);
 }
 
 }  // namespace detail
 
-template <typename Sink>
-void walk_standard_canonical(std::uint32_t n, std::uint32_t leaf, TraceBases bases,
-                             Sink&& out) {
+/// walk_standard_canonical with recursion-structure hooks (see NullWalkHooks).
+template <typename Sink, typename Hooks>
+void walk_standard_canonical_hooked(std::uint32_t n, std::uint32_t leaf,
+                                    TraceBases bases, Sink&& out, Hooks& hooks) {
   auto col_major = [n](std::uint64_t base) {
     return [base, n](std::uint32_t i, std::uint32_t j) {
       return base + (static_cast<std::uint64_t>(j) * n + i) * sizeof(double);
     };
   };
-  detail::walk_standard(0, 0, 0, n, n, n, leaf, col_major(bases.a),
-                        col_major(bases.b), col_major(bases.c), out);
+  detail::walk_standard_hooked(0, 0, 0, n, n, n, leaf, 0, col_major(bases.a),
+                               col_major(bases.b), col_major(bases.c), out,
+                               hooks);
 }
 
 template <typename Sink>
-void walk_standard_tiled(std::uint32_t n, std::uint32_t tile, Curve curve,
-                         TraceBases bases, Sink&& out) {
+void walk_standard_canonical(std::uint32_t n, std::uint32_t leaf, TraceBases bases,
+                             Sink&& out) {
+  NullWalkHooks hooks;
+  walk_standard_canonical_hooked(n, leaf, bases, out, hooks);
+}
+
+/// walk_standard_tiled with recursion-structure hooks (see NullWalkHooks).
+template <typename Sink, typename Hooks>
+void walk_standard_tiled_hooked(std::uint32_t n, std::uint32_t tile, Curve curve,
+                                TraceBases bases, Sink&& out, Hooks& hooks) {
   const std::uint32_t side = n / tile;
   const int depth = bits::floor_log2(side);
   const TileGeometry g = make_geometry(n, n, depth, curve);
@@ -136,8 +171,15 @@ void walk_standard_tiled(std::uint32_t n, std::uint32_t tile, Curve curve,
       return base + g.address(i, j) * sizeof(double);
     };
   };
-  detail::walk_standard(0, 0, 0, n, n, n, tile, tiled(bases.a), tiled(bases.b),
-                        tiled(bases.c), out);
+  detail::walk_standard_hooked(0, 0, 0, n, n, n, tile, 0, tiled(bases.a),
+                               tiled(bases.b), tiled(bases.c), out, hooks);
+}
+
+template <typename Sink>
+void walk_standard_tiled(std::uint32_t n, std::uint32_t tile, Curve curve,
+                         TraceBases bases, Sink&& out) {
+  NullWalkHooks hooks;
+  walk_standard_tiled_hooked(n, tile, curve, bases, out, hooks);
 }
 
 }  // namespace rla::trace

@@ -1,0 +1,301 @@
+// Tests of the recursion-resolved profiler (obs/treeprof/, DESIGN.md §16):
+// path encoding, arming and the busy degradation, per-depth reconciliation
+// against the compute phase, depth-cap rollup, behaviour under injected
+// degradation and mid-tree task faults, the JSON round-trip of the folded
+// tree, and the flamegraph folded-stack renderer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/gemm.hpp"
+#include "obs/treeprof/treeprof.hpp"
+#include "robust/error.hpp"
+#include "test_common.hpp"
+
+namespace rla {
+namespace {
+
+using rla::testing::random_matrix;
+namespace treeprof = obs::treeprof;
+
+/// One C = A·B against the naive reference; returns max deviation and fills
+/// *profile. Same shape as test_fault.cpp's runner.
+double run_vs_reference(std::uint32_t n, const GemmConfig& cfg,
+                        GemmProfile* profile, std::uint64_t seed = 7) {
+  Matrix a = random_matrix(n, n, seed);
+  Matrix b = random_matrix(n, n, seed + 1);
+  Matrix c(n, n);
+  c.zero();
+  Matrix c_ref = c;
+  gemm(n, n, n, 1.0, a.data(), a.ld(), Op::None, b.data(), b.ld(), Op::None,
+       0.0, c.data(), c.ld(), cfg, profile);
+  reference_gemm(n, n, n, 1.0, a.data(), a.ld(), false, b.data(), b.ld(),
+                 false, 0.0, c_ref.data(), c_ref.ld());
+  return max_abs_diff(c.view(), c_ref.view());
+}
+
+bool trail_contains(const GemmProfile& profile, std::string_view needle) {
+  for (const std::string& step : profile.degradation_trail) {
+    if (step.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+int key_depth(const std::string& key) {
+  return std::atoi(key.c_str() + 1);  // "d3:021" -> 3
+}
+
+std::uint64_t tree_time_ns(const GemmProfile& profile) {
+  std::uint64_t total = 0;
+  for (const auto& node : profile.tree_profile) total += node.time_ns;
+  return total;
+}
+
+std::uint64_t tree_flops(const GemmProfile& profile) {
+  std::uint64_t total = 0;
+  for (const auto& node : profile.tree_profile) total += node.flops;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Path encoding.
+
+TEST(TreeprofPath, EncodingAndRendering) {
+  EXPECT_EQ(treeprof::path_depth(treeprof::kRootPath), 0);
+  EXPECT_EQ(treeprof::path_key(treeprof::kRootPath), "d0");
+
+  const std::uint64_t c2 = treeprof::child_path(treeprof::kRootPath, 2);
+  EXPECT_EQ(c2, 0b1'010u);
+  EXPECT_EQ(treeprof::path_depth(c2), 1);
+  EXPECT_EQ(treeprof::path_digit(c2, 0), 2u);
+  EXPECT_EQ(treeprof::path_key(c2), "d1:2");
+
+  // Digits render root-first: child 0 of child 2 of child 1.
+  std::uint64_t p = treeprof::kRootPath;
+  p = treeprof::child_path(p, 1);
+  p = treeprof::child_path(p, 2);
+  p = treeprof::child_path(p, 0);
+  EXPECT_EQ(treeprof::path_depth(p), 3);
+  EXPECT_EQ(treeprof::path_key(p), "d3:120");
+  EXPECT_EQ(treeprof::path_digit(p, 0), 1u);
+  EXPECT_EQ(treeprof::path_digit(p, 1), 2u);
+  EXPECT_EQ(treeprof::path_digit(p, 2), 0u);
+}
+
+TEST(TreeprofPath, MaxDepthPathStillRoundTrips) {
+  std::uint64_t p = treeprof::kRootPath;
+  std::string digits;
+  for (int i = 0; i < treeprof::kMaxPathDepth; ++i) {
+    const unsigned d = static_cast<unsigned>(i % 7);
+    p = treeprof::child_path(p, d);
+    digits += static_cast<char>('0' + d);
+  }
+  EXPECT_EQ(treeprof::path_depth(p), treeprof::kMaxPathDepth);
+  EXPECT_EQ(treeprof::path_key(p),
+            "d" + std::to_string(treeprof::kMaxPathDepth) + ":" + digits);
+}
+
+TEST(TreeprofPath, FoldedStacksRendering) {
+  const std::string out = treeprof::folded_stacks(
+      {{"d0", 10}, {"d1:2", 20}, {"d3:021", 5}});
+  EXPECT_EQ(out, "gemm 10\ngemm;2 20\ngemm;0;2;1 5\n");
+}
+
+// ---------------------------------------------------------------------------
+// Disarmed and busy paths.
+
+TEST(TreeprofGemm, DisarmedRunLeavesTreeEmpty) {
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  GemmProfile profile;
+  EXPECT_LT(run_vs_reference(96, cfg, &profile), 1e-10);
+  EXPECT_FALSE(profile.tree_measured);
+  EXPECT_TRUE(profile.tree_profile.empty());
+}
+
+TEST(TreeprofGemm, BusySlotDegradesToUnprofiled) {
+  treeprof::Session outer;
+  ASSERT_TRUE(outer.try_attach());
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  cfg.tree_profile = true;
+  GemmProfile profile;
+  EXPECT_LT(run_vs_reference(96, cfg, &profile), 1e-10);
+  EXPECT_FALSE(profile.tree_measured);
+  EXPECT_TRUE(profile.tree_profile.empty());
+  EXPECT_TRUE(trail_contains(profile, "treeprof:busy"));
+  outer.detach();
+
+  // Slot released: the next armed run profiles normally.
+  GemmProfile clean;
+  EXPECT_LT(run_vs_reference(96, cfg, &clean), 1e-10);
+  EXPECT_TRUE(clean.tree_measured);
+  EXPECT_FALSE(clean.tree_profile.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Reconciliation: the per-depth exclusive sums cover the compute phase.
+
+TEST(TreeprofGemm, SerialExclusiveTimesReconcileWithComputePhase) {
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  cfg.algorithm = Algorithm::Standard;
+  cfg.threads = 1;
+  cfg.tree_profile = true;
+  GemmProfile profile;
+  EXPECT_LT(run_vs_reference(256, cfg, &profile), 1e-9);
+  ASSERT_TRUE(profile.tree_measured);
+  ASSERT_FALSE(profile.tree_profile.empty());
+
+  // Exclusive sums on one thread cannot exceed the compute wall time (same
+  // clock, frames nest), and the frames should cover nearly all of it. The
+  // lower bound is deliberately loose against CI scheduling noise.
+  const double compute_ns = profile.compute * 1e9;
+  const double tree_ns = static_cast<double>(tree_time_ns(profile));
+  EXPECT_LE(tree_ns, compute_ns * 1.02 + 2e6);
+  EXPECT_GE(tree_ns, compute_ns * 0.70);
+
+  // Leaf multiplies alone contribute 2n^3 FLOPs; block-add passes only add.
+  EXPECT_GE(tree_flops(profile), 2ull * 256 * 256 * 256);
+
+  // Folded list is sorted by (depth, path): depths never decrease, the root
+  // comes first, and no node exceeds the session cap.
+  EXPECT_EQ(profile.tree_profile.front().key, "d0");
+  int prev = 0;
+  for (const auto& node : profile.tree_profile) {
+    const int d = key_depth(node.key);
+    EXPECT_GE(d, prev);
+    EXPECT_LE(d, treeprof::default_max_depth());
+    prev = d;
+  }
+}
+
+TEST(TreeprofGemm, DepthCapRollsDeepCostIntoAncestors) {
+  ::setenv("RLA_TREEPROF_MAX_DEPTH", "1", 1);
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  cfg.algorithm = Algorithm::Standard;
+  cfg.threads = 1;
+  cfg.tree_profile = true;
+  GemmProfile profile;
+  const double err = run_vs_reference(128, cfg, &profile);
+  ::unsetenv("RLA_TREEPROF_MAX_DEPTH");
+  EXPECT_LT(err, 1e-10);
+  ASSERT_TRUE(profile.tree_measured);
+  ASSERT_FALSE(profile.tree_profile.empty());
+  int max_depth = 0;
+  for (const auto& node : profile.tree_profile) {
+    max_depth = std::max(max_depth, key_depth(node.key));
+  }
+  EXPECT_LE(max_depth, 1);
+  // Rollup conserves cost: the capped tree still carries every leaf FLOP.
+  EXPECT_GE(tree_flops(profile), 2ull * 128 * 128 * 128);
+}
+
+TEST(TreeprofGemm, ParallelStrassenTreeCoversLeafWork) {
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  cfg.algorithm = Algorithm::Strassen;
+  cfg.threads = 4;
+  cfg.tree_profile = true;
+  GemmProfile profile;
+  EXPECT_LT(run_vs_reference(256, cfg, &profile), 1e-9);
+  ASSERT_TRUE(profile.tree_measured);
+  ASSERT_FALSE(profile.tree_profile.empty());
+  // Exclusive time is CPU time summed across workers: bounded by the
+  // compute wall times the worker count, and nonzero.
+  const unsigned workers = std::max(1u, profile.sched.workers);
+  const double budget_ns = profile.compute * 1e9 * workers;
+  const double tree_ns = static_cast<double>(tree_time_ns(profile));
+  EXPECT_GT(tree_ns, 0.0);
+  EXPECT_LE(tree_ns, budget_ns * 1.05 + 2e6);
+  // Strassen at depth >= 1 shows seven children of the root.
+  bool saw_child = false;
+  for (const auto& node : profile.tree_profile) {
+    if (key_depth(node.key) == 1) saw_child = true;
+  }
+  EXPECT_TRUE(saw_child);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation and faults.
+
+TEST(TreeprofGemm, TreeSurvivesAllocDegradationLadder) {
+  // Persistent tiled-alloc failure walks the ladder down to the canonical
+  // in-place path; the tree must still be measured and reconcile — the
+  // instrumentation rides the nodes that actually executed.
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  cfg.algorithm = Algorithm::Strassen;
+  cfg.threads = 1;
+  cfg.tree_profile = true;
+  cfg.fault_spec = "alloc.tiled:p=1";
+  GemmProfile profile;
+  EXPECT_LT(run_vs_reference(128, cfg, &profile), 1e-9);
+  EXPECT_TRUE(trail_contains(profile, "alloc:standard-inplace"));
+  ASSERT_TRUE(profile.tree_measured);
+  ASSERT_FALSE(profile.tree_profile.empty());
+  // The final successful pass alone multiplies 2n^3; aborted attempts only
+  // add on top.
+  EXPECT_GE(tree_flops(profile), 2ull * 128 * 128 * 128);
+  EXPECT_GT(tree_time_ns(profile), 0u);
+}
+
+TEST(TreeprofGemm, MidTreeTaskFaultReleasesTheSessionSlot) {
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  cfg.tree_profile = true;
+  cfg.fault_spec = "task.throw:nth=3";
+  Matrix a = random_matrix(64, 64, 1), b = random_matrix(64, 64, 2);
+  Matrix c(64, 64);
+  c.zero();
+  EXPECT_THROW(gemm(64, 64, 64, 1.0, a.data(), a.ld(), Op::None, b.data(),
+                    b.ld(), Op::None, 0.0, c.data(), c.ld(), cfg),
+               Error);
+  // The throw unwound through the armed session; the global slot must be
+  // free again or every later profiled run degrades to "treeprof:busy".
+  GemmConfig clean = cfg;
+  clean.fault_spec.clear();
+  GemmProfile profile;
+  EXPECT_LT(run_vs_reference(96, clean, &profile), 1e-10);
+  EXPECT_TRUE(profile.tree_measured);
+  EXPECT_FALSE(profile.tree_profile.empty());
+  EXPECT_FALSE(trail_contains(profile, "treeprof:busy"));
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip.
+
+TEST(TreeprofGemm, TreeProfileRoundTripsThroughJson) {
+  GemmConfig cfg;
+  cfg.layout = Curve::ZMorton;
+  cfg.algorithm = Algorithm::Standard;
+  cfg.threads = 1;
+  cfg.tree_profile = true;
+  GemmProfile profile;
+  EXPECT_LT(run_vs_reference(128, cfg, &profile), 1e-10);
+  ASSERT_TRUE(profile.tree_measured);
+  ASSERT_FALSE(profile.tree_profile.empty());
+
+  const std::string text = profile.to_json();
+  GemmProfile parsed;
+  ASSERT_TRUE(GemmProfile::from_json(text, parsed));
+  EXPECT_EQ(parsed.to_json(), text);
+  EXPECT_TRUE(parsed.tree_measured);
+  ASSERT_EQ(parsed.tree_profile.size(), profile.tree_profile.size());
+  for (std::size_t i = 0; i < parsed.tree_profile.size(); ++i) {
+    EXPECT_EQ(parsed.tree_profile[i].key, profile.tree_profile[i].key);
+    EXPECT_EQ(parsed.tree_profile[i].time_ns, profile.tree_profile[i].time_ns);
+    EXPECT_EQ(parsed.tree_profile[i].flops, profile.tree_profile[i].flops);
+    EXPECT_EQ(parsed.tree_profile[i].tasks, profile.tree_profile[i].tasks);
+    EXPECT_EQ(parsed.tree_profile[i].hw_valid,
+              profile.tree_profile[i].hw_valid);
+  }
+}
+
+}  // namespace
+}  // namespace rla

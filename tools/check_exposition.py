@@ -31,13 +31,16 @@ import re
 import sys
 
 # Families every service exposition must carry: admission accounting, one
-# latency histogram, one SLO gauge, and the flight-recorder counters.
+# latency histogram, one SLO gauge, the flight-recorder counters, and the
+# recursion-tree profiler's node counter (0 while treeprof is disarmed, but
+# the family must still be announced so dashboards can rely on it).
 DEFAULT_REQUIRED = [
     "rla_service_submitted",
     "rla_service_accepted",
     "rla_service_total_ns",
     "rla_service_slo_deadline_miss_ppm",
     "rla_telemetry_flight_events",
+    "rla_treeprof_nodes",
 ]
 
 _SAMPLE_RE = re.compile(
@@ -176,6 +179,8 @@ def seeded_exposition():
         "rla_service_slo_deadline_miss_ppm 1250",
         "# TYPE rla_telemetry_flight_events counter",
         "rla_telemetry_flight_events 410",
+        "# TYPE rla_treeprof_nodes counter",
+        "rla_treeprof_nodes 400",
         "# TYPE rla_service_total_ns histogram",
         'rla_service_total_ns_bucket{le="1023"} 10',
         'rla_service_total_ns_bucket{le="2047"} 55',
@@ -213,13 +218,13 @@ def self_test() -> int:
             5, 'rla_service_slo_deadline_miss_ppm{x="y"} 1'
         ),
         "non-cumulative buckets": lambda l: l.__setitem__(
-            10, 'rla_service_total_ns_bucket{le="2047"} 5'
+            12, 'rla_service_total_ns_bucket{le="2047"} 5'
         ),
         "no +Inf bucket": lambda l: l.remove(
             'rla_service_total_ns_bucket{le="+Inf"} 90'
         ),
         "+Inf != count": lambda l: l.__setitem__(
-            13, "rla_service_total_ns_count 91"
+            15, "rla_service_total_ns_count 91"
         ),
         "missing _sum": lambda l: l.remove("rla_service_total_ns_sum 123456"),
     }
@@ -229,6 +234,10 @@ def self_test() -> int:
             return 2
     if not check(good, required=["rla_absent_family"]):
         print("self-test FAILED: --required not enforced")
+        return 2
+    stripped = [l for l in good if "rla_treeprof_nodes" not in l]
+    if not check(stripped, required=DEFAULT_REQUIRED):
+        print("self-test FAILED: missing treeprof family not detected")
         return 2
     print("self-test OK: TYPE coverage, histogram and required-family checks hold")
     return 0

@@ -23,9 +23,11 @@
 
 #include <csignal>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -36,6 +38,7 @@
 
 #include "core/gemm.hpp"
 #include "obs/telemetry/endpoint.hpp"
+#include "obs/treeprof/treeprof.hpp"
 #include "service/service.hpp"
 #include "util/cli.hpp"
 #include "util/env.hpp"
@@ -53,11 +56,96 @@ void usage(const char* prog) {
       "usage: %s [--m=N] [--n=N] [--k=N] [--threads=N] [--layout=z|u|h|x|col]\n"
       "          [--algorithm=standard|strassen|winograd] [--seed=N]\n"
       "          [--trace=FILE] [--profile=FILE] [--profile-json=FILE]\n"
-      "          [--perf] [--no-measure]\n"
+      "          [--perf] [--no-measure] [--tree-profile] [--flame=FILE]\n"
       "          [--serve] [--batch=N] [--deadline-ms=N] [--priority=N]\n"
       "          [--service-metrics=FILE] [--telemetry-socket=PATH]\n"
       "          [--telemetry-ms=N]\n",
       prog);
+}
+
+/// Fold GemmProfile::tree_profile per depth and print the attribution table
+/// plus the reconciliation line against the compute phase.
+void print_tree_table(const rla::GemmProfile& profile) {
+  if (!profile.tree_measured) return;
+  struct Row {
+    std::uint64_t nodes = 0, time_ns = 0, flops = 0, tasks = 0;
+    double l1 = 0.0, instructions = 0.0, cycles = 0.0;
+    bool hw = false;
+  };
+  std::vector<Row> rows;
+  std::uint64_t total_ns = 0;
+  for (const rla::GemmProfile::TreeNode& node : profile.tree_profile) {
+    const int d = std::atoi(node.key.c_str() + 1);
+    if (d < 0) continue;
+    if (rows.size() <= static_cast<std::size_t>(d)) {
+      rows.resize(static_cast<std::size_t>(d) + 1);
+    }
+    Row& row = rows[static_cast<std::size_t>(d)];
+    row.nodes++;
+    row.time_ns += node.time_ns;
+    row.flops += node.flops;
+    row.tasks += node.tasks;
+    total_ns += node.time_ns;
+    if (node.hw_valid) {
+      row.hw = true;
+      row.l1 += static_cast<double>(node.hw.l1d_read_misses);
+      row.instructions += static_cast<double>(node.hw.instructions);
+      row.cycles += static_cast<double>(node.hw.cycles);
+    }
+  }
+  std::printf("tree profile: %zu nodes\n", profile.tree_profile.size());
+  std::printf("  %-5s %6s %10s %7s %8s %8s %12s %6s\n", "depth", "nodes",
+              "time-ms", "time%", "gflop", "tasks", "L1miss/flop", "IPC");
+  for (std::size_t d = 0; d < rows.size(); ++d) {
+    const Row& row = rows[d];
+    if (row.nodes == 0) continue;
+    char l1buf[32], ipcbuf[32];
+    if (row.hw && row.flops > 0) {
+      std::snprintf(l1buf, sizeof l1buf, "%.3e",
+                    row.l1 / static_cast<double>(row.flops));
+    } else {
+      std::snprintf(l1buf, sizeof l1buf, "n/a");
+    }
+    if (row.hw && row.cycles > 0.0) {
+      std::snprintf(ipcbuf, sizeof ipcbuf, "%.2f",
+                    row.instructions / row.cycles);
+    } else {
+      std::snprintf(ipcbuf, sizeof ipcbuf, "n/a");
+    }
+    std::printf("  d%-4zu %6llu %10.3f %6.1f%% %8.3f %8llu %12s %6s\n", d,
+                static_cast<unsigned long long>(row.nodes),
+                static_cast<double>(row.time_ns) / 1e6,
+                total_ns > 0 ? 100.0 * static_cast<double>(row.time_ns) /
+                                   static_cast<double>(total_ns)
+                             : 0.0,
+                static_cast<double>(row.flops) / 1e9,
+                static_cast<unsigned long long>(row.tasks), l1buf, ipcbuf);
+  }
+  // Tree time is exclusive CPU time summed over all workers, so the
+  // comparable phase budget is compute wall time × workers. On a serial run
+  // that is the compute phase itself and coverage should be ~100%; in
+  // parallel the shortfall is worker idle/steal time.
+  if (profile.compute > 0.0) {
+    const double tree_s = static_cast<double>(total_ns) / 1e9;
+    const unsigned workers = std::max(1u, profile.sched.workers);
+    std::printf(
+        "  reconcile: tree=%.3fms compute=%.3fms x %u workers "
+        "cpu-coverage=%.1f%%\n",
+        tree_s * 1e3, profile.compute * 1e3, workers,
+        100.0 * tree_s / (profile.compute * workers));
+  }
+}
+
+/// --flame=FILE: exclusive time per node as flamegraph.pl folded stacks.
+bool write_flame(const std::string& path, const rla::GemmProfile& profile) {
+  std::vector<std::pair<std::string, std::uint64_t>> rows;
+  rows.reserve(profile.tree_profile.size());
+  for (const rla::GemmProfile::TreeNode& node : profile.tree_profile) {
+    rows.emplace_back(node.key, node.time_ns);
+  }
+  std::ofstream out(path);
+  out << rla::obs::treeprof::folded_stacks(rows);
+  return static_cast<bool>(out);
 }
 
 /// --serve / --batch: drive the request(s) through a GemmService.
@@ -132,10 +220,12 @@ int run_served(const rla::CliArgs& args, std::uint32_t m, std::uint32_t n,
     if (i > 0) {
       // One trace collector per process: concurrent siblings would only
       // record trace:busy (and read as spuriously Degraded). The first
-      // request carries the measurement; the rest run bare.
+      // request carries the measurement; the rest run bare. Same for the
+      // one-armed treeprof session (treeprof:busy).
       req.cfg.trace_path.clear();
       req.cfg.measure = false;
       req.cfg.hw_counters = false;
+      req.cfg.tree_profile = false;
     }
     req.priority = static_cast<int>(args.get_int("priority", 0));
     req.deadline =
@@ -206,6 +296,7 @@ int main(int argc, char** argv) {
   cfg.trace_path = args.get("trace");
   cfg.measure = !args.get_bool("no-measure");
   cfg.hw_counters = args.get_bool("perf");
+  cfg.tree_profile = args.get_bool("tree-profile") || args.has("flame");
   if (!rla::parse_curve(args.get("layout", "z"), cfg.layout)) {
     std::fprintf(stderr, "rla_gemm: unknown layout '%s'\n",
                  args.get("layout").c_str());
@@ -254,6 +345,14 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  const std::string flame_path = args.get("flame");
+  if (!flame_path.empty() && !write_flame(flame_path, profile)) {
+    std::fprintf(stderr, "rla_gemm: cannot write %s\n", flame_path.c_str());
+    return 1;
+  }
+
+  print_tree_table(profile);
 
   const double gflops =
       profile.total > 0.0 ? 2.0 * m * n * static_cast<double>(k) / profile.total / 1e9

@@ -21,8 +21,18 @@
 // On machines without usable counters (perf_event_paranoid, VMs with no
 // PMU) the hw columns are reported as unavailable and the tool still exits
 // 0 — the simulator side alone is a valid artifact.
+//
+// With --depth=D (default: the treeprof depth cap) both sides are also
+// resolved per recursion level: the simulated walk attributes exclusive
+// misses and FLOPs to each depth through the hooked trace generators, and
+// the hardware run arms GemmConfig::tree_profile so the PMU deltas land on
+// the same depth-capped tree. The per-depth table reports predicted vs
+// measured misses-per-FLOP level by level — the depth where the ratio walks
+// away is the depth where the one-core model stops describing the machine.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <random>
 #include <string>
@@ -30,11 +40,21 @@
 
 #include "cachesim/hierarchy.hpp"
 #include "core/gemm.hpp"
+#include "obs/treeprof/treeprof.hpp"
 #include "trace/access_logger.hpp"
 #include "util/cli.hpp"
 #include "util/env.hpp"
 
 namespace {
+
+/// One recursion level's exclusive cost, on either side of the comparison.
+struct DepthCosts {
+  double flops = 0.0;
+  double l1_misses = 0.0;
+  double tlb_misses = 0.0;
+  double time_ns = 0.0;    // hw side only
+  bool hw_valid = false;   // hw side: some node at this depth carried PMU data
+};
 
 struct LayoutPoint {
   std::string name;        // as given on the command line
@@ -50,6 +70,42 @@ struct LayoutPoint {
   double hw_tlb_per_flop = 0.0;
   double hw_gflops = 0.0;
   std::string hw_note;  // degradation summary when counters were missing
+  // Per-recursion-depth exclusive attribution, index = depth (0..cap).
+  bool hw_tree = false;  // the treeprof session armed for the hw run
+  std::vector<DepthCosts> sim_depth;
+  std::vector<DepthCosts> hw_depth;
+};
+
+/// Walk hooks charging hierarchy-counter deltas to the depth on top of the
+/// stack, clamped at `cap` exactly like the treeprof rollup, so the sim and
+/// hw trees have the same shape.
+struct DepthHooks {
+  rla::sim::MemoryHierarchy* hier;
+  int cap;
+  std::vector<DepthCosts>* rows;
+  std::vector<int> stack;
+  rla::sim::HierarchySnapshot mark{};
+
+  void charge() {
+    const rla::sim::HierarchySnapshot now = hier->snapshot();
+    const rla::sim::HierarchySnapshot delta = now - mark;
+    DepthCosts& row = (*rows)[static_cast<std::size_t>(stack.back())];
+    row.l1_misses += static_cast<double>(delta.l1_misses);
+    row.tlb_misses += static_cast<double>(delta.tlb_misses);
+    mark = now;
+  }
+  void enter(int depth) {
+    if (!stack.empty()) charge();
+    stack.push_back(std::min(depth, cap));
+  }
+  void exit(int /*depth*/) {
+    charge();
+    stack.pop_back();
+  }
+  void leaf(int depth, std::uint32_t m, std::uint32_t n, std::uint32_t k) {
+    (*rows)[static_cast<std::size_t>(std::min(depth, cap))].flops +=
+        2.0 * m * n * static_cast<double>(k);
+  }
 };
 
 bool has_event(const rla::GemmProfile& p, const char* name) {
@@ -59,13 +115,18 @@ bool has_event(const rla::GemmProfile& p, const char* name) {
   return false;
 }
 
-void run_sim(LayoutPoint& pt, std::uint32_t sim_n, std::uint32_t tile) {
-  const std::vector<rla::sim::MemRef> trace =
-      pt.curve == rla::Curve::ColMajor
-          ? rla::trace::standard_canonical_trace(sim_n, tile)
-          : rla::trace::standard_tiled_trace(sim_n, tile, pt.curve);
+void run_sim(LayoutPoint& pt, std::uint32_t sim_n, std::uint32_t tile,
+             int cap) {
   rla::sim::MemoryHierarchy hier{rla::sim::HierarchyConfig{}};
-  for (const rla::sim::MemRef& ref : trace) hier.access(ref);
+  pt.sim_depth.assign(static_cast<std::size_t>(cap) + 1, {});
+  DepthHooks hooks{&hier, cap, &pt.sim_depth, {}, {}};
+  auto sink = [&](std::uint64_t addr, bool write) { hier.access(addr, write); };
+  if (pt.curve == rla::Curve::ColMajor) {
+    rla::trace::walk_standard_canonical_hooked(sim_n, tile, {}, sink, hooks);
+  } else {
+    rla::trace::walk_standard_tiled_hooked(sim_n, tile, pt.curve, {}, sink,
+                                           hooks);
+  }
   const double flops = 2.0 * sim_n * sim_n * static_cast<double>(sim_n);
   pt.sim_l1_miss_rate = hier.l1().stats().miss_rate();
   pt.sim_tlb_miss_rate = hier.tlb().stats().miss_rate();
@@ -74,7 +135,7 @@ void run_sim(LayoutPoint& pt, std::uint32_t sim_n, std::uint32_t tile) {
 }
 
 void run_hw(LayoutPoint& pt, std::uint32_t n, std::uint32_t tile,
-            unsigned threads) {
+            unsigned threads, int cap) {
   std::mt19937_64 rng(7);
   std::uniform_real_distribution<double> dist(-1.0, 1.0);
   std::vector<double> a(static_cast<std::size_t>(n) * n);
@@ -88,9 +149,12 @@ void run_hw(LayoutPoint& pt, std::uint32_t n, std::uint32_t tile,
   cfg.algorithm = rla::Algorithm::Standard;
   cfg.threads = threads;
   cfg.hw_counters = true;
+  cfg.tree_profile = true;
   // Pin the tile edge so the hardware run uses the same leaf size the
   // simulated trace recursed to.
   cfg.tiles.t_min = cfg.tiles.t_max = cfg.tiles.t_pref = tile;
+  // Match the simulated tree's rollup depth.
+  ::setenv("RLA_TREEPROF_MAX_DEPTH", std::to_string(cap).c_str(), 1);
 
   rla::GemmProfile profile;
   rla::gemm(n, n, n, 1.0, a.data(), n, rla::Op::None, b.data(), n,
@@ -98,6 +162,22 @@ void run_hw(LayoutPoint& pt, std::uint32_t n, std::uint32_t tile,
 
   for (const std::string& step : profile.degradation_trail) {
     if (step.rfind("perf:", 0) == 0) pt.hw_note = step;
+  }
+
+  // Fold the recursion-resolved profile per depth (keys are "d<depth>[:path]").
+  pt.hw_tree = profile.tree_measured;
+  pt.hw_depth.assign(static_cast<std::size_t>(cap) + 1, {});
+  for (const rla::GemmProfile::TreeNode& node : profile.tree_profile) {
+    const int d = std::atoi(node.key.c_str() + 1);
+    if (d < 0 || d > cap) continue;
+    DepthCosts& row = pt.hw_depth[static_cast<std::size_t>(d)];
+    row.flops += static_cast<double>(node.flops);
+    row.time_ns += static_cast<double>(node.time_ns);
+    if (node.hw_valid) {
+      row.hw_valid = true;
+      row.l1_misses += static_cast<double>(node.hw.l1d_read_misses);
+      row.tlb_misses += static_cast<double>(node.hw.dtlb_misses);
+    }
   }
   if (!profile.hw_measured) {
     if (pt.hw_note.empty()) pt.hw_note = "perf:unavailable";
@@ -139,10 +219,24 @@ double ratio(double value, double base) {
   return base > 0.0 ? value / base : 0.0;
 }
 
+void print_depth_json(const char* field, const std::vector<DepthCosts>& rows) {
+  std::printf(",\"%s\":[", field);
+  for (std::size_t d = 0; d < rows.size(); ++d) {
+    const DepthCosts& row = rows[d];
+    std::printf(
+        "%s{\"depth\":%zu,\"flops\":%.6g,\"l1_misses\":%.6g,"
+        "\"tlb_misses\":%.6g,\"time_ns\":%.6g,\"hw_valid\":%s}",
+        d == 0 ? "" : ",", d, row.flops, row.l1_misses, row.tlb_misses,
+        row.time_ns, row.hw_valid ? "true" : "false");
+  }
+  std::printf("]");
+}
+
 void print_json(const std::vector<LayoutPoint>& points, std::uint32_t n,
-                std::uint32_t sim_n, std::uint32_t tile) {
-  std::printf("{\"n\":%u,\"sim_n\":%u,\"tile\":%u,\"layouts\":[", n, sim_n,
-              tile);
+                std::uint32_t sim_n, std::uint32_t tile, int cap) {
+  std::printf("{\"n\":%u,\"sim_n\":%u,\"tile\":%u,\"depth_cap\":%d,"
+              "\"layouts\":[",
+              n, sim_n, tile, cap);
   for (std::size_t i = 0; i < points.size(); ++i) {
     const LayoutPoint& pt = points[i];
     std::printf(
@@ -150,14 +244,84 @@ void print_json(const std::vector<LayoutPoint>& points, std::uint32_t n,
         "\"sim_tlb_miss_rate\":%.6g,\"sim_l1_per_flop\":%.6g,"
         "\"sim_tlb_per_flop\":%.6g,\"hw_l1\":%s,\"hw_tlb\":%s,"
         "\"hw_l1_per_flop\":%.6g,\"hw_tlb_per_flop\":%.6g,"
-        "\"hw_gflops\":%.4g,\"hw_note\":\"%s\"}",
+        "\"hw_gflops\":%.4g,\"hw_tree\":%s,\"hw_note\":\"%s\"",
         i == 0 ? "" : ",", pt.name.c_str(), pt.sim_l1_miss_rate,
         pt.sim_tlb_miss_rate, pt.sim_l1_per_flop, pt.sim_tlb_per_flop,
         pt.hw_l1 ? "true" : "false", pt.hw_tlb ? "true" : "false",
         pt.hw_l1_per_flop, pt.hw_tlb_per_flop, pt.hw_gflops,
-        pt.hw_note.c_str());
+        pt.hw_tree ? "true" : "false", pt.hw_note.c_str());
+    print_depth_json("sim_depth", pt.sim_depth);
+    print_depth_json("hw_depth", pt.hw_depth);
+    std::printf("}");
   }
   std::printf("]}\n");
+}
+
+/// Per-depth predicted-vs-measured table for one layout, and the verdict
+/// line naming the shallowest depth (with real work) where the L1 ratio
+/// leaves [1/kDivergence, kDivergence].
+void print_depth_table(const LayoutPoint& pt, int cap) {
+  constexpr double kDivergence = 3.0;
+  constexpr double kSignalShare = 0.01;  // ignore depths with <1% of the work
+  double sim_flops = 0.0, hw_flops = 0.0;
+  for (const DepthCosts& row : pt.sim_depth) sim_flops += row.flops;
+  for (const DepthCosts& row : pt.hw_depth) hw_flops += row.flops;
+
+  std::printf("\n%s per-depth (exclusive, cap d%d):\n", pt.name.c_str(), cap);
+  std::printf("  %-5s %9s %14s %14s %8s %14s %14s %8s\n", "depth", "flops%",
+              "sim-L1/flop", "hw-L1/flop", "ratio", "sim-TLB/flop",
+              "hw-TLB/flop", "ratio");
+  int diverged_at = -1;
+  for (int d = 0; d <= cap; ++d) {
+    const DepthCosts& sim = pt.sim_depth[static_cast<std::size_t>(d)];
+    const DepthCosts& hw = pt.hw_depth[static_cast<std::size_t>(d)];
+    const double share = hw_flops > 0.0 ? hw.flops / hw_flops
+                         : sim_flops > 0.0 ? sim.flops / sim_flops
+                                           : 0.0;
+    const double sim_l1 = sim.flops > 0.0 ? sim.l1_misses / sim.flops : 0.0;
+    const double sim_tlb = sim.flops > 0.0 ? sim.tlb_misses / sim.flops : 0.0;
+    const double hw_l1 = hw.hw_valid && hw.flops > 0.0 ? hw.l1_misses / hw.flops
+                                                       : 0.0;
+    const double hw_tlb = hw.hw_valid && hw.flops > 0.0
+                              ? hw.tlb_misses / hw.flops
+                              : 0.0;
+    char hwl1[32], hwtlb[32], rl1[32], rtlb[32];
+    if (hw.hw_valid && hw.flops > 0.0) {
+      std::snprintf(hwl1, sizeof hwl1, "%.3e", hw_l1);
+      std::snprintf(hwtlb, sizeof hwtlb, "%.3e", hw_tlb);
+    } else {
+      std::snprintf(hwl1, sizeof hwl1, "n/a");
+      std::snprintf(hwtlb, sizeof hwtlb, "n/a");
+    }
+    const bool comparable = hw.hw_valid && sim_l1 > 0.0 && hw_l1 > 0.0 &&
+                            share >= kSignalShare;
+    if (comparable) {
+      const double r = hw_l1 / sim_l1;
+      std::snprintf(rl1, sizeof rl1, "%.2f", r);
+      if (diverged_at < 0 && (r > kDivergence || r < 1.0 / kDivergence)) {
+        diverged_at = d;
+      }
+    } else {
+      std::snprintf(rl1, sizeof rl1, "-");
+    }
+    if (hw.hw_valid && sim_tlb > 0.0 && hw_tlb > 0.0 && share >= kSignalShare) {
+      std::snprintf(rtlb, sizeof rtlb, "%.2f", hw_tlb / sim_tlb);
+    } else {
+      std::snprintf(rtlb, sizeof rtlb, "-");
+    }
+    std::printf("  d%-4d %8.1f%% %14.3e %14s %8s %14.3e %14s %8s\n", d,
+                100.0 * share, sim_l1, hwl1, rl1, sim_tlb, hwtlb, rtlb);
+  }
+  if (!pt.hw_tree) {
+    std::printf("  (hw tree profile unavailable%s%s)\n",
+                pt.hw_note.empty() ? "" : ": ", pt.hw_note.c_str());
+  } else if (diverged_at >= 0) {
+    std::printf("  L1 prediction diverges (> %.0fx) at depth d%d\n",
+                kDivergence, diverged_at);
+  } else {
+    std::printf("  L1 prediction within %.0fx at every resolved depth\n",
+                kDivergence);
+  }
 }
 
 }  // namespace
@@ -167,10 +331,12 @@ int main(int argc, char** argv) {
   if (args.get_bool("help")) {
     std::printf(
         "usage: %s [--n=N] [--sim-n=N] [--tile=T] [--layouts=col,z,...]\n"
-        "          [--threads=N] [--json]\n"
+        "          [--threads=N] [--depth=D] [--json]\n"
         "Both N and sim-n must be tile*2^d for the tiled trace (e.g. 256,\n"
-        "1024 with tile 16).\n",
-        argv[0]);
+        "1024 with tile 16). --depth caps the per-level attribution tree on\n"
+        "both the simulated and the hardware side (default: the treeprof\n"
+        "cap, RLA_TREEPROF_MAX_DEPTH or %d).\n",
+        argv[0], rla::obs::treeprof::kDefaultMaxDepth);
     return 0;
   }
 
@@ -180,6 +346,10 @@ int main(int argc, char** argv) {
   const auto sim_n = static_cast<std::uint32_t>(args.get_int("sim-n", 256));
   const auto tile = static_cast<std::uint32_t>(args.get_int("tile", 16));
   const auto threads = static_cast<unsigned>(args.get_int("threads", 4));
+  const int cap = std::clamp(
+      static_cast<int>(
+          args.get_int("depth", rla::obs::treeprof::default_max_depth())),
+      0, rla::obs::treeprof::kMaxPathDepth);
   const bool json = args.get_bool("json");
 
   std::vector<LayoutPoint> points;
@@ -203,14 +373,14 @@ int main(int argc, char** argv) {
 
   for (LayoutPoint& pt : points) {
     try {
-      run_sim(pt, sim_n, tile);
+      run_sim(pt, sim_n, tile, cap);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "sim_vs_hw: sim %s failed: %s\n", pt.name.c_str(),
                    e.what());
       return 2;
     }
     try {
-      run_hw(pt, n, tile, threads);
+      run_hw(pt, n, tile, threads, cap);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "sim_vs_hw: hw %s failed: %s\n", pt.name.c_str(),
                    e.what());
@@ -219,7 +389,7 @@ int main(int argc, char** argv) {
   }
 
   if (json) {
-    print_json(points, n, sim_n, tile);
+    print_json(points, n, sim_n, tile, cap);
     return 0;
   }
 
@@ -273,5 +443,9 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
+
+  // Per-depth divergence: at which recursion level does the one-core model
+  // stop describing the machine?
+  for (const LayoutPoint& pt : points) print_depth_table(pt, cap);
   return 0;
 }

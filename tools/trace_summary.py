@@ -6,6 +6,8 @@ Consumes the JSON produced by ``GemmConfig::trace_path`` / ``RLA_TRACE=file``
 
   * per-worker utilization: exclusive task nanoseconds per thread over the
     trace's wall-clock extent,
+  * the recursion-resolved per-depth table (exclusive time share, FLOPs,
+    misses-per-FLOP, IPC) when the trace carries treeprof node spans,
   * the top-10 longest tasks by exclusive time,
   * the measured critical path: the chain of tasks from the root whose
     burdened contributions (off_ns + lat_ns + span_ns) dominate each
@@ -102,6 +104,61 @@ def phase_table(phases):
     return [agg[name] for name in order]
 
 
+# Node-span args that are structure or already-folded fields, not PMU
+# counters to sum into the per-depth counter map.
+_NODE_STRUCTURE_KEYS = {"id", "parent", "seq", "trace", "depth", "excl_ns", "flops"}
+
+
+def node_events(events):
+    """Recursion-tree node spans from the treeprof profiler (cat 'node')."""
+    return [
+        ev
+        for ev in events
+        if ev.get("ph") == "X"
+        and ev.get("cat") == "node"
+        and isinstance(ev.get("args"), dict)
+        and "depth" in ev["args"]
+    ]
+
+
+def tree_table(nodes):
+    """Fold node spans per recursion depth.
+
+    Returns [{depth, spans, excl_ms, time_share, flops, counters, ...}] in
+    depth order; l1_per_flop and ipc are present when the spans carried the
+    corresponding PMU args (perf counting was on).
+    """
+    agg = {}
+    for ev in nodes:
+        args = ev["args"]
+        depth = args["depth"]
+        if not isinstance(depth, int) or isinstance(depth, bool):
+            continue
+        entry = agg.setdefault(
+            depth,
+            {"depth": depth, "spans": 0, "excl_ms": 0.0, "flops": 0, "counters": {}},
+        )
+        entry["spans"] += 1
+        entry["excl_ms"] += args.get("excl_ns", 0) / 1e6
+        entry["flops"] += args.get("flops", 0)
+        for key, value in args.items():
+            if key in _NODE_STRUCTURE_KEYS:
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                entry["counters"][key] = entry["counters"].get(key, 0) + value
+    rows = [agg[depth] for depth in sorted(agg)]
+    total_ms = sum(r["excl_ms"] for r in rows)
+    for r in rows:
+        r["time_share"] = r["excl_ms"] / total_ms if total_ms > 0 else 0.0
+        l1 = r["counters"].get("l1d_read_misses")
+        if l1 is not None and r["flops"]:
+            r["l1_per_flop"] = l1 / r["flops"]
+        cycles = r["counters"].get("cycles")
+        if cycles:
+            r["ipc"] = r["counters"].get("instructions", 0) / cycles
+    return rows
+
+
 def utilization(tasks, events):
     """Per-tid (busy_ns, share-of-wall) over the trace extent."""
     if not events:
@@ -192,6 +249,8 @@ def summarize(doc, top_n=10):
         for ev in chain
     ]
 
+    tree = tree_table(node_events(events))
+
     summary = {
         "phases": phase_table(phase_events(events)),
         "tasks": len(tasks),
@@ -211,6 +270,8 @@ def summarize(doc, top_n=10):
         "critical_path": path,
         "critical_path_tasks": len(path),
     }
+    if tree:
+        summary["tree"] = tree
 
     # Whole-call perf counters from the metrics snapshot, when the trace has
     # one (rla_metrics and rla_summary are both optional extensions: a trace
@@ -303,6 +364,20 @@ def print_report(summary):
                 f" {ph['counters'].get(name, 0):>18.0f}" for name in counter_names
             )
             print(f"  {ph['name']:<12} {ph['count']:>5} {ph['wall_ms']:>9.2f}{cells}")
+    if summary.get("tree"):
+        print("recursion tree (exclusive per depth):")
+        print(
+            f"  {'depth':<6} {'spans':>6} {'excl_ms':>10} {'share':>7} "
+            f"{'gflop':>9} {'L1/flop':>11} {'ipc':>6}"
+        )
+        for r in summary["tree"]:
+            l1 = f"{r['l1_per_flop']:.3e}" if "l1_per_flop" in r else "n/a"
+            ipc = f"{r['ipc']:.2f}" if "ipc" in r else "n/a"
+            print(
+                f"  d{r['depth']:<5} {r['spans']:>6} {r['excl_ms']:>10.3f} "
+                f"{100.0 * r['time_share']:>6.1f}% {r['flops'] / 1e9:>9.3f} "
+                f"{l1:>11} {ipc:>6}"
+            )
     if summary.get("hw_total"):
         total = "  ".join(f"{k}={v:.0f}" for k, v in sorted(summary["hw_total"].items()))
         print(f"hw totals: {total}")
@@ -383,6 +458,23 @@ def seeded_trace():
          "ts": 90.0, "dur": 10.0,
          "args": {"id": 12, "parent": 1, "seq": 0,
                   "cycles": 100_000, "l1d_read_misses": 800}},
+        # Treeprof node spans: one root, two depth-1 quadrants (the second
+        # pair of PMU args checks the counter fold and the IPC derivation).
+        {"name": "d0", "cat": "node", "pid": 1, "tid": 0, "ph": "X",
+         "ts": 20.0, "dur": 70.0,
+         "args": {"id": 1, "parent": 0, "seq": 0, "depth": 0,
+                  "excl_ns": 25_000, "flops": 1_000}},
+        {"name": "d1:0", "cat": "node", "pid": 1, "tid": 0, "ph": "X",
+         "ts": 25.0, "dur": 30.0,
+         "args": {"id": 8, "parent": 0, "seq": 1, "depth": 1,
+                  "excl_ns": 50_000, "flops": 1_000,
+                  "l1d_read_misses": 300, "cycles": 1_000,
+                  "instructions": 2_000}},
+        {"name": "d1:1", "cat": "node", "pid": 1, "tid": 1, "ph": "X",
+         "ts": 60.0, "dur": 30.0,
+         "args": {"id": 9, "parent": 0, "seq": 1, "depth": 1,
+                  "excl_ns": 25_000, "flops": 2_000,
+                  "l1d_read_misses": 300, "cycles": 1_000}},
         # A truncated task event with no args: must be ignored, not fatal.
         {"name": "task", "cat": "task", "pid": 1, "tid": 0, "ph": "X",
          "ts": 95.0, "dur": 1.0},
@@ -429,6 +521,27 @@ def self_test() -> int:
         return 2
     if phases["convert.in"]["counters"] != {}:
         print(f"self-test FAILED: convert.in counters {phases['convert.in']['counters']}")
+        return 2
+    # Per-depth recursion fold: shares, PMU counters and derived rates.
+    tree = summary.get("tree")
+    if not tree or [r["depth"] for r in tree] != [0, 1]:
+        print(f"self-test FAILED: tree depths {tree}")
+        return 2
+    d0, d1 = tree
+    if d0["spans"] != 1 or d1["spans"] != 2 or d1["flops"] != 3_000:
+        print(f"self-test FAILED: tree aggregation {tree}")
+        return 2
+    if abs(d0["time_share"] - 0.25) > 1e-9 or abs(d1["time_share"] - 0.75) > 1e-9:
+        print(f"self-test FAILED: tree time shares {d0, d1}")
+        return 2
+    if abs(d1.get("l1_per_flop", 0.0) - 0.2) > 1e-9:  # 600 misses / 3000 flops
+        print(f"self-test FAILED: l1_per_flop {d1.get('l1_per_flop')}")
+        return 2
+    if abs(d1.get("ipc", 0.0) - 1.0) > 1e-9:  # 2000 instructions / 2000 cycles
+        print(f"self-test FAILED: ipc {d1.get('ipc')}")
+        return 2
+    if "l1_per_flop" in d0 or "depth" in d1["counters"] or "excl_ns" in d1["counters"]:
+        print(f"self-test FAILED: node structural args leaked {d0, d1}")
         return 2
     # A mutilated trace must be caught: inflate embedded work 10x.
     bad = seeded_trace()
